@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Regenerates the Section 6.4 "Type Refinement Order" discussion as an
+ * ablation: the paper's order (CS before FS) against the flipped order
+ * (FS before CS). Flow-sensitive refinement is the more aggressive
+ * stage; running it first commits variables to one-sided def-site
+ * types before context sensitivity can disambiguate the polymorphic
+ * merges - costing precision and/or recall.
+ */
+#include <cstdio>
+
+#include "eval/harness.h"
+#include "support/table.h"
+
+namespace manta {
+namespace {
+
+int
+runAblation()
+{
+    std::printf("=== Section 6.4 ablation: type refinement order ===\n\n");
+
+    TypeEval paper_order, flipped_order;
+    auto accumulate = [](TypeEval &acc, const TypeEval &one) {
+        acc.total += one.total;
+        acc.preciseCorrect += one.preciseCorrect;
+        acc.captured += one.captured;
+        acc.unknown += one.unknown;
+        acc.incorrect += one.incorrect;
+    };
+
+    for (const auto &profile : standardCorpus()) {
+        PreparedProject project = prepareProject(profile);
+        accumulate(paper_order,
+                   evalInference(project.module(), project.truth(),
+                                 project.analyzer->infer(
+                                     HybridConfig::full())));
+        accumulate(flipped_order,
+                   evalInference(project.module(), project.truth(),
+                                 project.analyzer->infer(
+                                     HybridConfig::fullFsFirst())));
+        std::printf("  analyzed %s\n", profile.name.c_str());
+        std::fflush(stdout);
+    }
+
+    AsciiTable table;
+    table.setHeader({"Order", "%Precision", "%Recall", "%Incorrect"});
+    auto row = [&](const char *label, const TypeEval &eval) {
+        table.addRow({label, fmtPercent(eval.precision()),
+                      fmtPercent(eval.recall()),
+                      fmtPercent(double(eval.incorrect) /
+                                 double(eval.total))});
+    };
+    row("FI -> CS -> FS (paper)", paper_order);
+    row("FI -> FS -> CS (flipped)", flipped_order);
+    std::printf("\n%s", table.render().c_str());
+    std::printf("\nPaper reference (Section 6.4): the aggressive "
+                "flow-sensitive stage is placed last;\nplacing it first "
+                "loses types that context sensitivity could have "
+                "resolved.\n");
+    std::printf("\nObservation: with Algorithm 2's line-9 semantics "
+                "(update only when hints were\ncollected), the orders "
+                "are nearly confluent on this corpus - the flipped "
+                "order\nshifts work between stages (more FS commits, "
+                "fewer CS resolutions) but rarely\nchanges the final "
+                "bounds. The paper's concern applies when the flow "
+                "stage\ncommits one-sided partial hint sets, which our "
+                "keep-on-empty reading makes rare.\n");
+    return 0;
+}
+
+} // namespace
+} // namespace manta
+
+int
+main()
+{
+    return manta::runAblation();
+}

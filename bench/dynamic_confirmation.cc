@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Dynamic confirmation of static findings (paper Section 6.3: the
+ * authors built PoCs to trigger "a significant proportion" of the
+ * reported bugs; a few remained too entwined to reproduce).
+ *
+ * For each firmware image: run the type-assisted static detector,
+ * then execute the image under the MIR interpreter with an adversarial
+ * input payload, and count how many of the statically reported real
+ * bugs fault at their tagged site.
+ */
+#include <cstdio>
+#include <set>
+
+#include "eval/harness.h"
+#include "mir/interp.h"
+#include "support/table.h"
+
+namespace manta {
+namespace {
+
+int
+runConfirmation()
+{
+    std::printf("=== Dynamic confirmation of static reports "
+                "(Section 6.3 PoC workflow) ===\n\n");
+
+    AsciiTable table;
+    table.setHeader({"Model", "static reports", "real bugs reported",
+                     "dynamically confirmed", "confirm rate"});
+
+    std::size_t total_real = 0, total_confirmed = 0;
+    for (const auto &profile : firmwareFleet()) {
+        PreparedProject project = prepareFirmware(profile);
+        InferenceResult types =
+            project.analyzer->infer(HybridConfig::full());
+        const auto reports = detectBugs(project, &types);
+
+        std::set<std::uint32_t> reported_real;
+        for (const BugReport &r : reports) {
+            if (r.sinkTag != 0 && project.truth().isRealBugTag(r.sinkTag))
+                reported_real.insert(r.sinkTag);
+        }
+
+        // Adversarial execution: oversized, command-laced payload.
+        InterpOptions opts;
+        opts.taintPayload = std::string(200, 'A') + ";telnetd -l/bin/sh";
+        opts.maxSteps = 2000000;
+        Interpreter interp(project.module());
+        Interpreter adversarial(project.module(), opts);
+        const InterpResult run =
+            adversarial.run(project.module().findFunc("main"));
+
+        std::set<std::uint32_t> confirmed;
+        for (const RuntimeEvent &e : run.events) {
+            if (e.srcTag != 0 && reported_real.count(e.srcTag))
+                confirmed.insert(e.srcTag);
+        }
+
+        total_real += reported_real.size();
+        total_confirmed += confirmed.size();
+        table.addRow({profile.name, std::to_string(reports.size()),
+                      std::to_string(reported_real.size()),
+                      std::to_string(confirmed.size()),
+                      reported_real.empty()
+                          ? "-"
+                          : fmtPercent(double(confirmed.size()) /
+                                       double(reported_real.size()))});
+        std::printf("  executed %s (%zu steps)\n", profile.name.c_str(),
+                    run.steps);
+        std::fflush(stdout);
+    }
+
+    table.addSeparator();
+    table.addRow({"Total", "", std::to_string(total_real),
+                  std::to_string(total_confirmed),
+                  total_real == 0
+                      ? "-"
+                      : fmtPercent(double(total_confirmed) /
+                                   double(total_real))});
+    std::printf("\n%s", table.render().c_str());
+    std::printf("\nPaper reference: PoCs triggered a significant "
+                "proportion of the reported bugs;\nthe remainder were "
+                "\"deeply entwined within complex code logic\" - here, "
+                "sites whose\nguarding branches the single adversarial "
+                "run does not happen to take.\n");
+    return 0;
+}
+
+} // namespace
+} // namespace manta
+
+int
+main()
+{
+    return manta::runConfirmation();
+}

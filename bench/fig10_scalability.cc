@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Regenerates paper Figure 10: inference time and memory against
+ * program size, with a linear fit. The paper reports near-linear
+ * scaling (FFmpeg at ~1 MLoC finishing in 38 minutes / 64 GB on their
+ * corpus; our absolute numbers are laptop-scale).
+ */
+#include <cstdio>
+
+#include "analysis/acyclic.h"
+#include "core/pipeline.h"
+#include "frontend/generator.h"
+#include "support/csv.h"
+#include "support/table.h"
+#include "support/timer.h"
+
+namespace manta {
+namespace {
+
+int
+runFig10()
+{
+    std::printf("=== Figure 10: scalability (time/memory vs size) ===\n\n");
+
+    AsciiTable table;
+    table.setHeader({"#funcs", "#insts", "KLoC-equiv", "substrate (s)",
+                     "inference (s)", "peak RSS (MiB)"});
+
+    std::vector<double> sizes, times;
+    for (const int num_functions : {25, 50, 100, 200, 400, 800}) {
+        GenConfig cfg;
+        cfg.seed = 4242;
+        cfg.numFunctions = num_functions;
+        cfg.realBugRate = 0.02;
+        cfg.decoyRate = 0.03;
+        GeneratedProgram prog = generateProgram(cfg);
+        makeAcyclic(*prog.module);
+
+        Timer substrate_timer;
+        MantaAnalyzer analyzer(*prog.module, HybridConfig::full());
+        const double substrate_s = substrate_timer.seconds();
+
+        const InferenceResult result = analyzer.infer();
+        const double infer_s = result.profile().seconds;
+
+        const double kloc =
+            static_cast<double>(prog.module->numInsts()) / 320.0;
+        table.addRow({std::to_string(num_functions),
+                      std::to_string(prog.module->numInsts()),
+                      fmtDouble(kloc, 1), fmtDouble(substrate_s, 3),
+                      fmtDouble(infer_s, 3), fmtDouble(peakRssMiB(), 1)});
+        sizes.push_back(static_cast<double>(prog.module->numInsts()));
+        times.push_back(substrate_s + infer_s);
+        std::printf("  measured %d functions\n", num_functions);
+        std::fflush(stdout);
+    }
+
+    std::printf("\n%s", table.render().c_str());
+    CsvWriter csv("fig10_scalability");
+    table.writeCsv(csv);
+
+    // Least-squares fit time = a * size + b; report the curve and how
+    // superlinear the growth looks (ratio of per-inst cost largest vs
+    // smallest).
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    const double n = static_cast<double>(sizes.size());
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        sx += sizes[i];
+        sy += times[i];
+        sxx += sizes[i] * sizes[i];
+        sxy += sizes[i] * times[i];
+    }
+    const double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    const double intercept = (sy - slope * sx) / n;
+    const double cost_small = times.front() / sizes.front();
+    const double cost_large = times.back() / sizes.back();
+    std::printf("\nLinear fit: time(s) = %.3g * insts + %.3g\n", slope,
+                intercept);
+    std::printf("Per-instruction cost ratio (largest/smallest run): "
+                "%.2fx\n",
+                cost_large / cost_small);
+    std::printf("\nPaper reference: both time and memory grow "
+                "near-linearly with project size.\n");
+    return 0;
+}
+
+} // namespace
+} // namespace manta
+
+int
+main()
+{
+    return manta::runFig10();
+}

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Regenerates paper Figure 12: the F1 score of source-sink program
+ * slicing on the binary against the source-level reference (Pinpoint
+ * in the paper; here the same detector driven by oracle ground-truth
+ * types), for each type-inference tool.
+ */
+#include <cstdio>
+#include <map>
+
+#include "eval/harness.h"
+#include "support/table.h"
+
+namespace manta {
+namespace {
+
+int
+runFig12()
+{
+    std::printf("=== Figure 12: source-sink slicing F1 vs source-level "
+                "reference ===\n\n");
+
+    const DirtyModel dirty = trainDirtyModel();
+    const std::vector<std::string> tool_names = {
+        "DIRTY", "Ghidra", "RetDec", "Retypd",
+        "Manta-FI", "Manta-FS", "Manta-FI+FS", "Manta-FI+CS+FS",
+        "Manta-NoType",
+    };
+    std::vector<std::vector<double>> f1s(tool_names.size());
+
+    // Per-checker aggregation (supplementary Table 2 flavour): Manta
+    // full vs the source-level reference, split by vulnerability kind.
+    std::map<int, SliceEval> per_checker;
+
+    auto filter_kind = [](const std::vector<BugReport> &reports,
+                          CheckerKind kind) {
+        std::vector<BugReport> out;
+        for (const BugReport &r : reports) {
+            if (r.kind == kind)
+                out.push_back(r);
+        }
+        return out;
+    };
+
+    for (const auto &profile : standardCorpus()) {
+        PreparedProject project = prepareProject(profile);
+        Module &module = project.module();
+
+        // Reference slicing: oracle types.
+        InferenceResult oracle = oracleInference(project);
+        const auto reference = detectBugs(project, &oracle);
+        if (reference.empty())
+            continue;
+
+        std::size_t t = 0;
+        auto score_types =
+            [&](const std::unordered_map<ValueId, TypeRef> &types,
+                bool timed_out) {
+                if (timed_out) {
+                    ++t;
+                    return;
+                }
+                InferenceResult as_result =
+                    InferenceResult::fromTypeMap(module, types);
+                const auto reports = detectBugs(project, &as_result);
+                f1s[t++].push_back(evalSlices(reports, reference).f1());
+            };
+
+        score_types(dirty.predict(module).types, false);
+        score_types(runGhidraLike(module).types, false);
+        score_types(runRetdecLike(module).types, false);
+        const BaselineOutcome retypd = runRetypdLike(module);
+        score_types(retypd.types, retypd.timedOut);
+
+        for (const HybridConfig config :
+             {HybridConfig::fiOnly(), HybridConfig::fsOnly(),
+              HybridConfig::fiFs(), HybridConfig::full()}) {
+            InferenceResult result = project.analyzer->infer(config);
+            const auto reports = detectBugs(project, &result);
+            f1s[t++].push_back(evalSlices(reports, reference).f1());
+            if (config.contextSensitive && config.flowSensitive) {
+                for (const CheckerKind kind : allCheckers) {
+                    const SliceEval eval = evalSlices(
+                        filter_kind(reports, kind),
+                        filter_kind(reference, kind));
+                    SliceEval &acc = per_checker[static_cast<int>(kind)];
+                    acc.toolPairs += eval.toolPairs;
+                    acc.referencePairs += eval.referencePairs;
+                    acc.matched += eval.matched;
+                }
+            }
+        }
+
+        // No-type ablation: unpruned DDG, untyped icall edges.
+        const auto untyped = detectBugs(project, nullptr);
+        f1s[t++].push_back(evalSlices(untyped, reference).f1());
+
+        std::printf("  analyzed %-12s (%zu reference pairs)\n",
+                    profile.name.c_str(), reference.size());
+        std::fflush(stdout);
+    }
+
+    AsciiTable table;
+    table.setHeader({"Tool", "F1 (mean over projects)"});
+    for (std::size_t t = 0; t < tool_names.size(); ++t) {
+        double sum = 0;
+        for (const double f : f1s[t])
+            sum += f;
+        const double mean =
+            f1s[t].empty() ? 0.0 : sum / static_cast<double>(f1s[t].size());
+        table.addRow({tool_names[t], fmtPercent(mean)});
+    }
+    std::printf("\n%s", table.render().c_str());
+
+    // Supplementary per-checker breakdown for the full pipeline.
+    AsciiTable per_table;
+    per_table.setHeader({"Checker", "ref pairs", "Manta pairs",
+                         "matched", "F1"});
+    for (const CheckerKind kind : allCheckers) {
+        const SliceEval &eval = per_checker[static_cast<int>(kind)];
+        per_table.addRow({checkerName(kind),
+                          std::to_string(eval.referencePairs),
+                          std::to_string(eval.toolPairs),
+                          std::to_string(eval.matched),
+                          fmtPercent(eval.f1())});
+    }
+    std::printf("\n--- per-checker breakdown (Manta full vs reference; "
+                "supplementary Table 2 flavour) ---\n%s",
+                per_table.render().c_str());
+
+    std::printf("\nPaper reference: Manta achieves the highest F1 "
+                "(61.2%%); other type inference scores\nrange 2.4%%-23.8%% "
+                "- low-recall inference (RetDec) prunes real dependencies "
+                "away, and\nimprecise inference leaves false ones in "
+                "place.\n");
+    return 0;
+}
+
+} // namespace
+} // namespace manta
+
+int
+main()
+{
+    return manta::runFig12();
+}

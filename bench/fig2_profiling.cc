@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Regenerates paper Figure 2 (profiling over 118 binaries):
+ *  (a) how many of the variables a flow/context-INsensitive analysis
+ *      over-approximates can a high-precision analysis refine, and
+ *  (b) how many of the variables a flow-sensitive analysis leaves
+ *      unknown can the low-precision analysis precisely infer.
+ */
+#include <cstdio>
+
+#include "eval/harness.h"
+#include "support/table.h"
+
+namespace manta {
+namespace {
+
+int
+runFig2()
+{
+    std::printf("=== Figure 2: hybrid-sensitivity profiling ===\n");
+    std::printf("(118 binaries: 14 projects + 104 coreutils)\n\n");
+
+    std::size_t fi_over = 0, fi_over_refined = 0;
+    std::size_t fs_unknown = 0, fs_unknown_fi_precise = 0;
+    std::size_t binaries = 0;
+
+    auto run_one = [&](const ProjectProfile &profile) {
+        PreparedProject project = prepareProject(profile);
+        Module &module = project.module();
+        TypeTable &tt = module.types();
+        ++binaries;
+
+        const InferenceResult fi =
+            project.analyzer->infer(HybridConfig::fiOnly());
+        const InferenceResult fs =
+            project.analyzer->infer(HybridConfig::fsOnly());
+        const InferenceResult full =
+            project.analyzer->infer(HybridConfig::full());
+
+        auto first_layer_precise = [&](const BoundPair &bp) {
+            if (bp.classify(tt) != TypeClass::Precise &&
+                    bp.classify(tt) != TypeClass::Over) {
+                return false;
+            }
+            if (bp.upper == tt.top() || bp.lower == tt.bottom())
+                return bp.upper == bp.lower;
+            return tt.firstLayerEqual(bp.upper, bp.lower);
+        };
+
+        for (const ValueId v : evaluatedParams(module, project.truth())) {
+            const BoundPair fi_bp = fi.valueBounds(v);
+            const TypeClass fi_cls = fi_bp.classify(tt);
+            if (fi_cls == TypeClass::Over && !first_layer_precise(fi_bp)) {
+                ++fi_over;
+                // (a) does the high-precision pipeline resolve it?
+                if (first_layer_precise(full.valueBounds(v)))
+                    ++fi_over_refined;
+            }
+            if (fs.valueBounds(v).classify(tt) == TypeClass::Unknown) {
+                ++fs_unknown;
+                // (b) does the low-precision analysis type it precisely?
+                if (first_layer_precise(fi_bp))
+                    ++fs_unknown_fi_precise;
+            }
+        }
+    };
+
+    for (const auto &profile : standardCorpus())
+        run_one(profile);
+    for (const auto &profile : coreutilsBatch(104))
+        run_one(profile);
+
+    AsciiTable table;
+    table.setHeader({"Figure 2 panel", "population", "count",
+                     "proportion"});
+    table.addRow({"(a) FI over-approximated",
+                  "evaluated variables", std::to_string(fi_over), ""});
+    table.addRow({"    refined precise by high-precision stages", "",
+                  std::to_string(fi_over_refined),
+                  fmtPercent(fi_over == 0
+                                 ? 0.0
+                                 : double(fi_over_refined) / fi_over)});
+    table.addRow({"(b) FS unknown", "evaluated variables",
+                  std::to_string(fs_unknown), ""});
+    table.addRow({"    precisely inferred by low-precision FI", "",
+                  std::to_string(fs_unknown_fi_precise),
+                  fmtPercent(fs_unknown == 0
+                                 ? 0.0
+                                 : double(fs_unknown_fi_precise) /
+                                       fs_unknown)});
+    std::printf("%s", table.render().c_str());
+    std::printf("\nBinaries profiled: %zu\n", binaries);
+    std::printf("Paper reference: both panels show a large brown share - "
+                "over-approximated types are\nlargely refinable by higher "
+                "precision, and many FS-unknowns are FI-precise.\n");
+    return 0;
+}
+
+} // namespace
+} // namespace manta
+
+int
+main()
+{
+    return manta::runFig2();
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Regenerates paper Figure 9: the distribution of inferred-type
+ * outcomes (precise / over-approximated / unknown / incorrect) per
+ * sensitivity combination, aggregated over the corpus.
+ */
+#include <cstdio>
+
+#include "eval/harness.h"
+#include "support/table.h"
+
+namespace manta {
+namespace {
+
+int
+runFig9()
+{
+    std::printf("=== Figure 9: inferred-type distribution by "
+                "sensitivity ===\n\n");
+
+    struct Bucket
+    {
+        std::string label;
+        HybridConfig config;
+        TypeEval counts;
+    };
+    std::vector<Bucket> buckets = {
+        {"Manta-FI", HybridConfig::fiOnly(), {}},
+        {"Manta-FS", HybridConfig::fsOnly(), {}},
+        {"Manta-FI+FS", HybridConfig::fiFs(), {}},
+        {"Manta-FI+CS+FS", HybridConfig::full(), {}},
+    };
+
+    for (const auto &profile : standardCorpus()) {
+        PreparedProject project = prepareProject(profile);
+        for (auto &bucket : buckets) {
+            const TypeEval eval =
+                evalInference(project.module(), project.truth(),
+                              project.analyzer->infer(bucket.config));
+            bucket.counts.total += eval.total;
+            bucket.counts.preciseCorrect += eval.preciseCorrect;
+            bucket.counts.captured += eval.captured;
+            bucket.counts.unknown += eval.unknown;
+            bucket.counts.incorrect += eval.incorrect;
+        }
+        std::printf("  analyzed %s\n", profile.name.c_str());
+        std::fflush(stdout);
+    }
+
+    AsciiTable table;
+    table.setHeader({"Combination", "precise", "over-approx", "unknown",
+                     "incorrect"});
+    for (const auto &bucket : buckets) {
+        const double total = static_cast<double>(bucket.counts.total);
+        table.addRow({bucket.label,
+                      fmtPercent(bucket.counts.preciseCorrect / total),
+                      fmtPercent(bucket.counts.captured / total),
+                      fmtPercent(bucket.counts.unknown / total),
+                      fmtPercent(bucket.counts.incorrect / total)});
+    }
+    std::printf("\n%s", table.render().c_str());
+    std::printf("\nPaper reference: FI over-approximates ~50.5%% of "
+                "variables; FS leaves ~76.2%% unknown;\nFI+FS recovers "
+                "much of both; FI+CS+FS has the largest precise share "
+                "with a small\nincorrect share (the recall cost of "
+                "aggressive refinement).\n");
+    return 0;
+}
+
+} // namespace
+} // namespace manta
+
+int
+main()
+{
+    return manta::runFig9();
+}

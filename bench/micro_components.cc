@@ -1,0 +1,122 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the core components: lattice
+ * operations, points-to, DDG construction, unification and the two
+ * refinement stages.
+ */
+#include <benchmark/benchmark.h>
+
+#include "analysis/acyclic.h"
+#include "core/pipeline.h"
+#include "frontend/generator.h"
+
+namespace manta {
+namespace {
+
+/** A shared mid-size module fixture. */
+GeneratedProgram &
+fixture()
+{
+    static GeneratedProgram prog = [] {
+        GenConfig cfg;
+        cfg.seed = 99;
+        cfg.numFunctions = 60;
+        cfg.realBugRate = 0.03;
+        cfg.decoyRate = 0.03;
+        GeneratedProgram p = generateProgram(cfg);
+        makeAcyclic(*p.module);
+        return p;
+    }();
+    return prog;
+}
+
+void
+BM_LatticeJoin(benchmark::State &state)
+{
+    TypeTable tt;
+    const TypeRef a = tt.ptr(tt.intTy(8));
+    const TypeRef b = tt.intTy(64);
+    const TypeRef c = tt.object({{0, tt.intTy(64)}, {8, a}});
+    const TypeRef d = tt.object({{0, tt.num(64)}, {16, b}});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tt.join(a, b));
+        benchmark::DoNotOptimize(tt.meet(a, b));
+        benchmark::DoNotOptimize(tt.join(c, d));
+        benchmark::DoNotOptimize(tt.meet(c, d));
+    }
+}
+BENCHMARK(BM_LatticeJoin);
+
+void
+BM_PointsTo(benchmark::State &state)
+{
+    Module &module = *fixture().module;
+    for (auto _ : state) {
+        MemObjects objects(module);
+        PointsTo pts(module, objects);
+        pts.run();
+        benchmark::DoNotOptimize(pts.passes());
+    }
+}
+BENCHMARK(BM_PointsTo);
+
+void
+BM_DdgBuild(benchmark::State &state)
+{
+    Module &module = *fixture().module;
+    MemObjects objects(module);
+    PointsTo pts(module, objects);
+    pts.run();
+    for (auto _ : state) {
+        Ddg ddg(module, pts);
+        benchmark::DoNotOptimize(ddg.numEdges());
+    }
+}
+BENCHMARK(BM_DdgBuild);
+
+void
+BM_FlowInsensitiveUnify(benchmark::State &state)
+{
+    Module &module = *fixture().module;
+    MemObjects objects(module);
+    PointsTo pts(module, objects);
+    pts.run();
+    HintIndex hints(module, &pts);
+    for (auto _ : state) {
+        TypeEnv env(module.types());
+        FlowInsensitiveInference fi(module, pts, hints);
+        benchmark::DoNotOptimize(fi.run(env).total());
+    }
+}
+BENCHMARK(BM_FlowInsensitiveUnify);
+
+void
+BM_FullPipeline(benchmark::State &state)
+{
+    Module &module = *fixture().module;
+    MantaAnalyzer analyzer(module, HybridConfig::full());
+    for (auto _ : state) {
+        const InferenceResult result = analyzer.infer();
+        benchmark::DoNotOptimize(result.finalStats().total());
+    }
+}
+BENCHMARK(BM_FullPipeline);
+
+void
+BM_CtxRefinementOnly(benchmark::State &state)
+{
+    Module &module = *fixture().module;
+    MantaAnalyzer analyzer(module, HybridConfig::full());
+    HybridConfig fi_cs;
+    fi_cs.flowSensitive = false;
+    for (auto _ : state) {
+        const InferenceResult result = analyzer.infer(fi_cs);
+        benchmark::DoNotOptimize(result.profile().csResolved);
+    }
+}
+BENCHMARK(BM_CtxRefinementOnly);
+
+} // namespace
+} // namespace manta
+
+BENCHMARK_MAIN();

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Regenerates paper Table 3: type-inference precision and recall of
+ * DIRTY / Ghidra / RetDec / Retypd and the four Manta sensitivity
+ * groups (FI, FS, FI+FS, FI+CS+FS) over the 14-project corpus plus
+ * the coreutils batch.
+ */
+#include <cstdio>
+
+#include "eval/harness.h"
+#include "support/table.h"
+#include "support/timer.h"
+
+namespace manta {
+namespace {
+
+struct Row
+{
+    std::string project;
+    int kloc;
+    std::size_t vars;
+    std::vector<TypeEval> tools;      // one per tool column
+    std::vector<bool> timeouts;
+};
+
+int
+runTable3()
+{
+    std::printf("=== Table 3: type inference precision/recall ===\n");
+    std::printf("(corpus: synthetic projects; see DESIGN.md)\n\n");
+
+    const DirtyModel dirty = trainDirtyModel();
+
+    const std::vector<std::string> tool_names = {
+        "DIRTY", "Ghidra", "RetDec", "Retypd",
+        "Manta-FI", "Manta-FS", "Manta-FI+FS", "Manta-FI+CS+FS",
+    };
+
+    std::vector<Row> rows;
+    std::vector<TypeEval> totals(tool_names.size());
+    std::vector<bool> any_timeout(tool_names.size(), false);
+
+    auto accumulate = [](TypeEval &acc, const TypeEval &one) {
+        acc.total += one.total;
+        acc.preciseCorrect += one.preciseCorrect;
+        acc.captured += one.captured;
+        acc.unknown += one.unknown;
+        acc.incorrect += one.incorrect;
+    };
+
+    auto projects = standardCorpus();
+    for (const auto &profile : projects) {
+        PreparedProject project = prepareProject(profile);
+        Module &module = project.module();
+        const GroundTruth &truth = project.truth();
+
+        Row row;
+        row.project = profile.name;
+        row.kloc = profile.kloc;
+        row.vars = evaluatedParams(module, truth).size();
+        row.timeouts.assign(tool_names.size(), false);
+
+        // Baselines.
+        const BaselineOutcome dirty_out = dirty.predict(module);
+        row.tools.push_back(evalTypeMap(module, truth, dirty_out.types));
+
+        const BaselineOutcome ghidra_out = runGhidraLike(module);
+        row.tools.push_back(evalTypeMap(module, truth, ghidra_out.types));
+
+        const BaselineOutcome retdec_out = runRetdecLike(module);
+        row.tools.push_back(evalTypeMap(module, truth, retdec_out.types));
+
+        const BaselineOutcome retypd_out = runRetypdLike(module);
+        row.timeouts[3] = retypd_out.timedOut;
+        row.tools.push_back(retypd_out.timedOut
+                                ? TypeEval{}
+                                : evalTypeMap(module, truth,
+                                              retypd_out.types));
+
+        // Manta ablations.
+        for (const HybridConfig config :
+             {HybridConfig::fiOnly(), HybridConfig::fsOnly(),
+              HybridConfig::fiFs(), HybridConfig::full()}) {
+            const InferenceResult result =
+                project.analyzer->infer(config);
+            row.tools.push_back(evalInference(module, truth, result));
+        }
+
+        for (std::size_t t = 0; t < tool_names.size(); ++t) {
+            if (row.timeouts[t]) {
+                any_timeout[t] = true;
+                continue;
+            }
+            accumulate(totals[t], row.tools[t]);
+        }
+        rows.push_back(std::move(row));
+        std::printf("  analyzed %-12s (%d KLoC, %zu vars)\n",
+                    profile.name.c_str(), profile.kloc, rows.back().vars);
+        std::fflush(stdout);
+    }
+
+    // Coreutils batch, aggregated into one row like the paper.
+    {
+        Row row;
+        row.project = "coreutils*";
+        row.kloc = 115;
+        row.vars = 0;
+        row.tools.assign(tool_names.size(), TypeEval{});
+        row.timeouts.assign(tool_names.size(), false);
+        for (const auto &profile : coreutilsBatch(104)) {
+            PreparedProject project = prepareProject(profile);
+            Module &module = project.module();
+            const GroundTruth &truth = project.truth();
+            row.vars += evaluatedParams(module, truth).size();
+
+            accumulate(row.tools[0],
+                       evalTypeMap(module, truth,
+                                   dirty.predict(module).types));
+            accumulate(row.tools[1],
+                       evalTypeMap(module, truth,
+                                   runGhidraLike(module).types));
+            accumulate(row.tools[2],
+                       evalTypeMap(module, truth,
+                                   runRetdecLike(module).types));
+            const BaselineOutcome retypd_out = runRetypdLike(module);
+            if (!retypd_out.timedOut) {
+                accumulate(row.tools[3],
+                           evalTypeMap(module, truth, retypd_out.types));
+            }
+            std::size_t t = 4;
+            for (const HybridConfig config :
+                 {HybridConfig::fiOnly(), HybridConfig::fsOnly(),
+                  HybridConfig::fiFs(), HybridConfig::full()}) {
+                accumulate(row.tools[t++],
+                           evalInference(module, truth,
+                                         project.analyzer->infer(config)));
+            }
+        }
+        for (std::size_t t = 0; t < tool_names.size(); ++t)
+            accumulate(totals[t], row.tools[t]);
+        rows.push_back(std::move(row));
+        std::printf("  analyzed coreutils batch (104 binaries)\n\n");
+    }
+
+    AsciiTable table;
+    std::vector<std::string> header = {"Project", "KLoC", "#Vars"};
+    for (const auto &name : tool_names) {
+        header.push_back(name + " %P");
+        header.push_back("%R");
+    }
+    table.setHeader(header);
+    for (const Row &row : rows) {
+        std::vector<std::string> cells = {row.project,
+                                          std::to_string(row.kloc),
+                                          std::to_string(row.vars)};
+        for (std::size_t t = 0; t < tool_names.size(); ++t) {
+            if (row.timeouts[t]) {
+                cells.push_back("TIMEOUT");
+                cells.push_back("-");
+            } else {
+                cells.push_back(fmtPercent(row.tools[t].precision()));
+                cells.push_back(fmtPercent(row.tools[t].recall()));
+            }
+        }
+        table.addRow(std::move(cells));
+    }
+    table.addSeparator();
+    {
+        std::vector<std::string> cells = {"Total", "", ""};
+        for (std::size_t t = 0; t < tool_names.size(); ++t) {
+            std::string p = fmtPercent(totals[t].precision());
+            std::string r = fmtPercent(totals[t].recall());
+            if (any_timeout[t]) {
+                p += "^";
+                r += "^";
+            }
+            cells.push_back(std::move(p));
+            cells.push_back(std::move(r));
+        }
+        table.addRow(std::move(cells));
+    }
+    std::printf("%s", table.render().c_str());
+    CsvWriter csv("table3_type_inference");
+    table.writeCsv(csv);
+    if (csv.active())
+        std::printf("(CSV written to %s)\n", csv.path().c_str());
+    std::printf("^ = excludes projects on which the tool timed out "
+                "(the paper's triangle).\n");
+    std::printf("\nPaper reference (Total row): DIRTY 63.7/86.9, "
+                "Ghidra 32.2/64.0, RetDec 41.0/41.0, Retypd 25.2/88.6,\n"
+                "  Manta-FI 35.9/98.5, FS 22.3/99.2, FI+FS 53.1/97.9, "
+                "FI+CS+FS 78.7/97.2.\n");
+    return 0;
+}
+
+} // namespace
+} // namespace manta
+
+int
+main()
+{
+    return manta::runTable3();
+}

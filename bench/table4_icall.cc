@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Regenerates paper Table 4 (type-based indirect-call analysis:
+ * average indirect-call targets #AICT and pruning precision) and
+ * Figure 11 (recall of the same analysis), comparing DIRTY / Ghidra /
+ * RetDec / Retypd (their inferred types driving the same checker),
+ * TypeArmor (argument count), tau-CFI (count+width), and the four
+ * Manta sensitivity groups.
+ */
+#include <cstdio>
+
+#include "eval/harness.h"
+#include "support/table.h"
+
+namespace manta {
+namespace {
+
+struct ToolCell
+{
+    double aict = 0.0;
+    double precision = 0.0;
+    double recall = 0.0;
+    bool timedOut = false;
+};
+
+int
+runTable4()
+{
+    std::printf("=== Table 4 / Figure 11: type-based indirect-call "
+                "analysis ===\n\n");
+
+    const DirtyModel dirty = trainDirtyModel();
+    const std::vector<std::string> tool_names = {
+        "DIRTY", "Ghidra", "RetDec", "Retypd", "TypeArmor", "tau-CFI",
+        "Manta-FI", "Manta-FS", "Manta-FI+FS", "Manta-FI+CS+FS",
+    };
+
+    AsciiTable table;
+    std::vector<std::string> header = {"Project", "#AT", "Src AICT"};
+    for (const auto &name : tool_names)
+        header.push_back(name + " AICT(P)");
+    table.setHeader(header);
+
+    std::vector<std::vector<double>> recalls(tool_names.size());
+    std::vector<std::vector<double>> precisions(tool_names.size());
+    std::vector<std::vector<double>> aicts(tool_names.size());
+    std::vector<double> source_aicts;
+
+    for (const auto &profile : standardCorpus()) {
+        PreparedProject project = prepareProject(profile);
+        Module &module = project.module();
+
+        const IcallAnalysis analysis(module, nullptr);
+        if (analysis.icallSites().empty())
+            continue;
+
+        // Ground truth: the source-level type-based analysis (oracle
+        // types driving the same FullTypes checker).
+        InferenceResult oracle = oracleInference(project);
+        const IcallAnalysis oracle_analysis(module, &oracle);
+        const IcallResult reference =
+            oracle_analysis.run(IcallDiscipline::FullTypes);
+        source_aicts.push_back(reference.aict());
+
+        std::vector<ToolCell> cells;
+        auto add_with_types =
+            [&](const std::unordered_map<ValueId, TypeRef> &types,
+                bool timed_out) {
+                ToolCell cell;
+                cell.timedOut = timed_out;
+                if (!timed_out) {
+                    InferenceResult as_result =
+                        InferenceResult::fromTypeMap(module, types);
+                    const IcallAnalysis tool_analysis(module, &as_result);
+                    const IcallResult run =
+                        tool_analysis.run(IcallDiscipline::FullTypes);
+                    const IcallEval eval = evalIcall(module, run, reference);
+                    cell.aict = eval.aict;
+                    cell.precision = eval.precision;
+                    cell.recall = eval.recall;
+                }
+                cells.push_back(cell);
+            };
+
+        add_with_types(dirty.predict(module).types, false);
+        add_with_types(runGhidraLike(module).types, false);
+        add_with_types(runRetdecLike(module).types, false);
+        const BaselineOutcome retypd = runRetypdLike(module);
+        add_with_types(retypd.types, retypd.timedOut);
+
+        // Count/width disciplines (no inferred types needed).
+        for (const IcallDiscipline discipline :
+             {IcallDiscipline::ArgCount, IcallDiscipline::ArgCountWidth}) {
+            const IcallResult run = analysis.run(discipline);
+            const IcallEval eval = evalIcall(module, run, reference);
+            cells.push_back(ToolCell{eval.aict, eval.precision,
+                                     eval.recall, false});
+        }
+
+        // Manta ablations.
+        for (const HybridConfig config :
+             {HybridConfig::fiOnly(), HybridConfig::fsOnly(),
+              HybridConfig::fiFs(), HybridConfig::full()}) {
+            InferenceResult result = project.analyzer->infer(config);
+            const IcallAnalysis tool_analysis(module, &result);
+            const IcallResult run =
+                tool_analysis.run(IcallDiscipline::FullTypes);
+            const IcallEval eval = evalIcall(module, run, reference);
+            cells.push_back(ToolCell{eval.aict, eval.precision,
+                                     eval.recall, false});
+        }
+
+        std::vector<std::string> row = {
+            profile.name,
+            std::to_string(module.addressTakenFuncs().size()),
+            fmtDouble(reference.aict(), 1)};
+        for (std::size_t t = 0; t < cells.size(); ++t) {
+            if (cells[t].timedOut) {
+                row.push_back("TIMEOUT");
+                continue;
+            }
+            row.push_back(fmtDouble(cells[t].aict, 1) + " (" +
+                          fmtPercent(cells[t].precision) + ")");
+            aicts[t].push_back(std::max(cells[t].aict, 0.01));
+            precisions[t].push_back(std::max(cells[t].precision, 1e-6));
+            recalls[t].push_back(std::max(cells[t].recall, 1e-6));
+        }
+        table.addRow(std::move(row));
+        std::printf("  analyzed %s\n", profile.name.c_str());
+        std::fflush(stdout);
+    }
+
+    table.addSeparator();
+    std::vector<std::string> geo_row = {"Geomean", "",
+                                        fmtDouble(geomean(source_aicts), 1)};
+    for (std::size_t t = 0; t < tool_names.size(); ++t) {
+        geo_row.push_back(fmtDouble(geomean(aicts[t]), 1) + " (" +
+                          fmtPercent(geomean(precisions[t])) + ")");
+    }
+    table.addRow(std::move(geo_row));
+    std::printf("\n%s", table.render().c_str());
+
+    std::printf("\n--- Figure 11: indirect-call analysis recall "
+                "(geomean) ---\n");
+    AsciiTable recall_table;
+    recall_table.setHeader({"Tool", "Recall"});
+    for (std::size_t t = 0; t < tool_names.size(); ++t)
+        recall_table.addRow({tool_names[t],
+                             fmtPercent(geomean(recalls[t]))});
+    std::printf("%s", recall_table.render().c_str());
+
+    std::printf("\nPaper reference: Manta-FI+CS+FS prunes the most "
+                "targets (34.1%% geomean precision vs\nTypeArmor 18.8%% "
+                "and tau-CFI 20.8%%) while Manta/TypeArmor/tau-CFI keep "
+                "recall >= 99%%;\ntools with lower type-inference recall "
+                "(RetDec) incorrectly prune feasible targets.\n");
+    return 0;
+}
+
+} // namespace
+} // namespace manta
+
+int
+main()
+{
+    return manta::runTable4();
+}

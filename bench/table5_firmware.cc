@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Regenerates paper Table 5: bug detection on nine IoT firmware
+ * images - false positives (#FP), reports (#R) and analysis time -
+ * for Arbiter, cwe_checker, SaTC, Manta, and Manta-NoType. NA cells
+ * mark images on which a baseline aborts (per-profile flags mirroring
+ * the published table).
+ */
+#include <cstdio>
+
+#include "eval/harness.h"
+#include "support/table.h"
+#include "support/timer.h"
+
+namespace manta {
+namespace {
+
+struct ToolTotals
+{
+    std::size_t fp = 0;
+    std::size_t reports = 0;
+    bool any = false;
+};
+
+int
+runTable5()
+{
+    std::printf("=== Table 5: real-world bug detection on the firmware "
+                "fleet ===\n\n");
+
+    AsciiTable table;
+    table.setHeader({"Model", "Arbiter FP/R/ms", "cwe_checker FP/R/ms",
+                     "SaTC FP/R/ms", "Manta FP/R/ms",
+                     "Manta-NoType FP/R/ms", "Real bugs", "Manta found"});
+
+    ToolTotals totals[5];
+
+    for (const auto &profile : firmwareFleet()) {
+        PreparedProject project = prepareFirmware(profile);
+        std::vector<std::string> row = {profile.name};
+
+        auto cell = [&](int index, const std::vector<BugReport> &reports,
+                        double ms) {
+            const BugEval eval = evalBugs(reports, project.truth());
+            totals[index].fp += eval.falsePositives;
+            totals[index].reports += eval.reports;
+            totals[index].any = true;
+            row.push_back(std::to_string(eval.falsePositives) + "/" +
+                          std::to_string(eval.reports) + "/" +
+                          fmtDouble(ms, 0));
+            return eval;
+        };
+
+        // Arbiter.
+        if (profile.arbiterNa) {
+            row.push_back("NA");
+        } else {
+            Timer timer;
+            const BugToolOutcome out = runArbiterLike(*project.analyzer);
+            cell(0, out.reports, timer.milliseconds());
+        }
+
+        // cwe_checker.
+        if (profile.cweNa) {
+            row.push_back("NA");
+        } else {
+            Timer timer;
+            const BugToolOutcome out =
+                runCweCheckerLike(*project.analyzer);
+            cell(1, out.reports, timer.milliseconds());
+        }
+
+        // SaTC.
+        {
+            Timer timer;
+            const BugToolOutcome out = runSatcLike(*project.analyzer);
+            cell(2, out.reports, timer.milliseconds());
+        }
+
+        // Manta (inference + type-assisted detection).
+        BugEval manta_eval;
+        {
+            Timer timer;
+            InferenceResult result =
+                project.analyzer->infer(HybridConfig::full());
+            const auto reports = detectBugs(project, &result);
+            manta_eval = cell(3, reports, timer.milliseconds());
+        }
+
+        // Manta-NoType.
+        {
+            Timer timer;
+            const auto reports = detectBugs(project, nullptr);
+            cell(4, reports, timer.milliseconds());
+        }
+
+        std::size_t real_bugs = 0;
+        for (const BugSeed &seed : project.truth().seeds)
+            real_bugs += seed.real;
+        row.push_back(std::to_string(real_bugs));
+        row.push_back(std::to_string(manta_eval.realBugsFound));
+        table.addRow(std::move(row));
+        std::printf("  analyzed %s\n", profile.name.c_str());
+        std::fflush(stdout);
+    }
+
+    table.addSeparator();
+    {
+        std::vector<std::string> row = {"FPR"};
+        for (int t = 0; t < 5; ++t) {
+            if (!totals[t].any || totals[t].reports == 0) {
+                row.push_back("NA");
+            } else {
+                row.push_back(fmtPercent(
+                    static_cast<double>(totals[t].fp) /
+                    static_cast<double>(totals[t].reports)));
+            }
+        }
+        row.push_back("");
+        row.push_back("");
+        table.addRow(std::move(row));
+    }
+
+    std::printf("\n%s", table.render().c_str());
+    std::printf("\nPaper reference: FPR cwe_checker 72.3%%, SaTC 97.4%%, "
+                "Manta 23.1%%, Manta-NoType 52.8%%;\nArbiter reports "
+                "nothing (its under-constrained stage prunes every "
+                "finding); type\nassistance also makes Manta FASTER than "
+                "Manta-NoType (pruned slicing does less work).\n");
+    return 0;
+}
+
+} // namespace
+} // namespace manta
+
+int
+main()
+{
+    return manta::runTable5();
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Decompiler view: the paper's "Application Scope" observes that
+ * inferred types can raise decompilation quality. This example parses
+ * a small stripped program and prints it twice - as a raw width-only
+ * listing, then annotated with recovered types and C-like signatures.
+ *
+ * Usage: ./build/examples/decompile_view
+ */
+#include <cstdio>
+
+#include "analysis/acyclic.h"
+#include "clients/annotate.h"
+#include "core/pipeline.h"
+#include "mir/parser.h"
+#include "mir/printer.h"
+
+using namespace manta;
+
+namespace {
+
+const char *kProgram = R"(
+string @greeting "hello, %s"
+
+func @format_name(%dst:64, %name:64) {
+entry:
+  %r1 = call.64 @strcpy(%dst, @greeting)
+  %r2 = call.64 @strcat(%dst, %name)
+  %n = call.64 @strlen(%dst)
+  ret %n
+}
+func @scale(%x:64, %k:64) {
+entry:
+  %m = mul %x, %k
+  %half = div %m, 2:64
+  ret %half
+}
+func @main() {
+entry:
+  %buf = call.64 @malloc(64:64)
+  %len = call.64 @format_name(%buf, @greeting)
+  %v = call.64 @scale(%len, 3:64)
+  %r = call.32 @print_int(%v)
+  ret
+}
+)";
+
+} // namespace
+
+int
+main()
+{
+    Module module = parseModuleOrDie(kProgram);
+    makeAcyclic(module);
+
+    std::printf("=== Raw stripped listing (what a lifter gives you) "
+                "===\n\n%s\n", printModule(module).c_str());
+
+    MantaAnalyzer analyzer(module, HybridConfig::full());
+    const InferenceResult types = analyzer.infer();
+
+    std::printf("=== Recovered signatures ===\n\n");
+    for (const FuncId fid : module.funcIds()) {
+        std::printf("  %s\n",
+                    recoveredSignature(module, fid, types).c_str());
+    }
+
+    std::printf("\n=== Annotated listing ===\n\n%s",
+                annotateModule(module, types).c_str());
+    return 0;
+}

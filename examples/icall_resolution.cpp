@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Indirect-call resolution: build a dispatch-table program, then
+ * compare the target sets produced by the three disciplines of
+ * Section 5.1 - argument count (TypeArmor), count+width (tau-CFI) and
+ * full inferred types (Manta).
+ *
+ * Usage: ./build/examples/icall_resolution
+ */
+#include <cstdio>
+
+#include "analysis/acyclic.h"
+#include "clients/icall.h"
+#include "core/pipeline.h"
+#include "mir/parser.h"
+
+using namespace manta;
+
+namespace {
+
+const char *kProgram = R"(
+string @name "eth0"
+
+func @handle_int(%v:64) {
+entry:
+  %r = call.32 @print_int(%v)
+  ret 0:64
+}
+func @handle_str(%p:64) {
+entry:
+  %r = call.32 @print_str(%p)
+  ret 0:64
+}
+func @handle_pair(%a:64, %b:64) {
+entry:
+  %sum = add %a, %b
+  ret %sum
+}
+func @dispatch_int(%table:64) {
+entry:
+  %fn = load.64 %table
+  %n = mul 21:64, 2:64
+  %r = icall.64 %fn(%n)
+  ret
+}
+func @dispatch_str(%table:64) {
+entry:
+  %fn = load.64 %table
+  %r = icall.64 %fn(@name)
+  ret
+}
+func @main() {
+entry:
+  %t1 = alloca 8
+  store %t1, @handle_int
+  %t2 = alloca 8
+  store %t2, @handle_str
+  %keep = copy @handle_pair
+  %r1 = call.32 @dispatch_int(%t1)
+  %r2 = call.32 @dispatch_str(%t2)
+  ret
+}
+)";
+
+} // namespace
+
+int
+main()
+{
+    Module module = parseModuleOrDie(kProgram);
+    makeAcyclic(module);
+    MantaAnalyzer analyzer(module, HybridConfig::full());
+    InferenceResult types = analyzer.infer();
+
+    const IcallAnalysis analysis(module, &types);
+    std::printf("Address-taken candidates: %zu\n",
+                module.addressTakenFuncs().size());
+
+    struct Run
+    {
+        const char *label;
+        IcallDiscipline discipline;
+    };
+    const Run runs[] = {
+        {"TypeArmor (arg count)", IcallDiscipline::ArgCount},
+        {"tau-CFI   (count+width)", IcallDiscipline::ArgCountWidth},
+        {"Manta     (full types)", IcallDiscipline::FullTypes},
+    };
+
+    for (const Run &run : runs) {
+        const IcallResult result = analysis.run(run.discipline);
+        std::printf("\n%s - AICT %.1f\n", run.label, result.aict());
+        for (const auto &[site, targets] : result.targets) {
+            const Instruction &inst = module.inst(site);
+            const FuncId in_func = module.block(inst.parent).func;
+            std::printf("  icall in @%s ->",
+                        module.func(in_func).name.c_str());
+            for (const FuncId t : targets)
+                std::printf(" @%s", module.func(t).name.c_str());
+            std::printf("\n");
+        }
+    }
+
+    std::printf("\nOnly the full-type discipline separates the int and "
+                "string dispatch sites\n(the paper's Figure 3(c) -> "
+                "Figure 8 refinement).\n");
+    return 0;
+}

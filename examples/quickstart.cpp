@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Quickstart: parse a textual MIR module (the union example from the
+ * paper's Figure 3), run the hybrid-sensitive inference, and print
+ * what each stage concluded for the interesting variables.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+#include <cstdio>
+
+#include "analysis/acyclic.h"
+#include "core/pipeline.h"
+#include "mir/parser.h"
+#include "mir/printer.h"
+
+using namespace manta;
+
+namespace {
+
+// Figure 3 of the paper: a stack slot holds a union instantiated as a
+// long in one branch and as a char* in the other.
+const char *kProgram = R"(
+string @msg "hello world"
+
+func @main(%argc:64) {
+entry:
+  %slot = alloca 8
+  %cond = icmp.eq %argc, 0:64
+  br %cond, then, else
+then:
+  store %slot, 1234:64
+  %i = load.64 %slot
+  %r1 = call.32 @print_int(%i)
+  jmp done
+else:
+  store %slot, @msg
+  %s = load.64 %slot
+  %r2 = call.32 @print_str(%s)
+  jmp done
+done:
+  ret
+}
+)";
+
+ValueId
+findValue(const Module &module, const char *name)
+{
+    for (std::size_t v = 0; v < module.numValues(); ++v) {
+        const ValueId vid(static_cast<ValueId::RawType>(v));
+        if (module.value(vid).name == name)
+            return vid;
+    }
+    return ValueId::invalid();
+}
+
+void
+show(const Module &module, const InferenceResult &result, const char *name)
+{
+    const TypeTable &tt = module.types();
+    const ValueId v = findValue(module, name);
+    const BoundPair bp = result.valueBounds(v);
+    const char *cls = "unknown";
+    switch (result.valueClass(v)) {
+      case TypeClass::Precise: cls = "precise"; break;
+      case TypeClass::Over: cls = "over-approximated"; break;
+      case TypeClass::Unknown: cls = "unknown"; break;
+    }
+    std::printf("  %%%-6s %-18s F-down=%-12s F-up=%s\n", name, cls,
+                tt.toString(bp.lower).c_str(),
+                tt.toString(bp.upper).c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Manta quickstart: inferring types for the paper's "
+                "Figure 3 program\n\n%s\n", kProgram);
+
+    Module module = parseModuleOrDie(kProgram);
+    makeAcyclic(module); // Section 3 preprocessing
+
+    MantaAnalyzer analyzer(module, HybridConfig::full());
+
+    std::printf("--- flow-insensitive stage only (Manta-FI) ---\n");
+    const InferenceResult fi = analyzer.infer(HybridConfig::fiOnly());
+    show(module, fi, "i");
+    show(module, fi, "s");
+    std::printf("  (the union's conflicting hints join to reg64: "
+                "over-approximated)\n\n");
+
+    std::printf("--- full hybrid pipeline (Manta-FI+CS+FS) ---\n");
+    const InferenceResult full = analyzer.infer();
+    show(module, full, "i");
+    show(module, full, "s");
+
+    // Site-sensitive view: the type of each load at its consuming call.
+    const ValueId i = findValue(module, "i");
+    const ValueId s = findValue(module, "s");
+    const TypeTable &tt = module.types();
+    for (std::size_t k = 0; k < module.numInsts(); ++k) {
+        const InstId iid(static_cast<InstId::RawType>(k));
+        const Instruction &inst = module.inst(iid);
+        if (inst.op != Opcode::Call || !inst.external.valid())
+            continue;
+        for (const ValueId arg : inst.operands) {
+            if (arg != i && arg != s)
+                continue;
+            const BoundPair bp = full.siteBounds(arg, iid);
+            std::printf("  at call @%s: %%%s is %s\n",
+                        module.external(inst.external).name.c_str(),
+                        module.value(arg).name.c_str(),
+                        tt.toString(bp.upper).c_str());
+        }
+    }
+    std::printf("\nThe flow-sensitive stage recovered the per-site "
+                "types the union hides.\n");
+    return 0;
+}

@@ -1,0 +1,425 @@
+#include "analysis/acyclic.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/callgraph.h"
+#include "analysis/cfg.h"
+#include "support/error.h"
+#include "support/graph.h"
+
+namespace manta {
+
+namespace {
+
+/**
+ * Unroll one non-trivial SCC of `func`'s CFG.
+ *
+ * The SCC body is cloned once. Back edges (w.r.t. RPO inside the
+ * function) from the original body are retargeted to the clone, and
+ * the clone's back edges are retargeted to an unreachable stub, so
+ * each loop body executes at most twice and the region is acyclic.
+ */
+class SccUnroller
+{
+  public:
+    SccUnroller(Module &m, FuncId func, const std::vector<BlockId> &scc)
+        : m_(m), func_(func)
+    {
+        for (const BlockId b : scc)
+            inScc_.insert(b.raw());
+        const Cfg cfg(m, func);
+        for (const BlockId b : scc)
+            rpo_[b.raw()] = cfg.rpoIndex(b);
+    }
+
+    std::size_t
+    run(const std::vector<BlockId> &scc)
+    {
+        cloneBlocks(scc);
+        rewriteCloneOperands(scc);
+        rewireOriginalBackEdges(scc);
+        rewireCloneTerminators(scc);
+        fixupClonePhis(scc);
+        fixupOriginalHeaderPhis(scc);
+        fixupExitPhis(scc);
+        return scc.size();
+    }
+
+  private:
+    bool
+    isBackEdge(BlockId from, BlockId to) const
+    {
+        if (!inScc_.count(from.raw()) || !inScc_.count(to.raw()))
+            return false;
+        return rpo_.at(to.raw()) <= rpo_.at(from.raw());
+    }
+
+    void
+    cloneBlocks(const std::vector<BlockId> &scc)
+    {
+        for (const BlockId bid : scc) {
+            BasicBlock clone;
+            clone.func = func_;
+            clone.name = m_.block(bid).name + "$u" +
+                std::to_string(m_.numBlocks());
+            const BlockId cid = m_.addBlock(std::move(clone));
+            m_.func(func_).blocks.push_back(cid);
+            blockMap_[bid.raw()] = cid;
+        }
+        for (const BlockId bid : scc) {
+            const BlockId cid = blockMap_.at(bid.raw());
+            // Copy instruction list by value: addInst may reallocate
+            // the instruction pool.
+            const std::vector<InstId> insts = m_.block(bid).insts;
+            for (const InstId iid : insts) {
+                Instruction clone = m_.inst(iid);
+                clone.parent = cid;
+                clone.result = ValueId::invalid();
+                const InstId ciid = m_.addInst(std::move(clone));
+                m_.block(cid).insts.push_back(ciid);
+                instMap_[iid.raw()] = ciid;
+                const ValueId orig_result = m_.inst(iid).result;
+                if (orig_result.valid()) {
+                    Value v = m_.value(orig_result);
+                    v.inst = ciid;
+                    if (!v.name.empty())
+                        v.name += "$u";
+                    const ValueId cres = m_.addValue(std::move(v));
+                    m_.inst(ciid).result = cres;
+                    valueMap_[orig_result.raw()] = cres;
+                }
+            }
+        }
+    }
+
+    ValueId
+    mapValue(ValueId v) const
+    {
+        const auto it = valueMap_.find(v.raw());
+        return it == valueMap_.end() ? v : it->second;
+    }
+
+    void
+    rewriteCloneOperands(const std::vector<BlockId> &scc)
+    {
+        for (const BlockId bid : scc) {
+            const BlockId cid = blockMap_.at(bid.raw());
+            for (const InstId ciid : m_.block(cid).insts) {
+                Instruction &inst = m_.inst(ciid);
+                if (inst.op == Opcode::Phi)
+                    continue; // handled entry-wise in fixupClonePhis
+                for (ValueId &op : inst.operands)
+                    op = mapValue(op);
+            }
+        }
+    }
+
+    void
+    retarget(Instruction &term, BlockId from, BlockId to)
+    {
+        if (term.thenBlock == from)
+            term.thenBlock = to;
+        if (term.op == Opcode::Br && term.elseBlock == from)
+            term.elseBlock = to;
+    }
+
+    void
+    rewireOriginalBackEdges(const std::vector<BlockId> &scc)
+    {
+        for (const BlockId bid : scc) {
+            Instruction &term = m_.inst(m_.block(bid).insts.back());
+            if (term.op == Opcode::Br) {
+                if (isBackEdge(bid, term.thenBlock))
+                    term.thenBlock = blockMap_.at(term.thenBlock.raw());
+                if (isBackEdge(bid, term.elseBlock))
+                    term.elseBlock = blockMap_.at(term.elseBlock.raw());
+            } else if (term.op == Opcode::Jmp) {
+                if (isBackEdge(bid, term.thenBlock))
+                    term.thenBlock = blockMap_.at(term.thenBlock.raw());
+            }
+        }
+    }
+
+    BlockId
+    stopStub()
+    {
+        if (!stub_.valid()) {
+            BasicBlock bb;
+            bb.func = func_;
+            bb.name = "unroll_stop$" + std::to_string(m_.numBlocks());
+            stub_ = m_.addBlock(std::move(bb));
+            m_.func(func_).blocks.push_back(stub_);
+            Instruction inst;
+            inst.op = Opcode::Unreachable;
+            inst.parent = stub_;
+            const InstId iid = m_.addInst(std::move(inst));
+            m_.block(stub_).insts.push_back(iid);
+        }
+        return stub_;
+    }
+
+    void
+    rewireCloneTerminators(const std::vector<BlockId> &scc)
+    {
+        // Create the stub first: materializing it mid-loop would
+        // reallocate the instruction pool under the `term` reference.
+        stopStub();
+        for (const BlockId bid : scc) {
+            const BlockId cid = blockMap_.at(bid.raw());
+            Instruction &term = m_.inst(m_.block(cid).insts.back());
+            auto map_target = [&](BlockId target) -> BlockId {
+                if (!inScc_.count(target.raw()))
+                    return target; // loop exit: keep
+                if (isBackEdge(bid, target))
+                    return stopStub(); // second iteration stops
+                return blockMap_.at(target.raw());
+            };
+            if (term.op == Opcode::Br) {
+                term.thenBlock = map_target(term.thenBlock);
+                term.elseBlock = map_target(term.elseBlock);
+            } else if (term.op == Opcode::Jmp) {
+                term.thenBlock = map_target(term.thenBlock);
+            }
+        }
+    }
+
+    void
+    fixupClonePhis(const std::vector<BlockId> &scc)
+    {
+        for (const BlockId bid : scc) {
+            const BlockId cid = blockMap_.at(bid.raw());
+            for (const InstId ciid : m_.block(cid).insts) {
+                Instruction &phi = m_.inst(ciid);
+                if (phi.op != Opcode::Phi)
+                    break; // phis lead the block
+                std::vector<ValueId> ops;
+                std::vector<BlockId> blocks;
+                for (std::size_t k = 0; k < phi.operands.size(); ++k) {
+                    const BlockId in = phi.phiBlocks[k];
+                    if (isBackEdge(in, bid)) {
+                        // Value arriving from iteration 1's latch: the
+                        // original (un-mapped) value, from the original
+                        // block, whose back edge now lands here.
+                        ops.push_back(phi.operands[k]);
+                        blocks.push_back(in);
+                    } else if (inScc_.count(in.raw())) {
+                        // Intra-iteration forward edge: stay in clone.
+                        ops.push_back(mapValue(phi.operands[k]));
+                        blocks.push_back(blockMap_.at(in.raw()));
+                    }
+                    // Preheader entries don't reach the clone: drop.
+                }
+                if (ops.empty()) {
+                    // Degenerate nested-unroll shape: every incoming
+                    // entry came from outside the SCC. Demote to a
+                    // copy of the (dominating) preheader value.
+                    phi.op = Opcode::Copy;
+                    phi.operands = {mapValue(phi.operands[0])};
+                    phi.phiBlocks.clear();
+                    continue;
+                }
+                phi.operands = std::move(ops);
+                phi.phiBlocks = std::move(blocks);
+            }
+        }
+    }
+
+    void
+    fixupOriginalHeaderPhis(const std::vector<BlockId> &scc)
+    {
+        for (const BlockId bid : scc) {
+            for (const InstId iid : m_.block(bid).insts) {
+                Instruction &phi = m_.inst(iid);
+                if (phi.op != Opcode::Phi)
+                    break;
+                std::vector<ValueId> ops;
+                std::vector<BlockId> blocks;
+                for (std::size_t k = 0; k < phi.operands.size(); ++k) {
+                    if (isBackEdge(phi.phiBlocks[k], bid))
+                        continue; // that edge now enters the clone
+                    ops.push_back(phi.operands[k]);
+                    blocks.push_back(phi.phiBlocks[k]);
+                }
+                if (ops.empty()) {
+                    // Degenerate header reachable only around the loop:
+                    // demote the phi to a copy of its first entry so the
+                    // block stays structurally valid.
+                    phi.op = Opcode::Copy;
+                    phi.operands.resize(1);
+                    phi.phiBlocks.clear();
+                    continue;
+                }
+                phi.operands = std::move(ops);
+                phi.phiBlocks = std::move(blocks);
+            }
+        }
+    }
+
+    void
+    fixupExitPhis(const std::vector<BlockId> &scc)
+    {
+        // Exit blocks gain a new predecessor (the clone of each exiting
+        // block); extend their phis accordingly.
+        std::unordered_set<std::uint32_t> scc_set;
+        for (const BlockId b : scc) {
+            scc_set.insert(b.raw());
+            scc_set.insert(blockMap_.at(b.raw()).raw()); // clones too
+        }
+
+        for (const BlockId exit_bid : m_.func(func_).blocks) {
+            if (scc_set.count(exit_bid.raw()))
+                continue;
+            for (const InstId iid : m_.block(exit_bid).insts) {
+                Instruction &phi = m_.inst(iid);
+                if (phi.op != Opcode::Phi)
+                    break;
+                const std::size_t original_entries = phi.operands.size();
+                for (std::size_t k = 0; k < original_entries; ++k) {
+                    const BlockId in = phi.phiBlocks[k];
+                    const auto it = blockMap_.find(in.raw());
+                    if (it == blockMap_.end())
+                        continue;
+                    // The clone of `in` also branches to this exit.
+                    phi.operands.push_back(mapValue(phi.operands[k]));
+                    phi.phiBlocks.push_back(it->second);
+                }
+            }
+        }
+    }
+
+    Module &m_;
+    FuncId func_;
+    std::unordered_set<std::uint32_t> inScc_;
+    std::unordered_map<std::uint32_t, std::size_t> rpo_;
+    std::unordered_map<std::uint32_t, BlockId> blockMap_;
+    std::unordered_map<std::uint32_t, InstId> instMap_;
+    std::unordered_map<std::uint32_t, ValueId> valueMap_;
+    BlockId stub_;
+};
+
+/** Find one non-trivial SCC of `func`'s CFG, or empty when acyclic. */
+std::vector<BlockId>
+findCyclicScc(const Module &m, FuncId func)
+{
+    const Function &fn = m.func(func);
+    std::unordered_map<std::uint32_t, std::size_t> local;
+    for (std::size_t i = 0; i < fn.blocks.size(); ++i)
+        local[fn.blocks[i].raw()] = i;
+    Digraph g(fn.blocks.size());
+    std::vector<std::pair<std::size_t, std::size_t>> self_loops;
+    for (const BlockId bid : fn.blocks) {
+        const BasicBlock &bb = m.block(bid);
+        if (bb.insts.empty())
+            continue;
+        const Instruction &term = m.inst(bb.insts.back());
+        auto link = [&](BlockId target) {
+            g.addEdge(local.at(bid.raw()), local.at(target.raw()));
+        };
+        if (term.op == Opcode::Br) {
+            link(term.thenBlock);
+            link(term.elseBlock);
+        } else if (term.op == Opcode::Jmp) {
+            link(term.thenBlock);
+        }
+    }
+    std::size_t num_sccs = 0;
+    const auto ids = g.sccIds(&num_sccs);
+    // Count members per SCC.
+    std::vector<std::size_t> count(num_sccs, 0);
+    for (const auto id : ids)
+        ++count[id];
+    // Self-loop detection for singleton SCCs.
+    std::vector<std::uint8_t> self(fn.blocks.size(), 0);
+    for (std::size_t i = 0; i < fn.blocks.size(); ++i) {
+        for (const auto s : g.succs(i))
+            if (s == i)
+                self[i] = 1;
+    }
+    for (std::size_t i = 0; i < fn.blocks.size(); ++i) {
+        const auto id = ids[i];
+        if (count[id] > 1 || self[i]) {
+            std::vector<BlockId> scc;
+            for (std::size_t j = 0; j < fn.blocks.size(); ++j)
+                if (ids[j] == id)
+                    scc.push_back(fn.blocks[j]);
+            return scc;
+        }
+    }
+    return {};
+}
+
+} // namespace
+
+AcyclicStats
+unrollLoops(Module &module)
+{
+    AcyclicStats stats;
+    for (const FuncId fid : module.funcIds()) {
+        for (;;) {
+            const auto scc = findCyclicScc(module, fid);
+            if (scc.empty())
+                break;
+            SccUnroller unroller(module, fid, scc);
+            stats.blocksCloned += unroller.run(scc);
+            ++stats.loopsUnrolled;
+        }
+    }
+    return stats;
+}
+
+AcyclicStats
+breakRecursion(Module &module)
+{
+    AcyclicStats stats;
+
+    // Compute function SCCs over the direct call graph.
+    Digraph g(module.numFuncs());
+    for (std::size_t b = 0; b < module.numBlocks(); ++b) {
+        const BasicBlock &bb = module.block(BlockId(BlockId::RawType(b)));
+        for (const InstId iid : bb.insts) {
+            const Instruction &inst = module.inst(iid);
+            if (inst.op == Opcode::Call && inst.callee.valid())
+                g.addEdge(bb.func.index(), inst.callee.index());
+        }
+    }
+    const auto scc = g.sccIds();
+
+    ExternId stub = module.findExternal("__recursion_stub");
+    auto ensure_stub = [&] {
+        if (!stub.valid()) {
+            External ext;
+            ext.name = "__recursion_stub";
+            ext.role = ExternRole::None;
+            stub = module.addExternal(std::move(ext));
+        }
+        return stub;
+    };
+
+    for (std::size_t b = 0; b < module.numBlocks(); ++b) {
+        const BasicBlock &bb = module.block(BlockId(BlockId::RawType(b)));
+        for (const InstId iid : bb.insts) {
+            Instruction &inst = module.inst(iid);
+            if (inst.op != Opcode::Call || !inst.callee.valid())
+                continue;
+            if (scc[bb.func.index()] == scc[inst.callee.index()]) {
+                inst.callee = FuncId::invalid();
+                inst.external = ensure_stub();
+                ++stats.recursiveCallsBroken;
+            }
+        }
+    }
+    return stats;
+}
+
+AcyclicStats
+makeAcyclic(Module &module)
+{
+    AcyclicStats stats = unrollLoops(module);
+    const AcyclicStats rec = breakRecursion(module);
+    stats.recursiveCallsBroken = rec.recursiveCallsBroken;
+    return stats;
+}
+
+} // namespace manta

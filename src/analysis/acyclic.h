@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Acyclic preprocessing (paper Section 3).
+ *
+ * "To ensure the analysis scalability, we pre-process the lifted IR to
+ * be acyclic by unrolling each loop in the control flow graph (CFG)
+ * and the call graph" - and, per the well-identified unsound choices,
+ * loops are unrolled twice and call-graph back edges are broken.
+ *
+ * unrollLoops() rewrites every cyclic CFG region so the loop body
+ * appears twice and the second iteration's back edges terminate in an
+ * unreachable stub. breakRecursion() redirects every intra-SCC direct
+ * call to an opaque external stub, making the call graph acyclic.
+ */
+#ifndef MANTA_ANALYSIS_ACYCLIC_H
+#define MANTA_ANALYSIS_ACYCLIC_H
+
+#include "mir/mir.h"
+
+namespace manta {
+
+/** Statistics from the preprocessing passes. */
+struct AcyclicStats
+{
+    std::size_t loopsUnrolled = 0;     ///< CFG SCCs expanded.
+    std::size_t blocksCloned = 0;      ///< Blocks duplicated by unrolling.
+    std::size_t recursiveCallsBroken = 0;
+};
+
+/**
+ * Unroll every cyclic region of every function twice. After this pass
+ * no function CFG contains a cycle.
+ */
+AcyclicStats unrollLoops(Module &module);
+
+/**
+ * Break call-graph cycles by retargeting every intra-SCC direct call
+ * to the opaque "__recursion_stub" external. After this pass the
+ * direct call graph is acyclic.
+ */
+AcyclicStats breakRecursion(Module &module);
+
+/** Run both passes (loops first, then recursion). */
+AcyclicStats makeAcyclic(Module &module);
+
+} // namespace manta
+
+#endif // MANTA_ANALYSIS_ACYCLIC_H

@@ -1,0 +1,100 @@
+#include "analysis/callgraph.h"
+
+#include <algorithm>
+
+namespace manta {
+
+CallGraph::CallGraph(const Module &module) : module_(module)
+{
+    callees_.assign(module.numFuncs(), {});
+    callers_.assign(module.numFuncs(), {});
+    sites_of_.assign(module.numFuncs(), {});
+
+    for (std::size_t b = 0; b < module.numBlocks(); ++b) {
+        const BasicBlock &bb = module.block(BlockId(BlockId::RawType(b)));
+        for (const InstId iid : bb.insts) {
+            const Instruction &inst = module.inst(iid);
+            if (inst.op != Opcode::Call || !inst.callee.valid())
+                continue;
+            const FuncId caller = bb.func;
+            const FuncId callee = inst.callee;
+            sites_of_[callee.index()].push_back(iid);
+            auto &outs = callees_[caller.index()];
+            if (std::find(outs.begin(), outs.end(), callee) == outs.end()) {
+                outs.push_back(callee);
+                callers_[callee.index()].push_back(caller);
+            }
+        }
+    }
+}
+
+const std::vector<FuncId> &
+CallGraph::callees(FuncId func) const
+{
+    return callees_.at(func.index());
+}
+
+const std::vector<FuncId> &
+CallGraph::callers(FuncId func) const
+{
+    return callers_.at(func.index());
+}
+
+std::vector<InstId>
+CallGraph::callSites(FuncId caller, FuncId callee) const
+{
+    std::vector<InstId> result;
+    for (const InstId iid : sites_of_.at(callee.index())) {
+        if (module_.block(module_.inst(iid).parent).func == caller)
+            result.push_back(iid);
+    }
+    return result;
+}
+
+const std::vector<InstId> &
+CallGraph::callSitesOf(FuncId callee) const
+{
+    return sites_of_.at(callee.index());
+}
+
+std::vector<FuncId>
+CallGraph::bottomUpOrder() const
+{
+    Digraph g(callees_.size());
+    for (std::size_t f = 0; f < callees_.size(); ++f) {
+        for (const FuncId callee : callees_[f])
+            g.addEdge(f, callee.index());
+    }
+    const auto order = g.topoOrder();
+    std::vector<FuncId> result;
+    result.reserve(order.size());
+    // topoOrder puts callers before callees; reverse for bottom-up.
+    for (auto it = order.rbegin(); it != order.rend(); ++it)
+        result.emplace_back(static_cast<FuncId::RawType>(*it));
+    return result;
+}
+
+bool
+CallGraph::isAcyclic() const
+{
+    Digraph g(callees_.size());
+    for (std::size_t f = 0; f < callees_.size(); ++f) {
+        for (const FuncId callee : callees_[f])
+            g.addEdge(f, callee.index());
+    }
+    std::size_t num_sccs = 0;
+    const auto ids = g.sccIds(&num_sccs);
+    if (num_sccs != callees_.size())
+        return false;
+    // Self-loops still need rejecting: an SCC of size one with a
+    // self-edge is a cycle.
+    for (std::size_t f = 0; f < callees_.size(); ++f) {
+        const FuncId self(static_cast<FuncId::RawType>(f));
+        const auto &outs = callees_[f];
+        if (std::find(outs.begin(), outs.end(), self) != outs.end())
+            return false;
+    }
+    return true;
+}
+
+} // namespace manta

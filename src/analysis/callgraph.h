@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Direct call graph over module functions.
+ *
+ * Indirect calls are not modeled here (paper Section 3: function
+ * pointers are not modeled in the points-to analysis); the type-based
+ * indirect-call client reasons about them separately.
+ */
+#ifndef MANTA_ANALYSIS_CALLGRAPH_H
+#define MANTA_ANALYSIS_CALLGRAPH_H
+
+#include <vector>
+
+#include "mir/mir.h"
+#include "support/graph.h"
+
+namespace manta {
+
+/** Call graph with callsite lists per edge. */
+class CallGraph
+{
+  public:
+    explicit CallGraph(const Module &module);
+
+    /** Direct internal callees of a function (with duplicates removed). */
+    const std::vector<FuncId> &callees(FuncId func) const;
+
+    /** Direct internal callers of a function. */
+    const std::vector<FuncId> &callers(FuncId func) const;
+
+    /** Call instructions in `caller` that target `callee`. */
+    std::vector<InstId> callSites(FuncId caller, FuncId callee) const;
+
+    /** All direct call instructions targeting `callee`. */
+    const std::vector<InstId> &callSitesOf(FuncId callee) const;
+
+    /**
+     * Functions in callee-before-caller order (reverse topological).
+     * Well-defined only after recursion has been broken; cycles are
+     * ordered arbitrarily but deterministically.
+     */
+    std::vector<FuncId> bottomUpOrder() const;
+
+    /** True when the (direct) call graph is acyclic. */
+    bool isAcyclic() const;
+
+  private:
+    const Module &module_;
+    std::vector<std::vector<FuncId>> callees_;
+    std::vector<std::vector<FuncId>> callers_;
+    std::vector<std::vector<InstId>> sites_of_;
+};
+
+} // namespace manta
+
+#endif // MANTA_ANALYSIS_CALLGRAPH_H

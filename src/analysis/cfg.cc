@@ -1,0 +1,102 @@
+#include "analysis/cfg.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+#include "support/graph.h"
+
+namespace manta {
+
+const std::vector<BlockId> Cfg::empty_;
+const std::vector<InstId> InstIndex::no_users_;
+
+Cfg::Cfg(const Module &module, FuncId func) : module_(module), func_(func)
+{
+    const Function &fn = module.func(func);
+    // Local dense numbering for the Digraph helpers.
+    std::unordered_map<std::uint32_t, std::size_t> local;
+    for (std::size_t i = 0; i < fn.blocks.size(); ++i)
+        local[fn.blocks[i].raw()] = i;
+
+    Digraph g(fn.blocks.size());
+    for (const BlockId bid : fn.blocks) {
+        const BasicBlock &bb = module.block(bid);
+        if (bb.insts.empty())
+            continue;
+        const Instruction &term = module.inst(bb.insts.back());
+        auto link = [&](BlockId target) {
+            succs_[bid.raw()].push_back(target);
+            preds_[target.raw()].push_back(bid);
+            g.addEdge(local.at(bid.raw()), local.at(target.raw()));
+        };
+        if (term.op == Opcode::Br) {
+            link(term.thenBlock);
+            if (term.elseBlock != term.thenBlock)
+                link(term.elseBlock);
+        } else if (term.op == Opcode::Jmp) {
+            link(term.thenBlock);
+        }
+    }
+
+    if (!fn.blocks.empty()) {
+        const auto order = g.reversePostOrder(0);
+        rpo_.reserve(order.size());
+        for (const auto idx : order) {
+            rpo_.push_back(fn.blocks[idx]);
+            rpo_index_[fn.blocks[idx].raw()] = rpo_.size() - 1;
+        }
+        has_cycle_ = !g.backEdges(0).empty();
+    }
+}
+
+const std::vector<BlockId> &
+Cfg::preds(BlockId block) const
+{
+    const auto it = preds_.find(block.raw());
+    return it == preds_.end() ? empty_ : it->second;
+}
+
+const std::vector<BlockId> &
+Cfg::succs(BlockId block) const
+{
+    const auto it = succs_.find(block.raw());
+    return it == succs_.end() ? empty_ : it->second;
+}
+
+std::size_t
+Cfg::rpoIndex(BlockId block) const
+{
+    const auto it = rpo_index_.find(block.raw());
+    return it == rpo_index_.end() ? static_cast<std::size_t>(-1) : it->second;
+}
+
+InstIndex::InstIndex(const Module &module)
+{
+    position_.assign(module.numInsts(), 0);
+    users_.assign(module.numValues(), {});
+    for (std::size_t b = 0; b < module.numBlocks(); ++b) {
+        const BasicBlock &bb = module.block(BlockId(BlockId::RawType(b)));
+        for (std::size_t i = 0; i < bb.insts.size(); ++i) {
+            position_[bb.insts[i].index()] = static_cast<std::uint32_t>(i);
+            const Instruction &inst = module.inst(bb.insts[i]);
+            for (const ValueId op : inst.operands)
+                users_[op.index()].push_back(bb.insts[i]);
+        }
+    }
+}
+
+std::size_t
+InstIndex::positionInBlock(InstId inst) const
+{
+    return position_.at(inst.index());
+}
+
+const std::vector<InstId> &
+InstIndex::users(ValueId value) const
+{
+    if (value.index() >= users_.size())
+        return no_users_;
+    return users_[value.index()];
+}
+
+} // namespace manta

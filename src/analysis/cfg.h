@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Per-function control-flow graph view over MIR.
+ *
+ * Blocks already list their instructions; this view adds predecessor /
+ * successor edges, reverse post-order, and an instruction position
+ * index used by the flow-sensitive refinement's backward walks.
+ */
+#ifndef MANTA_ANALYSIS_CFG_H
+#define MANTA_ANALYSIS_CFG_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "mir/mir.h"
+
+namespace manta {
+
+/** CFG of a single function. */
+class Cfg
+{
+  public:
+    Cfg(const Module &module, FuncId func);
+
+    FuncId funcId() const { return func_; }
+
+    const std::vector<BlockId> &preds(BlockId block) const;
+    const std::vector<BlockId> &succs(BlockId block) const;
+
+    /** Blocks in reverse post-order from the entry. */
+    const std::vector<BlockId> &rpo() const { return rpo_; }
+
+    /** Position of a block in RPO; unreachable blocks get a large index. */
+    std::size_t rpoIndex(BlockId block) const;
+
+    /** True when the function's CFG contains a cycle. */
+    bool hasCycle() const { return has_cycle_; }
+
+  private:
+    const Module &module_;
+    FuncId func_;
+    std::unordered_map<std::uint32_t, std::vector<BlockId>> preds_;
+    std::unordered_map<std::uint32_t, std::vector<BlockId>> succs_;
+    std::vector<BlockId> rpo_;
+    std::unordered_map<std::uint32_t, std::size_t> rpo_index_;
+    bool has_cycle_ = false;
+
+    static const std::vector<BlockId> empty_;
+};
+
+/**
+ * Module-wide instruction location index: maps instructions to their
+ * (block, position) and values to their defining instruction, giving
+ * analyses a cheap "program position" ordering.
+ */
+class InstIndex
+{
+  public:
+    explicit InstIndex(const Module &module);
+
+    /** Position of an instruction inside its block. */
+    std::size_t positionInBlock(InstId inst) const;
+
+    /** All instructions (module-wide) that use `value` as an operand. */
+    const std::vector<InstId> &users(ValueId value) const;
+
+  private:
+    std::vector<std::uint32_t> position_;
+    std::vector<std::vector<InstId>> users_;
+    static const std::vector<InstId> no_users_;
+};
+
+} // namespace manta
+
+#endif // MANTA_ANALYSIS_CFG_H

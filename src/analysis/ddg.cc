@@ -1,0 +1,252 @@
+#include "analysis/ddg.h"
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/cfg.h"
+#include "analysis/reach.h"
+#include "support/error.h"
+
+namespace manta {
+
+const std::vector<std::uint32_t> Ddg::none_;
+
+Ddg::Ddg(const Module &module, const PointsTo &pts)
+    : module_(module), pts_(pts)
+{
+    out_.assign(module.numValues(), {});
+    in_.assign(module.numValues(), {});
+    buildSsaEdges();
+    buildMemoryEdges();
+    buildCallEdges();
+}
+
+void
+Ddg::addEdge(ValueId from, ValueId to, DepKind kind, InstId site)
+{
+    if (!from.valid() || !to.valid())
+        return;
+    const auto index = static_cast<std::uint32_t>(edges_.size());
+    edges_.push_back(Edge{from, to, kind, site, false});
+    out_[from.index()].push_back(index);
+    in_[to.index()].push_back(index);
+}
+
+const std::vector<std::uint32_t> &
+Ddg::outEdges(ValueId value) const
+{
+    if (!value.valid() || value.index() >= out_.size())
+        return none_;
+    return out_[value.index()];
+}
+
+const std::vector<std::uint32_t> &
+Ddg::inEdges(ValueId value) const
+{
+    if (!value.valid() || value.index() >= in_.size())
+        return none_;
+    return in_[value.index()];
+}
+
+void
+Ddg::resetPruning()
+{
+    for (Edge &e : edges_)
+        e.pruned = false;
+}
+
+std::size_t
+Ddg::numPruned() const
+{
+    std::size_t count = 0;
+    for (const Edge &e : edges_)
+        count += e.pruned;
+    return count;
+}
+
+void
+Ddg::buildSsaEdges()
+{
+    for (std::size_t i = 0; i < module_.numInsts(); ++i) {
+        const InstId iid(static_cast<InstId::RawType>(i));
+        const Instruction &inst = module_.inst(iid);
+        switch (inst.op) {
+          case Opcode::Copy:
+          case Opcode::Phi:
+            for (const ValueId op : inst.operands)
+                addEdge(op, inst.result, DepKind::Copy, iid);
+            break;
+          case Opcode::Trunc:
+          case Opcode::ZExt:
+          case Opcode::SExt:
+          case Opcode::Mul:
+          case Opcode::Div:
+          case Opcode::Rem:
+          case Opcode::And:
+          case Opcode::Or:
+          case Opcode::Xor:
+          case Opcode::Shl:
+          case Opcode::Shr:
+          case Opcode::FAdd:
+          case Opcode::FSub:
+          case Opcode::FMul:
+          case Opcode::FDiv:
+            for (const ValueId op : inst.operands)
+                addEdge(op, inst.result, DepKind::Ssa, iid);
+            break;
+          case Opcode::Add:
+          case Opcode::Sub:
+            for (const ValueId op : inst.operands)
+                addEdge(op, inst.result, DepKind::PtrArith, iid);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+void
+Ddg::buildMemoryEdges()
+{
+    StoreReach reach(module_);
+
+    // Pseudo-store entry: field loc, carrier value, site, address SSA
+    // value (invalid for external pseudo-stores).
+    struct StoreEntry
+    {
+        Loc loc;
+        ValueId value;
+        InstId site;
+        ValueId addr;
+    };
+    std::map<std::uint32_t, std::vector<StoreEntry>> stores;
+
+    InstId current_site;
+    ValueId current_addr;
+    auto record_store = [&](const Loc &loc, ValueId value) {
+        stores[loc.obj.raw()].push_back(
+            StoreEntry{loc, value, current_site, current_addr});
+    };
+
+    for (std::size_t i = 0; i < module_.numInsts(); ++i) {
+        const InstId iid(static_cast<InstId::RawType>(i));
+        const Instruction &inst = module_.inst(iid);
+        current_site = iid;
+        current_addr = ValueId::invalid();
+        if (inst.op == Opcode::Store) {
+            current_addr = inst.operands[0];
+            for (const Loc &addr : pts_.locs(inst.operands[0]))
+                record_store(addr, inst.operands[1]);
+        } else if (inst.op == Opcode::Call && inst.external.valid()) {
+            const External &ext = module_.external(inst.external);
+            if ((ext.role == ExternRole::StrCopy ||
+                 ext.role == ExternRole::BoundedCopy) &&
+                    inst.operands.size() >= 2) {
+                // Copy routines fill the destination buffer with data
+                // derived from the source pointer.
+                for (const Loc &dst : pts_.locs(inst.operands[0])) {
+                    record_store(Loc{dst.obj, Loc::unknownOffset},
+                                 inst.operands[1]);
+                }
+                // The destination pointer now carries the copied data:
+                // consumers of dst (e.g. system(buf)) depend on src.
+                // ExtRet is a data edge, not an alias edge, so type
+                // traversals ignore it.
+                addEdge(inst.operands[1], inst.operands[0], DepKind::ExtRet,
+                        iid);
+            }
+            if (inst.result.valid()) {
+                // Data sources fill their returned buffer with external
+                // data carried by the result value itself.
+                const ObjectId obj = pts_.objects().objectOfSite(iid);
+                if (obj.valid() &&
+                        pts_.objects().object(obj).kind ==
+                            ObjKind::External) {
+                    record_store(Loc{obj, Loc::unknownOffset}, inst.result);
+                }
+            }
+        } else if (inst.op == Opcode::Call && inst.callee.valid()) {
+            // Writes through pointer parameters are visible via the
+            // callee's own stores (the points-to sets cross the call),
+            // so nothing extra is needed here.
+        }
+    }
+
+    // Taint sources that write through a buffer argument (recv/read).
+    for (std::size_t i = 0; i < module_.numInsts(); ++i) {
+        const InstId iid(static_cast<InstId::RawType>(i));
+        const Instruction &inst = module_.inst(iid);
+        current_site = iid;
+        current_addr = ValueId::invalid();
+        if (inst.op != Opcode::Call || !inst.external.valid())
+            continue;
+        const External &ext = module_.external(inst.external);
+        if (ext.role != ExternRole::TaintSource)
+            continue;
+        const bool returns_ptr =
+            ext.retType.valid() && module_.types().isPtr(ext.retType);
+        if (returns_ptr || inst.operands.size() < 2 || !inst.result.valid())
+            continue;
+        // recv(fd, buf, len, flags): buf contents become external data
+        // carried by the call result.
+        for (const Loc &buf : pts_.locs(inst.operands[1]))
+            record_store(Loc{buf.obj, Loc::unknownOffset}, inst.result);
+    }
+
+    // Store x Load pairs per object.
+    for (std::size_t i = 0; i < module_.numInsts(); ++i) {
+        const InstId iid(static_cast<InstId::RawType>(i));
+        const Instruction &inst = module_.inst(iid);
+        if (inst.op != Opcode::Load)
+            continue;
+        for (const Loc &addr : pts_.locs(inst.operands[0])) {
+            const auto it = stores.find(addr.obj.raw());
+            if (it == stores.end())
+                continue;
+            for (const StoreEntry &entry : it->second) {
+                if (Loc::mayOverlap(addr, entry.loc) &&
+                        reach.reaches(entry.site, entry.addr, iid)) {
+                    addEdge(entry.value, inst.result, DepKind::Memory, iid);
+                }
+            }
+        }
+    }
+}
+
+void
+Ddg::buildCallEdges()
+{
+    for (std::size_t i = 0; i < module_.numInsts(); ++i) {
+        const InstId iid(static_cast<InstId::RawType>(i));
+        const Instruction &inst = module_.inst(iid);
+        if (inst.op != Opcode::Call)
+            continue;
+        if (inst.callee.valid()) {
+            const Function &callee = module_.func(inst.callee);
+            const std::size_t n =
+                std::min(callee.params.size(), inst.operands.size());
+            for (std::size_t k = 0; k < n; ++k) {
+                addEdge(inst.operands[k], callee.params[k], DepKind::CallArg,
+                        iid);
+            }
+            if (inst.result.valid()) {
+                for (const BlockId bid : callee.blocks) {
+                    const BasicBlock &bb = module_.block(bid);
+                    if (bb.insts.empty())
+                        continue;
+                    const Instruction &term = module_.inst(bb.insts.back());
+                    if (term.op == Opcode::Ret && !term.operands.empty()) {
+                        addEdge(term.operands[0], inst.result,
+                                DepKind::CallRet, iid);
+                    }
+                }
+            }
+        } else if (inst.result.valid()) {
+            for (const ValueId op : inst.operands)
+                addEdge(op, inst.result, DepKind::ExtRet, iid);
+        }
+    }
+}
+
+} // namespace manta

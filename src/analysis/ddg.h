@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Data Dependency Graph (paper Definition 1).
+ *
+ * Nodes are SSA values (in SSA form, v@def-site is unique per value;
+ * the flow-sensitive refinement reasons about per-use sites on the CFG
+ * instead). Directed edges represent data dependence:
+ *
+ *  - Ssa: copy/phi/cast/int-arith operand -> result.
+ *  - PtrArith: add/sub operand -> result (prunable via Table 2).
+ *  - Memory: stored value -> load result when the points-to analysis
+ *    says the store may reach the load (Definition 1's condition), plus
+ *    pseudo-stores for external copy routines (strcpy et al.) and
+ *    external data sources (recv/nvram_get buffers).
+ *  - CallArg / CallRet: actual -> formal and return -> call result,
+ *    labeled with the call site for CFL-reachability checks.
+ *  - ExtRet: external-call argument -> result (data flows through
+ *    atoi, strlen, ...).
+ *
+ * Edges can be pruned (Section 5.2); traversals skip pruned edges.
+ */
+#ifndef MANTA_ANALYSIS_DDG_H
+#define MANTA_ANALYSIS_DDG_H
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/pointsto.h"
+#include "mir/mir.h"
+
+namespace manta {
+
+/** Edge flavor; drives traversal context handling and pruning. */
+enum class DepKind : std::uint8_t {
+    Copy,      ///< Value-preserving move (copy/phi): an alias link.
+    Ssa,       ///< Derived value (mul, shifts, casts...): data, not alias.
+    PtrArith,  ///< add/sub derivation (subject to Table 2 pruning).
+    Memory,    ///< Store-to-load dependence via points-to.
+    CallArg,   ///< Actual -> formal parameter (site = call inst).
+    CallRet,   ///< Callee return value -> call result (site = call inst).
+    ExtRet,    ///< External call argument -> result (data, not alias).
+};
+
+/** Do traversals for alias roots follow this edge kind? */
+inline bool
+isAliasEdge(DepKind kind)
+{
+    return kind == DepKind::Copy || kind == DepKind::PtrArith ||
+           kind == DepKind::Memory || kind == DepKind::CallArg ||
+           kind == DepKind::CallRet;
+}
+
+/** The data dependence graph of a module. */
+class Ddg
+{
+  public:
+    struct Edge
+    {
+        ValueId from;
+        ValueId to;
+        DepKind kind;
+        InstId site;   ///< Defining/mediating instruction.
+        bool pruned = false;
+    };
+
+    Ddg(const Module &module, const PointsTo &pts);
+
+    std::size_t numEdges() const { return edges_.size(); }
+    const Edge &edge(std::uint32_t index) const { return edges_[index]; }
+
+    /** Indices of edges leaving / entering a value. */
+    const std::vector<std::uint32_t> &outEdges(ValueId value) const;
+    const std::vector<std::uint32_t> &inEdges(ValueId value) const;
+
+    /** Mark an edge pruned; traversals will skip it. */
+    void prune(std::uint32_t index) { edges_[index].pruned = true; }
+
+    /** Undo all pruning (used by ablation benches). */
+    void resetPruning();
+
+    /** Count of currently pruned edges. */
+    std::size_t numPruned() const;
+
+    const Module &module() const { return module_; }
+    const PointsTo &pts() const { return pts_; }
+
+  private:
+    void addEdge(ValueId from, ValueId to, DepKind kind, InstId site);
+    void buildSsaEdges();
+    void buildMemoryEdges();
+    void buildCallEdges();
+
+    const Module &module_;
+    const PointsTo &pts_;
+    std::vector<Edge> edges_;
+    std::vector<std::vector<std::uint32_t>> out_;
+    std::vector<std::vector<std::uint32_t>> in_;
+    static const std::vector<std::uint32_t> none_;
+};
+
+} // namespace manta
+
+#endif // MANTA_ANALYSIS_DDG_H

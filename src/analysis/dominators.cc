@@ -1,0 +1,157 @@
+#include "analysis/dominators.h"
+
+namespace manta {
+
+Dominators::Dominators(const Module &module, FuncId func)
+{
+    const Cfg cfg(module, func);
+    const auto &rpo = cfg.rpo();
+    if (rpo.empty())
+        return;
+    entry_ = rpo.front();
+
+    // Cooper-Harvey-Kennedy: iterate idom approximations in RPO.
+    std::unordered_map<std::uint32_t, std::size_t> order;
+    for (std::size_t i = 0; i < rpo.size(); ++i)
+        order[rpo[i].raw()] = i;
+
+    idom_[entry_.raw()] = entry_;
+    bool changed = true;
+    auto intersect = [&](BlockId a, BlockId b) {
+        while (a != b) {
+            while (order.at(a.raw()) > order.at(b.raw()))
+                a = idom_.at(a.raw());
+            while (order.at(b.raw()) > order.at(a.raw()))
+                b = idom_.at(b.raw());
+        }
+        return a;
+    };
+    while (changed) {
+        changed = false;
+        for (std::size_t i = 1; i < rpo.size(); ++i) {
+            const BlockId block = rpo[i];
+            BlockId new_idom;
+            for (const BlockId pred : cfg.preds(block)) {
+                if (!idom_.count(pred.raw()))
+                    continue; // pred not yet processed / unreachable
+                new_idom = new_idom.valid() ? intersect(new_idom, pred)
+                                            : pred;
+            }
+            if (!new_idom.valid())
+                continue;
+            const auto it = idom_.find(block.raw());
+            if (it == idom_.end() || it->second != new_idom) {
+                idom_[block.raw()] = new_idom;
+                changed = true;
+            }
+        }
+    }
+
+    // Depths for fast dominance queries.
+    for (const BlockId block : rpo) {
+        std::size_t depth = 0;
+        BlockId at = block;
+        while (at != entry_ && idom_.count(at.raw())) {
+            at = idom_.at(at.raw());
+            ++depth;
+        }
+        depth_[block.raw()] = depth;
+    }
+}
+
+BlockId
+Dominators::idom(BlockId block) const
+{
+    if (block == entry_)
+        return BlockId::invalid();
+    const auto it = idom_.find(block.raw());
+    return it == idom_.end() ? BlockId::invalid() : it->second;
+}
+
+bool
+Dominators::reachable(BlockId block) const
+{
+    return idom_.count(block.raw()) > 0;
+}
+
+bool
+Dominators::dominates(BlockId a, BlockId b) const
+{
+    if (!reachable(a) || !reachable(b))
+        return false;
+    // Walk b's dominator chain up to a's depth.
+    std::size_t da = depth_.at(a.raw());
+    std::size_t db = depth_.at(b.raw());
+    BlockId at = b;
+    while (db > da) {
+        at = idom_.at(at.raw());
+        --db;
+    }
+    return at == a;
+}
+
+std::vector<std::string>
+checkSsaDominance(const Module &module)
+{
+    std::vector<std::string> errors;
+    const InstIndex index(module);
+
+    for (const FuncId fid : module.funcIds()) {
+        const Function &fn = module.func(fid);
+        if (fn.blocks.empty())
+            continue;
+        const Dominators dom(module, fid);
+
+        auto def_position =
+            [&](ValueId v) -> std::pair<BlockId, std::size_t> {
+            const Value &value = module.value(v);
+            if (value.kind == ValueKind::InstResult) {
+                const InstId def = value.inst;
+                return {module.inst(def).parent,
+                        index.positionInBlock(def)};
+            }
+            return {BlockId::invalid(), 0}; // param/const/addr: anywhere
+        };
+
+        for (const BlockId bid : fn.blocks) {
+            if (!dom.reachable(bid))
+                continue; // unreachable code is exempt (e.g. stubs)
+            const BasicBlock &bb = module.block(bid);
+            for (std::size_t i = 0; i < bb.insts.size(); ++i) {
+                const Instruction &inst = module.inst(bb.insts[i]);
+                for (std::size_t k = 0; k < inst.operands.size(); ++k) {
+                    const auto [def_block, def_pos] =
+                        def_position(inst.operands[k]);
+                    if (!def_block.valid())
+                        continue;
+                    // Phi operands must dominate the incoming edge's
+                    // source, not the phi itself.
+                    const BlockId use_block =
+                        inst.op == Opcode::Phi ? inst.phiBlocks[k] : bid;
+                    if (!dom.reachable(use_block) ||
+                            !dom.reachable(def_block)) {
+                        continue;
+                    }
+                    bool ok;
+                    if (inst.op == Opcode::Phi) {
+                        ok = dom.dominates(def_block, use_block);
+                    } else if (def_block == bid) {
+                        ok = def_pos < i;
+                    } else {
+                        ok = dom.dominates(def_block, bid);
+                    }
+                    if (!ok) {
+                        errors.push_back(
+                            "in @" + fn.name + ": operand %" +
+                            module.value(inst.operands[k]).name +
+                            " does not dominate its use in block " +
+                            bb.name);
+                    }
+                }
+            }
+        }
+    }
+    return errors;
+}
+
+} // namespace manta

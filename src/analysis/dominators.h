@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Dominator tree computation (Cooper-Harvey-Kennedy iterative
+ * algorithm) over a function's CFG.
+ *
+ * Used by the verifier's SSA discipline check (an instruction's
+ * operands must be defined in dominating positions) and available to
+ * analyses that want dominance facts.
+ */
+#ifndef MANTA_ANALYSIS_DOMINATORS_H
+#define MANTA_ANALYSIS_DOMINATORS_H
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "mir/mir.h"
+
+namespace manta {
+
+/** Immediate-dominator tree of one function. */
+class Dominators
+{
+  public:
+    Dominators(const Module &module, FuncId func);
+
+    /**
+     * Immediate dominator of a block; invalid for the entry and for
+     * unreachable blocks.
+     */
+    BlockId idom(BlockId block) const;
+
+    /** Does `a` dominate `b`? (Reflexive.) Unreachable blocks: false. */
+    bool dominates(BlockId a, BlockId b) const;
+
+    /** Is the block reachable from the entry? */
+    bool reachable(BlockId block) const;
+
+  private:
+    std::unordered_map<std::uint32_t, BlockId> idom_;
+    std::unordered_map<std::uint32_t, std::size_t> depth_;
+    BlockId entry_;
+};
+
+/**
+ * SSA dominance discipline check: every instruction's operands must be
+ * defined at a position that dominates the use (same-block earlier
+ * definition, or a defining block that strictly dominates the user's
+ * block; phi operands are checked against the incoming edge instead).
+ * Returns human-readable violations (empty = clean). Layered here -
+ * not in mir/verifier - because it needs CFG/dominator machinery.
+ */
+std::vector<std::string> checkSsaDominance(const Module &module);
+
+} // namespace manta
+
+#endif // MANTA_ANALYSIS_DOMINATORS_H

@@ -1,0 +1,85 @@
+#include "analysis/memobj.h"
+
+namespace manta {
+
+MemObjects::MemObjects(const Module &module)
+{
+    for (std::size_t g = 0; g < module.numGlobals(); ++g) {
+        const GlobalId gid(static_cast<GlobalId::RawType>(g));
+        MemObject obj;
+        obj.kind = ObjKind::Global;
+        obj.global = gid;
+        obj.sizeBytes = module.global(gid).sizeBytes;
+        const ObjectId oid(static_cast<ObjectId::RawType>(objects_.size()));
+        objects_.push_back(obj);
+        by_global_[gid.raw()] = oid;
+    }
+
+    for (std::size_t b = 0; b < module.numBlocks(); ++b) {
+        const BlockId bid(static_cast<BlockId::RawType>(b));
+        const BasicBlock &bb = module.block(bid);
+        for (const InstId iid : bb.insts) {
+            const Instruction &inst = module.inst(iid);
+            if (inst.op == Opcode::Alloca) {
+                MemObject obj;
+                obj.kind = ObjKind::Stack;
+                obj.site = iid;
+                obj.sizeBytes = inst.allocaSize;
+                obj.func = bb.func;
+                const ObjectId oid(
+                    static_cast<ObjectId::RawType>(objects_.size()));
+                objects_.push_back(obj);
+                by_site_[iid.raw()] = oid;
+            } else if (inst.op == Opcode::Call && inst.external.valid()) {
+                const External &ext = module.external(inst.external);
+                const bool returns_ptr =
+                    ext.retType.valid() &&
+                    module.types().isPtr(ext.retType);
+                if (!returns_ptr || !inst.result.valid())
+                    continue;
+                // Copy routines return their destination argument, not
+                // fresh memory; no call-site object for them.
+                if (ext.role == ExternRole::StrCopy ||
+                        ext.role == ExternRole::BoundedCopy) {
+                    continue;
+                }
+                MemObject obj;
+                obj.kind = ext.role == ExternRole::Alloc ? ObjKind::Heap
+                                                         : ObjKind::External;
+                obj.site = iid;
+                obj.sizeBytes = 0; // unknown extent
+                obj.func = bb.func;
+                const ObjectId oid(
+                    static_cast<ObjectId::RawType>(objects_.size()));
+                objects_.push_back(obj);
+                by_site_[iid.raw()] = oid;
+            }
+        }
+    }
+}
+
+ObjectId
+MemObjects::objectOfSite(InstId site) const
+{
+    const auto it = by_site_.find(site.raw());
+    return it == by_site_.end() ? ObjectId::invalid() : it->second;
+}
+
+ObjectId
+MemObjects::objectOfGlobal(GlobalId global) const
+{
+    const auto it = by_global_.find(global.raw());
+    return it == by_global_.end() ? ObjectId::invalid() : it->second;
+}
+
+std::vector<ObjectId>
+MemObjects::allObjects() const
+{
+    std::vector<ObjectId> ids;
+    ids.reserve(objects_.size());
+    for (std::size_t i = 0; i < objects_.size(); ++i)
+        ids.emplace_back(static_cast<ObjectId::RawType>(i));
+    return ids;
+}
+
+} // namespace manta

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Abstract memory objects (paper Section 3, block memory model).
+ *
+ * The global and stack memory regions are partitioned into a disjoint
+ * set of objects; heap objects use allocation-site abstraction; calls
+ * to pointer-returning externals (getenv, nvram_get, ...) introduce
+ * per-call-site "external" objects so taint and data dependencies can
+ * flow through them.
+ */
+#ifndef MANTA_ANALYSIS_MEMOBJ_H
+#define MANTA_ANALYSIS_MEMOBJ_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "mir/mir.h"
+
+namespace manta {
+
+struct ObjTag {};
+using ObjectId = Id<ObjTag>;
+
+/** Where an abstract object lives. */
+enum class ObjKind : std::uint8_t {
+    Stack,     ///< One per alloca site.
+    Global,    ///< One per module global.
+    Heap,      ///< One per malloc/calloc call site.
+    External,  ///< One per pointer-returning external call site.
+};
+
+/** One abstract memory object. */
+struct MemObject
+{
+    ObjKind kind = ObjKind::Stack;
+    InstId site;        ///< Alloca or call instruction (Stack/Heap/External).
+    GlobalId global;    ///< For Global objects.
+    std::uint32_t sizeBytes = 0;
+    FuncId func;        ///< Owning function for Stack objects.
+};
+
+/** The module's object table plus site -> object indexes. */
+class MemObjects
+{
+  public:
+    explicit MemObjects(const Module &module);
+
+    const MemObject &object(ObjectId id) const
+    {
+        return objects_.at(id.index());
+    }
+
+    std::size_t numObjects() const { return objects_.size(); }
+
+    /** Object allocated by an alloca / alloc-call / external-call site. */
+    ObjectId objectOfSite(InstId site) const;
+
+    /** Object of a global. */
+    ObjectId objectOfGlobal(GlobalId global) const;
+
+    /** All object ids. */
+    std::vector<ObjectId> allObjects() const;
+
+  private:
+    std::vector<MemObject> objects_;
+    std::unordered_map<std::uint32_t, ObjectId> by_site_;
+    std::unordered_map<std::uint32_t, ObjectId> by_global_;
+};
+
+} // namespace manta
+
+#endif // MANTA_ANALYSIS_MEMOBJ_H

@@ -1,0 +1,288 @@
+#include "analysis/pointsto.h"
+
+#include "support/error.h"
+
+namespace manta {
+
+const LocSet PointsTo::empty_;
+
+PointsTo::PointsTo(const Module &module, const MemObjects &objects,
+                   bool flow_aware)
+    : module_(module), objects_(objects), flow_aware_(flow_aware)
+{
+    value_locs_.assign(module.numValues(), {});
+    if (flow_aware_)
+        reach_ = std::make_unique<StoreReach>(module_);
+}
+
+void
+PointsTo::run()
+{
+    // Seed address-producing values.
+    for (std::size_t v = 0; v < module_.numValues(); ++v) {
+        const ValueId vid(static_cast<ValueId::RawType>(v));
+        const Value &value = module_.value(vid);
+        if (value.kind == ValueKind::GlobalAddr) {
+            const ObjectId obj = objects_.objectOfGlobal(value.global);
+            if (obj.valid())
+                value_locs_[v].insert(Loc{obj, 0});
+        } else if (value.kind == ValueKind::InstResult) {
+            const Instruction &inst = module_.inst(value.inst);
+            if (inst.op == Opcode::Alloca ||
+                    (inst.op == Opcode::Call && inst.external.valid())) {
+                const ObjectId obj = objects_.objectOfSite(value.inst);
+                if (obj.valid())
+                    value_locs_[v].insert(Loc{obj, 0});
+            }
+        }
+    }
+
+    // Inclusion fixpoint. The program is acyclic, so convergence is
+    // quick; cap passes defensively.
+    constexpr std::size_t maxPasses = 64;
+    for (passes_ = 1; passes_ <= maxPasses; ++passes_) {
+        if (!transferAll())
+            return;
+    }
+}
+
+bool
+PointsTo::transferAll()
+{
+    bool changed = false;
+    for (std::size_t i = 0; i < module_.numInsts(); ++i)
+        changed |= transferInst(InstId(static_cast<InstId::RawType>(i)));
+    return changed;
+}
+
+const LocSet &
+PointsTo::locs(ValueId value) const
+{
+    MANTA_ASSERT(value.valid() && value.index() < value_locs_.size(),
+                 "locs of invalid value");
+    return value_locs_[value.index()];
+}
+
+LocSet
+PointsTo::fieldPts(ObjectId obj, std::int32_t offset) const
+{
+    LocSet out;
+    gatherBucket(obj.raw(), offset, InstId::invalid(), out);
+    return out;
+}
+
+void
+PointsTo::gatherBucket(std::uint32_t obj, std::int32_t offset,
+                       InstId load_site, LocSet &out) const
+{
+    const auto it = field_pts_.find({obj, offset});
+    if (it == field_pts_.end())
+        return;
+    for (const FieldEntry &entry : it->second) {
+        if (flow_aware_ && load_site.valid() && reach_ &&
+                !reach_->reaches(entry.site, entry.addr, load_site)) {
+            continue;
+        }
+        out.insert(entry.payload);
+    }
+}
+
+LocSet
+PointsTo::loadedLocs(const Loc &addr_loc, InstId load_site) const
+{
+    LocSet result;
+    if (addr_loc.collapsed()) {
+        for (const auto &[key, set] : field_pts_) {
+            if (key.first == addr_loc.obj.raw())
+                gatherBucket(key.first, key.second, load_site, result);
+        }
+        return result;
+    }
+    gatherBucket(addr_loc.obj.raw(), addr_loc.offset, load_site, result);
+    gatherBucket(addr_loc.obj.raw(), Loc::unknownOffset, load_site, result);
+    return result;
+}
+
+bool
+PointsTo::addLocs(ValueId value, const LocSet &locs)
+{
+    bool changed = false;
+    for (const Loc &loc : locs)
+        changed |= addLoc(value, loc);
+    return changed;
+}
+
+bool
+PointsTo::addLoc(ValueId value, const Loc &loc)
+{
+    return value_locs_[value.index()].insert(loc).second;
+}
+
+bool
+PointsTo::storeInto(const Loc &addr_loc, const LocSet &locs, InstId site,
+                    ValueId addr)
+{
+    if (locs.empty())
+        return false;
+    const std::int32_t bucket =
+        addr_loc.collapsed() ? Loc::unknownOffset : addr_loc.offset;
+    auto &set = field_pts_[{addr_loc.obj.raw(), bucket}];
+    bool changed = false;
+    for (const Loc &loc : locs)
+        changed |= set.insert(FieldEntry{loc, site, addr}).second;
+    return changed;
+}
+
+LocSet
+PointsTo::shifted(const LocSet &locs, std::int64_t delta) const
+{
+    LocSet result;
+    for (const Loc &loc : locs) {
+        if (loc.collapsed()) {
+            result.insert(loc);
+            continue;
+        }
+        const std::int64_t off = loc.offset + delta;
+        const std::uint32_t size = objects_.object(loc.obj).sizeBytes;
+        if (off < 0 || (size > 0 && off >= size)) {
+            // Out-of-object arithmetic: conservatively unknown offset.
+            result.insert(Loc{loc.obj, Loc::unknownOffset});
+        } else {
+            result.insert(Loc{loc.obj, static_cast<std::int32_t>(off)});
+        }
+    }
+    return result;
+}
+
+LocSet
+PointsTo::collapseAll(const LocSet &locs) const
+{
+    LocSet result;
+    for (const Loc &loc : locs)
+        result.insert(Loc{loc.obj, Loc::unknownOffset});
+    return result;
+}
+
+bool
+PointsTo::transferInst(InstId iid)
+{
+    const Instruction &inst = module_.inst(iid);
+    bool changed = false;
+
+    auto const_of = [&](ValueId v, std::int64_t &out) {
+        const Value &val = module_.value(v);
+        if (val.kind != ValueKind::Constant)
+            return false;
+        out = val.constValue;
+        return true;
+    };
+
+    switch (inst.op) {
+      case Opcode::Copy:
+        changed |= addLocs(inst.result, locs(inst.operands[0]));
+        break;
+      case Opcode::Phi:
+        for (const ValueId op : inst.operands)
+            changed |= addLocs(inst.result, locs(op));
+        break;
+      case Opcode::Add:
+      case Opcode::Sub: {
+        const ValueId a = inst.operands[0];
+        const ValueId b = inst.operands[1];
+        const std::int64_t sign = inst.op == Opcode::Add ? 1 : -1;
+        std::int64_t c = 0;
+        if (const_of(b, c)) {
+            changed |= addLocs(inst.result, shifted(locs(a), sign * c));
+        } else if (inst.op == Opcode::Add && const_of(a, c)) {
+            changed |= addLocs(inst.result, shifted(locs(b), c));
+        } else {
+            // Symbolic index: collapse (array fields become monolithic).
+            // ptr - ptr yields an offset, not a pointer: no locations.
+            const bool both = !locs(a).empty() && !locs(b).empty();
+            if (!both) {
+                changed |= addLocs(inst.result, collapseAll(locs(a)));
+                if (inst.op == Opcode::Add)
+                    changed |= addLocs(inst.result, collapseAll(locs(b)));
+            }
+        }
+        break;
+      }
+      case Opcode::And:
+      case Opcode::Or:
+        // Alignment masking keeps the pointer but may tweak low bits.
+        changed |= addLocs(inst.result, locs(inst.operands[0]));
+        break;
+      case Opcode::Load: {
+        for (const Loc &addr : locs(inst.operands[0]))
+            changed |= addLocs(inst.result, loadedLocs(addr, iid));
+        break;
+      }
+      case Opcode::Store: {
+        const LocSet &payload = locs(inst.operands[1]);
+        for (const Loc &addr : locs(inst.operands[0]))
+            changed |= storeInto(addr, payload, iid, inst.operands[0]);
+        break;
+      }
+      case Opcode::Call: {
+        if (inst.callee.valid()) {
+            const Function &callee = module_.func(inst.callee);
+            const std::size_t n =
+                std::min(callee.params.size(), inst.operands.size());
+            for (std::size_t i = 0; i < n; ++i)
+                changed |= addLocs(callee.params[i], locs(inst.operands[i]));
+            if (inst.result.valid()) {
+                for (const BlockId bid : callee.blocks) {
+                    const BasicBlock &bb = module_.block(bid);
+                    if (bb.insts.empty())
+                        continue;
+                    const Instruction &term = module_.inst(bb.insts.back());
+                    if (term.op == Opcode::Ret && !term.operands.empty()) {
+                        changed |= addLocs(inst.result,
+                                           locs(term.operands[0]));
+                    }
+                }
+            }
+        } else {
+            changed |= transferExternalCall(iid, inst);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    return changed;
+}
+
+bool
+PointsTo::transferExternalCall(InstId iid, const Instruction &inst)
+{
+    const External &ext = module_.external(inst.external);
+    bool changed = false;
+    switch (ext.role) {
+      case ExternRole::StrCopy:
+      case ExternRole::BoundedCopy: {
+        // Copy the contents of the source buffer into the destination
+        // buffer (coarsely, through the unknown-offset bucket).
+        if (inst.operands.size() < 2)
+            break;
+        LocSet payload;
+        for (const Loc &src : locs(inst.operands[1])) {
+            const LocSet loaded = loadedLocs(src, iid);
+            payload.insert(loaded.begin(), loaded.end());
+        }
+        for (const Loc &dst : locs(inst.operands[0])) {
+            changed |= storeInto(Loc{dst.obj, Loc::unknownOffset}, payload,
+                                 iid, ValueId::invalid());
+        }
+        // strcpy/memcpy return the destination pointer.
+        if (inst.result.valid())
+            changed |= addLocs(inst.result, locs(inst.operands[0]));
+        break;
+      }
+      default:
+        break;
+    }
+    return changed;
+}
+
+} // namespace manta

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Field-sensitive, inclusion-based whole-program points-to analysis
+ * (paper Section 3).
+ *
+ * Pointer values are mapped to sets of (object, byte offset) locations;
+ * object fields form their own points-to buckets, so pointers stored
+ * into structures are tracked per field. Pointer arithmetic with a
+ * constant shifts the offset; symbolic indexing collapses the offset
+ * to "unknown" (the paper's array-collapsing unsound choice). Direct
+ * calls bind actuals to formals and returns to results; indirect calls
+ * and recursion are not modeled (paper's well-identified choices) -
+ * the module must have been made acyclic first.
+ */
+#ifndef MANTA_ANALYSIS_POINTSTO_H
+#define MANTA_ANALYSIS_POINTSTO_H
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <memory>
+
+#include "analysis/memobj.h"
+#include "analysis/reach.h"
+#include "mir/mir.h"
+
+namespace manta {
+
+/** One abstract location: an object plus a byte offset within it. */
+struct Loc
+{
+    /** Sentinel byte offset meaning "somewhere in the object". */
+    static constexpr std::int32_t unknownOffset = -1;
+
+    ObjectId obj;
+    std::int32_t offset = 0;
+
+    bool collapsed() const { return offset == unknownOffset; }
+
+    friend bool
+    operator<(const Loc &a, const Loc &b)
+    {
+        if (a.obj != b.obj)
+            return a.obj < b.obj;
+        return a.offset < b.offset;
+    }
+    friend bool
+    operator==(const Loc &a, const Loc &b)
+    {
+        return a.obj == b.obj && a.offset == b.offset;
+    }
+
+    /** May these two locations denote the same memory? */
+    static bool
+    mayOverlap(const Loc &a, const Loc &b)
+    {
+        return a.obj == b.obj &&
+               (a.collapsed() || b.collapsed() || a.offset == b.offset);
+    }
+};
+
+using LocSet = std::set<Loc>;
+
+/** Result of the points-to analysis. */
+class PointsTo
+{
+  public:
+    /**
+     * @param flow_aware When true (the default, matching the paper's
+     *        flow-sensitive points-to), a load only observes stores
+     *        whose site may precede it on the CFG, with same-block
+     *        strong updates. When false, the analysis degrades to the
+     *        classic flow-insensitive inclusion style.
+     */
+    PointsTo(const Module &module, const MemObjects &objects,
+             bool flow_aware = true);
+
+    /** Run the inclusion fixpoint. */
+    void run();
+
+    /** Locations a value may point to (empty set for non-pointers). */
+    const LocSet &locs(ValueId value) const;
+
+    /** The contents bucket of one object field (flow-insensitive view). */
+    LocSet fieldPts(ObjectId obj, std::int32_t offset) const;
+
+    /**
+     * Everything a load through `addr_loc` may read: the matching field
+     * bucket plus the unknown-offset bucket (or all buckets when the
+     * address itself is collapsed). When `load_site` is valid and the
+     * analysis is flow-aware, only stores that may reach the load are
+     * observed.
+     */
+    LocSet loadedLocs(const Loc &addr_loc,
+                      InstId load_site = InstId::invalid()) const;
+
+    /** Number of fixpoint passes taken (for stats/tests). */
+    std::size_t passes() const { return passes_; }
+
+    const MemObjects &objects() const { return objects_; }
+
+  private:
+    /** One stored payload with provenance for flow filtering. */
+    struct FieldEntry
+    {
+        Loc payload;
+        InstId site;      ///< The storing instruction (invalid = any).
+        ValueId addr;     ///< Address SSA value for strong updates.
+
+        friend bool
+        operator<(const FieldEntry &a, const FieldEntry &b)
+        {
+            if (!(a.payload == b.payload))
+                return a.payload < b.payload;
+            return a.site < b.site;
+        }
+    };
+
+    bool transferAll();
+    bool addLocs(ValueId value, const LocSet &locs);
+    bool addLoc(ValueId value, const Loc &loc);
+    bool storeInto(const Loc &addr_loc, const LocSet &locs, InstId site,
+                   ValueId addr);
+    LocSet shifted(const LocSet &locs, std::int64_t delta) const;
+    LocSet collapseAll(const LocSet &locs) const;
+    bool transferInst(InstId iid);
+    bool transferExternalCall(InstId iid, const Instruction &inst);
+    void gatherBucket(std::uint32_t obj, std::int32_t offset,
+                      InstId load_site, LocSet &out) const;
+
+    const Module &module_;
+    const MemObjects &objects_;
+    bool flow_aware_;
+    std::vector<LocSet> value_locs_;
+    std::map<std::pair<std::uint32_t, std::int32_t>,
+             std::set<FieldEntry>> field_pts_;
+    mutable std::unique_ptr<StoreReach> reach_;
+    std::size_t passes_ = 0;
+
+    static const LocSet empty_;
+};
+
+} // namespace manta
+
+#endif // MANTA_ANALYSIS_POINTSTO_H

@@ -1,0 +1,77 @@
+#include "analysis/reach.h"
+
+#include <algorithm>
+
+#include "analysis/cfg.h"
+
+namespace manta {
+
+StoreReach::StoreReach(const Module &module) : module_(module)
+{
+    position_.assign(module.numInsts(), 0);
+    for (std::size_t b = 0; b < module.numBlocks(); ++b) {
+        const BasicBlock &bb = module.block(BlockId(BlockId::RawType(b)));
+        for (std::size_t i = 0; i < bb.insts.size(); ++i)
+            position_[bb.insts[i].index()] = static_cast<std::uint32_t>(i);
+    }
+}
+
+bool
+StoreReach::reaches(InstId store, ValueId store_addr, InstId load)
+{
+    if (!store.valid() || !load.valid())
+        return true;
+    const Instruction &si = module_.inst(store);
+    const Instruction &li = module_.inst(load);
+    const FuncId sf = module_.block(si.parent).func;
+    const FuncId lf = module_.block(li.parent).func;
+    if (sf != lf)
+        return true; // conservative across functions
+
+    if (si.parent == li.parent) {
+        if (position_[store.index()] >= position_[load.index()])
+            return false;
+        // Strong update: a later same-address store kills this one.
+        if (store_addr.valid()) {
+            const BasicBlock &bb = module_.block(si.parent);
+            for (std::size_t i = position_[store.index()] + 1;
+                 i < position_[load.index()]; ++i) {
+                const Instruction &mid = module_.inst(bb.insts[i]);
+                if (mid.op == Opcode::Store &&
+                        mid.operands[0] == store_addr) {
+                    return false;
+                }
+            }
+        }
+        return true;
+    }
+    return blockReaches(sf, si.parent, li.parent);
+}
+
+bool
+StoreReach::blockReaches(FuncId func, BlockId from, BlockId to)
+{
+    auto &reach = reach_cache_[func.raw()];
+    if (!cached_.count(func.raw())) {
+        const Cfg cfg(module_, func);
+        for (const BlockId start : module_.func(func).blocks) {
+            std::vector<BlockId> stack{start};
+            std::unordered_set<std::uint32_t> seen;
+            while (!stack.empty()) {
+                const BlockId at = stack.back();
+                stack.pop_back();
+                for (const BlockId next : cfg.succs(at)) {
+                    if (seen.insert(next.raw()).second) {
+                        reach.insert((std::uint64_t(start.raw()) << 32) |
+                                     next.raw());
+                        stack.push_back(next);
+                    }
+                }
+            }
+        }
+        cached_.insert(func.raw());
+    }
+    return reach.count((std::uint64_t(from.raw()) << 32) | to.raw()) > 0;
+}
+
+} // namespace manta

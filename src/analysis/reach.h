@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Store-to-load reachability: the flow-sensitivity surrogate used by
+ * the points-to analysis and the DDG (paper Section 3: the points-to
+ * analysis is flow-sensitive with strong updates).
+ *
+ * A store flows into a load only when the store's site may precede the
+ * load's site on the CFG; within one block, a later store through the
+ * same address SSA value kills the earlier one (a strong update).
+ * Cross-function queries are conservatively true.
+ */
+#ifndef MANTA_ANALYSIS_REACH_H
+#define MANTA_ANALYSIS_REACH_H
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mir/mir.h"
+
+namespace manta {
+
+/** Cached may-reach queries between instruction sites. */
+class StoreReach
+{
+  public:
+    explicit StoreReach(const Module &module);
+
+    /**
+     * May the (pseudo-)store at `store` flow into the access at
+     * `load`? `store_addr` (optional) enables the same-block strong
+     * update check. Invalid ids answer true (no constraint known).
+     */
+    bool reaches(InstId store, ValueId store_addr, InstId load);
+
+  private:
+    bool blockReaches(FuncId func, BlockId from, BlockId to);
+
+    const Module &module_;
+    std::vector<std::uint32_t> position_;
+    std::unordered_map<std::uint32_t, std::unordered_set<std::uint64_t>>
+        reach_cache_;
+    std::unordered_set<std::uint32_t> cached_;
+};
+
+} // namespace manta
+
+#endif // MANTA_ANALYSIS_REACH_H

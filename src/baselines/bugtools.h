@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Behavioural emulations of the Table 5 bug-finding baselines.
+ *
+ *  - cwe_checker-like: intraprocedural pattern matching with no type
+ *    or taint reasoning: strcpy into a stack buffer, system() on a
+ *    non-literal argument, free followed (in any order) by another use
+ *    in the same function. High FPR, misses interprocedural bugs.
+ *  - SaTC-like: keyword-driven whole-binary taint, flow-insensitive,
+ *    no sanitizer awareness, no ordering - every sink reachable from
+ *    any input keyword is reported. Very high FPR.
+ *  - Arbiter-like: a detection pass followed by an under-constrained
+ *    filtering stage so strict it discards essentially every finding
+ *    (the paper observed 0 reports).
+ */
+#ifndef MANTA_BASELINES_BUGTOOLS_H
+#define MANTA_BASELINES_BUGTOOLS_H
+
+#include "clients/checkers.h"
+#include "core/pipeline.h"
+
+namespace manta {
+
+/** Output of one bug-tool run. */
+struct BugToolOutcome
+{
+    std::string name;
+    std::vector<BugReport> reports;
+    bool crashed = false;  ///< NA cell: the tool aborted on this input.
+    double seconds = 0.0;
+};
+
+/** cwe_checker-like pattern matcher. */
+BugToolOutcome runCweCheckerLike(MantaAnalyzer &analyzer);
+
+/** SaTC-like keyword taint analyzer. */
+BugToolOutcome runSatcLike(MantaAnalyzer &analyzer);
+
+/** Arbiter-like detector with under-constrained filtering. */
+BugToolOutcome runArbiterLike(MantaAnalyzer &analyzer);
+
+} // namespace manta
+
+#endif // MANTA_BASELINES_BUGTOOLS_H

@@ -1,0 +1,228 @@
+#include "baselines/learned.h"
+
+#include <cmath>
+
+#include "analysis/cfg.h"
+#include "support/timer.h"
+
+namespace manta {
+
+namespace {
+
+/** Map a ground-truth type to a training class; -1 if out of scope. */
+int
+classOf(const TypeTable &tt, TypeRef type)
+{
+    switch (tt.kind(type)) {
+      case TypeKind::Int:
+        return tt.widthBits(type) == 32 ? DirtyModel::ClassInt32
+                                        : DirtyModel::ClassInt64;
+      case TypeKind::Float:
+        return DirtyModel::ClassFloat;
+      case TypeKind::Double:
+        return DirtyModel::ClassDouble;
+      case TypeKind::Ptr:
+        return DirtyModel::ClassPtr;
+      default:
+        return -1;
+    }
+}
+
+} // namespace
+
+std::vector<std::array<bool, DirtyModel::numFeatures>>
+DirtyModel::featuresAll(const Module &module)
+{
+    std::vector<std::array<bool, numFeatures>> all(module.numValues());
+    for (std::size_t v = 0; v < module.numValues(); ++v) {
+        const Value &value =
+            module.value(ValueId(static_cast<ValueId::RawType>(v)));
+        auto &f = all[v];
+        f[0] = value.width == 64;
+        f[1] = value.width == 32;
+        f[2] = value.width == 8 || value.width == 16;
+        f[3] = value.kind == ValueKind::Argument;
+    }
+
+    for (std::size_t i = 0; i < module.numInsts(); ++i) {
+        const Instruction &inst =
+            module.inst(InstId(static_cast<InstId::RawType>(i)));
+
+        if (inst.result.valid()) {
+            auto &f = all[inst.result.index()];
+            switch (inst.op) {
+              case Opcode::Load: f[4] = true; break;
+              case Opcode::Alloca: f[5] = true; break;
+              case Opcode::Phi: f[6] = true; break;
+              case Opcode::Call: {
+                f[7] = true;
+                if (inst.external.valid()) {
+                    const std::string &name =
+                        module.external(inst.external).name;
+                    f[8] = name == "malloc" || name == "calloc";
+                    f[9] = name == "strlen" || name == "atoi" ||
+                           name == "strtol";
+                    f[10] = name == "nvram_get" || name == "getenv" ||
+                            name == "strcpy" || name == "webs_get_var";
+                }
+                break;
+              }
+              case Opcode::Add:
+              case Opcode::Sub: f[11] = true; break;
+              case Opcode::Mul:
+              case Opcode::Div:
+              case Opcode::Shl:
+              case Opcode::Shr: f[12] = true; break;
+              case Opcode::FAdd:
+              case Opcode::FSub:
+              case Opcode::FMul:
+              case Opcode::FDiv: f[13] = true; break;
+              case Opcode::ZExt:
+              case Opcode::SExt:
+              case Opcode::Trunc: f[14] = true; break;
+              default: break;
+            }
+        }
+
+        for (std::size_t k = 0; k < inst.operands.size(); ++k) {
+            auto &f = all[inst.operands[k].index()];
+            switch (inst.op) {
+              case Opcode::Load:
+                f[15] = true;
+                break;
+              case Opcode::Store:
+                if (k == 0)
+                    f[16] = true;
+                else
+                    f[17] = true;
+                break;
+              case Opcode::Mul:
+              case Opcode::Div:
+              case Opcode::Rem:
+              case Opcode::Shl:
+              case Opcode::Shr:
+                f[18] = true;
+                break;
+              case Opcode::FAdd:
+              case Opcode::FSub:
+              case Opcode::FMul:
+              case Opcode::FDiv:
+              case Opcode::FCmp:
+                f[19] = true;
+                break;
+              case Opcode::ICmp:
+                f[20] = true;
+                break;
+              case Opcode::Call: {
+                if (inst.external.valid()) {
+                    const std::string &name =
+                        module.external(inst.external).name;
+                    f[21] = f[21] || name == "print_str" ||
+                            name == "strlen" || name == "strcpy" ||
+                            name == "strcat" || name == "system" ||
+                            name == "atoi";
+                    f[22] = f[22] || name == "print_int" || name == "exit";
+                    f[23] = f[23] || name == "print_flt" || name == "sqrt";
+                }
+                break;
+              }
+              default:
+                break;
+            }
+        }
+    }
+    return all;
+}
+
+std::array<bool, DirtyModel::numFeatures>
+DirtyModel::features(const Module &module, ValueId v)
+{
+    return featuresAll(module)[v.index()];
+}
+
+void
+DirtyModel::train(Module &module, const GroundTruth &truth)
+{
+    const TypeTable &tt = module.types();
+    const auto all = featuresAll(module);
+    for (const auto &[v, t] : truth.valueTypes) {
+        const ValueKind kind = module.value(v).kind;
+        if (kind != ValueKind::Argument && kind != ValueKind::InstResult)
+            continue;
+        const int cls = classOf(tt, t);
+        if (cls < 0)
+            continue;
+        const auto &f = all[v.index()];
+        ++class_counts_[cls];
+        ++total_;
+        for (std::size_t i = 0; i < numFeatures; ++i) {
+            if (f[i])
+                ++feature_counts_[cls][i];
+        }
+    }
+}
+
+double
+DirtyModel::logLikelihood(Class cls,
+                          const std::array<bool, numFeatures> &f) const
+{
+    const double class_total = class_counts_[cls] + 1.0;
+    double ll = std::log(class_total / (total_ + NumClasses));
+    for (std::size_t i = 0; i < numFeatures; ++i) {
+        const double p =
+            (feature_counts_[cls][i] + 0.5) / (class_total + 1.0);
+        ll += std::log(f[i] ? p : 1.0 - p);
+    }
+    return ll;
+}
+
+BaselineOutcome
+DirtyModel::predict(Module &module) const
+{
+    Timer timer;
+    BaselineOutcome out;
+    out.name = "DIRTY";
+    TypeTable &tt = module.types();
+
+    const auto all = featuresAll(module);
+    for (std::size_t v = 0; v < module.numValues(); ++v) {
+        const ValueId vid(static_cast<ValueId::RawType>(v));
+        const ValueKind kind = module.value(vid).kind;
+        if (kind != ValueKind::Argument && kind != ValueKind::InstResult)
+            continue;
+        const auto &f = all[v];
+        double best = -1e300, second = -1e300;
+        int best_cls = ClassInt64;
+        for (int cls = 0; cls < NumClasses; ++cls) {
+            const double ll = logLikelihood(static_cast<Class>(cls), f);
+            if (ll > best) {
+                second = best;
+                best = ll;
+                best_cls = cls;
+            } else if (ll > second) {
+                second = ll;
+            }
+        }
+        // Hedge when the decision is close: predict the register class
+        // of the width instead of a concrete type (recall, not
+        // precision - the data-driven "plausible guess" behaviour).
+        const int width = module.value(vid).width;
+        if (best - second < 0.25 && (width == 32 || width == 64)) {
+            out.types.emplace(vid, tt.reg(width));
+            continue;
+        }
+        TypeRef pred;
+        switch (best_cls) {
+          case ClassInt32: pred = tt.intTy(32); break;
+          case ClassInt64: pred = tt.intTy(64); break;
+          case ClassFloat: pred = tt.floatTy(); break;
+          case ClassDouble: pred = tt.doubleTy(); break;
+          default: pred = tt.ptrAny(); break;
+        }
+        out.types.emplace(vid, pred);
+    }
+    out.seconds = timer.seconds();
+    return out;
+}
+
+} // namespace manta

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * DIRTY-like learned type predictor.
+ *
+ * The paper's DIRTY baseline is a trained transformer; offline we
+ * substitute the same behaviour class with a naive-Bayes classifier
+ * over binary usage features (see DESIGN.md): it always predicts a
+ * type (never abstains), achieves moderate exact precision, and hedges
+ * to a register class when uncertain - earning recall without
+ * precision, exactly the published precision < recall signature.
+ */
+#ifndef MANTA_BASELINES_LEARNED_H
+#define MANTA_BASELINES_LEARNED_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "baselines/typetools.h"
+#include "frontend/groundtruth.h"
+
+namespace manta {
+
+/** Naive-Bayes type predictor trained on generated corpora. */
+class DirtyModel
+{
+  public:
+    /** First-layer classes the model predicts. */
+    enum Class : std::uint8_t {
+        ClassInt32,
+        ClassInt64,
+        ClassFloat,
+        ClassDouble,
+        ClassPtr,
+        NumClasses,
+    };
+
+    static constexpr std::size_t numFeatures = 24;
+
+    /** Accumulate training counts from a ground-truthed module. */
+    void train(Module &module, const GroundTruth &truth);
+
+    /** Predict a type per variable; always commits. */
+    BaselineOutcome predict(Module &module) const;
+
+    /** Extract the feature vector of one value (public for tests). */
+    static std::array<bool, numFeatures> features(const Module &module,
+                                                  ValueId v);
+
+    /** Feature vectors for every value, in one module scan. */
+    static std::vector<std::array<bool, numFeatures>>
+    featuresAll(const Module &module);
+
+    /** Number of training samples seen. */
+    std::size_t numSamples() const { return total_; }
+
+  private:
+    double logLikelihood(Class cls,
+                         const std::array<bool, numFeatures> &f) const;
+
+    // Laplace-smoothed counts.
+    std::array<std::array<std::uint32_t, numFeatures>, NumClasses>
+        feature_counts_{};
+    std::array<std::uint32_t, NumClasses> class_counts_{};
+    std::size_t total_ = 0;
+};
+
+} // namespace manta
+
+#endif // MANTA_BASELINES_LEARNED_H

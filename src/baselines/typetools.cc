@@ -1,0 +1,283 @@
+#include "baselines/typetools.h"
+
+#include <vector>
+
+#include "core/hints.h"
+#include "support/timer.h"
+
+namespace manta {
+
+namespace {
+
+/**
+ * Direct (points-to-free) hints of each value.
+ *
+ * Decompiler-grade tools do not parse variadic format strings, so the
+ * printf-family reveals the paper's Figure 3 relies on are invisible
+ * to them (parse_formats = false); Manta models those calls as typed
+ * externals.
+ */
+std::unordered_map<ValueId, TypeRef>
+directHints(Module &module, bool parse_formats)
+{
+    HintIndex hints(module, /*pts=*/nullptr);
+    TypeTable &tt = module.types();
+    std::unordered_map<ValueId, TypeRef> out;
+    auto from_print = [&](const TypeHint &hint) {
+        if (!hint.site.valid())
+            return false;
+        const Instruction &inst = module.inst(hint.site);
+        if (inst.op != Opcode::Call || !inst.external.valid())
+            return false;
+        return module.external(inst.external).role == ExternRole::Print;
+    };
+    for (std::size_t v = 0; v < module.numValues(); ++v) {
+        const ValueId vid(static_cast<ValueId::RawType>(v));
+        TypeRef acc;
+        for (const TypeHint &hint : hints.of(vid)) {
+            if (!parse_formats && from_print(hint))
+                continue;
+            acc = acc.valid() ? tt.join(acc, hint.type) : hint.type;
+        }
+        if (!acc.valid())
+            continue;
+        if (acc == tt.top())
+            acc = hints.of(vid).front().type; // conflict: first guess
+        out.emplace(vid, acc);
+    }
+    return out;
+}
+
+bool
+isVariable(const Module &module, ValueId v)
+{
+    const ValueKind kind = module.value(v).kind;
+    return kind == ValueKind::Argument || kind == ValueKind::InstResult;
+}
+
+} // namespace
+
+BaselineOutcome
+runRetdecLike(Module &module)
+{
+    Timer timer;
+    BaselineOutcome out;
+    out.name = "RetDec";
+    TypeTable &tt = module.types();
+    auto hints = directHints(module, /*parse_formats=*/false);
+
+    // One global forward pass through copy/phi/call-binding chains:
+    // RetDec's lifter assigns types while emitting IR.
+    for (int pass = 0; pass < 2; ++pass) {
+        for (std::size_t i = 0; i < module.numInsts(); ++i) {
+            const Instruction &inst =
+                module.inst(InstId(static_cast<InstId::RawType>(i)));
+            if ((inst.op == Opcode::Copy || inst.op == Opcode::Phi) &&
+                    inst.result.valid()) {
+                for (const ValueId op : inst.operands) {
+                    const auto it = hints.find(op);
+                    if (it != hints.end() && !hints.count(inst.result)) {
+                        hints.emplace(inst.result, it->second);
+                        break;
+                    }
+                }
+            }
+            // No interprocedural propagation: the lifter types each
+            // function locally while emitting it.
+        }
+    }
+
+    // RetDec never leaves a value untyped: default i32.
+    for (std::size_t v = 0; v < module.numValues(); ++v) {
+        const ValueId vid(static_cast<ValueId::RawType>(v));
+        if (!isVariable(module, vid))
+            continue;
+        const auto it = hints.find(vid);
+        out.types.emplace(vid,
+                          it != hints.end() ? it->second : tt.intTy(32));
+    }
+    out.seconds = timer.seconds();
+    return out;
+}
+
+BaselineOutcome
+runGhidraLike(Module &module)
+{
+    Timer timer;
+    BaselineOutcome out;
+    out.name = "Ghidra";
+    auto hints = directHints(module, /*parse_formats=*/false);
+
+    // Regional propagation: hints flow through copies/phis and stack
+    // slot load/store pairs only when producer and consumer live in
+    // the same basic block.
+    for (int pass = 0; pass < 3; ++pass) {
+        for (std::size_t b = 0; b < module.numBlocks(); ++b) {
+            const BasicBlock &bb =
+                module.block(BlockId(BlockId::RawType(b)));
+            // In-block slot contents: address value -> last stored type.
+            std::unordered_map<std::uint32_t, TypeRef> slots;
+            for (const InstId iid : bb.insts) {
+                const Instruction &inst = module.inst(iid);
+                if (inst.op == Opcode::Copy || inst.op == Opcode::Phi) {
+                    for (const ValueId op : inst.operands) {
+                        const auto it = hints.find(op);
+                        const bool same_block =
+                            module.value(op).kind == ValueKind::InstResult
+                                ? module.inst(module.value(op).inst)
+                                          .parent == inst.parent
+                                : false;
+                        if (it != hints.end() && same_block &&
+                                !hints.count(inst.result)) {
+                            hints.emplace(inst.result, it->second);
+                        }
+                    }
+                } else if (inst.op == Opcode::Store) {
+                    const auto it = hints.find(inst.operands[1]);
+                    if (it != hints.end())
+                        slots[inst.operands[0].raw()] = it->second;
+                } else if (inst.op == Opcode::Load) {
+                    const auto it = slots.find(inst.operands[0].raw());
+                    if (it != slots.end() && !hints.count(inst.result))
+                        hints.emplace(inst.result, it->second);
+                }
+            }
+        }
+    }
+
+    // Heuristic commitment: anything that participates in integer
+    // arithmetic or comparisons is judged an integer of its register
+    // width (Ghidra's trademark "long" guesses - wrong for pointer
+    // arithmetic bases, which costs recall).
+    TypeTable &tt = module.types();
+    for (std::size_t i = 0; i < module.numInsts(); ++i) {
+        const Instruction &inst =
+            module.inst(InstId(static_cast<InstId::RawType>(i)));
+        const bool int_judged =
+            inst.op == Opcode::Add || inst.op == Opcode::Sub ||
+            inst.op == Opcode::Mul || inst.op == Opcode::ICmp ||
+            inst.op == Opcode::Shl || inst.op == Opcode::Shr ||
+            inst.op == Opcode::Ret || inst.op == Opcode::Call ||
+            inst.op == Opcode::Store;
+        if (!int_judged)
+            continue;
+        // Store addresses keep their pointer reading; everything else
+        // unresolved defaults to a width-sized integer ("undefined8 ->
+        // long" decompiler behaviour).
+        for (std::size_t k = 0; k < inst.operands.size(); ++k) {
+            if (inst.op == Opcode::Store && k == 0)
+                continue;
+            const ValueId op = inst.operands[k];
+            if (isVariable(module, op) && !hints.count(op)) {
+                const int width = module.value(op).width;
+                if (isValidWidth(width))
+                    hints.emplace(op, tt.intTy(width));
+            }
+        }
+    }
+
+    for (const auto &[v, t] : hints) {
+        if (isVariable(module, v))
+            out.types.emplace(v, t);
+    }
+    out.seconds = timer.seconds();
+    return out;
+}
+
+BaselineOutcome
+runRetypdLike(Module &module, std::size_t work_budget)
+{
+    Timer timer;
+    BaselineOutcome out;
+    out.name = "Retypd";
+    TypeTable &tt = module.types();
+
+    // Subtyping constraint graph (no points-to): bidirectional
+    // propagation along copies/phis/compares and call bindings.
+    std::vector<std::vector<ValueId>> succs(module.numValues());
+    auto link = [&](ValueId a, ValueId b) {
+        succs[a.index()].push_back(b);
+        succs[b.index()].push_back(a);
+    };
+    for (std::size_t i = 0; i < module.numInsts(); ++i) {
+        const Instruction &inst =
+            module.inst(InstId(static_cast<InstId::RawType>(i)));
+        switch (inst.op) {
+          case Opcode::Copy:
+          case Opcode::Phi:
+            for (const ValueId op : inst.operands)
+                link(op, inst.result);
+            break;
+          case Opcode::ICmp:
+            link(inst.operands[0], inst.operands[1]);
+            break;
+          case Opcode::Call: {
+            if (!inst.callee.valid())
+                break;
+            const Function &callee = module.func(inst.callee);
+            const std::size_t n =
+                std::min(callee.params.size(), inst.operands.size());
+            for (std::size_t k = 0; k < n; ++k)
+                link(inst.operands[k], callee.params[k]);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    // Transitive closure by joined-fact propagation; cubic in the
+    // worst case, metered by a work counter.
+    auto facts = directHints(module, /*parse_formats=*/true);
+    std::size_t work = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t v = 0; v < module.numValues(); ++v) {
+            const auto it =
+                facts.find(ValueId(static_cast<ValueId::RawType>(v)));
+            if (it == facts.end())
+                continue;
+            for (const ValueId next : succs[v]) {
+                // Cubic-style cost: saturating the subtype relation
+                // derives transitive edges against every other
+                // constraint variable, so each propagation step is
+                // charged the size of the variable set.
+                work += 1 + succs[next.index()].size() +
+                        module.numValues() / 4;
+                if (work > work_budget) {
+                    out.timedOut = true;
+                    out.types.clear();
+                    out.seconds = timer.seconds();
+                    return out;
+                }
+                const auto jt = facts.find(next);
+                if (jt == facts.end()) {
+                    facts.emplace(next, it->second);
+                    changed = true;
+                } else {
+                    const TypeRef joined = tt.join(jt->second, it->second);
+                    if (joined != jt->second) {
+                        jt->second = joined;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    for (const auto &[v, t] : facts) {
+        if (!isVariable(module, v))
+            continue;
+        // Sketches are generalized: concrete numerics widen to their
+        // register-width numeric class.
+        TypeRef reported = t;
+        if (tt.isNumeric(t) && tt.widthBits(t) != 0)
+            reported = tt.num(tt.widthBits(t));
+        out.types.emplace(v, reported);
+    }
+    out.seconds = timer.seconds();
+    return out;
+}
+
+} // namespace manta

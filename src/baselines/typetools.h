@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Behavioural reimplementations of the type-inference baselines
+ * compared against in Table 3 (see DESIGN.md for the substitution
+ * rationale):
+ *
+ *  - RetDec-like: local rules; anything unresolved defaults to int32
+ *    (RetDec must emit valid typed IR, so it never says "unknown" -
+ *    at the cost of recall).
+ *  - Ghidra-like: heuristic regional propagation: hints spread only
+ *    within a basic block; unresolved values stay `undefined`.
+ *  - Retypd-like: principled subtyping constraints solved by
+ *    transitive closure; cubic work, modeled by a work budget whose
+ *    exhaustion reports a timeout (the Table 3 triangle).
+ */
+#ifndef MANTA_BASELINES_TYPETOOLS_H
+#define MANTA_BASELINES_TYPETOOLS_H
+
+#include <string>
+#include <unordered_map>
+
+#include "mir/mir.h"
+#include "types/type.h"
+
+namespace manta {
+
+/** Output of one baseline run. */
+struct BaselineOutcome
+{
+    std::string name;
+    /** Singleton predictions; absent entry = unknown/undefined. */
+    std::unordered_map<ValueId, TypeRef> types;
+    bool timedOut = false;
+    bool crashed = false;
+    double seconds = 0.0;
+};
+
+/** RetDec-like inference (defaults to int32). */
+BaselineOutcome runRetdecLike(Module &module);
+
+/** Ghidra-like regional heuristic inference. */
+BaselineOutcome runGhidraLike(Module &module);
+
+/**
+ * Retypd-like constraint-closure inference.
+ * @param work_budget Max propagation steps before the run reports a
+ *        timeout (models the 72-hour cap on the closure).
+ */
+BaselineOutcome runRetypdLike(Module &module,
+                              std::size_t work_budget = 5000000);
+
+} // namespace manta
+
+#endif // MANTA_BASELINES_TYPETOOLS_H

@@ -1,0 +1,138 @@
+#include "clients/annotate.h"
+
+#include <sstream>
+
+#include "mir/printer.h"
+
+namespace manta {
+
+namespace {
+
+/** Render a recovered type as C-ish source text. */
+std::string
+cType(const TypeTable &tt, TypeRef type)
+{
+    switch (tt.kind(type)) {
+      case TypeKind::Int: {
+        const int width = tt.widthBits(type);
+        if (width == 8)
+            return "char";
+        if (width == 16)
+            return "short";
+        if (width == 32)
+            return "int";
+        return "long";
+      }
+      case TypeKind::Float:
+        return "float";
+      case TypeKind::Double:
+        return "double";
+      case TypeKind::Ptr: {
+        const TypeRef pointee = tt.node(type).elem;
+        if (pointee == tt.top())
+            return "void*";
+        return cType(tt, pointee) + "*";
+      }
+      case TypeKind::Num:
+        return "num" + std::to_string(tt.widthBits(type));
+      case TypeKind::Reg:
+        return "undefined" +
+               std::to_string(tt.widthBits(type) / 8);
+      case TypeKind::Object:
+        return "struct{...}";
+      case TypeKind::Array:
+        return cType(tt, tt.node(type).elem) + "[]";
+      case TypeKind::Func:
+        return "fn";
+      default:
+        return "undefined";
+    }
+}
+
+/** Annotation for one bound pair. */
+std::string
+describe(const TypeTable &tt, const BoundPair &bp)
+{
+    switch (bp.classify(tt)) {
+      case TypeClass::Unknown:
+        return "undefined";
+      case TypeClass::Precise:
+        return cType(tt, bp.upper);
+      case TypeClass::Over:
+        if (tt.firstLayerEqual(bp.upper, bp.lower))
+            return cType(tt, bp.upper);
+        return cType(tt, bp.lower) + ".." + cType(tt, bp.upper);
+    }
+    return "undefined";
+}
+
+} // namespace
+
+std::string
+recoveredSignature(const Module &module, FuncId func,
+                   const InferenceResult &types)
+{
+    const Function &fn = module.func(func);
+    const TypeTable &tt = module.types();
+    std::ostringstream os;
+
+    // Return type: annotate from the first ret operand.
+    std::string ret = "void";
+    for (const BlockId bid : fn.blocks) {
+        const BasicBlock &bb = module.block(bid);
+        if (bb.insts.empty())
+            continue;
+        const Instruction &term = module.inst(bb.insts.back());
+        if (term.op == Opcode::Ret && !term.operands.empty()) {
+            ret = describe(tt, types.valueBounds(term.operands[0]));
+            break;
+        }
+    }
+    os << ret << " " << fn.name << "(";
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+        if (i > 0)
+            os << ", ";
+        os << describe(tt, types.valueBounds(fn.params[i]));
+    }
+    os << ")";
+    return os.str();
+}
+
+std::string
+annotateFunction(const Module &module, FuncId func,
+                 const InferenceResult &types)
+{
+    const Function &fn = module.func(func);
+    const TypeTable &tt = module.types();
+    std::ostringstream os;
+    os << "; " << recoveredSignature(module, func, types) << "\n";
+    os << "func @" << fn.name << "(...) {\n";
+    for (const BlockId bid : fn.blocks) {
+        os << module.block(bid).name << ":\n";
+        for (const InstId iid : module.block(bid).insts) {
+            const Instruction &inst = module.inst(iid);
+            os << "  " << printInst(module, iid);
+            if (inst.result.valid()) {
+                os << "    ; "
+                   << describe(tt,
+                               types.siteBounds(inst.result, iid));
+            }
+            os << "\n";
+        }
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+annotateModule(const Module &module, const InferenceResult &types)
+{
+    std::ostringstream os;
+    for (std::size_t f = 0; f < module.numFuncs(); ++f) {
+        os << annotateFunction(module, FuncId(FuncId::RawType(f)), types)
+           << "\n";
+    }
+    return os.str();
+}
+
+} // namespace manta

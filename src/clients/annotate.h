@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Typed-listing annotation (the paper's "Application Scope": inferred
+ * types can raise decompilation quality).
+ *
+ * Renders a module the way the printer does, with each instruction
+ * annotated by the inferred type of its result - and each function
+ * header annotated with a recovered C-like signature.
+ */
+#ifndef MANTA_CLIENTS_ANNOTATE_H
+#define MANTA_CLIENTS_ANNOTATE_H
+
+#include <string>
+
+#include "core/pipeline.h"
+
+namespace manta {
+
+/** Render one function with inferred-type annotations. */
+std::string annotateFunction(const Module &module, FuncId func,
+                             const InferenceResult &types);
+
+/** Render the whole module with inferred-type annotations. */
+std::string annotateModule(const Module &module,
+                           const InferenceResult &types);
+
+/**
+ * A C-like recovered signature, e.g. "int64 fn3(char*, int64)".
+ * Unknown types render as "undefined".
+ */
+std::string recoveredSignature(const Module &module, FuncId func,
+                               const InferenceResult &types);
+
+} // namespace manta
+
+#endif // MANTA_CLIENTS_ANNOTATE_H

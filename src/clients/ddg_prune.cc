@@ -1,0 +1,69 @@
+#include "clients/ddg_prune.h"
+
+namespace manta {
+
+namespace {
+
+/** Is the site-sensitive type definitely a pointer? */
+bool
+definitelyPtr(TypeTable &tt, const BoundPair &bp)
+{
+    return tt.kind(bp.upper) == TypeKind::Ptr &&
+           (tt.kind(bp.lower) == TypeKind::Ptr ||
+            bp.lower == tt.bottom());
+}
+
+/** Is the site-sensitive type definitely numeric? */
+bool
+definitelyNum(TypeTable &tt, const BoundPair &bp)
+{
+    return tt.isNumeric(bp.upper) &&
+           (tt.isNumeric(bp.lower) || bp.lower == tt.bottom());
+}
+
+} // namespace
+
+PruneStats
+pruneInfeasibleDeps(Ddg &ddg, const InferenceResult &inference)
+{
+    PruneStats stats;
+    const Module &module = ddg.module();
+    TypeTable &tt = inference.types();
+
+    for (std::uint32_t idx = 0; idx < ddg.numEdges(); ++idx) {
+        const Ddg::Edge &edge = ddg.edge(idx);
+        if (edge.kind != DepKind::PtrArith || edge.pruned)
+            continue;
+        ++stats.examined;
+
+        const Instruction &inst = module.inst(edge.site);
+        const BoundPair result_bp =
+            inference.siteBounds(inst.result, edge.site);
+        const BoundPair op_bp = inference.siteBounds(edge.from, edge.site);
+
+        bool prune = false;
+        if (inst.op == Opcode::Add) {
+            // R = ADD OP1, OP2 with R:ptr and OP:num -> OP is the
+            // offset, not an alias of R.
+            prune = definitelyPtr(tt, result_bp) && definitelyNum(tt, op_bp);
+        } else if (inst.op == Opcode::Sub) {
+            // R = SUB OP1, OP2 with R:num and OP:ptr -> pointer
+            // difference; R aliases neither pointer.
+            if (definitelyNum(tt, result_bp) && definitelyPtr(tt, op_bp)) {
+                prune = true;
+            } else if (definitelyPtr(tt, result_bp) &&
+                       edge.from == inst.operands[1]) {
+                // R = SUB base, offset with R:ptr -> the subtrahend is
+                // the offset.
+                prune = true;
+            }
+        }
+        if (prune) {
+            ddg.prune(idx);
+            ++stats.pruned;
+        }
+    }
+    return stats;
+}
+
+} // namespace manta

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Infeasible data-dependency pruning (paper Section 5.2, Table 2).
+ *
+ * Pointer-arithmetic edges whose operand can be typed as the numeric
+ * offset (rather than the base pointer) are pruned from the DDG, so
+ * program slicing no longer follows offset -> pointer dependencies
+ * (the false NPD of Figure 4(c)).
+ */
+#ifndef MANTA_CLIENTS_DDG_PRUNE_H
+#define MANTA_CLIENTS_DDG_PRUNE_H
+
+#include "analysis/ddg.h"
+#include "core/pipeline.h"
+
+namespace manta {
+
+/** Statistics of one pruning pass. */
+struct PruneStats
+{
+    std::size_t examined = 0;  ///< add/sub edges considered.
+    std::size_t pruned = 0;    ///< Edges removed per Table 2.
+};
+
+/**
+ * Apply the Table 2 rules to every add/sub edge of the DDG using the
+ * inference result's site-sensitive types. TY(v) = ty means both
+ * bounds agree on the first-layer constructor.
+ */
+PruneStats pruneInfeasibleDeps(Ddg &ddg, const InferenceResult &inference);
+
+} // namespace manta
+
+#endif // MANTA_CLIENTS_DDG_PRUNE_H

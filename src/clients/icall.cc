@@ -1,0 +1,107 @@
+#include "clients/icall.h"
+
+namespace manta {
+
+double
+IcallResult::aict() const
+{
+    if (targets.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const auto &[site, funcs] : targets)
+        total += static_cast<double>(funcs.size());
+    return total / static_cast<double>(targets.size());
+}
+
+std::vector<InstId>
+IcallAnalysis::icallSites() const
+{
+    std::vector<InstId> sites;
+    for (std::size_t i = 0; i < module_.numInsts(); ++i) {
+        const InstId iid(static_cast<InstId::RawType>(i));
+        if (module_.inst(iid).op == Opcode::ICall)
+            sites.push_back(iid);
+    }
+    return sites;
+}
+
+IcallResult
+IcallAnalysis::run(IcallDiscipline discipline) const
+{
+    IcallResult result;
+    const auto candidates = module_.addressTakenFuncs();
+    for (const InstId site : icallSites()) {
+        std::vector<FuncId> feasible_targets;
+        for (const FuncId target : candidates) {
+            if (feasible(site, target, discipline))
+                feasible_targets.push_back(target);
+        }
+        result.targets.emplace(site, std::move(feasible_targets));
+    }
+    return result;
+}
+
+bool
+IcallAnalysis::feasible(InstId site, FuncId target,
+                        IcallDiscipline discipline) const
+{
+    const Instruction &icall = module_.inst(site);
+    const Function &fn = module_.func(target);
+    const std::size_t num_args = icall.operands.size() - 1; // operand0=target
+
+    // Rule 1 (all disciplines): enough arguments are prepared.
+    if (num_args < fn.params.size())
+        return false;
+
+    if (discipline == IcallDiscipline::ArgCount)
+        return true;
+
+    if (discipline == IcallDiscipline::ArgCountWidth) {
+        for (std::size_t i = 0; i < fn.params.size(); ++i) {
+            const int arg_width = module_.value(icall.operands[i + 1]).width;
+            const int par_width = module_.value(fn.params[i]).width;
+            if (arg_width < par_width)
+                return false;
+        }
+        return true;
+    }
+
+    // FullTypes: inferred-type compatibility.
+    if (inference_ == nullptr)
+        return true;
+    TypeTable &tt = module_.types();
+    const InstId entry_inst =
+        fn.entry().valid() && !module_.block(fn.entry()).insts.empty()
+            ? module_.block(fn.entry()).insts.front()
+            : InstId::invalid();
+
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+        const ValueId arg = icall.operands[i + 1];
+        const BoundPair arg_bp = inference_->siteBounds(arg, site);
+        const BoundPair par_bp =
+            inference_->siteBounds(fn.params[i], entry_inst);
+        // F-up(arg@s) >: F-down(par@entry).
+        if (!tt.isSubtype(par_bp.lower, arg_bp.upper))
+            return false;
+    }
+
+    // Return-type check: F-up(ret_f@exit) >: F-down(ret@s).
+    if (icall.result.valid()) {
+        for (const BlockId bid : fn.blocks) {
+            const BasicBlock &bb = module_.block(bid);
+            if (bb.insts.empty())
+                continue;
+            const Instruction &term = module_.inst(bb.insts.back());
+            if (term.op != Opcode::Ret || term.operands.empty())
+                continue;
+            const BoundPair ret_f =
+                inference_->siteBounds(term.operands[0], bb.insts.back());
+            const BoundPair ret_s = inference_->siteBounds(icall.result, site);
+            if (!tt.isSubtype(ret_s.lower, ret_f.upper))
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace manta

@@ -1,0 +1,184 @@
+#include "core/ddg_walk.h"
+
+#include <set>
+#include <unordered_set>
+
+namespace manta {
+
+namespace {
+
+/** A traversal frame: node plus calling-context stack. */
+struct Frame
+{
+    ValueId node;
+    std::vector<InstId> ctx;
+};
+
+/** Visited key: node plus context top (finite approximation). */
+struct VisitKey
+{
+    std::uint32_t node;
+    std::uint32_t top;
+
+    friend bool
+    operator<(const VisitKey &a, const VisitKey &b)
+    {
+        if (a.node != b.node)
+            return a.node < b.node;
+        return a.top < b.top;
+    }
+};
+
+VisitKey
+keyOf(const Frame &f)
+{
+    return VisitKey{f.node.raw(),
+                    f.ctx.empty() ? 0xffffffffu : f.ctx.back().raw()};
+}
+
+} // namespace
+
+bool
+DdgWalker::arithEdgeFeasible(const Ddg::Edge &edge) const
+{
+    if (edge.kind != DepKind::PtrArith)
+        return true;
+    // "Resolve the type of operands first and perform feasibility
+    // checking" (Section 4.2.1). The points-to analysis is the
+    // resolver of record for pointer-ness: an alias link through
+    // add/sub must connect two pointers or two numerics - a
+    // location-less operand feeding a location-bearing result is the
+    // displacement, not the base (and vice versa for pointer
+    // differences).
+    const PointsTo &pts = ddg_.pts();
+    const bool from_ptr = !pts.locs(edge.from).empty();
+    const bool to_ptr = !pts.locs(edge.to).empty();
+    if (from_ptr != to_ptr)
+        return false;
+
+    if (env_ == nullptr)
+        return true;
+    // Table 2 logic in traversal form: the numeric operand of a
+    // pointer-producing add (or sub) is an offset, not an alias.
+    const BoundPair rb = env_->boundsOf(TypeVar::of(edge.to));
+    const BoundPair ob = env_->boundsOf(TypeVar::of(edge.from));
+    auto definitely = [&](const BoundPair &bp, TypeKind kind) {
+        return types_.kind(bp.upper) == kind && bp.upper == bp.lower;
+    };
+    auto definitely_num = [&](const BoundPair &bp) {
+        return bp.upper == bp.lower && types_.isNumeric(bp.upper);
+    };
+    if (definitely(rb, TypeKind::Ptr) && definitely_num(ob))
+        return false;
+    if (definitely_num(rb) && definitely(ob, TypeKind::Ptr))
+        return false;
+    return true;
+}
+
+std::vector<ValueId>
+DdgWalker::findRoots(ValueId v)
+{
+    truncated_ = false;
+    std::vector<ValueId> roots;
+    std::set<VisitKey> visited;
+    std::unordered_set<std::uint32_t> root_set;
+    std::vector<Frame> work;
+    work.push_back(Frame{v, {}});
+    visited.insert(keyOf(work.back()));
+
+    std::size_t steps = 0;
+    while (!work.empty()) {
+        if (++steps > budget_.maxVisited) {
+            truncated_ = true;
+            break;
+        }
+        Frame frame = std::move(work.back());
+        work.pop_back();
+
+        bool expanded = false;
+        for (const auto idx : ddg_.inEdges(frame.node)) {
+            const Ddg::Edge &edge = ddg_.edge(idx);
+            if (edge.pruned || !isAliasEdge(edge.kind) ||
+                    !arithEdgeFeasible(edge)) {
+                continue;
+            }
+            Frame next;
+            next.node = edge.from;
+            next.ctx = frame.ctx;
+            if (edge.kind == DepKind::CallArg) {
+                // formal -> actual: exiting the callee.
+                if (!next.ctx.empty()) {
+                    if (next.ctx.back() != edge.site)
+                        continue; // CFL-invalid
+                    next.ctx.pop_back();
+                }
+            } else if (edge.kind == DepKind::CallRet) {
+                // call result -> return operand: entering the callee.
+                if (next.ctx.size() >= budget_.maxStack)
+                    continue;
+                next.ctx.push_back(edge.site);
+            }
+            expanded = true;
+            if (visited.insert(keyOf(next)).second)
+                work.push_back(std::move(next));
+        }
+        if (!expanded && root_set.insert(frame.node.raw()).second)
+            roots.push_back(frame.node);
+    }
+    if (roots.empty())
+        roots.push_back(v); // Algorithm 1 lines 18-19
+    return roots;
+}
+
+std::vector<TypeRef>
+DdgWalker::collectTypes(ValueId root, const HintIndex &hints)
+{
+    truncated_ = false;
+    std::vector<TypeRef> types;
+    std::set<VisitKey> visited;
+    std::vector<Frame> work;
+    work.push_back(Frame{root, {}});
+    visited.insert(keyOf(work.back()));
+
+    std::size_t steps = 0;
+    while (!work.empty()) {
+        if (++steps > budget_.maxVisited) {
+            truncated_ = true;
+            break;
+        }
+        Frame frame = std::move(work.back());
+        work.pop_back();
+
+        for (const TypeHint &hint : hints.of(frame.node))
+            types.push_back(hint.type);
+
+        for (const auto idx : ddg_.outEdges(frame.node)) {
+            const Ddg::Edge &edge = ddg_.edge(idx);
+            if (edge.pruned || !isAliasEdge(edge.kind) ||
+                    !arithEdgeFeasible(edge)) {
+                continue;
+            }
+            Frame next;
+            next.node = edge.to;
+            next.ctx = frame.ctx;
+            if (edge.kind == DepKind::CallArg) {
+                // actual -> formal: entering the callee.
+                if (next.ctx.size() >= budget_.maxStack)
+                    continue;
+                next.ctx.push_back(edge.site);
+            } else if (edge.kind == DepKind::CallRet) {
+                // return operand -> call result: exiting the callee.
+                if (!next.ctx.empty()) {
+                    if (next.ctx.back() != edge.site)
+                        continue; // CFL-invalid
+                    next.ctx.pop_back();
+                }
+            }
+            if (visited.insert(keyOf(next)).second)
+                work.push_back(std::move(next));
+        }
+    }
+    return types;
+}
+
+} // namespace manta

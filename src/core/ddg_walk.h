@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Context-sensitive DDG traversal (the machinery behind Algorithm 1).
+ *
+ * Traversals maintain a calling-context stack: crossing an edge that
+ * enters a function pushes its call site; crossing an edge that exits
+ * a function must match the top of the stack (or the stack is empty,
+ * meaning the traversal ascended past its starting context). This is
+ * the standard realizable-paths CFL-reachability discipline [Reps et
+ * al.]; the acyclic preprocessing guarantees termination.
+ *
+ * Backward steps over add/sub edges consult the flow-insensitive type
+ * environment first ("resolve the type of operands first and perform
+ * feasibility checking", Section 4.2.1): a numeric operand cannot be
+ * the alias root of a pointer result.
+ */
+#ifndef MANTA_CORE_DDG_WALK_H
+#define MANTA_CORE_DDG_WALK_H
+
+#include <vector>
+
+#include "analysis/ddg.h"
+#include "core/hints.h"
+#include "core/unify.h"
+
+namespace manta {
+
+/** Tunable traversal budgets. */
+struct WalkBudget
+{
+    std::size_t maxVisited = 10000; ///< Nodes per query.
+    std::size_t maxStack = 32;      ///< Calling-context depth.
+};
+
+/** Context-validated walks over the DDG. */
+class DdgWalker
+{
+  public:
+    /**
+     * @param ddg The dependence graph (pruned edges are skipped).
+     * @param env Flow-insensitive bounds for arithmetic feasibility;
+     *            may be null (no feasibility pruning).
+     * @param types The shared type table.
+     */
+    DdgWalker(const Ddg &ddg, TypeEnv *env, TypeTable &types,
+              WalkBudget budget = {})
+        : ddg_(ddg), env_(env), types_(types), budget_(budget)
+    {}
+
+    /**
+     * FIND_ROOTS (Algorithm 1): context-valid backward closure of `v`;
+     * returns the nodes with no further valid incoming dependence.
+     */
+    std::vector<ValueId> findRoots(ValueId v);
+
+    /**
+     * COLLECT_TYPES (Algorithm 1): context-valid forward traversal from
+     * `root`, returning every type annotation on reached nodes.
+     */
+    std::vector<TypeRef> collectTypes(ValueId root, const HintIndex &hints);
+
+    /** Did the previous query exhaust its budget? */
+    bool lastQueryTruncated() const { return truncated_; }
+
+  private:
+    /** Feasibility of traversing a ptr-arith edge as an alias link. */
+    bool arithEdgeFeasible(const Ddg::Edge &edge) const;
+
+    const Ddg &ddg_;
+    TypeEnv *env_;
+    TypeTable &types_;
+    WalkBudget budget_;
+    bool truncated_ = false;
+};
+
+} // namespace manta
+
+#endif // MANTA_CORE_DDG_WALK_H

@@ -1,0 +1,162 @@
+#include "core/hints.h"
+
+namespace manta {
+
+const std::vector<TypeHint> HintIndex::none_;
+
+HintIndex::HintIndex(Module &module, const PointsTo *pts)
+{
+    by_inst_.assign(module.numInsts(), {});
+    by_value_.assign(module.numValues(), {});
+    for (std::size_t i = 0; i < module.numInsts(); ++i)
+        scanInst(module, InstId(static_cast<InstId::RawType>(i)), pts);
+
+    // Address-of values are pointers by construction.
+    TypeTable &tt = module.types();
+    for (std::size_t v = 0; v < module.numValues(); ++v) {
+        const ValueId vid(static_cast<ValueId::RawType>(v));
+        const Value &value = module.value(vid);
+        if (value.kind == ValueKind::GlobalAddr) {
+            const Global &g = module.global(value.global);
+            // A string literal's address reveals as char*.
+            const TypeRef ty = g.isStringLiteral ? tt.ptr(tt.intTy(8))
+                                                 : tt.ptrAny();
+            addHint(vid, ty, InstId::invalid());
+        }
+    }
+}
+
+void
+HintIndex::addHint(ValueId value, TypeRef type, InstId site)
+{
+    if (!value.valid() || !type.valid())
+        return;
+    by_value_[value.index()].push_back(TypeHint{value, type, site});
+    if (site.valid())
+        by_inst_[site.index()].push_back(TypeHint{value, type, site});
+    ++total_;
+}
+
+void
+HintIndex::scanInst(Module &module, InstId iid, const PointsTo *pts)
+{
+    const Instruction &inst = module.inst(iid);
+    TypeTable &tt = module.types();
+
+    if (pts && (inst.op == Opcode::Add || inst.op == Opcode::Sub) &&
+            inst.result.valid()) {
+        // Pointer arithmetic: a base pointer displaced by a constant
+        // reveals both base and result as pointers.
+        const ValueId a = inst.operands[0];
+        const ValueId b = inst.operands[1];
+        const bool b_const = module.value(b).kind == ValueKind::Constant;
+        if (b_const && !pts->locs(a).empty() &&
+                !pts->locs(inst.result).empty()) {
+            addHint(a, tt.ptrAny(), iid);
+            addHint(inst.result, tt.ptrAny(), iid);
+        }
+    }
+
+    auto float_of_width = [&](int width) {
+        return width == 32 ? tt.floatTy() : tt.doubleTy();
+    };
+
+    switch (inst.op) {
+      case Opcode::Load: {
+        // Dereference reveals the address as a pointer to a register
+        // cell of the loaded width (ptr vs num of the cell stays open).
+        const int width = module.value(inst.result).width;
+        addHint(inst.operands[0], tt.ptr(tt.reg(width)), iid);
+        break;
+      }
+      case Opcode::Store: {
+        const int width = module.value(inst.operands[1]).width;
+        addHint(inst.operands[0], tt.ptr(tt.reg(width)), iid);
+        break;
+      }
+      case Opcode::Alloca:
+        addHint(inst.result, tt.ptrAny(), iid);
+        break;
+      case Opcode::FAdd:
+      case Opcode::FSub:
+      case Opcode::FMul:
+      case Opcode::FDiv: {
+        const int width = module.value(inst.result).width;
+        addHint(inst.result, float_of_width(width), iid);
+        for (const ValueId op : inst.operands)
+            addHint(op, float_of_width(module.value(op).width), iid);
+        break;
+      }
+      case Opcode::FCmp:
+        for (const ValueId op : inst.operands)
+            addHint(op, float_of_width(module.value(op).width), iid);
+        break;
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::Rem:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::Xor: {
+        // Multiplicative/shift arithmetic is integer-only in compiled
+        // code (pointer scaling happens before the add).
+        const int width = module.value(inst.result).width;
+        addHint(inst.result, tt.intTy(width), iid);
+        for (const ValueId op : inst.operands)
+            addHint(op, tt.intTy(module.value(op).width), iid);
+        break;
+      }
+      case Opcode::Trunc:
+      case Opcode::ZExt:
+      case Opcode::SExt: {
+        // Width conversions act on integers.
+        addHint(inst.result, tt.intTy(module.value(inst.result).width), iid);
+        addHint(inst.operands[0],
+                tt.intTy(module.value(inst.operands[0]).width), iid);
+        break;
+      }
+      case Opcode::ICmp: {
+        // Comparing against a non-zero literal reveals the literal as
+        // an integer (zero stays ambiguous: it may be NULL). Combined
+        // with the cmp unification rule this reproduces the paper's
+        // pointer-vs-(-1) soundness gap.
+        for (const ValueId op : inst.operands) {
+            const Value &v = module.value(op);
+            if (v.kind == ValueKind::Constant && v.constValue != 0)
+                addHint(op, tt.intTy(v.width), iid);
+        }
+        break;
+      }
+      case Opcode::Call: {
+        if (!inst.external.valid())
+            break;
+        const External &ext = module.external(inst.external);
+        const std::size_t n =
+            std::min(ext.paramTypes.size(), inst.operands.size());
+        for (std::size_t k = 0; k < n; ++k)
+            addHint(inst.operands[k], ext.paramTypes[k], iid);
+        if (inst.result.valid() && ext.retType.valid())
+            addHint(inst.result, ext.retType, iid);
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+const std::vector<TypeHint> &
+HintIndex::at(InstId inst) const
+{
+    if (!inst.valid() || inst.index() >= by_inst_.size())
+        return none_;
+    return by_inst_[inst.index()];
+}
+
+const std::vector<TypeHint> &
+HintIndex::of(ValueId value) const
+{
+    if (!value.valid() || value.index() >= by_value_.size())
+        return none_;
+    return by_value_[value.index()];
+}
+
+} // namespace manta

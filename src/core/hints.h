@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Type-revealing sites (Table 1, rule 4).
+ *
+ * A hint attaches a concrete type to a value at an instruction:
+ * external-call signatures, loads/stores (the address is a pointer to a
+ * register-width cell), floating arithmetic, integer-only arithmetic,
+ * width casts, and non-zero constants used in comparisons (the
+ * pointer-vs-error-code idiom the paper names as a soundness gap).
+ */
+#ifndef MANTA_CORE_HINTS_H
+#define MANTA_CORE_HINTS_H
+
+#include <vector>
+
+#include "analysis/pointsto.h"
+#include "mir/mir.h"
+#include "types/type.h"
+
+namespace manta {
+
+/** One type hint: `value` reveals as `type` at `site`. */
+struct TypeHint
+{
+    ValueId value;
+    TypeRef type;
+    InstId site;
+};
+
+/**
+ * Index of every type-revealing annotation in a module, queryable per
+ * instruction (flow-sensitive refinement) and per value (context
+ * traversal and flow-insensitive unification).
+ */
+class HintIndex
+{
+  public:
+    /**
+     * Build the index. When `pts` is given, pointer arithmetic whose
+     * operands have points-to locations also reveals pointers ("
+     * arithmetic calculations" in Table 1 rule 4).
+     */
+    explicit HintIndex(Module &module, const PointsTo *pts = nullptr);
+
+    /** Hints revealed at one instruction. */
+    const std::vector<TypeHint> &at(InstId inst) const;
+
+    /** All hints attached to a value anywhere in the module. */
+    const std::vector<TypeHint> &of(ValueId value) const;
+
+    /** Total number of hints (stats). */
+    std::size_t numHints() const { return total_; }
+
+  private:
+    void addHint(ValueId value, TypeRef type, InstId site);
+    void scanInst(Module &module, InstId iid, const PointsTo *pts);
+
+    std::vector<std::vector<TypeHint>> by_inst_;
+    std::vector<std::vector<TypeHint>> by_value_;
+    std::size_t total_ = 0;
+    static const std::vector<TypeHint> none_;
+};
+
+} // namespace manta
+
+#endif // MANTA_CORE_HINTS_H

@@ -1,0 +1,34 @@
+#include "core/refine_ctx.h"
+
+namespace manta {
+
+CtxRefineResult
+CtxRefinement::run(const std::vector<ValueId> &over_approx)
+{
+    CtxRefineResult result;
+    TypeTable &tt = module_.types();
+    DdgWalker walker(ddg_, &env_, tt, budget_);
+
+    for (const ValueId v : over_approx) {
+        std::vector<TypeRef> types;
+        for (const ValueId root : walker.findRoots(v)) {
+            const auto collected = walker.collectTypes(root, hints_);
+            types.insert(types.end(), collected.begin(), collected.end());
+        }
+        if (types.empty()) {
+            result.stillOver.push_back(v);
+            continue;
+        }
+        BoundPair refined(tt.joinAll(types), tt.meetAll(types));
+        const TypeClass cls = refined.classify(tt);
+        result.refined.emplace(v, refined);
+        if (cls == TypeClass::Precise) {
+            ++result.resolved;
+        } else {
+            result.stillOver.push_back(v);
+        }
+    }
+    return result;
+}
+
+} // namespace manta

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Context-sensitive type refinement (paper Section 4.2.1, Algorithm 1).
+ *
+ * For every over-approximated variable, root values are found by a
+ * context-valid backward DDG traversal; the type annotations on the
+ * CFL-reachable derivatives of those roots are collected, and their
+ * LUB/GLB replace the variable's bounds. Context validity removes the
+ * over-approximation that polymorphic functions introduce (Figure 7),
+ * and alias-restricted traversal avoids merging non-aliased variables.
+ */
+#ifndef MANTA_CORE_REFINE_CTX_H
+#define MANTA_CORE_REFINE_CTX_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/ddg_walk.h"
+
+namespace manta {
+
+/** Outcome of the context-sensitive stage. */
+struct CtxRefineResult
+{
+    /** Refined bounds overlay (only for variables the stage touched). */
+    std::unordered_map<ValueId, BoundPair> refined;
+
+    /** Variables whose refined bounds are a precise singleton. */
+    std::size_t resolved = 0;
+
+    /** Variables still over-approximated after refinement. */
+    std::vector<ValueId> stillOver;
+};
+
+/** The context-sensitive refinement stage. */
+class CtxRefinement
+{
+  public:
+    CtxRefinement(Module &module, const Ddg &ddg, const HintIndex &hints,
+                  TypeEnv &env, WalkBudget budget = {})
+        : module_(module), ddg_(ddg), hints_(hints), env_(env),
+          budget_(budget)
+    {}
+
+    /** Refine every variable in `over_approx` (Algorithm 1). */
+    CtxRefineResult run(const std::vector<ValueId> &over_approx);
+
+  private:
+    Module &module_;
+    const Ddg &ddg_;
+    const HintIndex &hints_;
+    TypeEnv &env_;
+    WalkBudget budget_;
+};
+
+} // namespace manta
+
+#endif // MANTA_CORE_REFINE_CTX_H

@@ -1,0 +1,225 @@
+#include "core/refine_flow.h"
+
+#include <memory>
+#include <set>
+
+#include "support/error.h"
+
+namespace manta {
+
+FlowRefinement::FlowRefinement(Module &module, const Ddg &ddg,
+                               const HintIndex &hints, TypeEnv &env,
+                               WalkBudget budget)
+    : module_(module), ddg_(ddg), hints_(hints), env_(env), budget_(budget),
+      walker_(ddg, &env, module.types(), budget), instIndex_(module)
+{
+    call_sites_.assign(module.numFuncs(), {});
+    for (std::size_t i = 0; i < module.numInsts(); ++i) {
+        const InstId iid(static_cast<InstId::RawType>(i));
+        const Instruction &inst = module.inst(iid);
+        if (inst.op == Opcode::Call && inst.callee.valid())
+            call_sites_[inst.callee.index()].push_back(iid);
+    }
+}
+
+const std::vector<ValueId> &
+FlowRefinement::rootsOf(ValueId v)
+{
+    const auto it = roots_cache_.find(v.raw());
+    if (it != roots_cache_.end())
+        return it->second;
+    return roots_cache_.emplace(v.raw(), walker_.findRoots(v)).first->second;
+}
+
+const Cfg &
+FlowRefinement::cfgOf(FuncId func)
+{
+    const auto it = cfg_cache_.find(func.raw());
+    if (it != cfg_cache_.end())
+        return it->second;
+    return cfg_cache_.emplace(func.raw(), Cfg(module_, func)).first->second;
+}
+
+namespace {
+
+struct WalkItem
+{
+    InstId inst;
+    std::vector<InstId> ctx;
+};
+
+struct VisitKey
+{
+    std::uint32_t inst;
+    std::uint32_t top;
+    friend bool
+    operator<(const VisitKey &a, const VisitKey &b)
+    {
+        if (a.inst != b.inst)
+            return a.inst < b.inst;
+        return a.top < b.top;
+    }
+};
+
+VisitKey
+keyOf(const WalkItem &item)
+{
+    return VisitKey{item.inst.raw(),
+                    item.ctx.empty() ? 0xffffffffu : item.ctx.back().raw()};
+}
+
+} // namespace
+
+std::vector<TypeRef>
+FlowRefinement::reachableTypes(
+    InstId site, const std::unordered_map<std::uint32_t, char> &roots)
+{
+    std::vector<TypeRef> types;
+    std::set<VisitKey> visited;
+    std::vector<WalkItem> work;
+    work.push_back(WalkItem{site, {}});
+    visited.insert(keyOf(work.back()));
+
+    std::size_t steps = 0;
+    while (!work.empty()) {
+        if (++steps > budget_.maxVisited)
+            break;
+        WalkItem item = std::move(work.back());
+        work.pop_back();
+
+        const Instruction &inst = module_.inst(item.inst);
+
+        // Annotation check: the first alias annotation met along the
+        // path is collected and strong-updates (stops) the path.
+        bool stop = false;
+        for (const TypeHint &hint : hints_.at(item.inst)) {
+            const auto hr = rootsOf(hint.value);
+            for (const ValueId r : hr) {
+                if (roots.count(r.raw())) {
+                    types.push_back(hint.type);
+                    stop = true;
+                    break;
+                }
+            }
+        }
+        if (stop)
+            continue;
+
+        auto enqueue = [&](InstId next, std::vector<InstId> ctx) {
+            WalkItem n{next, std::move(ctx)};
+            if (visited.insert(keyOf(n)).second)
+                work.push_back(std::move(n));
+        };
+
+        // Descend into direct callees: the callee body executes before
+        // control returns to this point.
+        if (inst.op == Opcode::Call && inst.callee.valid() &&
+                item.ctx.size() < budget_.maxStack) {
+            const Function &callee = module_.func(inst.callee);
+            for (const BlockId bid : callee.blocks) {
+                const BasicBlock &bb = module_.block(bid);
+                if (bb.insts.empty())
+                    continue;
+                const Instruction &term = module_.inst(bb.insts.back());
+                if (term.op == Opcode::Ret) {
+                    auto ctx = item.ctx;
+                    ctx.push_back(item.inst);
+                    enqueue(bb.insts.back(), std::move(ctx));
+                }
+            }
+        }
+
+        const BasicBlock &bb = module_.block(inst.parent);
+        const std::size_t pos = instIndex_.positionInBlock(item.inst);
+        if (pos > 0) {
+            enqueue(bb.insts[pos - 1], item.ctx);
+            continue;
+        }
+
+        const Cfg &cfg = cfgOf(bb.func);
+        const auto &preds = cfg.preds(inst.parent);
+        for (const BlockId pred : preds) {
+            const BasicBlock &pb = module_.block(pred);
+            if (!pb.insts.empty())
+                enqueue(pb.insts.back(), item.ctx);
+        }
+
+        // At the function entry: return to the call site we descended
+        // from. The flow-sensitive walk never ascends past its starting
+        // frame - collecting hints from arbitrary callers without a
+        // context is the context-sensitive stage's job, not this one's
+        // (mixing them would re-introduce the polymorphic merging that
+        // Section 4.2.1 exists to avoid).
+        const Function &fn = module_.func(bb.func);
+        if (inst.parent == fn.entry() && !item.ctx.empty()) {
+            auto ctx = item.ctx;
+            const InstId ret_site = ctx.back();
+            ctx.pop_back();
+            enqueue(ret_site, std::move(ctx));
+        }
+    }
+    return types;
+}
+
+FlowRefineResult
+FlowRefinement::run(const std::vector<ValueId> &candidates)
+{
+    FlowRefineResult result;
+    TypeTable &tt = module_.types();
+
+    for (const ValueId v : candidates) {
+        // Root set for the alias check.
+        std::unordered_map<std::uint32_t, char> roots;
+        for (const ValueId r : rootsOf(v))
+            roots.emplace(r.raw(), 1);
+
+        // Sites: the def site plus every use site.
+        std::vector<InstId> sites;
+        InstId def_site;
+        const Value &value = module_.value(v);
+        if (value.kind == ValueKind::InstResult) {
+            def_site = value.inst;
+        } else if (value.kind == ValueKind::Argument) {
+            const Function &fn = module_.func(value.argFunc);
+            if (fn.entry().valid() &&
+                    !module_.block(fn.entry()).insts.empty()) {
+                def_site = module_.block(fn.entry()).insts.front();
+            }
+        }
+        if (def_site.valid())
+            sites.push_back(def_site);
+        for (const InstId user : instIndex_.users(v))
+            sites.push_back(user);
+
+        BoundPair def_bp = BoundPair::anyType(tt);
+        for (const InstId s : sites) {
+            const auto types = reachableTypes(s, roots);
+            if (types.empty()) {
+                // Site refined to unknown (Section 6.4 aggression).
+                result.siteBounds.emplace(SiteVar{v, s},
+                                          BoundPair::anyType(tt));
+                continue;
+            }
+            const BoundPair site_bp(tt.joinAll(types), tt.meetAll(types));
+            result.siteBounds.emplace(SiteVar{v, s}, site_bp);
+            if (s == def_site)
+                def_bp = site_bp;
+        }
+
+        // The variable-level flow-sensitive type is its def-site type.
+        // Per Algorithm 2 line 9 the bounds are only updated when type
+        // hints were collected; a def site with no reachable hints
+        // keeps the previous stage's interval (standalone FS therefore
+        // leaves such variables unknown - the Section 6.4 aggression).
+        if (def_bp.classify(tt) == TypeClass::Unknown) {
+            ++result.lost;
+        } else {
+            result.refined.emplace(v, def_bp);
+            if (def_bp.classify(tt) == TypeClass::Precise)
+                ++result.resolved;
+        }
+    }
+    return result;
+}
+
+} // namespace manta

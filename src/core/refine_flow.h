@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Flow-sensitive type refinement (paper Section 4.2.2, Algorithm 2).
+ *
+ * For every still-over-approximated variable, the def site and each use
+ * site v@s become distinct type variables. REACHABLE_TYPES performs a
+ * backward walk on the (inter-procedural) CFG from s: the first type
+ * annotation found on an alias of v along each path is collected and
+ * terminates that path (a strong update); the LUB/GLB of all collected
+ * annotations become the bounds of v@s. A site with no reachable
+ * annotations becomes unknown - the deliberate aggression the paper
+ * discusses in Section 6.4 (Type Refinement Order).
+ */
+#ifndef MANTA_CORE_REFINE_FLOW_H
+#define MANTA_CORE_REFINE_FLOW_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "core/ddg_walk.h"
+
+namespace manta {
+
+/** Key of a per-site type variable v@s. */
+struct SiteVar
+{
+    ValueId value;
+    InstId site;  ///< Invalid site = the def site of the variable.
+
+    friend bool
+    operator==(const SiteVar &a, const SiteVar &b)
+    {
+        return a.value == b.value && a.site == b.site;
+    }
+};
+
+} // namespace manta
+
+namespace std {
+
+template <>
+struct hash<manta::SiteVar>
+{
+    size_t
+    operator()(const manta::SiteVar &sv) const noexcept
+    {
+        return hash<manta::ValueId>()(sv.value) * 1000003u +
+               hash<manta::InstId>()(sv.site);
+    }
+};
+
+} // namespace std
+
+namespace manta {
+
+/** Outcome of the flow-sensitive stage. */
+struct FlowRefineResult
+{
+    /** Per-site bounds for refined variables. */
+    std::unordered_map<SiteVar, BoundPair> siteBounds;
+
+    /** Variable-level merge of site results. */
+    std::unordered_map<ValueId, BoundPair> refined;
+
+    std::size_t resolved = 0;   ///< Variables precise after this stage.
+    std::size_t lost = 0;       ///< Variables refined to unknown.
+};
+
+/** The flow-sensitive refinement stage. */
+class FlowRefinement
+{
+  public:
+    FlowRefinement(Module &module, const Ddg &ddg, const HintIndex &hints,
+                   TypeEnv &env, WalkBudget budget = {});
+
+    /** Refine every variable in `candidates` (Algorithm 2). */
+    FlowRefineResult run(const std::vector<ValueId> &candidates);
+
+  private:
+    /** REACHABLE_TYPES: backward CFG walk from `site`. */
+    std::vector<TypeRef>
+    reachableTypes(InstId site,
+                   const std::unordered_map<std::uint32_t, char> &roots);
+
+    /** Cached FIND_ROOTS per value. */
+    const std::vector<ValueId> &rootsOf(ValueId v);
+
+    const Cfg &cfgOf(FuncId func);
+
+    Module &module_;
+    const Ddg &ddg_;
+    const HintIndex &hints_;
+    TypeEnv &env_;
+    WalkBudget budget_;
+    DdgWalker walker_;
+    InstIndex instIndex_;
+    std::unordered_map<std::uint32_t, std::vector<ValueId>> roots_cache_;
+    std::unordered_map<std::uint32_t, Cfg> cfg_cache_;
+    std::vector<std::vector<InstId>> call_sites_;  ///< Per callee function.
+};
+
+} // namespace manta
+
+#endif // MANTA_CORE_REFINE_FLOW_H

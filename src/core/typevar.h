@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Type variables: the keys type inference assigns bounds to.
+ *
+ * A type variable is either an SSA value or an abstract-object field
+ * (object + byte offset, with the unknown-offset sentinel for collapsed
+ * arrays), mirroring the domain V union O of paper Figure 5.
+ */
+#ifndef MANTA_CORE_TYPEVAR_H
+#define MANTA_CORE_TYPEVAR_H
+
+#include <cstdint>
+#include <functional>
+
+#include "analysis/memobj.h"
+#include "mir/mir.h"
+
+namespace manta {
+
+/** A unification key: SSA value or object field. */
+struct TypeVar
+{
+    enum class Kind : std::uint8_t { Value, Field };
+
+    Kind kind = Kind::Value;
+    ValueId value;
+    ObjectId obj;
+    std::int32_t offset = 0;
+
+    static TypeVar
+    of(ValueId v)
+    {
+        TypeVar tv;
+        tv.kind = Kind::Value;
+        tv.value = v;
+        return tv;
+    }
+
+    static TypeVar
+    field(ObjectId o, std::int32_t off)
+    {
+        TypeVar tv;
+        tv.kind = Kind::Field;
+        tv.obj = o;
+        tv.offset = off;
+        return tv;
+    }
+
+    friend bool
+    operator==(const TypeVar &a, const TypeVar &b)
+    {
+        if (a.kind != b.kind)
+            return false;
+        if (a.kind == Kind::Value)
+            return a.value == b.value;
+        return a.obj == b.obj && a.offset == b.offset;
+    }
+};
+
+} // namespace manta
+
+namespace std {
+
+template <>
+struct hash<manta::TypeVar>
+{
+    size_t
+    operator()(const manta::TypeVar &tv) const noexcept
+    {
+        const size_t h1 = tv.kind == manta::TypeVar::Kind::Value
+                              ? hash<manta::ValueId>()(tv.value)
+                              : hash<manta::ObjectId>()(tv.obj) * 131 +
+                                    static_cast<size_t>(tv.offset + 7);
+        return h1 * 2 + static_cast<size_t>(tv.kind);
+    }
+};
+
+} // namespace std
+
+#endif // MANTA_CORE_TYPEVAR_H

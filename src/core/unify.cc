@@ -1,0 +1,289 @@
+#include "core/unify.h"
+
+#include <limits>
+
+#include "support/error.h"
+
+namespace manta {
+
+const std::unordered_set<std::int32_t> TypeEnv::no_fields_;
+
+std::uint32_t
+TypeEnv::indexOf(const TypeVar &var)
+{
+    const auto it = index_.find(var);
+    if (it != index_.end())
+        return it->second;
+    const auto idx = static_cast<std::uint32_t>(parents_.size());
+    index_.emplace(var, idx);
+    parents_.push_back(idx);
+    bounds_.push_back(BoundPair::unknown(types_));
+    if (var.kind == TypeVar::Kind::Field)
+        fields_[var.obj.raw()].insert(var.offset);
+    return idx;
+}
+
+std::uint32_t
+TypeEnv::tryIndexOf(const TypeVar &var) const
+{
+    const auto it = index_.find(var);
+    return it == index_.end() ? std::numeric_limits<std::uint32_t>::max()
+                              : it->second;
+}
+
+std::uint32_t
+TypeEnv::find(std::uint32_t index)
+{
+    while (parents_[index] != index) {
+        parents_[index] = parents_[parents_[index]]; // path halving
+        index = parents_[index];
+    }
+    return index;
+}
+
+void
+TypeEnv::unite(std::uint32_t a, std::uint32_t b)
+{
+    a = find(a);
+    b = find(b);
+    if (a == b)
+        return;
+    if (b < a)
+        std::swap(a, b); // keep the smaller index as root (determinism)
+    parents_[b] = a;
+    bounds_[a].merge(types_, bounds_[b]);
+}
+
+void
+TypeEnv::addHint(std::uint32_t index, TypeRef type)
+{
+    bounds_[find(index)].addHint(types_, type);
+}
+
+BoundPair
+TypeEnv::boundsOf(const TypeVar &var)
+{
+    const auto idx = tryIndexOf(var);
+    if (idx == std::numeric_limits<std::uint32_t>::max())
+        return BoundPair::unknown(types_);
+    return bounds_[find(idx)];
+}
+
+TypeClass
+TypeEnv::classifyOf(const TypeVar &var)
+{
+    return boundsOf(var).classify(types_);
+}
+
+bool
+TypeEnv::sameClass(const TypeVar &a, const TypeVar &b)
+{
+    const auto ia = tryIndexOf(a);
+    const auto ib = tryIndexOf(b);
+    if (ia == std::numeric_limits<std::uint32_t>::max() ||
+            ib == std::numeric_limits<std::uint32_t>::max()) {
+        return false;
+    }
+    return find(ia) == find(ib);
+}
+
+const std::unordered_set<std::int32_t> &
+TypeEnv::fieldsOf(ObjectId obj) const
+{
+    const auto it = fields_.find(obj.raw());
+    return it == fields_.end() ? no_fields_ : it->second;
+}
+
+namespace {
+
+/** Field variable for a points-to location. */
+TypeVar
+fieldVarOf(const Loc &loc)
+{
+    return TypeVar::field(loc.obj,
+                          loc.collapsed() ? Loc::unknownOffset : loc.offset);
+}
+
+} // namespace
+
+StageStats
+FlowInsensitiveInference::run(TypeEnv &env)
+{
+    processUnifications(env);
+    // Register string-literal content fields before collapsing so the
+    // char hint reaches every accessed offset of the literal.
+    for (std::size_t g = 0; g < module_.numGlobals(); ++g) {
+        const GlobalId gid(static_cast<GlobalId::RawType>(g));
+        if (!module_.global(gid).isStringLiteral)
+            continue;
+        const ObjectId obj = pts_.objects().objectOfGlobal(gid);
+        if (obj.valid())
+            env.indexOf(TypeVar::field(obj, Loc::unknownOffset));
+    }
+    collapseUnknownOffsets(env);
+    applyHints(env);
+
+    StageStats stats;
+    for (std::size_t v = 0; v < module_.numValues(); ++v) {
+        const ValueId vid(static_cast<ValueId::RawType>(v));
+        switch (env.classifyOf(TypeVar::of(vid))) {
+          case TypeClass::Precise: ++stats.precise; break;
+          case TypeClass::Over: ++stats.over; break;
+          case TypeClass::Unknown: ++stats.unknown; break;
+        }
+    }
+    return stats;
+}
+
+void
+FlowInsensitiveInference::unifyValueValue(TypeEnv &env, ValueId a, ValueId b)
+{
+    env.unite(env.indexOf(TypeVar::of(a)), env.indexOf(TypeVar::of(b)));
+}
+
+void
+FlowInsensitiveInference::unifyObjTypes(TypeEnv &env, ValueId a, ValueId b)
+{
+    // UnifyObjType (Table 1, rule 1): for objects pointed to by either
+    // side, unify field variables sharing the same offset.
+    const LocSet &la = pts_.locs(a);
+    const LocSet &lb = pts_.locs(b);
+    if (la.empty() || lb.empty())
+        return;
+    if (la.size() > maxObjUnifySet || lb.size() > maxObjUnifySet)
+        return;
+    std::vector<ObjectId> objs;
+    for (const Loc &loc : la)
+        objs.push_back(loc.obj);
+    for (const Loc &loc : lb)
+        objs.push_back(loc.obj);
+    for (std::size_t i = 0; i < objs.size(); ++i) {
+        for (std::size_t j = i + 1; j < objs.size(); ++j) {
+            if (objs[i] == objs[j])
+                continue;
+            for (const std::int32_t off : env.fieldsOf(objs[i])) {
+                if (env.fieldsOf(objs[j]).count(off)) {
+                    env.unite(
+                        env.indexOf(TypeVar::field(objs[i], off)),
+                        env.indexOf(TypeVar::field(objs[j], off)));
+                }
+            }
+        }
+    }
+}
+
+void
+FlowInsensitiveInference::processUnifications(TypeEnv &env)
+{
+    // Pass 1: LOAD/STORE rules register field variables and unify them
+    // with the moved values.
+    for (std::size_t i = 0; i < module_.numInsts(); ++i) {
+        const Instruction &inst =
+            module_.inst(InstId(static_cast<InstId::RawType>(i)));
+        if (inst.op == Opcode::Load) {
+            for (const Loc &loc : pts_.locs(inst.operands[0])) {
+                env.unite(env.indexOf(TypeVar::of(inst.result)),
+                          env.indexOf(fieldVarOf(loc)));
+            }
+        } else if (inst.op == Opcode::Store) {
+            for (const Loc &loc : pts_.locs(inst.operands[0])) {
+                env.unite(env.indexOf(fieldVarOf(loc)),
+                          env.indexOf(TypeVar::of(inst.operands[1])));
+            }
+        }
+    }
+
+    // Pass 2: COPY rules (copy, phi, call bindings) and the compare
+    // same-type rule.
+    for (std::size_t i = 0; i < module_.numInsts(); ++i) {
+        const Instruction &inst =
+            module_.inst(InstId(static_cast<InstId::RawType>(i)));
+        switch (inst.op) {
+          case Opcode::Copy:
+            unifyValueValue(env, inst.result, inst.operands[0]);
+            unifyObjTypes(env, inst.result, inst.operands[0]);
+            break;
+          case Opcode::Phi:
+            for (const ValueId op : inst.operands) {
+                unifyValueValue(env, inst.result, op);
+                unifyObjTypes(env, inst.result, op);
+            }
+            break;
+          case Opcode::ICmp:
+            // Two compared values share a type (Section 6.4 notes this
+            // rule's pointer-vs-error-constant noise).
+            unifyValueValue(env, inst.operands[0], inst.operands[1]);
+            break;
+          case Opcode::Call: {
+            if (!inst.callee.valid())
+                break;
+            const Function &callee = module_.func(inst.callee);
+            const std::size_t n =
+                std::min(callee.params.size(), inst.operands.size());
+            for (std::size_t k = 0; k < n; ++k) {
+                unifyValueValue(env, inst.operands[k], callee.params[k]);
+                unifyObjTypes(env, inst.operands[k], callee.params[k]);
+            }
+            if (inst.result.valid()) {
+                for (const BlockId bid : callee.blocks) {
+                    const BasicBlock &bb = module_.block(bid);
+                    if (bb.insts.empty())
+                        continue;
+                    const Instruction &term = module_.inst(bb.insts.back());
+                    if (term.op == Opcode::Ret && !term.operands.empty()) {
+                        unifyValueValue(env, inst.result, term.operands[0]);
+                        unifyObjTypes(env, inst.result, term.operands[0]);
+                    }
+                }
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+}
+
+void
+FlowInsensitiveInference::collapseUnknownOffsets(TypeEnv &env)
+{
+    // A field variable at the unknown offset aliases every field of its
+    // object (the array-collapse choice of Section 3).
+    for (const ObjectId obj : pts_.objects().allObjects()) {
+        const auto &offsets = env.fieldsOf(obj);
+        if (!offsets.count(Loc::unknownOffset))
+            continue;
+        const auto unknown_idx =
+            env.indexOf(TypeVar::field(obj, Loc::unknownOffset));
+        // Copy: unite() mutates the registry indirectly via indexOf.
+        const std::vector<std::int32_t> offs(offsets.begin(), offsets.end());
+        for (const std::int32_t off : offs) {
+            if (off != Loc::unknownOffset)
+                env.unite(unknown_idx, env.indexOf(TypeVar::field(obj, off)));
+        }
+    }
+}
+
+void
+FlowInsensitiveInference::applyHints(TypeEnv &env)
+{
+    TypeTable &tt = module_.types();
+    for (std::size_t v = 0; v < module_.numValues(); ++v) {
+        const ValueId vid(static_cast<ValueId::RawType>(v));
+        for (const TypeHint &hint : hints_.of(vid))
+            env.addHint(env.indexOf(TypeVar::of(vid)), hint.type);
+    }
+    // String-literal contents are char.
+    for (std::size_t g = 0; g < module_.numGlobals(); ++g) {
+        const GlobalId gid(static_cast<GlobalId::RawType>(g));
+        if (!module_.global(gid).isStringLiteral)
+            continue;
+        const ObjectId obj = pts_.objects().objectOfGlobal(gid);
+        if (!obj.valid())
+            continue;
+        env.addHint(env.indexOf(TypeVar::field(obj, Loc::unknownOffset)),
+                    tt.intTy(8));
+    }
+}
+
+} // namespace manta

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Global flow-insensitive type inference (paper Section 4.1, Table 1).
+ *
+ * A unification-based algorithm: type variables (SSA values and object
+ * fields) are merged into equivalence classes by the COPY/LOAD/STORE
+ * rules, and every type-revealing hint is folded into its class's
+ * (F-up, F-down) bound pair - join into the upper bound, meet into the
+ * lower bound. Afterwards every variable classifies as Precise,
+ * Over-approximated or Unknown; unknowns widen to the any-type state.
+ */
+#ifndef MANTA_CORE_UNIFY_H
+#define MANTA_CORE_UNIFY_H
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/pointsto.h"
+#include "core/hints.h"
+#include "core/typevar.h"
+#include "types/bounds.h"
+
+namespace manta {
+
+/**
+ * Union-find over type variables with per-class type bounds.
+ * Shared by the flow-insensitive stage (which populates it) and the
+ * refinement stages (which read equivalence classes and overlay
+ * refined bounds).
+ */
+class TypeEnv
+{
+  public:
+    explicit TypeEnv(TypeTable &types) : types_(types) {}
+
+    /** Dense index of a variable, created on first use. */
+    std::uint32_t indexOf(const TypeVar &var);
+
+    /** Index lookup without creation; UINT32_MAX when absent. */
+    std::uint32_t tryIndexOf(const TypeVar &var) const;
+
+    /** Union-find root of an index. */
+    std::uint32_t find(std::uint32_t index);
+
+    /** Merge two classes (bounds merge too). */
+    void unite(std::uint32_t a, std::uint32_t b);
+
+    /** Fold a hint into a class. */
+    void addHint(std::uint32_t index, TypeRef type);
+
+    /** Current bounds of a variable (unknown pair if never seen). */
+    BoundPair boundsOf(const TypeVar &var);
+
+    /** Classification of a variable per Section 4.1. */
+    TypeClass classifyOf(const TypeVar &var);
+
+    /** Are two variables in the same equivalence class? */
+    bool sameClass(const TypeVar &a, const TypeVar &b);
+
+    /** Offsets with a registered field variable, per object. */
+    const std::unordered_set<std::int32_t> &fieldsOf(ObjectId obj) const;
+
+    std::size_t numVars() const { return parents_.size(); }
+
+    TypeTable &types() { return types_; }
+
+  private:
+    TypeTable &types_;
+    std::unordered_map<TypeVar, std::uint32_t> index_;
+    std::vector<std::uint32_t> parents_;
+    std::vector<BoundPair> bounds_;
+    std::unordered_map<std::uint32_t, std::unordered_set<std::int32_t>>
+        fields_;
+    static const std::unordered_set<std::int32_t> no_fields_;
+};
+
+/** Outcome counters of one inference stage. */
+struct StageStats
+{
+    std::size_t precise = 0;
+    std::size_t over = 0;
+    std::size_t unknown = 0;
+
+    std::size_t total() const { return precise + over + unknown; }
+};
+
+/** The flow-insensitive unification stage. */
+class FlowInsensitiveInference
+{
+  public:
+    FlowInsensitiveInference(Module &module, const PointsTo &pts,
+                             const HintIndex &hints)
+        : module_(module), pts_(pts), hints_(hints)
+    {}
+
+    /**
+     * Run Table 1 to completion, populating `env`. Returns the
+     * classification counts over all SSA values.
+     */
+    StageStats run(TypeEnv &env);
+
+  private:
+    void unifyValueValue(TypeEnv &env, ValueId a, ValueId b);
+    void unifyObjTypes(TypeEnv &env, ValueId a, ValueId b);
+    void processUnifications(TypeEnv &env);
+    void collapseUnknownOffsets(TypeEnv &env);
+    void applyHints(TypeEnv &env);
+
+    /** Max points-to set size for the object-type unification rule. */
+    static constexpr std::size_t maxObjUnifySet = 4;
+
+    Module &module_;
+    const PointsTo &pts_;
+    const HintIndex &hints_;
+};
+
+} // namespace manta
+
+#endif // MANTA_CORE_UNIFY_H

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared plumbing for the benchmark binaries: prepare a project
+ * (generate, preprocess, build substrates), run the Manta ablations
+ * and the baselines on it, produce oracle references, and run the bug
+ * detector with a given type source.
+ */
+#ifndef MANTA_EVAL_HARNESS_H
+#define MANTA_EVAL_HARNESS_H
+
+#include <memory>
+#include <string>
+
+#include "baselines/bugtools.h"
+#include "baselines/learned.h"
+#include "baselines/typetools.h"
+#include "clients/ddg_prune.h"
+#include "eval/metrics.h"
+#include "frontend/corpus.h"
+#include "frontend/firmware.h"
+
+namespace manta {
+
+/** A generated, preprocessed project with live substrates. */
+struct PreparedProject
+{
+    std::string name;
+    int kloc = 0;
+    GeneratedProgram prog;
+    std::unique_ptr<MantaAnalyzer> analyzer;
+
+    Module &module() { return *prog.module; }
+    const GroundTruth &truth() const { return prog.truth; }
+};
+
+/** Generate + makeAcyclic + build substrates. */
+PreparedProject prepareProject(const ProjectProfile &profile);
+
+/** Same, for a firmware image. */
+PreparedProject prepareFirmware(const FirmwareProfile &profile);
+
+/** The oracle ("source-level") inference from ground truth. */
+InferenceResult oracleInference(PreparedProject &project);
+
+/**
+ * Train the DIRTY surrogate on a held-out generated corpus (seeds
+ * disjoint from every evaluation profile).
+ */
+DirtyModel trainDirtyModel(int training_programs = 12);
+
+/**
+ * Run the bug detector with the given type source.
+ * Prunes the DDG before detection and restores it afterwards.
+ *
+ * @param inference Type source; null = Manta-NoType mode.
+ */
+std::vector<BugReport> detectBugs(PreparedProject &project,
+                                  const InferenceResult *inference);
+
+/** Geometric mean of a positive series. */
+double geomean(const std::vector<double> &values);
+
+} // namespace manta
+
+#endif // MANTA_EVAL_HARNESS_H

@@ -1,0 +1,183 @@
+#include "eval/metrics.h"
+
+#include <set>
+
+namespace manta {
+
+std::vector<ValueId>
+evaluatedParams(const Module &module, const GroundTruth &truth)
+{
+    std::vector<ValueId> params;
+    for (std::size_t f = 0; f < module.numFuncs(); ++f) {
+        const Function &fn = module.func(FuncId(FuncId::RawType(f)));
+        if (fn.name == "main")
+            continue;
+        for (const ValueId p : fn.params) {
+            if (truth.typeOf(p).valid())
+                params.push_back(p);
+        }
+    }
+    return params;
+}
+
+namespace {
+
+/** Is a bound pair committed to one first-layer constructor? */
+bool
+firstLayerResolved(TypeTable &tt, const BoundPair &bp)
+{
+    if (bp.upper == tt.top() || bp.lower == tt.bottom())
+        return bp.upper == bp.lower; // only full singletons qualify
+    return tt.firstLayerEqual(bp.upper, bp.lower);
+}
+
+void
+scoreBounds(TypeTable &tt, const BoundPair &bp, TypeRef truth_ty,
+            TypeEval &eval)
+{
+    ++eval.total;
+    const TypeClass cls = bp.classify(tt);
+    if (cls == TypeClass::Unknown) {
+        ++eval.unknown;
+        return;
+    }
+    if (firstLayerResolved(tt, bp) && bp.upper != tt.top()) {
+        if (tt.firstLayerEqual(bp.upper, truth_ty)) {
+            ++eval.preciseCorrect;
+        } else if (tt.contains(bp.lower, bp.upper, truth_ty)) {
+            ++eval.captured;
+        } else {
+            ++eval.incorrect;
+        }
+        return;
+    }
+    if (tt.contains(bp.lower, bp.upper, truth_ty)) {
+        ++eval.captured;
+    } else {
+        ++eval.incorrect;
+    }
+}
+
+} // namespace
+
+TypeEval
+evalInference(Module &module, const GroundTruth &truth,
+              const InferenceResult &result)
+{
+    TypeEval eval;
+    TypeTable &tt = module.types();
+    for (const ValueId p : evaluatedParams(module, truth))
+        scoreBounds(tt, result.valueBounds(p), truth.typeOf(p), eval);
+    return eval;
+}
+
+TypeEval
+evalTypeMap(Module &module, const GroundTruth &truth,
+            const std::unordered_map<ValueId, TypeRef> &types)
+{
+    TypeEval eval;
+    TypeTable &tt = module.types();
+    for (const ValueId p : evaluatedParams(module, truth)) {
+        ++eval.total;
+        const TypeRef truth_ty = truth.typeOf(p);
+        const auto it = types.find(p);
+        if (it == types.end() || !it->second.valid()) {
+            ++eval.unknown;
+            continue;
+        }
+        const TypeRef pred = it->second;
+        if (pred == tt.top()) {
+            ++eval.unknown;
+        } else if (tt.firstLayerEqual(pred, truth_ty)) {
+            ++eval.preciseCorrect;
+        } else if (tt.isSubtype(truth_ty, pred)) {
+            // A supertype prediction still captures the truth.
+            ++eval.captured;
+        } else {
+            ++eval.incorrect;
+        }
+    }
+    return eval;
+}
+
+IcallEval
+evalIcall(Module &module, const IcallResult &tool,
+          const IcallResult &reference)
+{
+    IcallEval eval;
+    eval.aict = tool.aict();
+    eval.referenceAict = reference.aict();
+
+    const auto candidates = module.addressTakenFuncs();
+    double pruned_infeasible = 0, total_infeasible = 0;
+    double kept_feasible = 0, total_feasible = 0;
+
+    for (const auto &[site, ref_targets] : reference.targets) {
+        const auto it = tool.targets.find(site);
+        if (it == tool.targets.end())
+            continue;
+        const std::set<FuncId> ref_set(ref_targets.begin(),
+                                       ref_targets.end());
+        const std::set<FuncId> tool_set(it->second.begin(),
+                                        it->second.end());
+        for (const FuncId cand : candidates) {
+            const bool feasible = ref_set.count(cand) > 0;
+            const bool kept = tool_set.count(cand) > 0;
+            if (feasible) {
+                ++total_feasible;
+                kept_feasible += kept;
+            } else {
+                ++total_infeasible;
+                pruned_infeasible += !kept;
+            }
+        }
+    }
+    eval.precision =
+        total_infeasible == 0 ? 1.0 : pruned_infeasible / total_infeasible;
+    eval.recall = total_feasible == 0 ? 1.0 : kept_feasible / total_feasible;
+    return eval;
+}
+
+SliceEval
+evalSlices(const std::vector<BugReport> &tool,
+           const std::vector<BugReport> &reference)
+{
+    auto key = [](const BugReport &r) {
+        return std::tuple<int, std::uint32_t, std::uint32_t>(
+            static_cast<int>(r.kind), r.sourceSite.raw(), r.sinkSite.raw());
+    };
+    std::set<std::tuple<int, std::uint32_t, std::uint32_t>> tool_set,
+        ref_set;
+    for (const BugReport &r : tool)
+        tool_set.insert(key(r));
+    for (const BugReport &r : reference)
+        ref_set.insert(key(r));
+
+    SliceEval eval;
+    eval.toolPairs = tool_set.size();
+    eval.referencePairs = ref_set.size();
+    for (const auto &k : tool_set)
+        eval.matched += ref_set.count(k);
+    return eval;
+}
+
+BugEval
+evalBugs(const std::vector<BugReport> &reports, const GroundTruth &truth)
+{
+    BugEval eval;
+    eval.reports = reports.size();
+    std::set<std::uint32_t> found_real;
+    for (const BugReport &r : reports) {
+        if (r.sinkTag != 0 && truth.isRealBugTag(r.sinkTag)) {
+            found_real.insert(r.sinkTag);
+        } else {
+            ++eval.falsePositives;
+        }
+    }
+    eval.realBugsFound = found_real.size();
+    for (const BugSeed &seed : truth.seeds)
+        eval.realBugsInjected += seed.real;
+    return eval;
+}
+
+} // namespace manta

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Evaluation metrics matching the paper's Section 6 definitions.
+ *
+ * Type inference (Table 3): over ground-truth-typed function
+ * parameters, first-layer granularity.
+ *   precision = precisely-and-correctly typed / total
+ *   recall    = (precise-correct + interval-contains-truth + unknown)
+ *               / total
+ * (an unknown result is "any type" and thus always contains the truth;
+ * a singleton supertype of the truth earns recall but not precision.)
+ *
+ * Indirect calls (Table 4 / Figure 11): ground truth is the
+ * source-level type-based analysis (the oracle inference).
+ *   precision = pruned infeasible targets / all infeasible targets
+ *   recall    = kept feasible targets / all feasible targets
+ *
+ * Slicing (Figure 12): F1 between a tool's source-sink pair set and
+ * the source-level reference pair set.
+ *
+ * Bug detection (Table 5): FP = reports whose sink tag is not a real
+ * injected bug; FPR = FP / #reports.
+ */
+#ifndef MANTA_EVAL_METRICS_H
+#define MANTA_EVAL_METRICS_H
+
+#include <unordered_map>
+
+#include "clients/checkers.h"
+#include "clients/icall.h"
+#include "core/pipeline.h"
+#include "frontend/groundtruth.h"
+
+namespace manta {
+
+/** Per-variable type-inference outcome counts. */
+struct TypeEval
+{
+    std::size_t total = 0;
+    std::size_t preciseCorrect = 0;  ///< First-layer-precise and right.
+    std::size_t captured = 0;        ///< Interval/supertype contains truth.
+    std::size_t unknown = 0;         ///< No commitment (any type).
+    std::size_t incorrect = 0;       ///< Committed and wrong.
+
+    double
+    precision() const
+    {
+        return total == 0 ? 0.0
+                          : static_cast<double>(preciseCorrect) /
+                                static_cast<double>(total);
+    }
+
+    double
+    recall() const
+    {
+        return total == 0
+                   ? 0.0
+                   : static_cast<double>(preciseCorrect + captured +
+                                         unknown) /
+                         static_cast<double>(total);
+    }
+};
+
+/** Parameters with ground truth, the Table 3 evaluation set. */
+std::vector<ValueId> evaluatedParams(const Module &module,
+                                     const GroundTruth &truth);
+
+/** Score a hybrid inference result against ground truth. */
+TypeEval evalInference(Module &module, const GroundTruth &truth,
+                       const InferenceResult &result);
+
+/**
+ * Score a baseline's singleton predictions (absent entry = unknown)
+ * against ground truth.
+ */
+TypeEval evalTypeMap(Module &module, const GroundTruth &truth,
+                     const std::unordered_map<ValueId, TypeRef> &types);
+
+/** Indirect-call pruning quality against a reference target set. */
+struct IcallEval
+{
+    double aict = 0.0;           ///< Average targets kept by the tool.
+    double referenceAict = 0.0;  ///< Average targets in the reference.
+    double precision = 0.0;      ///< Infeasible pruned / infeasible.
+    double recall = 0.0;         ///< Feasible kept / feasible.
+};
+
+IcallEval evalIcall(Module &module, const IcallResult &tool,
+                    const IcallResult &reference);
+
+/** F1 between two source-sink pair sets (Figure 12). */
+struct SliceEval
+{
+    std::size_t toolPairs = 0;
+    std::size_t referencePairs = 0;
+    std::size_t matched = 0;
+
+    double
+    precision() const
+    {
+        return toolPairs == 0 ? 0.0
+                              : static_cast<double>(matched) / toolPairs;
+    }
+    double
+    recall() const
+    {
+        return referencePairs == 0
+                   ? 0.0
+                   : static_cast<double>(matched) / referencePairs;
+    }
+    double
+    f1() const
+    {
+        const double p = precision(), r = recall();
+        return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+    }
+};
+
+SliceEval evalSlices(const std::vector<BugReport> &tool,
+                     const std::vector<BugReport> &reference);
+
+/** Bug-report accounting against injected seeds (Table 5). */
+struct BugEval
+{
+    std::size_t reports = 0;
+    std::size_t falsePositives = 0;
+    std::size_t realBugsFound = 0;
+    std::size_t realBugsInjected = 0;
+
+    double
+    fpr() const
+    {
+        return reports == 0 ? 0.0
+                            : static_cast<double>(falsePositives) /
+                                  static_cast<double>(reports);
+    }
+};
+
+BugEval evalBugs(const std::vector<BugReport> &reports,
+                 const GroundTruth &truth);
+
+} // namespace manta
+
+#endif // MANTA_EVAL_METRICS_H

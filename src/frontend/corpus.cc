@@ -1,0 +1,92 @@
+#include "frontend/corpus.h"
+
+#include <algorithm>
+
+namespace manta {
+
+namespace {
+
+/** Scale a project's KLoC to a generated function count. */
+int
+functionsForKloc(int kloc)
+{
+    return std::clamp(8 + kloc / 3, 10, 480);
+}
+
+ProjectProfile
+project(const std::string &name, int kloc, std::uint64_t seed,
+        double union_rate, double poly_rate, double icall_rate,
+        double reveal_rate)
+{
+    ProjectProfile profile;
+    profile.name = name;
+    profile.kloc = kloc;
+    GenConfig &cfg = profile.config;
+    cfg.seed = seed;
+    cfg.numFunctions = functionsForKloc(kloc);
+    cfg.unionRate = union_rate;
+    cfg.polymorphicRate = poly_rate;
+    cfg.icallRate = icall_rate;
+    cfg.revealRate = reveal_rate;
+    // Corpus programs carry a light sprinkle of source-sink pairs so
+    // the slicing evaluation (Figure 12) has material to compare.
+    cfg.realBugRate = 0.03;
+    cfg.decoyRate = 0.04;
+    return profile;
+}
+
+} // namespace
+
+std::vector<ProjectProfile>
+standardCorpus()
+{
+    // Feature mixes echo the character of the real projects: servers
+    // and interpreters carry more indirect calls; libraries carry more
+    // polymorphism; parsers carry more unions and casts.
+    return {
+        project("vsftpd", 16, 101, 0.10, 0.10, 0.08, 0.42),
+        project("libuv", 36, 102, 0.08, 0.16, 0.16, 0.50),
+        project("memcached", 48, 103, 0.12, 0.10, 0.12, 0.45),
+        project("lighttpd", 89, 104, 0.08, 0.10, 0.14, 0.52),
+        project("tmux", 110, 105, 0.10, 0.12, 0.15, 0.46),
+        project("coreutils", 115, 106, 0.08, 0.08, 0.06, 0.50),
+        project("openssh", 119, 107, 0.09, 0.12, 0.12, 0.48),
+        project("wolfSSL", 122, 108, 0.12, 0.14, 0.10, 0.42),
+        project("redis", 179, 109, 0.11, 0.12, 0.16, 0.44),
+        project("libicu", 317, 110, 0.09, 0.14, 0.14, 0.48),
+        project("vim", 416, 111, 0.11, 0.12, 0.15, 0.46),
+        project("python", 560, 112, 0.13, 0.16, 0.18, 0.40),
+        project("wrk", 594, 113, 0.10, 0.12, 0.16, 0.42),
+        project("ffmpeg", 1213, 114, 0.12, 0.12, 0.14, 0.42),
+    };
+}
+
+std::vector<ProjectProfile>
+coreutilsBatch(int count)
+{
+    std::vector<ProjectProfile> batch;
+    batch.reserve(count);
+    for (int i = 0; i < count; ++i) {
+        ProjectProfile profile;
+        profile.name = "coreutils-" + std::to_string(i);
+        profile.kloc = 1;
+        GenConfig &cfg = profile.config;
+        cfg.seed = 5000 + i;
+        cfg.numFunctions = 6 + i % 7;
+        cfg.stmtsPerFunction = 8;
+        cfg.unionRate = 0.06;
+        cfg.polymorphicRate = 0.06;
+        cfg.icallRate = 0.04;
+        cfg.revealRate = 0.55;
+        batch.push_back(std::move(profile));
+    }
+    return batch;
+}
+
+GeneratedProgram
+buildProject(const ProjectProfile &profile)
+{
+    return generateProgram(profile.config);
+}
+
+} // namespace manta

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The evaluation corpus: 14 named project profiles (mirroring the
+ * paper's Table 3 benchmark list) plus a coreutils-like batch of many
+ * small binaries. Each profile fixes a seed, a scaled size and a
+ * feature mix; see DESIGN.md for the substitution rationale.
+ */
+#ifndef MANTA_FRONTEND_CORPUS_H
+#define MANTA_FRONTEND_CORPUS_H
+
+#include <string>
+#include <vector>
+
+#include "frontend/generator.h"
+
+namespace manta {
+
+/** One named project profile. */
+struct ProjectProfile
+{
+    std::string name;
+    int kloc = 0;          ///< Display size (paper's KLoC column).
+    GenConfig config;      ///< Fully resolved generation config.
+};
+
+/** The 14 named projects of Table 3/4, scaled for laptop runs. */
+std::vector<ProjectProfile> standardCorpus();
+
+/** A coreutils-like batch of `count` small single-purpose binaries. */
+std::vector<ProjectProfile> coreutilsBatch(int count = 104);
+
+/** Generate a project's program. */
+GeneratedProgram buildProject(const ProjectProfile &profile);
+
+} // namespace manta
+
+#endif // MANTA_FRONTEND_CORPUS_H

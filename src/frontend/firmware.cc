@@ -1,0 +1,62 @@
+#include "frontend/firmware.h"
+
+namespace manta {
+
+namespace {
+
+FirmwareProfile
+device(const std::string &name, std::uint64_t seed, int handlers,
+       double real_rate, double decoy_rate, bool arbiter_na, bool cwe_na)
+{
+    FirmwareProfile profile;
+    profile.name = name;
+    profile.arbiterNa = arbiter_na;
+    profile.cweNa = cwe_na;
+    GenConfig &cfg = profile.config;
+    cfg.seed = seed;
+    cfg.numFunctions = handlers;
+    cfg.stmtsPerFunction = 12;
+    // Firmware-shaped mix: heavy input handling and dispatch, light
+    // floating point.
+    cfg.unionRate = 0.08;
+    cfg.guardRate = 0.14;
+    cfg.polymorphicRate = 0.10;
+    cfg.recycleRate = 0.10;
+    cfg.errorCompareRate = 0.14;
+    cfg.icallRate = 0.20;
+    cfg.revealRate = 0.40;
+    cfg.floatShare = 0.02;
+    cfg.realBugRate = real_rate;
+    cfg.decoyRate = decoy_rate;
+    cfg.benignCopyRate = decoy_rate * 0.8;
+    cfg.benignSystemRate = decoy_rate * 0.6;
+    return profile;
+}
+
+} // namespace
+
+std::vector<FirmwareProfile>
+firmwareFleet()
+{
+    // NA flags mirror the published Table 5 pattern: Arbiter crashes
+    // on six of nine images; cwe_checker on three.
+    return {
+        device("Netgear SXR80", 901, 170, 0.10, 0.14, true, false),
+        device("Zyxel NR7101", 902, 70, 0.09, 0.10, false, false),
+        device("Tenda AC15", 903, 110, 0.08, 0.12, true, true),
+        device("TRENDnet TEW-755AP", 904, 130, 0.22, 0.18, true, false),
+        device("ASUS RT-AX56U", 905, 80, 0.09, 0.10, true, false),
+        device("TOTOLink LR350", 906, 50, 0.10, 0.08, false, false),
+        device("TOTOLink NR1800X", 907, 60, 0.13, 0.10, false, false),
+        device("TP-Link WR940N", 908, 190, 0.12, 0.16, true, true),
+        device("H3C Magic R200", 909, 120, 0.05, 0.10, true, true),
+    };
+}
+
+GeneratedProgram
+buildFirmware(const FirmwareProfile &profile)
+{
+    return generateProgram(profile.config);
+}
+
+} // namespace manta

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * IoT firmware workload generator (the Table 5 substitute).
+ *
+ * Nine device profiles mirror the paper's fleet. Each firmware image
+ * is a generated program with a firmware-shaped feature mix: dense
+ * nvram/webs input handling, command construction, buffer copying,
+ * dispatch tables, plus injected ground-truth vulnerabilities and the
+ * benign look-alikes that trip tools without type information
+ * (tainted-atoi command offsets, integer zeros that are not NULL,
+ * pattern-only strcpy/system sites).
+ *
+ * NA cells in Table 5 come from tools aborting on specific images;
+ * each profile carries flags recording which baseline aborts on it,
+ * matching the published table's NA pattern.
+ */
+#ifndef MANTA_FRONTEND_FIRMWARE_H
+#define MANTA_FRONTEND_FIRMWARE_H
+
+#include <string>
+#include <vector>
+
+#include "frontend/generator.h"
+
+namespace manta {
+
+/** One firmware image profile. */
+struct FirmwareProfile
+{
+    std::string name;        ///< Device model, e.g. "Netgear SXR80".
+    GenConfig config;
+    bool arbiterNa = false;  ///< Arbiter crashes on this image.
+    bool cweNa = false;      ///< cwe_checker crashes on this image.
+};
+
+/** The nine-device fleet of Table 5. */
+std::vector<FirmwareProfile> firmwareFleet();
+
+/** Generate a firmware image. */
+GeneratedProgram buildFirmware(const FirmwareProfile &profile);
+
+} // namespace manta
+
+#endif // MANTA_FRONTEND_FIRMWARE_H

@@ -1,0 +1,1152 @@
+#include "frontend/generator.h"
+
+#include <algorithm>
+
+#include "mir/builder.h"
+#include "support/error.h"
+
+namespace manta {
+
+namespace {
+
+/** A value paired with its source (ground-truth) type. */
+struct TypedValue
+{
+    ValueId value;
+    TypeRef type;
+};
+
+/** Declared signature of a generated function. */
+struct FuncPlan
+{
+    FuncId id;
+    std::vector<TypeRef> paramTypes;
+    TypeRef retType;   ///< Invalid = void.
+    int retWidth = 0;
+    bool polymorphic = false;  ///< Opaque int64 params, reused type-unsafely.
+};
+
+class ProgramGenerator
+{
+  public:
+    explicit ProgramGenerator(const GenConfig &config)
+        : cfg_(config), rng_(config.seed)
+    {
+        program_.module = std::make_unique<Module>();
+        program_.externals = StandardExternals::install(*program_.module);
+        mb_ = std::make_unique<ModuleBuilder>(*program_.module);
+        initPalette();
+    }
+
+    GeneratedProgram
+    run()
+    {
+        planFunctions();
+        for (std::size_t i = 0; i < plans_.size(); ++i)
+            emitFunction(i);
+        emitMain();
+        return std::move(program_);
+    }
+
+  private:
+    // -- palette ------------------------------------------------------
+
+    void
+    initPalette()
+    {
+        TypeTable &tt = module().types();
+        tInt32_ = tt.intTy(32);
+        tInt64_ = tt.intTy(64);
+        tDouble_ = tt.doubleTy();
+        tStr_ = tt.ptr(tt.intTy(8));
+        tPInt64_ = tt.ptr(tt.intTy(64));
+        tStruct_ = tt.object({{0, tInt64_}, {8, tStr_}});
+        tPStruct_ = tt.ptr(tStruct_);
+    }
+
+    Module &module() { return *program_.module; }
+
+    int
+    widthOf(TypeRef t) const
+    {
+        return program_.module->types().widthBits(t);
+    }
+
+    std::uint32_t
+    nextTag()
+    {
+        return ++tag_counter_;
+    }
+
+    void
+    tagLast(FunctionBuilder &fb, std::uint32_t tag)
+    {
+        module().inst(fb.lastInst()).srcTag = tag;
+    }
+
+    // -- per-function emission state ----------------------------------
+
+    struct Scope
+    {
+        FunctionBuilder *fb = nullptr;
+        FuncPlan *plan = nullptr;
+        std::vector<TypedValue> env;
+        /** Live stack slots: address value + current content type. */
+        std::vector<TypedValue> slots;
+        int depth = 0;  ///< Structured-control nesting depth.
+    };
+
+    void
+    record(Scope &s, ValueId v, TypeRef t)
+    {
+        program_.truth.valueTypes[v] = t;
+        s.env.push_back(TypedValue{v, t});
+    }
+
+    /** Find or materialize a value of the requested type. */
+    TypedValue
+    produce(Scope &s, TypeRef t)
+    {
+        std::vector<const TypedValue *> matches;
+        for (const TypedValue &tv : s.env) {
+            if (tv.type == t)
+                matches.push_back(&tv);
+        }
+        if (!matches.empty() && rng_.chance(0.7))
+            return *matches[rng_.below(matches.size())];
+        return materialize(s, t);
+    }
+
+    TypedValue
+    materialize(Scope &s, TypeRef t)
+    {
+        FunctionBuilder &fb = *s.fb;
+        TypedValue tv;
+        tv.type = t;
+        if (t == tInt32_) {
+            tv.value = mb_->constInt(rng_.range(0, 255), 32);
+        } else if (t == tInt64_) {
+            tv.value = mb_->constInt(rng_.range(0, 4095), 64);
+        } else if (t == tDouble_) {
+            const ValueId a = mb_->constInt(rng_.range(1, 64), 64);
+            const ValueId b = mb_->constInt(rng_.range(1, 64), 64);
+            tv.value = fb.fbinop(Opcode::FAdd, a, b);
+            record(s, tv.value, tDouble_);
+            return tv;
+        } else if (t == tStr_) {
+            tv.value = mb_->addStringLiteral(
+                "lit" + std::to_string(nextTag()),
+                "s" + std::to_string(rng_.below(1000)));
+        } else if (t == tPInt64_) {
+            const ValueId h = fb.callExternal(
+                se().mallocFn, {mb_->constInt(8, 64)}, 64);
+            const TypedValue payload = produce(s, tInt64_);
+            fb.store(h, payload.value);
+            record(s, h, tPInt64_);
+            return TypedValue{h, tPInt64_};
+        } else if (t == tPStruct_) {
+            const ValueId base = fb.alloca_(16);
+            const TypedValue f0 = produce(s, tInt64_);
+            fb.store(base, f0.value);
+            const ValueId f8 =
+                fb.add(base, mb_->constInt(8, 64));
+            const TypedValue f8v = produce(s, tStr_);
+            fb.store(f8, f8v.value);
+            record(s, base, tPStruct_);
+            return TypedValue{base, tPStruct_};
+        } else {
+            MANTA_PANIC("materialize: unsupported palette type");
+        }
+        // Constants / literals are recorded without env registration
+        // (they are single-use tokens, not variables).
+        program_.truth.valueTypes[tv.value] = t;
+        return tv;
+    }
+
+    /** A fresh boolean condition from integer comparisons. */
+    ValueId
+    makeCond(Scope &s)
+    {
+        const TypedValue a = produce(s, tInt64_);
+        const TypedValue b = produce(s, tInt64_);
+        static const CmpPred preds[] = {CmpPred::EQ, CmpPred::NE,
+                                        CmpPred::LT, CmpPred::GT};
+        return s.fb->icmp(preds[rng_.below(4)], a.value, b.value);
+    }
+
+    // -- statements ----------------------------------------------------
+
+    void
+    emitArith(Scope &s)
+    {
+        const bool use32 = rng_.chance(0.3);
+        const TypeRef t = use32 ? tInt32_ : tInt64_;
+        const TypedValue a = produce(s, t);
+        const TypedValue b = produce(s, t);
+        static const Opcode ops[] = {Opcode::Add, Opcode::Sub, Opcode::Mul,
+                                     Opcode::Xor};
+        const ValueId r =
+            s.fb->binop(ops[rng_.below(4)], a.value, b.value);
+        record(s, r, t);
+    }
+
+    void
+    emitFloatArith(Scope &s)
+    {
+        const TypedValue a = produce(s, tDouble_);
+        const TypedValue b = produce(s, tDouble_);
+        static const Opcode ops[] = {Opcode::FAdd, Opcode::FMul,
+                                     Opcode::FSub};
+        const ValueId r = s.fb->fbinop(ops[rng_.below(3)], a.value, b.value);
+        record(s, r, tDouble_);
+    }
+
+    void
+    emitReveal(Scope &s)
+    {
+        if (s.env.empty())
+            return;
+        const TypedValue tv = s.env[rng_.below(s.env.size())];
+        FunctionBuilder &fb = *s.fb;
+        if (tv.type == tInt64_) {
+            fb.callExternal(se().printIntFn, {tv.value}, 32);
+        } else if (tv.type == tInt32_) {
+            const ValueId wide = fb.cast(Opcode::ZExt, tv.value, 64);
+            record(s, wide, tInt64_);
+            fb.callExternal(se().printIntFn, {wide}, 32);
+        } else if (tv.type == tDouble_) {
+            fb.callExternal(se().printFltFn, {tv.value}, 32);
+        } else if (tv.type == tStr_) {
+            if (rng_.chance(0.5)) {
+                fb.callExternal(se().printStrFn, {tv.value}, 32);
+            } else {
+                const ValueId len =
+                    fb.callExternal(se().strlenFn, {tv.value}, 64);
+                record(s, len, tInt64_);
+            }
+        } else if (tv.type == tPInt64_) {
+            const ValueId l = fb.load(tv.value, 64);
+            record(s, l, tInt64_);
+        } else if (tv.type == tPStruct_) {
+            const ValueId f0 = fb.load(tv.value, 64);
+            record(s, f0, tInt64_);
+            const ValueId f8 = fb.add(tv.value, mb_->constInt(8, 64));
+            const ValueId str = fb.load(f8, 64);
+            record(s, str, tStr_);
+        }
+    }
+
+    void
+    emitLocalSlot(Scope &s)
+    {
+        FunctionBuilder &fb = *s.fb;
+        const TypeRef choices[] = {tInt64_, tStr_, tPInt64_};
+        const TypeRef t = choices[rng_.below(3)];
+        const ValueId slot = fb.alloca_(8);
+        const TypedValue init = produce(s, t);
+        fb.store(slot, init.value);
+        const ValueId l = fb.load(slot, 64);
+        record(s, l, t);
+        s.slots.push_back(TypedValue{slot, t});
+    }
+
+    void
+    emitSlotTouch(Scope &s)
+    {
+        if (s.slots.empty())
+            return;
+        FunctionBuilder &fb = *s.fb;
+        TypedValue &slot = s.slots[rng_.below(s.slots.size())];
+        if (rng_.chance(0.5)) {
+            const TypedValue v = produce(s, slot.type);
+            fb.store(slot.value, v.value);
+        } else {
+            const ValueId l = fb.load(slot.value, 64);
+            record(s, l, slot.type);
+        }
+    }
+
+    void
+    emitRecycle(Scope &s)
+    {
+        // One stack slot, two disjoint lifetimes of different types.
+        FunctionBuilder &fb = *s.fb;
+        const ValueId slot = fb.alloca_(8);
+        const TypedValue first = produce(s, tInt64_);
+        fb.store(slot, first.value);
+        const ValueId l1 = fb.load(slot, 64);
+        // The first-lifetime load stays local to this statement (it is
+        // consumed immediately, like a spilled temporary).
+        program_.truth.valueTypes[l1] = tInt64_;
+        fb.callExternal(se().printIntFn, {l1}, 32);
+        // Lifetime 2: a string now occupies the slot.
+        const TypedValue second = produce(s, tStr_);
+        fb.store(slot, second.value);
+        const ValueId l2 = fb.load(slot, 64);
+        record(s, l2, tStr_);
+        if (rng_.chance(cfg_.revealRate))
+            fb.callExternal(se().printStrFn, {l2}, 32);
+    }
+
+    void
+    emitBranch(Scope &s)
+    {
+        if (s.depth >= 3)
+            return;
+        FunctionBuilder &fb = *s.fb;
+        const ValueId cond = makeCond(s);
+        const BlockId then_bb = fb.newBlock();
+        const BlockId else_bb = fb.newBlock();
+        const BlockId join_bb = fb.newBlock();
+        fb.br(cond, then_bb, else_bb);
+
+        // Values defined inside an arm do not dominate the join; keep
+        // the environment scoped per arm.
+        const auto saved_env = s.env;
+        const auto saved_slots = s.slots;
+
+        ++s.depth;
+        fb.setInsertPoint(then_bb);
+        emitSimpleRun(s, 1 + rng_.below(2));
+        const TypedValue tv = produce(s, tInt64_);
+        const BlockId then_end = fb.currentBlock();
+        fb.jmp(join_bb);
+
+        s.env = saved_env;
+        s.slots = saved_slots;
+        fb.setInsertPoint(else_bb);
+        emitSimpleRun(s, 1 + rng_.below(2));
+        const TypedValue ev = produce(s, tInt64_);
+        const BlockId else_end = fb.currentBlock();
+        fb.jmp(join_bb);
+
+        s.env = saved_env;
+        s.slots = saved_slots;
+        fb.setInsertPoint(join_bb);
+        const ValueId merged =
+            fb.phi({tv.value, ev.value}, {then_end, else_end});
+        record(s, merged, tInt64_);
+        --s.depth;
+    }
+
+    void
+    emitLoop(Scope &s)
+    {
+        if (s.depth >= 2)
+            return;
+        FunctionBuilder &fb = *s.fb;
+        const ValueId start = mb_->constInt(0, 64);
+        const ValueId bound = mb_->constInt(rng_.range(2, 16), 64);
+        const BlockId pre = fb.currentBlock();
+        const BlockId head = fb.newBlock();
+        const BlockId body = fb.newBlock();
+        const BlockId exit = fb.newBlock();
+        fb.jmp(head);
+
+        fb.setInsertPoint(head);
+        // The back-edge value is patched below.
+        const ValueId iv = fb.phi({start}, {pre});
+        const ValueId cond = fb.icmp(CmpPred::LT, iv, bound);
+        fb.br(cond, body, exit);
+
+        const auto saved_env = s.env;
+        const auto saved_slots = s.slots;
+        ++s.depth;
+        fb.setInsertPoint(body);
+        record(s, iv, tInt64_);
+        emitSimpleRun(s, 1);
+        const ValueId next = fb.add(iv, mb_->constInt(1, 64));
+        program_.truth.valueTypes[next] = tInt64_;
+        const BlockId latch = fb.currentBlock();
+        fb.jmp(head);
+        --s.depth;
+        s.env = saved_env;
+        s.slots = saved_slots;
+
+        // Patch the phi with the loop-carried entry.
+        Instruction &phi = module().inst(module().value(iv).inst);
+        phi.operands.push_back(next);
+        phi.phiBlocks.push_back(latch);
+
+        fb.setInsertPoint(exit);
+    }
+
+    void
+    emitUnion(Scope &s)
+    {
+        // Figure 3: one slot, two branch-local instantiations.
+        if (s.depth >= 3)
+            return;
+        FunctionBuilder &fb = *s.fb;
+        const ValueId slot = fb.alloca_(8);
+        const ValueId cond = makeCond(s);
+        const BlockId then_bb = fb.newBlock();
+        const BlockId else_bb = fb.newBlock();
+        const BlockId join_bb = fb.newBlock();
+        fb.br(cond, then_bb, else_bb);
+
+        fb.setInsertPoint(then_bb);
+        const TypedValue iv = produce(s, tInt64_);
+        fb.store(slot, iv.value);
+        const ValueId li = fb.load(slot, 64);
+        program_.truth.valueTypes[li] = tInt64_;
+        fb.callExternal(se().printIntFn, {li}, 32);
+        fb.jmp(join_bb);
+
+        fb.setInsertPoint(else_bb);
+        const TypedValue sv = produce(s, tStr_);
+        fb.store(slot, sv.value);
+        const ValueId ls = fb.load(slot, 64);
+        program_.truth.valueTypes[ls] = tStr_;
+        fb.callExternal(se().printStrFn, {ls}, 32);
+        fb.jmp(join_bb);
+
+        fb.setInsertPoint(join_bb);
+    }
+
+    void
+    emitGuard(Scope &s)
+    {
+        // Figure 4: hint in the guard branch, arithmetic use in the
+        // other branch.
+        if (s.depth >= 3)
+            return;
+        FunctionBuilder &fb = *s.fb;
+        const TypedValue str = produce(s, tStr_);
+        const ValueId cond =
+            fb.icmp(CmpPred::EQ, str.value, mb_->constInt(0, 64));
+        const BlockId err_bb = fb.newBlock();
+        const BlockId ok_bb = fb.newBlock();
+        const BlockId join_bb = fb.newBlock();
+        fb.br(cond, err_bb, ok_bb);
+
+        fb.setInsertPoint(err_bb);
+        fb.callExternal(se().printStrFn, {str.value}, 32);
+        fb.jmp(join_bb);
+
+        fb.setInsertPoint(ok_bb);
+        const TypedValue off = produce(s, tInt64_);
+        // Keep the index inside the smallest string the program makes
+        // (runtime-executable under the interpreter).
+        const ValueId bounded =
+            fb.binop(Opcode::And, off.value, mb_->constInt(1, 64));
+        program_.truth.valueTypes[bounded] = tInt64_;
+        const ValueId p = fb.add(str.value, bounded);
+        program_.truth.valueTypes[p] = tStr_;
+        const ValueId c = fb.load(p, 8);
+        program_.truth.valueTypes[c] = module().types().intTy(8);
+        fb.jmp(join_bb);
+
+        fb.setInsertPoint(join_bb);
+    }
+
+    void
+    emitErrorCompare(Scope &s)
+    {
+        // Section 6.4 noise: a pointer compared with -1.
+        const TypedValue ptr = produce(s, rng_.chance(0.5) ? tStr_
+                                                           : tPInt64_);
+        s.fb->icmp(CmpPred::EQ, ptr.value, mb_->constInt(-1, 64));
+    }
+
+    void
+    emitMask(Scope &s)
+    {
+        // Alignment masking of a pointer (Section 6.4 noise).
+        const TypedValue ptr = produce(s, tPInt64_);
+        const ValueId m =
+            s.fb->binop(Opcode::And, ptr.value, mb_->constInt(-16, 64));
+        record(s, m, tPInt64_);
+    }
+
+    void
+    emitRecursiveStep(Scope &s, std::size_t self_index)
+    {
+        // A guarded self-call: while (n) f(n - 1). The acyclic
+        // preprocessing breaks this edge (Section 3).
+        if (s.depth >= 3 || self_index >= plans_.size())
+            return;
+        FuncPlan &self = plans_[self_index];
+        if (self.paramTypes.empty() || self.paramTypes[0] != tInt64_)
+            return;
+        FunctionBuilder &fb = *s.fb;
+        const ValueId n = fb.param(0);
+        const ValueId cond = fb.icmp(CmpPred::GT, n, mb_->constInt(0, 64));
+        const BlockId rec_bb = fb.newBlock();
+        const BlockId cont_bb = fb.newBlock();
+        fb.br(cond, rec_bb, cont_bb);
+        fb.setInsertPoint(rec_bb);
+        const ValueId n1 = fb.sub(n, mb_->constInt(1, 64));
+        program_.truth.valueTypes[n1] = tInt64_;
+        std::vector<ValueId> args{n1};
+        for (std::size_t p = 1; p < self.paramTypes.size(); ++p)
+            args.push_back(produce(s, self.paramTypes[p]).value);
+        fb.call(self.id, args, self.retWidth);
+        fb.jmp(cont_bb);
+        fb.setInsertPoint(cont_bb);
+    }
+
+    void
+    emitPointerWalk(Scope &s)
+    {
+        // The classic binary idiom: advance a cursor through a string
+        // with a bounded counted loop (p = p + 1 each iteration).
+        if (s.depth >= 2)
+            return;
+        FunctionBuilder &fb = *s.fb;
+        const TypedValue str = produce(s, tStr_);
+        const ValueId bound = mb_->constInt(rng_.range(1, 2), 64);
+        const BlockId pre = fb.currentBlock();
+        const BlockId head = fb.newBlock();
+        const BlockId body = fb.newBlock();
+        const BlockId exit = fb.newBlock();
+        fb.jmp(head);
+
+        fb.setInsertPoint(head);
+        const ValueId cursor = fb.phi({str.value}, {pre});
+        const ValueId iv = fb.phi({mb_->constInt(0, 64)}, {pre});
+        const ValueId cond = fb.icmp(CmpPred::LT, iv, bound);
+        fb.br(cond, body, exit);
+
+        fb.setInsertPoint(body);
+        const ValueId c = fb.load(cursor, 8);
+        program_.truth.valueTypes[c] = module().types().intTy(8);
+        const ValueId next_cursor = fb.add(cursor, mb_->constInt(1, 64));
+        program_.truth.valueTypes[next_cursor] = tStr_;
+        const ValueId next_iv = fb.add(iv, mb_->constInt(1, 64));
+        program_.truth.valueTypes[next_iv] = tInt64_;
+        const BlockId latch = fb.currentBlock();
+        fb.jmp(head);
+
+        // Patch the loop-carried phis.
+        {
+            Instruction &phi_cursor =
+                module().inst(module().value(cursor).inst);
+            phi_cursor.operands.push_back(next_cursor);
+            phi_cursor.phiBlocks.push_back(latch);
+            Instruction &phi_iv = module().inst(module().value(iv).inst);
+            phi_iv.operands.push_back(next_iv);
+            phi_iv.phiBlocks.push_back(latch);
+        }
+        program_.truth.valueTypes[cursor] = tStr_;
+        program_.truth.valueTypes[iv] = tInt64_;
+
+        fb.setInsertPoint(exit);
+    }
+
+    void
+    emitCall(Scope &s, std::size_t self_index)
+    {
+        if (self_index == 0)
+            return;
+        FuncPlan &callee = plans_[rng_.below(self_index)];
+        FunctionBuilder &fb = *s.fb;
+        std::vector<ValueId> args;
+        TypeRef first_arg_type;
+        for (const TypeRef pt : callee.paramTypes) {
+            TypedValue arg;
+            if (callee.polymorphic && rng_.chance(0.5)) {
+                // Polymorphic reuse: a pointer travels through the
+                // opaque int64 parameter (the caller casts it back on
+                // return, the way C code uses void*/long containers).
+                arg = produce(s, tStr_);
+            } else {
+                arg = produce(s, pt);
+            }
+            args.push_back(arg.value);
+            if (!first_arg_type.valid())
+                first_arg_type = arg.type;
+        }
+        const ValueId r = fb.call(callee.id, args, callee.retWidth);
+        if (r.valid()) {
+            // Polymorphic functions return their first argument, so the
+            // caller-side truth is the argument's type.
+            const TypeRef result_type =
+                callee.polymorphic && first_arg_type.valid()
+                    ? first_arg_type
+                    : callee.retType;
+            record(s, r, result_type);
+        }
+    }
+
+    void
+    emitIcall(Scope &s)
+    {
+        // Dispatch slot: pick a signature family with at least two
+        // members, store one of two alternative handlers per branch,
+        // load and call indirectly.
+        struct Family
+        {
+            TypeRef param;
+            std::vector<FuncPlan *> members;
+        };
+        Family families[2];
+        families[0].param = tInt64_;
+        families[1].param = tStr_;
+        for (FuncPlan &plan : plans_) {
+            if (plan.paramTypes.size() != 1 || !plan.retType.valid() ||
+                    plan.retType != tInt64_) {
+                continue;
+            }
+            for (Family &family : families) {
+                if (plan.paramTypes[0] == family.param)
+                    family.members.push_back(&plan);
+            }
+        }
+        std::vector<Family *> usable;
+        for (Family &family : families) {
+            if (family.members.size() >= 2)
+                usable.push_back(&family);
+        }
+        if (usable.empty())
+            return;
+        Family &family = *usable[rng_.below(usable.size())];
+
+        FunctionBuilder &fb = *s.fb;
+        const ValueId slot = fb.alloca_(8);
+        const ValueId cond = makeCond(s);
+        const BlockId a_bb = fb.newBlock();
+        const BlockId b_bb = fb.newBlock();
+        const BlockId join_bb = fb.newBlock();
+        fb.br(cond, a_bb, b_bb);
+        std::vector<FuncId> targets;
+        const std::size_t first = rng_.below(family.members.size());
+        std::size_t second = rng_.below(family.members.size());
+        if (second == first)
+            second = (second + 1) % family.members.size();
+        fb.setInsertPoint(a_bb);
+        fb.store(slot, mb_->funcAddr(family.members[first]->id));
+        targets.push_back(family.members[first]->id);
+        fb.jmp(join_bb);
+        fb.setInsertPoint(b_bb);
+        fb.store(slot, mb_->funcAddr(family.members[second]->id));
+        targets.push_back(family.members[second]->id);
+        fb.jmp(join_bb);
+        fb.setInsertPoint(join_bb);
+
+        const ValueId target = fb.load(slot, 64);
+        const TypedValue arg = produce(s, family.param);
+        const ValueId r = fb.icall(target, {arg.value}, 64);
+        const std::uint32_t tag = nextTag();
+        tagLast(fb, tag);
+        std::sort(targets.begin(), targets.end());
+        targets.erase(std::unique(targets.begin(), targets.end()),
+                      targets.end());
+        program_.truth.icallTargets[tag] = targets;
+        record(s, r, tInt64_);
+    }
+
+    // -- injected bugs and decoys --------------------------------------
+
+    ValueId
+    taintedString(Scope &s)
+    {
+        const ValueId key = mb_->addStringLiteral(
+            "key" + std::to_string(nextTag()),
+            "var" + std::to_string(rng_.below(100)));
+        const ValueId t =
+            s.fb->callExternal(se().nvramGetFn, {key}, 64);
+        program_.truth.valueTypes[t] = tStr_;
+        return t;
+    }
+
+    void
+    seed(std::uint32_t tag, CheckerKind kind, bool real)
+    {
+        program_.truth.seeds.push_back(BugSeed{tag, kind, real});
+    }
+
+    void
+    emitCmiReal(Scope &s)
+    {
+        FunctionBuilder &fb = *s.fb;
+        const ValueId t = taintedString(s);
+        if (rng_.chance(0.4)) {
+            // Laundered pointer + offset hop: the tainted command is
+            // copied into a buffer, the buffer pointer is spilled and
+            // reloaded (no direct hint on the reload), and the command
+            // starts past a fixed prefix. The sink path traverses a
+            // pointer-arithmetic dependence that only correct types
+            // keep alive (Table 2).
+            const ValueId buf = fb.alloca_(128);
+            fb.callExternal(se().strcpyFn, {buf, t}, 64);
+            const ValueId slot = fb.alloca_(8);
+            fb.store(slot, buf);
+            const BlockId cont = fb.newBlock();
+            fb.jmp(cont);
+            fb.setInsertPoint(cont);
+            const ValueId reloaded = fb.load(slot, 64);
+            program_.truth.valueTypes[reloaded] = tStr_;
+            const ValueId cmd = fb.add(reloaded, mb_->constInt(4, 64));
+            program_.truth.valueTypes[cmd] = tStr_;
+            fb.callExternal(se().systemFn, {cmd}, 32);
+        } else if (rng_.chance(0.5)) {
+            const ValueId buf = fb.alloca_(128);
+            fb.callExternal(se().strcpyFn, {buf, t}, 64);
+            fb.callExternal(se().systemFn, {buf}, 32);
+        } else {
+            fb.callExternal(se().systemFn, {t}, 32);
+        }
+        const std::uint32_t tag = nextTag();
+        tagLast(fb, tag);
+        seed(tag, CheckerKind::CMI, true);
+    }
+
+    void
+    emitCmiDecoy(Scope &s)
+    {
+        // The SaTC FP class: the tainted value is numeric by the time
+        // it influences the command (a table-lookup offset).
+        FunctionBuilder &fb = *s.fb;
+        const ValueId t = taintedString(s);
+        const ValueId n32 = fb.callExternal(se().atoiFn, {t}, 32);
+        program_.truth.valueTypes[n32] = tInt32_;
+        const ValueId n = fb.cast(Opcode::ZExt, n32, 64);
+        program_.truth.valueTypes[n] = tInt64_;
+        const ValueId stride =
+            fb.mul(n, mb_->constInt(16, 64));
+        program_.truth.valueTypes[stride] = tInt64_;
+        const ValueId stride_slot = fb.alloca_(8);
+        fb.store(stride_slot, stride);
+        const BlockId cont = fb.newBlock();
+        fb.jmp(cont);
+        fb.setInsertPoint(cont);
+        const ValueId stride_reload = fb.load(stride_slot, 64);
+        program_.truth.valueTypes[stride_reload] = tInt64_;
+        const ValueId table = mb_->addGlobal(
+            "cmdtable" + std::to_string(nextTag()), 64);
+        const ValueId p = fb.add(table, stride_reload);
+        program_.truth.valueTypes[p] = tStr_;
+        fb.callExternal(se().systemFn, {p}, 32);
+        const std::uint32_t tag = nextTag();
+        tagLast(fb, tag);
+        seed(tag, CheckerKind::CMI, false);
+    }
+
+    void
+    emitBofReal(Scope &s)
+    {
+        FunctionBuilder &fb = *s.fb;
+        ValueId t = taintedString(s);
+        if (rng_.chance(0.5)) {
+            // The tainted string arrives through a laundered pointer
+            // plus offset hop (see emitCmiReal).
+            const ValueId slot = fb.alloca_(8);
+            fb.store(slot, t);
+            const BlockId cont = fb.newBlock();
+            fb.jmp(cont);
+            fb.setInsertPoint(cont);
+            const ValueId reloaded = fb.load(slot, 64);
+            program_.truth.valueTypes[reloaded] = tStr_;
+            const ValueId shifted = fb.add(reloaded, mb_->constInt(2, 64));
+            program_.truth.valueTypes[shifted] = tStr_;
+            t = shifted;
+        }
+        const ValueId buf = fb.alloca_(16);
+        fb.callExternal(se().strcpyFn, {buf, t}, 64);
+        const std::uint32_t tag = nextTag();
+        tagLast(fb, tag);
+        seed(tag, CheckerKind::BOF, true);
+    }
+
+    void
+    emitNpdReal(Scope &s)
+    {
+        if (s.depth >= 3)
+            return;
+        FunctionBuilder &fb = *s.fb;
+        const ValueId slot = fb.alloca_(8);
+        const ValueId cond = makeCond(s);
+        const BlockId some_bb = fb.newBlock();
+        const BlockId none_bb = fb.newBlock();
+        const BlockId join_bb = fb.newBlock();
+        fb.br(cond, some_bb, none_bb);
+        fb.setInsertPoint(some_bb);
+        const ValueId h =
+            fb.callExternal(se().mallocFn, {mb_->constInt(32, 64)}, 64);
+        fb.store(slot, h);
+        fb.jmp(join_bb);
+        fb.setInsertPoint(none_bb);
+        fb.store(slot, mb_->constInt(0, 64));
+        fb.jmp(join_bb);
+        fb.setInsertPoint(join_bb);
+        const ValueId p = fb.load(slot, 64);
+        program_.truth.valueTypes[p] = tPInt64_;
+        fb.load(p, 64);
+        const std::uint32_t tag = nextTag();
+        tagLast(fb, tag);
+        seed(tag, CheckerKind::NPD, true);
+    }
+
+    void
+    emitNpdDecoy(Scope &s)
+    {
+        // Figure 4(c): the zero is an offset, not a pointer.
+        if (s.depth >= 3)
+            return;
+        FunctionBuilder &fb = *s.fb;
+        const ValueId cond = makeCond(s);
+        const BlockId a_bb = fb.newBlock();
+        const BlockId b_bb = fb.newBlock();
+        const BlockId join_bb = fb.newBlock();
+        fb.br(cond, a_bb, b_bb);
+        fb.setInsertPoint(a_bb);
+        const ValueId off_a = fb.copy(mb_->constInt(4, 64));
+        fb.jmp(join_bb);
+        fb.setInsertPoint(b_bb);
+        const ValueId off_b = fb.copy(mb_->constInt(0, 64));
+        fb.jmp(join_bb);
+        fb.setInsertPoint(join_bb);
+        const ValueId off = fb.phi({off_a, off_b}, {a_bb, b_bb});
+        program_.truth.valueTypes[off] = tInt64_;
+        const ValueId scaled = fb.mul(off, mb_->constInt(1, 64));
+        program_.truth.valueTypes[scaled] = tInt64_;
+        // Launder the offset through memory and a block boundary:
+        // only global, memory-aware inference still knows it is
+        // numeric here.
+        const ValueId off_slot = fb.alloca_(8);
+        fb.store(off_slot, scaled);
+        const BlockId cont = fb.newBlock();
+        fb.jmp(cont);
+        fb.setInsertPoint(cont);
+        const ValueId off_reload = fb.load(off_slot, 64);
+        program_.truth.valueTypes[off_reload] = tInt64_;
+        const TypedValue base = produce(s, tStr_);
+        const ValueId p = fb.add(base.value, off_reload);
+        program_.truth.valueTypes[p] = tStr_;
+        fb.load(p, 8);
+        const std::uint32_t tag = nextTag();
+        tagLast(fb, tag);
+        seed(tag, CheckerKind::NPD, false);
+    }
+
+    void
+    emitUafReal(Scope &s)
+    {
+        FunctionBuilder &fb = *s.fb;
+        const ValueId h =
+            fb.callExternal(se().mallocFn, {mb_->constInt(24, 64)}, 64);
+        fb.callExternal(se().freeFn, {h}, 0);
+        fb.load(h, 64);
+        const std::uint32_t tag = nextTag();
+        tagLast(fb, tag);
+        seed(tag, CheckerKind::UAF, true);
+    }
+
+    void
+    emitBenignCopy(Scope &s)
+    {
+        // A literal copied into an ample buffer: safe, but a
+        // pattern-based checker (strcpy + stack buffer) flags it.
+        FunctionBuilder &fb = *s.fb;
+        const ValueId lit = mb_->addStringLiteral(
+            "cfg" + std::to_string(nextTag()), "mode=auto");
+        const ValueId buf = fb.alloca_(64);
+        fb.callExternal(se().strcpyFn, {buf, lit}, 64);
+        const std::uint32_t tag = nextTag();
+        tagLast(fb, tag);
+        seed(tag, CheckerKind::BOF, false);
+    }
+
+    void
+    emitBenignSystem(Scope &s)
+    {
+        // A command assembled from constants only: the argument is not
+        // a literal, so keyword/pattern tools report it, but no taint
+        // reaches it.
+        FunctionBuilder &fb = *s.fb;
+        const ValueId lit = mb_->addStringLiteral(
+            "cmd" + std::to_string(nextTag()), "ifconfig br0 up");
+        const ValueId buf = fb.alloca_(64);
+        fb.callExternal(se().strcpyFn, {buf, lit}, 64);
+        fb.callExternal(se().systemFn, {buf}, 32);
+        const std::uint32_t tag = nextTag();
+        tagLast(fb, tag);
+        seed(tag, CheckerKind::CMI, false);
+    }
+
+    void
+    emitBugOrDecoy(Scope &s)
+    {
+        if (rng_.chance(cfg_.realBugRate)) {
+            switch (rng_.below(4)) {
+              case 0: emitCmiReal(s); break;
+              case 1: emitBofReal(s); break;
+              case 2: emitNpdReal(s); break;
+              default: emitUafReal(s); break;
+            }
+        }
+        if (rng_.chance(cfg_.decoyRate)) {
+            if (rng_.chance(0.5)) {
+                emitCmiDecoy(s);
+            } else {
+                emitNpdDecoy(s);
+            }
+        }
+        if (rng_.chance(cfg_.benignCopyRate))
+            emitBenignCopy(s);
+        if (rng_.chance(cfg_.benignSystemRate))
+            emitBenignSystem(s);
+    }
+
+    // -- statement scheduling ------------------------------------------
+
+    /** Simple statements only (used inside branches/loops). */
+    void
+    emitSimpleRun(Scope &s, std::size_t count)
+    {
+        for (std::size_t i = 0; i < count; ++i) {
+            switch (rng_.below(4)) {
+              case 0: emitArith(s); break;
+              case 1: emitReveal(s); break;
+              case 2: emitSlotTouch(s); break;
+              default:
+                if (rng_.chance(cfg_.floatShare)) {
+                    emitFloatArith(s);
+                } else {
+                    emitArith(s);
+                }
+                break;
+            }
+        }
+    }
+
+    void
+    emitStatement(Scope &s, std::size_t self_index)
+    {
+        if (rng_.chance(cfg_.branchRate / 4))
+            emitBranch(s);
+        if (rng_.chance(cfg_.loopRate / 4))
+            emitLoop(s);
+        if (rng_.chance(cfg_.loopRate / 6))
+            emitPointerWalk(s);
+        if (rng_.chance(cfg_.unionRate / 2))
+            emitUnion(s);
+        if (rng_.chance(cfg_.guardRate / 2))
+            emitGuard(s);
+        if (rng_.chance(cfg_.recycleRate / 2))
+            emitRecycle(s);
+        if (rng_.chance(cfg_.errorCompareRate / 2))
+            emitErrorCompare(s);
+        if (rng_.chance(cfg_.maskRate))
+            emitMask(s);
+        if (rng_.chance(cfg_.icallRate / 2))
+            emitIcall(s);
+        if (rng_.chance(0.35))
+            emitCall(s, self_index);
+
+        switch (rng_.below(5)) {
+          case 0: emitArith(s); break;
+          case 1: emitReveal(s); break;
+          case 2: emitLocalSlot(s); break;
+          case 3: emitSlotTouch(s); break;
+          default:
+            if (rng_.chance(cfg_.floatShare)) {
+                emitFloatArith(s);
+            } else {
+                emitReveal(s);
+            }
+            break;
+        }
+
+        emitBugOrDecoy(s);
+    }
+
+    // -- function planning and emission ---------------------------------
+
+    TypeRef
+    randomParamType()
+    {
+        const double roll = rng_.uniform();
+        if (roll < 0.28)
+            return tInt64_;
+        if (roll < 0.42)
+            return tInt32_;
+        if (roll < 0.64)
+            return tStr_;
+        if (roll < 0.78)
+            return tPInt64_;
+        if (roll < 0.78 + cfg_.floatShare)
+            return tDouble_;
+        return tPStruct_;
+    }
+
+    TypeRef
+    randomRetType()
+    {
+        const double roll = rng_.uniform();
+        if (roll < 0.35)
+            return tInt64_;
+        if (roll < 0.5)
+            return tInt32_;
+        if (roll < 0.65)
+            return tStr_;
+        if (roll < 0.75)
+            return TypeRef::invalid(); // void
+        return tPInt64_;
+    }
+
+    void
+    planFunctions()
+    {
+        for (int i = 0; i < cfg_.numFunctions; ++i) {
+            FuncPlan plan;
+            plan.polymorphic = rng_.chance(cfg_.polymorphicRate);
+            const int num_params = static_cast<int>(rng_.below(4));
+            for (int p = 0; p < num_params; ++p) {
+                plan.paramTypes.push_back(
+                    plan.polymorphic ? tInt64_ : randomParamType());
+            }
+            plan.retType = plan.polymorphic ? tInt64_ : randomRetType();
+            plan.retWidth = plan.retType.valid() ? widthOf(plan.retType) : 0;
+            plans_.push_back(std::move(plan));
+        }
+        // Create the function shells.
+        for (std::size_t i = 0; i < plans_.size(); ++i) {
+            std::vector<int> widths;
+            for (const TypeRef t : plans_[i].paramTypes)
+                widths.push_back(widthOf(t));
+            builders_.push_back(std::make_unique<FunctionBuilder>(
+                mb_->function("fn" + std::to_string(i), widths)));
+            plans_[i].id = builders_.back()->funcId();
+        }
+    }
+
+    void
+    emitFunction(std::size_t index)
+    {
+        FuncPlan &plan = plans_[index];
+        FunctionBuilder &fb = *builders_[index];
+        Scope s;
+        s.fb = &fb;
+        s.plan = &plan;
+
+        for (std::size_t p = 0; p < plan.paramTypes.size(); ++p)
+            record(s, fb.param(p), plan.paramTypes[p]);
+
+        if (plan.polymorphic) {
+            // Opaque body: copies and compares only; no reveals.
+            for (std::size_t p = 0; p < plan.paramTypes.size(); ++p) {
+                const ValueId c = fb.copy(fb.param(p));
+                program_.truth.valueTypes[c] = plan.paramTypes[p];
+            }
+            if (plan.retType.valid()) {
+                if (!plan.paramTypes.empty()) {
+                    fb.ret(fb.param(0));
+                } else {
+                    fb.ret(mb_->constInt(0, plan.retWidth));
+                }
+            } else {
+                fb.ret();
+            }
+            return;
+        }
+
+        // Parameter types are mostly revealed NON-locally: the value is
+        // spilled to a stack slot and the reloaded alias is what meets
+        // the type-revealing site. Global unification connects the two
+        // (Table 1's LOAD/STORE rules); regional or per-value analyses
+        // cannot - which is exactly the gap the paper exploits.
+        for (std::size_t p = 0; p < plan.paramTypes.size(); ++p) {
+            if (!rng_.chance(cfg_.revealRate * 0.95))
+                continue;
+            Scope tmp = s;
+            s.env.clear();
+            if (rng_.chance(0.7)) {
+                const ValueId slot = fb.alloca_(8);
+                fb.store(slot, fb.param(p));
+                const ValueId reloaded =
+                    fb.load(slot, module().value(fb.param(p)).width);
+                program_.truth.valueTypes[reloaded] = plan.paramTypes[p];
+                s.env.push_back(TypedValue{reloaded, plan.paramTypes[p]});
+            } else {
+                s.env.push_back(TypedValue{fb.param(p),
+                                           plan.paramTypes[p]});
+            }
+            emitReveal(s);
+            s.env = std::move(tmp.env);
+        }
+
+        if (rng_.chance(cfg_.recursionRate))
+            emitRecursiveStep(s, index);
+
+        const int stmts = 1 + static_cast<int>(
+            rng_.below(static_cast<std::uint64_t>(cfg_.stmtsPerFunction)));
+        for (int k = 0; k < stmts; ++k)
+            emitStatement(s, index);
+
+        if (plan.retType.valid()) {
+            const TypedValue rv = produce(s, plan.retType);
+            fb.ret(rv.value);
+        } else {
+            fb.ret();
+        }
+    }
+
+    void
+    emitMain()
+    {
+        auto fb_holder = std::make_unique<FunctionBuilder>(
+            mb_->function("main", {}));
+        FunctionBuilder &fb = *fb_holder;
+        Scope s;
+        s.fb = &fb;
+        FuncPlan main_plan;
+        s.plan = &main_plan;
+
+        // Handler registry: a sizable share of functions have their
+        // address stored into a global table (the way firmware ops
+        // tables and callback registries behave), inflating the
+        // address-taken candidate set indirect-call analyses must prune.
+        {
+            std::vector<FuncId> registered;
+            for (FuncPlan &plan : plans_) {
+                if (rng_.chance(0.45))
+                    registered.push_back(plan.id);
+            }
+            if (!registered.empty()) {
+                const ValueId table = mb_->addGlobal(
+                    "handler_table",
+                    static_cast<std::uint32_t>(8 * registered.size()));
+                for (std::size_t i = 0; i < registered.size(); ++i) {
+                    const ValueId entry = fb.add(
+                        table,
+                        mb_->constInt(static_cast<std::int64_t>(8 * i),
+                                      64));
+                    fb.store(entry, mb_->funcAddr(registered[i]));
+                }
+            }
+        }
+
+        const std::size_t calls = std::min<std::size_t>(plans_.size(), 6);
+        for (std::size_t i = 0; i < calls; ++i)
+            emitCall(s, plans_.size());
+        if (rng_.chance(0.8))
+            emitIcall(s);
+        emitBugOrDecoy(s);
+        fb.ret();
+    }
+
+    const StandardExternals &se() const { return program_.externals; }
+
+    GenConfig cfg_;
+    Rng rng_;
+    GeneratedProgram program_;
+    std::unique_ptr<ModuleBuilder> mb_;
+    std::vector<FuncPlan> plans_;
+    std::vector<std::unique_ptr<FunctionBuilder>> builders_;
+    std::uint32_t tag_counter_ = 0;
+
+    TypeRef tInt32_, tInt64_, tDouble_, tStr_, tPInt64_, tStruct_, tPStruct_;
+};
+
+} // namespace
+
+GeneratedProgram
+generateProgram(const GenConfig &config)
+{
+    ProgramGenerator generator(config);
+    return generator.run();
+}
+
+} // namespace manta

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Typed workload generator: the corpus substitute for real binaries.
+ *
+ * Programs are generated from a typed palette and lowered directly to
+ * type-erased MIR, the way a compiler lowers C to machine code:
+ * variables become width-only registers and stack slots (with optional
+ * slot recycling), field accesses become pointer-plus-constant
+ * arithmetic, dispatch tables become stored function addresses and
+ * indirect calls. Every phenomenon Section 2.1 blames for type loss is
+ * emitted with a controllable rate:
+ *
+ *  - unions instantiated per branch (Figure 3),
+ *  - guarded parameters whose hints sit in one branch (Figure 4),
+ *  - polymorphic functions reused at different types,
+ *  - stack slot recycling across disjoint lifetimes,
+ *  - pointer-vs-error-constant compares and alignment masking
+ *    (Section 6.4's soundness noise).
+ *
+ * The generator records ground-truth types (the DWARF surrogate) and
+ * the true target set of every indirect call.
+ */
+#ifndef MANTA_FRONTEND_GENERATOR_H
+#define MANTA_FRONTEND_GENERATOR_H
+
+#include <memory>
+#include <string>
+
+#include "frontend/groundtruth.h"
+#include "mir/externals.h"
+#include "support/rng.h"
+
+namespace manta {
+
+/** Feature mix and scale of one generated program. */
+struct GenConfig
+{
+    std::uint64_t seed = 1;
+    int numFunctions = 24;          ///< Internal functions to emit.
+    int stmtsPerFunction = 14;      ///< Statement budget per function.
+
+    double unionRate = 0.10;        ///< Figure 3 pattern per function.
+    double guardRate = 0.10;        ///< Figure 4 pattern per function.
+    double polymorphicRate = 0.12;  ///< Type-punned call pairs.
+    double recycleRate = 0.10;      ///< Stack slot recycling.
+    double errorCompareRate = 0.22; ///< ptr == -1 idiom.
+    double maskRate = 0.05;         ///< Pointer alignment masking.
+    double loopRate = 0.25;         ///< Counted loops.
+    double branchRate = 0.40;       ///< if/else regions.
+    double icallRate = 0.15;        ///< Dispatch-table indirect calls.
+    double recursionRate = 0.06;    ///< Self-recursive helpers.
+    double revealRate = 0.45;       ///< Print/length/arith reveals.
+    double floatShare = 0.10;       ///< Floating-typed locals share.
+
+    double realBugRate = 0.0;       ///< Injected true vulnerabilities.
+    double decoyRate = 0.0;         ///< Benign look-alikes (FP bait).
+    double benignCopyRate = 0.0;    ///< Safe strcpy of literals (FP bait
+                                    ///  for pattern-based tools).
+    double benignSystemRate = 0.0;  ///< system() over untainted buffers.
+};
+
+/** A generated program plus its ground truth. */
+struct GeneratedProgram
+{
+    std::unique_ptr<Module> module;
+    GroundTruth truth;
+    StandardExternals externals;
+
+    /** Rough generated-code size (instructions). */
+    std::size_t numInsts() const { return module->numInsts(); }
+};
+
+/** Generate one program. Deterministic in the config (incl. seed). */
+GeneratedProgram generateProgram(const GenConfig &config);
+
+} // namespace manta
+
+#endif // MANTA_FRONTEND_GENERATOR_H

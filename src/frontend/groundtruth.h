@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ground truth recorded during typed program generation.
+ *
+ * The generator plays the role of a compiler: it knows every value's
+ * source type while emitting type-erased MIR. The recorded map plays
+ * the role DWARF debug information plays in the paper's evaluation
+ * (Section 6.1): the reference against which inferred types are scored.
+ */
+#ifndef MANTA_FRONTEND_GROUNDTRUTH_H
+#define MANTA_FRONTEND_GROUNDTRUTH_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "clients/checkers.h"
+#include "mir/mir.h"
+#include "types/type.h"
+
+namespace manta {
+
+/** One injected bug site (or benign decoy) in generated code. */
+struct BugSeed
+{
+    std::uint32_t tag = 0;       ///< Matches Instruction::srcTag at the sink.
+    CheckerKind kind = CheckerKind::NPD;
+    bool real = true;            ///< false = benign decoy (an FP if reported).
+};
+
+/** Everything the generator knows that a binary would not reveal. */
+struct GroundTruth
+{
+    /** Source type of each emitted value (params and locals). */
+    std::unordered_map<ValueId, TypeRef> valueTypes;
+
+    /**
+     * Feasible targets of each indirect call, by sink tag: exactly the
+     * functions whose address the generator stored into the dispatch
+     * slot this call reads.
+     */
+    std::unordered_map<std::uint32_t, std::vector<FuncId>> icallTargets;
+
+    /** Injected bug sites and decoys. */
+    std::vector<BugSeed> seeds;
+
+    /** Type of a value; invalid TypeRef when unrecorded. */
+    TypeRef
+    typeOf(ValueId v) const
+    {
+        const auto it = valueTypes.find(v);
+        return it == valueTypes.end() ? TypeRef::invalid() : it->second;
+    }
+
+    bool
+    isRealBugTag(std::uint32_t tag) const
+    {
+        for (const BugSeed &seed : seeds) {
+            if (seed.tag == tag)
+                return seed.real;
+        }
+        return false;
+    }
+};
+
+} // namespace manta
+
+#endif // MANTA_FRONTEND_GROUNDTRUTH_H

@@ -1,0 +1,332 @@
+#include "mir/builder.h"
+
+#include "support/error.h"
+
+namespace manta {
+
+ValueId
+ModuleBuilder::constInt(std::int64_t value, int width)
+{
+    Value v;
+    v.kind = ValueKind::Constant;
+    v.width = static_cast<std::uint8_t>(width);
+    v.constValue = value;
+    return module_.addValue(std::move(v));
+}
+
+ValueId
+ModuleBuilder::addGlobal(const std::string &name, std::uint32_t size)
+{
+    Global g;
+    g.name = name;
+    g.sizeBytes = size;
+    const GlobalId gid = module_.addGlobal(std::move(g));
+    Value v;
+    v.kind = ValueKind::GlobalAddr;
+    v.width = 64;
+    v.global = gid;
+    v.name = name;
+    return module_.addValue(std::move(v));
+}
+
+ValueId
+ModuleBuilder::addStringLiteral(const std::string &name,
+                                const std::string &text)
+{
+    Global g;
+    g.name = name;
+    g.sizeBytes = static_cast<std::uint32_t>(text.size() + 1);
+    g.isStringLiteral = true;
+    g.stringValue = text;
+    const GlobalId gid = module_.addGlobal(std::move(g));
+    Value v;
+    v.kind = ValueKind::GlobalAddr;
+    v.width = 64;
+    v.global = gid;
+    v.name = name;
+    return module_.addValue(std::move(v));
+}
+
+ValueId
+ModuleBuilder::funcAddr(FuncId func)
+{
+    module_.func(func).addressTaken = true;
+    Value v;
+    v.kind = ValueKind::FuncAddr;
+    v.width = 64;
+    v.funcAddr = func;
+    v.name = module_.func(func).name;
+    return module_.addValue(std::move(v));
+}
+
+FunctionBuilder
+ModuleBuilder::function(const std::string &name,
+                        const std::vector<int> &param_widths)
+{
+    Function fn;
+    fn.name = name;
+    const FuncId fid = module_.addFunc(std::move(fn));
+    for (std::size_t i = 0; i < param_widths.size(); ++i) {
+        Value v;
+        v.kind = ValueKind::Argument;
+        v.width = static_cast<std::uint8_t>(param_widths[i]);
+        v.argIndex = static_cast<std::uint32_t>(i);
+        v.argFunc = fid;
+        v.name = "arg" + std::to_string(i);
+        module_.func(fid).params.push_back(module_.addValue(std::move(v)));
+    }
+    return FunctionBuilder(*this, fid);
+}
+
+FunctionBuilder::FunctionBuilder(ModuleBuilder &mb, FuncId func)
+    : mb_(mb), func_(func)
+{
+    current_ = newBlock("entry");
+}
+
+ValueId
+FunctionBuilder::param(std::size_t index) const
+{
+    const Function &fn = mb_.module_.func(func_);
+    MANTA_ASSERT(index < fn.params.size(), "param index out of range");
+    return fn.params[index];
+}
+
+InstId
+FunctionBuilder::lastInst() const
+{
+    const auto &insts = mb_.module_.block(current_).insts;
+    MANTA_ASSERT(!insts.empty(), "no instruction emitted yet");
+    return insts.back();
+}
+
+BlockId
+FunctionBuilder::newBlock(const std::string &name)
+{
+    BasicBlock bb;
+    bb.func = func_;
+    bb.name = name.empty()
+                  ? "bb" + std::to_string(mb_.module_.func(func_).blocks.size())
+                  : name;
+    const BlockId bid = mb_.module_.addBlock(std::move(bb));
+    mb_.module_.func(func_).blocks.push_back(bid);
+    return bid;
+}
+
+ValueId
+FunctionBuilder::emit(Instruction inst, int result_width,
+                      const std::string &name)
+{
+    Module &m = mb_.module_;
+    MANTA_ASSERT(current_.valid(), "no insertion block");
+    inst.parent = current_;
+    const InstId iid = m.addInst(std::move(inst));
+    ValueId result;
+    if (result_width > 0) {
+        Value v;
+        v.kind = ValueKind::InstResult;
+        v.width = static_cast<std::uint8_t>(result_width);
+        v.inst = iid;
+        v.name = name;
+        result = m.addValue(std::move(v));
+        m.inst(iid).result = result;
+    }
+    m.block(current_).insts.push_back(iid);
+    return result;
+}
+
+ValueId
+FunctionBuilder::copy(ValueId src)
+{
+    Instruction inst;
+    inst.op = Opcode::Copy;
+    inst.operands = {src};
+    return emit(std::move(inst), mb_.module_.value(src).width);
+}
+
+ValueId
+FunctionBuilder::phi(const std::vector<ValueId> &incoming,
+                     const std::vector<BlockId> &blocks)
+{
+    MANTA_ASSERT(!incoming.empty() && incoming.size() == blocks.size(),
+                 "phi operand/block mismatch");
+    const int width = mb_.module_.value(incoming.front()).width;
+    for (auto v : incoming) {
+        MANTA_ASSERT(mb_.module_.value(v).width == width,
+                     "phi width mismatch");
+    }
+    Instruction inst;
+    inst.op = Opcode::Phi;
+    inst.operands = incoming;
+    inst.phiBlocks = blocks;
+    return emit(std::move(inst), width);
+}
+
+ValueId
+FunctionBuilder::alloca_(std::uint32_t size_bytes)
+{
+    Instruction inst;
+    inst.op = Opcode::Alloca;
+    inst.allocaSize = size_bytes;
+    return emit(std::move(inst), 64);
+}
+
+ValueId
+FunctionBuilder::load(ValueId addr, int width)
+{
+    MANTA_ASSERT(mb_.module_.value(addr).width == 64,
+                 "load address must be 64-bit");
+    Instruction inst;
+    inst.op = Opcode::Load;
+    inst.operands = {addr};
+    return emit(std::move(inst), width);
+}
+
+void
+FunctionBuilder::store(ValueId addr, ValueId value)
+{
+    MANTA_ASSERT(mb_.module_.value(addr).width == 64,
+                 "store address must be 64-bit");
+    Instruction inst;
+    inst.op = Opcode::Store;
+    inst.operands = {addr, value};
+    emit(std::move(inst), 0);
+}
+
+ValueId
+FunctionBuilder::binop(Opcode op, ValueId lhs, ValueId rhs)
+{
+    MANTA_ASSERT(op == Opcode::Add || op == Opcode::Sub ||
+                     op == Opcode::Mul || op == Opcode::Div ||
+                     op == Opcode::Rem || op == Opcode::And ||
+                     op == Opcode::Or || op == Opcode::Xor ||
+                     op == Opcode::Shl || op == Opcode::Shr,
+                 "not an integer binop");
+    const int width = mb_.module_.value(lhs).width;
+    MANTA_ASSERT(mb_.module_.value(rhs).width == width,
+                 "binop width mismatch");
+    Instruction inst;
+    inst.op = op;
+    inst.operands = {lhs, rhs};
+    return emit(std::move(inst), width);
+}
+
+ValueId
+FunctionBuilder::fbinop(Opcode op, ValueId lhs, ValueId rhs)
+{
+    MANTA_ASSERT(op == Opcode::FAdd || op == Opcode::FSub ||
+                     op == Opcode::FMul || op == Opcode::FDiv,
+                 "not a float binop");
+    const int width = mb_.module_.value(lhs).width;
+    Instruction inst;
+    inst.op = op;
+    inst.operands = {lhs, rhs};
+    return emit(std::move(inst), width);
+}
+
+ValueId
+FunctionBuilder::icmp(CmpPred pred, ValueId lhs, ValueId rhs)
+{
+    Instruction inst;
+    inst.op = Opcode::ICmp;
+    inst.pred = pred;
+    inst.operands = {lhs, rhs};
+    return emit(std::move(inst), 1);
+}
+
+ValueId
+FunctionBuilder::fcmp(CmpPred pred, ValueId lhs, ValueId rhs)
+{
+    Instruction inst;
+    inst.op = Opcode::FCmp;
+    inst.pred = pred;
+    inst.operands = {lhs, rhs};
+    return emit(std::move(inst), 1);
+}
+
+ValueId
+FunctionBuilder::cast(Opcode op, ValueId src, int width)
+{
+    MANTA_ASSERT(op == Opcode::Trunc || op == Opcode::ZExt ||
+                     op == Opcode::SExt,
+                 "not a cast op");
+    Instruction inst;
+    inst.op = op;
+    inst.operands = {src};
+    return emit(std::move(inst), width);
+}
+
+ValueId
+FunctionBuilder::call(FuncId callee, const std::vector<ValueId> &args,
+                      int ret_width)
+{
+    Instruction inst;
+    inst.op = Opcode::Call;
+    inst.callee = callee;
+    inst.operands = args;
+    return emit(std::move(inst), ret_width);
+}
+
+ValueId
+FunctionBuilder::callExternal(ExternId callee,
+                              const std::vector<ValueId> &args, int ret_width)
+{
+    Instruction inst;
+    inst.op = Opcode::Call;
+    inst.external = callee;
+    inst.operands = args;
+    return emit(std::move(inst), ret_width);
+}
+
+ValueId
+FunctionBuilder::icall(ValueId target, const std::vector<ValueId> &args,
+                       int ret_width)
+{
+    MANTA_ASSERT(mb_.module_.value(target).width == 64,
+                 "icall target must be 64-bit");
+    Instruction inst;
+    inst.op = Opcode::ICall;
+    inst.operands.push_back(target);
+    inst.operands.insert(inst.operands.end(), args.begin(), args.end());
+    return emit(std::move(inst), ret_width);
+}
+
+void
+FunctionBuilder::ret(ValueId value)
+{
+    Instruction inst;
+    inst.op = Opcode::Ret;
+    if (value.valid())
+        inst.operands.push_back(value);
+    emit(std::move(inst), 0);
+}
+
+void
+FunctionBuilder::br(ValueId cond, BlockId then_block, BlockId else_block)
+{
+    Instruction inst;
+    inst.op = Opcode::Br;
+    inst.operands = {cond};
+    inst.thenBlock = then_block;
+    inst.elseBlock = else_block;
+    emit(std::move(inst), 0);
+}
+
+void
+FunctionBuilder::jmp(BlockId target)
+{
+    Instruction inst;
+    inst.op = Opcode::Jmp;
+    inst.thenBlock = target;
+    emit(std::move(inst), 0);
+}
+
+void
+FunctionBuilder::unreachable()
+{
+    Instruction inst;
+    inst.op = Opcode::Unreachable;
+    emit(std::move(inst), 0);
+}
+
+} // namespace manta

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Fluent construction API for MIR modules.
+ *
+ * FunctionBuilder maintains a current insertion block; every emit method
+ * appends an instruction there and returns its result value (when one
+ * exists). The builder enforces basic width discipline so malformed IR
+ * is caught at construction time rather than in the verifier.
+ */
+#ifndef MANTA_MIR_BUILDER_H
+#define MANTA_MIR_BUILDER_H
+
+#include <string>
+#include <vector>
+
+#include "mir/mir.h"
+
+namespace manta {
+
+class FunctionBuilder;
+
+/** Module-level construction helper. */
+class ModuleBuilder
+{
+  public:
+    explicit ModuleBuilder(Module &module) : module_(module) {}
+
+    /** Create an integer constant value of the given width. */
+    ValueId constInt(std::int64_t value, int width = 64);
+
+    /** Create a global of `size` bytes; returns its address value. */
+    ValueId addGlobal(const std::string &name, std::uint32_t size);
+
+    /** Create a string-literal global; returns its address value. */
+    ValueId addStringLiteral(const std::string &name,
+                             const std::string &text);
+
+    /** The address value of a function (marks it address-taken). */
+    ValueId funcAddr(FuncId func);
+
+    /** Start a new function; parameters are all `width`-bit values. */
+    FunctionBuilder function(const std::string &name,
+                             const std::vector<int> &param_widths);
+
+    Module &module() { return module_; }
+
+  private:
+    friend class FunctionBuilder;
+    Module &module_;
+};
+
+/** Per-function construction helper with a current insertion point. */
+class FunctionBuilder
+{
+  public:
+    FunctionBuilder(ModuleBuilder &mb, FuncId func);
+
+    FuncId funcId() const { return func_; }
+
+    /** The i-th parameter value. */
+    ValueId param(std::size_t index) const;
+
+    /** Create an additional basic block. */
+    BlockId newBlock(const std::string &name = "");
+
+    /** Move the insertion point. */
+    void setInsertPoint(BlockId block) { current_ = block; }
+
+    BlockId currentBlock() const { return current_; }
+
+    /** The most recently emitted instruction in the current block. */
+    InstId lastInst() const;
+
+    /// @name Instruction emitters. Each appends at the insertion point.
+    /// @{
+    ValueId copy(ValueId src);
+    ValueId phi(const std::vector<ValueId> &incoming,
+                const std::vector<BlockId> &blocks);
+    ValueId alloca_(std::uint32_t size_bytes);
+    ValueId load(ValueId addr, int width);
+    void store(ValueId addr, ValueId value);
+    ValueId binop(Opcode op, ValueId lhs, ValueId rhs);
+    ValueId add(ValueId lhs, ValueId rhs) { return binop(Opcode::Add, lhs, rhs); }
+    ValueId sub(ValueId lhs, ValueId rhs) { return binop(Opcode::Sub, lhs, rhs); }
+    ValueId mul(ValueId lhs, ValueId rhs) { return binop(Opcode::Mul, lhs, rhs); }
+    ValueId fbinop(Opcode op, ValueId lhs, ValueId rhs);
+    ValueId icmp(CmpPred pred, ValueId lhs, ValueId rhs);
+    ValueId fcmp(CmpPred pred, ValueId lhs, ValueId rhs);
+    ValueId cast(Opcode op, ValueId src, int width);
+    /** Direct call to an internal function; width is the result width
+     *  (0 for void). */
+    ValueId call(FuncId callee, const std::vector<ValueId> &args,
+                 int ret_width);
+    /** Direct call to an external. */
+    ValueId callExternal(ExternId callee, const std::vector<ValueId> &args,
+                         int ret_width);
+    /** Indirect call through `target`. */
+    ValueId icall(ValueId target, const std::vector<ValueId> &args,
+                  int ret_width);
+    void ret(ValueId value = ValueId::invalid());
+    void br(ValueId cond, BlockId then_block, BlockId else_block);
+    void jmp(BlockId target);
+    void unreachable();
+    /// @}
+
+    ModuleBuilder &moduleBuilder() { return mb_; }
+
+  private:
+    ValueId emit(Instruction inst, int result_width,
+                 const std::string &name = "");
+
+    ModuleBuilder &mb_;
+    FuncId func_;
+    BlockId current_;
+};
+
+} // namespace manta
+
+#endif // MANTA_MIR_BUILDER_H

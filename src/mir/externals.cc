@@ -1,0 +1,69 @@
+#include "mir/externals.h"
+
+namespace manta {
+
+StandardExternals
+StandardExternals::install(Module &module)
+{
+    TypeTable &tt = module.types();
+    const TypeRef i8 = tt.intTy(8);
+    const TypeRef i32 = tt.intTy(32);
+    const TypeRef i64 = tt.intTy(64);
+    const TypeRef f64 = tt.doubleTy();
+    const TypeRef str = tt.ptr(i8);
+    const TypeRef any_ptr = tt.ptrAny();
+    const TypeRef void_ty = TypeRef::invalid();
+
+    auto add = [&](const char *name, std::vector<TypeRef> params,
+                   TypeRef ret, ExternRole role) {
+        External ext;
+        ext.name = name;
+        ext.paramTypes = std::move(params);
+        ext.retType = ret;
+        ext.role = role;
+        return module.addExternal(std::move(ext));
+    };
+
+    StandardExternals se;
+    se.mallocFn = add("malloc", {i64}, any_ptr, ExternRole::Alloc);
+    se.callocFn = add("calloc", {i64, i64}, any_ptr, ExternRole::Alloc);
+    se.freeFn = add("free", {any_ptr}, void_ty, ExternRole::Free);
+    se.memcpyFn =
+        add("memcpy", {any_ptr, any_ptr, i64}, any_ptr,
+            ExternRole::BoundedCopy);
+    se.strcpyFn = add("strcpy", {str, str}, str, ExternRole::StrCopy);
+    se.strcatFn = add("strcat", {str, str}, str, ExternRole::StrCopy);
+    se.strncpyFn =
+        add("strncpy", {str, str, i64}, str, ExternRole::BoundedCopy);
+    se.strlenFn = add("strlen", {str}, i64, ExternRole::None);
+    se.strcmpFn = add("strcmp", {str, str}, i32, ExternRole::None);
+    se.atoiFn = add("atoi", {str}, i32, ExternRole::Sanitizer);
+    se.strtolFn = add("strtol", {str, any_ptr, i32}, i64,
+                      ExternRole::Sanitizer);
+    se.systemFn = add("system", {str}, i32, ExternRole::CommandSink);
+    se.popenFn = add("popen", {str, str}, any_ptr, ExternRole::CommandSink);
+    se.execFn = add("execve", {str, any_ptr, any_ptr}, i32,
+                    ExternRole::CommandSink);
+    se.recvFn = add("recv", {i32, any_ptr, i64, i32}, i64,
+                    ExternRole::TaintSource);
+    se.readFn = add("read", {i32, any_ptr, i64}, i64,
+                    ExternRole::TaintSource);
+    se.getenvFn = add("getenv", {str}, str, ExternRole::TaintSource);
+    se.nvramGetFn = add("nvram_get", {str}, str, ExternRole::TaintSource);
+    se.nvramSetFn = add("nvram_set", {str, str}, i32, ExternRole::None);
+    se.websGetVarFn = add("webs_get_var", {any_ptr, str, str}, str,
+                          ExternRole::TaintSource);
+    se.printStrFn = add("print_str", {str}, i32, ExternRole::Print);
+    se.printIntFn = add("print_int", {i64}, i32, ExternRole::Print);
+    se.printFltFn = add("print_flt", {f64}, i32, ExternRole::Print);
+    se.sqrtFn = add("sqrt", {f64}, f64, ExternRole::None);
+    se.exitFn = add("exit", {i32}, void_ty, ExternRole::Exit);
+    se.socketFn = add("socket", {i32, i32, i32}, i32, ExternRole::None);
+    se.bindFn = add("bind", {i32, any_ptr, i64}, i32, ExternRole::None);
+    se.snprintfFn = add("snprintf", {str, i64, str}, i32,
+                        ExternRole::BoundedCopy);
+    se.sprintfFn = add("sprintf", {str, str}, i32, ExternRole::StrCopy);
+    return se;
+}
+
+} // namespace manta

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Standard external-function registry.
+ *
+ * Externals are the primary type-revealing sites of Table 1 (rule 4):
+ * a call to malloc reveals a pointer return, a call to print_str reveals
+ * a char* argument, and so on. Their roles also drive the bug checkers
+ * (taint sources, command sinks, copy sinks, sanitizers).
+ */
+#ifndef MANTA_MIR_EXTERNALS_H
+#define MANTA_MIR_EXTERNALS_H
+
+#include "mir/mir.h"
+
+namespace manta {
+
+/**
+ * Install the standard external set into a module and return a lookup
+ * struct of the commonly used ids. Safe to call once per module.
+ */
+struct StandardExternals
+{
+    ExternId mallocFn;
+    ExternId callocFn;
+    ExternId freeFn;
+    ExternId memcpyFn;
+    ExternId strcpyFn;
+    ExternId strcatFn;
+    ExternId strncpyFn;
+    ExternId strlenFn;
+    ExternId strcmpFn;
+    ExternId atoiFn;
+    ExternId strtolFn;
+    ExternId systemFn;
+    ExternId popenFn;
+    ExternId execFn;
+    ExternId recvFn;
+    ExternId readFn;
+    ExternId getenvFn;
+    ExternId nvramGetFn;
+    ExternId nvramSetFn;
+    ExternId websGetVarFn;
+    ExternId printStrFn;   ///< printf("%s", p): reveals ptr(int8).
+    ExternId printIntFn;   ///< printf("%lld", x): reveals int64.
+    ExternId printFltFn;   ///< printf("%f", x): reveals double.
+    ExternId sqrtFn;
+    ExternId exitFn;
+    ExternId socketFn;
+    ExternId bindFn;
+    ExternId snprintfFn;
+    ExternId sprintfFn;
+
+    /** Register the set into `module` (uses its TypeTable). */
+    static StandardExternals install(Module &module);
+};
+
+} // namespace manta
+
+#endif // MANTA_MIR_EXTERNALS_H

@@ -1,0 +1,597 @@
+#include "mir/interp.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+#include "support/error.h"
+
+namespace manta {
+
+namespace {
+
+using Word = std::uint64_t;
+
+/** Function addresses live under a distinct tag. */
+constexpr Word funcTag = 0x7F00000000000000ULL;
+constexpr Word funcTagMask = 0xFF00000000000000ULL;
+
+Word
+makeAddr(std::uint32_t segment, std::uint32_t offset)
+{
+    return (Word(segment) << 32) | offset;
+}
+
+Word
+maskToWidth(Word value, int width)
+{
+    if (width >= 64)
+        return value;
+    return value & ((Word(1) << width) - 1);
+}
+
+std::int64_t
+signExtend(Word value, int width)
+{
+    if (width >= 64)
+        return static_cast<std::int64_t>(value);
+    const Word sign_bit = Word(1) << (width - 1);
+    if (value & sign_bit)
+        return static_cast<std::int64_t>(value | ~((Word(1) << width) - 1));
+    return static_cast<std::int64_t>(value);
+}
+
+} // namespace
+
+class Interpreter::Impl
+{
+  public:
+    Impl(const Module &module, InterpOptions options)
+        : m_(module), opts_(std::move(options))
+    {
+        // Segment 0 is the null segment; never allocated.
+        segments_.emplace_back();
+        segments_[0].freed = true;
+
+        // Materialize globals.
+        global_segment_.assign(m_.numGlobals(), 0);
+        for (std::size_t g = 0; g < m_.numGlobals(); ++g) {
+            const Global &global = m_.global(GlobalId(GlobalId::RawType(g)));
+            const std::uint32_t seg = allocate(
+                std::max<std::uint32_t>(global.sizeBytes, 1));
+            global_segment_[g] = seg;
+            if (global.isStringLiteral) {
+                auto &bytes = segments_[seg].bytes;
+                const std::size_t n =
+                    std::min<std::size_t>(global.stringValue.size(),
+                                          bytes.size() - 1);
+                std::memcpy(bytes.data(), global.stringValue.data(), n);
+            }
+        }
+    }
+
+    InterpResult
+    run(FuncId entry, const std::vector<std::int64_t> &args)
+    {
+        result_ = InterpResult{};
+        commands_.clear();
+        halted_ = false;
+
+        std::vector<Word> words;
+        words.reserve(args.size());
+        for (const std::int64_t a : args)
+            words.push_back(static_cast<Word>(a));
+        const Word ret = callFunction(entry, words, 0);
+        result_.returnValue = static_cast<std::int64_t>(ret);
+        result_.completed = !budgetExceeded() && !faultStop();
+        return result_;
+    }
+
+    const std::vector<std::string> &commands() const { return commands_; }
+
+    /** The function named "main", or the first function. */
+    FuncId
+    mainOrFirst() const
+    {
+        const FuncId named = m_.findFunc("main");
+        if (named.valid())
+            return named;
+        return m_.numFuncs() > 0 ? FuncId(0) : FuncId::invalid();
+    }
+
+  private:
+    struct Segment
+    {
+        std::vector<std::uint8_t> bytes;
+        bool freed = false;
+    };
+
+    struct Frame
+    {
+        std::unordered_map<std::uint32_t, Word> regs;
+        BlockId prevBlock;
+    };
+
+    // ---- plumbing ----------------------------------------------------
+
+    bool budgetExceeded() const { return result_.steps >= opts_.maxSteps; }
+
+    bool
+    faultStop() const
+    {
+        return opts_.stopOnFault && !result_.events.empty() && halted_;
+    }
+
+    bool
+    shouldStop() const
+    {
+        return halted_ || budgetExceeded();
+    }
+
+    std::uint32_t
+    allocate(std::uint32_t size)
+    {
+        Segment segment;
+        segment.bytes.assign(std::min<std::uint32_t>(size, 1u << 20), 0);
+        segments_.push_back(std::move(segment));
+        return static_cast<std::uint32_t>(segments_.size() - 1);
+    }
+
+    void
+    report(RuntimeEvent::Kind kind, InstId site, std::string detail)
+    {
+        RuntimeEvent event;
+        event.kind = kind;
+        event.site = site;
+        event.srcTag = site.valid() ? m_.inst(site).srcTag : 0;
+        event.detail = std::move(detail);
+        result_.events.push_back(std::move(event));
+        if (opts_.stopOnFault &&
+                event.kind != RuntimeEvent::Kind::CommandExec) {
+            halted_ = true;
+        }
+    }
+
+    Word
+    evalOperand(const Frame &frame, ValueId v)
+    {
+        const Value &value = m_.value(v);
+        switch (value.kind) {
+          case ValueKind::Constant:
+            return maskToWidth(static_cast<Word>(value.constValue),
+                               value.width);
+          case ValueKind::GlobalAddr:
+            return makeAddr(global_segment_[value.global.index()], 0);
+          case ValueKind::FuncAddr:
+            return funcTag | value.funcAddr.raw();
+          default: {
+            const auto it = frame.regs.find(v.raw());
+            return it == frame.regs.end() ? 0 : it->second;
+          }
+        }
+    }
+
+    /** Decode and bounds-check an address for a width-bit access. */
+    Segment *
+    checkAccess(Word addr, int width_bits, InstId site)
+    {
+        const std::uint32_t seg = static_cast<std::uint32_t>(addr >> 32);
+        const std::uint32_t off = static_cast<std::uint32_t>(addr);
+        if ((addr & funcTagMask) == funcTag || seg == 0) {
+            if (addr < 4096) {
+                report(RuntimeEvent::Kind::NullDeref, site,
+                       "access at " + std::to_string(addr));
+            } else {
+                report(RuntimeEvent::Kind::OutOfBounds, site,
+                       "wild address");
+            }
+            return nullptr;
+        }
+        if (seg >= segments_.size()) {
+            report(RuntimeEvent::Kind::OutOfBounds, site, "wild segment");
+            return nullptr;
+        }
+        Segment &segment = segments_[seg];
+        if (segment.freed) {
+            report(RuntimeEvent::Kind::UseAfterFree, site,
+                   "freed segment " + std::to_string(seg));
+            return nullptr;
+        }
+        const std::size_t bytes = static_cast<std::size_t>(width_bits) / 8;
+        if (off + std::max<std::size_t>(bytes, 1) > segment.bytes.size()) {
+            report(RuntimeEvent::Kind::OutOfBounds, site,
+                   "offset " + std::to_string(off) + " in segment of " +
+                       std::to_string(segment.bytes.size()) + " bytes");
+            return nullptr;
+        }
+        return &segment;
+    }
+
+    Word
+    loadWord(Word addr, int width_bits, InstId site)
+    {
+        Segment *segment = checkAccess(addr, width_bits, site);
+        if (!segment)
+            return static_cast<Word>(opts_.uninitWord);
+        const std::uint32_t off = static_cast<std::uint32_t>(addr);
+        Word out = 0;
+        std::memcpy(&out, segment->bytes.data() + off,
+                    std::max(width_bits / 8, 1));
+        return maskToWidth(out, width_bits);
+    }
+
+    void
+    storeWord(Word addr, Word value, int width_bits, InstId site)
+    {
+        Segment *segment = checkAccess(addr, width_bits, site);
+        if (!segment)
+            return;
+        const std::uint32_t off = static_cast<std::uint32_t>(addr);
+        std::memcpy(segment->bytes.data() + off, &value,
+                    std::max(width_bits / 8, 1));
+    }
+
+    /** Read a C string out of simulated memory (bounded). */
+    std::string
+    readString(Word addr, InstId site)
+    {
+        std::string out;
+        for (std::uint32_t i = 0; i < 4096; ++i) {
+            Segment *segment = checkAccess(addr + i, 8, site);
+            if (!segment)
+                break;
+            const char c = static_cast<char>(
+                segment->bytes[static_cast<std::uint32_t>(addr) + i]);
+            if (c == '\0')
+                break;
+            out += c;
+        }
+        return out;
+    }
+
+    /** Write a C string; reports overflow against the destination. */
+    void
+    writeString(Word dst, const std::string &text, InstId site,
+                bool report_overflow)
+    {
+        const std::uint32_t seg = static_cast<std::uint32_t>(dst >> 32);
+        const std::uint32_t off = static_cast<std::uint32_t>(dst);
+        if (seg == 0 || seg >= segments_.size()) {
+            report(RuntimeEvent::Kind::NullDeref, site, "copy to null");
+            return;
+        }
+        Segment &segment = segments_[seg];
+        if (segment.freed) {
+            report(RuntimeEvent::Kind::UseAfterFree, site,
+                   "copy into freed segment");
+            return;
+        }
+        const std::size_t capacity =
+            off < segment.bytes.size() ? segment.bytes.size() - off : 0;
+        if (report_overflow && text.size() + 1 > capacity) {
+            report(RuntimeEvent::Kind::BufferOverflow, site,
+                   std::to_string(text.size() + 1) + " bytes into " +
+                       std::to_string(capacity));
+        }
+        const std::size_t n =
+            std::min(text.size(), capacity > 0 ? capacity - 1 : 0);
+        std::memcpy(segment.bytes.data() + off, text.data(), n);
+        if (capacity > 0)
+            segment.bytes[off + n] = 0;
+    }
+
+    // ---- execution ----------------------------------------------------
+
+    Word
+    callFunction(FuncId func, const std::vector<Word> &args, int depth)
+    {
+        if (depth > 48 || shouldStop())
+            return 0;
+        const Function &fn = m_.func(func);
+        if (fn.blocks.empty())
+            return 0;
+
+        Frame frame;
+        for (std::size_t i = 0; i < fn.params.size(); ++i)
+            frame.regs[fn.params[i].raw()] =
+                i < args.size() ? args[i] : 0;
+
+        BlockId block = fn.entry();
+        for (;;) {
+            const BasicBlock &bb = m_.block(block);
+            BlockId next_block;
+            for (std::size_t i = 0; i < bb.insts.size(); ++i) {
+                if (++result_.steps >= opts_.maxSteps || halted_)
+                    return 0;
+                const InstId iid = bb.insts[i];
+                const Instruction &inst = m_.inst(iid);
+                switch (inst.op) {
+                  case Opcode::Ret:
+                    return inst.operands.empty()
+                               ? 0
+                               : evalOperand(frame, inst.operands[0]);
+                  case Opcode::Jmp:
+                    next_block = inst.thenBlock;
+                    break;
+                  case Opcode::Br: {
+                    const Word cond = evalOperand(frame, inst.operands[0]);
+                    next_block = cond ? inst.thenBlock : inst.elseBlock;
+                    break;
+                  }
+                  case Opcode::Unreachable:
+                    return 0;
+                  default:
+                    execute(frame, iid, inst, depth);
+                    break;
+                }
+                if (next_block.valid())
+                    break;
+            }
+            if (!next_block.valid())
+                return 0; // fell off (malformed); treated as return 0
+            frame.prevBlock = block;
+            block = next_block;
+        }
+    }
+
+    void
+    execute(Frame &frame, InstId iid, const Instruction &inst, int depth)
+    {
+        auto set = [&](Word value) {
+            if (inst.result.valid()) {
+                frame.regs[inst.result.raw()] =
+                    maskToWidth(value, m_.value(inst.result).width);
+            }
+        };
+        auto op = [&](std::size_t k) {
+            return evalOperand(frame, inst.operands[k]);
+        };
+
+        switch (inst.op) {
+          case Opcode::Copy:
+            set(op(0));
+            break;
+          case Opcode::Phi: {
+            for (std::size_t k = 0; k < inst.phiBlocks.size(); ++k) {
+                if (inst.phiBlocks[k] == frame.prevBlock) {
+                    set(op(k));
+                    return;
+                }
+            }
+            set(op(0)); // malformed phi: first entry
+            break;
+          }
+          case Opcode::Alloca:
+            set(makeAddr(allocate(std::max(inst.allocaSize, 1u)), 0));
+            break;
+          case Opcode::Load:
+            set(loadWord(op(0), m_.value(inst.result).width, iid));
+            break;
+          case Opcode::Store:
+            storeWord(op(0), op(1), m_.value(inst.operands[1]).width, iid);
+            break;
+          case Opcode::Add: set(op(0) + op(1)); break;
+          case Opcode::Sub: set(op(0) - op(1)); break;
+          case Opcode::Mul: set(op(0) * op(1)); break;
+          case Opcode::Div: {
+            const Word d = op(1);
+            set(d == 0 ? 0 : op(0) / d);
+            break;
+          }
+          case Opcode::Rem: {
+            const Word d = op(1);
+            set(d == 0 ? 0 : op(0) % d);
+            break;
+          }
+          case Opcode::And: set(op(0) & op(1)); break;
+          case Opcode::Or: set(op(0) | op(1)); break;
+          case Opcode::Xor: set(op(0) ^ op(1)); break;
+          case Opcode::Shl: set(op(0) << (op(1) & 63)); break;
+          case Opcode::Shr: set(op(0) >> (op(1) & 63)); break;
+          case Opcode::FAdd:
+          case Opcode::FSub:
+          case Opcode::FMul:
+          case Opcode::FDiv: {
+            // Bit-level float interpretation keeps determinism simple:
+            // treat operands as integers scaled by 1000.
+            const std::int64_t a = static_cast<std::int64_t>(op(0));
+            const std::int64_t b = static_cast<std::int64_t>(op(1));
+            std::int64_t r = 0;
+            switch (inst.op) {
+              case Opcode::FAdd: r = a + b; break;
+              case Opcode::FSub: r = a - b; break;
+              case Opcode::FMul: r = a * b; break;
+              default: r = b == 0 ? 0 : a / b; break;
+            }
+            set(static_cast<Word>(r));
+            break;
+          }
+          case Opcode::ICmp:
+          case Opcode::FCmp: {
+            const int width = m_.value(inst.operands[0]).width;
+            const std::int64_t a = signExtend(op(0), width);
+            const std::int64_t b = signExtend(op(1), width);
+            bool r = false;
+            switch (inst.pred) {
+              case CmpPred::EQ: r = a == b; break;
+              case CmpPred::NE: r = a != b; break;
+              case CmpPred::LT: r = a < b; break;
+              case CmpPred::LE: r = a <= b; break;
+              case CmpPred::GT: r = a > b; break;
+              case CmpPred::GE: r = a >= b; break;
+            }
+            set(r ? 1 : 0);
+            break;
+          }
+          case Opcode::Trunc:
+          case Opcode::ZExt:
+            set(op(0));
+            break;
+          case Opcode::SExt: {
+            const int from = m_.value(inst.operands[0]).width;
+            set(static_cast<Word>(signExtend(op(0), from)));
+            break;
+          }
+          case Opcode::Call: {
+            if (inst.callee.valid()) {
+                std::vector<Word> args;
+                args.reserve(inst.operands.size());
+                for (const ValueId a : inst.operands)
+                    args.push_back(evalOperand(frame, a));
+                set(callFunction(inst.callee, args, depth + 1));
+            } else {
+                set(callExternal(frame, iid, inst));
+            }
+            break;
+          }
+          case Opcode::ICall: {
+            const Word target = op(0);
+            if ((target & funcTagMask) != funcTag ||
+                    (target & 0xFFFFFFFFu) >= m_.numFuncs()) {
+                report(RuntimeEvent::Kind::BadIndirect, iid,
+                       "target word " + std::to_string(target));
+                set(0);
+                break;
+            }
+            const FuncId callee(
+                static_cast<FuncId::RawType>(target & 0xFFFFFFFFu));
+            std::vector<Word> args;
+            for (std::size_t k = 1; k < inst.operands.size(); ++k)
+                args.push_back(op(k));
+            set(callFunction(callee, args, depth + 1));
+            break;
+          }
+          default:
+            set(0);
+            break;
+        }
+    }
+
+    Word
+    callExternal(Frame &frame, InstId iid, const Instruction &inst)
+    {
+        const External &ext = m_.external(inst.external);
+        auto op = [&](std::size_t k) {
+            return evalOperand(frame, inst.operands[k]);
+        };
+        auto has = [&](std::size_t k) { return inst.operands.size() > k; };
+
+        switch (ext.role) {
+          case ExternRole::Alloc: {
+            Word n = has(0) ? op(0) : 8;
+            if (ext.name == "calloc" && has(1))
+                n *= op(1);
+            return makeAddr(
+                allocate(static_cast<std::uint32_t>(std::max<Word>(n, 1))),
+                0);
+          }
+          case ExternRole::Free: {
+            if (!has(0))
+                return 0;
+            const Word addr = op(0);
+            const std::uint32_t seg =
+                static_cast<std::uint32_t>(addr >> 32);
+            if (seg == 0 || seg >= segments_.size())
+                return 0;
+            if (segments_[seg].freed) {
+                report(RuntimeEvent::Kind::UseAfterFree, iid,
+                       "double free of segment " + std::to_string(seg));
+            }
+            segments_[seg].freed = true;
+            return 0;
+          }
+          case ExternRole::TaintSource: {
+            if (ext.retType.valid() && m_.types().isPtr(ext.retType)) {
+                const std::uint32_t seg = allocate(
+                    static_cast<std::uint32_t>(
+                        opts_.taintPayload.size() + 1));
+                std::memcpy(segments_[seg].bytes.data(),
+                            opts_.taintPayload.data(),
+                            opts_.taintPayload.size());
+                return makeAddr(seg, 0);
+            }
+            // recv-style: fill the buffer argument.
+            if (has(1))
+                writeString(op(1), opts_.taintPayload, iid, true);
+            return static_cast<Word>(opts_.taintPayload.size());
+          }
+          case ExternRole::CommandSink: {
+            const std::string cmd = has(0) ? readString(op(0), iid) : "";
+            commands_.push_back(cmd);
+            report(RuntimeEvent::Kind::CommandExec, iid, cmd);
+            return 0;
+          }
+          case ExternRole::StrCopy: {
+            if (!has(1))
+                return has(0) ? op(0) : 0;
+            std::string text = readString(op(1), iid);
+            if (ext.name == "strcat")
+                text = readString(op(0), iid) + text;
+            writeString(op(0), text, iid, /*report_overflow=*/true);
+            return op(0);
+          }
+          case ExternRole::BoundedCopy: {
+            if (!has(2))
+                return has(0) ? op(0) : 0;
+            std::string text = readString(op(1), iid);
+            const Word len = op(2);
+            if (text.size() > len)
+                text.resize(static_cast<std::size_t>(len));
+            writeString(op(0), text, iid, /*report_overflow=*/true);
+            return op(0);
+          }
+          case ExternRole::Sanitizer: {
+            const std::string text = has(0) ? readString(op(0), iid) : "";
+            return static_cast<Word>(std::atoll(text.c_str()));
+          }
+          case ExternRole::Exit:
+            halted_ = true;
+            return 0;
+          default:
+            if (ext.name == "strlen" && has(0))
+                return readString(op(0), iid).size();
+            if (ext.name == "strcmp" && has(1)) {
+                return static_cast<Word>(static_cast<std::int64_t>(
+                    readString(op(0), iid).compare(
+                        readString(op(1), iid))));
+            }
+            return 0;
+        }
+    }
+
+    const Module &m_;
+    InterpOptions opts_;
+    std::vector<Segment> segments_;
+    std::vector<std::uint32_t> global_segment_;
+    std::vector<std::string> commands_;
+    InterpResult result_;
+    bool halted_ = false;
+};
+
+Interpreter::Interpreter(const Module &module, InterpOptions options)
+    : impl_(std::make_unique<Impl>(module, std::move(options)))
+{}
+
+Interpreter::~Interpreter() = default;
+
+InterpResult
+Interpreter::run(FuncId entry, const std::vector<std::int64_t> &args)
+{
+    return impl_->run(entry, args);
+}
+
+InterpResult
+Interpreter::runMain()
+{
+    const FuncId entry = impl_->mainOrFirst();
+    MANTA_ASSERT(entry.valid(), "module has no functions");
+    return impl_->run(entry, {});
+}
+
+const std::vector<std::string> &
+Interpreter::executedCommands() const
+{
+    return impl_->commands();
+}
+
+} // namespace manta

@@ -1,0 +1,172 @@
+#include "mir/mir.h"
+
+#include "support/error.h"
+
+namespace manta {
+
+ValueId
+Module::addValue(Value v)
+{
+    const ValueId id(static_cast<ValueId::RawType>(values_.size()));
+    values_.push_back(std::move(v));
+    return id;
+}
+
+InstId
+Module::addInst(Instruction inst)
+{
+    const InstId id(static_cast<InstId::RawType>(insts_.size()));
+    insts_.push_back(std::move(inst));
+    return id;
+}
+
+BlockId
+Module::addBlock(BasicBlock block)
+{
+    const BlockId id(static_cast<BlockId::RawType>(blocks_.size()));
+    blocks_.push_back(std::move(block));
+    return id;
+}
+
+FuncId
+Module::addFunc(Function func)
+{
+    const FuncId id(static_cast<FuncId::RawType>(funcs_.size()));
+    funcs_.push_back(std::move(func));
+    return id;
+}
+
+GlobalId
+Module::addGlobal(Global global)
+{
+    const GlobalId id(static_cast<GlobalId::RawType>(globals_.size()));
+    globals_.push_back(std::move(global));
+    return id;
+}
+
+ExternId
+Module::addExternal(External ext)
+{
+    const ExternId id(static_cast<ExternId::RawType>(externs_.size()));
+    externs_.push_back(std::move(ext));
+    return id;
+}
+
+FuncId
+Module::findFunc(const std::string &name) const
+{
+    for (std::size_t i = 0; i < funcs_.size(); ++i) {
+        if (funcs_[i].name == name)
+            return FuncId(static_cast<FuncId::RawType>(i));
+    }
+    return FuncId::invalid();
+}
+
+ExternId
+Module::findExternal(const std::string &name) const
+{
+    for (std::size_t i = 0; i < externs_.size(); ++i) {
+        if (externs_[i].name == name)
+            return ExternId(static_cast<ExternId::RawType>(i));
+    }
+    return ExternId::invalid();
+}
+
+GlobalId
+Module::findGlobal(const std::string &name) const
+{
+    for (std::size_t i = 0; i < globals_.size(); ++i) {
+        if (globals_[i].name == name)
+            return GlobalId(static_cast<GlobalId::RawType>(i));
+    }
+    return GlobalId::invalid();
+}
+
+std::vector<FuncId>
+Module::addressTakenFuncs() const
+{
+    std::vector<FuncId> result;
+    for (std::size_t i = 0; i < funcs_.size(); ++i) {
+        if (funcs_[i].addressTaken)
+            result.emplace_back(static_cast<FuncId::RawType>(i));
+    }
+    return result;
+}
+
+FuncId
+Module::owningFunc(ValueId id) const
+{
+    const Value &v = value(id);
+    switch (v.kind) {
+      case ValueKind::Argument:
+        return v.argFunc;
+      case ValueKind::InstResult:
+        return block(inst(v.inst).parent).func;
+      default:
+        return FuncId::invalid();
+    }
+}
+
+std::vector<FuncId>
+Module::funcIds() const
+{
+    std::vector<FuncId> ids;
+    ids.reserve(funcs_.size());
+    for (std::size_t i = 0; i < funcs_.size(); ++i)
+        ids.emplace_back(static_cast<FuncId::RawType>(i));
+    return ids;
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Copy: return "copy";
+      case Opcode::Phi: return "phi";
+      case Opcode::Alloca: return "alloca";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::Rem: return "rem";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::FAdd: return "fadd";
+      case Opcode::FSub: return "fsub";
+      case Opcode::FMul: return "fmul";
+      case Opcode::FDiv: return "fdiv";
+      case Opcode::ICmp: return "icmp";
+      case Opcode::FCmp: return "fcmp";
+      case Opcode::Trunc: return "trunc";
+      case Opcode::ZExt: return "zext";
+      case Opcode::SExt: return "sext";
+      case Opcode::Call: return "call";
+      case Opcode::ICall: return "icall";
+      case Opcode::Ret: return "ret";
+      case Opcode::Br: return "br";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Unreachable: return "unreachable";
+    }
+    return "<bad-op>";
+}
+
+const char *
+predName(CmpPred pred)
+{
+    switch (pred) {
+      case CmpPred::EQ: return "eq";
+      case CmpPred::NE: return "ne";
+      case CmpPred::LT: return "lt";
+      case CmpPred::LE: return "le";
+      case CmpPred::GT: return "gt";
+      case CmpPred::GE: return "ge";
+    }
+    return "<bad-pred>";
+}
+
+} // namespace manta

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * MIR: Manta's register-width intermediate representation.
+ *
+ * MIR plays the role the paper assigns to lifter output (RetDec-lifted
+ * LLVM IR, Section 3): binary registers and arguments become SSA values,
+ * the binary instruction set maps to a small LLVM-like vocabulary, and -
+ * crucially - values carry only a *bit width*, never a source type.
+ * Recovering types is the whole point of the core library.
+ *
+ * A Module owns dense pools of values, instructions, blocks, functions
+ * and globals, all addressed by strongly typed ids, plus the TypeTable
+ * used for external-function signatures and ground-truth side tables.
+ */
+#ifndef MANTA_MIR_MIR_H
+#define MANTA_MIR_MIR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/ids.h"
+#include "types/type.h"
+
+namespace manta {
+
+struct ValueTag {};
+struct InstTag {};
+struct BlockTag {};
+struct FuncTag {};
+struct GlobalTag {};
+struct ExternTag {};
+
+using ValueId = Id<ValueTag>;
+using InstId = Id<InstTag>;
+using BlockId = Id<BlockTag>;
+using FuncId = Id<FuncTag>;
+using GlobalId = Id<GlobalTag>;
+using ExternId = Id<ExternTag>;
+
+/** What a Value denotes. */
+enum class ValueKind : std::uint8_t {
+    Constant,    ///< Integer literal of a given width.
+    Argument,    ///< Function parameter.
+    InstResult,  ///< Result of an instruction.
+    GlobalAddr,  ///< Address of a global (width 64).
+    FuncAddr,    ///< Address of a function (width 64, address-taken).
+};
+
+/** An SSA value. Width is the only "type" a binary knows. */
+struct Value
+{
+    ValueKind kind = ValueKind::Constant;
+    std::uint8_t width = 64;      ///< Bits: 1, 8, 16, 32 or 64.
+    std::int64_t constValue = 0;  ///< For Constant.
+    std::uint32_t argIndex = 0;   ///< For Argument.
+    FuncId argFunc;               ///< For Argument: owning function.
+    InstId inst;                  ///< For InstResult: defining instruction.
+    GlobalId global;              ///< For GlobalAddr.
+    FuncId funcAddr;              ///< For FuncAddr.
+    std::string name;             ///< Optional debug name ("v12" if empty).
+};
+
+/** MIR opcodes (the lifted vocabulary of Section 3). */
+enum class Opcode : std::uint8_t {
+    Copy,     ///< result = operand0 (register move / bitcast).
+    Phi,      ///< SSA phi; operands parallel to phiBlocks.
+    Alloca,   ///< Stack slot of allocaSize bytes; result is its address.
+    Load,     ///< result = *(operand0); width = result width.
+    Store,    ///< *(operand0) = operand1.
+    Add, Sub, Mul, Div, Rem,
+    And, Or, Xor, Shl, Shr,
+    FAdd, FSub, FMul, FDiv,   ///< Floating arithmetic (type-revealing).
+    ICmp,     ///< Integer/pointer compare; result width 1.
+    FCmp,     ///< Floating compare; result width 1.
+    Trunc, ZExt, SExt,        ///< Width conversions.
+    Call,     ///< Direct call: callee or external set; operands = args.
+    ICall,    ///< Indirect call: operand0 = target, rest = args.
+    Ret,      ///< Return; 0 or 1 operand.
+    Br,       ///< Conditional branch on operand0 to thenBlock/elseBlock.
+    Jmp,      ///< Unconditional jump to thenBlock.
+    Unreachable,
+};
+
+/** Comparison predicate for ICmp/FCmp. */
+enum class CmpPred : std::uint8_t {
+    EQ, NE, LT, LE, GT, GE,
+};
+
+/** One MIR instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Unreachable;
+    ValueId result;                  ///< Invalid when the op has no result.
+    std::vector<ValueId> operands;
+    FuncId callee;                   ///< Direct internal callee.
+    ExternId external;               ///< Direct external callee.
+    BlockId thenBlock;               ///< Br/Jmp target.
+    BlockId elseBlock;               ///< Br false target.
+    std::vector<BlockId> phiBlocks;  ///< Phi incoming blocks.
+    std::uint32_t allocaSize = 0;    ///< Alloca byte size.
+    CmpPred pred = CmpPred::EQ;
+    BlockId parent;                  ///< Owning block.
+    /**
+     * Frontend-assigned origin tag (0 = none). Survives loop unrolling
+     * (clones keep the tag), letting evaluation match reports against
+     * injected ground truth regardless of preprocessing.
+     */
+    std::uint32_t srcTag = 0;
+
+    bool
+    isTerminator() const
+    {
+        return op == Opcode::Ret || op == Opcode::Br || op == Opcode::Jmp ||
+               op == Opcode::Unreachable;
+    }
+
+    bool isCall() const { return op == Opcode::Call || op == Opcode::ICall; }
+};
+
+/** A basic block: an ordered list of instructions ending in a terminator. */
+struct BasicBlock
+{
+    FuncId func;
+    std::string name;
+    std::vector<InstId> insts;
+};
+
+/** A function: parameters, blocks (blocks[0] is the entry). */
+struct Function
+{
+    std::string name;
+    std::vector<ValueId> params;
+    std::vector<BlockId> blocks;
+    bool addressTaken = false;   ///< May be an indirect-call target.
+    bool isVariadicStub = false; ///< Generator marker, not analyzed deeper.
+
+    BlockId
+    entry() const
+    {
+        return blocks.empty() ? BlockId::invalid() : blocks.front();
+    }
+};
+
+/** A global memory object; optionally a string literal. */
+struct Global
+{
+    std::string name;
+    std::uint32_t sizeBytes = 8;
+    bool isStringLiteral = false;
+    std::string stringValue;
+};
+
+/** Behavioural role of an external function (drives hints and checkers). */
+enum class ExternRole : std::uint8_t {
+    None,
+    Alloc,        ///< malloc/calloc-like: returns fresh heap memory.
+    Free,         ///< free-like: releases operand 0.
+    TaintSource,  ///< recv/getenv/nvram_get-like: returns attacker data.
+    CommandSink,  ///< system/popen-like: executes operand 0.
+    StrCopy,      ///< strcpy/strcat-like: unbounded copy into operand 0.
+    BoundedCopy,  ///< memcpy/strncpy-like: bounded copy into operand 0.
+    Sanitizer,    ///< atoi/strtol-like: converts a string to a number.
+    Print,        ///< printf-like (split into typed variants).
+    Exit,         ///< Never returns.
+};
+
+/** Signature and role of an external (type-revealing, Table 1 rule 4). */
+struct External
+{
+    std::string name;
+    std::vector<TypeRef> paramTypes;
+    TypeRef retType;             ///< Invalid for void.
+    ExternRole role = ExternRole::None;
+};
+
+/**
+ * A whole lifted program. Pools are dense and append-only; ids index
+ * into them directly.
+ */
+class Module
+{
+  public:
+    Module() = default;
+
+    // Modules are heavyweight; move-only.
+    Module(const Module &) = delete;
+    Module &operator=(const Module &) = delete;
+    Module(Module &&) = default;
+    Module &operator=(Module &&) = default;
+
+    /// @name Pool accessors.
+    /// @{
+    const Value &value(ValueId id) const { return values_.at(id.index()); }
+    Value &value(ValueId id) { return values_.at(id.index()); }
+    const Instruction &inst(InstId id) const { return insts_.at(id.index()); }
+    Instruction &inst(InstId id) { return insts_.at(id.index()); }
+    const BasicBlock &block(BlockId id) const { return blocks_.at(id.index()); }
+    BasicBlock &block(BlockId id) { return blocks_.at(id.index()); }
+    const Function &func(FuncId id) const { return funcs_.at(id.index()); }
+    Function &func(FuncId id) { return funcs_.at(id.index()); }
+    const Global &global(GlobalId id) const { return globals_.at(id.index()); }
+    const External &external(ExternId id) const
+    {
+        return externs_.at(id.index());
+    }
+    /// @}
+
+    std::size_t numValues() const { return values_.size(); }
+    std::size_t numInsts() const { return insts_.size(); }
+    std::size_t numBlocks() const { return blocks_.size(); }
+    std::size_t numFuncs() const { return funcs_.size(); }
+    std::size_t numGlobals() const { return globals_.size(); }
+    std::size_t numExterns() const { return externs_.size(); }
+
+    /// @name Pool construction (used by the builder/parser).
+    /// @{
+    ValueId addValue(Value v);
+    InstId addInst(Instruction inst);
+    BlockId addBlock(BasicBlock block);
+    FuncId addFunc(Function func);
+    GlobalId addGlobal(Global global);
+    ExternId addExternal(External ext);
+    /// @}
+
+    /** Find a function by name; invalid id if absent. */
+    FuncId findFunc(const std::string &name) const;
+
+    /** Find an external by name; invalid id if absent. */
+    ExternId findExternal(const std::string &name) const;
+
+    /** Find a global by name; invalid id if absent. */
+    GlobalId findGlobal(const std::string &name) const;
+
+    /** All functions whose address is taken (indirect-call candidates). */
+    std::vector<FuncId> addressTakenFuncs() const;
+
+    /** Defining/using function of a value (invalid for constants/globals). */
+    FuncId owningFunc(ValueId id) const;
+
+    /** The shared type table (external signatures, ground truth). */
+    TypeTable &types() { return types_; }
+    const TypeTable &types() const { return types_; }
+
+    /** Iterate function ids 0..n-1. */
+    std::vector<FuncId> funcIds() const;
+
+  private:
+    std::vector<Value> values_;
+    std::vector<Instruction> insts_;
+    std::vector<BasicBlock> blocks_;
+    std::vector<Function> funcs_;
+    std::vector<Global> globals_;
+    std::vector<External> externs_;
+    TypeTable types_;
+};
+
+/** Printable opcode name. */
+const char *opcodeName(Opcode op);
+
+/** Printable predicate name. */
+const char *predName(CmpPred pred);
+
+} // namespace manta
+
+#endif // MANTA_MIR_MIR_H

@@ -1,0 +1,592 @@
+#include "mir/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <unordered_map>
+
+#include "mir/externals.h"
+#include "support/error.h"
+
+namespace manta {
+
+namespace {
+
+/** Parse failure carrying a line-tagged message. */
+struct ParseError
+{
+    std::string message;
+};
+
+[[noreturn]] void
+bail(int line, const std::string &msg)
+{
+    throw ParseError{"line " + std::to_string(line) + ": " + msg};
+}
+
+/** A whitespace/punctuation tokenizer for one line. */
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::string current;
+    auto flush = [&] {
+        if (!current.empty()) {
+            tokens.push_back(current);
+            current.clear();
+        }
+    };
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (c == ';') // comment
+            break;
+        if (c == '"') {
+            flush();
+            std::string lit = "\"";
+            for (++i; i < line.size() && line[i] != '"'; ++i)
+                lit += line[i];
+            lit += '"';
+            tokens.push_back(lit);
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            flush();
+        } else if (c == ',' || c == '(' || c == ')' || c == '[' ||
+                   c == ']' || c == '{' || c == '}' || c == '=') {
+            flush();
+            tokens.push_back(std::string(1, c));
+        } else {
+            current += c;
+        }
+    }
+    flush();
+    return tokens;
+}
+
+/** Opcode spellings with optional ".suffix" parsed separately. */
+struct OpSpec
+{
+    std::string mnemonic;
+    std::string suffix;
+};
+
+OpSpec
+splitMnemonic(const std::string &token)
+{
+    const auto dot = token.find('.');
+    if (dot == std::string::npos)
+        return {token, ""};
+    return {token.substr(0, dot), token.substr(dot + 1)};
+}
+
+class Parser
+{
+  public:
+    Parser(const std::string &text, Module &module)
+        : module_(module)
+    {
+        std::istringstream is(text);
+        std::string line;
+        while (std::getline(is, line))
+            lines_.push_back(line);
+        externals_ = StandardExternals::install(module_);
+        (void)externals_;
+    }
+
+    void
+    run()
+    {
+        scanTopLevel();
+        parseBodies();
+    }
+
+  private:
+    // ---- Pass 1: globals, strings, function shells. ----
+    void
+    scanTopLevel()
+    {
+        for (std::size_t i = 0; i < lines_.size(); ++i) {
+            const auto tokens = tokenize(lines_[i]);
+            if (tokens.empty())
+                continue;
+            const int line_no = static_cast<int>(i + 1);
+            if (tokens[0] == "global") {
+                if (tokens.size() < 3 || tokens[1][0] != '@')
+                    bail(line_no, "malformed global");
+                Global g;
+                g.name = tokens[1].substr(1);
+                g.sizeBytes =
+                    static_cast<std::uint32_t>(std::atoll(tokens[2].c_str()));
+                const std::string name = g.name;
+                globalIds_[name] = module_.addGlobal(std::move(g));
+            } else if (tokens[0] == "string") {
+                if (tokens.size() < 3 || tokens[1][0] != '@' ||
+                        tokens[2].front() != '"') {
+                    bail(line_no, "malformed string literal");
+                }
+                Global g;
+                g.name = tokens[1].substr(1);
+                g.isStringLiteral = true;
+                g.stringValue = tokens[2].substr(1, tokens[2].size() - 2);
+                g.sizeBytes =
+                    static_cast<std::uint32_t>(g.stringValue.size() + 1);
+                const std::string name = g.name;
+                globalIds_[name] = module_.addGlobal(std::move(g));
+            } else if (tokens[0] == "func") {
+                declareFunc(tokens, line_no, i);
+            }
+        }
+    }
+
+    void
+    declareFunc(const std::vector<std::string> &tokens, int line_no,
+                std::size_t line_index)
+    {
+        if (tokens.size() < 2 || tokens[1][0] != '@')
+            bail(line_no, "malformed func header");
+        Function fn;
+        fn.name = tokens[1].substr(1);
+        const FuncId fid = module_.addFunc(std::move(fn));
+        funcIds_[module_.func(fid).name] = fid;
+        funcHeaderLines_.emplace_back(fid, line_index);
+
+        // Parameters: sequence of %name : width between parens.
+        std::size_t t = 2;
+        if (t < tokens.size() && tokens[t] == "(")
+            ++t;
+        while (t < tokens.size() && tokens[t] != ")") {
+            if (tokens[t] == ",") {
+                ++t;
+                continue;
+            }
+            const std::string &param = tokens[t];
+            const auto colon = param.find(':');
+            if (param[0] != '%' || colon == std::string::npos)
+                bail(line_no, "malformed parameter " + param);
+            Value v;
+            v.kind = ValueKind::Argument;
+            v.name = param.substr(1, colon - 1);
+            v.width = static_cast<std::uint8_t>(
+                std::atoi(param.c_str() + colon + 1));
+            v.argIndex = static_cast<std::uint32_t>(
+                module_.func(fid).params.size());
+            v.argFunc = fid;
+            module_.func(fid).params.push_back(module_.addValue(std::move(v)));
+            ++t;
+        }
+    }
+
+    // ---- Pass 2: function bodies. ----
+    void
+    parseBodies()
+    {
+        for (const auto &[fid, header_line] : funcHeaderLines_)
+            parseBody(fid, header_line);
+    }
+
+    void
+    parseBody(FuncId fid, std::size_t header_line)
+    {
+        values_.clear();
+        blockIds_.clear();
+        pendingPhis_.clear();
+        currentFunc_ = fid;
+        for (const ValueId param : module_.func(fid).params)
+            values_[module_.value(param).name] = param;
+
+        // Find the body extent and pre-create labeled blocks.
+        std::size_t end = header_line + 1;
+        for (; end < lines_.size(); ++end) {
+            const auto tokens = tokenize(lines_[end]);
+            if (tokens.size() == 1 && tokens[0] == "}")
+                break;
+            if (tokens.size() == 1 && tokens[0].back() == ':') {
+                const std::string label =
+                    tokens[0].substr(0, tokens[0].size() - 1);
+                if (blockIds_.count(label)) {
+                    bail(static_cast<int>(end + 1),
+                         "duplicate block label " + label);
+                }
+                BasicBlock bb;
+                bb.func = fid;
+                bb.name = label;
+                const BlockId bid = module_.addBlock(std::move(bb));
+                module_.func(fid).blocks.push_back(bid);
+                blockIds_[label] = bid;
+            }
+        }
+        if (end == lines_.size())
+            bail(static_cast<int>(header_line + 1), "unterminated function");
+
+        currentBlock_ = BlockId::invalid();
+        for (std::size_t i = header_line + 1; i < end; ++i) {
+            const auto tokens = tokenize(lines_[i]);
+            if (tokens.empty())
+                continue;
+            const int line_no = static_cast<int>(i + 1);
+            if (tokens.size() == 1 && tokens[0].back() == ':') {
+                currentBlock_ =
+                    blockIds_[tokens[0].substr(0, tokens[0].size() - 1)];
+                continue;
+            }
+            if (!currentBlock_.valid())
+                bail(line_no, "instruction before any block label");
+            parseInst(tokens, line_no);
+        }
+
+        // Resolve forward-referenced phi operands.
+        for (const auto &[iid, names] : pendingPhis_) {
+            Instruction &inst = module_.inst(iid);
+            for (std::size_t k = 0; k < names.size(); ++k) {
+                if (names[k].empty())
+                    continue;
+                const auto it = values_.find(names[k]);
+                if (it == values_.end())
+                    bail(0, "unresolved phi operand %" + names[k]);
+                inst.operands[k] = it->second;
+            }
+        }
+    }
+
+    /** Resolve an operand token to a value id. */
+    ValueId
+    operand(const std::string &token, int line_no)
+    {
+        if (token[0] == '%') {
+            const auto it = values_.find(token.substr(1));
+            if (it == values_.end())
+                bail(line_no, "use of undefined value " + token);
+            return it->second;
+        }
+        if (token[0] == '@') {
+            const std::string name = token.substr(1);
+            const auto git = globalIds_.find(name);
+            if (git != globalIds_.end()) {
+                Value v;
+                v.kind = ValueKind::GlobalAddr;
+                v.width = 64;
+                v.global = git->second;
+                v.name = name;
+                return module_.addValue(std::move(v));
+            }
+            const auto fit = funcIds_.find(name);
+            if (fit != funcIds_.end()) {
+                module_.func(fit->second).addressTaken = true;
+                Value v;
+                v.kind = ValueKind::FuncAddr;
+                v.width = 64;
+                v.funcAddr = fit->second;
+                v.name = name;
+                return module_.addValue(std::move(v));
+            }
+            bail(line_no, "unknown symbol " + token);
+        }
+        // Integer constant, optionally width-suffixed.
+        int width = 64;
+        std::string digits = token;
+        const auto colon = token.find(':');
+        if (colon != std::string::npos) {
+            width = std::atoi(token.c_str() + colon + 1);
+            digits = token.substr(0, colon);
+        }
+        char *parse_end = nullptr;
+        const std::int64_t value =
+            std::strtoll(digits.c_str(), &parse_end, 10);
+        if (parse_end == digits.c_str() || *parse_end != '\0')
+            bail(line_no, "bad operand " + token);
+        Value v;
+        v.kind = ValueKind::Constant;
+        v.width = static_cast<std::uint8_t>(width);
+        v.constValue = value;
+        return module_.addValue(std::move(v));
+    }
+
+    BlockId
+    blockRef(const std::string &token, int line_no)
+    {
+        const auto it = blockIds_.find(token);
+        if (it == blockIds_.end())
+            bail(line_no, "unknown block label " + token);
+        return it->second;
+    }
+
+    InstId
+    appendInst(Instruction inst)
+    {
+        inst.parent = currentBlock_;
+        const InstId iid = module_.addInst(std::move(inst));
+        module_.block(currentBlock_).insts.push_back(iid);
+        return iid;
+    }
+
+    /** Create and register the result value for an instruction. */
+    void
+    defineResult(InstId iid, const std::string &name, int width, int line_no)
+    {
+        if (values_.count(name))
+            bail(line_no, "redefinition of %" + name);
+        Value v;
+        v.kind = ValueKind::InstResult;
+        v.width = static_cast<std::uint8_t>(width);
+        v.inst = iid;
+        v.name = name;
+        const ValueId vid = module_.addValue(std::move(v));
+        module_.inst(iid).result = vid;
+        values_[name] = vid;
+    }
+
+    void
+    parseInst(const std::vector<std::string> &tokens, int line_no)
+    {
+        std::string result_name;
+        std::size_t t = 0;
+        if (tokens.size() >= 2 && tokens[0][0] == '%' && tokens[1] == "=") {
+            result_name = tokens[0].substr(1);
+            t = 2;
+        }
+        if (t >= tokens.size())
+            bail(line_no, "empty instruction");
+        const OpSpec spec = splitMnemonic(tokens[t]);
+        ++t;
+
+        // Gather remaining non-punctuation tokens as raw operands; the
+        // per-op handlers interpret them.
+        std::vector<std::string> raw;
+        for (; t < tokens.size(); ++t) {
+            const std::string &tok = tokens[t];
+            if (tok == "," || tok == "(" || tok == ")" || tok == "[" ||
+                    tok == "]") {
+                continue;
+            }
+            raw.push_back(tok);
+        }
+
+        const std::string &op = spec.mnemonic;
+        auto needOperands = [&](std::size_t n) {
+            if (raw.size() != n) {
+                bail(line_no, op + " expects " + std::to_string(n) +
+                                  " operands");
+            }
+        };
+
+        if (op == "copy") {
+            needOperands(1);
+            Instruction inst;
+            inst.op = Opcode::Copy;
+            inst.operands = {operand(raw[0], line_no)};
+            const int width = module_.value(inst.operands[0]).width;
+            const InstId iid = appendInst(std::move(inst));
+            defineResult(iid, result_name, width, line_no);
+        } else if (op == "phi") {
+            // raw = v0 b0 v1 b1 ...
+            if (raw.size() < 2 || raw.size() % 2 != 0)
+                bail(line_no, "phi expects [value, block] pairs");
+            Instruction inst;
+            inst.op = Opcode::Phi;
+            std::vector<std::string> pending(raw.size() / 2);
+            int width = -1;
+            for (std::size_t k = 0; k < raw.size(); k += 2) {
+                const std::string &vt = raw[k];
+                if (vt[0] == '%' && !values_.count(vt.substr(1))) {
+                    // Forward reference: record for fixup.
+                    pending[k / 2] = vt.substr(1);
+                    inst.operands.push_back(ValueId::invalid());
+                } else {
+                    const ValueId vid = operand(vt, line_no);
+                    inst.operands.push_back(vid);
+                    width = module_.value(vid).width;
+                }
+                inst.phiBlocks.push_back(blockRef(raw[k + 1], line_no));
+            }
+            if (width < 0)
+                bail(line_no, "phi with only forward references");
+            const InstId iid = appendInst(std::move(inst));
+            defineResult(iid, result_name, width, line_no);
+            bool any_pending = false;
+            for (const auto &p : pending)
+                any_pending |= !p.empty();
+            if (any_pending)
+                pendingPhis_.emplace_back(iid, std::move(pending));
+        } else if (op == "alloca") {
+            needOperands(1);
+            Instruction inst;
+            inst.op = Opcode::Alloca;
+            inst.allocaSize =
+                static_cast<std::uint32_t>(std::atoll(raw[0].c_str()));
+            const InstId iid = appendInst(std::move(inst));
+            defineResult(iid, result_name, 64, line_no);
+        } else if (op == "load") {
+            needOperands(1);
+            const int width = spec.suffix.empty()
+                                  ? 64
+                                  : std::atoi(spec.suffix.c_str());
+            Instruction inst;
+            inst.op = Opcode::Load;
+            inst.operands = {operand(raw[0], line_no)};
+            const InstId iid = appendInst(std::move(inst));
+            defineResult(iid, result_name, width, line_no);
+        } else if (op == "store") {
+            needOperands(2);
+            Instruction inst;
+            inst.op = Opcode::Store;
+            inst.operands = {operand(raw[0], line_no),
+                             operand(raw[1], line_no)};
+            appendInst(std::move(inst));
+        } else if (op == "icmp" || op == "fcmp") {
+            needOperands(2);
+            Instruction inst;
+            inst.op = op == "icmp" ? Opcode::ICmp : Opcode::FCmp;
+            inst.pred = parsePred(spec.suffix, line_no);
+            inst.operands = {operand(raw[0], line_no),
+                             operand(raw[1], line_no)};
+            const InstId iid = appendInst(std::move(inst));
+            defineResult(iid, result_name, 1, line_no);
+        } else if (op == "trunc" || op == "zext" || op == "sext") {
+            needOperands(1);
+            Instruction inst;
+            inst.op = op == "trunc" ? Opcode::Trunc
+                      : op == "zext" ? Opcode::ZExt
+                                     : Opcode::SExt;
+            inst.operands = {operand(raw[0], line_no)};
+            const int width = std::atoi(spec.suffix.c_str());
+            const InstId iid = appendInst(std::move(inst));
+            defineResult(iid, result_name, width, line_no);
+        } else if (op == "call") {
+            if (raw.empty() || raw[0][0] != '@')
+                bail(line_no, "call expects @callee");
+            const std::string callee = raw[0].substr(1);
+            Instruction inst;
+            inst.op = Opcode::Call;
+            const auto fit = funcIds_.find(callee);
+            if (fit != funcIds_.end()) {
+                inst.callee = fit->second;
+            } else {
+                inst.external = module_.findExternal(callee);
+                if (!inst.external.valid())
+                    bail(line_no, "unknown callee @" + callee);
+            }
+            for (std::size_t k = 1; k < raw.size(); ++k)
+                inst.operands.push_back(operand(raw[k], line_no));
+            const InstId iid = appendInst(std::move(inst));
+            if (!result_name.empty()) {
+                const int width = spec.suffix.empty()
+                                      ? 64
+                                      : std::atoi(spec.suffix.c_str());
+                defineResult(iid, result_name, width, line_no);
+            }
+        } else if (op == "icall") {
+            if (raw.empty())
+                bail(line_no, "icall expects a target");
+            Instruction inst;
+            inst.op = Opcode::ICall;
+            for (const auto &tok : raw)
+                inst.operands.push_back(operand(tok, line_no));
+            const InstId iid = appendInst(std::move(inst));
+            if (!result_name.empty()) {
+                const int width = spec.suffix.empty()
+                                      ? 64
+                                      : std::atoi(spec.suffix.c_str());
+                defineResult(iid, result_name, width, line_no);
+            }
+        } else if (op == "ret") {
+            Instruction inst;
+            inst.op = Opcode::Ret;
+            if (!raw.empty())
+                inst.operands.push_back(operand(raw[0], line_no));
+            appendInst(std::move(inst));
+        } else if (op == "br") {
+            needOperands(3);
+            Instruction inst;
+            inst.op = Opcode::Br;
+            inst.operands = {operand(raw[0], line_no)};
+            inst.thenBlock = blockRef(raw[1], line_no);
+            inst.elseBlock = blockRef(raw[2], line_no);
+            appendInst(std::move(inst));
+        } else if (op == "jmp") {
+            needOperands(1);
+            Instruction inst;
+            inst.op = Opcode::Jmp;
+            inst.thenBlock = blockRef(raw[0], line_no);
+            appendInst(std::move(inst));
+        } else if (op == "unreachable") {
+            Instruction inst;
+            inst.op = Opcode::Unreachable;
+            appendInst(std::move(inst));
+        } else {
+            // Integer / float binops share one shape.
+            static const std::unordered_map<std::string, Opcode> binops = {
+                {"add", Opcode::Add}, {"sub", Opcode::Sub},
+                {"mul", Opcode::Mul}, {"div", Opcode::Div},
+                {"rem", Opcode::Rem}, {"and", Opcode::And},
+                {"or", Opcode::Or}, {"xor", Opcode::Xor},
+                {"shl", Opcode::Shl}, {"shr", Opcode::Shr},
+                {"fadd", Opcode::FAdd}, {"fsub", Opcode::FSub},
+                {"fmul", Opcode::FMul}, {"fdiv", Opcode::FDiv},
+            };
+            const auto it = binops.find(op);
+            if (it == binops.end())
+                bail(line_no, "unknown opcode " + op);
+            needOperands(2);
+            Instruction inst;
+            inst.op = it->second;
+            inst.operands = {operand(raw[0], line_no),
+                             operand(raw[1], line_no)};
+            const int width = module_.value(inst.operands[0]).width;
+            const InstId iid = appendInst(std::move(inst));
+            defineResult(iid, result_name, width, line_no);
+        }
+    }
+
+    static CmpPred
+    parsePred(const std::string &suffix, int line_no)
+    {
+        if (suffix == "eq") return CmpPred::EQ;
+        if (suffix == "ne") return CmpPred::NE;
+        if (suffix == "lt") return CmpPred::LT;
+        if (suffix == "le") return CmpPred::LE;
+        if (suffix == "gt") return CmpPred::GT;
+        if (suffix == "ge") return CmpPred::GE;
+        bail(line_no, "unknown compare predicate ." + suffix);
+    }
+
+    Module &module_;
+    StandardExternals externals_;
+    std::vector<std::string> lines_;
+    std::unordered_map<std::string, GlobalId> globalIds_;
+    std::unordered_map<std::string, FuncId> funcIds_;
+    std::vector<std::pair<FuncId, std::size_t>> funcHeaderLines_;
+
+    // Per-function parse state.
+    FuncId currentFunc_;
+    BlockId currentBlock_;
+    std::unordered_map<std::string, ValueId> values_;
+    std::unordered_map<std::string, BlockId> blockIds_;
+    std::vector<std::pair<InstId, std::vector<std::string>>> pendingPhis_;
+};
+
+} // namespace
+
+bool
+parseModule(const std::string &text, Module &out, std::string &error)
+{
+    try {
+        Parser parser(text, out);
+        parser.run();
+        return true;
+    } catch (const ParseError &e) {
+        error = e.message;
+        return false;
+    }
+}
+
+Module
+parseModuleOrDie(const std::string &text)
+{
+    Module module;
+    std::string error;
+    if (!parseModule(text, module, error))
+        MANTA_FATAL("MIR parse error: ", error);
+    return module;
+}
+
+} // namespace manta

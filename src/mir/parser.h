@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Parser for the textual MIR format emitted by mir/printer.h.
+ *
+ * Grammar (line oriented; ';' starts a comment):
+ *
+ *   module  := (global | string | func)*
+ *   global  := "global" '@'NAME SIZE
+ *   string  := "string" '@'NAME '"'TEXT'"'
+ *   func    := "func" '@'NAME '(' [%p:W {',' %p:W}] ')' '{' body '}'
+ *   body    := (LABEL ':' | inst)*
+ *   operand := %NAME | @NAME | INT[':'WIDTH]
+ *
+ * Instructions follow the printer's spellings, e.g.:
+ *   %x = add %a, %b
+ *   %x = load.32 %p
+ *   store %p, %v
+ *   %x = call.64 @malloc(16:64)
+ *   %x = icall.32 %t(%a)
+ *   br %c, then_1, else_2
+ *
+ * The standard external registry is installed automatically; calls
+ * resolve first against defined functions, then against externals.
+ */
+#ifndef MANTA_MIR_PARSER_H
+#define MANTA_MIR_PARSER_H
+
+#include <string>
+
+#include "mir/mir.h"
+
+namespace manta {
+
+/**
+ * Parse a module from text.
+ *
+ * @param text The textual module.
+ * @param out Receives the parsed module on success.
+ * @param error Receives a message on failure.
+ * @return true on success.
+ */
+bool parseModule(const std::string &text, Module &out, std::string &error);
+
+/** Parse or abort; convenience for tests and examples. */
+Module parseModuleOrDie(const std::string &text);
+
+} // namespace manta
+
+#endif // MANTA_MIR_PARSER_H

@@ -1,0 +1,188 @@
+#include "mir/printer.h"
+
+#include <sstream>
+
+#include "support/error.h"
+
+namespace manta {
+
+namespace {
+
+std::string
+valueName(const Module &m, ValueId id)
+{
+    const Value &v = m.value(id);
+    if (!v.name.empty())
+        return "%" + v.name;
+    return "%v" + std::to_string(id.raw());
+}
+
+std::string
+blockName(const Module &m, BlockId id)
+{
+    // Block names are unique within their function (builder and parser
+    // both guarantee it), so the label can be printed verbatim; this
+    // keeps print -> parse -> print a fixpoint.
+    const BasicBlock &bb = m.block(id);
+    if (!bb.name.empty())
+        return bb.name;
+    return "bb" + std::to_string(id.raw());
+}
+
+} // namespace
+
+std::string
+printValueRef(const Module &m, ValueId id)
+{
+    const Value &v = m.value(id);
+    switch (v.kind) {
+      case ValueKind::Constant:
+        return std::to_string(v.constValue) + ":" + std::to_string(v.width);
+      case ValueKind::GlobalAddr:
+        return "@" + m.global(v.global).name;
+      case ValueKind::FuncAddr:
+        return "@" + m.func(v.funcAddr).name;
+      default:
+        return valueName(m, id);
+    }
+}
+
+std::string
+printInst(const Module &m, InstId iid)
+{
+    const Instruction &inst = m.inst(iid);
+    std::ostringstream os;
+    auto result = [&]() -> std::string {
+        return inst.result.valid()
+                   ? valueName(m, inst.result) + " = "
+                   : std::string();
+    };
+    auto operands = [&](std::size_t from = 0) {
+        std::string out;
+        for (std::size_t i = from; i < inst.operands.size(); ++i) {
+            if (i > from)
+                out += ", ";
+            out += printValueRef(m, inst.operands[i]);
+        }
+        return out;
+    };
+
+    switch (inst.op) {
+      case Opcode::Copy:
+        os << result() << "copy " << operands();
+        break;
+      case Opcode::Phi: {
+        os << result() << "phi ";
+        for (std::size_t i = 0; i < inst.operands.size(); ++i) {
+            if (i > 0)
+                os << ", ";
+            os << "[" << printValueRef(m, inst.operands[i]) << ", "
+               << blockName(m, inst.phiBlocks[i]) << "]";
+        }
+        break;
+      }
+      case Opcode::Alloca:
+        os << result() << "alloca " << inst.allocaSize;
+        break;
+      case Opcode::Load:
+        os << result() << "load."
+           << int(m.value(inst.result).width) << " " << operands();
+        break;
+      case Opcode::Store:
+        os << "store " << operands();
+        break;
+      case Opcode::ICmp:
+        os << result() << "icmp." << predName(inst.pred) << " " << operands();
+        break;
+      case Opcode::FCmp:
+        os << result() << "fcmp." << predName(inst.pred) << " " << operands();
+        break;
+      case Opcode::Trunc:
+      case Opcode::ZExt:
+      case Opcode::SExt:
+        os << result() << opcodeName(inst.op) << "."
+           << int(m.value(inst.result).width) << " " << operands();
+        break;
+      case Opcode::Call: {
+        const std::string callee =
+            inst.callee.valid() ? m.func(inst.callee).name
+                                : m.external(inst.external).name;
+        os << result() << "call";
+        if (inst.result.valid())
+            os << "." << int(m.value(inst.result).width);
+        os << " @" << callee << "(" << operands() << ")";
+        break;
+      }
+      case Opcode::ICall:
+        os << result() << "icall";
+        if (inst.result.valid())
+            os << "." << int(m.value(inst.result).width);
+        os << " " << printValueRef(m, inst.operands[0]) << "("
+           << operands(1) << ")";
+        break;
+      case Opcode::Ret:
+        os << "ret";
+        if (!inst.operands.empty())
+            os << " " << operands();
+        break;
+      case Opcode::Br:
+        os << "br " << operands() << ", " << blockName(m, inst.thenBlock)
+           << ", " << blockName(m, inst.elseBlock);
+        break;
+      case Opcode::Jmp:
+        os << "jmp " << blockName(m, inst.thenBlock);
+        break;
+      case Opcode::Unreachable:
+        os << "unreachable";
+        break;
+      default:
+        os << result() << opcodeName(inst.op) << " " << operands();
+        break;
+    }
+    return os.str();
+}
+
+std::string
+printFunction(const Module &m, FuncId fid)
+{
+    const Function &fn = m.func(fid);
+    std::ostringstream os;
+    os << "func @" << fn.name << "(";
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+        if (i > 0)
+            os << ", ";
+        os << valueName(m, fn.params[i]) << ":"
+           << int(m.value(fn.params[i]).width);
+    }
+    os << ") {\n";
+    for (const BlockId bid : fn.blocks) {
+        os << blockName(m, bid) << ":\n";
+        for (const InstId iid : m.block(bid).insts)
+            os << "  " << printInst(m, iid) << "\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+printModule(const Module &m)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < m.numGlobals(); ++i) {
+        const Global &g = m.global(GlobalId(static_cast<GlobalId::RawType>(i)));
+        if (g.isStringLiteral) {
+            os << "string @" << g.name << " \"" << g.stringValue << "\"\n";
+        } else {
+            os << "global @" << g.name << " " << g.sizeBytes << "\n";
+        }
+    }
+    if (m.numGlobals() > 0)
+        os << "\n";
+    for (std::size_t i = 0; i < m.numFuncs(); ++i) {
+        os << printFunction(m, FuncId(static_cast<FuncId::RawType>(i)));
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace manta

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Textual rendering of MIR modules.
+ *
+ * The emitted format is exactly what mir/parser.h accepts, so modules
+ * can round-trip through text (used heavily by tests and examples).
+ */
+#ifndef MANTA_MIR_PRINTER_H
+#define MANTA_MIR_PRINTER_H
+
+#include <string>
+
+#include "mir/mir.h"
+
+namespace manta {
+
+/** Render one function. */
+std::string printFunction(const Module &module, FuncId func);
+
+/** Render the whole module (globals then functions). */
+std::string printModule(const Module &module);
+
+/** Render a value reference the way the printer spells it. */
+std::string printValueRef(const Module &module, ValueId value);
+
+/** Render one instruction (without trailing newline). */
+std::string printInst(const Module &module, InstId inst);
+
+} // namespace manta
+
+#endif // MANTA_MIR_PRINTER_H

@@ -1,0 +1,214 @@
+#include "mir/verifier.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "mir/printer.h"
+#include "support/error.h"
+
+namespace manta {
+
+namespace {
+
+class Verifier
+{
+  public:
+    explicit Verifier(const Module &m) : m_(m) {}
+
+    std::vector<std::string>
+    run()
+    {
+        for (std::size_t i = 0; i < m_.numFuncs(); ++i)
+            checkFunc(FuncId(static_cast<FuncId::RawType>(i)));
+        return std::move(errors_);
+    }
+
+  private:
+    template <typename... Args>
+    void
+    fail(FuncId fid, Args &&...args)
+    {
+        errors_.push_back("in @" + m_.func(fid).name + ": " +
+                          detail::concat(std::forward<Args>(args)...));
+    }
+
+    void
+    checkFunc(FuncId fid)
+    {
+        const Function &fn = m_.func(fid);
+        if (fn.blocks.empty()) {
+            fail(fid, "function has no blocks");
+            return;
+        }
+        // Collect block membership and predecessor sets.
+        std::unordered_set<std::uint32_t> own_blocks;
+        std::unordered_set<std::string> block_names;
+        for (const BlockId bid : fn.blocks) {
+            own_blocks.insert(bid.raw());
+            const std::string &bname = m_.block(bid).name;
+            if (!bname.empty() && !block_names.insert(bname).second)
+                fail(fid, "duplicate block name ", bname);
+        }
+
+        std::unordered_map<std::uint32_t, std::vector<BlockId>> preds;
+        for (const BlockId bid : fn.blocks) {
+            const BasicBlock &bb = m_.block(bid);
+            if (bb.insts.empty()) {
+                fail(fid, "block ", bb.name, " is empty");
+                continue;
+            }
+            for (std::size_t i = 0; i < bb.insts.size(); ++i) {
+                const Instruction &inst = m_.inst(bb.insts[i]);
+                const bool last = i + 1 == bb.insts.size();
+                if (last && !inst.isTerminator())
+                    fail(fid, "block ", bb.name, " lacks a terminator");
+                if (!last && inst.isTerminator())
+                    fail(fid, "terminator mid-block in ", bb.name);
+                if (inst.parent != bid)
+                    fail(fid, "instruction parent mismatch in ", bb.name);
+            }
+            const Instruction &term = m_.inst(bb.insts.back());
+            auto check_target = [&](BlockId target) {
+                if (!target.valid() || !own_blocks.count(target.raw())) {
+                    fail(fid, "branch from ", bb.name,
+                         " to a foreign or invalid block");
+                } else {
+                    preds[target.raw()].push_back(bid);
+                }
+            };
+            if (term.op == Opcode::Br) {
+                check_target(term.thenBlock);
+                check_target(term.elseBlock);
+                if (term.operands.size() != 1) {
+                    fail(fid, "br needs one condition operand in ", bb.name);
+                } else if (m_.value(term.operands[0]).width != 1) {
+                    fail(fid, "br condition must be 1 bit wide in ", bb.name);
+                }
+            } else if (term.op == Opcode::Jmp) {
+                check_target(term.thenBlock);
+            }
+        }
+
+        // Per-instruction checks.
+        for (const BlockId bid : fn.blocks) {
+            for (const InstId iid : m_.block(bid).insts)
+                checkInst(fid, bid, iid, preds[bid.raw()]);
+        }
+
+        // Each instruction result defined exactly once is implied by
+        // construction (the result value stores its defining inst);
+        // check consistency instead.
+        for (const BlockId bid : fn.blocks) {
+            for (const InstId iid : m_.block(bid).insts) {
+                const Instruction &inst = m_.inst(iid);
+                if (inst.result.valid()) {
+                    const Value &v = m_.value(inst.result);
+                    if (v.kind != ValueKind::InstResult || v.inst != iid)
+                        fail(fid, "result value not linked to instruction");
+                }
+            }
+        }
+    }
+
+    void
+    checkInst(FuncId fid, BlockId bid, InstId iid,
+              const std::vector<BlockId> &preds)
+    {
+        const Instruction &inst = m_.inst(iid);
+        const BasicBlock &bb = m_.block(bid);
+
+        for (const ValueId op : inst.operands) {
+            if (!op.valid() || op.index() >= m_.numValues()) {
+                fail(fid, "invalid operand in ", bb.name);
+                continue;
+            }
+            const FuncId owner = m_.owningFunc(op);
+            if (owner.valid() && owner != fid) {
+                fail(fid, "operand crosses function boundary in ", bb.name,
+                     ": ", printInst(m_, iid));
+            }
+        }
+
+        switch (inst.op) {
+          case Opcode::Phi: {
+            if (inst.operands.size() != inst.phiBlocks.size()) {
+                fail(fid, "phi arity mismatch in ", bb.name);
+                break;
+            }
+            // Every phi incoming block must be a predecessor.
+            for (const BlockId in : inst.phiBlocks) {
+                if (std::find(preds.begin(), preds.end(), in) == preds.end())
+                    fail(fid, "phi incoming block not a predecessor of ",
+                         bb.name);
+            }
+            break;
+          }
+          case Opcode::Load:
+            if (inst.operands.size() != 1)
+                fail(fid, "load needs one operand in ", bb.name);
+            break;
+          case Opcode::Store:
+            if (inst.operands.size() != 2)
+                fail(fid, "store needs two operands in ", bb.name);
+            break;
+          case Opcode::Add:
+          case Opcode::Sub:
+          case Opcode::Mul:
+          case Opcode::Div:
+          case Opcode::Rem:
+          case Opcode::And:
+          case Opcode::Or:
+          case Opcode::Xor:
+          case Opcode::Shl:
+          case Opcode::Shr:
+            if (inst.operands.size() != 2) {
+                fail(fid, "binop needs two operands in ", bb.name);
+            } else if (m_.value(inst.operands[0]).width !=
+                       m_.value(inst.operands[1]).width) {
+                fail(fid, "binop width mismatch in ", bb.name, ": ",
+                     printInst(m_, iid));
+            }
+            break;
+          case Opcode::Call:
+            if (inst.callee.valid() == inst.external.valid()) {
+                fail(fid, "call must have exactly one of callee/external in ",
+                     bb.name);
+            } else if (inst.callee.valid() &&
+                       inst.callee.index() >= m_.numFuncs()) {
+                fail(fid, "call to nonexistent function in ", bb.name);
+            }
+            break;
+          case Opcode::ICall:
+            if (inst.operands.empty())
+                fail(fid, "icall needs a target operand in ", bb.name);
+            break;
+          default:
+            break;
+        }
+    }
+
+    const Module &m_;
+    std::vector<std::string> errors_;
+};
+
+} // namespace
+
+std::vector<std::string>
+verifyModule(const Module &module)
+{
+    return Verifier(module).run();
+}
+
+void
+verifyModuleOrDie(const Module &module)
+{
+    const auto errors = verifyModule(module);
+    if (errors.empty())
+        return;
+    std::string report = "MIR verification failed:\n";
+    for (const auto &e : errors)
+        report += "  " + e + "\n";
+    MANTA_PANIC(report);
+}
+
+} // namespace manta

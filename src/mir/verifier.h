@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Structural well-formedness checks for MIR modules.
+ *
+ * The verifier catches construction bugs before analyses run: blocks
+ * must end in exactly one terminator, phi incoming lists must match the
+ * block's predecessors, operands must belong to the same function (or
+ * be module-level constants/addresses), widths must be consistent, and
+ * call targets must exist.
+ */
+#ifndef MANTA_MIR_VERIFIER_H
+#define MANTA_MIR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+#include "mir/mir.h"
+
+namespace manta {
+
+/** Verify a module; returns the list of violations (empty when valid). */
+std::vector<std::string> verifyModule(const Module &module);
+
+/** Verify and abort with a readable report if the module is invalid. */
+void verifyModuleOrDie(const Module &module);
+
+} // namespace manta
+
+#endif // MANTA_MIR_VERIFIER_H

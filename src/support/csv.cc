@@ -1,0 +1,42 @@
+#include "support/csv.h"
+
+#include <cstdlib>
+
+namespace manta {
+
+CsvWriter::CsvWriter(const std::string &name)
+{
+    const char *dir = std::getenv("MANTA_CSV_DIR");
+    if (dir == nullptr || *dir == '\0')
+        return;
+    path_ = std::string(dir) + "/" + name + ".csv";
+    file_.open(path_);
+    if (!file_)
+        path_.clear();
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &fields)
+{
+    if (!file_.is_open())
+        return;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0)
+            file_ << ',';
+        const std::string &field = fields[i];
+        if (field.find_first_of(",\"\n") != std::string::npos) {
+            file_ << '"';
+            for (const char c : field) {
+                if (c == '"')
+                    file_ << '"';
+                file_ << c;
+            }
+            file_ << '"';
+        } else {
+            file_ << field;
+        }
+    }
+    file_ << '\n';
+}
+
+} // namespace manta

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * CSV export for bench results.
+ *
+ * Bench binaries print ASCII tables for humans; when the environment
+ * variable MANTA_CSV_DIR names a writable directory, they additionally
+ * write machine-readable CSV for plotting.
+ */
+#ifndef MANTA_SUPPORT_CSV_H
+#define MANTA_SUPPORT_CSV_H
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace manta {
+
+/** Writes one CSV file; quietly inert when the sink is unavailable. */
+class CsvWriter
+{
+  public:
+    /**
+     * Open `<dir>/<name>.csv` where dir comes from MANTA_CSV_DIR.
+     * When the variable is unset the writer swallows all rows.
+     */
+    explicit CsvWriter(const std::string &name);
+
+    /** Write one row; fields are quoted when they contain commas. */
+    void row(const std::vector<std::string> &fields);
+
+    /** Is a real file being written? */
+    bool active() const { return file_.is_open(); }
+
+    /** Path of the file being written (empty when inactive). */
+    const std::string &path() const { return path_; }
+
+  private:
+    std::ofstream file_;
+    std::string path_;
+};
+
+} // namespace manta
+
+#endif // MANTA_SUPPORT_CSV_H

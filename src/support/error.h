@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Error-handling primitives shared across the Manta libraries.
+ *
+ * Two severities, following the gem5 convention:
+ *  - mantaPanic: an internal invariant was violated (a bug in Manta itself).
+ *  - mantaFatal: the input or configuration is invalid (a user error).
+ */
+#ifndef MANTA_SUPPORT_ERROR_H
+#define MANTA_SUPPORT_ERROR_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace manta {
+
+/** Print a panic message and abort. Used when an internal invariant breaks. */
+[[noreturn]] inline void
+mantaPanicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg.c_str());
+    std::abort();
+}
+
+/** Print a fatal message and exit(1). Used for invalid inputs. */
+[[noreturn]] inline void
+mantaFatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s:%d: %s\n", file, line, msg.c_str());
+    std::exit(1);
+}
+
+namespace detail {
+
+/** Concatenate a pack of stream-printable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace manta
+
+#define MANTA_PANIC(...) \
+    ::manta::mantaPanicImpl(__FILE__, __LINE__, \
+                            ::manta::detail::concat(__VA_ARGS__))
+
+#define MANTA_FATAL(...) \
+    ::manta::mantaFatalImpl(__FILE__, __LINE__, \
+                            ::manta::detail::concat(__VA_ARGS__))
+
+/** Assert an internal invariant; active in all build types. */
+#define MANTA_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            MANTA_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif // MANTA_SUPPORT_ERROR_H

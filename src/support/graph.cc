@@ -1,0 +1,158 @@
+#include "support/graph.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace manta {
+
+void
+Digraph::addEdge(std::size_t from, std::size_t to)
+{
+    MANTA_ASSERT(from < succs_.size() && to < succs_.size(),
+                 "edge endpoint out of range");
+    succs_[from].push_back(static_cast<std::uint32_t>(to));
+}
+
+std::vector<std::uint32_t>
+Digraph::reversePostOrder(std::size_t entry) const
+{
+    std::vector<std::uint32_t> order;
+    if (succs_.empty())
+        return order;
+    std::vector<std::uint8_t> state(succs_.size(), 0); // 0=new 1=open 2=done
+    // Iterative DFS with an explicit stack of (node, next-child) frames.
+    std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+    stack.emplace_back(static_cast<std::uint32_t>(entry), 0);
+    state[entry] = 1;
+    while (!stack.empty()) {
+        auto &[node, child] = stack.back();
+        if (child < succs_[node].size()) {
+            const std::uint32_t next = succs_[node][child++];
+            if (state[next] == 0) {
+                state[next] = 1;
+                stack.emplace_back(next, 0);
+            }
+        } else {
+            state[node] = 2;
+            order.push_back(node);
+            stack.pop_back();
+        }
+    }
+    std::reverse(order.begin(), order.end());
+    return order;
+}
+
+std::vector<std::uint32_t>
+Digraph::topoOrder() const
+{
+    std::size_t num_sccs = 0;
+    const auto scc = sccIds(&num_sccs);
+    // Tarjan assigns component ids in reverse topological order, so a
+    // stable sort by descending component id is a topological order of
+    // the condensation; ties (same SCC) keep insertion order.
+    std::vector<std::uint32_t> order(succs_.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = static_cast<std::uint32_t>(i);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                         return scc[a] > scc[b];
+                     });
+    return order;
+}
+
+std::vector<std::uint32_t>
+Digraph::sccIds(std::size_t *num_sccs) const
+{
+    const std::size_t n = succs_.size();
+    std::vector<std::uint32_t> ids(n, 0);
+    std::vector<std::uint32_t> low(n, 0), index(n, 0);
+    std::vector<std::uint8_t> on_stack(n, 0);
+    std::vector<std::uint32_t> scc_stack;
+    std::uint32_t next_index = 1, next_scc = 0;
+
+    // Iterative Tarjan.
+    struct Frame { std::uint32_t node; std::size_t child; };
+    std::vector<Frame> stack;
+    for (std::size_t root = 0; root < n; ++root) {
+        if (index[root] != 0)
+            continue;
+        stack.push_back({static_cast<std::uint32_t>(root), 0});
+        index[root] = low[root] = next_index++;
+        scc_stack.push_back(static_cast<std::uint32_t>(root));
+        on_stack[root] = 1;
+        while (!stack.empty()) {
+            auto &frame = stack.back();
+            const std::uint32_t node = frame.node;
+            if (frame.child < succs_[node].size()) {
+                const std::uint32_t next = succs_[node][frame.child++];
+                if (index[next] == 0) {
+                    index[next] = low[next] = next_index++;
+                    scc_stack.push_back(next);
+                    on_stack[next] = 1;
+                    stack.push_back({next, 0});
+                } else if (on_stack[next]) {
+                    low[node] = std::min(low[node], index[next]);
+                }
+            } else {
+                if (low[node] == index[node]) {
+                    for (;;) {
+                        const std::uint32_t popped = scc_stack.back();
+                        scc_stack.pop_back();
+                        on_stack[popped] = 0;
+                        ids[popped] = next_scc;
+                        if (popped == node)
+                            break;
+                    }
+                    ++next_scc;
+                }
+                stack.pop_back();
+                if (!stack.empty()) {
+                    const std::uint32_t parent = stack.back().node;
+                    low[parent] = std::min(low[parent], low[node]);
+                }
+            }
+        }
+    }
+    if (num_sccs)
+        *num_sccs = next_scc;
+    return ids;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+Digraph::backEdges(std::size_t entry) const
+{
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> result;
+    if (succs_.empty())
+        return result;
+    std::vector<std::uint8_t> state(succs_.size(), 0);
+    std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+
+    auto run = [&](std::size_t root) {
+        if (state[root] != 0)
+            return;
+        stack.emplace_back(static_cast<std::uint32_t>(root), 0);
+        state[root] = 1;
+        while (!stack.empty()) {
+            auto &[node, child] = stack.back();
+            if (child < succs_[node].size()) {
+                const std::uint32_t next = succs_[node][child++];
+                if (state[next] == 0) {
+                    state[next] = 1;
+                    stack.emplace_back(next, 0);
+                } else if (state[next] == 1) {
+                    result.emplace_back(node, next);
+                }
+            } else {
+                state[node] = 2;
+                stack.pop_back();
+            }
+        }
+    };
+    run(entry);
+    for (std::size_t i = 0; i < succs_.size(); ++i)
+        run(i);
+    return result;
+}
+
+} // namespace manta

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Small generic directed-graph utilities used across analyses:
+ * topological order, reverse post-order, Tarjan SCCs and back-edge
+ * identification. Nodes are dense indices 0..n-1.
+ */
+#ifndef MANTA_SUPPORT_GRAPH_H
+#define MANTA_SUPPORT_GRAPH_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace manta {
+
+/** Adjacency-list digraph over dense node indices. */
+class Digraph
+{
+  public:
+    explicit Digraph(std::size_t num_nodes) : succs_(num_nodes) {}
+
+    std::size_t size() const { return succs_.size(); }
+
+    /** Append a node, returning its index. */
+    std::size_t
+    addNode()
+    {
+        succs_.emplace_back();
+        return succs_.size() - 1;
+    }
+
+    /** Add the edge from -> to. Parallel edges are permitted. */
+    void addEdge(std::size_t from, std::size_t to);
+
+    const std::vector<std::uint32_t> &
+    succs(std::size_t node) const
+    {
+        return succs_[node];
+    }
+
+    /**
+     * Reverse post-order starting from `entry`, visiting only reachable
+     * nodes. For an acyclic graph this is a topological order.
+     */
+    std::vector<std::uint32_t> reversePostOrder(std::size_t entry) const;
+
+    /**
+     * Topological order over all nodes, treating unreachable components
+     * as additional roots. Nodes inside cycles appear in an arbitrary
+     * consistent position (Tarjan condensation order).
+     */
+    std::vector<std::uint32_t> topoOrder() const;
+
+    /** Tarjan strongly connected components; returns component id per node. */
+    std::vector<std::uint32_t> sccIds(std::size_t *num_sccs = nullptr) const;
+
+    /**
+     * Edges (from, to) that close a cycle w.r.t. a DFS from `entry`
+     * (including self-loops). Used to break call-graph recursion.
+     */
+    std::vector<std::pair<std::uint32_t, std::uint32_t>>
+    backEdges(std::size_t entry) const;
+
+  private:
+    std::vector<std::vector<std::uint32_t>> succs_;
+};
+
+} // namespace manta
+
+#endif // MANTA_SUPPORT_GRAPH_H

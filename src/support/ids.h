@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Strongly typed integer identifiers.
+ *
+ * Nearly every entity in Manta (values, instructions, blocks, functions,
+ * abstract objects, type nodes, ...) is referenced by a dense integer
+ * index into an owning container. Using a distinct wrapper type per
+ * entity prevents mixing them up while keeping them trivially cheap.
+ */
+#ifndef MANTA_SUPPORT_IDS_H
+#define MANTA_SUPPORT_IDS_H
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace manta {
+
+/**
+ * A strongly typed dense index. Tag is an empty struct used purely to
+ * distinguish ID families at compile time.
+ */
+template <typename Tag>
+class Id
+{
+  public:
+    using RawType = std::uint32_t;
+
+    static constexpr RawType invalidRaw = std::numeric_limits<RawType>::max();
+
+    constexpr Id() : raw_(invalidRaw) {}
+    constexpr explicit Id(RawType raw) : raw_(raw) {}
+
+    /** The invalid (sentinel) ID. */
+    static constexpr Id invalid() { return Id(); }
+
+    constexpr bool valid() const { return raw_ != invalidRaw; }
+    constexpr RawType raw() const { return raw_; }
+    constexpr std::size_t index() const { return raw_; }
+
+    friend constexpr bool operator==(Id a, Id b) { return a.raw_ == b.raw_; }
+    friend constexpr bool operator!=(Id a, Id b) { return a.raw_ != b.raw_; }
+    friend constexpr bool operator<(Id a, Id b) { return a.raw_ < b.raw_; }
+
+  private:
+    RawType raw_;
+};
+
+} // namespace manta
+
+namespace std {
+
+template <typename Tag>
+struct hash<manta::Id<Tag>>
+{
+    size_t
+    operator()(manta::Id<Tag> id) const noexcept
+    {
+        return std::hash<typename manta::Id<Tag>::RawType>()(id.raw());
+    }
+};
+
+} // namespace std
+
+#endif // MANTA_SUPPORT_IDS_H

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * All workload generation in Manta must be reproducible across platforms
+ * and standard-library versions, so we implement splitmix64/xoshiro256**
+ * directly instead of relying on std::mt19937 distributions (whose
+ * std::uniform_int_distribution output is implementation-defined).
+ */
+#ifndef MANTA_SUPPORT_RNG_H
+#define MANTA_SUPPORT_RNG_H
+
+#include <cstdint>
+#include <vector>
+
+#include "support/error.h"
+
+namespace manta {
+
+/** xoshiro256** seeded via splitmix64; deterministic across platforms. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+    /** Re-seed the generator, fully resetting its state. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t x = seed;
+        for (auto &s : state_) {
+            // splitmix64 step
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            s = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be positive. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        MANTA_ASSERT(bound > 0, "Rng::below bound must be positive");
+        // Rejection sampling to avoid modulo bias.
+        const std::uint64_t threshold = (0 - bound) % bound;
+        for (;;) {
+            const std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        MANTA_ASSERT(lo <= hi, "Rng::range requires lo <= hi");
+        const auto width = static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<std::int64_t>(below(width));
+    }
+
+    /** Bernoulli draw with the given probability of true. */
+    bool
+    chance(double probability)
+    {
+        if (probability <= 0.0)
+            return false;
+        if (probability >= 1.0)
+            return true;
+        return uniform() < probability;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Pick a uniformly random element of a non-empty vector. */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &v)
+    {
+        MANTA_ASSERT(!v.empty(), "Rng::pick from empty vector");
+        return v[below(v.size())];
+    }
+
+    /**
+     * Pick an index according to integer weights; weights must not all
+     * be zero.
+     */
+    std::size_t
+    weighted(const std::vector<std::uint32_t> &weights)
+    {
+        std::uint64_t total = 0;
+        for (auto w : weights)
+            total += w;
+        MANTA_ASSERT(total > 0, "Rng::weighted requires a positive total");
+        std::uint64_t r = below(total);
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            if (r < weights[i])
+                return i;
+            r -= weights[i];
+        }
+        MANTA_PANIC("unreachable in Rng::weighted");
+    }
+
+    /** Derive an independent child generator (for nested tasks). */
+    Rng
+    fork()
+    {
+        return Rng(next());
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4] = {};
+};
+
+} // namespace manta
+
+#endif // MANTA_SUPPORT_RNG_H

@@ -1,0 +1,101 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace manta {
+
+void
+AsciiTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+AsciiTable::addRow(std::vector<std::string> row)
+{
+    MANTA_ASSERT(header_.empty() || row.size() == header_.size(),
+                 "row width ", row.size(), " != header width ",
+                 header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+AsciiTable::addSeparator()
+{
+    separators_.push_back(rows_.size());
+}
+
+std::string
+AsciiTable::render() const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string> &row) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    widen(header_);
+    for (const auto &row : rows_)
+        widen(row);
+
+    std::ostringstream os;
+    auto emitRule = [&] {
+        for (auto w : widths)
+            os << '+' << std::string(w + 2, '-');
+        os << "+\n";
+    };
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < row.size() ? row[i] : std::string();
+            os << "| " << cell << std::string(widths[i] - cell.size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+
+    emitRule();
+    if (!header_.empty()) {
+        emitRow(header_);
+        emitRule();
+    }
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        if (std::find(separators_.begin(), separators_.end(), i) !=
+                separators_.end() && i != 0) {
+            emitRule();
+        }
+        emitRow(rows_[i]);
+    }
+    emitRule();
+    return os.str();
+}
+
+void
+AsciiTable::writeCsv(CsvWriter &csv) const
+{
+    if (!csv.active())
+        return;
+    if (!header_.empty())
+        csv.row(header_);
+    for (const auto &row : rows_)
+        csv.row(row);
+}
+
+std::string
+fmtDouble(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+fmtPercent(double ratio, int decimals)
+{
+    return fmtDouble(ratio * 100.0, decimals) + "%";
+}
+
+} // namespace manta

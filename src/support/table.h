@@ -1,0 +1,52 @@
+/**
+ * @file
+ * ASCII table rendering for benchmark harness output.
+ *
+ * Every bench binary prints its table/figure in the same row/column
+ * layout the paper uses; this helper keeps that output aligned and
+ * machine-greppable.
+ */
+#ifndef MANTA_SUPPORT_TABLE_H
+#define MANTA_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+#include "support/csv.h"
+
+namespace manta {
+
+/** A simple left/right-aligned ASCII table. */
+class AsciiTable
+{
+  public:
+    /** Set the header row; defines the column count. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; must match the header's column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Insert a horizontal separator before the next row. */
+    void addSeparator();
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+    /** Emit header + rows through a CSV writer (no separators). */
+    void writeCsv(CsvWriter &csv) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::size_t> separators_;
+};
+
+/** Format a double with the given number of decimals. */
+std::string fmtDouble(double value, int decimals = 1);
+
+/** Format a ratio as a percentage string like "78.7%". */
+std::string fmtPercent(double ratio, int decimals = 1);
+
+} // namespace manta
+
+#endif // MANTA_SUPPORT_TABLE_H

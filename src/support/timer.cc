@@ -1,0 +1,17 @@
+#include "support/timer.h"
+
+#include <sys/resource.h>
+
+namespace manta {
+
+double
+peakRssMiB()
+{
+    struct rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0.0;
+    // ru_maxrss is in KiB on Linux.
+    return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+} // namespace manta

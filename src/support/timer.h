@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Wall-clock timing and resident-memory sampling for the bench harness.
+ */
+#ifndef MANTA_SUPPORT_TIMER_H
+#define MANTA_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstddef>
+
+namespace manta {
+
+/** Monotonic wall-clock stopwatch. */
+class Timer
+{
+  public:
+    Timer() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed seconds since construction or last reset. */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** Elapsed milliseconds. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/**
+ * Current process peak resident set size in MiB, read from the OS;
+ * returns 0 when unavailable.
+ */
+double peakRssMiB();
+
+} // namespace manta
+
+#endif // MANTA_SUPPORT_TIMER_H

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Upper/lower type-bound pairs: the per-variable state of the type maps
+ * F-up / F-down from paper Figure 5, plus the three-way classification
+ * of Section 4.1 (precise / over-approximated / unknown).
+ */
+#ifndef MANTA_TYPES_BOUNDS_H
+#define MANTA_TYPES_BOUNDS_H
+
+#include "types/type.h"
+
+namespace manta {
+
+/** Classification of a variable after inference (paper Section 4.1). */
+enum class TypeClass : std::uint8_t {
+    Precise,   ///< F-up == F-down, a singleton.
+    Over,      ///< F-up strictly generalizes F-down.
+    Unknown,   ///< No hints were collected.
+};
+
+/**
+ * The pair (F-up, F-down) for one type variable. Before any hint is
+ * collected the pair is (Bottom, Top) - the "no hints" state; each hint
+ * joins into the upper bound and meets into the lower bound.
+ */
+struct BoundPair
+{
+    TypeRef upper;   ///< F-up, starts at Bottom.
+    TypeRef lower;   ///< F-down, starts at Top.
+
+    BoundPair() = default;
+    BoundPair(TypeRef up, TypeRef low) : upper(up), lower(low) {}
+
+    /** The initial no-hint state. */
+    static BoundPair
+    unknown(TypeTable &table)
+    {
+        return BoundPair(table.bottom(), table.top());
+    }
+
+    /** The widened any-type state assigned to unknowns after FI. */
+    static BoundPair
+    anyType(TypeTable &table)
+    {
+        return BoundPair(table.top(), table.bottom());
+    }
+
+    /** A precisely resolved singleton. */
+    static BoundPair
+    precise(TypeRef type)
+    {
+        return BoundPair(type, type);
+    }
+
+    /** True when no hint has touched this pair yet. */
+    bool
+    isNoHint(const TypeTable &table) const
+    {
+        return upper == table.bottom() && lower == table.top();
+    }
+
+    /** Fold one type hint into the bounds. */
+    void
+    addHint(TypeTable &table, TypeRef hint)
+    {
+        if (isNoHint(table)) {
+            upper = hint;
+            lower = hint;
+            return;
+        }
+        upper = table.join(upper, hint);
+        lower = table.meet(lower, hint);
+    }
+
+    /** Merge another pair's evidence into this one (unification). */
+    void
+    merge(TypeTable &table, const BoundPair &other)
+    {
+        if (other.isNoHint(table))
+            return;
+        if (isNoHint(table)) {
+            *this = other;
+            return;
+        }
+        upper = table.join(upper, other.upper);
+        lower = table.meet(lower, other.lower);
+    }
+
+    /** Classify per Section 4.1. */
+    TypeClass
+    classify(const TypeTable &table) const
+    {
+        if (upper == lower)
+            return TypeClass::Precise;
+        if (isNoHint(table) ||
+                (upper == table.top() && lower == table.bottom())) {
+            return TypeClass::Unknown;
+        }
+        return TypeClass::Over;
+    }
+};
+
+} // namespace manta
+
+#endif // MANTA_TYPES_BOUNDS_H

@@ -1,0 +1,554 @@
+#include "types/type.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace manta {
+
+bool
+isValidWidth(int size_bits)
+{
+    return size_bits == 1 || size_bits == 8 || size_bits == 16 ||
+           size_bits == 32 || size_bits == 64;
+}
+
+TypeTable::TypeTable()
+{
+    TypeNode top_node;
+    top_node.kind = TypeKind::Top;
+    top_ = intern(std::move(top_node));
+    TypeNode bottom_node;
+    bottom_node.kind = TypeKind::Bottom;
+    bottom_ = intern(std::move(bottom_node));
+}
+
+namespace {
+
+/** Serialize a node into a canonical interning key. */
+std::string
+internKey(const TypeNode &node)
+{
+    std::string key;
+    key += static_cast<char>('A' + static_cast<int>(node.kind));
+    key += ':';
+    key += std::to_string(node.size);
+    key += ':';
+    key += std::to_string(node.elem.raw());
+    key += ':';
+    key += std::to_string(node.length);
+    for (const auto &field : node.fields) {
+        key += ';';
+        key += std::to_string(field.offset);
+        key += ',';
+        key += std::to_string(field.type.raw());
+    }
+    key += '|';
+    for (const auto &param : node.params) {
+        key += std::to_string(param.raw());
+        key += ',';
+    }
+    key += '>';
+    key += std::to_string(node.ret.raw());
+    return key;
+}
+
+} // namespace
+
+TypeRef
+TypeTable::intern(TypeNode node)
+{
+    const std::string key = internKey(node);
+    auto it = interned_.find(key);
+    if (it != interned_.end())
+        return it->second;
+    const TypeRef ref(static_cast<TypeRef::RawType>(nodes_.size()));
+    nodes_.push_back(std::move(node));
+    interned_.emplace(key, ref);
+    return ref;
+}
+
+TypeRef
+TypeTable::reg(int size_bits)
+{
+    MANTA_ASSERT(isValidWidth(size_bits), "bad reg width ", size_bits);
+    TypeNode node;
+    node.kind = TypeKind::Reg;
+    node.size = static_cast<std::uint8_t>(size_bits);
+    return intern(std::move(node));
+}
+
+TypeRef
+TypeTable::num(int size_bits)
+{
+    MANTA_ASSERT(isValidWidth(size_bits), "bad num width ", size_bits);
+    TypeNode node;
+    node.kind = TypeKind::Num;
+    node.size = static_cast<std::uint8_t>(size_bits);
+    return intern(std::move(node));
+}
+
+TypeRef
+TypeTable::intTy(int size_bits)
+{
+    MANTA_ASSERT(isValidWidth(size_bits), "bad int width ", size_bits);
+    TypeNode node;
+    node.kind = TypeKind::Int;
+    node.size = static_cast<std::uint8_t>(size_bits);
+    return intern(std::move(node));
+}
+
+TypeRef
+TypeTable::floatTy()
+{
+    TypeNode node;
+    node.kind = TypeKind::Float;
+    node.size = 32;
+    return intern(std::move(node));
+}
+
+TypeRef
+TypeTable::doubleTy()
+{
+    TypeNode node;
+    node.kind = TypeKind::Double;
+    node.size = 64;
+    return intern(std::move(node));
+}
+
+TypeRef
+TypeTable::ptr(TypeRef pointee)
+{
+    MANTA_ASSERT(pointee.valid(), "ptr requires a valid pointee");
+    TypeNode node;
+    node.kind = TypeKind::Ptr;
+    node.size = 64;
+    node.elem = pointee;
+    return intern(std::move(node));
+}
+
+TypeRef
+TypeTable::array(TypeRef elem, std::uint32_t length)
+{
+    MANTA_ASSERT(elem.valid(), "array requires a valid element type");
+    TypeNode node;
+    node.kind = TypeKind::Array;
+    node.elem = elem;
+    node.length = length;
+    return intern(std::move(node));
+}
+
+TypeRef
+TypeTable::object(std::vector<TypeField> fields)
+{
+    std::sort(fields.begin(), fields.end(),
+              [](const TypeField &a, const TypeField &b) {
+                  return a.offset < b.offset;
+              });
+    for (std::size_t i = 1; i < fields.size(); ++i) {
+        MANTA_ASSERT(fields[i - 1].offset != fields[i].offset,
+                     "duplicate object field offset ", fields[i].offset);
+    }
+    TypeNode node;
+    node.kind = TypeKind::Object;
+    node.fields = std::move(fields);
+    return intern(std::move(node));
+}
+
+TypeRef
+TypeTable::func(std::vector<TypeRef> params, TypeRef ret)
+{
+    MANTA_ASSERT(ret.valid(), "func requires a valid return type");
+    TypeNode node;
+    node.kind = TypeKind::Func;
+    node.params = std::move(params);
+    node.ret = ret;
+    return intern(std::move(node));
+}
+
+const TypeNode &
+TypeTable::node(TypeRef ref) const
+{
+    MANTA_ASSERT(ref.valid() && ref.index() < nodes_.size(),
+                 "invalid TypeRef");
+    return nodes_[ref.index()];
+}
+
+int
+TypeTable::widthBits(TypeRef ref) const
+{
+    const TypeNode &n = node(ref);
+    switch (n.kind) {
+      case TypeKind::Reg:
+      case TypeKind::Num:
+      case TypeKind::Int:
+      case TypeKind::Float:
+      case TypeKind::Double:
+        return n.size;
+      case TypeKind::Ptr:
+        return 64;
+      default:
+        return 0;
+    }
+}
+
+bool
+TypeTable::isNumeric(TypeRef ref) const
+{
+    switch (kind(ref)) {
+      case TypeKind::Num:
+      case TypeKind::Int:
+      case TypeKind::Float:
+      case TypeKind::Double:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+TypeTable::isSubtype(TypeRef a, TypeRef b) const
+{
+    return isSubtypeRec(a, b, 0);
+}
+
+bool
+TypeTable::isSubtypeRec(TypeRef a, TypeRef b, int depth) const
+{
+    if (a == b)
+        return true;
+    if (depth > maxDepth)
+        return false;
+    const TypeNode &na = node(a);
+    const TypeNode &nb = node(b);
+    if (na.kind == TypeKind::Bottom || nb.kind == TypeKind::Top)
+        return true;
+    if (nb.kind == TypeKind::Bottom || na.kind == TypeKind::Top)
+        return false;
+
+    switch (nb.kind) {
+      case TypeKind::Reg:
+        // reg<s> generalizes every width-s register type.
+        return widthBits(a) == nb.size &&
+               (na.kind == TypeKind::Num || na.kind == TypeKind::Int ||
+                na.kind == TypeKind::Float || na.kind == TypeKind::Double ||
+                na.kind == TypeKind::Ptr);
+      case TypeKind::Num:
+        return widthBits(a) == nb.size &&
+               (na.kind == TypeKind::Int || na.kind == TypeKind::Float ||
+                na.kind == TypeKind::Double);
+      case TypeKind::Ptr:
+        return na.kind == TypeKind::Ptr &&
+               isSubtypeRec(na.elem, nb.elem, depth + 1);
+      case TypeKind::Array:
+        return na.kind == TypeKind::Array && na.length == nb.length &&
+               isSubtypeRec(na.elem, nb.elem, depth + 1);
+      case TypeKind::Object: {
+        if (na.kind != TypeKind::Object)
+            return false;
+        // Record-width subtyping: a must provide every field of b.
+        for (const auto &fb : nb.fields) {
+            const auto it = std::lower_bound(
+                na.fields.begin(), na.fields.end(), fb.offset,
+                [](const TypeField &f, std::uint32_t off) {
+                    return f.offset < off;
+                });
+            if (it == na.fields.end() || it->offset != fb.offset ||
+                    !isSubtypeRec(it->type, fb.type, depth + 1)) {
+                return false;
+            }
+        }
+        return true;
+      }
+      case TypeKind::Func: {
+        if (na.kind != TypeKind::Func ||
+                na.params.size() != nb.params.size()) {
+            return false;
+        }
+        for (std::size_t i = 0; i < na.params.size(); ++i) {
+            // Contravariant parameters.
+            if (!isSubtypeRec(nb.params[i], na.params[i], depth + 1))
+                return false;
+        }
+        return isSubtypeRec(na.ret, nb.ret, depth + 1);
+      }
+      default:
+        // Int/Float/Double are leaves: only equality (handled above).
+        return false;
+    }
+}
+
+TypeRef
+TypeTable::join(TypeRef a, TypeRef b)
+{
+    return joinRec(a, b, 0);
+}
+
+TypeRef
+TypeTable::meet(TypeRef a, TypeRef b)
+{
+    return meetRec(a, b, 0);
+}
+
+TypeRef
+TypeTable::joinRec(TypeRef a, TypeRef b, int depth)
+{
+    if (a == b)
+        return a;
+    if (isSubtypeRec(a, b, depth))
+        return b;
+    if (isSubtypeRec(b, a, depth))
+        return a;
+    if (depth > maxDepth)
+        return top_;
+
+    const TypeNode na = node(a);
+    const TypeNode nb = node(b);
+
+    // Width-bearing register types of the same width climb the
+    // num<s> / reg<s> ladder; different widths conflict to Top.
+    const int wa = widthBits(a);
+    const int wb = widthBits(b);
+    const bool a_reg_like = wa != 0 && na.kind != TypeKind::Reg;
+    const bool b_reg_like = wb != 0 && nb.kind != TypeKind::Reg;
+    if (wa != 0 && wb != 0) {
+        if (wa != wb)
+            return top_;
+        if (na.kind == TypeKind::Ptr && nb.kind == TypeKind::Ptr)
+            return ptr(joinRec(na.elem, nb.elem, depth + 1));
+        const bool a_num = isNumeric(a);
+        const bool b_num = isNumeric(b);
+        if (a_num && b_num)
+            return num(wa);
+        // A pointer joined with a 64-bit numeric (or reg joined with
+        // anything of the same width) generalizes to reg<w>.
+        (void)a_reg_like;
+        (void)b_reg_like;
+        return reg(wa);
+    }
+
+    if (na.kind == TypeKind::Array && nb.kind == TypeKind::Array) {
+        if (na.length == nb.length)
+            return array(joinRec(na.elem, nb.elem, depth + 1), na.length);
+        return top_;
+    }
+    if (na.kind == TypeKind::Object && nb.kind == TypeKind::Object) {
+        // Record LUB: intersect the field sets, join common fields.
+        std::vector<TypeField> fields;
+        for (const auto &fa : na.fields) {
+            for (const auto &fb : nb.fields) {
+                if (fa.offset == fb.offset) {
+                    fields.push_back(
+                        {fa.offset, joinRec(fa.type, fb.type, depth + 1)});
+                    break;
+                }
+            }
+        }
+        return object(std::move(fields));
+    }
+    if (na.kind == TypeKind::Func && nb.kind == TypeKind::Func) {
+        if (na.params.size() != nb.params.size())
+            return top_;
+        std::vector<TypeRef> params;
+        params.reserve(na.params.size());
+        for (std::size_t i = 0; i < na.params.size(); ++i)
+            params.push_back(meetRec(na.params[i], nb.params[i], depth + 1));
+        return func(std::move(params), joinRec(na.ret, nb.ret, depth + 1));
+    }
+    return top_;
+}
+
+TypeRef
+TypeTable::meetRec(TypeRef a, TypeRef b, int depth)
+{
+    if (a == b)
+        return a;
+    if (isSubtypeRec(a, b, depth))
+        return a;
+    if (isSubtypeRec(b, a, depth))
+        return b;
+    if (depth > maxDepth)
+        return bottom_;
+
+    const TypeNode na = node(a);
+    const TypeNode nb = node(b);
+
+    const int wa = widthBits(a);
+    const int wb = widthBits(b);
+    if (wa != 0 && wb != 0) {
+        if (wa != wb)
+            return bottom_;
+        if (na.kind == TypeKind::Ptr && nb.kind == TypeKind::Ptr)
+            return ptr(meetRec(na.elem, nb.elem, depth + 1));
+        if (na.kind == TypeKind::Reg || nb.kind == TypeKind::Reg) {
+            // reg<w> meet X<w> = X<w> is covered by the subtype check;
+            // the remaining combinations share only Bottom... except
+            // reg<w> itself which equals the other side.
+            const TypeNode &other = na.kind == TypeKind::Reg ? nb : na;
+            (void)other;
+        }
+        if ((na.kind == TypeKind::Num && isNumeric(b)) ||
+                (nb.kind == TypeKind::Num && isNumeric(a))) {
+            // Covered by subtype checks above; distinct numerics below
+            // num<w> (e.g. int32 vs float) share only Bottom.
+        }
+        return bottom_;
+    }
+
+    if (na.kind == TypeKind::Array && nb.kind == TypeKind::Array) {
+        if (na.length == nb.length)
+            return array(meetRec(na.elem, nb.elem, depth + 1), na.length);
+        return bottom_;
+    }
+    if (na.kind == TypeKind::Object && nb.kind == TypeKind::Object) {
+        // Record GLB: union of fields, meet on shared offsets. A field
+        // with an uninhabited type makes the record uninhabited.
+        std::vector<TypeField> fields;
+        std::size_t ia = 0, ib = 0;
+        while (ia < na.fields.size() || ib < nb.fields.size()) {
+            if (ib == nb.fields.size() ||
+                    (ia < na.fields.size() &&
+                     na.fields[ia].offset < nb.fields[ib].offset)) {
+                fields.push_back(na.fields[ia++]);
+            } else if (ia == na.fields.size() ||
+                       nb.fields[ib].offset < na.fields[ia].offset) {
+                fields.push_back(nb.fields[ib++]);
+            } else {
+                const TypeRef m = meetRec(na.fields[ia].type,
+                                          nb.fields[ib].type, depth + 1);
+                if (m == bottom_)
+                    return bottom_;
+                fields.push_back({na.fields[ia].offset, m});
+                ++ia;
+                ++ib;
+            }
+        }
+        return object(std::move(fields));
+    }
+    if (na.kind == TypeKind::Func && nb.kind == TypeKind::Func) {
+        if (na.params.size() != nb.params.size())
+            return bottom_;
+        std::vector<TypeRef> params;
+        params.reserve(na.params.size());
+        for (std::size_t i = 0; i < na.params.size(); ++i)
+            params.push_back(joinRec(na.params[i], nb.params[i], depth + 1));
+        return func(std::move(params), meetRec(na.ret, nb.ret, depth + 1));
+    }
+    return bottom_;
+}
+
+TypeRef
+TypeTable::joinAll(const std::vector<TypeRef> &types)
+{
+    MANTA_ASSERT(!types.empty(), "joinAll of empty set");
+    TypeRef acc = types.front();
+    for (std::size_t i = 1; i < types.size(); ++i)
+        acc = join(acc, types[i]);
+    return acc;
+}
+
+TypeRef
+TypeTable::meetAll(const std::vector<TypeRef> &types)
+{
+    MANTA_ASSERT(!types.empty(), "meetAll of empty set");
+    TypeRef acc = types.front();
+    for (std::size_t i = 1; i < types.size(); ++i)
+        acc = meet(acc, types[i]);
+    return acc;
+}
+
+bool
+TypeTable::firstLayerEqual(TypeRef a, TypeRef b) const
+{
+    const TypeNode &na = node(a);
+    const TypeNode &nb = node(b);
+    if (na.kind != nb.kind)
+        return false;
+    switch (na.kind) {
+      case TypeKind::Reg:
+      case TypeKind::Num:
+      case TypeKind::Int:
+        return na.size == nb.size;
+      default:
+        return true;
+    }
+}
+
+void
+TypeTable::toStringRec(TypeRef ref, std::string &out, int depth) const
+{
+    if (depth > maxDepth) {
+        out += "...";
+        return;
+    }
+    const TypeNode &n = node(ref);
+    switch (n.kind) {
+      case TypeKind::Top:
+        out += "top";
+        break;
+      case TypeKind::Bottom:
+        out += "bottom";
+        break;
+      case TypeKind::Reg:
+        out += "reg" + std::to_string(n.size);
+        break;
+      case TypeKind::Num:
+        out += "num" + std::to_string(n.size);
+        break;
+      case TypeKind::Int:
+        out += "int" + std::to_string(n.size);
+        break;
+      case TypeKind::Float:
+        out += "float";
+        break;
+      case TypeKind::Double:
+        out += "double";
+        break;
+      case TypeKind::Ptr:
+        out += "ptr(";
+        toStringRec(n.elem, out, depth + 1);
+        out += ")";
+        break;
+      case TypeKind::Array:
+        out += "[";
+        toStringRec(n.elem, out, depth + 1);
+        out += " x " + std::to_string(n.length) + "]";
+        break;
+      case TypeKind::Object: {
+        out += "{";
+        bool first = true;
+        for (const auto &field : n.fields) {
+            if (!first)
+                out += ", ";
+            first = false;
+            out += std::to_string(field.offset) + ": ";
+            toStringRec(field.type, out, depth + 1);
+        }
+        out += "}";
+        break;
+      }
+      case TypeKind::Func: {
+        out += "fn(";
+        bool first = true;
+        for (const auto &param : n.params) {
+            if (!first)
+                out += ", ";
+            first = false;
+            toStringRec(param, out, depth + 1);
+        }
+        out += ") -> ";
+        toStringRec(n.ret, out, depth + 1);
+        break;
+      }
+    }
+}
+
+std::string
+TypeTable::toString(TypeRef ref) const
+{
+    std::string out;
+    toStringRec(ref, out, 0);
+    return out;
+}
+
+} // namespace manta

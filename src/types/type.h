@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The Manta type system (paper Figure 6).
+ *
+ * Grammar:
+ *   Type          := Prim | Array | Object | Func
+ *   Prim          := reg<size> | Top | Bottom
+ *   reg<size>     := num<size> | ptr(Type)
+ *   num<size>     := int<size> | float | double
+ *   Array         := Type x length
+ *   Object        := { offset_i : Type_i }
+ *   Func          := { arg_i : Type_i } -> Type
+ *   size          := {1, 8, 16, 32, 64}
+ *
+ * Types form a lattice with Top/Bottom; reg<s> generalizes num<s> and
+ * (for s = 64) every pointer type; num<32> generalizes int32 and float;
+ * num<64> generalizes int64 and double. Pointers are covariant in their
+ * pointee; objects use record-width subtyping; functions are
+ * contravariant in parameters and covariant in the return type.
+ *
+ * All types are hash-consed inside a TypeTable and referenced by the
+ * cheap value type TypeRef, so equality is pointer (id) equality.
+ */
+#ifndef MANTA_TYPES_TYPE_H
+#define MANTA_TYPES_TYPE_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "support/ids.h"
+
+namespace manta {
+
+struct TypeTag {};
+/** Handle to an interned type node inside a TypeTable. */
+using TypeRef = Id<TypeTag>;
+
+/** Discriminator for interned type nodes. */
+enum class TypeKind : std::uint8_t {
+    Top,      ///< Any type (lattice top).
+    Bottom,   ///< No type (lattice bottom).
+    Reg,      ///< reg<size>: any register value of that width.
+    Num,      ///< num<size>: any numeric value of that width.
+    Int,      ///< int<size>.
+    Float,    ///< 32-bit IEEE float.
+    Double,   ///< 64-bit IEEE double.
+    Ptr,      ///< ptr(T), 64 bits wide.
+    Array,    ///< T x length.
+    Object,   ///< { offset_i : T_i }.
+    Func,     ///< { arg_i : T_i } -> T.
+};
+
+/** One field of an object type: byte offset and field type. */
+struct TypeField
+{
+    std::uint32_t offset;
+    TypeRef type;
+
+    friend bool
+    operator==(const TypeField &a, const TypeField &b)
+    {
+        return a.offset == b.offset && a.type == b.type;
+    }
+};
+
+/** An interned type node. Only the fields relevant to `kind` are used. */
+struct TypeNode
+{
+    TypeKind kind = TypeKind::Top;
+    std::uint8_t size = 0;               ///< Bits, for Reg/Num/Int.
+    TypeRef elem;                        ///< Ptr pointee / Array element.
+    std::uint32_t length = 0;            ///< Array length.
+    std::vector<TypeField> fields;       ///< Object fields sorted by offset.
+    std::vector<TypeRef> params;         ///< Func parameters.
+    TypeRef ret;                         ///< Func return type.
+};
+
+/**
+ * Owning, interning container for type nodes plus all lattice
+ * operations. A TypeTable is shared by every analysis run over a module.
+ */
+class TypeTable
+{
+  public:
+    TypeTable();
+
+    /// @name Constructors for interned types.
+    /// @{
+    TypeRef top() const { return top_; }
+    TypeRef bottom() const { return bottom_; }
+    TypeRef reg(int size_bits);
+    TypeRef num(int size_bits);
+    TypeRef intTy(int size_bits);
+    TypeRef floatTy();
+    TypeRef doubleTy();
+    TypeRef ptr(TypeRef pointee);
+    /** Pointer to an unconstrained pointee: ptr(Top). */
+    TypeRef ptrAny() { return ptr(top()); }
+    TypeRef array(TypeRef elem, std::uint32_t length);
+    /** Fields need not be sorted; they are normalized on interning. */
+    TypeRef object(std::vector<TypeField> fields);
+    TypeRef func(std::vector<TypeRef> params, TypeRef ret);
+    /// @}
+
+    /** Access the node behind a reference. */
+    const TypeNode &node(TypeRef ref) const;
+
+    TypeKind kind(TypeRef ref) const { return node(ref).kind; }
+
+    /** Register width in bits of a type, or 0 if not width-bearing. */
+    int widthBits(TypeRef ref) const;
+
+    /** True when `ref` is Ptr. */
+    bool isPtr(TypeRef ref) const { return kind(ref) == TypeKind::Ptr; }
+
+    /** True when `ref` is Int/Float/Double/Num (a concrete-width numeric). */
+    bool isNumeric(TypeRef ref) const;
+
+    /**
+     * Subtype check: a <: b ("b generalizes a"). Reflexive and
+     * transitive; Bottom <: everything <: Top.
+     */
+    bool isSubtype(TypeRef a, TypeRef b) const;
+
+    /** Least upper bound on the lattice (depth-capped on pointees). */
+    TypeRef join(TypeRef a, TypeRef b);
+
+    /** Greatest lower bound on the lattice (depth-capped on pointees). */
+    TypeRef meet(TypeRef a, TypeRef b);
+
+    /** LUB of a non-empty set. */
+    TypeRef joinAll(const std::vector<TypeRef> &types);
+
+    /** GLB of a non-empty set. */
+    TypeRef meetAll(const std::vector<TypeRef> &types);
+
+    /**
+     * First-layer constructor equality, the granularity the paper's
+     * Table 3 evaluation uses for function-parameter types: pointers
+     * match pointers (regardless of pointee), numerics must match in
+     * constructor and width.
+     */
+    bool firstLayerEqual(TypeRef a, TypeRef b) const;
+
+    /**
+     * True when `range` = [lower, upper] contains `truth` (used for
+     * recall: the inferred interval still covers the actual type).
+     */
+    bool
+    contains(TypeRef lower, TypeRef upper, TypeRef truth) const
+    {
+        return isSubtype(lower, truth) && isSubtype(truth, upper);
+    }
+
+    /** Render a type as a human-readable string. */
+    std::string toString(TypeRef ref) const;
+
+    /** Number of interned nodes (for stats/tests). */
+    std::size_t numTypes() const { return nodes_.size(); }
+
+  private:
+    static constexpr int maxDepth = 8;
+
+    TypeRef intern(TypeNode node);
+    bool isSubtypeRec(TypeRef a, TypeRef b, int depth) const;
+    TypeRef joinRec(TypeRef a, TypeRef b, int depth);
+    TypeRef meetRec(TypeRef a, TypeRef b, int depth);
+    void toStringRec(TypeRef ref, std::string &out, int depth) const;
+
+    std::vector<TypeNode> nodes_;
+    std::unordered_map<std::string, TypeRef> interned_;
+    TypeRef top_;
+    TypeRef bottom_;
+};
+
+/** Valid register widths in bits. */
+bool isValidWidth(int size_bits);
+
+} // namespace manta
+
+#endif // MANTA_TYPES_TYPE_H

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Tests for the baseline emulations: their defining behavioural
+ * signatures (RetDec never abstains, Ghidra stays regional, Retypd
+ * times out under budget, DIRTY always predicts) and the bug-tool
+ * emulations' pattern-matching behaviour.
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/acyclic.h"
+#include "baselines/bugtools.h"
+#include "baselines/learned.h"
+#include "baselines/typetools.h"
+#include "eval/harness.h"
+#include "frontend/generator.h"
+#include "mir/parser.h"
+
+namespace manta {
+namespace {
+
+const char *kSpillProgram = R"(
+func @helper(%p:64) {
+entry:
+  %slot = alloca 8
+  store %slot, %p
+  jmp next
+next:
+  %l = load.64 %slot
+  %r = call.64 @strlen(%l)
+  ret %r
+}
+)";
+
+TEST(RetdecLike, NeverAbstains)
+{
+    Module m = parseModuleOrDie(kSpillProgram);
+    const BaselineOutcome out = runRetdecLike(m);
+    for (std::size_t v = 0; v < m.numValues(); ++v) {
+        const ValueId vid(static_cast<ValueId::RawType>(v));
+        const ValueKind kind = m.value(vid).kind;
+        if (kind != ValueKind::Argument && kind != ValueKind::InstResult)
+            continue;
+        EXPECT_TRUE(out.types.count(vid) > 0) << "v" << v;
+    }
+}
+
+TEST(RetdecLike, DefaultsUnresolvedToInt32)
+{
+    Module m = parseModuleOrDie(kSpillProgram);
+    const BaselineOutcome out = runRetdecLike(m);
+    TypeTable &tt = m.types();
+    // The pointer parameter has no local direct hint: defaults to i32.
+    const ValueId p = m.func(m.findFunc("helper")).params[0];
+    ASSERT_TRUE(out.types.count(p));
+    EXPECT_EQ(out.types.at(p), tt.intTy(32));
+}
+
+TEST(GhidraLike, RegionalPropagationOnly)
+{
+    Module m = parseModuleOrDie(kSpillProgram);
+    const BaselineOutcome out = runGhidraLike(m);
+    TypeTable &tt = m.types();
+    // The reload crosses a block boundary: Ghidra cannot connect the
+    // strlen hint back to the parameter.
+    const ValueId p = m.func(m.findFunc("helper")).params[0];
+    const auto it = out.types.find(p);
+    if (it != out.types.end()) {
+        EXPECT_FALSE(tt.isPtr(it->second));
+    }
+}
+
+TEST(GhidraLike, InBlockSlotTrackingWorks)
+{
+    Module m = parseModuleOrDie(R"(
+func @f() {
+entry:
+  %h = call.64 @malloc(8:64)
+  %slot = alloca 8
+  store %slot, %h
+  %l = load.64 %slot
+  ret %l
+}
+)");
+    const BaselineOutcome out = runGhidraLike(m);
+    TypeTable &tt = m.types();
+    // Same-block store/load: the malloc pointer reaches the reload.
+    ValueId l;
+    for (std::size_t v = 0; v < m.numValues(); ++v) {
+        const ValueId vid(static_cast<ValueId::RawType>(v));
+        if (m.value(vid).name == "l")
+            l = vid;
+    }
+    ASSERT_TRUE(out.types.count(l));
+    EXPECT_TRUE(tt.isPtr(out.types.at(l)));
+}
+
+TEST(RetypdLike, TimesOutUnderBudget)
+{
+    GenConfig cfg;
+    cfg.seed = 31;
+    cfg.numFunctions = 40;
+    GeneratedProgram prog = generateProgram(cfg);
+    const BaselineOutcome small_budget =
+        runRetypdLike(*prog.module, 1000);
+    EXPECT_TRUE(small_budget.timedOut);
+    EXPECT_TRUE(small_budget.types.empty());
+    const BaselineOutcome big_budget =
+        runRetypdLike(*prog.module, 1u << 30);
+    EXPECT_FALSE(big_budget.timedOut);
+    EXPECT_FALSE(big_budget.types.empty());
+}
+
+TEST(RetypdLike, WidensNumericsToRegisterClass)
+{
+    Module m = parseModuleOrDie(R"(
+func @f(%a:64) {
+entry:
+  %x = mul %a, 3:64
+  ret %x
+}
+)");
+    const BaselineOutcome out = runRetypdLike(m);
+    TypeTable &tt = m.types();
+    for (const auto &[v, t] : out.types) {
+        if (tt.isNumeric(t)) {
+            EXPECT_EQ(tt.kind(t), TypeKind::Num) << tt.toString(t);
+        }
+    }
+}
+
+TEST(DirtyModel, TrainsAndAlwaysPredicts)
+{
+    const DirtyModel model = trainDirtyModel(4);
+    EXPECT_GT(model.numSamples(), 100u);
+
+    GenConfig cfg;
+    cfg.seed = 424242; // unseen
+    cfg.numFunctions = 15;
+    GeneratedProgram prog = generateProgram(cfg);
+    const BaselineOutcome out = model.predict(*prog.module);
+    std::size_t variables = 0;
+    for (std::size_t v = 0; v < prog.module->numValues(); ++v) {
+        const ValueKind kind =
+            prog.module->value(ValueId(ValueId::RawType(v))).kind;
+        variables += kind == ValueKind::Argument ||
+                     kind == ValueKind::InstResult;
+    }
+    EXPECT_EQ(out.types.size(), variables);
+}
+
+TEST(DirtyModel, BeatsChanceOnUnseenPrograms)
+{
+    const DirtyModel model = trainDirtyModel(6);
+    GenConfig cfg;
+    cfg.seed = 515151;
+    cfg.numFunctions = 25;
+    GeneratedProgram prog = generateProgram(cfg);
+    makeAcyclic(*prog.module);
+    const BaselineOutcome out = model.predict(*prog.module);
+    const TypeEval eval =
+        evalTypeMap(*prog.module, prog.truth, out.types);
+    // Five classes: chance is ~20-35% depending on priors; the model
+    // must do clearly better.
+    EXPECT_GT(eval.precision(), 0.4);
+}
+
+TEST(DirtyModel, FeatureExtractionIsStable)
+{
+    Module m = parseModuleOrDie(R"(
+func @f(%a:64) {
+entry:
+  %x = load.64 %a
+  ret %x
+}
+)");
+    const ValueId a = m.func(m.findFunc("f")).params[0];
+    const auto f1 = DirtyModel::features(m, a);
+    const auto f2 = DirtyModel::features(m, a);
+    EXPECT_EQ(f1, f2);
+    EXPECT_TRUE(f1[0]);  // width 64
+    EXPECT_TRUE(f1[3]);  // is argument
+    EXPECT_TRUE(f1[15]); // used as load address
+}
+
+class BugToolTest : public ::testing::Test
+{
+  protected:
+    void
+    load(const std::string &text)
+    {
+        module_ = parseModuleOrDie(text);
+        makeAcyclic(module_);
+        analyzer_ =
+            std::make_unique<MantaAnalyzer>(module_, HybridConfig::full());
+    }
+
+    Module module_;
+    std::unique_ptr<MantaAnalyzer> analyzer_;
+};
+
+TEST_F(BugToolTest, CweCheckerFlagsPatternsWithoutTaint)
+{
+    // A perfectly safe literal copy into a stack buffer still triggers
+    // the pattern matcher (its FP class).
+    load(R"(
+string @cfg "mode=1"
+func @f() {
+entry:
+  %buf = alloca 64
+  %r = call.64 @strcpy(%buf, @cfg)
+  ret
+}
+)");
+    const BugToolOutcome out = runCweCheckerLike(*analyzer_);
+    ASSERT_EQ(out.reports.size(), 1u);
+    EXPECT_EQ(out.reports[0].kind, CheckerKind::BOF);
+}
+
+TEST_F(BugToolTest, CweCheckerIgnoresLiteralSystem)
+{
+    load(R"(
+string @cmd "reboot"
+func @f() {
+entry:
+  %r = call.32 @system(@cmd)
+  ret
+}
+)");
+    EXPECT_TRUE(runCweCheckerLike(*analyzer_).reports.empty());
+}
+
+TEST_F(BugToolTest, CweCheckerUafIgnoresOrdering)
+{
+    // Use BEFORE free still reported: no ordering reasoning (FP).
+    load(R"(
+func @f() {
+entry:
+  %h = call.64 @malloc(8:64)
+  %v = load.64 %h
+  call @free(%h)
+  ret
+}
+)");
+    const BugToolOutcome out = runCweCheckerLike(*analyzer_);
+    EXPECT_FALSE(out.reports.empty());
+}
+
+TEST_F(BugToolTest, SatcReportsKeywordProximity)
+{
+    // No actual taint flow, but a keyword literal shares the function
+    // with a sink: SaTC reports it.
+    load(R"(
+string @kw "wan_ifname"
+func @f(%x:64) {
+entry:
+  %r1 = call.64 @strlen(@kw)
+  %buf = alloca 32
+  %r2 = call.32 @system(%buf)
+  ret
+}
+)");
+    const BugToolOutcome out = runSatcLike(*analyzer_);
+    EXPECT_FALSE(out.reports.empty());
+}
+
+TEST_F(BugToolTest, ArbiterPrunesEverything)
+{
+    // A genuine cross-function CMI: the under-constrained filter
+    // rejects it (source and sink in different blocks/functions).
+    load(R"(
+string @key "cmd"
+func @run(%c:64) {
+entry:
+  %r = call.32 @system(%c)
+  ret
+}
+func @main() {
+entry:
+  %t = call.64 @nvram_get(@key)
+  %r = call.32 @run(%t)
+  ret
+}
+)");
+    const BugToolOutcome out = runArbiterLike(*analyzer_);
+    EXPECT_TRUE(out.reports.empty());
+}
+
+} // namespace
+} // namespace manta

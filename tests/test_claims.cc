@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Headline-claim integration tests: the paper's comparative orderings
+ * must hold on scaled-down corpora. These guard the evaluation shape
+ * against regressions without running the full bench suite.
+ */
+#include <gtest/gtest.h>
+
+#include "baselines/bugtools.h"
+#include "baselines/typetools.h"
+#include "clients/icall.h"
+#include "eval/harness.h"
+
+namespace manta {
+namespace {
+
+/** A scaled-down project for fast integration runs. */
+PreparedProject
+smallProject(std::uint64_t seed, int functions = 60)
+{
+    ProjectProfile profile = standardCorpus()[6]; // openssh mix
+    profile.config.seed = seed;
+    profile.config.numFunctions = functions;
+    return prepareProject(profile);
+}
+
+TEST(Claims, HybridStagingOrderingHolds)
+{
+    // Paper Table 3: precision FS < FI < FI+FS < FI+CS+FS; recall stays
+    // high for all groups.
+    TypeEval evals[4];
+    const HybridConfig configs[4] = {
+        HybridConfig::fsOnly(), HybridConfig::fiOnly(),
+        HybridConfig::fiFs(), HybridConfig::full()};
+    for (const std::uint64_t seed : {301ull, 302ull}) {
+        PreparedProject project = smallProject(seed);
+        for (int i = 0; i < 4; ++i) {
+            const TypeEval one =
+                evalInference(project.module(), project.truth(),
+                              project.analyzer->infer(configs[i]));
+            evals[i].total += one.total;
+            evals[i].preciseCorrect += one.preciseCorrect;
+            evals[i].captured += one.captured;
+            evals[i].unknown += one.unknown;
+            evals[i].incorrect += one.incorrect;
+        }
+    }
+    EXPECT_LT(evals[0].precision(), evals[1].precision()); // FS < FI
+    EXPECT_LE(evals[1].precision(), evals[2].precision()); // FI <= FI+FS
+    EXPECT_LT(evals[2].precision(), evals[3].precision()); // < full
+    for (const TypeEval &eval : evals)
+        EXPECT_GT(eval.recall(), 0.9);
+}
+
+TEST(Claims, MantaBeatsDecompilerBaselines)
+{
+    TypeEval manta, ghidra, retdec;
+    auto accumulate = [](TypeEval &acc, const TypeEval &one) {
+        acc.total += one.total;
+        acc.preciseCorrect += one.preciseCorrect;
+    };
+    for (const std::uint64_t seed : {311ull, 312ull}) {
+        PreparedProject project = smallProject(seed);
+        Module &module = project.module();
+        accumulate(manta,
+                   evalInference(module, project.truth(),
+                                 project.analyzer->infer(
+                                     HybridConfig::full())));
+        accumulate(ghidra, evalTypeMap(module, project.truth(),
+                                       runGhidraLike(module).types));
+        accumulate(retdec, evalTypeMap(module, project.truth(),
+                                       runRetdecLike(module).types));
+    }
+    EXPECT_GT(manta.precision(), ghidra.precision());
+    EXPECT_GT(manta.precision(), retdec.precision());
+}
+
+TEST(Claims, RetdecPrecisionEqualsRecall)
+{
+    // RetDec never abstains: every variable is committed, so captured
+    // coincides with precise-correct and P == R by construction.
+    PreparedProject project = smallProject(321);
+    const TypeEval eval = evalTypeMap(project.module(), project.truth(),
+                                      runRetdecLike(project.module()).types);
+    EXPECT_GT(eval.total, 0u);
+    EXPECT_DOUBLE_EQ(eval.precision() +
+                         double(eval.captured) / double(eval.total),
+                     eval.recall());
+}
+
+TEST(Claims, TypePruningBeatsCountAndWidth)
+{
+    // Paper Table 4: Manta's AICT <= tau-CFI's <= TypeArmor's, with
+    // near-total recall.
+    PreparedProject project = smallProject(331, 80);
+    Module &module = project.module();
+    InferenceResult types = project.analyzer->infer();
+    const IcallAnalysis analysis(module, &types);
+    if (analysis.icallSites().empty())
+        GTEST_SKIP() << "no indirect calls in this instance";
+    const double count = analysis.run(IcallDiscipline::ArgCount).aict();
+    const double width =
+        analysis.run(IcallDiscipline::ArgCountWidth).aict();
+    const double full = analysis.run(IcallDiscipline::FullTypes).aict();
+    EXPECT_LE(full, width);
+    EXPECT_LE(width, count);
+
+    InferenceResult oracle = oracleInference(project);
+    const IcallAnalysis oracle_analysis(module, &oracle);
+    const IcallResult reference =
+        oracle_analysis.run(IcallDiscipline::FullTypes);
+    const IcallEval eval = evalIcall(
+        module, analysis.run(IcallDiscipline::FullTypes), reference);
+    EXPECT_GT(eval.recall, 0.9);
+}
+
+TEST(Claims, TypeAssistanceCutsFirmwareFalsePositives)
+{
+    // Paper Table 5: Manta's FPR is far below Manta-NoType's, and both
+    // are far below the keyword/pattern baselines.
+    FirmwareProfile profile = firmwareFleet()[5]; // small image
+    PreparedProject project = prepareFirmware(profile);
+
+    InferenceResult types = project.analyzer->infer();
+    const BugEval typed =
+        evalBugs(detectBugs(project, &types), project.truth());
+    const BugEval untyped =
+        evalBugs(detectBugs(project, nullptr), project.truth());
+    const BugEval satc = evalBugs(
+        runSatcLike(*project.analyzer).reports, project.truth());
+
+    EXPECT_LT(typed.fpr(), untyped.fpr());
+    EXPECT_LT(untyped.fpr(), satc.fpr());
+    // The true bugs stay found.
+    EXPECT_GE(typed.realBugsFound + 1, untyped.realBugsFound);
+    EXPECT_GT(typed.realBugsFound, 0u);
+}
+
+TEST(Claims, ArbiterEmulationReportsNothing)
+{
+    FirmwareProfile profile = firmwareFleet()[5];
+    PreparedProject project = prepareFirmware(profile);
+    const BugToolOutcome out = runArbiterLike(*project.analyzer);
+    EXPECT_TRUE(out.reports.empty());
+}
+
+TEST(Claims, HybridRefinesMostOverApproximations)
+{
+    // Paper Figure 2(a): most FI-over-approximated variables become
+    // precise under the full pipeline.
+    PreparedProject project = smallProject(341);
+    Module &module = project.module();
+    TypeTable &tt = module.types();
+    const InferenceResult fi =
+        project.analyzer->infer(HybridConfig::fiOnly());
+    const InferenceResult full = project.analyzer->infer();
+
+    std::size_t over = 0, refined = 0;
+    for (const ValueId v : evaluatedParams(module, project.truth())) {
+        const BoundPair bp = fi.valueBounds(v);
+        if (bp.classify(tt) != TypeClass::Over)
+            continue;
+        if (tt.firstLayerEqual(bp.upper, bp.lower))
+            continue;
+        ++over;
+        const BoundPair full_bp = full.valueBounds(v);
+        refined += full_bp.classify(tt) != TypeClass::Unknown &&
+                   tt.firstLayerEqual(full_bp.upper, full_bp.lower);
+    }
+    ASSERT_GT(over, 5u);
+    EXPECT_GT(static_cast<double>(refined) / static_cast<double>(over),
+              0.5);
+}
+
+} // namespace
+} // namespace manta

@@ -1,0 +1,433 @@
+/**
+ * @file
+ * Tests for the hybrid-sensitive inference core, including the paper's
+ * motivating examples: Figure 3 (union refined flow-sensitively),
+ * Figure 4 (flow-sensitive alone loses the type, flow-insensitive
+ * recovers it) and Figure 7 (context sensitivity rejects CFL-invalid
+ * polymorphic hints).
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/acyclic.h"
+#include "core/pipeline.h"
+#include "mir/parser.h"
+
+namespace manta {
+namespace {
+
+class CoreTest : public ::testing::Test
+{
+  protected:
+    void
+    analyze(const std::string &text, HybridConfig config)
+    {
+        module_ = parseModuleOrDie(text);
+        makeAcyclic(module_);
+        analyzer_ = std::make_unique<MantaAnalyzer>(module_, config);
+        result_ = std::make_unique<InferenceResult>(analyzer_->infer());
+    }
+
+    ValueId
+    val(const std::string &name) const
+    {
+        for (std::size_t v = 0; v < module_.numValues(); ++v) {
+            const ValueId vid(static_cast<ValueId::RawType>(v));
+            if (module_.value(vid).name == name)
+                return vid;
+        }
+        return ValueId::invalid();
+    }
+
+    /** The instruction defining a named value. */
+    InstId
+    defSite(const std::string &name) const
+    {
+        return module_.value(val(name)).inst;
+    }
+
+    /** The instruction using `name` as a call argument (first hit). */
+    InstId
+    useSite(const std::string &name) const
+    {
+        const ValueId v = val(name);
+        for (std::size_t i = 0; i < module_.numInsts(); ++i) {
+            const InstId iid(static_cast<InstId::RawType>(i));
+            const Instruction &inst = module_.inst(iid);
+            if (inst.op != Opcode::Call)
+                continue;
+            for (const ValueId op : inst.operands) {
+                if (op == v)
+                    return iid;
+            }
+        }
+        return InstId::invalid();
+    }
+
+    std::string
+    typeOf(ValueId v) const
+    {
+        const BoundPair bp = result_->valueBounds(v);
+        const TypeTable &tt = module_.types();
+        return "[" + tt.toString(bp.lower) + ", " + tt.toString(bp.upper) +
+               "]";
+    }
+
+    Module module_;
+    std::unique_ptr<MantaAnalyzer> analyzer_;
+    std::unique_ptr<InferenceResult> result_;
+};
+
+// The Figure 3 program: a stack slot holding a union instantiated as
+// int64 in one branch and char* in the other.
+const char *kUnionProgram = R"(
+string @msg "hello"
+func @main(%a:64) {
+entry:
+  %slot = alloca 8
+  %c = icmp.eq %a, 0:64
+  br %c, then, else
+then:
+  store %slot, 1234:64
+  %i = load.64 %slot
+  %r1 = call.32 @print_int(%i)
+  jmp done
+else:
+  store %slot, @msg
+  %s = load.64 %slot
+  %r2 = call.32 @print_str(%s)
+  jmp done
+done:
+  ret
+}
+)";
+
+TEST_F(CoreTest, UnionIsOverApproximatedByFI)
+{
+    analyze(kUnionProgram, HybridConfig::fiOnly());
+    // Flow-insensitive unification merges both branches' hints.
+    EXPECT_EQ(result_->valueClass(val("i")), TypeClass::Over);
+    EXPECT_EQ(result_->valueClass(val("s")), TypeClass::Over);
+    const BoundPair bp = result_->valueBounds(val("i"));
+    EXPECT_EQ(bp.upper, module_.types().reg(64));
+}
+
+TEST_F(CoreTest, UnionResolvedPerSiteByFlowRefinement)
+{
+    analyze(kUnionProgram, HybridConfig::full());
+    TypeTable &tt = module_.types();
+    // At the print_int call site, the slot value is precisely int64.
+    const BoundPair at_int = result_->siteBounds(val("i"), useSite("i"));
+    EXPECT_EQ(at_int.classify(tt), TypeClass::Precise)
+        << typeOf(val("i"));
+    EXPECT_EQ(at_int.upper, tt.intTy(64));
+    // At the print_str call site, it is precisely char*.
+    const BoundPair at_str = result_->siteBounds(val("s"), useSite("s"));
+    EXPECT_EQ(at_str.classify(tt), TypeClass::Precise);
+    EXPECT_EQ(at_str.upper, tt.ptr(tt.intTy(8)));
+}
+
+// The Figure 4 program: the parameter is printed in a guard branch and
+// dereferenced (via pointer arithmetic) in the other branch.
+const char *kGuardProgram = R"(
+func @parsestr(%s:64, %offset:64) {
+entry:
+  %c = icmp.eq %s, 0:64
+  br %c, err, ok
+err:
+  %r = call.32 @print_str(%s)
+  ret
+ok:
+  %p = add %s, %offset
+  %v = load.8 %p
+  ret
+}
+)";
+
+TEST_F(CoreTest, GuardParamUnknownAtUseSiteUnderFSOnly)
+{
+    analyze(kGuardProgram, HybridConfig::fsOnly());
+    TypeTable &tt = module_.types();
+    // Standalone flow-sensitive analysis cannot see the err-branch
+    // hint from the ok branch: the add site stays unknown.
+    const InstId add_site = defSite("p");
+    const BoundPair at_add = result_->siteBounds(val("s"), add_site);
+    EXPECT_EQ(at_add.classify(tt), TypeClass::Unknown) << typeOf(val("s"));
+}
+
+TEST_F(CoreTest, GuardParamResolvedByFI)
+{
+    analyze(kGuardProgram, HybridConfig::full());
+    TypeTable &tt = module_.types();
+    // The flow-insensitive stage captures the print_str hint: the
+    // parameter resolves as a pointer for every site.
+    const BoundPair bp = result_->valueBounds(val("s"));
+    EXPECT_EQ(bp.classify(tt), TypeClass::Precise) << typeOf(val("s"));
+    EXPECT_EQ(tt.kind(bp.upper), TypeKind::Ptr);
+}
+
+// The Figure 7 program: a polymorphic identity function called with a
+// heap pointer from one context and an integer from another.
+const char *kPolyProgram = R"(
+func @id(%x:64) {
+entry:
+  ret %x
+}
+func @caller1() {
+entry:
+  %h = call.64 @malloc(8:64)
+  %r1 = call.64 @id(%h)
+  %p1 = call.32 @print_str(%r1)
+  ret
+}
+func @caller2() {
+entry:
+  %r2 = call.64 @id(42:64)
+  %p2 = call.32 @print_int(%r2)
+  ret
+}
+)";
+
+TEST_F(CoreTest, PolymorphicMergedByFI)
+{
+    analyze(kPolyProgram, HybridConfig::fiOnly());
+    EXPECT_EQ(result_->valueClass(val("r2")), TypeClass::Over);
+}
+
+TEST_F(CoreTest, ContextRefinementSeparatesPolymorphicContexts)
+{
+    analyze(kPolyProgram, HybridConfig::full());
+    TypeTable &tt = module_.types();
+    // CFL-reachability rejects the cross-context hints: r2 is int64.
+    const BoundPair r2 = result_->valueBounds(val("r2"));
+    EXPECT_EQ(r2.classify(tt), TypeClass::Precise) << typeOf(val("r2"));
+    EXPECT_EQ(r2.upper, tt.intTy(64));
+    // r1 resolves as a pointer.
+    const BoundPair r1 = result_->valueBounds(val("r1"));
+    EXPECT_EQ(tt.kind(r1.upper), TypeKind::Ptr) << typeOf(val("r1"));
+    EXPECT_GT(result_->profile().csResolved, 0u);
+}
+
+TEST_F(CoreTest, HintIndexFindsExternalSignatures)
+{
+    analyze(kPolyProgram, HybridConfig::fiOnly());
+    const HintIndex &hints = analyzer_->hints();
+    bool malloc_hint = false;
+    for (const TypeHint &h : hints.of(val("h")))
+        malloc_hint |= module_.types().isPtr(h.type);
+    EXPECT_TRUE(malloc_hint);
+    EXPECT_GT(hints.numHints(), 4u);
+}
+
+TEST_F(CoreTest, CopyChainsSharePreciseTypes)
+{
+    analyze(R"(
+func @f() {
+entry:
+  %h = call.64 @malloc(8:64)
+  %a = copy %h
+  %b = copy %a
+  ret %b
+}
+)",
+            HybridConfig::fiOnly());
+    TypeTable &tt = module_.types();
+    EXPECT_EQ(result_->valueClass(val("b")), TypeClass::Precise);
+    EXPECT_EQ(result_->valueBounds(val("b")).upper, tt.ptrAny());
+}
+
+TEST_F(CoreTest, LoadStoreUnifyThroughMemory)
+{
+    analyze(R"(
+func @f() {
+entry:
+  %slot = alloca 8
+  %h = call.64 @malloc(8:64)
+  store %slot, %h
+  %l = load.64 %slot
+  ret %l
+}
+)",
+            HybridConfig::fiOnly());
+    TypeTable &tt = module_.types();
+    // The loaded value unifies with the stored pointer.
+    EXPECT_EQ(result_->valueBounds(val("l")).upper, tt.ptrAny());
+    EXPECT_EQ(result_->valueClass(val("l")), TypeClass::Precise);
+}
+
+TEST_F(CoreTest, NoHintsMeansUnknown)
+{
+    analyze(R"(
+func @f(%a:64) {
+entry:
+  %b = copy %a
+  ret %b
+}
+)",
+            HybridConfig::fiOnly());
+    EXPECT_EQ(result_->valueClass(val("b")), TypeClass::Unknown);
+    // Unknowns widen to the any-type interval.
+    const BoundPair bp = result_->valueBounds(val("b"));
+    EXPECT_EQ(bp.upper, module_.types().top());
+    EXPECT_EQ(bp.lower, module_.types().bottom());
+}
+
+TEST_F(CoreTest, FloatArithmeticReveals)
+{
+    analyze(R"(
+func @f(%a:64, %b:64) {
+entry:
+  %s = fadd %a, %b
+  ret %s
+}
+)",
+            HybridConfig::fiOnly());
+    TypeTable &tt = module_.types();
+    EXPECT_EQ(result_->valueBounds(val("s")).upper, tt.doubleTy());
+    EXPECT_EQ(result_->valueClass(val("s")), TypeClass::Precise);
+}
+
+TEST_F(CoreTest, PointerComparedWithErrorConstantGoesNoisy)
+{
+    // The Section 6.4 soundness gap: cmp unifies a pointer with -1.
+    analyze(R"(
+func @f() {
+entry:
+  %h = call.64 @malloc(8:64)
+  %c = icmp.eq %h, -1:64
+  ret %h
+}
+)",
+            HybridConfig::fiOnly());
+    // The pointer picks up an integer hint: over-approximated.
+    EXPECT_EQ(result_->valueClass(val("h")), TypeClass::Over);
+}
+
+TEST_F(CoreTest, NullCompareStaysClean)
+{
+    analyze(R"(
+func @f() {
+entry:
+  %h = call.64 @malloc(8:64)
+  %c = icmp.eq %h, 0:64
+  ret %h
+}
+)",
+            HybridConfig::fiOnly());
+    // Zero may be NULL: no integer hint, the pointer stays precise.
+    EXPECT_EQ(result_->valueClass(val("h")), TypeClass::Precise);
+}
+
+TEST_F(CoreTest, ProfileCountsStages)
+{
+    analyze(kUnionProgram, HybridConfig::full());
+    const InferenceProfile &prof = result_->profile();
+    EXPECT_GT(prof.afterFi.total(), 0u);
+    EXPECT_GT(prof.fiOver, 0u);
+    EXPECT_GT(prof.hintCount, 0u);
+    EXPECT_GE(prof.seconds, 0.0);
+}
+
+TEST_F(CoreTest, StageConfigLabels)
+{
+    EXPECT_EQ(HybridConfig::full().label(), "FI+CS+FS");
+    EXPECT_EQ(HybridConfig::fiOnly().label(), "FI");
+    EXPECT_EQ(HybridConfig::fsOnly().label(), "FS");
+    EXPECT_EQ(HybridConfig::fiFs().label(), "FI+FS");
+}
+
+TEST_F(CoreTest, RefinementNeverWidensBeyondFI)
+{
+    // Property: for every variable the final upper bound is a subtype
+    // of the FI upper bound joined with Top handling; i.e. refinement
+    // narrows or loses, never invents wider intervals (modulo the
+    // unknown widening).
+    analyze(kUnionProgram, HybridConfig::full());
+    Module module2 = parseModuleOrDie(kUnionProgram);
+    makeAcyclic(module2);
+    MantaAnalyzer fi_analyzer(module2, HybridConfig::fiOnly());
+    InferenceResult fi_result = fi_analyzer.infer();
+
+    TypeTable &tt = module_.types();
+    for (std::size_t i = 0; i < module_.numValues(); ++i) {
+        const ValueId vid(static_cast<ValueId::RawType>(i));
+        if (module_.value(vid).kind != ValueKind::InstResult)
+            continue;
+        const BoundPair full_bp = result_->valueBounds(vid);
+        const BoundPair fi_bp = fi_result.valueBounds(vid);
+        if (fi_bp.classify(tt) != TypeClass::Over)
+            continue;
+        if (full_bp.classify(tt) == TypeClass::Unknown)
+            continue; // flow-sensitive loss is allowed
+        EXPECT_TRUE(tt.isSubtype(full_bp.upper, fi_bp.upper) ||
+                    fi_bp.upper == tt.top())
+            << module_.value(vid).name;
+    }
+}
+
+} // namespace
+} // namespace manta
+
+namespace manta {
+namespace {
+
+// Late additions: pipeline profile invariants and field-level queries.
+
+class CoreExtraTest : public CoreTest
+{};
+
+TEST_F(CoreExtraTest, FieldBoundsExposeObjectTypes)
+{
+    analyze(R"(
+func @f() {
+entry:
+  %s = alloca 16
+  %h = call.64 @malloc(8:64)
+  store %s, %h
+  %f8 = add %s, 8:64
+  store %f8, 42:64
+  %l8 = load.64 %f8
+  %m = mul %l8, 2:64
+  ret
+}
+)",
+            HybridConfig::fiOnly());
+    TypeTable &tt = module_.types();
+    const PointsTo &pts = analyzer_->pts();
+    const ObjectId obj = pts.locs(val("s")).begin()->obj;
+    // Offset 0 holds the malloc pointer; offset 8 holds an integer.
+    const BoundPair f0 = result_->fieldBounds(obj, 0);
+    EXPECT_TRUE(tt.isPtr(f0.upper)) << tt.toString(f0.upper);
+    const BoundPair f8 = result_->fieldBounds(obj, 8);
+    EXPECT_EQ(f8.upper, tt.intTy(64));
+}
+
+TEST_F(CoreExtraTest, ProfileStageCountsAreConsistent)
+{
+    analyze(kUnionProgram, HybridConfig::full());
+    const InferenceProfile &prof = result_->profile();
+    // Refinement only ever touches V_O members.
+    EXPECT_LE(prof.csResolved + prof.csStillOver, prof.fiOver + 1);
+    EXPECT_LE(prof.fsResolved, prof.fiOver);
+    // Final stats cover exactly the Argument/InstResult population.
+    std::size_t variables = 0;
+    for (std::size_t v = 0; v < module_.numValues(); ++v) {
+        const ValueKind kind =
+            module_.value(ValueId(ValueId::RawType(v))).kind;
+        variables += kind == ValueKind::Argument ||
+                     kind == ValueKind::InstResult;
+    }
+    const StageStats final_stats = result_->finalStats();
+    EXPECT_EQ(final_stats.total(), variables);
+}
+
+TEST_F(CoreExtraTest, FsOnlySiteViewStillServesClients)
+{
+    analyze(kUnionProgram, HybridConfig::fsOnly());
+    TypeTable &tt = module_.types();
+    // Even standalone FS resolves the union per site.
+    const BoundPair at_int = result_->siteBounds(val("i"), useSite("i"));
+    EXPECT_EQ(at_int.upper, tt.intTy(64));
+}
+
+} // namespace
+} // namespace manta

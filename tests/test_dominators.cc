@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for dominator computation and the SSA dominance discipline
+ * check, including the property that generated programs (before and
+ * after acyclic preprocessing) respect SSA dominance.
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/acyclic.h"
+#include "analysis/dominators.h"
+#include "frontend/corpus.h"
+#include "frontend/generator.h"
+#include "mir/parser.h"
+
+namespace manta {
+namespace {
+
+TEST(Dominators, DiamondStructure)
+{
+    const Module m = parseModuleOrDie(R"(
+func @f(%a:64) {
+entry:
+  %c = icmp.eq %a, 0:64
+  br %c, left, right
+left:
+  jmp done
+right:
+  jmp done
+done:
+  ret
+}
+)");
+    const FuncId fid = m.findFunc("f");
+    const Function &fn = m.func(fid);
+    const Dominators dom(m, fid);
+    const BlockId entry = fn.blocks[0];
+    const BlockId left = fn.blocks[1];
+    const BlockId right = fn.blocks[2];
+    const BlockId done = fn.blocks[3];
+
+    EXPECT_FALSE(dom.idom(entry).valid());
+    EXPECT_EQ(dom.idom(left), entry);
+    EXPECT_EQ(dom.idom(right), entry);
+    EXPECT_EQ(dom.idom(done), entry); // join dominated by the branch
+
+    EXPECT_TRUE(dom.dominates(entry, done));
+    EXPECT_TRUE(dom.dominates(entry, entry));
+    EXPECT_FALSE(dom.dominates(left, done));
+    EXPECT_FALSE(dom.dominates(left, right));
+}
+
+TEST(Dominators, ChainDominance)
+{
+    const Module m = parseModuleOrDie(R"(
+func @f() {
+entry:
+  jmp a
+a:
+  jmp b
+b:
+  ret
+}
+)");
+    const FuncId fid = m.findFunc("f");
+    const Function &fn = m.func(fid);
+    const Dominators dom(m, fid);
+    EXPECT_EQ(dom.idom(fn.blocks[1]), fn.blocks[0]);
+    EXPECT_EQ(dom.idom(fn.blocks[2]), fn.blocks[1]);
+    EXPECT_TRUE(dom.dominates(fn.blocks[0], fn.blocks[2]));
+}
+
+TEST(Dominators, UnreachableBlocksExcluded)
+{
+    Module m = parseModuleOrDie(R"(
+func @f() {
+entry:
+  ret
+island:
+  ret
+}
+)");
+    const FuncId fid = m.findFunc("f");
+    const Function &fn = m.func(fid);
+    const Dominators dom(m, fid);
+    EXPECT_TRUE(dom.reachable(fn.blocks[0]));
+    EXPECT_FALSE(dom.reachable(fn.blocks[1]));
+    EXPECT_FALSE(dom.dominates(fn.blocks[0], fn.blocks[1]));
+}
+
+TEST(SsaDominance, CleanProgramPasses)
+{
+    const Module m = parseModuleOrDie(R"(
+func @f(%a:64) {
+entry:
+  %x = add %a, 1:64
+  %c = icmp.lt %x, 10:64
+  br %c, then, else
+then:
+  %y = add %x, 2:64
+  jmp done
+else:
+  %z = add %x, 3:64
+  jmp done
+done:
+  %m = phi [%y, then], [%z, else]
+  ret %m
+}
+)");
+    EXPECT_TRUE(checkSsaDominance(m).empty());
+}
+
+TEST(SsaDominance, CatchesCrossBranchUse)
+{
+    // %y defined in `then` used in `else`: not dominating.
+    const Module m = parseModuleOrDie(R"(
+func @f(%a:64) {
+entry:
+  %c = icmp.lt %a, 10:64
+  br %c, then, els
+then:
+  %y = add %a, 2:64
+  jmp done
+els:
+  %w = add %y, 3:64
+  jmp done
+done:
+  ret
+}
+)");
+    const auto errors = checkSsaDominance(m);
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_NE(errors[0].find("%y"), std::string::npos);
+}
+
+TEST(SsaDominance, PhiOperandsCheckedAgainstEdges)
+{
+    // The phi legitimately merges per-branch definitions.
+    const Module m = parseModuleOrDie(R"(
+func @f(%c:1) {
+entry:
+  br %c, a, b
+a:
+  %x = add 1:64, 2:64
+  jmp done
+b:
+  %y = add 3:64, 4:64
+  jmp done
+done:
+  %m = phi [%x, a], [%y, b]
+  ret %m
+}
+)");
+    EXPECT_TRUE(checkSsaDominance(m).empty());
+}
+
+class DominanceSweep : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(DominanceSweep, GeneratedProgramsRespectSsa)
+{
+    GenConfig cfg;
+    cfg.seed = GetParam();
+    cfg.numFunctions = 18;
+    cfg.realBugRate = 0.1;
+    cfg.decoyRate = 0.1;
+    GeneratedProgram prog = generateProgram(cfg);
+    auto errors = checkSsaDominance(*prog.module);
+    EXPECT_TRUE(errors.empty())
+        << (errors.empty() ? "" : errors.front());
+
+    makeAcyclic(*prog.module);
+    errors = checkSsaDominance(*prog.module);
+    EXPECT_TRUE(errors.empty())
+        << "post-acyclic: " << (errors.empty() ? "" : errors.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DominanceSweep,
+                         ::testing::Values(71ull, 72ull, 73ull, 74ull));
+
+} // namespace
+} // namespace manta

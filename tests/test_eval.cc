@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests for the evaluation metrics (Section 6 definitions) and the
+ * bench harness plumbing.
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/acyclic.h"
+#include "eval/harness.h"
+#include "eval/metrics.h"
+#include "mir/parser.h"
+
+namespace manta {
+namespace {
+
+class MetricsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        module_ = parseModuleOrDie(R"(
+func @f(%a:64, %b:64, %c:64, %d:64) {
+entry:
+  ret
+}
+)");
+        TypeTable &tt = module_.types();
+        const auto &params = module_.func(module_.findFunc("f")).params;
+        truth_.valueTypes[params[0]] = tt.ptr(tt.intTy(8));
+        truth_.valueTypes[params[1]] = tt.intTy(64);
+        truth_.valueTypes[params[2]] = tt.doubleTy();
+        truth_.valueTypes[params[3]] = tt.intTy(64);
+    }
+
+    ValueId param(std::size_t i)
+    {
+        return module_.func(module_.findFunc("f")).params[i];
+    }
+
+    Module module_;
+    GroundTruth truth_;
+};
+
+TEST_F(MetricsTest, EvaluatedParamsSkipsMainAndUntruthed)
+{
+    const auto params = evaluatedParams(module_, truth_);
+    EXPECT_EQ(params.size(), 4u);
+    GroundTruth empty;
+    EXPECT_TRUE(evaluatedParams(module_, empty).empty());
+}
+
+TEST_F(MetricsTest, TypeMapScoring)
+{
+    TypeTable &tt = module_.types();
+    std::unordered_map<ValueId, TypeRef> predictions;
+    predictions[param(0)] = tt.ptr(tt.intTy(8)); // exact: precise
+    predictions[param(1)] = tt.reg(64);          // supertype: captured
+    predictions[param(2)] = tt.intTy(32);        // wrong: incorrect
+    // param(3) absent: unknown.
+
+    const TypeEval eval = evalTypeMap(module_, truth_, predictions);
+    EXPECT_EQ(eval.total, 4u);
+    EXPECT_EQ(eval.preciseCorrect, 1u);
+    EXPECT_EQ(eval.captured, 1u);
+    EXPECT_EQ(eval.incorrect, 1u);
+    EXPECT_EQ(eval.unknown, 1u);
+    EXPECT_DOUBLE_EQ(eval.precision(), 0.25);
+    EXPECT_DOUBLE_EQ(eval.recall(), 0.75);
+}
+
+TEST_F(MetricsTest, FirstLayerPointerMatchCountsPrecise)
+{
+    TypeTable &tt = module_.types();
+    std::unordered_map<ValueId, TypeRef> predictions;
+    // ptr(top) vs truth ptr(int8): first-layer equal -> precise.
+    predictions[param(0)] = tt.ptrAny();
+    const TypeEval eval = evalTypeMap(module_, truth_, predictions);
+    EXPECT_EQ(eval.preciseCorrect, 1u);
+}
+
+TEST_F(MetricsTest, InferenceScoringUsesIntervals)
+{
+    TypeTable &tt = module_.types();
+    auto result = InferenceResult::fromTypeMap(module_, truth_.valueTypes);
+    const TypeEval eval = evalInference(module_, truth_, result);
+    // Oracle bounds match ground truth everywhere.
+    EXPECT_EQ(eval.preciseCorrect, eval.total);
+    EXPECT_DOUBLE_EQ(eval.precision(), 1.0);
+    EXPECT_DOUBLE_EQ(eval.recall(), 1.0);
+    (void)tt;
+}
+
+TEST_F(MetricsTest, BugEvalSeparatesRealFromFalse)
+{
+    GroundTruth truth;
+    truth.seeds.push_back(BugSeed{10, CheckerKind::CMI, true});
+    truth.seeds.push_back(BugSeed{11, CheckerKind::NPD, false});
+    truth.seeds.push_back(BugSeed{12, CheckerKind::BOF, true});
+
+    std::vector<BugReport> reports;
+    reports.push_back(
+        BugReport{CheckerKind::CMI, InstId(1), InstId(2), 10, ""});
+    reports.push_back(
+        BugReport{CheckerKind::NPD, InstId(3), InstId(4), 11, ""});
+    reports.push_back(
+        BugReport{CheckerKind::UAF, InstId(5), InstId(6), 0, ""});
+
+    const BugEval eval = evalBugs(reports, truth);
+    EXPECT_EQ(eval.reports, 3u);
+    EXPECT_EQ(eval.falsePositives, 2u); // decoy + untagged
+    EXPECT_EQ(eval.realBugsFound, 1u);
+    EXPECT_EQ(eval.realBugsInjected, 2u);
+    EXPECT_NEAR(eval.fpr(), 2.0 / 3.0, 1e-9);
+}
+
+TEST_F(MetricsTest, SliceEvalF1)
+{
+    std::vector<BugReport> tool = {
+        BugReport{CheckerKind::CMI, InstId(1), InstId(2), 0, ""},
+        BugReport{CheckerKind::CMI, InstId(3), InstId(4), 0, ""},
+    };
+    std::vector<BugReport> reference = {
+        BugReport{CheckerKind::CMI, InstId(1), InstId(2), 0, ""},
+        BugReport{CheckerKind::BOF, InstId(7), InstId(8), 0, ""},
+    };
+    const SliceEval eval = evalSlices(tool, reference);
+    EXPECT_EQ(eval.matched, 1u);
+    EXPECT_DOUBLE_EQ(eval.precision(), 0.5);
+    EXPECT_DOUBLE_EQ(eval.recall(), 0.5);
+    EXPECT_DOUBLE_EQ(eval.f1(), 0.5);
+}
+
+TEST_F(MetricsTest, SliceEvalEmptySets)
+{
+    const SliceEval eval = evalSlices({}, {});
+    EXPECT_DOUBLE_EQ(eval.f1(), 0.0);
+}
+
+TEST(IcallEvalTest, PrecisionAndRecallAgainstReference)
+{
+    Module m = parseModuleOrDie(R"(
+func @a(%x:64) {
+entry:
+  ret %x
+}
+func @b(%x:64) {
+entry:
+  ret %x
+}
+func @c(%x:64) {
+entry:
+  ret %x
+}
+func @main() {
+entry:
+  %t = copy @a
+  %u = copy @b
+  %v = copy @c
+  %r = icall.64 %t(1:64)
+  ret
+}
+)");
+    // One icall site; candidates = {a, b, c}.
+    const auto sites = IcallAnalysis(m, nullptr).icallSites();
+    ASSERT_EQ(sites.size(), 1u);
+    IcallResult reference;
+    reference.targets[sites[0]] = {m.findFunc("a")};
+    IcallResult tool;
+    tool.targets[sites[0]] = {m.findFunc("a"), m.findFunc("b")};
+
+    const IcallEval eval = evalIcall(m, tool, reference);
+    // Feasible {a}: kept -> recall 1. Infeasible {b, c}: pruned c only
+    // -> precision 0.5.
+    EXPECT_DOUBLE_EQ(eval.recall, 1.0);
+    EXPECT_DOUBLE_EQ(eval.precision, 0.5);
+    EXPECT_DOUBLE_EQ(eval.aict, 2.0);
+    EXPECT_DOUBLE_EQ(tool.aict(), 2.0);
+}
+
+TEST(HarnessTest, GeomeanBasics)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 4.0}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 100.0}), 10.0, 1e-9);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(HarnessTest, PrepareProjectBuildsSubstrates)
+{
+    ProjectProfile profile = standardCorpus().front();
+    profile.config.numFunctions = 15;
+    PreparedProject project = prepareProject(profile);
+    EXPECT_EQ(project.name, "vsftpd");
+    EXPECT_GT(project.module().numInsts(), 50u);
+    EXPECT_GT(project.analyzer->ddg().numEdges(), 20u);
+}
+
+TEST(HarnessTest, OracleInferenceIsPrecise)
+{
+    ProjectProfile profile = standardCorpus().front();
+    profile.config.numFunctions = 12;
+    PreparedProject project = prepareProject(profile);
+    InferenceResult oracle = oracleInference(project);
+    const TypeEval eval =
+        evalInference(project.module(), project.truth(), oracle);
+    EXPECT_DOUBLE_EQ(eval.precision(), 1.0);
+}
+
+TEST(HarnessTest, DetectBugsRestoresPruning)
+{
+    ProjectProfile profile = standardCorpus().front();
+    profile.config.numFunctions = 12;
+    profile.config.realBugRate = 0.3;
+    PreparedProject project = prepareProject(profile);
+    InferenceResult types = project.analyzer->infer();
+    detectBugs(project, &types);
+    EXPECT_EQ(project.analyzer->ddg().numPruned(), 0u);
+}
+
+} // namespace
+} // namespace manta

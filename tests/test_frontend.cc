@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Tests for the workload generator, corpus profiles and firmware
+ * fleet: structural validity, determinism, ground-truth consistency,
+ * and presence of the phenomena the paper's evaluation depends on.
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/acyclic.h"
+#include "core/pipeline.h"
+#include "eval/metrics.h"
+#include "frontend/corpus.h"
+#include "frontend/firmware.h"
+#include "frontend/generator.h"
+#include "mir/printer.h"
+#include "mir/verifier.h"
+
+namespace manta {
+namespace {
+
+GenConfig
+smallConfig(std::uint64_t seed)
+{
+    GenConfig cfg;
+    cfg.seed = seed;
+    cfg.numFunctions = 20;
+    cfg.realBugRate = 0.08;
+    cfg.decoyRate = 0.08;
+    return cfg;
+}
+
+TEST(Generator, ProducesVerifiableModules)
+{
+    for (const std::uint64_t seed : {1ull, 7ull, 42ull, 1234ull}) {
+        const GeneratedProgram prog = generateProgram(smallConfig(seed));
+        const auto errors = verifyModule(*prog.module);
+        EXPECT_TRUE(errors.empty())
+            << "seed " << seed << ": " << errors.front();
+        EXPECT_GT(prog.module->numInsts(), 100u);
+    }
+}
+
+TEST(Generator, DeterministicInSeed)
+{
+    const GeneratedProgram a = generateProgram(smallConfig(99));
+    const GeneratedProgram b = generateProgram(smallConfig(99));
+    EXPECT_EQ(printModule(*a.module), printModule(*b.module));
+    EXPECT_EQ(a.truth.valueTypes.size(), b.truth.valueTypes.size());
+}
+
+TEST(Generator, DifferentSeedsDiffer)
+{
+    const GeneratedProgram a = generateProgram(smallConfig(1));
+    const GeneratedProgram b = generateProgram(smallConfig(2));
+    EXPECT_NE(printModule(*a.module), printModule(*b.module));
+}
+
+TEST(Generator, SurvivesAcyclicPreprocessing)
+{
+    for (const std::uint64_t seed : {3ull, 17ull, 256ull}) {
+        GeneratedProgram prog = generateProgram(smallConfig(seed));
+        makeAcyclic(*prog.module);
+        const auto errors = verifyModule(*prog.module);
+        EXPECT_TRUE(errors.empty())
+            << "seed " << seed << ": " << errors.front();
+        for (const FuncId fid : prog.module->funcIds()) {
+            const Cfg cfg(*prog.module, fid);
+            EXPECT_FALSE(cfg.hasCycle());
+        }
+    }
+}
+
+TEST(Generator, GroundTruthCoversParameters)
+{
+    const GeneratedProgram prog = generateProgram(smallConfig(5));
+    std::size_t params = 0, covered = 0;
+    for (const FuncId fid : prog.module->funcIds()) {
+        for (const ValueId p : prog.module->func(fid).params) {
+            ++params;
+            covered += prog.truth.typeOf(p).valid();
+        }
+    }
+    EXPECT_GT(params, 10u);
+    EXPECT_EQ(params, covered);
+}
+
+TEST(Generator, GroundTruthWidthsMatchValues)
+{
+    const GeneratedProgram prog = generateProgram(smallConfig(6));
+    const TypeTable &tt = prog.module->types();
+    for (const auto &[v, t] : prog.truth.valueTypes) {
+        const int type_width = tt.widthBits(t);
+        if (type_width == 0)
+            continue; // object types etc.
+        EXPECT_EQ(type_width, prog.module->value(v).width)
+            << tt.toString(t);
+    }
+}
+
+TEST(Generator, EmitsBugSeedsAndDecoys)
+{
+    GenConfig cfg = smallConfig(8);
+    cfg.numFunctions = 40;
+    cfg.realBugRate = 0.3;
+    cfg.decoyRate = 0.3;
+    const GeneratedProgram prog = generateProgram(cfg);
+    std::size_t real = 0, decoys = 0;
+    for (const BugSeed &seed : prog.truth.seeds) {
+        real += seed.real;
+        decoys += !seed.real;
+    }
+    EXPECT_GT(real, 0u);
+    EXPECT_GT(decoys, 0u);
+    // Every seed tag maps to a tagged instruction.
+    for (const BugSeed &seed : prog.truth.seeds) {
+        bool found = false;
+        for (std::size_t i = 0; i < prog.module->numInsts(); ++i) {
+            if (prog.module->inst(InstId(InstId::RawType(i))).srcTag ==
+                    seed.tag) {
+                found = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(found) << "tag " << seed.tag;
+    }
+}
+
+TEST(Generator, IcallSitesHaveGroundTruthTargets)
+{
+    GenConfig cfg = smallConfig(9);
+    cfg.icallRate = 0.6;
+    cfg.numFunctions = 40;
+    const GeneratedProgram prog = generateProgram(cfg);
+    std::size_t icalls = 0;
+    for (std::size_t i = 0; i < prog.module->numInsts(); ++i) {
+        const Instruction &inst =
+            prog.module->inst(InstId(InstId::RawType(i)));
+        if (inst.op != Opcode::ICall)
+            continue;
+        ++icalls;
+        ASSERT_NE(inst.srcTag, 0u);
+        const auto it = prog.truth.icallTargets.find(inst.srcTag);
+        ASSERT_NE(it, prog.truth.icallTargets.end());
+        EXPECT_GE(it->second.size(), 1u);
+        for (const FuncId target : it->second)
+            EXPECT_TRUE(prog.module->func(target).addressTaken);
+    }
+    EXPECT_GT(icalls, 0u);
+}
+
+TEST(Generator, RecallInvariantHolds)
+{
+    // Soundness-style property: for the full pipeline, the truth type
+    // of almost every parameter lies inside the inferred interval
+    // (mirrors the paper's 97%+ recall; a small loss from type-unsafe
+    // idioms is expected, so assert a high floor rather than 100%).
+    GeneratedProgram prog = generateProgram(smallConfig(11));
+    makeAcyclic(*prog.module);
+    MantaAnalyzer analyzer(*prog.module, HybridConfig::full());
+    const InferenceResult result = analyzer.infer();
+    const TypeEval eval =
+        evalInference(*prog.module, prog.truth, result);
+    EXPECT_GT(eval.total, 20u);
+    EXPECT_GE(eval.recall(), 0.9);
+    EXPECT_GE(eval.precision(), 0.5);
+}
+
+TEST(Corpus, HasFourteenProjects)
+{
+    const auto corpus = standardCorpus();
+    ASSERT_EQ(corpus.size(), 14u);
+    EXPECT_EQ(corpus.front().name, "vsftpd");
+    EXPECT_EQ(corpus.back().name, "ffmpeg");
+    // KLoC ordering is ascending like the paper's table.
+    for (std::size_t i = 1; i < corpus.size(); ++i)
+        EXPECT_GE(corpus[i].kloc, corpus[i - 1].kloc);
+}
+
+TEST(Corpus, SeedsAreDistinct)
+{
+    const auto corpus = standardCorpus();
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+        for (std::size_t j = i + 1; j < corpus.size(); ++j)
+            EXPECT_NE(corpus[i].config.seed, corpus[j].config.seed);
+    }
+}
+
+TEST(Corpus, CoreutilsBatchCount)
+{
+    EXPECT_EQ(coreutilsBatch(104).size(), 104u);
+    EXPECT_EQ(coreutilsBatch(5).size(), 5u);
+}
+
+TEST(Corpus, BuildsVerifiableProject)
+{
+    const auto corpus = standardCorpus();
+    GeneratedProgram prog = buildProject(corpus[0]);
+    EXPECT_TRUE(verifyModule(*prog.module).empty());
+}
+
+TEST(Firmware, FleetHasNineModels)
+{
+    const auto fleet = firmwareFleet();
+    ASSERT_EQ(fleet.size(), 9u);
+    // The Table 5 NA pattern: Arbiter crashes on six images,
+    // cwe_checker on three.
+    std::size_t arbiter_na = 0, cwe_na = 0;
+    for (const auto &profile : fleet) {
+        arbiter_na += profile.arbiterNa;
+        cwe_na += profile.cweNa;
+    }
+    EXPECT_EQ(arbiter_na, 6u);
+    EXPECT_EQ(cwe_na, 3u);
+}
+
+TEST(Firmware, ImagesCarryInjectedBugs)
+{
+    const auto fleet = firmwareFleet();
+    GeneratedProgram image = buildFirmware(fleet[1]); // small model
+    EXPECT_TRUE(verifyModule(*image.module).empty());
+    std::size_t real = 0;
+    for (const BugSeed &seed : image.truth.seeds)
+        real += seed.real;
+    EXPECT_GT(real, 5u);
+}
+
+// Parameterized sweep: every corpus profile generates, preprocesses
+// and verifies cleanly.
+class CorpusSweep : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(CorpusSweep, GeneratesAndVerifies)
+{
+    const auto corpus = standardCorpus();
+    ProjectProfile profile = corpus[GetParam()];
+    // Shrink for test speed; keeps the feature mix.
+    profile.config.numFunctions =
+        std::min(profile.config.numFunctions, 40);
+    GeneratedProgram prog = buildProject(profile);
+    EXPECT_TRUE(verifyModule(*prog.module).empty());
+    makeAcyclic(*prog.module);
+    EXPECT_TRUE(verifyModule(*prog.module).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProjects, CorpusSweep,
+                         ::testing::Range<std::size_t>(0, 14));
+
+} // namespace
+} // namespace manta

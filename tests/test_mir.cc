@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Tests for the MIR substrate: builder, verifier, printer/parser
+ * round-trips, and the external registry.
+ */
+#include <gtest/gtest.h>
+
+#include "mir/builder.h"
+#include "mir/externals.h"
+#include "mir/mir.h"
+#include "mir/parser.h"
+#include "mir/printer.h"
+#include "mir/verifier.h"
+
+namespace manta {
+namespace {
+
+/** Build the paper's Figure 3 example: a union instantiated per branch. */
+Module
+buildUnionExample()
+{
+    Module m;
+    const auto se = StandardExternals::install(m);
+    ModuleBuilder mb(m);
+
+    auto fb = mb.function("main", {64});
+    const BlockId then_bb = fb.newBlock("then");
+    const BlockId else_bb = fb.newBlock("else");
+    const BlockId exit_bb = fb.newBlock("exit");
+
+    const ValueId slot = fb.alloca_(8);
+    const ValueId cond =
+        fb.icmp(CmpPred::EQ, fb.param(0), mb.constInt(0, 64));
+    fb.br(cond, then_bb, else_bb);
+
+    fb.setInsertPoint(then_bb);
+    fb.store(slot, mb.constInt(1234, 64));
+    const ValueId i = fb.load(slot, 64);
+    fb.callExternal(se.printIntFn, {i}, 32);
+    fb.jmp(exit_bb);
+
+    fb.setInsertPoint(else_bb);
+    const ValueId str = mb.addStringLiteral("msg", "hello");
+    fb.store(slot, str);
+    const ValueId s = fb.load(slot, 64);
+    fb.callExternal(se.printStrFn, {s}, 32);
+    fb.jmp(exit_bb);
+
+    fb.setInsertPoint(exit_bb);
+    fb.ret(mb.constInt(0, 64));
+    return m;
+}
+
+TEST(Builder, ConstructsVerifiableModule)
+{
+    const Module m = buildUnionExample();
+    const auto errors = verifyModule(m);
+    EXPECT_TRUE(errors.empty())
+        << (errors.empty() ? "" : errors.front());
+    EXPECT_EQ(m.numFuncs(), 1u);
+    EXPECT_GT(m.numInsts(), 8u);
+}
+
+TEST(Builder, ParamWidthsRespected)
+{
+    Module m;
+    ModuleBuilder mb(m);
+    auto fb = mb.function("f", {64, 32, 8});
+    fb.ret();
+    EXPECT_EQ(m.value(fb.param(0)).width, 64);
+    EXPECT_EQ(m.value(fb.param(1)).width, 32);
+    EXPECT_EQ(m.value(fb.param(2)).width, 8);
+}
+
+TEST(Builder, FuncAddrMarksAddressTaken)
+{
+    Module m;
+    ModuleBuilder mb(m);
+    auto callee = mb.function("callee", {64});
+    callee.ret(callee.param(0));
+    auto caller = mb.function("caller", {});
+    const ValueId addr = mb.funcAddr(callee.funcId());
+    caller.icall(addr, {mb.constInt(7, 64)}, 64);
+    caller.ret();
+    EXPECT_TRUE(m.func(callee.funcId()).addressTaken);
+    EXPECT_EQ(m.addressTakenFuncs().size(), 1u);
+}
+
+TEST(Builder, OwningFuncTracksDefiners)
+{
+    Module m;
+    ModuleBuilder mb(m);
+    auto fb = mb.function("f", {64});
+    const ValueId v = fb.copy(fb.param(0));
+    fb.ret(v);
+    EXPECT_EQ(m.owningFunc(v), fb.funcId());
+    EXPECT_EQ(m.owningFunc(fb.param(0)), fb.funcId());
+    EXPECT_FALSE(m.owningFunc(mb.constInt(1, 64)).valid());
+}
+
+TEST(Verifier, CatchesMissingTerminator)
+{
+    Module m;
+    ModuleBuilder mb(m);
+    auto fb = mb.function("f", {});
+    fb.copy(mb.constInt(1, 64)); // no terminator
+    const auto errors = verifyModule(m);
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors.front().find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, CatchesCrossFunctionOperand)
+{
+    Module m;
+    ModuleBuilder mb(m);
+    auto f = mb.function("f", {64});
+    f.ret(f.param(0));
+    auto g = mb.function("g", {});
+    g.ret(f.param(0)); // foreign operand
+    const auto errors = verifyModule(m);
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors.front().find("crosses function"), std::string::npos);
+}
+
+TEST(Verifier, CatchesNonBooleanBranch)
+{
+    Module m;
+    ModuleBuilder mb(m);
+    auto fb = mb.function("f", {64});
+    const BlockId other = fb.newBlock("other");
+    fb.br(fb.param(0), other, other); // 64-bit condition
+    fb.setInsertPoint(other);
+    fb.ret();
+    const auto errors = verifyModule(m);
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors.front().find("1 bit"), std::string::npos);
+}
+
+TEST(Verifier, AcceptsWellFormedPhi)
+{
+    Module m;
+    ModuleBuilder mb(m);
+    auto fb = mb.function("f", {64});
+    const BlockId a = fb.newBlock("a");
+    const BlockId b = fb.newBlock("b");
+    const BlockId join = fb.newBlock("join");
+    const ValueId cond =
+        fb.icmp(CmpPred::NE, fb.param(0), mb.constInt(0, 64));
+    fb.br(cond, a, b);
+    fb.setInsertPoint(a);
+    const ValueId va = fb.copy(fb.param(0));
+    fb.jmp(join);
+    fb.setInsertPoint(b);
+    const ValueId vb = fb.copy(mb.constInt(5, 64));
+    fb.jmp(join);
+    fb.setInsertPoint(join);
+    const ValueId merged = fb.phi({va, vb}, {a, b});
+    fb.ret(merged);
+    EXPECT_TRUE(verifyModule(m).empty());
+}
+
+TEST(Externals, StandardSetInstalled)
+{
+    Module m;
+    const auto se = StandardExternals::install(m);
+    EXPECT_EQ(m.external(se.mallocFn).role, ExternRole::Alloc);
+    EXPECT_EQ(m.external(se.systemFn).role, ExternRole::CommandSink);
+    EXPECT_EQ(m.external(se.strcpyFn).role, ExternRole::StrCopy);
+    EXPECT_EQ(m.external(se.nvramGetFn).role, ExternRole::TaintSource);
+    EXPECT_EQ(m.external(se.atoiFn).role, ExternRole::Sanitizer);
+    EXPECT_EQ(m.findExternal("malloc"), se.mallocFn);
+    EXPECT_FALSE(m.findExternal("no_such_fn").valid());
+}
+
+TEST(Externals, SignaturesAreTyped)
+{
+    Module m;
+    const auto se = StandardExternals::install(m);
+    const TypeTable &tt = m.types();
+    const External &strcpy_ext = m.external(se.strcpyFn);
+    ASSERT_EQ(strcpy_ext.paramTypes.size(), 2u);
+    EXPECT_EQ(tt.toString(strcpy_ext.paramTypes[0]), "ptr(int8)");
+    const External &malloc_ext = m.external(se.mallocFn);
+    EXPECT_EQ(tt.toString(malloc_ext.retType), "ptr(top)");
+    EXPECT_FALSE(m.external(se.freeFn).retType.valid());
+}
+
+TEST(Printer, EmitsFunctionShape)
+{
+    const Module m = buildUnionExample();
+    const std::string text = printModule(m);
+    EXPECT_NE(text.find("func @main"), std::string::npos);
+    EXPECT_NE(text.find("alloca 8"), std::string::npos);
+    EXPECT_NE(text.find("call.32 @print_str"), std::string::npos);
+    EXPECT_NE(text.find("string @msg \"hello\""), std::string::npos);
+}
+
+TEST(Parser, ParsesMinimalFunction)
+{
+    const std::string text = R"(
+func @id(%x:64) {
+entry:
+  ret %x
+}
+)";
+    const Module m = parseModuleOrDie(text);
+    EXPECT_EQ(m.numFuncs(), 1u);
+    EXPECT_TRUE(verifyModule(m).empty());
+    const Function &fn = m.func(FuncId(0));
+    EXPECT_EQ(fn.name, "id");
+    EXPECT_EQ(fn.params.size(), 1u);
+}
+
+TEST(Parser, ParsesControlFlowAndPhi)
+{
+    const std::string text = R"(
+func @max(%a:64, %b:64) {
+entry:
+  %c = icmp.gt %a, %b
+  br %c, left, right
+left:
+  jmp done
+right:
+  jmp done
+done:
+  %m = phi [%a, left], [%b, right]
+  ret %m
+}
+)";
+    const Module m = parseModuleOrDie(text);
+    EXPECT_TRUE(verifyModule(m).empty());
+    EXPECT_EQ(m.func(FuncId(0)).blocks.size(), 4u);
+}
+
+TEST(Parser, ParsesCallsAndConstants)
+{
+    const std::string text = R"(
+func @alloc() {
+entry:
+  %p = call.64 @malloc(16:64)
+  store %p, 0:64
+  %v = load.32 %p
+  call.32 @print_int(%x0)
+  ret
+}
+func @helper(%a:64) {
+entry:
+  ret %a
+}
+)";
+    // %x0 is undefined: expect a parse error.
+    Module m;
+    std::string error;
+    EXPECT_FALSE(parseModule(text, m, error));
+    EXPECT_NE(error.find("undefined value"), std::string::npos);
+}
+
+TEST(Parser, ResolvesInternalAndExternalCalls)
+{
+    const std::string text = R"(
+func @caller(%a:64) {
+entry:
+  %r = call.64 @helper(%a)
+  %p = call.64 @malloc(%a)
+  ret %r
+}
+func @helper(%x:64) {
+entry:
+  ret %x
+}
+)";
+    const Module m = parseModuleOrDie(text);
+    EXPECT_TRUE(verifyModule(m).empty());
+    const Function &caller = m.func(m.findFunc("caller"));
+    const Instruction &first_call =
+        m.inst(m.block(caller.blocks[0]).insts[0]);
+    EXPECT_TRUE(first_call.callee.valid());
+    const Instruction &second_call =
+        m.inst(m.block(caller.blocks[0]).insts[1]);
+    EXPECT_TRUE(second_call.external.valid());
+}
+
+TEST(Parser, FuncAddressOperandMarksAddressTaken)
+{
+    const std::string text = R"(
+func @target(%x:64) {
+entry:
+  ret %x
+}
+func @caller() {
+entry:
+  %t = copy @target
+  %r = icall.64 %t(3:64)
+  ret %r
+}
+)";
+    const Module m = parseModuleOrDie(text);
+    EXPECT_TRUE(verifyModule(m).empty());
+    EXPECT_TRUE(m.func(m.findFunc("target")).addressTaken);
+}
+
+TEST(Parser, RejectsMalformedInput)
+{
+    Module m;
+    std::string error;
+    EXPECT_FALSE(parseModule("func @f( {\n}\n", m, error));
+    Module m2;
+    EXPECT_FALSE(parseModule(
+        "func @f() {\nentry:\n  %x = frobnicate %y\n  ret\n}\n", m2, error));
+    EXPECT_NE(error.find("unknown"), std::string::npos);
+}
+
+TEST(RoundTrip, PrintThenParsePreservesStructure)
+{
+    const Module original = buildUnionExample();
+    const std::string text = printModule(original);
+    const Module reparsed = parseModuleOrDie(text);
+    EXPECT_TRUE(verifyModule(reparsed).empty());
+    EXPECT_EQ(reparsed.numFuncs(), original.numFuncs());
+    // Same instruction opcode sequence per function.
+    for (std::size_t f = 0; f < original.numFuncs(); ++f) {
+        const Function &fa = original.func(FuncId(FuncId::RawType(f)));
+        const FuncId fb_id = reparsed.findFunc(fa.name);
+        ASSERT_TRUE(fb_id.valid());
+        const Function &fb = reparsed.func(fb_id);
+        ASSERT_EQ(fa.blocks.size(), fb.blocks.size());
+        for (std::size_t b = 0; b < fa.blocks.size(); ++b) {
+            const auto &ia = original.block(fa.blocks[b]).insts;
+            const auto &ib = reparsed.block(fb.blocks[b]).insts;
+            ASSERT_EQ(ia.size(), ib.size());
+            for (std::size_t k = 0; k < ia.size(); ++k) {
+                EXPECT_EQ(original.inst(ia[k]).op, reparsed.inst(ib[k]).op);
+            }
+        }
+    }
+}
+
+TEST(RoundTrip, DoubleRoundTripIsStable)
+{
+    const Module original = buildUnionExample();
+    const std::string once = printModule(original);
+    const Module reparsed = parseModuleOrDie(once);
+    const std::string twice = printModule(reparsed);
+    const Module reparsed2 = parseModuleOrDie(twice);
+    EXPECT_EQ(printModule(reparsed2), twice);
+}
+
+} // namespace
+} // namespace manta

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Property sweeps over generated programs: printer/parser round-trip
+ * fidelity, pipeline determinism, and points-to/DDG sanity invariants
+ * that must hold for arbitrary generated inputs.
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/acyclic.h"
+#include "core/pipeline.h"
+#include "frontend/generator.h"
+#include "mir/parser.h"
+#include "mir/printer.h"
+#include "mir/verifier.h"
+
+namespace manta {
+namespace {
+
+GenConfig
+sweepConfig(std::uint64_t seed)
+{
+    GenConfig cfg;
+    cfg.seed = seed;
+    cfg.numFunctions = 16;
+    cfg.realBugRate = 0.1;
+    cfg.decoyRate = 0.1;
+    return cfg;
+}
+
+class GeneratedSweep : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(GeneratedSweep, PrintParseRoundTrip)
+{
+    const GeneratedProgram prog = generateProgram(sweepConfig(GetParam()));
+    const std::string once = printModule(*prog.module);
+
+    Module reparsed;
+    std::string error;
+    ASSERT_TRUE(parseModule(once, reparsed, error)) << error;
+    EXPECT_TRUE(verifyModule(reparsed).empty());
+
+    // Print -> parse -> print is a fixpoint.
+    const std::string twice = printModule(reparsed);
+    Module reparsed2;
+    ASSERT_TRUE(parseModule(twice, reparsed2, error)) << error;
+    EXPECT_EQ(printModule(reparsed2), twice);
+
+    // Structure is preserved: same functions, same opcode multiset.
+    ASSERT_EQ(reparsed.numFuncs(), prog.module->numFuncs());
+    std::map<int, int> ops_a, ops_b;
+    for (std::size_t i = 0; i < prog.module->numInsts(); ++i)
+        ++ops_a[(int)prog.module->inst(InstId(InstId::RawType(i))).op];
+    for (std::size_t i = 0; i < reparsed.numInsts(); ++i)
+        ++ops_b[(int)reparsed.inst(InstId(InstId::RawType(i))).op];
+    EXPECT_EQ(ops_a, ops_b);
+}
+
+TEST_P(GeneratedSweep, PipelineIsDeterministic)
+{
+    auto run = [&] {
+        GeneratedProgram prog = generateProgram(sweepConfig(GetParam()));
+        makeAcyclic(*prog.module);
+        MantaAnalyzer analyzer(*prog.module, HybridConfig::full());
+        const InferenceResult result = analyzer.infer();
+        const StageStats stats = result.finalStats();
+        return std::tuple<std::size_t, std::size_t, std::size_t>(
+            stats.precise, stats.over, stats.unknown);
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST_P(GeneratedSweep, PointsToLocationsAreWellFormed)
+{
+    GeneratedProgram prog = generateProgram(sweepConfig(GetParam()));
+    makeAcyclic(*prog.module);
+    const MemObjects objects(*prog.module);
+    PointsTo pts(*prog.module, objects);
+    pts.run();
+    for (std::size_t v = 0; v < prog.module->numValues(); ++v) {
+        const ValueId vid(static_cast<ValueId::RawType>(v));
+        for (const Loc &loc : pts.locs(vid)) {
+            ASSERT_TRUE(loc.obj.valid());
+            ASSERT_LT(loc.obj.index(), objects.numObjects());
+            const MemObject &obj = objects.object(loc.obj);
+            if (!loc.collapsed() && obj.sizeBytes > 0) {
+                EXPECT_LT(static_cast<std::uint32_t>(loc.offset),
+                          obj.sizeBytes);
+            }
+        }
+        // Only 64-bit values can carry addresses.
+        if (!pts.locs(vid).empty()) {
+            EXPECT_EQ(prog.module->value(vid).width, 64);
+        }
+    }
+}
+
+TEST_P(GeneratedSweep, DdgEdgesReferenceValidValues)
+{
+    GeneratedProgram prog = generateProgram(sweepConfig(GetParam()));
+    makeAcyclic(*prog.module);
+    const MemObjects objects(*prog.module);
+    PointsTo pts(*prog.module, objects);
+    pts.run();
+    const Ddg ddg(*prog.module, pts);
+    for (std::uint32_t i = 0; i < ddg.numEdges(); ++i) {
+        const Ddg::Edge &e = ddg.edge(i);
+        ASSERT_LT(e.from.index(), prog.module->numValues());
+        ASSERT_LT(e.to.index(), prog.module->numValues());
+        if (e.kind == DepKind::CallArg || e.kind == DepKind::CallRet) {
+            EXPECT_TRUE(e.site.valid());
+        }
+        EXPECT_FALSE(e.pruned);
+    }
+}
+
+TEST_P(GeneratedSweep, SiteBoundsRefineValueBounds)
+{
+    // Property: every site-refined bound is at least as tight as, or a
+    // refinement of, what the FI stage concluded (never wider than the
+    // FI upper bound unless the site was refined to unknown).
+    GeneratedProgram prog = generateProgram(sweepConfig(GetParam()));
+    makeAcyclic(*prog.module);
+    MantaAnalyzer analyzer(*prog.module, HybridConfig::full());
+    const InferenceResult fi = analyzer.infer(HybridConfig::fiOnly());
+    const InferenceResult full = analyzer.infer();
+    TypeTable &tt = prog.module->types();
+
+    std::size_t checked = 0;
+    for (std::size_t v = 0; v < prog.module->numValues() && checked < 500;
+         ++v) {
+        const ValueId vid(static_cast<ValueId::RawType>(v));
+        const ValueKind kind = prog.module->value(vid).kind;
+        if (kind != ValueKind::Argument && kind != ValueKind::InstResult)
+            continue;
+        const BoundPair fi_bp = fi.valueBounds(vid);
+        if (fi_bp.classify(tt) != TypeClass::Over)
+            continue;
+        const BoundPair full_bp = full.valueBounds(vid);
+        if (full_bp.classify(tt) == TypeClass::Unknown)
+            continue; // refinement loss is allowed
+        ++checked;
+        EXPECT_TRUE(tt.isSubtype(full_bp.upper, fi_bp.upper) ||
+                    fi_bp.upper == tt.top())
+            << "v" << v << ": full=" << tt.toString(full_bp.upper)
+            << " fi=" << tt.toString(fi_bp.upper);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedSweep,
+                         ::testing::Values(21ull, 22ull, 23ull, 24ull,
+                                           25ull, 1000ull, 2000ull,
+                                           3000ull));
+
+} // namespace
+} // namespace manta

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Unit tests for the support layer: ids, rng, graph, table.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/graph.h"
+#include "support/ids.h"
+#include "support/rng.h"
+#include "support/table.h"
+
+namespace manta {
+namespace {
+
+struct TestTag {};
+using TestId = Id<TestTag>;
+
+TEST(Ids, DefaultIsInvalid)
+{
+    TestId id;
+    EXPECT_FALSE(id.valid());
+    EXPECT_EQ(id, TestId::invalid());
+}
+
+TEST(Ids, RoundTripsRawValue)
+{
+    TestId id(42);
+    EXPECT_TRUE(id.valid());
+    EXPECT_EQ(id.raw(), 42u);
+    EXPECT_EQ(id.index(), 42u);
+}
+
+TEST(Ids, ComparesByRaw)
+{
+    EXPECT_LT(TestId(1), TestId(2));
+    EXPECT_NE(TestId(1), TestId(2));
+    EXPECT_EQ(TestId(7), TestId(7));
+}
+
+TEST(Ids, Hashable)
+{
+    std::unordered_map<TestId, int> map;
+    map[TestId(3)] = 30;
+    map[TestId(4)] = 40;
+    EXPECT_EQ(map.at(TestId(3)), 30);
+    EXPECT_EQ(map.at(TestId(4)), 40);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.below(17);
+        EXPECT_LT(v, 17u);
+    }
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng rng(9);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.range(-2, 2));
+    EXPECT_EQ(seen.size(), 5u);
+    EXPECT_EQ(*seen.begin(), -2);
+    EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(11);
+    for (int i = 0; i < 32; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, WeightedRespectsZeroWeights)
+{
+    Rng rng(13);
+    for (int i = 0; i < 200; ++i) {
+        const auto pick = rng.weighted({0, 5, 0, 3});
+        EXPECT_TRUE(pick == 1 || pick == 3);
+    }
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(15);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Graph, ReversePostOrderLinearChain)
+{
+    Digraph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 3);
+    const auto order = g.reversePostOrder(0);
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], 0u);
+    EXPECT_EQ(order[3], 3u);
+}
+
+TEST(Graph, ReversePostOrderSkipsUnreachable)
+{
+    Digraph g(3);
+    g.addEdge(0, 1);
+    const auto order = g.reversePostOrder(0);
+    EXPECT_EQ(order.size(), 2u);
+}
+
+TEST(Graph, DiamondTopologicalProperty)
+{
+    Digraph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(0, 2);
+    g.addEdge(1, 3);
+    g.addEdge(2, 3);
+    const auto order = g.reversePostOrder(0);
+    ASSERT_EQ(order.size(), 4u);
+    std::vector<std::size_t> position(4);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        position[order[i]] = i;
+    EXPECT_LT(position[0], position[1]);
+    EXPECT_LT(position[0], position[2]);
+    EXPECT_LT(position[1], position[3]);
+    EXPECT_LT(position[2], position[3]);
+}
+
+TEST(Graph, SccFindsCycle)
+{
+    Digraph g(5);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 1); // cycle {1,2}
+    g.addEdge(2, 3);
+    g.addEdge(4, 0);
+    std::size_t num = 0;
+    const auto ids = g.sccIds(&num);
+    EXPECT_EQ(num, 4u);
+    EXPECT_EQ(ids[1], ids[2]);
+    EXPECT_NE(ids[0], ids[1]);
+    EXPECT_NE(ids[3], ids[1]);
+}
+
+TEST(Graph, BackEdgesDetected)
+{
+    Digraph g(3);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 0); // back edge to the entry
+    const auto back = g.backEdges(0);
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0].first, 2u);
+    EXPECT_EQ(back[0].second, 0u);
+}
+
+TEST(Graph, SelfLoopIsBackEdge)
+{
+    Digraph g(2);
+    g.addEdge(0, 0);
+    g.addEdge(0, 1);
+    const auto back = g.backEdges(0);
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0].first, 0u);
+    EXPECT_EQ(back[0].second, 0u);
+}
+
+TEST(Graph, AcyclicHasNoBackEdges)
+{
+    Digraph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(0, 2);
+    g.addEdge(1, 3);
+    g.addEdge(2, 3);
+    EXPECT_TRUE(g.backEdges(0).empty());
+}
+
+TEST(Graph, TopoOrderCoversAllNodes)
+{
+    Digraph g(6);
+    g.addEdge(0, 1);
+    g.addEdge(2, 3);
+    g.addEdge(4, 5);
+    const auto order = g.topoOrder();
+    EXPECT_EQ(order.size(), 6u);
+    std::set<std::uint32_t> unique(order.begin(), order.end());
+    EXPECT_EQ(unique.size(), 6u);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    AsciiTable t;
+    t.setHeader({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| name"), std::string::npos);
+    EXPECT_NE(out.find("| longer"), std::string::npos);
+    // Every line has the same width.
+    std::size_t width = 0;
+    std::size_t start = 0;
+    while (start < out.size()) {
+        const auto end = out.find('\n', start);
+        const std::size_t len = end - start;
+        if (width == 0)
+            width = len;
+        EXPECT_EQ(len, width);
+        start = end + 1;
+    }
+}
+
+TEST(Table, FormatHelpers)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtPercent(0.787, 1), "78.7%");
+    EXPECT_EQ(fmtPercent(1.0, 0), "100%");
+}
+
+} // namespace
+} // namespace manta

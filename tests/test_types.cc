@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Unit and property tests for the type lattice (paper Figure 6).
+ */
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+#include "types/bounds.h"
+#include "types/type.h"
+
+namespace manta {
+namespace {
+
+class TypeLatticeTest : public ::testing::Test
+{
+  protected:
+    TypeTable tt;
+};
+
+TEST_F(TypeLatticeTest, InterningDeduplicates)
+{
+    EXPECT_EQ(tt.intTy(32), tt.intTy(32));
+    EXPECT_EQ(tt.ptr(tt.intTy(8)), tt.ptr(tt.intTy(8)));
+    EXPECT_NE(tt.intTy(32), tt.intTy(64));
+    EXPECT_NE(tt.ptr(tt.intTy(8)), tt.ptr(tt.intTy(16)));
+}
+
+TEST_F(TypeLatticeTest, TopAndBottomBounds)
+{
+    const std::vector<TypeRef> samples = {
+        tt.intTy(8), tt.intTy(64), tt.floatTy(), tt.doubleTy(),
+        tt.ptr(tt.intTy(8)), tt.num(32), tt.reg(64),
+        tt.array(tt.intTy(32), 4),
+        tt.object({{0, tt.intTy(64)}, {8, tt.ptr(tt.intTy(8))}}),
+        tt.func({tt.intTy(64)}, tt.intTy(32)),
+    };
+    for (const TypeRef t : samples) {
+        EXPECT_TRUE(tt.isSubtype(t, tt.top())) << tt.toString(t);
+        EXPECT_TRUE(tt.isSubtype(tt.bottom(), t)) << tt.toString(t);
+        EXPECT_FALSE(tt.isSubtype(tt.top(), t)) << tt.toString(t);
+        EXPECT_FALSE(tt.isSubtype(t, tt.bottom())) << tt.toString(t);
+    }
+}
+
+TEST_F(TypeLatticeTest, NumericLadder)
+{
+    // int32, float <: num32 <: reg32; int64, double <: num64 <: reg64.
+    EXPECT_TRUE(tt.isSubtype(tt.intTy(32), tt.num(32)));
+    EXPECT_TRUE(tt.isSubtype(tt.floatTy(), tt.num(32)));
+    EXPECT_TRUE(tt.isSubtype(tt.intTy(64), tt.num(64)));
+    EXPECT_TRUE(tt.isSubtype(tt.doubleTy(), tt.num(64)));
+    EXPECT_TRUE(tt.isSubtype(tt.num(32), tt.reg(32)));
+    EXPECT_TRUE(tt.isSubtype(tt.num(64), tt.reg(64)));
+    EXPECT_TRUE(tt.isSubtype(tt.intTy(32), tt.reg(32)));
+    // Pointers sit below reg64 only.
+    EXPECT_TRUE(tt.isSubtype(tt.ptr(tt.intTy(8)), tt.reg(64)));
+    EXPECT_FALSE(tt.isSubtype(tt.ptr(tt.intTy(8)), tt.reg(32)));
+    EXPECT_FALSE(tt.isSubtype(tt.ptr(tt.intTy(8)), tt.num(64)));
+    // Width mismatches are unrelated.
+    EXPECT_FALSE(tt.isSubtype(tt.intTy(32), tt.num(64)));
+    EXPECT_FALSE(tt.isSubtype(tt.intTy(64), tt.reg(32)));
+}
+
+TEST_F(TypeLatticeTest, PointerCovariance)
+{
+    const TypeRef p_i8 = tt.ptr(tt.intTy(8));
+    const TypeRef p_num = tt.ptr(tt.num(8));
+    const TypeRef p_top = tt.ptrAny();
+    EXPECT_TRUE(tt.isSubtype(p_i8, p_num));
+    EXPECT_TRUE(tt.isSubtype(p_i8, p_top));
+    EXPECT_TRUE(tt.isSubtype(p_num, p_top));
+    EXPECT_FALSE(tt.isSubtype(p_num, p_i8));
+    EXPECT_FALSE(tt.isSubtype(p_top, p_i8));
+}
+
+TEST_F(TypeLatticeTest, JoinOfConflictingNumerics)
+{
+    EXPECT_EQ(tt.join(tt.intTy(32), tt.floatTy()), tt.num(32));
+    EXPECT_EQ(tt.join(tt.intTy(64), tt.doubleTy()), tt.num(64));
+    EXPECT_EQ(tt.join(tt.intTy(32), tt.intTy(64)), tt.top());
+    EXPECT_EQ(tt.join(tt.floatTy(), tt.doubleTy()), tt.top());
+}
+
+TEST_F(TypeLatticeTest, JoinPointerWithInt64IsReg64)
+{
+    // The motivating example (Fig. 3): a union of char* and long
+    // joins to reg64 under flow-insensitive inference.
+    const TypeRef joined = tt.join(tt.ptr(tt.intTy(8)), tt.intTy(64));
+    EXPECT_EQ(joined, tt.reg(64));
+}
+
+TEST_F(TypeLatticeTest, JoinPointersJoinsPointees)
+{
+    const TypeRef a = tt.ptr(tt.intTy(8));
+    const TypeRef b = tt.ptr(tt.floatTy());
+    EXPECT_EQ(tt.join(a, b), tt.ptr(tt.top()));
+    const TypeRef c = tt.ptr(tt.intTy(32));
+    const TypeRef d = tt.ptr(tt.floatTy());
+    EXPECT_EQ(tt.join(c, d), tt.ptr(tt.num(32)));
+}
+
+TEST_F(TypeLatticeTest, MeetPointersMeetsPointees)
+{
+    const TypeRef a = tt.ptr(tt.num(32));
+    const TypeRef b = tt.ptr(tt.intTy(32));
+    EXPECT_EQ(tt.meet(a, b), b);
+    EXPECT_EQ(tt.meet(tt.ptr(tt.intTy(8)), tt.ptr(tt.intTy(16))),
+              tt.ptr(tt.bottom()));
+}
+
+TEST_F(TypeLatticeTest, MeetOfUnrelatedIsBottom)
+{
+    EXPECT_EQ(tt.meet(tt.intTy(32), tt.floatTy()), tt.bottom());
+    EXPECT_EQ(tt.meet(tt.intTy(64), tt.ptr(tt.intTy(8))), tt.bottom());
+    EXPECT_EQ(tt.meet(tt.intTy(32), tt.intTy(64)), tt.bottom());
+}
+
+TEST_F(TypeLatticeTest, ObjectRecordSubtyping)
+{
+    // A record with more fields is a subtype of one with fewer.
+    const TypeRef wide = tt.object(
+        {{0, tt.intTy(64)}, {8, tt.ptr(tt.intTy(8))}, {16, tt.intTy(32)}});
+    const TypeRef narrow = tt.object({{0, tt.intTy(64)}});
+    EXPECT_TRUE(tt.isSubtype(wide, narrow));
+    EXPECT_FALSE(tt.isSubtype(narrow, wide));
+}
+
+TEST_F(TypeLatticeTest, ObjectJoinIntersectsFields)
+{
+    const TypeRef a = tt.object({{0, tt.intTy(64)}, {8, tt.intTy(32)}});
+    const TypeRef b = tt.object({{0, tt.intTy(64)}, {16, tt.floatTy()}});
+    const TypeRef j = tt.join(a, b);
+    EXPECT_EQ(j, tt.object({{0, tt.intTy(64)}}));
+}
+
+TEST_F(TypeLatticeTest, ObjectMeetUnionsFields)
+{
+    const TypeRef a = tt.object({{0, tt.intTy(64)}});
+    const TypeRef b = tt.object({{8, tt.floatTy()}});
+    const TypeRef m = tt.meet(a, b);
+    EXPECT_EQ(m, tt.object({{0, tt.intTy(64)}, {8, tt.floatTy()}}));
+}
+
+TEST_F(TypeLatticeTest, ObjectMeetConflictingFieldIsBottom)
+{
+    const TypeRef a = tt.object({{0, tt.intTy(32)}});
+    const TypeRef b = tt.object({{0, tt.intTy(64)}});
+    EXPECT_EQ(tt.meet(a, b), tt.bottom());
+}
+
+TEST_F(TypeLatticeTest, FunctionVariance)
+{
+    const TypeRef f1 = tt.func({tt.num(64)}, tt.intTy(32));
+    const TypeRef f2 = tt.func({tt.intTy(64)}, tt.num(32));
+    // f1 accepts more (num64 >: int64) and returns less general: f1 <: f2.
+    EXPECT_TRUE(tt.isSubtype(f1, f2));
+    EXPECT_FALSE(tt.isSubtype(f2, f1));
+}
+
+TEST_F(TypeLatticeTest, ArrayJoinRequiresSameLength)
+{
+    const TypeRef a4 = tt.array(tt.intTy(32), 4);
+    const TypeRef b4 = tt.array(tt.floatTy(), 4);
+    const TypeRef a8 = tt.array(tt.intTy(32), 8);
+    EXPECT_EQ(tt.join(a4, b4), tt.array(tt.num(32), 4));
+    EXPECT_EQ(tt.join(a4, a8), tt.top());
+    EXPECT_EQ(tt.meet(a4, a8), tt.bottom());
+}
+
+TEST_F(TypeLatticeTest, FirstLayerEquality)
+{
+    EXPECT_TRUE(tt.firstLayerEqual(tt.ptr(tt.intTy(8)), tt.ptrAny()));
+    EXPECT_TRUE(tt.firstLayerEqual(tt.intTy(32), tt.intTy(32)));
+    EXPECT_FALSE(tt.firstLayerEqual(tt.intTy(32), tt.intTy(64)));
+    EXPECT_FALSE(tt.firstLayerEqual(tt.ptr(tt.intTy(8)), tt.intTy(64)));
+    EXPECT_FALSE(tt.firstLayerEqual(tt.floatTy(), tt.intTy(32)));
+}
+
+TEST_F(TypeLatticeTest, ToStringIsReadable)
+{
+    EXPECT_EQ(tt.toString(tt.intTy(64)), "int64");
+    EXPECT_EQ(tt.toString(tt.ptr(tt.intTy(8))), "ptr(int8)");
+    EXPECT_EQ(tt.toString(tt.top()), "top");
+    EXPECT_EQ(tt.toString(tt.array(tt.floatTy(), 3)), "[float x 3]");
+    EXPECT_EQ(tt.toString(tt.object({{0, tt.intTy(32)}})), "{0: int32}");
+    EXPECT_EQ(tt.toString(tt.func({tt.intTy(64)}, tt.doubleTy())),
+              "fn(int64) -> double");
+}
+
+// ---------------------------------------------------------------------
+// Property tests: lattice laws over a randomized sample of types.
+// ---------------------------------------------------------------------
+
+class LatticeProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    TypeRef
+    randomType(Rng &rng, int depth)
+    {
+        const int roll = static_cast<int>(rng.below(depth > 2 ? 7 : 10));
+        switch (roll) {
+          case 0: return tt.intTy(8);
+          case 1: return tt.intTy(32);
+          case 2: return tt.intTy(64);
+          case 3: return tt.floatTy();
+          case 4: return tt.doubleTy();
+          case 5: return tt.num(static_cast<int>(rng.below(2)) ? 32 : 64);
+          case 6: return tt.reg(static_cast<int>(rng.below(2)) ? 32 : 64);
+          case 7: return tt.ptr(randomType(rng, depth + 1));
+          case 8:
+            return tt.array(randomType(rng, depth + 1),
+                            static_cast<std::uint32_t>(rng.below(4) + 1));
+          default: {
+            std::vector<TypeField> fields;
+            const int n = static_cast<int>(rng.below(3)) + 1;
+            for (int i = 0; i < n; ++i) {
+                fields.push_back({static_cast<std::uint32_t>(i * 8),
+                                  randomType(rng, depth + 1)});
+            }
+            return tt.object(std::move(fields));
+          }
+        }
+    }
+
+    TypeTable tt;
+};
+
+TEST_P(LatticeProperty, JoinMeetLaws)
+{
+    Rng rng(GetParam());
+    for (int iter = 0; iter < 50; ++iter) {
+        const TypeRef a = randomType(rng, 0);
+        const TypeRef b = randomType(rng, 0);
+
+        // Commutativity.
+        EXPECT_EQ(tt.join(a, b), tt.join(b, a));
+        EXPECT_EQ(tt.meet(a, b), tt.meet(b, a));
+
+        // Idempotence.
+        EXPECT_EQ(tt.join(a, a), a);
+        EXPECT_EQ(tt.meet(a, a), a);
+
+        // Upper/lower-bound property.
+        const TypeRef j = tt.join(a, b);
+        EXPECT_TRUE(tt.isSubtype(a, j))
+            << tt.toString(a) << " !<: join=" << tt.toString(j);
+        EXPECT_TRUE(tt.isSubtype(b, j))
+            << tt.toString(b) << " !<: join=" << tt.toString(j);
+        const TypeRef m = tt.meet(a, b);
+        EXPECT_TRUE(tt.isSubtype(m, a))
+            << "meet=" << tt.toString(m) << " !<: " << tt.toString(a);
+        EXPECT_TRUE(tt.isSubtype(m, b))
+            << "meet=" << tt.toString(m) << " !<: " << tt.toString(b);
+
+        // Absorption: a join (a meet b) == a.
+        EXPECT_EQ(tt.join(a, tt.meet(a, b)), a);
+        EXPECT_EQ(tt.meet(a, tt.join(a, b)), a);
+
+        // Subtype consistency: a <: b implies join == b and meet == a.
+        if (tt.isSubtype(a, b)) {
+            EXPECT_EQ(tt.join(a, b), b);
+            EXPECT_EQ(tt.meet(a, b), a);
+        }
+    }
+}
+
+TEST_P(LatticeProperty, SubtypeIsPartialOrder)
+{
+    Rng rng(GetParam() + 1000);
+    std::vector<TypeRef> samples;
+    for (int i = 0; i < 12; ++i)
+        samples.push_back(randomType(rng, 0));
+    for (const TypeRef a : samples) {
+        EXPECT_TRUE(tt.isSubtype(a, a));
+        for (const TypeRef b : samples) {
+            for (const TypeRef c : samples) {
+                if (tt.isSubtype(a, b) && tt.isSubtype(b, c)) {
+                    EXPECT_TRUE(tt.isSubtype(a, c))
+                        << tt.toString(a) << " <: " << tt.toString(b)
+                        << " <: " << tt.toString(c);
+                }
+            }
+            if (tt.isSubtype(a, b) && tt.isSubtype(b, a)) {
+                EXPECT_EQ(a, b);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LatticeProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 99, 12345));
+
+// ---------------------------------------------------------------------
+// BoundPair (F-up / F-down) behaviour.
+// ---------------------------------------------------------------------
+
+class BoundPairTest : public ::testing::Test
+{
+  protected:
+    TypeTable tt;
+};
+
+TEST_F(BoundPairTest, StartsUnknown)
+{
+    auto bp = BoundPair::unknown(tt);
+    EXPECT_TRUE(bp.isNoHint(tt));
+    EXPECT_EQ(bp.classify(tt), TypeClass::Unknown);
+}
+
+TEST_F(BoundPairTest, SingleHintIsPrecise)
+{
+    auto bp = BoundPair::unknown(tt);
+    bp.addHint(tt, tt.intTy(64));
+    EXPECT_EQ(bp.classify(tt), TypeClass::Precise);
+    EXPECT_EQ(bp.upper, tt.intTy(64));
+    EXPECT_EQ(bp.lower, tt.intTy(64));
+}
+
+TEST_F(BoundPairTest, RepeatedSameHintStaysPrecise)
+{
+    auto bp = BoundPair::unknown(tt);
+    bp.addHint(tt, tt.ptr(tt.intTy(8)));
+    bp.addHint(tt, tt.ptr(tt.intTy(8)));
+    EXPECT_EQ(bp.classify(tt), TypeClass::Precise);
+}
+
+TEST_F(BoundPairTest, ConflictingHintsAreOver)
+{
+    auto bp = BoundPair::unknown(tt);
+    bp.addHint(tt, tt.ptr(tt.intTy(8)));
+    bp.addHint(tt, tt.intTy(64));
+    EXPECT_EQ(bp.classify(tt), TypeClass::Over);
+    EXPECT_EQ(bp.upper, tt.reg(64));
+    EXPECT_EQ(bp.lower, tt.bottom());
+}
+
+TEST_F(BoundPairTest, MergePropagatesEvidence)
+{
+    auto a = BoundPair::unknown(tt);
+    auto b = BoundPair::unknown(tt);
+    b.addHint(tt, tt.intTy(32));
+    a.merge(tt, b);
+    EXPECT_EQ(a.classify(tt), TypeClass::Precise);
+    EXPECT_EQ(a.upper, tt.intTy(32));
+}
+
+TEST_F(BoundPairTest, MergeUnknownIsNoOp)
+{
+    auto a = BoundPair::unknown(tt);
+    a.addHint(tt, tt.floatTy());
+    const auto before = a;
+    a.merge(tt, BoundPair::unknown(tt));
+    EXPECT_EQ(a.upper, before.upper);
+    EXPECT_EQ(a.lower, before.lower);
+}
+
+TEST_F(BoundPairTest, AnyTypeClassifiesUnknown)
+{
+    const auto bp = BoundPair::anyType(tt);
+    EXPECT_EQ(bp.classify(tt), TypeClass::Unknown);
+}
+
+TEST_F(BoundPairTest, ContainsTracksTruth)
+{
+    auto bp = BoundPair::unknown(tt);
+    bp.addHint(tt, tt.ptr(tt.intTy(8)));
+    bp.addHint(tt, tt.intTy(64));
+    // Interval [bottom, reg64] contains both hypotheses.
+    EXPECT_TRUE(tt.contains(bp.lower, bp.upper, tt.ptr(tt.intTy(8))));
+    EXPECT_TRUE(tt.contains(bp.lower, bp.upper, tt.intTy(64)));
+    EXPECT_FALSE(tt.contains(bp.lower, bp.upper, tt.intTy(32)));
+}
+
+} // namespace
+} // namespace manta
