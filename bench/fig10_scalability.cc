@@ -4,11 +4,18 @@
  * program size, with a linear fit. The paper reports near-linear
  * scaling (FFmpeg at ~1 MLoC finishing in 38 minutes / 64 GB on their
  * corpus; our absolute numbers are laptop-scale).
+ *
+ * The size points run concurrently on the ParallelHarness (indexed
+ * result slots keep the table in size order). Per-point times are
+ * measured with thread-confined timers; with MANTA_JOBS > 1 the
+ * points share cores, so for publication-quality timing curves run
+ * with MANTA_JOBS=1 (counts and the fitted shape are unaffected).
  */
 #include <cstdio>
 
 #include "analysis/acyclic.h"
 #include "core/pipeline.h"
+#include "eval/parallel.h"
 #include "frontend/generator.h"
 #include "support/csv.h"
 #include "support/table.h"
@@ -17,42 +24,76 @@
 namespace manta {
 namespace {
 
+struct SizePoint
+{
+    int numFunctions = 0;
+    std::size_t numInsts = 0;
+    double substrateSeconds = 0.0;
+    double fiSeconds = 0.0;
+    double csSeconds = 0.0;
+    double fsSeconds = 0.0;
+    double inferSeconds = 0.0;
+};
+
 int
 runFig10()
 {
     std::printf("=== Figure 10: scalability (time/memory vs size) ===\n\n");
 
-    AsciiTable table;
-    table.setHeader({"#funcs", "#insts", "KLoC-equiv", "substrate (s)",
-                     "inference (s)", "peak RSS (MiB)"});
+    ParallelHarness harness;
+    std::printf("(jobs: %zu; set MANTA_JOBS=1 for undisturbed "
+                "timings)\n\n",
+                harness.jobs());
 
-    std::vector<double> sizes, times;
-    for (const int num_functions : {25, 50, 100, 200, 400, 800}) {
+    const std::vector<int> sizes_cfg = {25, 50, 100, 200, 400, 800};
+    auto points = harness.map(sizes_cfg.size(), [&](std::size_t i) {
         GenConfig cfg;
         cfg.seed = 4242;
-        cfg.numFunctions = num_functions;
+        cfg.numFunctions = sizes_cfg[i];
         cfg.realBugRate = 0.02;
         cfg.decoyRate = 0.03;
         GeneratedProgram prog = generateProgram(cfg);
         makeAcyclic(*prog.module);
 
+        SizePoint point;
+        point.numFunctions = sizes_cfg[i];
+
         Timer substrate_timer;
         MantaAnalyzer analyzer(*prog.module, HybridConfig::full());
-        const double substrate_s = substrate_timer.seconds();
+        point.substrateSeconds = substrate_timer.seconds();
 
         const InferenceResult result = analyzer.infer();
-        const double infer_s = result.profile().seconds;
-
-        const double kloc =
-            static_cast<double>(prog.module->numInsts()) / 320.0;
-        table.addRow({std::to_string(num_functions),
-                      std::to_string(prog.module->numInsts()),
-                      fmtDouble(kloc, 1), fmtDouble(substrate_s, 3),
-                      fmtDouble(infer_s, 3), fmtDouble(peakRssMiB(), 1)});
-        sizes.push_back(static_cast<double>(prog.module->numInsts()));
-        times.push_back(substrate_s + infer_s);
-        std::printf("  measured %d functions\n", num_functions);
+        const InferenceProfile &profile = result.profile();
+        point.numInsts = prog.module->numInsts();
+        point.fiSeconds = profile.fiSeconds;
+        point.csSeconds = profile.csSeconds;
+        point.fsSeconds = profile.fsSeconds;
+        point.inferSeconds = profile.seconds;
+        std::printf("  measured %d functions\n", sizes_cfg[i]);
         std::fflush(stdout);
+        return point;
+    });
+
+    AsciiTable table;
+    table.setHeader({"#funcs", "#insts", "KLoC-equiv", "substrate (s)",
+                     "FI (s)", "CS (s)", "FS (s)", "inference (s)",
+                     "peak RSS (MiB)"});
+
+    std::vector<double> sizes, times;
+    for (const SizePoint &point : points) {
+        const double kloc =
+            static_cast<double>(point.numInsts) / 320.0;
+        table.addRow({std::to_string(point.numFunctions),
+                      std::to_string(point.numInsts),
+                      fmtDouble(kloc, 1),
+                      fmtDouble(point.substrateSeconds, 3),
+                      fmtDouble(point.fiSeconds, 3),
+                      fmtDouble(point.csSeconds, 3),
+                      fmtDouble(point.fsSeconds, 3),
+                      fmtDouble(point.inferSeconds, 3),
+                      fmtDouble(peakRssMiB(), 1)});
+        sizes.push_back(static_cast<double>(point.numInsts));
+        times.push_back(point.substrateSeconds + point.inferSeconds);
     }
 
     std::printf("\n%s", table.render().c_str());

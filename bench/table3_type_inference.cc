@@ -4,10 +4,16 @@
  * DIRTY / Ghidra / RetDec / Retypd and the four Manta sensitivity
  * groups (FI, FS, FI+FS, FI+CS+FS) over the 14-project corpus plus
  * the coreutils batch.
+ *
+ * Projects are analyzed concurrently on the ParallelHarness
+ * (MANTA_JOBS workers); every reported number is accumulated after
+ * the join, in project order, so the table is bit-identical to a
+ * sequential run.
  */
 #include <cstdio>
 
 #include "eval/harness.h"
+#include "eval/parallel.h"
 #include "support/table.h"
 #include "support/timer.h"
 
@@ -17,8 +23,8 @@ namespace {
 struct Row
 {
     std::string project;
-    int kloc;
-    std::size_t vars;
+    int kloc = 0;
+    std::size_t vars = 0;
     std::vector<TypeEval> tools;      // one per tool column
     std::vector<bool> timeouts;
 };
@@ -29,16 +35,18 @@ runTable3()
     std::printf("=== Table 3: type inference precision/recall ===\n");
     std::printf("(corpus: synthetic projects; see DESIGN.md)\n\n");
 
+    ParallelHarness harness;
+    std::printf("(jobs: %zu; set MANTA_JOBS to override)\n\n",
+                harness.jobs());
+    Timer wall;
+
+    // Trained once, up front; tasks only call the const predict().
     const DirtyModel dirty = trainDirtyModel();
 
     const std::vector<std::string> tool_names = {
         "DIRTY", "Ghidra", "RetDec", "Retypd",
         "Manta-FI", "Manta-FS", "Manta-FI+FS", "Manta-FI+CS+FS",
     };
-
-    std::vector<Row> rows;
-    std::vector<TypeEval> totals(tool_names.size());
-    std::vector<bool> any_timeout(tool_names.size(), false);
 
     auto accumulate = [](TypeEval &acc, const TypeEval &one) {
         acc.total += one.total;
@@ -48,15 +56,16 @@ runTable3()
         acc.incorrect += one.incorrect;
     };
 
-    auto projects = standardCorpus();
-    for (const auto &profile : projects) {
-        PreparedProject project = prepareProject(profile);
+    // One task per project; each owns its module and analyzer, so the
+    // only shared state is the const DirtyModel.
+    auto analyze_project = [&](PreparedProject &project,
+                               const std::string &display_name) -> Row {
         Module &module = project.module();
         const GroundTruth &truth = project.truth();
 
         Row row;
-        row.project = profile.name;
-        row.kloc = profile.kloc;
+        row.project = display_name;
+        row.kloc = project.kloc;
         row.vars = evaluatedParams(module, truth).size();
         row.timeouts.assign(tool_names.size(), false);
 
@@ -85,7 +94,26 @@ runTable3()
                 project.analyzer->infer(config);
             row.tools.push_back(evalInference(module, truth, result));
         }
+        return row;
+    };
 
+    std::vector<Row> rows;
+    std::vector<TypeEval> totals(tool_names.size());
+    std::vector<bool> any_timeout(tool_names.size(), false);
+
+    const auto projects = standardCorpus();
+    auto project_rows = harness.mapProjects(
+        projects, [&](PreparedProject &project, std::size_t) {
+            Row row = analyze_project(project, project.name);
+            std::printf("  analyzed %-12s (%d KLoC, %zu vars)\n",
+                        row.project.c_str(), row.kloc, row.vars);
+            std::fflush(stdout);
+            return row;
+        });
+
+    // Reduction after the join, in project order: identical summation
+    // order to the sequential loop.
+    for (Row &row : project_rows) {
         for (std::size_t t = 0; t < tool_names.size(); ++t) {
             if (row.timeouts[t]) {
                 any_timeout[t] = true;
@@ -94,46 +122,28 @@ runTable3()
             accumulate(totals[t], row.tools[t]);
         }
         rows.push_back(std::move(row));
-        std::printf("  analyzed %-12s (%d KLoC, %zu vars)\n",
-                    profile.name.c_str(), profile.kloc, rows.back().vars);
-        std::fflush(stdout);
     }
 
-    // Coreutils batch, aggregated into one row like the paper.
+    // Coreutils batch, aggregated into one row like the paper; each
+    // binary is its own task.
     {
+        auto batch_rows = harness.mapProjects(
+            coreutilsBatch(104),
+            [&](PreparedProject &project, std::size_t) {
+                return analyze_project(project, project.name);
+            });
+
         Row row;
         row.project = "coreutils*";
         row.kloc = 115;
         row.vars = 0;
         row.tools.assign(tool_names.size(), TypeEval{});
         row.timeouts.assign(tool_names.size(), false);
-        for (const auto &profile : coreutilsBatch(104)) {
-            PreparedProject project = prepareProject(profile);
-            Module &module = project.module();
-            const GroundTruth &truth = project.truth();
-            row.vars += evaluatedParams(module, truth).size();
-
-            accumulate(row.tools[0],
-                       evalTypeMap(module, truth,
-                                   dirty.predict(module).types));
-            accumulate(row.tools[1],
-                       evalTypeMap(module, truth,
-                                   runGhidraLike(module).types));
-            accumulate(row.tools[2],
-                       evalTypeMap(module, truth,
-                                   runRetdecLike(module).types));
-            const BaselineOutcome retypd_out = runRetypdLike(module);
-            if (!retypd_out.timedOut) {
-                accumulate(row.tools[3],
-                           evalTypeMap(module, truth, retypd_out.types));
-            }
-            std::size_t t = 4;
-            for (const HybridConfig config :
-                 {HybridConfig::fiOnly(), HybridConfig::fsOnly(),
-                  HybridConfig::fiFs(), HybridConfig::full()}) {
-                accumulate(row.tools[t++],
-                           evalInference(module, truth,
-                                         project.analyzer->infer(config)));
+        for (const Row &one : batch_rows) {
+            row.vars += one.vars;
+            for (std::size_t t = 0; t < tool_names.size(); ++t) {
+                if (!one.timeouts[t])
+                    accumulate(row.tools[t], one.tools[t]);
             }
         }
         for (std::size_t t = 0; t < tool_names.size(); ++t)
@@ -186,6 +196,11 @@ runTable3()
         std::printf("(CSV written to %s)\n", csv.path().c_str());
     std::printf("^ = excludes projects on which the tool timed out "
                 "(the paper's triangle).\n");
+    std::printf("\nWall clock: %.2fs with %zu jobs "
+                "(prepare %.2fs, analyze %.2fs summed over tasks)\n",
+                wall.seconds(), harness.jobs(),
+                harness.ledger().total("prepare"),
+                harness.ledger().total("analyze"));
     std::printf("\nPaper reference (Total row): DIRTY 63.7/86.9, "
                 "Ghidra 32.2/64.0, RetDec 41.0/41.0, Retypd 25.2/88.6,\n"
                 "  Manta-FI 35.9/98.5, FS 22.3/99.2, FI+FS 53.1/97.9, "

@@ -6,11 +6,17 @@
  * RetDec / Retypd (their inferred types driving the same checker),
  * TypeArmor (argument count), tau-CFI (count+width), and the four
  * Manta sensitivity groups.
+ *
+ * Projects run concurrently on the ParallelHarness; rows and geomean
+ * inputs are collected into per-project slots and reduced after the
+ * join, in project order, so output is independent of scheduling.
  */
 #include <cstdio>
 
 #include "eval/harness.h"
+#include "eval/parallel.h"
 #include "support/table.h"
+#include "support/timer.h"
 
 namespace manta {
 namespace {
@@ -23,17 +29,106 @@ struct ToolCell
     bool timedOut = false;
 };
 
+/** Per-project outcome; skipped == no icall sites (no table row). */
+struct ProjectOutcome
+{
+    bool skipped = true;
+    std::string name;
+    std::size_t addressTaken = 0;
+    double sourceAict = 0.0;
+    std::vector<ToolCell> cells;
+};
+
 int
 runTable4()
 {
     std::printf("=== Table 4 / Figure 11: type-based indirect-call "
                 "analysis ===\n\n");
 
+    ParallelHarness harness;
+    std::printf("(jobs: %zu; set MANTA_JOBS to override)\n\n",
+                harness.jobs());
+    Timer wall;
+
     const DirtyModel dirty = trainDirtyModel();
     const std::vector<std::string> tool_names = {
         "DIRTY", "Ghidra", "RetDec", "Retypd", "TypeArmor", "tau-CFI",
         "Manta-FI", "Manta-FS", "Manta-FI+FS", "Manta-FI+CS+FS",
     };
+
+    auto outcomes = harness.mapProjects(
+        standardCorpus(),
+        [&](PreparedProject &project, std::size_t) -> ProjectOutcome {
+            Module &module = project.module();
+            ProjectOutcome out;
+            out.name = project.name;
+
+            const IcallAnalysis analysis(module, nullptr);
+            if (analysis.icallSites().empty())
+                return out;
+            out.skipped = false;
+            out.addressTaken = module.addressTakenFuncs().size();
+
+            // Ground truth: the source-level type-based analysis
+            // (oracle types driving the same FullTypes checker).
+            InferenceResult oracle = oracleInference(project);
+            const IcallAnalysis oracle_analysis(module, &oracle);
+            const IcallResult reference =
+                oracle_analysis.run(IcallDiscipline::FullTypes);
+            out.sourceAict = reference.aict();
+
+            auto add_with_types =
+                [&](const std::unordered_map<ValueId, TypeRef> &types,
+                    bool timed_out) {
+                    ToolCell cell;
+                    cell.timedOut = timed_out;
+                    if (!timed_out) {
+                        InferenceResult as_result =
+                            InferenceResult::fromTypeMap(module, types);
+                        const IcallAnalysis tool_analysis(module,
+                                                          &as_result);
+                        const IcallResult run =
+                            tool_analysis.run(IcallDiscipline::FullTypes);
+                        const IcallEval eval =
+                            evalIcall(module, run, reference);
+                        cell.aict = eval.aict;
+                        cell.precision = eval.precision;
+                        cell.recall = eval.recall;
+                    }
+                    out.cells.push_back(cell);
+                };
+
+            add_with_types(dirty.predict(module).types, false);
+            add_with_types(runGhidraLike(module).types, false);
+            add_with_types(runRetdecLike(module).types, false);
+            const BaselineOutcome retypd = runRetypdLike(module);
+            add_with_types(retypd.types, retypd.timedOut);
+
+            // Count/width disciplines (no inferred types needed).
+            for (const IcallDiscipline discipline :
+                 {IcallDiscipline::ArgCount,
+                  IcallDiscipline::ArgCountWidth}) {
+                const IcallResult run = analysis.run(discipline);
+                const IcallEval eval = evalIcall(module, run, reference);
+                out.cells.push_back(ToolCell{eval.aict, eval.precision,
+                                             eval.recall, false});
+            }
+
+            // Manta ablations.
+            for (const HybridConfig config :
+                 {HybridConfig::fiOnly(), HybridConfig::fsOnly(),
+                  HybridConfig::fiFs(), HybridConfig::full()}) {
+                InferenceResult result = project.analyzer->infer(config);
+                const IcallAnalysis tool_analysis(module, &result);
+                const IcallResult run =
+                    tool_analysis.run(IcallDiscipline::FullTypes);
+                const IcallEval eval = evalIcall(module, run, reference);
+                out.cells.push_back(ToolCell{eval.aict, eval.precision,
+                                             eval.recall, false});
+            }
+            ParallelHarness::announce(project.name);
+            return out;
+        });
 
     AsciiTable table;
     std::vector<std::string> header = {"Project", "#AT", "Src AICT"};
@@ -46,88 +141,26 @@ runTable4()
     std::vector<std::vector<double>> aicts(tool_names.size());
     std::vector<double> source_aicts;
 
-    for (const auto &profile : standardCorpus()) {
-        PreparedProject project = prepareProject(profile);
-        Module &module = project.module();
-
-        const IcallAnalysis analysis(module, nullptr);
-        if (analysis.icallSites().empty())
+    for (const ProjectOutcome &out : outcomes) {
+        if (out.skipped)
             continue;
-
-        // Ground truth: the source-level type-based analysis (oracle
-        // types driving the same FullTypes checker).
-        InferenceResult oracle = oracleInference(project);
-        const IcallAnalysis oracle_analysis(module, &oracle);
-        const IcallResult reference =
-            oracle_analysis.run(IcallDiscipline::FullTypes);
-        source_aicts.push_back(reference.aict());
-
-        std::vector<ToolCell> cells;
-        auto add_with_types =
-            [&](const std::unordered_map<ValueId, TypeRef> &types,
-                bool timed_out) {
-                ToolCell cell;
-                cell.timedOut = timed_out;
-                if (!timed_out) {
-                    InferenceResult as_result =
-                        InferenceResult::fromTypeMap(module, types);
-                    const IcallAnalysis tool_analysis(module, &as_result);
-                    const IcallResult run =
-                        tool_analysis.run(IcallDiscipline::FullTypes);
-                    const IcallEval eval = evalIcall(module, run, reference);
-                    cell.aict = eval.aict;
-                    cell.precision = eval.precision;
-                    cell.recall = eval.recall;
-                }
-                cells.push_back(cell);
-            };
-
-        add_with_types(dirty.predict(module).types, false);
-        add_with_types(runGhidraLike(module).types, false);
-        add_with_types(runRetdecLike(module).types, false);
-        const BaselineOutcome retypd = runRetypdLike(module);
-        add_with_types(retypd.types, retypd.timedOut);
-
-        // Count/width disciplines (no inferred types needed).
-        for (const IcallDiscipline discipline :
-             {IcallDiscipline::ArgCount, IcallDiscipline::ArgCountWidth}) {
-            const IcallResult run = analysis.run(discipline);
-            const IcallEval eval = evalIcall(module, run, reference);
-            cells.push_back(ToolCell{eval.aict, eval.precision,
-                                     eval.recall, false});
-        }
-
-        // Manta ablations.
-        for (const HybridConfig config :
-             {HybridConfig::fiOnly(), HybridConfig::fsOnly(),
-              HybridConfig::fiFs(), HybridConfig::full()}) {
-            InferenceResult result = project.analyzer->infer(config);
-            const IcallAnalysis tool_analysis(module, &result);
-            const IcallResult run =
-                tool_analysis.run(IcallDiscipline::FullTypes);
-            const IcallEval eval = evalIcall(module, run, reference);
-            cells.push_back(ToolCell{eval.aict, eval.precision,
-                                     eval.recall, false});
-        }
-
+        source_aicts.push_back(out.sourceAict);
         std::vector<std::string> row = {
-            profile.name,
-            std::to_string(module.addressTakenFuncs().size()),
-            fmtDouble(reference.aict(), 1)};
-        for (std::size_t t = 0; t < cells.size(); ++t) {
-            if (cells[t].timedOut) {
+            out.name, std::to_string(out.addressTaken),
+            fmtDouble(out.sourceAict, 1)};
+        for (std::size_t t = 0; t < out.cells.size(); ++t) {
+            if (out.cells[t].timedOut) {
                 row.push_back("TIMEOUT");
                 continue;
             }
-            row.push_back(fmtDouble(cells[t].aict, 1) + " (" +
-                          fmtPercent(cells[t].precision) + ")");
-            aicts[t].push_back(std::max(cells[t].aict, 0.01));
-            precisions[t].push_back(std::max(cells[t].precision, 1e-6));
-            recalls[t].push_back(std::max(cells[t].recall, 1e-6));
+            row.push_back(fmtDouble(out.cells[t].aict, 1) + " (" +
+                          fmtPercent(out.cells[t].precision) + ")");
+            aicts[t].push_back(std::max(out.cells[t].aict, 0.01));
+            precisions[t].push_back(
+                std::max(out.cells[t].precision, 1e-6));
+            recalls[t].push_back(std::max(out.cells[t].recall, 1e-6));
         }
         table.addRow(std::move(row));
-        std::printf("  analyzed %s\n", profile.name.c_str());
-        std::fflush(stdout);
     }
 
     table.addSeparator();
@@ -149,6 +182,8 @@ runTable4()
                              fmtPercent(geomean(recalls[t]))});
     std::printf("%s", recall_table.render().c_str());
 
+    std::printf("\nWall clock: %.2fs with %zu jobs\n", wall.seconds(),
+                harness.jobs());
     std::printf("\nPaper reference: Manta-FI+CS+FS prunes the most "
                 "targets (34.1%% geomean precision vs\nTypeArmor 18.8%% "
                 "and tau-CFI 20.8%%) while Manta/TypeArmor/tau-CFI keep "

@@ -5,21 +5,36 @@
  * for Arbiter, cwe_checker, SaTC, Manta, and Manta-NoType. NA cells
  * mark images on which a baseline aborts (per-profile flags mirroring
  * the published table).
+ *
+ * Images run concurrently on the ParallelHarness; FP/report counts
+ * are reduced after the join in fleet order (bit-identical to a
+ * sequential run). Per-cell times are wall clock on the worker that
+ * ran the image and naturally vary run to run.
  */
+#include <array>
 #include <cstdio>
 
 #include "eval/harness.h"
+#include "eval/parallel.h"
 #include "support/table.h"
 #include "support/timer.h"
 
 namespace manta {
 namespace {
 
-struct ToolTotals
+struct ToolRun
 {
-    std::size_t fp = 0;
-    std::size_t reports = 0;
-    bool any = false;
+    bool na = true;
+    BugEval eval;
+    double ms = 0.0;
+};
+
+struct ImageOutcome
+{
+    std::string name;
+    std::array<ToolRun, 5> tools;
+    std::size_t realBugs = 0;
+    std::size_t mantaFound = 0;
 };
 
 int
@@ -28,80 +43,90 @@ runTable5()
     std::printf("=== Table 5: real-world bug detection on the firmware "
                 "fleet ===\n\n");
 
+    ParallelHarness harness;
+    std::printf("(jobs: %zu; set MANTA_JOBS to override)\n\n",
+                harness.jobs());
+    Timer wall;
+
+    const auto fleet = firmwareFleet();
+    auto outcomes = harness.mapFirmware(
+        fleet, [&](PreparedProject &project, std::size_t i) {
+            const FirmwareProfile &profile = fleet[i];
+            ImageOutcome out;
+            out.name = profile.name;
+
+            auto run_tool = [&](int index, auto &&runner) {
+                Timer timer;
+                const auto reports = runner();
+                ToolRun &slot = out.tools[static_cast<std::size_t>(index)];
+                slot.na = false;
+                slot.eval = evalBugs(reports, project.truth());
+                slot.ms = timer.milliseconds();
+                return slot.eval;
+            };
+
+            if (!profile.arbiterNa) {
+                run_tool(0, [&]() {
+                    return runArbiterLike(*project.analyzer).reports;
+                });
+            }
+            if (!profile.cweNa) {
+                run_tool(1, [&]() {
+                    return runCweCheckerLike(*project.analyzer).reports;
+                });
+            }
+            run_tool(2, [&]() {
+                return runSatcLike(*project.analyzer).reports;
+            });
+
+            // Manta (inference + type-assisted detection).
+            const BugEval manta_eval = run_tool(3, [&]() {
+                InferenceResult result =
+                    project.analyzer->infer(HybridConfig::full());
+                return detectBugs(project, &result);
+            });
+            out.mantaFound = manta_eval.realBugsFound;
+
+            // Manta-NoType.
+            run_tool(4, [&]() { return detectBugs(project, nullptr); });
+
+            for (const BugSeed &seed : project.truth().seeds)
+                out.realBugs += seed.real;
+            ParallelHarness::announce(profile.name);
+            return out;
+        });
+
     AsciiTable table;
     table.setHeader({"Model", "Arbiter FP/R/ms", "cwe_checker FP/R/ms",
                      "SaTC FP/R/ms", "Manta FP/R/ms",
                      "Manta-NoType FP/R/ms", "Real bugs", "Manta found"});
 
+    struct ToolTotals
+    {
+        std::size_t fp = 0;
+        std::size_t reports = 0;
+        bool any = false;
+    };
     ToolTotals totals[5];
 
-    for (const auto &profile : firmwareFleet()) {
-        PreparedProject project = prepareFirmware(profile);
-        std::vector<std::string> row = {profile.name};
-
-        auto cell = [&](int index, const std::vector<BugReport> &reports,
-                        double ms) {
-            const BugEval eval = evalBugs(reports, project.truth());
-            totals[index].fp += eval.falsePositives;
-            totals[index].reports += eval.reports;
-            totals[index].any = true;
-            row.push_back(std::to_string(eval.falsePositives) + "/" +
-                          std::to_string(eval.reports) + "/" +
-                          fmtDouble(ms, 0));
-            return eval;
-        };
-
-        // Arbiter.
-        if (profile.arbiterNa) {
-            row.push_back("NA");
-        } else {
-            Timer timer;
-            const BugToolOutcome out = runArbiterLike(*project.analyzer);
-            cell(0, out.reports, timer.milliseconds());
+    for (const ImageOutcome &out : outcomes) {
+        std::vector<std::string> row = {out.name};
+        for (std::size_t t = 0; t < out.tools.size(); ++t) {
+            const ToolRun &run = out.tools[t];
+            if (run.na) {
+                row.push_back("NA");
+                continue;
+            }
+            totals[t].fp += run.eval.falsePositives;
+            totals[t].reports += run.eval.reports;
+            totals[t].any = true;
+            row.push_back(std::to_string(run.eval.falsePositives) + "/" +
+                          std::to_string(run.eval.reports) + "/" +
+                          fmtDouble(run.ms, 0));
         }
-
-        // cwe_checker.
-        if (profile.cweNa) {
-            row.push_back("NA");
-        } else {
-            Timer timer;
-            const BugToolOutcome out =
-                runCweCheckerLike(*project.analyzer);
-            cell(1, out.reports, timer.milliseconds());
-        }
-
-        // SaTC.
-        {
-            Timer timer;
-            const BugToolOutcome out = runSatcLike(*project.analyzer);
-            cell(2, out.reports, timer.milliseconds());
-        }
-
-        // Manta (inference + type-assisted detection).
-        BugEval manta_eval;
-        {
-            Timer timer;
-            InferenceResult result =
-                project.analyzer->infer(HybridConfig::full());
-            const auto reports = detectBugs(project, &result);
-            manta_eval = cell(3, reports, timer.milliseconds());
-        }
-
-        // Manta-NoType.
-        {
-            Timer timer;
-            const auto reports = detectBugs(project, nullptr);
-            cell(4, reports, timer.milliseconds());
-        }
-
-        std::size_t real_bugs = 0;
-        for (const BugSeed &seed : project.truth().seeds)
-            real_bugs += seed.real;
-        row.push_back(std::to_string(real_bugs));
-        row.push_back(std::to_string(manta_eval.realBugsFound));
+        row.push_back(std::to_string(out.realBugs));
+        row.push_back(std::to_string(out.mantaFound));
         table.addRow(std::move(row));
-        std::printf("  analyzed %s\n", profile.name.c_str());
-        std::fflush(stdout);
     }
 
     table.addSeparator();
@@ -122,6 +147,8 @@ runTable5()
     }
 
     std::printf("\n%s", table.render().c_str());
+    std::printf("\nWall clock: %.2fs with %zu jobs\n", wall.seconds(),
+                harness.jobs());
     std::printf("\nPaper reference: FPR cwe_checker 72.3%%, SaTC 97.4%%, "
                 "Manta 23.1%%, Manta-NoType 52.8%%;\nArbiter reports "
                 "nothing (its under-constrained stage prunes every "

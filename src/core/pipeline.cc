@@ -111,6 +111,7 @@ MantaAnalyzer::infer(const HybridConfig &config)
     // Stage 1: global flow-insensitive unification.
     std::vector<ValueId> over_approx;
     if (config_.flowInsensitive) {
+        const ScopedSeconds fi_clock(result.profile_.fiSeconds);
         FlowInsensitiveInference fi(module_, *pts_, *hints_);
         result.profile_.afterFi = fi.run(env_ref);
         for (std::size_t i = 0; i < module_.numValues(); ++i) {
@@ -134,6 +135,7 @@ MantaAnalyzer::infer(const HybridConfig &config)
     }
 
     auto run_cs = [&](const std::vector<ValueId> &candidates) {
+        const ScopedSeconds cs_clock(result.profile_.csSeconds);
         CtxRefinement cs(module_, *ddg_, *hints_, env_ref, config_.budget);
         CtxRefineResult cs_result = cs.run(candidates);
         result.profile_.csResolved = cs_result.resolved;
@@ -143,6 +145,7 @@ MantaAnalyzer::infer(const HybridConfig &config)
         return std::move(cs_result.stillOver);
     };
     auto run_fs = [&](const std::vector<ValueId> &candidates) {
+        const ScopedSeconds fs_clock(result.profile_.fsSeconds);
         FlowRefinement fs(module_, *ddg_, *hints_, env_ref, config_.budget);
         FlowRefineResult fs_result = fs.run(candidates);
         result.profile_.fsResolved = fs_result.resolved;

@@ -95,7 +95,18 @@ struct InferenceProfile
     std::size_t fsResolved = 0;  ///< Made precise by flow refinement.
     std::size_t fsLost = 0;      ///< Refined to unknown by flow stage.
     std::size_t hintCount = 0;
-    double seconds = 0.0;
+    double seconds = 0.0;        ///< End-to-end wall clock of infer().
+
+    /**
+     * Per-stage wall clock. Each infer() call runs on one thread, so
+     * these are measured with thread-confined timers; when the
+     * parallel harness runs many infer() calls at once, it aggregates
+     * profiles AFTER the join (indexed result slots), which keeps the
+     * sums exact under concurrency.
+     */
+    double fiSeconds = 0.0;  ///< Flow-insensitive unification.
+    double csSeconds = 0.0;  ///< Context-sensitive refinement.
+    double fsSeconds = 0.0;  ///< Flow-sensitive refinement.
 };
 
 /** The per-variable/per-site outcome of a pipeline run. */

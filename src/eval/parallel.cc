@@ -1,0 +1,16 @@
+#include "eval/parallel.h"
+
+namespace manta {
+
+ParallelHarness::ParallelHarness(std::size_t jobs) : pool_(jobs) {}
+
+void
+ParallelHarness::announce(const std::string &name)
+{
+    // A single printf call is atomic enough for line-granular output;
+    // flush so progress is visible while later projects still run.
+    std::printf("  analyzed %s\n", name.c_str());
+    std::fflush(stdout);
+}
+
+} // namespace manta

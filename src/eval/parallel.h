@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Parallel evaluation harness: fans project/firmware preparation and
+ * per-project analysis out across a work-stealing TaskPool while
+ * keeping every reported number bit-identical to a sequential run.
+ *
+ * Determinism contract (relied on by the bench binaries and tested in
+ * tests/test_parallel_harness.cc):
+ *
+ *  1. Every result lands in a pre-sized, index-addressed slot: slot i
+ *     always holds the outcome for profile i, regardless of which
+ *     worker computed it or in what order tasks finished.
+ *  2. Workload generation draws only from the profile's own RNG seed
+ *     (GenConfig::seed), never from shared generator state, so a
+ *     project's module is a pure function of its profile.
+ *  3. All order-sensitive reduction (accumulating totals, geomeans,
+ *     table rows) happens AFTER the join, over the slots in index
+ *     order — identical floating-point summation order to the
+ *     sequential loop it replaced.
+ *
+ * What may legitimately differ between runs: wall-clock readings and
+ * the interleaving of per-project progress lines on stdout.
+ *
+ * Threading model: each task owns its PreparedProject (module,
+ * analyzer, substrates) outright; the only shared objects are
+ * immutable ones (profiles, a trained DirtyModel used via const
+ * predict()) plus the thread-safe StageLedger.
+ */
+#ifndef MANTA_EVAL_PARALLEL_H
+#define MANTA_EVAL_PARALLEL_H
+
+#include <cstdio>
+#include <type_traits>
+#include <vector>
+
+#include "eval/harness.h"
+#include "support/task_pool.h"
+#include "support/timer.h"
+
+namespace manta {
+
+/** Fans harness work across a TaskPool with indexed result slots. */
+class ParallelHarness
+{
+  public:
+    /** 0 workers means defaultJobs() (MANTA_JOBS or hardware). */
+    explicit ParallelHarness(std::size_t jobs = 0);
+
+    /** Number of pool workers. */
+    std::size_t jobs() const { return pool_.jobs(); }
+
+    /** Per-stage wall-clock ledger shared by all tasks. */
+    StageLedger &ledger() { return ledger_; }
+
+    /**
+     * Run fn(i) for i in [0, count) on the pool and return the
+     * results in index order. R must be default-constructible. An
+     * exception from any iteration is rethrown after all iterations
+     * finish.
+     */
+    template <typename Fn>
+    auto
+    map(std::size_t count, Fn &&fn)
+        -> std::vector<std::invoke_result_t<Fn &, std::size_t>>
+    {
+        using R = std::invoke_result_t<Fn &, std::size_t>;
+        static_assert(std::is_default_constructible_v<R>,
+                      "map slots are pre-sized");
+        std::vector<R> results(count);
+        pool_.parallelFor(count, [&](std::size_t i) {
+            results[i] = fn(i);
+        });
+        return results;
+    }
+
+    /**
+     * Prepare each project (generate, makeAcyclic, build substrates)
+     * and apply fn(project, i); results are returned in profile
+     * order. Preparation time is billed to the "prepare" stage of the
+     * ledger, fn to "analyze".
+     */
+    template <typename Fn>
+    auto
+    mapProjects(const std::vector<ProjectProfile> &profiles, Fn &&fn)
+        -> std::vector<
+            std::invoke_result_t<Fn &, PreparedProject &, std::size_t>>
+    {
+        return map(profiles.size(), [&](std::size_t i) {
+            PreparedProject project = [&]() {
+                const StageLedger::Scope clock(ledger_, "prepare");
+                return prepareProject(profiles[i]);
+            }();
+            const StageLedger::Scope clock(ledger_, "analyze");
+            return fn(project, i);
+        });
+    }
+
+    /** Firmware-fleet counterpart of mapProjects. */
+    template <typename Fn>
+    auto
+    mapFirmware(const std::vector<FirmwareProfile> &profiles, Fn &&fn)
+        -> std::vector<
+            std::invoke_result_t<Fn &, PreparedProject &, std::size_t>>
+    {
+        return map(profiles.size(), [&](std::size_t i) {
+            PreparedProject project = [&]() {
+                const StageLedger::Scope clock(ledger_, "prepare");
+                return prepareFirmware(profiles[i]);
+            }();
+            const StageLedger::Scope clock(ledger_, "analyze");
+            return fn(project, i);
+        });
+    }
+
+    /**
+     * Thread-safe progress line ("  analyzed <name>"). Lines from
+     * concurrent tasks may interleave in completion order; the tables
+     * printed after the join are unaffected.
+     */
+    static void announce(const std::string &name);
+
+  private:
+    TaskPool pool_;
+    StageLedger ledger_;
+};
+
+} // namespace manta
+
+#endif // MANTA_EVAL_PARALLEL_H

@@ -1,0 +1,200 @@
+#include "support/task_pool.h"
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "support/error.h"
+
+namespace manta {
+
+std::size_t
+defaultJobs()
+{
+    if (const char *env = std::getenv("MANTA_JOBS")) {
+        char *end = nullptr;
+        const long parsed = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && parsed > 0)
+            return static_cast<std::size_t>(parsed);
+        if (env[0] != '\0')
+            std::fprintf(stderr,
+                         "warning: ignoring invalid MANTA_JOBS=%s\n", env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+TaskPool::TaskPool(std::size_t jobs)
+{
+    if (jobs == 0)
+        jobs = defaultJobs();
+    workers_.reserve(jobs);
+    for (std::size_t i = 0; i < jobs; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    for (std::size_t i = 0; i < jobs; ++i)
+        workers_[i]->thread =
+            std::thread([this, i]() { workerLoop(i); });
+}
+
+TaskPool::~TaskPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+        stopping_.store(true);
+    }
+    wake_.notify_all();
+    for (auto &worker : workers_)
+        worker->thread.join();
+}
+
+void
+TaskPool::enqueue(std::function<void()> fn)
+{
+    const std::size_t target =
+        next_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+    {
+        std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+        workers_[target]->deque.push_back(std::move(fn));
+    }
+    {
+        // Publish under wake_mutex_ so a worker checking the predicate
+        // cannot miss the increment (lost-wakeup race).
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+        pending_.fetch_add(1, std::memory_order_relaxed);
+    }
+    wake_.notify_all();
+}
+
+bool
+TaskPool::steal(std::size_t thief, std::function<void()> &out)
+{
+    // Scan siblings starting after the thief so steals spread out
+    // instead of all hammering worker 0.
+    const std::size_t n = workers_.size();
+    for (std::size_t off = 1; off < n; ++off) {
+        Worker &victim = *workers_[(thief + off) % n];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.deque.empty()) {
+            out = std::move(victim.deque.front());
+            victim.deque.pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+TaskPool::tryRunOne(std::size_t self)
+{
+    std::function<void()> task;
+    {
+        Worker &own = *workers_[self];
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.deque.empty()) {
+            // LIFO on the owner's side: the most recently pushed task
+            // is the hottest in cache.
+            task = std::move(own.deque.back());
+            own.deque.pop_back();
+        }
+    }
+    if (!task && !steal(self, task))
+        return false;
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    task();  // packaged_task captures any exception; see submit().
+    return true;
+}
+
+void
+TaskPool::workerLoop(std::size_t self)
+{
+    for (;;) {
+        if (tryRunOne(self))
+            continue;
+        std::unique_lock<std::mutex> lock(wake_mutex_);
+        wake_.wait(lock, [this]() {
+            return stopping_.load() ||
+                   pending_.load(std::memory_order_relaxed) > 0;
+        });
+        if (stopping_.load() &&
+                pending_.load(std::memory_order_relaxed) == 0)
+            return;
+    }
+}
+
+void
+TaskPool::parallelFor(std::size_t count,
+                      const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+
+    // Shared by the caller and the driver tasks; kept alive by
+    // shared_ptr because a driver can outlive this stack frame by a
+    // few instructions after the final iteration completes.
+    struct State
+    {
+        std::function<void(std::size_t)> fn;
+        std::size_t count;
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+        std::mutex mutex;
+        std::condition_variable all_done;
+        std::exception_ptr error;
+        std::size_t error_index = 0;
+    };
+    auto state = std::make_shared<State>();
+    state->fn = fn;
+    state->count = count;
+
+    auto run_one = [](State &s) -> bool {
+        const std::size_t i =
+            s.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= s.count)
+            return false;
+        try {
+            s.fn(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(s.mutex);
+            // Keep the lowest-indexed exception so reruns report the
+            // same failure regardless of scheduling.
+            if (!s.error || i < s.error_index) {
+                s.error = std::current_exception();
+                s.error_index = i;
+            }
+        }
+        if (s.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+                s.count) {
+            std::lock_guard<std::mutex> lock(s.mutex);
+            s.all_done.notify_all();
+        }
+        return true;
+    };
+
+    // The calling thread is one of the jobs() concurrent streams, so
+    // submit one claim-loop driver fewer; iterations are claimed from
+    // the shared counter, so a stalled driver only costs its own
+    // slot. With jobs() == 1 this submits nothing and the loop below
+    // runs every iteration inline, in index order — the strictly
+    // sequential baseline MANTA_JOBS=1 promises.
+    const std::size_t drivers = std::min(count, jobs()) - 1;
+    for (std::size_t d = 0; d < drivers; ++d) {
+        enqueue([state, run_one]() {
+            while (run_one(*state)) {
+            }
+        });
+    }
+    // The calling thread participates: nested parallelFor from
+    // inside a task cannot deadlock even when every worker is busy.
+    while (run_one(*state)) {
+    }
+
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->all_done.wait(lock, [&]() {
+        return state->done.load(std::memory_order_acquire) ==
+               state->count;
+    });
+    if (state->error)
+        std::rethrow_exception(state->error);
+}
+
+} // namespace manta

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Work-stealing thread pool for the evaluation harness (and, later,
+ * the serving path).
+ *
+ * Design: a fixed set of worker threads, each owning a deque of
+ * pending tasks. A worker pushes and pops at the back of its own
+ * deque (LIFO, cache-friendly); when it runs dry it steals from the
+ * front of a sibling's deque (FIFO, oldest-first, which tends to
+ * steal the largest remaining subtrees). External threads submit into
+ * the deque of a worker chosen round-robin.
+ *
+ * Exceptions thrown inside a task are captured into the task's future
+ * (`submit`) or rethrown at the join point (`parallelFor`), never
+ * swallowed and never allowed to tear down a worker thread.
+ *
+ * Determinism: the pool schedules tasks in a nondeterministic order,
+ * so callers that need reproducible output must write results into
+ * pre-sized, index-addressed slots and do all order-sensitive
+ * reduction AFTER the join (see eval/parallel.h for the canonical
+ * pattern).
+ */
+#ifndef MANTA_SUPPORT_TASK_POOL_H
+#define MANTA_SUPPORT_TASK_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace manta {
+
+/**
+ * Number of workers to use by default: the MANTA_JOBS environment
+ * variable when set to a positive integer, otherwise the hardware
+ * concurrency (at least 1).
+ */
+std::size_t defaultJobs();
+
+/** Fixed-size work-stealing thread pool. */
+class TaskPool
+{
+  public:
+    /**
+     * Start `jobs` worker threads (0 means defaultJobs()). With
+     * jobs == 1 the pool degenerates to a single background worker:
+     * tasks run serially, one at a time, with no concurrency between
+     * them.
+     */
+    explicit TaskPool(std::size_t jobs = 0);
+
+    /** Drains remaining tasks, then joins all workers. */
+    ~TaskPool();
+
+    TaskPool(const TaskPool &) = delete;
+    TaskPool &operator=(const TaskPool &) = delete;
+
+    /** Number of worker threads. */
+    std::size_t jobs() const { return workers_.size(); }
+
+    /**
+     * Schedule `fn` and return a future for its result. An exception
+     * escaping `fn` is delivered through the future.
+     */
+    template <typename Fn>
+    auto
+    submit(Fn &&fn) -> std::future<std::invoke_result_t<Fn>>
+    {
+        using R = std::invoke_result_t<Fn>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<Fn>(fn));
+        std::future<R> future = task->get_future();
+        enqueue([task]() { (*task)(); });
+        return future;
+    }
+
+    /**
+     * Run fn(i) for every i in [0, count), distributing iterations
+     * across the pool, and block until all complete. The calling
+     * thread counts as one of the jobs() concurrent streams (it
+     * claims iterations itself), so nested parallelFor cannot
+     * deadlock, and a 1-worker pool runs every iteration inline on
+     * the caller, strictly sequentially, in index order.
+     *
+     * If any iteration throws, one of the captured exceptions (the
+     * lowest-indexed one) is rethrown here after every iteration has
+     * either run or been abandoned; the remaining iterations are
+     * still executed (results in index slots stay valid).
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &fn);
+
+  private:
+    struct Worker
+    {
+        std::deque<std::function<void()>> deque;
+        std::mutex mutex;
+        std::thread thread;
+    };
+
+    void enqueue(std::function<void()> fn);
+    void workerLoop(std::size_t self);
+    bool tryRunOne(std::size_t self);
+    bool steal(std::size_t thief, std::function<void()> &out);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::mutex wake_mutex_;
+    std::condition_variable wake_;
+    std::atomic<std::size_t> next_{0};     ///< Round-robin submit cursor.
+    std::atomic<std::size_t> pending_{0};  ///< Tasks enqueued, not finished.
+    std::atomic<bool> stopping_{false};
+};
+
+} // namespace manta
+
+#endif // MANTA_SUPPORT_TASK_POOL_H

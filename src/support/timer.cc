@@ -4,6 +4,28 @@
 
 namespace manta {
 
+void
+StageLedger::add(const std::string &stage, double seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    seconds_[stage] += seconds;
+}
+
+double
+StageLedger::total(const std::string &stage) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = seconds_.find(stage);
+    return it == seconds_.end() ? 0.0 : it->second;
+}
+
+std::vector<std::pair<std::string, double>>
+StageLedger::totals() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {seconds_.begin(), seconds_.end()};
+}
+
 double
 peakRssMiB()
 {

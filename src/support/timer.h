@@ -1,12 +1,19 @@
 /**
  * @file
- * Wall-clock timing and resident-memory sampling for the bench harness.
+ * Wall-clock timing and resident-memory sampling for the bench
+ * harness, including stage accounting that stays correct when many
+ * harness tasks run concurrently (see StageLedger).
  */
 #ifndef MANTA_SUPPORT_TIMER_H
 #define MANTA_SUPPORT_TIMER_H
 
 #include <chrono>
 #include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace manta {
 
@@ -32,6 +39,67 @@ class Timer
   private:
     using Clock = std::chrono::steady_clock;
     Clock::time_point start_;
+};
+
+/** Adds the elapsed interval to a plain double on scope exit. */
+class ScopedSeconds
+{
+  public:
+    explicit ScopedSeconds(double &sink) : sink_(sink) {}
+    ~ScopedSeconds() { sink_ += timer_.seconds(); }
+
+    ScopedSeconds(const ScopedSeconds &) = delete;
+    ScopedSeconds &operator=(const ScopedSeconds &) = delete;
+
+  private:
+    double &sink_;
+    Timer timer_;
+};
+
+/**
+ * Named per-stage wall-clock accumulator, safe under concurrency.
+ *
+ * Each Scope measures with a timer confined to its own stack frame
+ * (no shared state on the measurement path) and merges the elapsed
+ * interval into the ledger exactly once, at scope exit, under the
+ * ledger mutex. Totals therefore report the SUM of per-task stage
+ * time: with N workers active that sum can exceed wall-clock by up
+ * to a factor of N, which is the number the bench binaries want
+ * ("total work per stage") alongside the end-to-end Timer reading.
+ */
+class StageLedger
+{
+  public:
+    /** RAII: bills the enclosing interval to one stage. */
+    class Scope
+    {
+      public:
+        Scope(StageLedger &ledger, std::string stage)
+            : ledger_(ledger), stage_(std::move(stage))
+        {}
+        ~Scope() { ledger_.add(stage_, timer_.seconds()); }
+
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        StageLedger &ledger_;
+        std::string stage_;
+        Timer timer_;
+    };
+
+    /** Add seconds to a stage (thread-safe). */
+    void add(const std::string &stage, double seconds);
+
+    /** Accumulated seconds for one stage (0 when never billed). */
+    double total(const std::string &stage) const;
+
+    /** All (stage, seconds) pairs, sorted by stage name. */
+    std::vector<std::pair<std::string, double>> totals() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, double> seconds_;
 };
 
 /**

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the ParallelHarness determinism contract: indexed result
+ * slots, and bit-identical metrics between the parallel and the
+ * sequential evaluation path on a fixed-seed corpus.
+ */
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "eval/harness.h"
+#include "eval/metrics.h"
+#include "eval/parallel.h"
+
+namespace manta {
+namespace {
+
+/** A small fixed-seed corpus (shrunk for test runtime). */
+std::vector<ProjectProfile>
+testCorpus()
+{
+    auto profiles = standardCorpus();
+    profiles.resize(4);
+    for (auto &profile : profiles)
+        profile.config.numFunctions = 12;
+    return profiles;
+}
+
+/** Everything a bench row derives from one project, exactly-comparable. */
+struct ProjectMetrics
+{
+    StageStats finalStats;
+    TypeEval eval;
+    std::size_t vars = 0;
+
+    bool
+    operator==(const ProjectMetrics &other) const
+    {
+        return finalStats.precise == other.finalStats.precise &&
+               finalStats.over == other.finalStats.over &&
+               finalStats.unknown == other.finalStats.unknown &&
+               eval.total == other.eval.total &&
+               eval.preciseCorrect == other.eval.preciseCorrect &&
+               eval.captured == other.eval.captured &&
+               eval.unknown == other.eval.unknown &&
+               eval.incorrect == other.eval.incorrect &&
+               vars == other.vars;
+    }
+};
+
+ProjectMetrics
+measure(PreparedProject &project)
+{
+    ProjectMetrics m;
+    const InferenceResult result =
+        project.analyzer->infer(HybridConfig::full());
+    m.finalStats = result.finalStats();
+    m.eval = evalInference(project.module(), project.truth(), result);
+    m.vars = evaluatedParams(project.module(), project.truth()).size();
+    return m;
+}
+
+TEST(ParallelHarnessTest, MapKeepsIndexOrder)
+{
+    ParallelHarness harness(4);
+    auto squares = harness.map(100, [](std::size_t i) {
+        return i * i;
+    });
+    ASSERT_EQ(squares.size(), 100u);
+    for (std::size_t i = 0; i < squares.size(); ++i)
+        EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(ParallelHarnessTest, MapPropagatesTaskException)
+{
+    ParallelHarness harness(2);
+    EXPECT_THROW(harness.map(10,
+                             [](std::size_t i) -> int {
+                                 if (i == 3)
+                                     throw std::runtime_error("task 3");
+                                 return 0;
+                             }),
+                 std::runtime_error);
+}
+
+TEST(ParallelHarnessTest, ParallelMatchesSequentialBitExactly)
+{
+    const auto profiles = testCorpus();
+
+    // Sequential reference: the plain loop the bench binaries used to
+    // run.
+    std::vector<ProjectMetrics> sequential;
+    for (const auto &profile : profiles) {
+        PreparedProject project = prepareProject(profile);
+        sequential.push_back(measure(project));
+    }
+
+    // Parallel run with more workers than projects to force real
+    // concurrency.
+    ParallelHarness harness(4);
+    auto parallel = harness.mapProjects(
+        profiles, [](PreparedProject &project, std::size_t) {
+            return measure(project);
+        });
+
+    ASSERT_EQ(parallel.size(), sequential.size());
+    for (std::size_t i = 0; i < parallel.size(); ++i)
+        EXPECT_TRUE(parallel[i] == sequential[i]) << "project " << i;
+}
+
+TEST(ParallelHarnessTest, OneWorkerMatchesManyWorkers)
+{
+    const auto profiles = testCorpus();
+    auto run = [&](std::size_t jobs) {
+        ParallelHarness harness(jobs);
+        return harness.mapProjects(
+            profiles, [](PreparedProject &project, std::size_t) {
+                return measure(project);
+            });
+    };
+    const auto one = run(1);
+    const auto many = run(3);
+    ASSERT_EQ(one.size(), many.size());
+    for (std::size_t i = 0; i < one.size(); ++i)
+        EXPECT_TRUE(one[i] == many[i]) << "project " << i;
+}
+
+TEST(ParallelHarnessTest, LedgerBillsPrepareAndAnalyze)
+{
+    ParallelHarness harness(2);
+    auto profiles = testCorpus();
+    profiles.resize(2);
+    harness.mapProjects(profiles,
+                        [](PreparedProject &, std::size_t) { return 0; });
+    EXPECT_GT(harness.ledger().total("prepare"), 0.0);
+    EXPECT_GE(harness.ledger().total("analyze"), 0.0);
+}
+
+TEST(ParallelHarnessTest, FirmwareFleetPreparesInOrder)
+{
+    auto fleet = firmwareFleet();
+    fleet.resize(2);
+    for (auto &profile : fleet)
+        profile.config.numFunctions = 10;
+    ParallelHarness harness(2);
+    auto names = harness.mapFirmware(
+        fleet, [](PreparedProject &project, std::size_t) {
+            return project.name;
+        });
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], fleet[0].name);
+    EXPECT_EQ(names[1], fleet[1].name);
+}
+
+TEST(ParallelHarnessTest, PerStageProfileTimesAreRecorded)
+{
+    auto profile = standardCorpus().front();
+    profile.config.numFunctions = 12;
+    PreparedProject project = prepareProject(profile);
+    const InferenceResult result =
+        project.analyzer->infer(HybridConfig::full());
+    const InferenceProfile &p = result.profile();
+    EXPECT_GT(p.fiSeconds, 0.0);
+    EXPECT_GE(p.csSeconds, 0.0);
+    EXPECT_GE(p.fsSeconds, 0.0);
+    // Stage times are contained in the end-to-end reading.
+    EXPECT_LE(p.fiSeconds + p.csSeconds + p.fsSeconds,
+              p.seconds + 1e-6);
+}
+
+} // namespace
+} // namespace manta

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the work-stealing TaskPool: submission, exception
+ * propagation, parallelFor coverage, the 1-worker degenerate case,
+ * nested parallelism, MANTA_JOBS parsing, and the StageLedger.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "support/task_pool.h"
+#include "support/timer.h"
+
+namespace manta {
+namespace {
+
+TEST(TaskPoolTest, SubmitReturnsFutureValue)
+{
+    TaskPool pool(2);
+    auto doubled = pool.submit([]() { return 21 * 2; });
+    auto text = pool.submit([]() { return std::string("manta"); });
+    EXPECT_EQ(doubled.get(), 42);
+    EXPECT_EQ(text.get(), "manta");
+}
+
+TEST(TaskPoolTest, ExceptionFromWorkerPropagatesThroughFuture)
+{
+    TaskPool pool(2);
+    auto failing = pool.submit([]() -> int {
+        throw std::runtime_error("boom in worker");
+    });
+    EXPECT_THROW(
+        {
+            try {
+                failing.get();
+            } catch (const std::runtime_error &e) {
+                EXPECT_STREQ(e.what(), "boom in worker");
+                throw;
+            }
+        },
+        std::runtime_error);
+
+    // The worker that threw must still be alive and serving tasks.
+    auto after = pool.submit([]() { return 7; });
+    EXPECT_EQ(after.get(), 7);
+}
+
+TEST(TaskPoolTest, ParallelForCoversManyMoreTasksThanWorkers)
+{
+    TaskPool pool(3);
+    constexpr std::size_t kCount = 500;
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.parallelFor(kCount, [&](std::size_t i) {
+        hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < kCount; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(TaskPoolTest, ParallelForRethrowsLowestIndexedException)
+{
+    TaskPool pool(4);
+    std::atomic<int> completed{0};
+    try {
+        pool.parallelFor(100, [&](std::size_t i) {
+            if (i == 13 || i == 77)
+                throw std::out_of_range("failed at " + std::to_string(i));
+            completed.fetch_add(1);
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::out_of_range &e) {
+        EXPECT_STREQ(e.what(), "failed at 13");
+    }
+    // Healthy iterations all ran despite the failures.
+    EXPECT_EQ(completed.load(), 98);
+}
+
+TEST(TaskPoolTest, OneWorkerDegenerateCase)
+{
+    TaskPool pool(1);
+    EXPECT_EQ(pool.jobs(), 1u);
+
+    std::atomic<int> sum{0};
+    pool.parallelFor(50, [&](std::size_t i) {
+        sum.fetch_add(static_cast<int>(i));
+    });
+    EXPECT_EQ(sum.load(), 49 * 50 / 2);
+
+    auto value = pool.submit([]() { return 5; });
+    EXPECT_EQ(value.get(), 5);
+}
+
+TEST(TaskPoolTest, ParallelForZeroCountIsANoop)
+{
+    TaskPool pool(2);
+    bool ran = false;
+    pool.parallelFor(0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(TaskPoolTest, NestedParallelForDoesNotDeadlock)
+{
+    // Every worker blocks inside an outer iteration; the nested loops
+    // still finish because the submitting thread claims iterations
+    // itself.
+    TaskPool pool(2);
+    std::atomic<int> inner_total{0};
+    pool.parallelFor(4, [&](std::size_t) {
+        pool.parallelFor(8, [&](std::size_t) {
+            inner_total.fetch_add(1);
+        });
+    });
+    EXPECT_EQ(inner_total.load(), 32);
+}
+
+TEST(TaskPoolTest, DefaultJobsHonorsEnvironment)
+{
+    ::setenv("MANTA_JOBS", "3", 1);
+    EXPECT_EQ(defaultJobs(), 3u);
+    ::setenv("MANTA_JOBS", "not-a-number", 1);
+    EXPECT_GE(defaultJobs(), 1u);  // falls back to hardware
+    ::unsetenv("MANTA_JOBS");
+    EXPECT_GE(defaultJobs(), 1u);
+
+    ::setenv("MANTA_JOBS", "2", 1);
+    TaskPool pool;  // 0 == defaultJobs()
+    EXPECT_EQ(pool.jobs(), 2u);
+    ::unsetenv("MANTA_JOBS");
+}
+
+TEST(StageLedgerTest, AccumulatesAcrossConcurrentScopes)
+{
+    StageLedger ledger;
+    TaskPool pool(4);
+    pool.parallelFor(64, [&](std::size_t i) {
+        const StageLedger::Scope scope(
+            ledger, i % 2 == 0 ? "even" : "odd");
+        // Body intentionally trivial; billing just has to be exact
+        // in count, not magnitude.
+    });
+    ledger.add("even", 1.0);
+    EXPECT_GE(ledger.total("even"), 1.0);
+    EXPECT_GE(ledger.total("odd"), 0.0);
+    EXPECT_EQ(ledger.total("never-billed"), 0.0);
+
+    const auto totals = ledger.totals();
+    ASSERT_EQ(totals.size(), 2u);
+    EXPECT_EQ(totals[0].first, "even");  // sorted by stage name
+    EXPECT_EQ(totals[1].first, "odd");
+}
+
+TEST(StageLedgerTest, ScopedSecondsAddsToSink)
+{
+    double sink = 0.0;
+    {
+        const ScopedSeconds clock(sink);
+    }
+    EXPECT_GE(sink, 0.0);
+    const double first = sink;
+    {
+        const ScopedSeconds clock(sink);
+    }
+    EXPECT_GE(sink, first);
+}
+
+} // namespace
+} // namespace manta
