@@ -29,6 +29,7 @@ struct SizePoint
     int numFunctions = 0;
     std::size_t numInsts = 0;
     double substrateSeconds = 0.0;
+    double ptsSeconds = 0.0;
     double fiSeconds = 0.0;
     double csSeconds = 0.0;
     double fsSeconds = 0.0;
@@ -65,6 +66,7 @@ runFig10()
         const InferenceResult result = analyzer.infer();
         const InferenceProfile &profile = result.profile();
         point.numInsts = prog.module->numInsts();
+        point.ptsSeconds = profile.ptsSeconds;
         point.fiSeconds = profile.fiSeconds;
         point.csSeconds = profile.csSeconds;
         point.fsSeconds = profile.fsSeconds;
@@ -76,8 +78,8 @@ runFig10()
 
     AsciiTable table;
     table.setHeader({"#funcs", "#insts", "KLoC-equiv", "substrate (s)",
-                     "FI (s)", "CS (s)", "FS (s)", "inference (s)",
-                     "peak RSS (MiB)"});
+                     "PTS (s)", "FI (s)", "CS (s)", "FS (s)",
+                     "inference (s)", "peak RSS (MiB)"});
 
     std::vector<double> sizes, times;
     for (const SizePoint &point : points) {
@@ -87,6 +89,7 @@ runFig10()
                       std::to_string(point.numInsts),
                       fmtDouble(kloc, 1),
                       fmtDouble(point.substrateSeconds, 3),
+                      fmtDouble(point.ptsSeconds, 3),
                       fmtDouble(point.fiSeconds, 3),
                       fmtDouble(point.csSeconds, 3),
                       fmtDouble(point.fsSeconds, 3),

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Dense-vs-sparse points-to solver benchmark.
+ *
+ * Runs both fixpoint engines over a slice of the standard corpus
+ * (smallest through largest project), verifies they compute identical
+ * solutions, and reports wall clock, speedup and the sparse solver's
+ * work counters. Results go to stdout as a table and to
+ * BENCH_pointsto.json for CI artifacts and the committed reference
+ * numbers.
+ *
+ * Flags:
+ *   --quick       Small projects only, one timing rep (CI smoke).
+ *   --out <path>  JSON output path (default BENCH_pointsto.json).
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/acyclic.h"
+#include "analysis/memobj.h"
+#include "analysis/pointsto.h"
+#include "frontend/corpus.h"
+#include "support/table.h"
+#include "support/timer.h"
+
+namespace manta {
+namespace {
+
+struct SolverRun
+{
+    double seconds = 0.0;
+    PointsTo::Stats stats;
+};
+
+/** Best-of-reps timing of one engine; keeps the last instance alive. */
+SolverRun
+timeSolver(const Module &module, const MemObjects &objects,
+           PtsSolver solver, int reps, std::unique_ptr<PointsTo> *keep)
+{
+    SolverRun best;
+    for (int r = 0; r < reps; ++r) {
+        auto pts = std::make_unique<PointsTo>(module, objects, true, solver);
+        const Timer timer;
+        pts->run();
+        const double s = timer.seconds();
+        if (r == 0 || s < best.seconds) {
+            best.seconds = s;
+            best.stats = pts->stats();
+        }
+        *keep = std::move(pts);
+    }
+    return best;
+}
+
+struct ProjectRow
+{
+    std::string name;
+    int functions = 0;
+    std::size_t insts = 0;
+    SolverRun dense;
+    SolverRun sparse;
+    bool identical = false;
+
+    double
+    speedup() const
+    {
+        return sparse.seconds > 0.0 ? dense.seconds / sparse.seconds : 0.0;
+    }
+};
+
+bool
+sameSolution(const Module &module, const PointsTo &a, const PointsTo &b)
+{
+    std::size_t shown = 0, differing = 0;
+    for (std::size_t v = 0; v < module.numValues(); ++v) {
+        const ValueId vid(static_cast<ValueId::RawType>(v));
+        if (a.locs(vid) == b.locs(vid))
+            continue;
+        ++differing;
+        if (shown >= 8)
+            continue;
+        ++shown;
+        const Value &val = module.value(vid);
+        std::fprintf(stderr, "differing value #%zu kind=%d", v,
+                     static_cast<int>(val.kind));
+        if (val.kind == ValueKind::InstResult) {
+            const Instruction &def = module.inst(val.inst);
+            std::fprintf(stderr, " def-op=%d ops=[",
+                         static_cast<int>(def.op));
+            for (const ValueId op : def.operands)
+                std::fprintf(stderr, "%u ", op.raw());
+            std::fprintf(stderr, "]");
+        }
+        std::fprintf(stderr, " dense={");
+        for (const Loc &l : a.locs(vid))
+            std::fprintf(stderr, "(%u,%d)", l.obj.raw(), l.offset);
+        std::fprintf(stderr, "} sparse={");
+        for (const Loc &l : b.locs(vid))
+            std::fprintf(stderr, "(%u,%d)", l.obj.raw(), l.offset);
+        std::fprintf(stderr, "}\n");
+    }
+    if (differing > 0) {
+        std::fprintf(stderr, "%zu differing values total\n", differing);
+        return false;
+    }
+    auto ab = a.fieldBuckets();
+    auto bb = b.fieldBuckets();
+    std::sort(ab.begin(), ab.end());
+    std::sort(bb.begin(), bb.end());
+    if (ab != bb)
+        return false;
+    for (const auto &[obj, off] : ab) {
+        if (a.fieldPts(obj, off) != b.fieldPts(obj, off))
+            return false;
+    }
+    return true;
+}
+
+void
+writeJson(const std::string &path, const std::vector<ProjectRow> &rows)
+{
+    std::FILE *out = std::fopen(path.c_str(), "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(out, "{\n  \"benchmark\": \"pointsto\",\n");
+    std::fprintf(out, "  \"projects\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const ProjectRow &r = rows[i];
+        std::fprintf(out,
+                     "    {\"name\": \"%s\", \"functions\": %d, "
+                     "\"insts\": %zu, \"denseSeconds\": %.6f, "
+                     "\"sparseSeconds\": %.6f, \"speedup\": %.2f, "
+                     "\"densePasses\": %zu, \"sparsePops\": %zu, "
+                     "\"densePops\": %zu, \"deltaLocs\": %zu, "
+                     "\"bucketHits\": %zu, \"identical\": %s}%s\n",
+                     r.name.c_str(), r.functions, r.insts,
+                     r.dense.seconds, r.sparse.seconds, r.speedup(),
+                     r.dense.stats.passes, r.sparse.stats.pops,
+                     r.dense.stats.pops, r.sparse.stats.deltaLocs,
+                     r.sparse.stats.bucketHits,
+                     r.identical ? "true" : "false",
+                     i + 1 < rows.size() ? "," : "");
+    }
+    const ProjectRow &largest = rows.back();
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out, "  \"largestProject\": \"%s\",\n",
+                 largest.name.c_str());
+    std::fprintf(out, "  \"largestSpeedup\": %.2f\n}\n",
+                 largest.speedup());
+    std::fclose(out);
+    std::printf("\nwrote %s\n", path.c_str());
+}
+
+int
+runMicroPointsTo(bool quick, const std::string &out_path)
+{
+    std::printf("=== micro_pointsto: dense vs sparse solver ===\n\n");
+
+    // Smallest to largest; quick mode keeps CI runtime trivial.
+    std::vector<std::string> picks =
+        quick ? std::vector<std::string>{"vsftpd", "memcached"}
+              : std::vector<std::string>{"vsftpd", "memcached", "tmux",
+                                         "redis", "vim", "python",
+                                         "ffmpeg"};
+    const int reps = quick ? 1 : 3;
+
+    std::vector<ProjectRow> rows;
+    for (const ProjectProfile &profile : standardCorpus()) {
+        if (std::find(picks.begin(), picks.end(), profile.name) ==
+                picks.end()) {
+            continue;
+        }
+        GeneratedProgram prog = buildProject(profile);
+        makeAcyclic(*prog.module);
+        const Module &module = *prog.module;
+        const MemObjects objects(module);
+
+        ProjectRow row;
+        row.name = profile.name;
+        row.functions = profile.config.numFunctions;
+        row.insts = module.numInsts();
+
+        std::unique_ptr<PointsTo> dense, sparse;
+        row.dense = timeSolver(module, objects, PtsSolver::Dense, reps,
+                               &dense);
+        row.sparse = timeSolver(module, objects, PtsSolver::Sparse, reps,
+                                &sparse);
+        row.identical = sameSolution(module, *dense, *sparse);
+        std::printf("  %-10s %4d funcs %7zu insts  dense %.3fs  "
+                    "sparse %.3fs  %.2fx %s\n",
+                    row.name.c_str(), row.functions, row.insts,
+                    row.dense.seconds, row.sparse.seconds, row.speedup(),
+                    row.identical ? "" : " SOLUTIONS DIFFER");
+        std::fflush(stdout);
+        rows.push_back(std::move(row));
+    }
+
+    AsciiTable table;
+    table.setHeader({"project", "#funcs", "#insts", "dense (s)",
+                     "sparse (s)", "speedup", "dense pops", "sparse pops",
+                     "delta locs", "identical"});
+    bool all_identical = true;
+    for (const ProjectRow &r : rows) {
+        all_identical &= r.identical;
+        table.addRow({r.name, std::to_string(r.functions),
+                      std::to_string(r.insts), fmtDouble(r.dense.seconds, 4),
+                      fmtDouble(r.sparse.seconds, 4),
+                      fmtDouble(r.speedup(), 2) + "x",
+                      std::to_string(r.dense.stats.pops),
+                      std::to_string(r.sparse.stats.pops),
+                      std::to_string(r.sparse.stats.deltaLocs),
+                      r.identical ? "yes" : "NO"});
+    }
+    std::printf("\n%s", table.render().c_str());
+
+    if (!rows.empty())
+        writeJson(out_path, rows);
+    if (!all_identical) {
+        std::fprintf(stderr, "FAIL: sparse and dense solutions differ\n");
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace manta
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string out_path = "BENCH_pointsto.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out_path = argv[++i];
+    }
+    return manta::runMicroPointsTo(quick, out_path);
+}

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Abstract locations and the flat sorted location set used by the
+ * points-to analysis.
+ *
+ * A Loc packs into 8 trivially copyable bytes, so a points-to set is
+ * kept as a sorted small-vector with inline storage for the common
+ * 1-4 element case: no node allocation on insert, cache-friendly
+ * iteration, and the same (object, signed offset) ordering the
+ * original std::set-based implementation exposed.
+ */
+#ifndef MANTA_ANALYSIS_LOCSET_H
+#define MANTA_ANALYSIS_LOCSET_H
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+#include <utility>
+
+#include "analysis/memobj.h"
+
+namespace manta {
+
+/** One abstract location: an object plus a byte offset within it. */
+struct Loc
+{
+    /** Sentinel byte offset meaning "somewhere in the object". */
+    static constexpr std::int32_t unknownOffset = -1;
+
+    ObjectId obj;
+    std::int32_t offset = 0;
+
+    bool collapsed() const { return offset == unknownOffset; }
+
+    /** The (obj, offset) pair packed into one 64-bit field-bucket key. */
+    std::uint64_t
+    packed() const
+    {
+        return (static_cast<std::uint64_t>(obj.raw()) << 32) |
+               static_cast<std::uint32_t>(offset);
+    }
+
+    friend bool
+    operator<(const Loc &a, const Loc &b)
+    {
+        if (a.obj != b.obj)
+            return a.obj < b.obj;
+        return a.offset < b.offset;
+    }
+    friend bool
+    operator==(const Loc &a, const Loc &b)
+    {
+        return a.obj == b.obj && a.offset == b.offset;
+    }
+    friend bool operator!=(const Loc &a, const Loc &b) { return !(a == b); }
+
+    /** May these two locations denote the same memory? */
+    static bool
+    mayOverlap(const Loc &a, const Loc &b)
+    {
+        return a.obj == b.obj &&
+               (a.collapsed() || b.collapsed() || a.offset == b.offset);
+    }
+};
+
+static_assert(sizeof(Loc) == 8, "Loc must pack into 8 bytes");
+static_assert(std::is_trivially_copyable_v<Loc>,
+              "LocSet relies on memcpy-able locations");
+
+/**
+ * A sorted set of locations backed by a small vector.
+ *
+ * The first `kInline` elements live inside the object itself; larger
+ * sets spill to a heap array. Iteration is in ascending (obj, offset)
+ * order, matching the std::set<Loc> it replaced, so downstream
+ * consumers (unification, DDG construction, tests) observe identical
+ * ordering.
+ */
+class LocSet
+{
+  public:
+    using value_type = Loc;
+    using const_iterator = const Loc *;
+    static constexpr std::uint32_t kInline = 4;
+
+    LocSet() = default;
+
+    LocSet(std::initializer_list<Loc> init)
+    {
+        for (const Loc &loc : init)
+            insert(loc);
+    }
+
+    LocSet(const LocSet &other) { copyFrom(other); }
+
+    LocSet(LocSet &&other) noexcept { moveFrom(std::move(other)); }
+
+    LocSet &
+    operator=(const LocSet &other)
+    {
+        if (this != &other) {
+            release();
+            copyFrom(other);
+        }
+        return *this;
+    }
+
+    LocSet &
+    operator=(LocSet &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            moveFrom(std::move(other));
+        }
+        return *this;
+    }
+
+    ~LocSet() { release(); }
+
+    const_iterator begin() const { return data(); }
+    const_iterator end() const { return data() + size_; }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    void
+    clear()
+    {
+        release();
+        size_ = 0;
+        capacity_ = kInline;
+    }
+
+    /**
+     * Insert one location, keeping the set sorted and unique. Returns
+     * the position of the (possibly pre-existing) element and whether
+     * an insertion happened, mirroring std::set::insert.
+     */
+    std::pair<const_iterator, bool>
+    insert(const Loc &loc)
+    {
+        Loc *base = data();
+        Loc *pos = std::lower_bound(base, base + size_, loc);
+        if (pos != base + size_ && *pos == loc)
+            return {pos, false};
+        const std::size_t at = static_cast<std::size_t>(pos - base);
+        if (size_ == capacity_) {
+            grow(capacity_ * 2);
+            base = data();
+        }
+        std::memmove(base + at + 1, base + at, (size_ - at) * sizeof(Loc));
+        base[at] = loc;
+        ++size_;
+        return {base + at, true};
+    }
+
+    /** Insert a range (set union with any Loc range). */
+    template <typename It>
+    void
+    insert(It first, It last)
+    {
+        for (; first != last; ++first)
+            insert(*first);
+    }
+
+    const_iterator
+    find(const Loc &loc) const
+    {
+        const Loc *pos = std::lower_bound(begin(), end(), loc);
+        return (pos != end() && *pos == loc) ? pos : end();
+    }
+
+    std::size_t count(const Loc &loc) const { return find(loc) != end(); }
+    bool contains(const Loc &loc) const { return find(loc) != end(); }
+
+    friend bool
+    operator==(const LocSet &a, const LocSet &b)
+    {
+        return a.size_ == b.size_ &&
+               std::equal(a.begin(), a.end(), b.begin());
+    }
+    friend bool
+    operator!=(const LocSet &a, const LocSet &b)
+    {
+        return !(a == b);
+    }
+
+  private:
+    Loc *
+    data()
+    {
+        return onHeap() ? heap_ : reinterpret_cast<Loc *>(inline_);
+    }
+    const Loc *
+    data() const
+    {
+        return onHeap() ? heap_ : reinterpret_cast<const Loc *>(inline_);
+    }
+    bool onHeap() const { return capacity_ > kInline; }
+
+    void
+    grow(std::uint32_t new_capacity)
+    {
+        Loc *storage = new Loc[new_capacity];
+        std::memcpy(storage, data(), size_ * sizeof(Loc));
+        release();
+        heap_ = storage;
+        capacity_ = new_capacity;
+    }
+
+    void
+    release()
+    {
+        if (onHeap())
+            delete[] heap_;
+    }
+
+    void
+    copyFrom(const LocSet &other)
+    {
+        size_ = other.size_;
+        if (other.onHeap()) {
+            capacity_ = other.capacity_;
+            heap_ = new Loc[capacity_];
+            std::memcpy(heap_, other.heap_, size_ * sizeof(Loc));
+        } else {
+            capacity_ = kInline;
+            std::memcpy(inline_, other.inline_, size_ * sizeof(Loc));
+        }
+    }
+
+    void
+    moveFrom(LocSet &&other) noexcept
+    {
+        size_ = other.size_;
+        capacity_ = other.capacity_;
+        if (other.onHeap())
+            heap_ = other.heap_;
+        else
+            std::memcpy(inline_, other.inline_, size_ * sizeof(Loc));
+        other.size_ = 0;
+        other.capacity_ = kInline;
+    }
+
+    std::uint32_t size_ = 0;
+    std::uint32_t capacity_ = kInline;
+    // Raw inline storage keeps both union variants trivial (Loc has a
+    // non-trivial default constructor, which would otherwise delete
+    // the defaulted LocSet constructors). Loc is trivially copyable,
+    // so elements are materialized by plain stores and memcpy.
+    union {
+        alignas(Loc) unsigned char inline_[kInline * sizeof(Loc)];
+        Loc *heap_;
+    };
+};
+
+} // namespace manta
+
+#endif // MANTA_ANALYSIS_LOCSET_H

@@ -4,6 +4,8 @@ namespace manta {
 
 MemObjects::MemObjects(const Module &module)
 {
+    by_site_.assign(module.numInsts(), ObjectId::invalid());
+    by_global_.assign(module.numGlobals(), ObjectId::invalid());
     for (std::size_t g = 0; g < module.numGlobals(); ++g) {
         const GlobalId gid(static_cast<GlobalId::RawType>(g));
         MemObject obj;
@@ -12,7 +14,7 @@ MemObjects::MemObjects(const Module &module)
         obj.sizeBytes = module.global(gid).sizeBytes;
         const ObjectId oid(static_cast<ObjectId::RawType>(objects_.size()));
         objects_.push_back(obj);
-        by_global_[gid.raw()] = oid;
+        by_global_[gid.index()] = oid;
     }
 
     for (std::size_t b = 0; b < module.numBlocks(); ++b) {
@@ -29,7 +31,7 @@ MemObjects::MemObjects(const Module &module)
                 const ObjectId oid(
                     static_cast<ObjectId::RawType>(objects_.size()));
                 objects_.push_back(obj);
-                by_site_[iid.raw()] = oid;
+                by_site_[iid.index()] = oid;
             } else if (inst.op == Opcode::Call && inst.external.valid()) {
                 const External &ext = module.external(inst.external);
                 const bool returns_ptr =
@@ -52,7 +54,7 @@ MemObjects::MemObjects(const Module &module)
                 const ObjectId oid(
                     static_cast<ObjectId::RawType>(objects_.size()));
                 objects_.push_back(obj);
-                by_site_[iid.raw()] = oid;
+                by_site_[iid.index()] = oid;
             }
         }
     }
@@ -61,15 +63,17 @@ MemObjects::MemObjects(const Module &module)
 ObjectId
 MemObjects::objectOfSite(InstId site) const
 {
-    const auto it = by_site_.find(site.raw());
-    return it == by_site_.end() ? ObjectId::invalid() : it->second;
+    if (!site.valid() || site.index() >= by_site_.size())
+        return ObjectId::invalid();
+    return by_site_[site.index()];
 }
 
 ObjectId
 MemObjects::objectOfGlobal(GlobalId global) const
 {
-    const auto it = by_global_.find(global.raw());
-    return it == by_global_.end() ? ObjectId::invalid() : it->second;
+    if (!global.valid() || global.index() >= by_global_.size())
+        return ObjectId::invalid();
+    return by_global_[global.index()];
 }
 
 std::vector<ObjectId>

@@ -11,7 +11,6 @@
 #ifndef MANTA_ANALYSIS_MEMOBJ_H
 #define MANTA_ANALYSIS_MEMOBJ_H
 
-#include <unordered_map>
 #include <vector>
 
 #include "mir/mir.h"
@@ -62,9 +61,13 @@ class MemObjects
     std::vector<ObjectId> allObjects() const;
 
   private:
+    // Dense site/global -> object tables indexed by raw id: the
+    // points-to solver probes objectOfSite for every seeded value and
+    // every external-object pseudo-store, so lookups are a plain
+    // vector load rather than a hash probe.
     std::vector<MemObject> objects_;
-    std::unordered_map<std::uint32_t, ObjectId> by_site_;
-    std::unordered_map<std::uint32_t, ObjectId> by_global_;
+    std::vector<ObjectId> by_site_;
+    std::vector<ObjectId> by_global_;
 };
 
 } // namespace manta

@@ -6,18 +6,63 @@
 
 namespace manta {
 
+namespace {
+
+std::uint64_t
+packPair(std::uint32_t hi, std::uint32_t lo)
+{
+    return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+} // namespace
+
 StoreReach::StoreReach(const Module &module) : module_(module)
 {
     position_.assign(module.numInsts(), 0);
     for (std::size_t b = 0; b < module.numBlocks(); ++b) {
         const BasicBlock &bb = module.block(BlockId(BlockId::RawType(b)));
-        for (std::size_t i = 0; i < bb.insts.size(); ++i)
-            position_[bb.insts[i].index()] = static_cast<std::uint32_t>(i);
+        for (std::size_t i = 0; i < bb.insts.size(); ++i) {
+            const InstId iid = bb.insts[i];
+            position_[iid.index()] = static_cast<std::uint32_t>(i);
+            // Strong-update table: record where each address SSA value
+            // is stored through, in ascending block position.
+            const Instruction &inst = module.inst(iid);
+            if (inst.op != Opcode::Store)
+                continue;
+            const std::uint64_t key =
+                packPair(BlockId::RawType(b), inst.operands[0].raw());
+            const auto [slot, inserted] = store_index_.insert(
+                key, static_cast<std::uint32_t>(store_positions_.size()));
+            if (inserted)
+                store_positions_.emplace_back();
+            store_positions_[slot].push_back(static_cast<std::uint32_t>(i));
+        }
+    }
+
+    // Block-to-block may-reach, per function (block ids are unique
+    // module-wide, so one set serves every function).
+    for (const FuncId fid : module.funcIds()) {
+        const Cfg cfg(module_, fid);
+        for (const BlockId start : module.func(fid).blocks) {
+            std::vector<BlockId> stack{start};
+            std::unordered_set<std::uint32_t> seen;
+            while (!stack.empty()) {
+                const BlockId at = stack.back();
+                stack.pop_back();
+                for (const BlockId next : cfg.succs(at)) {
+                    if (seen.insert(next.raw()).second) {
+                        block_reach_.insert(
+                            packPair(start.raw(), next.raw()));
+                        stack.push_back(next);
+                    }
+                }
+            }
+        }
     }
 }
 
 bool
-StoreReach::reaches(InstId store, ValueId store_addr, InstId load)
+StoreReach::reaches(InstId store, ValueId store_addr, InstId load) const
 {
     if (!store.valid() || !load.valid())
         return true;
@@ -29,49 +74,31 @@ StoreReach::reaches(InstId store, ValueId store_addr, InstId load)
         return true; // conservative across functions
 
     if (si.parent == li.parent) {
-        if (position_[store.index()] >= position_[load.index()])
+        const std::uint32_t store_pos = position_[store.index()];
+        const std::uint32_t load_pos = position_[load.index()];
+        if (store_pos >= load_pos)
             return false;
         // Strong update: a later same-address store kills this one.
         if (store_addr.valid()) {
-            const BasicBlock &bb = module_.block(si.parent);
-            for (std::size_t i = position_[store.index()] + 1;
-                 i < position_[load.index()]; ++i) {
-                const Instruction &mid = module_.inst(bb.insts[i]);
-                if (mid.op == Opcode::Store &&
-                        mid.operands[0] == store_addr) {
+            const std::uint32_t slot = store_index_.find(
+                packPair(si.parent.raw(), store_addr.raw()));
+            if (slot != FlatU64Map::npos) {
+                const auto &positions = store_positions_[slot];
+                const auto killer = std::upper_bound(
+                    positions.begin(), positions.end(), store_pos);
+                if (killer != positions.end() && *killer < load_pos)
                     return false;
-                }
             }
         }
         return true;
     }
-    return blockReaches(sf, si.parent, li.parent);
+    return blockReaches(si.parent, li.parent);
 }
 
 bool
-StoreReach::blockReaches(FuncId func, BlockId from, BlockId to)
+StoreReach::blockReaches(BlockId from, BlockId to) const
 {
-    auto &reach = reach_cache_[func.raw()];
-    if (!cached_.count(func.raw())) {
-        const Cfg cfg(module_, func);
-        for (const BlockId start : module_.func(func).blocks) {
-            std::vector<BlockId> stack{start};
-            std::unordered_set<std::uint32_t> seen;
-            while (!stack.empty()) {
-                const BlockId at = stack.back();
-                stack.pop_back();
-                for (const BlockId next : cfg.succs(at)) {
-                    if (seen.insert(next.raw()).second) {
-                        reach.insert((std::uint64_t(start.raw()) << 32) |
-                                     next.raw());
-                        stack.push_back(next);
-                    }
-                }
-            }
-        }
-        cached_.insert(func.raw());
-    }
-    return reach.count((std::uint64_t(from.raw()) << 32) | to.raw()) > 0;
+    return block_reach_.count(packPair(from.raw(), to.raw())) > 0;
 }
 
 } // namespace manta

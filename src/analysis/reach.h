@@ -8,19 +8,26 @@
  * load's site on the CFG; within one block, a later store through the
  * same address SSA value kills the earlier one (a strong update).
  * Cross-function queries are conservatively true.
+ *
+ * Every table is precomputed in the constructor, so queries are const
+ * and safe to issue concurrently from substrate-sharing readers (see
+ * docs/PIPELINE.md): block-to-block may-reach sets per function, and
+ * per-(block, address) sorted store positions that answer the strong-
+ * update "is there a killing store in between?" question with one
+ * binary search instead of rescanning the block per query.
  */
 #ifndef MANTA_ANALYSIS_REACH_H
 #define MANTA_ANALYSIS_REACH_H
 
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "mir/mir.h"
+#include "support/flat_map.h"
 
 namespace manta {
 
-/** Cached may-reach queries between instruction sites. */
+/** Precomputed may-reach queries between instruction sites. */
 class StoreReach
 {
   public:
@@ -31,16 +38,19 @@ class StoreReach
      * `load`? `store_addr` (optional) enables the same-block strong
      * update check. Invalid ids answer true (no constraint known).
      */
-    bool reaches(InstId store, ValueId store_addr, InstId load);
+    bool reaches(InstId store, ValueId store_addr, InstId load) const;
 
   private:
-    bool blockReaches(FuncId func, BlockId from, BlockId to);
+    bool blockReaches(BlockId from, BlockId to) const;
 
     const Module &module_;
     std::vector<std::uint32_t> position_;
-    std::unordered_map<std::uint32_t, std::unordered_set<std::uint64_t>>
-        reach_cache_;
-    std::unordered_set<std::uint32_t> cached_;
+    /** (from block << 32 | to block) pairs with a non-trivial CFG path. */
+    std::unordered_set<std::uint64_t> block_reach_;
+    /** (block << 32 | address value) -> index into store_positions_. */
+    FlatU64Map store_index_;
+    /** Ascending in-block positions of stores through one address. */
+    std::vector<std::vector<std::uint32_t>> store_positions_;
 };
 
 } // namespace manta

@@ -107,6 +107,7 @@ MantaAnalyzer::infer(const HybridConfig &config)
     TypeEnv &env_ref = *env;
     InferenceResult result(module_, std::move(env));
     result.profile_.hintCount = hints_->numHints();
+    result.profile_.ptsSeconds = pts_->stats().seconds;
 
     // Stage 1: global flow-insensitive unification.
     std::vector<ValueId> over_approx;

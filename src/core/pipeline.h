@@ -107,6 +107,14 @@ struct InferenceProfile
     double fiSeconds = 0.0;  ///< Flow-insensitive unification.
     double csSeconds = 0.0;  ///< Context-sensitive refinement.
     double fsSeconds = 0.0;  ///< Flow-sensitive refinement.
+
+    /**
+     * Wall clock of the points-to substrate solve. The substrate is
+     * built once per analyzer and shared by every infer() call, so
+     * this repeats the same one-time cost in each profile rather than
+     * attributing it to any single configuration's stages.
+     */
+    double ptsSeconds = 0.0;
 };
 
 /** The per-variable/per-site outcome of a pipeline run. */

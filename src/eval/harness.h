@@ -31,6 +31,8 @@ struct PreparedProject
 
     Module &module() { return *prog.module; }
     const GroundTruth &truth() const { return prog.truth; }
+    /** Wall clock of the points-to substrate solve (built once here). */
+    double ptsSeconds() const { return analyzer->pts().stats().seconds; }
 };
 
 /** Generate + makeAcyclic + build substrates. */

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * A minimal open-addressing hash map from packed 64-bit keys to dense
+ * 32-bit indices.
+ *
+ * Hot analysis loops key side tables on packed (object, offset) or
+ * (block, value) pairs; a node-based std::map/unordered_map spends
+ * most of its time chasing pointers and allocating. This map stores
+ * flat (key, index) slots with linear probing, so lookups touch one
+ * cache line in the common case and inserts never allocate per entry.
+ * Values are indices into a caller-owned dense vector, which keeps the
+ * payload type out of the probing loop entirely.
+ */
+#ifndef MANTA_SUPPORT_FLAT_MAP_H
+#define MANTA_SUPPORT_FLAT_MAP_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace manta {
+
+/** Open-addressing map: uint64 key -> uint32 index (npos = absent). */
+class FlatU64Map
+{
+  public:
+    static constexpr std::uint32_t npos = 0xFFFFFFFFu;
+
+    FlatU64Map() = default;
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    void
+    clear()
+    {
+        slots_.clear();
+        size_ = 0;
+    }
+
+    /** The index stored under `key`, or npos. */
+    std::uint32_t
+    find(std::uint64_t key) const
+    {
+        if (slots_.empty())
+            return npos;
+        const std::size_t mask = slots_.size() - 1;
+        for (std::size_t at = mix(key) & mask;; at = (at + 1) & mask) {
+            const Slot &slot = slots_[at];
+            if (slot.val == npos)
+                return npos;
+            if (slot.key == key)
+                return slot.val;
+        }
+    }
+
+    /**
+     * Insert `value` under `key` if absent. Returns the stored index
+     * (pre-existing or just inserted) and whether an insert happened.
+     */
+    std::pair<std::uint32_t, bool>
+    insert(std::uint64_t key, std::uint32_t value)
+    {
+        if (slots_.empty() || (size_ + 1) * 4 >= slots_.size() * 3)
+            grow();
+        const std::size_t mask = slots_.size() - 1;
+        for (std::size_t at = mix(key) & mask;; at = (at + 1) & mask) {
+            Slot &slot = slots_[at];
+            if (slot.val == npos) {
+                slot.key = key;
+                slot.val = value;
+                ++size_;
+                return {value, true};
+            }
+            if (slot.key == key)
+                return {slot.val, false};
+        }
+    }
+
+    void
+    reserve(std::size_t count)
+    {
+        std::size_t capacity = 16;
+        while (capacity * 3 < count * 4)
+            capacity *= 2;
+        if (capacity > slots_.size())
+            rehash(capacity);
+    }
+
+  private:
+    struct Slot
+    {
+        std::uint64_t key = 0;
+        std::uint32_t val = npos;
+    };
+
+    /** splitmix64 finalizer: cheap and well-mixed for packed keys. */
+    static std::size_t
+    mix(std::uint64_t key)
+    {
+        key += 0x9e3779b97f4a7c15ull;
+        key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ull;
+        key = (key ^ (key >> 27)) * 0x94d049bb133111ebull;
+        return static_cast<std::size_t>(key ^ (key >> 31));
+    }
+
+    void grow() { rehash(slots_.empty() ? 16 : slots_.size() * 2); }
+
+    void
+    rehash(std::size_t new_capacity)
+    {
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(new_capacity, Slot{});
+        const std::size_t mask = slots_.size() - 1;
+        for (const Slot &slot : old) {
+            if (slot.val == npos)
+                continue;
+            std::size_t at = mix(slot.key) & mask;
+            while (slots_[at].val != npos)
+                at = (at + 1) & mask;
+            slots_[at] = slot;
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t size_ = 0;
+};
+
+} // namespace manta
+
+#endif // MANTA_SUPPORT_FLAT_MAP_H
