@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Differential fuzzing driver (docs/TESTING.md, "Fuzzing").
+ *
+ * Fans randomized cases across the task pool, checks the six
+ * metamorphic oracles per case, shrinks failures to .mir reproducers
+ * and writes BENCH_fuzz.json. Exit status is nonzero when any oracle
+ * fired, and the report names the exact replay command.
+ *
+ * Usage:
+ *   fuzz_driver [--seed N] [--count N] [--jobs N] [--out FILE]
+ *               [--repro-dir DIR] [--no-shrink] [--no-repro]
+ *               [--shrink-evals N] [--replay SEED] [--verbose]
+ */
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fuzz/campaign.h"
+
+namespace {
+
+std::uint64_t
+parseSeed(const char *text)
+{
+    return std::strtoull(text, nullptr, 0);  // accepts decimal and 0x...
+}
+
+int
+runReplay(std::uint64_t case_seed)
+{
+    using namespace manta::fuzz;
+    FuzzCase c;
+    const CaseResult r = replayCase(case_seed, &c);
+    std::printf("replay case seed 0x%016" PRIx64 " (%s, %zu insts)\n",
+                case_seed, c.synthesized ? "synthesized" : "generated",
+                r.insts);
+    for (std::size_t i = 0; i < kNumOracles; ++i) {
+        const auto id = static_cast<OracleId>(i);
+        if (r.counters.runs[i] == 0)
+            continue;
+        std::printf("  %-12s %s\n", oracleName(id),
+                    r.counters.failures[i] ? "FAIL" : "ok");
+    }
+    for (const OracleFailure &f : r.failures)
+        std::printf("  [%s] %s\n", oracleName(f.oracle), f.detail.c_str());
+    return r.ok() ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace manta::fuzz;
+    CampaignOptions opts;
+    bool replay = false;
+    std::uint64_t replay_seed = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires an argument\n", arg);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--seed") == 0)
+            opts.seed = parseSeed(next());
+        else if (std::strcmp(arg, "--count") == 0)
+            opts.count = std::strtoull(next(), nullptr, 0);
+        else if (std::strcmp(arg, "--jobs") == 0)
+            opts.jobs = std::strtoull(next(), nullptr, 0);
+        else if (std::strcmp(arg, "--out") == 0)
+            opts.jsonPath = next();
+        else if (std::strcmp(arg, "--repro-dir") == 0)
+            opts.reproDir = next();
+        else if (std::strcmp(arg, "--shrink-evals") == 0)
+            opts.maxShrinkEvals = std::strtoull(next(), nullptr, 0);
+        else if (std::strcmp(arg, "--no-shrink") == 0)
+            opts.shrink = false;
+        else if (std::strcmp(arg, "--no-repro") == 0)
+            opts.writeReproducers = false;
+        else if (std::strcmp(arg, "--verbose") == 0)
+            opts.verbose = true;
+        else if (std::strcmp(arg, "--replay") == 0) {
+            replay = true;
+            replay_seed = parseSeed(next());
+        } else {
+            std::fprintf(stderr, "unknown flag %s\n", arg);
+            return 2;
+        }
+    }
+
+    if (replay)
+        return runReplay(replay_seed);
+
+    std::printf("=== fuzz_driver: %zu cases, seed %" PRIu64 " ===\n\n",
+                opts.count, opts.seed);
+    const CampaignResult result = runCampaign(opts);
+
+    std::printf("%zu cases (%zu insts) in %.2fs on %zu jobs "
+                "(%.1f cases/s)\n\n",
+                result.cases, result.totalInsts, result.seconds,
+                result.jobs, result.casesPerSecond());
+    for (std::size_t i = 0; i < kNumOracles; ++i) {
+        std::printf("  %-12s %6zu runs  %zu failures\n",
+                    oracleName(static_cast<OracleId>(i)),
+                    result.counters.runs[i], result.counters.failures[i]);
+    }
+
+    if (opts.writeJson)
+        writeCampaignJson(result, opts, opts.jsonPath);
+    std::printf("\nwrote %s\n", opts.jsonPath.c_str());
+
+    if (!result.ok()) {
+        std::fprintf(stderr, "\nFAIL: %zu of %zu cases tripped an oracle\n",
+                     result.failedCases, result.cases);
+        for (const CampaignFailure &f : result.failures) {
+            std::fprintf(stderr, "  case %zu [%s] %s\n", f.caseIndex,
+                         oracleName(f.oracle), f.detail.c_str());
+            if (!f.reproPath.empty()) {
+                std::fprintf(stderr, "    reproducer: %s (%zu -> %zu insts)\n",
+                             f.reproPath.c_str(), f.originalInsts,
+                             f.shrunkInsts);
+            }
+            std::fprintf(stderr, "    replay: %s\n",
+                         manta::fuzz::replayCommand(f.caseSeed).c_str());
+        }
+        return 1;
+    }
+    std::printf("all oracles green\n");
+    return 0;
+}

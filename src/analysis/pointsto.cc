@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdlib>
 
+#include "support/chaos.h"
 #include "support/error.h"
 #include "support/timer.h"
 
@@ -45,6 +46,27 @@ PointsTo::run()
         runSparse();
         sparse_running_ = false;
         releaseSparseState();
+        // Injected defect for fuzz-harness validation: silently drop
+        // one location from the largest solution set, so the sparse
+        // and dense engines disagree (support/chaos.h).
+        if (chaosBreakPts().enabled()) {
+            std::size_t victim = value_locs_.size();
+            for (std::size_t v = 0; v < value_locs_.size(); ++v) {
+                if (!value_locs_[v].empty() &&
+                        (victim == value_locs_.size() ||
+                         value_locs_[v].size() > value_locs_[victim].size()))
+                    victim = v;
+            }
+            if (victim < value_locs_.size()) {
+                LocSet pruned;
+                const LocSet &locs = value_locs_[victim];
+                for (const Loc &loc : locs) {
+                    if (pruned.size() + 1 < locs.size())
+                        pruned.insert(loc);
+                }
+                value_locs_[victim] = std::move(pruned);
+            }
+        }
     }
     stats_.seconds = timer.seconds();
     assert(stats_.converged && "points-to fixpoint hit the pass cap");

@@ -20,6 +20,8 @@ CtxRefinement::run(const std::vector<ValueId> &over_approx)
             continue;
         }
         BoundPair refined(tt.joinAll(types), tt.meetAll(types));
+        refined = BoundPair::refineWithin(tt, refined,
+                                          env_.boundsOf(TypeVar::of(v)));
         const TypeClass cls = refined.classify(tt);
         result.refined.emplace(v, refined);
         if (cls == TypeClass::Precise) {

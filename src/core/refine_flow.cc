@@ -214,6 +214,8 @@ FlowRefinement::run(const std::vector<ValueId> &candidates)
         if (def_bp.classify(tt) == TypeClass::Unknown) {
             ++result.lost;
         } else {
+            def_bp = BoundPair::refineWithin(tt, def_bp,
+                                             env_.boundsOf(TypeVar::of(v)));
             result.refined.emplace(v, def_bp);
             if (def_bp.classify(tt) == TypeClass::Precise)
                 ++result.resolved;

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Differential fuzzing campaign: fan sampled cases across the task
+ * pool, aggregate per-oracle counters deterministically, shrink and
+ * persist failures as .mir reproducers, and report BENCH_fuzz.json.
+ *
+ * Determinism contract: given the same (seed, count), the set of
+ * sampled cases, every oracle verdict, and every shrunk reproducer are
+ * identical regardless of the job count - workers write into indexed
+ * result slots and all reduction happens after the join (the
+ * eval/parallel.h pattern); only the timing fields vary run to run.
+ */
+#ifndef MANTA_FUZZ_CAMPAIGN_H
+#define MANTA_FUZZ_CAMPAIGN_H
+
+#include <string>
+
+#include "fuzz/oracles.h"
+#include "fuzz/shrink.h"
+
+namespace manta {
+namespace fuzz {
+
+/** Knobs of one campaign (bench/fuzz_driver flags map 1:1). */
+struct CampaignOptions
+{
+    std::uint64_t seed = 1;       ///< Base seed (--seed).
+    std::size_t count = 200;      ///< Cases to run (--count).
+    std::size_t jobs = 0;         ///< Workers; 0 = defaultJobs() (--jobs).
+    bool shrink = true;           ///< Minimize failures (--no-shrink).
+    std::size_t maxShrinkEvals = 600;
+    std::size_t maxShrinkFailures = 4;  ///< Failures to shrink/persist.
+    std::string reproDir = "tests/reproducers";  ///< (--repro-dir).
+    std::string jsonPath = "BENCH_fuzz.json";    ///< (--out).
+    bool writeJson = true;
+    bool writeReproducers = true;
+    bool verbose = false;         ///< Per-case progress lines.
+};
+
+/** One persisted failure. */
+struct CampaignFailure
+{
+    std::size_t caseIndex = 0;
+    std::uint64_t caseSeed = 0;
+    OracleId oracle = OracleId::Verifier;
+    std::string detail;
+    std::string reproPath;       ///< Empty when persisting was disabled.
+    std::size_t originalInsts = 0;
+    std::size_t shrunkInsts = 0;
+    std::size_t shrinkEvals = 0;
+};
+
+/** Aggregate outcome of a campaign. */
+struct CampaignResult
+{
+    OracleCounters counters;
+    std::size_t cases = 0;
+    std::size_t failedCases = 0;
+    std::size_t totalInsts = 0;  ///< Sum of natural-CFG case sizes.
+    std::size_t jobs = 0;
+    double seconds = 0.0;
+    std::vector<CampaignFailure> failures;
+
+    bool ok() const { return failedCases == 0; }
+
+    double
+    casesPerSecond() const
+    {
+        return seconds > 0.0 ? static_cast<double>(cases) / seconds : 0.0;
+    }
+};
+
+/** Run a full campaign (parallel; deterministic verdicts). */
+CampaignResult runCampaign(const CampaignOptions &opts);
+
+/** Re-run exactly one case by its case seed (--replay). */
+CaseResult replayCase(std::uint64_t case_seed, FuzzCase *out_case = nullptr);
+
+/** The replay command a reproducer header advertises. */
+std::string replayCommand(std::uint64_t case_seed);
+
+/** Emit the campaign's BENCH_fuzz.json. */
+void writeCampaignJson(const CampaignResult &result,
+                       const CampaignOptions &opts, const std::string &path);
+
+} // namespace fuzz
+} // namespace manta
+
+#endif // MANTA_FUZZ_CAMPAIGN_H

@@ -1,0 +1,519 @@
+#include "fuzz/oracles.h"
+
+#include <algorithm>
+
+#include "analysis/acyclic.h"
+#include "analysis/memobj.h"
+#include "analysis/pointsto.h"
+#include "clients/icall.h"
+#include "core/pipeline.h"
+#include "eval/metrics.h"
+#include "mir/interp.h"
+#include "mir/parser.h"
+#include "mir/printer.h"
+#include "mir/verifier.h"
+
+namespace manta {
+namespace fuzz {
+
+const char *
+oracleName(OracleId id)
+{
+    switch (id) {
+    case OracleId::Verifier: return "verifier";
+    case OracleId::RoundTrip: return "roundtrip";
+    case OracleId::Monotonic: return "monotonic";
+    case OracleId::GroundTruth: return "ground_truth";
+    case OracleId::PtsDiff: return "pts_diff";
+    case OracleId::Interp: return "interp";
+    }
+    return "?";
+}
+
+bool
+oracleFromName(const std::string &name, OracleId &out)
+{
+    for (std::size_t i = 0; i < kNumOracles; ++i) {
+        const auto id = static_cast<OracleId>(i);
+        if (name == oracleName(id)) {
+            out = id;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+oracleIsTruthFree(OracleId id)
+{
+    return id != OracleId::GroundTruth;
+}
+
+namespace {
+
+/** Records runs/failures into a CaseResult; details capped per oracle. */
+class Battery
+{
+  public:
+    explicit Battery(CaseResult &r) : r_(r) {}
+
+    void ran(OracleId id) { r_.counters.runs[idx(id)]++; }
+
+    void
+    fail(OracleId id, std::string detail)
+    {
+        if (!failed_[idx(id)])
+            r_.counters.failures[idx(id)]++;
+        failed_[idx(id)] = true;
+        if (details_[idx(id)]++ < 3)
+            r_.failures.push_back({id, std::move(detail)});
+    }
+
+    bool failed(OracleId id) const { return failed_[idx(id)]; }
+
+  private:
+    static std::size_t idx(OracleId id) { return static_cast<std::size_t>(id); }
+
+    CaseResult &r_;
+    std::array<bool, kNumOracles> failed_{};
+    std::array<int, kNumOracles> details_{};
+};
+
+const char *
+eventKindName(RuntimeEvent::Kind k)
+{
+    switch (k) {
+    case RuntimeEvent::Kind::NullDeref: return "null-deref";
+    case RuntimeEvent::Kind::OutOfBounds: return "out-of-bounds";
+    case RuntimeEvent::Kind::UseAfterFree: return "use-after-free";
+    case RuntimeEvent::Kind::BufferOverflow: return "buffer-overflow";
+    case RuntimeEvent::Kind::CommandExec: return "command-exec";
+    case RuntimeEvent::Kind::BadIndirect: return "bad-indirect";
+    }
+    return "?";
+}
+
+/** Oracle 2: printer -> parser -> printer reaches a textual fixpoint. */
+void
+checkRoundTrip(const Module &m, Battery &b)
+{
+    b.ran(OracleId::RoundTrip);
+    const std::string t1 = printModule(m);
+    Module m2;
+    std::string err;
+    if (!parseModule(t1, m2, err)) {
+        b.fail(OracleId::RoundTrip, "reparse failed: " + err);
+        return;
+    }
+    const auto errs = verifyModule(m2);
+    if (!errs.empty()) {
+        b.fail(OracleId::RoundTrip,
+               "reparsed module fails verification: " + errs.front());
+        return;
+    }
+    if (m2.numInsts() != m.numInsts() || m2.numFuncs() != m.numFuncs() ||
+        m2.numBlocks() != m.numBlocks() ||
+        m2.numGlobals() != m.numGlobals()) {
+        b.fail(OracleId::RoundTrip,
+               "reparse changed structural counts (insts " +
+                   std::to_string(m.numInsts()) + " -> " +
+                   std::to_string(m2.numInsts()) + ")");
+        return;
+    }
+    const std::string t2 = printModule(m2);
+    if (t1 != t2) {
+        b.fail(OracleId::RoundTrip,
+               "print(parse(print(m))) differs from print(m)");
+        return;
+    }
+    Module m3;
+    if (!parseModule(t2, m3, err)) {
+        b.fail(OracleId::RoundTrip, "second reparse failed: " + err);
+        return;
+    }
+    if (printModule(m3) != t2)
+        b.fail(OracleId::RoundTrip, "printer/parser fixpoint not reached");
+}
+
+/**
+ * Oracle 6, dynamic half: a program generated without injected bugs
+ * must not corrupt memory. Generator programs may still legitimately
+ * report unresolvable indirect targets, command-sink firings (existing
+ * interpreter-test precedent) and null derefs - a sampled feature mix
+ * can leave a pointer slot initialized on one dynamic path only, and
+ * the interpreter reads uninitialized words as zero. Synthesized
+ * modules are constructed fully benign, so any event is a violation.
+ */
+void
+checkInterpEvents(const Module &m, bool synthesized,
+                  const InterpResult &run, Battery &b)
+{
+    b.ran(OracleId::Interp);
+    for (const RuntimeEvent &e : run.events) {
+        const bool allowed =
+            !synthesized && (e.kind == RuntimeEvent::Kind::BadIndirect ||
+                             e.kind == RuntimeEvent::Kind::CommandExec ||
+                             e.kind == RuntimeEvent::Kind::NullDeref);
+        if (allowed)
+            continue;
+        b.fail(OracleId::Interp,
+               std::string("bug-free program raised ") +
+                   eventKindName(e.kind) + " at tag " +
+                   std::to_string(e.srcTag) + " (" + e.detail + ")");
+    }
+    (void)m;
+}
+
+/**
+ * Oracle 3: the CS/FS stages only narrow what FI established. For any
+ * variable FI classified over-approximated, a later stage that still
+ * commits (non-unknown) must keep its upper bound a subtype of the
+ * earlier stage's; FI-precise variables must stay precise.
+ */
+void
+checkMonotonic(Module &m, MantaAnalyzer &an, const InferenceResult &full,
+               Battery &b)
+{
+    b.ran(OracleId::Monotonic);
+    const InferenceResult fi = an.infer(HybridConfig::fiOnly());
+    HybridConfig fiCsCfg;
+    fiCsCfg.flowSensitive = false;
+    const InferenceResult fiCs = an.infer(fiCsCfg);
+
+    TypeTable &table = m.types();
+    const TypeRef top = table.top();
+
+    const auto narrowed = [&](ValueId v, const InferenceResult &coarse,
+                              const InferenceResult &fine,
+                              const char *stage) {
+        if (coarse.valueClass(v) != TypeClass::Over)
+            return;
+        if (fine.valueClass(v) == TypeClass::Unknown)
+            return;
+        const TypeRef cu = coarse.valueBounds(v).upper;
+        const TypeRef fu = fine.valueBounds(v).upper;
+        if (cu == top)
+            return;
+        if (!table.isSubtype(fu, cu)) {
+            b.fail(OracleId::Monotonic,
+                   std::string(stage) + " widened " + printValueRef(m, v) +
+                       ": " + table.toString(cu) + " -> " +
+                       table.toString(fu));
+        }
+    };
+
+    for (std::size_t i = 0; i < m.numValues(); ++i) {
+        const ValueId v(static_cast<ValueId::RawType>(i));
+        const ValueKind kind = m.value(v).kind;
+        if (kind != ValueKind::Argument && kind != ValueKind::InstResult)
+            continue;
+        narrowed(v, fi, fiCs, "CS-after-FI");
+        narrowed(v, fi, full, "full-after-FI");
+        narrowed(v, fiCs, full, "FS-after-CS");
+        if (fi.valueClass(v) == TypeClass::Precise &&
+            full.valueClass(v) != TypeClass::Precise) {
+            b.fail(OracleId::Monotonic,
+                   "FI-precise " + printValueRef(m, v) +
+                       " lost precision in the full pipeline");
+        }
+    }
+}
+
+/**
+ * Oracle 4: the oracle reference built from the erased truth must
+ * score perfectly, and under a strict config (soundness noise off) the
+ * full pipeline must never contradict the truth.
+ */
+void
+checkGroundTruth(Module &m, const GroundTruth &truth,
+                 const InferenceResult &full, bool strict, Battery &b)
+{
+    b.ran(OracleId::GroundTruth);
+    const InferenceResult ref =
+        InferenceResult::fromTypeMap(m, truth.valueTypes);
+    const TypeEval re = evalInference(m, truth, ref);
+    if (re.preciseCorrect != re.total) {
+        b.fail(OracleId::GroundTruth,
+               "truth-derived reference mis-scored: " +
+                   std::to_string(re.preciseCorrect) + "/" +
+                   std::to_string(re.total) + " precise-correct");
+    }
+    if (strict) {
+        const TypeEval ev = evalInference(m, truth, full);
+        if (ev.incorrect != 0) {
+            b.fail(OracleId::GroundTruth,
+                   std::to_string(ev.incorrect) + "/" +
+                       std::to_string(ev.total) +
+                       " params contradict ground truth under a "
+                       "noise-free config");
+        }
+    }
+}
+
+/** Oracle 5: sparse worklist and dense reference solutions agree. */
+void
+checkPtsDiff(const Module &m, const MemObjects &objects, Battery &b)
+{
+    b.ran(OracleId::PtsDiff);
+    PointsTo dense(m, objects, true, PtsSolver::Dense);
+    dense.run();
+    PointsTo sparse(m, objects, true, PtsSolver::Sparse);
+    sparse.run();
+
+    std::size_t differing = 0;
+    for (std::size_t i = 0; i < m.numValues(); ++i) {
+        const ValueId v(static_cast<ValueId::RawType>(i));
+        if (dense.locs(v) == sparse.locs(v))
+            continue;
+        ++differing;
+        if (differing <= 2) {
+            b.fail(OracleId::PtsDiff,
+                   "solvers disagree on " + printValueRef(m, v) +
+                       " (dense " + std::to_string(dense.locs(v).size()) +
+                       " locs, sparse " +
+                       std::to_string(sparse.locs(v).size()) + ")");
+        }
+    }
+    if (differing > 2) {
+        b.fail(OracleId::PtsDiff, std::to_string(differing) +
+                                      " values differ between solvers");
+    }
+
+    auto db = dense.fieldBuckets();
+    auto sb = sparse.fieldBuckets();
+    std::sort(db.begin(), db.end());
+    std::sort(sb.begin(), sb.end());
+    if (db != sb) {
+        b.fail(OracleId::PtsDiff,
+               "field-bucket sets differ (dense " +
+                   std::to_string(db.size()) + ", sparse " +
+                   std::to_string(sb.size()) + ")");
+        return;
+    }
+    for (const auto &[obj, offset] : db) {
+        if (!(dense.fieldPts(obj, offset) == sparse.fieldPts(obj, offset))) {
+            b.fail(OracleId::PtsDiff,
+                   "field bucket (obj " + std::to_string(obj.raw()) +
+                       ", off " + std::to_string(offset) +
+                       ") differs between solvers");
+            return;
+        }
+    }
+}
+
+/**
+ * Oracle 6, static half: static verdicts must be consistent with the
+ * observed run. Under sound inference (strict/synthesized programs) no
+ * successfully dereferenced value may be inferred precisely numeric,
+ * and every dispatched indirect target must sit in the FullTypes
+ * client's feasible set; with ground truth available, dispatches must
+ * also match the generator's recorded target sets.
+ */
+void
+checkInterpStatic(Module &m, const InferenceResult &full,
+                  const InterpResult &run, const GroundTruth *truth,
+                  bool sound_inference, Battery &b)
+{
+    TypeTable &table = m.types();
+    if (sound_inference) {
+        for (const DerefRecord &d : run.derefs) {
+            if (d.faulted)
+                continue;
+            const ValueKind kind = m.value(d.addr).kind;
+            if (kind != ValueKind::Argument && kind != ValueKind::InstResult)
+                continue;
+            if (full.valueClass(d.addr) != TypeClass::Precise)
+                continue;
+            const TypeRef t = full.valueBounds(d.addr).upper;
+            if (table.isNumeric(t)) {
+                b.fail(OracleId::Interp,
+                       "dereferenced " + printValueRef(m, d.addr) +
+                           " inferred precisely " + table.toString(t));
+            }
+        }
+        const IcallAnalysis icalls(m, &full);
+        const IcallResult verdicts = icalls.run(IcallDiscipline::FullTypes);
+        for (const auto &[site, callee] : run.icallsTaken) {
+            const auto it = verdicts.targets.find(site);
+            const bool kept =
+                it != verdicts.targets.end() &&
+                std::find(it->second.begin(), it->second.end(), callee) !=
+                    it->second.end();
+            if (!kept) {
+                b.fail(OracleId::Interp,
+                       "FullTypes verdict excludes observed icall target @" +
+                           m.func(callee).name);
+            }
+        }
+    }
+    if (truth != nullptr) {
+        for (const auto &[site, callee] : run.icallsTaken) {
+            const std::uint32_t tag = m.inst(site).srcTag;
+            const auto it = truth->icallTargets.find(tag);
+            const bool recorded =
+                it != truth->icallTargets.end() &&
+                std::find(it->second.begin(), it->second.end(), callee) !=
+                    it->second.end();
+            if (!recorded) {
+                b.fail(OracleId::Interp,
+                       "observed icall target @" + m.func(callee).name +
+                           " missing from ground truth (tag " +
+                           std::to_string(tag) + ")");
+            }
+        }
+    }
+}
+
+} // namespace
+
+CaseResult
+runCase(const FuzzCase &c)
+{
+    CaseResult r;
+    Battery b(r);
+    CaseProgram prog = materialize(c);
+    Module &m = *prog.module;
+    r.insts = m.numInsts();
+
+    b.ran(OracleId::Verifier);
+    {
+        const auto errs = verifyModule(m);
+        if (!errs.empty()) {
+            b.fail(OracleId::Verifier,
+                   std::to_string(errs.size()) +
+                       " violations; first: " + errs.front());
+            return r;
+        }
+    }
+
+    checkRoundTrip(m, b);
+
+    InterpResult run;
+    {
+        InterpOptions io;
+        io.recordTrace = true;
+        Interpreter interp(m, io);
+        run = interp.runMain();
+    }
+    checkInterpEvents(m, c.synthesized, run, b);
+
+    makeAcyclic(m);
+    {
+        const auto errs = verifyModule(m);
+        if (!errs.empty()) {
+            b.fail(OracleId::Verifier,
+                   "post-acyclic: " + errs.front());
+            return r;
+        }
+    }
+
+    const MemObjects objects(m);
+    checkPtsDiff(m, objects, b);
+
+    MantaAnalyzer an(m, HybridConfig::full());
+    const InferenceResult full = an.infer();
+    checkMonotonic(m, an, full, b);
+
+    if (prog.hasTruth)
+        checkGroundTruth(m, prog.truth, full, c.strict, b);
+
+    checkInterpStatic(m, full, run, prog.hasTruth ? &prog.truth : nullptr,
+                      c.strict || c.synthesized, b);
+    return r;
+}
+
+CaseResult
+runTextOracles(const std::string &text)
+{
+    CaseResult r;
+    Battery b(r);
+    Module m;
+    std::string err;
+    b.ran(OracleId::Verifier);
+    if (!parseModule(text, m, err)) {
+        b.fail(OracleId::Verifier, "parse failed: " + err);
+        return r;
+    }
+    {
+        const auto errs = verifyModule(m);
+        if (!errs.empty()) {
+            b.fail(OracleId::Verifier, errs.front());
+            return r;
+        }
+    }
+    r.insts = m.numInsts();
+
+    checkRoundTrip(m, b);
+
+    makeAcyclic(m);
+    {
+        const auto errs = verifyModule(m);
+        if (!errs.empty()) {
+            b.fail(OracleId::Verifier, "post-acyclic: " + errs.front());
+            return r;
+        }
+    }
+
+    const MemObjects objects(m);
+    checkPtsDiff(m, objects, b);
+
+    MantaAnalyzer an(m, HybridConfig::full());
+    const InferenceResult full = an.infer();
+    checkMonotonic(m, an, full, b);
+    return r;
+}
+
+bool
+textFailsOracle(const std::string &text, OracleId which)
+{
+    if (!oracleIsTruthFree(which))
+        return false;
+    Module m;
+    std::string err;
+    if (!parseModule(text, m, err))
+        return false;
+    const auto errs = verifyModule(m);
+    if (which == OracleId::Verifier)
+        return !errs.empty();
+    if (!errs.empty())
+        return false;
+
+    CaseResult r;
+    Battery b(r);
+    if (which == OracleId::RoundTrip) {
+        checkRoundTrip(m, b);
+        return b.failed(which);
+    }
+
+    InterpResult run;
+    if (which == OracleId::Interp) {
+        InterpOptions io;
+        io.recordTrace = true;
+        Interpreter interp(m, io);
+        run = interp.runMain();
+    }
+
+    makeAcyclic(m);
+    if (!verifyModule(m).empty())
+        return false;
+
+    if (which == OracleId::PtsDiff) {
+        const MemObjects objects(m);
+        checkPtsDiff(m, objects, b);
+        return b.failed(which);
+    }
+
+    MantaAnalyzer an(m, HybridConfig::full());
+    const InferenceResult full = an.infer();
+    if (which == OracleId::Monotonic) {
+        checkMonotonic(m, an, full, b);
+        return b.failed(which);
+    }
+    // Interp: the truth-free static half (typed derefs + icall
+    // verdict containment) against the recorded concrete run.
+    checkInterpStatic(m, full, run, nullptr, true, b);
+    return b.failed(which);
+}
+
+} // namespace fuzz
+} // namespace manta

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The metamorphic oracle battery of the differential fuzzing harness.
+ *
+ * Every sampled case is pushed through the whole pipeline and checked
+ * against six properties that must hold for ANY generated program:
+ *
+ *  1. verifier    - the generator and the synthesizer only produce
+ *                   well-formed MIR, before and after acyclic
+ *                   preprocessing.
+ *  2. roundtrip   - printing and reparsing reaches a textual fixpoint
+ *                   and preserves the module's structural counts.
+ *  3. monotonic   - sensitivity refinement is monotone on the type
+ *                   lattice: the CS and FS stages only narrow the
+ *                   upper bounds FI established (FS refines CS refines
+ *                   FI), and FI-precise variables stay precise.
+ *  4. ground_truth- the oracle reference built from ground truth
+ *                   scores perfectly, and on strict cases (soundness
+ *                   noise disabled) the full pipeline never contradicts
+ *                   the erased truth.
+ *  5. pts_diff    - the sparse worklist and dense reference points-to
+ *                   solvers agree location-for-location (the
+ *                   MANTA_PTS_DENSE path).
+ *  6. interp      - a concrete run is consistent with static verdicts:
+ *                   bug-free programs raise no memory-safety events,
+ *                   no value inferred precisely numeric is dereferenced,
+ *                   and observed indirect-call targets are contained in
+ *                   both the recorded ground truth and the FullTypes
+ *                   client's feasible set.
+ *
+ * Truth-free oracles (1, 2, 3, 5, and the truth-free parts of 6) can
+ * also run over parsed module text, which is what the delta-debugging
+ * shrinker and the promoted-reproducer regression tests use.
+ */
+#ifndef MANTA_FUZZ_ORACLES_H
+#define MANTA_FUZZ_ORACLES_H
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fuzz/sample.h"
+
+namespace manta {
+namespace fuzz {
+
+/** The six oracles, in the order reported by BENCH_fuzz.json. */
+enum class OracleId : std::uint8_t {
+    Verifier = 0,
+    RoundTrip,
+    Monotonic,
+    GroundTruth,
+    PtsDiff,
+    Interp,
+};
+
+constexpr std::size_t kNumOracles = 6;
+
+/** Stable snake_case oracle name (JSON keys, reproducer headers). */
+const char *oracleName(OracleId id);
+
+/** Parse an oracle name back; returns false on no match. */
+bool oracleFromName(const std::string &name, OracleId &out);
+
+/**
+ * True when the oracle is a property of the module alone, checkable
+ * on reparsed text with no generator ground truth (enables text-level
+ * shrinking and reproducer regression tests).
+ */
+bool oracleIsTruthFree(OracleId id);
+
+/** One oracle violation. */
+struct OracleFailure
+{
+    OracleId oracle = OracleId::Verifier;
+    std::string detail;
+};
+
+/** Per-oracle run/failure tallies (failures count at most 1 per case). */
+struct OracleCounters
+{
+    std::array<std::size_t, kNumOracles> runs{};
+    std::array<std::size_t, kNumOracles> failures{};
+
+    void
+    merge(const OracleCounters &other)
+    {
+        for (std::size_t i = 0; i < kNumOracles; ++i) {
+            runs[i] += other.runs[i];
+            failures[i] += other.failures[i];
+        }
+    }
+};
+
+/** The outcome of one case (or one text-level oracle run). */
+struct CaseResult
+{
+    std::vector<OracleFailure> failures;
+    OracleCounters counters;
+    std::size_t insts = 0;  ///< Natural-CFG instruction count.
+
+    bool ok() const { return failures.empty(); }
+};
+
+/** Materialize one sampled case and run the full battery. */
+CaseResult runCase(const FuzzCase &c);
+
+/**
+ * Run the truth-free battery over module text (parse + verify are
+ * preconditions reported as verifier failures). Regression mode for
+ * promoted reproducers.
+ */
+CaseResult runTextOracles(const std::string &text);
+
+/**
+ * Shrinker predicate: does `text` still trip `which`?
+ *
+ * For OracleId::Verifier: the text parses but fails verification. For
+ * every other truth-free oracle: the text parses, verifies, and that
+ * oracle reports a violation. Truth-bound checks (ground_truth, the
+ * truth half of interp) always return false here - those shrink by
+ * config coarsening instead.
+ */
+bool textFailsOracle(const std::string &text, OracleId which);
+
+} // namespace fuzz
+} // namespace manta
+
+#endif // MANTA_FUZZ_ORACLES_H

@@ -1,0 +1,246 @@
+#include "fuzz/sample.h"
+
+#include "frontend/generator.h"
+#include "mir/builder.h"
+#include "mir/externals.h"
+#include "support/rng.h"
+
+namespace manta {
+namespace fuzz {
+
+namespace {
+
+std::uint64_t
+splitmix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+std::uint64_t
+caseSeedFor(std::uint64_t base_seed, std::size_t index)
+{
+    return splitmix(base_seed + 0x632be59bd9b4e019ULL * (index + 1));
+}
+
+FuzzCase
+sampleCase(std::uint64_t case_seed)
+{
+    FuzzCase c;
+    c.caseSeed = case_seed;
+    Rng rng(case_seed);
+
+    c.synthesized = rng.chance(0.25);
+    if (c.synthesized)
+        return c;
+
+    GenConfig &g = c.config;
+    g.seed = rng.next();
+    g.numFunctions = static_cast<int>(rng.range(3, 10));
+    g.stmtsPerFunction = static_cast<int>(rng.range(4, 12));
+    g.unionRate = rng.uniform() * 0.25;
+    g.guardRate = rng.uniform() * 0.25;
+    g.loopRate = rng.uniform() * 0.45;
+    g.branchRate = rng.uniform() * 0.6;
+    g.icallRate = rng.uniform() * 0.3;
+    g.recursionRate = rng.uniform() * 0.15;
+    g.revealRate = 0.2 + rng.uniform() * 0.6;
+    g.floatShare = rng.uniform() * 0.25;
+
+    // Injected-vulnerability features stay off: the interpreter oracle
+    // requires fault-free baseline runs (real bugs are covered by the
+    // detection benchmarks, not the metamorphic battery).
+    g.realBugRate = 0.0;
+    g.decoyRate = 0.0;
+    g.benignCopyRate = 0.0;
+    g.benignSystemRate = 0.0;
+
+    // The remaining features are the paper's acknowledged soundness
+    // noise (Section 6.4); strict cases zero them so the ground-truth
+    // and typed-deref oracles can demand exact agreement.
+    c.strict = rng.chance(0.35);
+    if (c.strict) {
+        g.polymorphicRate = 0.0;
+        g.recycleRate = 0.0;
+        g.errorCompareRate = 0.0;
+        g.maskRate = 0.0;
+    } else {
+        g.polymorphicRate = rng.uniform() * 0.25;
+        g.recycleRate = rng.uniform() * 0.25;
+        g.errorCompareRate = rng.uniform() * 0.35;
+        g.maskRate = rng.uniform() * 0.15;
+    }
+    return c;
+}
+
+CaseProgram
+materialize(const FuzzCase &c)
+{
+    CaseProgram out;
+    if (c.synthesized) {
+        out.module = synthesizeModule(c.caseSeed);
+        return out;
+    }
+    GeneratedProgram prog = generateProgram(c.config);
+    out.module = std::move(prog.module);
+    out.truth = std::move(prog.truth);
+    out.hasTruth = true;
+    return out;
+}
+
+namespace {
+
+/** Builds one random helper body; returns the value it returns. */
+ValueId
+buildHelperBody(FunctionBuilder &fb, Rng &rng, int width)
+{
+    ModuleBuilder &mb = fb.moduleBuilder();
+    std::vector<ValueId> pool;
+    const Function &fn = mb.module().func(fb.funcId());
+    for (ValueId p : fn.params)
+        pool.push_back(p);
+    pool.push_back(mb.constInt(rng.range(1, 63), width));
+
+    static const Opcode kOps[] = {Opcode::Add, Opcode::Sub, Opcode::Mul,
+                                  Opcode::And, Opcode::Or, Opcode::Xor};
+    const int ops = static_cast<int>(rng.range(2, 5));
+    for (int i = 0; i < ops; ++i) {
+        const Opcode op = kOps[rng.below(6)];
+        pool.push_back(fb.binop(op, rng.pick(pool), rng.pick(pool)));
+    }
+    ValueId acc = pool.back();
+
+    // In-bounds stack traffic: a 16-byte slot written at offsets 0 and
+    // 8, read back at the value's own width.
+    if (rng.chance(0.7)) {
+        const ValueId slot = fb.alloca_(16);
+        fb.store(slot, acc);
+        const ValueId hi = fb.add(slot, mb.constInt(8, 64));
+        fb.store(hi, rng.pick(pool));
+        acc = fb.load(slot, width);
+    }
+
+    // Width-cast round trip (trunc then a random re-extension).
+    if (width == 64 && rng.chance(0.5)) {
+        const ValueId narrow = fb.cast(Opcode::Trunc, acc, 32);
+        acc = fb.cast(rng.chance(0.5) ? Opcode::ZExt : Opcode::SExt,
+                      narrow, 64);
+    }
+
+    // A branch diamond merging through a phi.
+    if (rng.chance(0.6)) {
+        static const CmpPred kPreds[] = {CmpPred::EQ, CmpPred::NE,
+                                         CmpPred::LT, CmpPred::LE,
+                                         CmpPred::GT, CmpPred::GE};
+        const ValueId cond = fb.icmp(kPreds[rng.below(6)], acc,
+                                     mb.constInt(rng.range(-4, 4), width));
+        const BlockId thenB = fb.newBlock("then");
+        const BlockId elseB = fb.newBlock("else");
+        const BlockId merge = fb.newBlock("merge");
+        fb.br(cond, thenB, elseB);
+        fb.setInsertPoint(thenB);
+        const ValueId tv = fb.add(acc, mb.constInt(1, width));
+        fb.jmp(merge);
+        fb.setInsertPoint(elseB);
+        const ValueId ev = fb.sub(acc, mb.constInt(1, width));
+        fb.jmp(merge);
+        fb.setInsertPoint(merge);
+        acc = fb.phi({tv, ev}, {thenB, elseB});
+    }
+    return acc;
+}
+
+} // namespace
+
+std::unique_ptr<Module>
+synthesizeModule(std::uint64_t seed)
+{
+    auto module = std::make_unique<Module>();
+    const StandardExternals ext = StandardExternals::install(*module);
+    ModuleBuilder mb(*module);
+    Rng rng(seed ^ 0xa02bdbf7bb3c0a7ULL);
+
+    // Helpers: the first two share one signature so an indirect call
+    // can dispatch between them; the rest vary freely.
+    const int dispatchWidth = rng.chance(0.5) ? 32 : 64;
+    const int extra = static_cast<int>(rng.range(0, 2));
+    std::vector<FuncId> helpers;
+    std::vector<int> widths;
+    std::vector<ValueId> rets;
+    for (int i = 0; i < 2 + extra; ++i) {
+        const int w = i < 2 ? dispatchWidth : (rng.chance(0.5) ? 32 : 64);
+        const int nparams = i < 2 ? 2 : static_cast<int>(rng.range(1, 3));
+        FunctionBuilder fb = mb.function(
+            "helper" + std::to_string(i),
+            std::vector<int>(static_cast<std::size_t>(nparams), w));
+        const ValueId r = buildHelperBody(fb, rng, w);
+        fb.ret(r);
+        helpers.push_back(fb.funcId());
+        widths.push_back(w);
+        rets.push_back(r);
+    }
+
+    FunctionBuilder fb = mb.function("main", {});
+    std::vector<ValueId> results;
+    for (std::size_t i = 0; i < helpers.size(); ++i) {
+        std::vector<ValueId> args;
+        const std::size_t n =
+            mb.module().func(helpers[i]).params.size();
+        for (std::size_t a = 0; a < n; ++a)
+            args.push_back(mb.constInt(rng.range(-8, 40), widths[i]));
+        results.push_back(fb.call(helpers[i], args, widths[i]));
+    }
+
+    // Dispatch-slot indirect call between the two same-signature
+    // helpers: a stored function address loaded back and invoked.
+    const ValueId slot = fb.alloca_(8);
+    fb.store(slot, mb.funcAddr(helpers[rng.below(2)]));
+    const ValueId target = fb.load(slot, 64);
+    results.push_back(fb.icall(
+        target,
+        {mb.constInt(rng.range(0, 9), dispatchWidth),
+         mb.constInt(rng.range(0, 9), dispatchWidth)},
+        dispatchWidth));
+
+    // Heap round trip through the standard externals.
+    if (rng.chance(0.6)) {
+        const ValueId p =
+            fb.callExternal(ext.mallocFn, {mb.constInt(16, 64)}, 64);
+        fb.store(p, mb.constInt(rng.range(0, 1000), 64));
+        results.push_back(fb.load(p, 64));
+        fb.callExternal(ext.freeFn, {p}, 0);
+    }
+
+    // Type-revealing external uses over a string literal.
+    if (rng.chance(0.5)) {
+        const ValueId s = mb.addStringLiteral("lit0", "fuzz");
+        results.push_back(fb.callExternal(ext.strlenFn, {s}, 64));
+    }
+
+    // A floating chain on 64-bit registers (the reveal the float rules
+    // key on); kept occasional so integer-only modules stay common.
+    if (rng.chance(0.3)) {
+        const ValueId f = fb.fbinop(Opcode::FAdd, mb.constInt(3, 64),
+                                    mb.constInt(4, 64));
+        fb.callExternal(ext.printFltFn, {f}, 0);
+    }
+
+    ValueId sum = ValueId::invalid();
+    for (ValueId r : results) {
+        if (!r.valid() || mb.module().value(r).width != 64)
+            continue;
+        sum = sum.valid() ? fb.add(sum, r) : r;
+    }
+    if (!sum.valid())
+        sum = mb.constInt(0, 64);
+    fb.ret(sum);
+    return module;
+}
+
+} // namespace fuzz
+} // namespace manta

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Randomized test-case sampling for the differential fuzzing harness.
+ *
+ * A FuzzCase is a pure function of one 64-bit case seed: the seed
+ * decides between the two program sources (the typed workload
+ * generator, which carries ground truth, and direct random MIR
+ * synthesis through mir/builder, which does not), then fixes every
+ * generation knob. Strict cases disable the generator features the
+ * paper acknowledges as unsound noise (Section 6.4: pointer-vs-error
+ * compares, alignment masking, polymorphic reuse, slot recycling),
+ * which is what lets the ground-truth and interpreter oracles apply
+ * their strongest checks.
+ */
+#ifndef MANTA_FUZZ_SAMPLE_H
+#define MANTA_FUZZ_SAMPLE_H
+
+#include <cstdint>
+#include <memory>
+
+#include "frontend/generator.h"
+
+namespace manta {
+namespace fuzz {
+
+/** One sampled fuzzing case; reproducible from caseSeed alone. */
+struct FuzzCase
+{
+    std::uint64_t caseSeed = 0;
+    bool synthesized = false;  ///< Direct MIR synthesis (no ground truth).
+    bool strict = false;       ///< Unsound-noise features disabled.
+    GenConfig config;          ///< Generator knobs (unused when synthesized).
+};
+
+/** Derive the i-th case seed of a campaign (splitmix64 of base + i). */
+std::uint64_t caseSeedFor(std::uint64_t base_seed, std::size_t index);
+
+/** Sample the full case description from one case seed. */
+FuzzCase sampleCase(std::uint64_t case_seed);
+
+/** A materialized case program (natural CFG, before makeAcyclic). */
+struct CaseProgram
+{
+    std::unique_ptr<Module> module;
+    GroundTruth truth;
+    bool hasTruth = false;
+};
+
+/**
+ * Materialize the case's program. Deterministic: calling twice yields
+ * structurally identical modules with identical ids, which is what
+ * lets the oracles run the interpreter on a natural-CFG copy and the
+ * analyses on an unrolled copy while still matching per-id.
+ */
+CaseProgram materialize(const FuzzCase &c);
+
+/**
+ * Build a small random module directly through mir/builder: integer
+ * and float arithmetic, casts, in-bounds stack traffic, branches with
+ * phis, direct calls, and a dispatch-slot indirect call, all rooted in
+ * a "main". The result always passes the verifier.
+ */
+std::unique_ptr<Module> synthesizeModule(std::uint64_t seed);
+
+} // namespace fuzz
+} // namespace manta
+
+#endif // MANTA_FUZZ_SAMPLE_H

@@ -1,0 +1,298 @@
+#include "fuzz/shrink.h"
+
+#include <algorithm>
+
+#include "mir/parser.h"
+#include "mir/printer.h"
+
+namespace manta {
+namespace fuzz {
+
+namespace {
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::string cur;
+    for (const char ch : text) {
+        if (ch == '\n') {
+            lines.push_back(cur);
+            cur.clear();
+        } else {
+            cur += ch;
+        }
+    }
+    if (!cur.empty())
+        lines.push_back(cur);
+    return lines;
+}
+
+std::string
+joinLines(const std::vector<std::string> &lines)
+{
+    std::string out;
+    for (const std::string &line : lines) {
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+trimmed(const std::string &line)
+{
+    std::size_t begin = line.find_first_not_of(" \t");
+    if (begin == std::string::npos)
+        return "";
+    std::size_t end = line.find_last_not_of(" \t");
+    return line.substr(begin, end - begin + 1);
+}
+
+/**
+ * Lines ddmin may drop individually: instructions that are not
+ * terminators, plus module-level globals/strings. Structure lines
+ * (func headers, closing braces, labels) and terminators are only
+ * removed as part of whole-function ranges.
+ */
+bool
+isRemovableLine(const std::string &raw)
+{
+    const std::string line = trimmed(raw);
+    if (line.empty() || line[0] == ';')
+        return false;
+    if (line == "}" || line.rfind("func ", 0) == 0)
+        return false;
+    if (line.back() == ':')
+        return false;
+    if (line.rfind("ret", 0) == 0 || line.rfind("br ", 0) == 0 ||
+        line.rfind("jmp ", 0) == 0 || line.rfind("unreachable", 0) == 0)
+        return false;
+    return true;
+}
+
+std::vector<std::size_t>
+removableIndices(const std::vector<std::string> &lines)
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (isRemovableLine(lines[i]))
+            out.push_back(i);
+    }
+    return out;
+}
+
+/** [first, last] line ranges of whole function definitions. */
+std::vector<std::pair<std::size_t, std::size_t>>
+functionRanges(const std::vector<std::string> &lines)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (trimmed(lines[i]).rfind("func ", 0) != 0)
+            continue;
+        for (std::size_t j = i + 1; j < lines.size(); ++j) {
+            if (trimmed(lines[j]) == "}") {
+                ranges.push_back({i, j});
+                i = j;
+                break;
+            }
+        }
+    }
+    return ranges;
+}
+
+std::vector<std::string>
+without(const std::vector<std::string> &lines, std::size_t first,
+        std::size_t last)
+{
+    std::vector<std::string> out;
+    out.reserve(lines.size());
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (i < first || i > last)
+            out.push_back(lines[i]);
+    }
+    return out;
+}
+
+std::size_t
+countInsts(const std::string &text)
+{
+    Module m;
+    std::string err;
+    if (!parseModule(text, m, err))
+        return 0;
+    return m.numInsts();
+}
+
+} // namespace
+
+ShrinkResult
+shrinkText(const std::string &text, const TextPredicate &fails,
+           std::size_t max_evals)
+{
+    ShrinkResult result;
+    std::vector<std::string> lines = splitLines(text);
+    std::size_t evals = 0;
+
+    const auto interesting = [&](const std::vector<std::string> &cand) {
+        if (evals >= max_evals)
+            return false;
+        ++evals;
+        return fails(joinLines(cand));
+    };
+
+    // Phase 1: drop whole functions (greedy, repeated to fixpoint).
+    // A function another one still calls fails to reparse, so the
+    // predicate rejects it automatically.
+    for (bool progress = true; progress && evals < max_evals;) {
+        progress = false;
+        for (const auto &[first, last] : functionRanges(lines)) {
+            const auto cand = without(lines, first, last);
+            if (interesting(cand)) {
+                lines = cand;
+                result.changed = true;
+                progress = true;
+                break;
+            }
+        }
+    }
+
+    // Phase 2: ddmin over removable lines, chunk sizes halving from
+    // n/2 down to 1, with a final single-line fixpoint sweep.
+    for (bool progress = true; progress && evals < max_evals;) {
+        progress = false;
+        const std::vector<std::size_t> idx = removableIndices(lines);
+        if (idx.empty())
+            break;
+        for (std::size_t g = std::max<std::size_t>(idx.size() / 2, 1);;
+             g /= 2) {
+            for (std::size_t start = 0;
+                 start < idx.size() && evals < max_evals; start += g) {
+                const std::size_t end =
+                    std::min(start + g, idx.size()) - 1;
+                // Chunks cover consecutive removable indices; build the
+                // candidate by skipping exactly those lines.
+                std::vector<std::string> cand;
+                cand.reserve(lines.size());
+                std::size_t k = 0;
+                for (std::size_t i = 0; i < lines.size(); ++i) {
+                    const bool drop = k >= start && k <= end &&
+                                      k < idx.size() && idx[k] == i;
+                    if (k < idx.size() && idx[k] == i)
+                        ++k;
+                    if (!drop)
+                        cand.push_back(lines[i]);
+                }
+                if (interesting(cand)) {
+                    lines = cand;
+                    result.changed = true;
+                    progress = true;
+                    break;
+                }
+            }
+            if (progress || g == 1)
+                break;
+        }
+    }
+
+    result.text = joinLines(lines);
+    result.evals = evals;
+    result.insts = countInsts(result.text);
+    return result;
+}
+
+namespace {
+
+/** Greedy config coarsening; returns evaluations spent. */
+std::size_t
+coarsenConfig(FuzzCase &cur, OracleId failing, std::size_t max_evals)
+{
+    std::size_t evals = 0;
+    const std::size_t which = static_cast<std::size_t>(failing);
+    const auto caseFails = [&](const FuzzCase &cand) {
+        if (evals >= max_evals)
+            return false;
+        ++evals;
+        return runCase(cand).counters.failures[which] > 0;
+    };
+
+    static constexpr double GenConfig::*kRates[] = {
+        &GenConfig::unionRate,        &GenConfig::guardRate,
+        &GenConfig::polymorphicRate,  &GenConfig::recycleRate,
+        &GenConfig::errorCompareRate, &GenConfig::maskRate,
+        &GenConfig::loopRate,         &GenConfig::branchRate,
+        &GenConfig::icallRate,        &GenConfig::recursionRate,
+        &GenConfig::revealRate,       &GenConfig::floatShare,
+    };
+
+    for (bool progress = true; progress && evals < max_evals;) {
+        progress = false;
+        while (cur.config.numFunctions > 1) {
+            FuzzCase cand = cur;
+            cand.config.numFunctions =
+                std::max(1, cur.config.numFunctions / 2);
+            if (!caseFails(cand))
+                break;
+            cur = cand;
+            progress = true;
+        }
+        while (cur.config.stmtsPerFunction > 2) {
+            FuzzCase cand = cur;
+            cand.config.stmtsPerFunction =
+                std::max(2, cur.config.stmtsPerFunction / 2);
+            if (!caseFails(cand))
+                break;
+            cur = cand;
+            progress = true;
+        }
+        for (const auto rate : kRates) {
+            if (cur.config.*rate <= 0.0)
+                continue;
+            FuzzCase cand = cur;
+            cand.config.*rate = 0.0;
+            if (caseFails(cand)) {
+                cur = cand;
+                progress = true;
+            }
+        }
+    }
+    return evals;
+}
+
+} // namespace
+
+CaseShrinkResult
+shrinkCase(const FuzzCase &original, OracleId failing, std::size_t max_evals)
+{
+    CaseShrinkResult result;
+    result.shrunkCase = original;
+
+    if (!original.synthesized) {
+        result.evals =
+            coarsenConfig(result.shrunkCase, failing, max_evals / 2);
+    }
+
+    const CaseProgram prog = materialize(result.shrunkCase);
+    result.text = printModule(*prog.module);
+    result.insts = prog.module->numInsts();
+
+    if (oracleIsTruthFree(failing) && result.evals < max_evals &&
+        textFailsOracle(result.text, failing)) {
+        const ShrinkResult shrunk = shrinkText(
+            result.text,
+            [failing](const std::string &cand) {
+                return textFailsOracle(cand, failing);
+            },
+            max_evals - result.evals);
+        result.evals += shrunk.evals;
+        if (shrunk.changed && shrunk.insts > 0) {
+            result.text = shrunk.text;
+            result.insts = shrunk.insts;
+        }
+        result.textLevel = true;
+    }
+    return result;
+}
+
+} // namespace fuzz
+} // namespace manta

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Automatic reproducer shrinking for oracle failures.
+ *
+ * Two levels, applied in order:
+ *
+ *  - **Config coarsening** (generator cases): greedily halve the
+ *    program scale and zero feature rates while the same oracle keeps
+ *    failing. This works for every oracle, including the truth-bound
+ *    ones, because each candidate is a full re-generation with fresh
+ *    ground truth.
+ *  - **Text-level delta debugging** (truth-free oracles): classic
+ *    ddmin over the printed module's lines - whole function bodies
+ *    first, then instruction chunks of halving size - where a
+ *    candidate is interesting when it still parses, verifies (except
+ *    when shrinking a verifier failure) and trips the same oracle.
+ *
+ * Every candidate evaluation is deterministic, so a shrink run is a
+ * pure function of (case, oracle, budget).
+ */
+#ifndef MANTA_FUZZ_SHRINK_H
+#define MANTA_FUZZ_SHRINK_H
+
+#include <functional>
+#include <string>
+
+#include "fuzz/oracles.h"
+
+namespace manta {
+namespace fuzz {
+
+/** Outcome of a text-level ddmin run. */
+struct ShrinkResult
+{
+    std::string text;       ///< Minimized module text.
+    std::size_t insts = 0;  ///< Instructions in the minimized module.
+    std::size_t evals = 0;  ///< Candidate evaluations spent.
+    bool changed = false;   ///< Anything was removed.
+};
+
+/** "Still interesting" predicate over candidate module text. */
+using TextPredicate = std::function<bool(const std::string &)>;
+
+/**
+ * Delta-debug `text` against `fails` (which must already hold for
+ * `text` itself). The predicate is responsible for validity - a
+ * candidate that no longer parses must simply return false.
+ */
+ShrinkResult shrinkText(const std::string &text, const TextPredicate &fails,
+                        std::size_t max_evals = 600);
+
+/** Outcome of a whole-case shrink (config phase + text phase). */
+struct CaseShrinkResult
+{
+    FuzzCase shrunkCase;     ///< Coarsened case (equals input for synth).
+    std::string text;        ///< Minimized (or final-config) module text.
+    std::size_t insts = 0;   ///< Instructions in `text`.
+    std::size_t evals = 0;   ///< Total candidate evaluations.
+    bool textLevel = false;  ///< ddmin ran (truth-free oracle).
+};
+
+/**
+ * Minimize a failing case: coarsen its config while `failing` still
+ * trips, then - for truth-free oracles - ddmin the printed module.
+ */
+CaseShrinkResult shrinkCase(const FuzzCase &original, OracleId failing,
+                            std::size_t max_evals = 600);
+
+} // namespace fuzz
+} // namespace manta
+
+#endif // MANTA_FUZZ_SHRINK_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "support/error.h"
 
@@ -75,6 +76,8 @@ class Interpreter::Impl
     {
         result_ = InterpResult{};
         commands_.clear();
+        deref_seen_.clear();
+        icall_seen_.clear();
         halted_ = false;
 
         std::vector<Word> words;
@@ -205,6 +208,37 @@ class Interpreter::Impl
             return nullptr;
         }
         return &segment;
+    }
+
+    /** checkAccess without reporting: would this access succeed? */
+    bool
+    accessOk(Word addr, int width_bits) const
+    {
+        const std::uint32_t seg = static_cast<std::uint32_t>(addr >> 32);
+        const std::uint32_t off = static_cast<std::uint32_t>(addr);
+        if ((addr & funcTagMask) == funcTag || seg == 0 ||
+                seg >= segments_.size()) {
+            return false;
+        }
+        const Segment &segment = segments_[seg];
+        if (segment.freed)
+            return false;
+        const std::size_t bytes = static_cast<std::size_t>(width_bits) / 8;
+        return off + std::max<std::size_t>(bytes, 1) <=
+               segment.bytes.size();
+    }
+
+    /** Record one executed dereference site (first observation wins). */
+    void
+    traceDeref(InstId site, ValueId addr, Word word, int width_bits)
+    {
+        if (!opts_.recordTrace || !deref_seen_.insert(site.raw()).second)
+            return;
+        DerefRecord record;
+        record.site = site;
+        record.addr = addr;
+        record.faulted = !accessOk(word, width_bits);
+        result_.derefs.push_back(record);
     }
 
     Word
@@ -364,12 +398,20 @@ class Interpreter::Impl
           case Opcode::Alloca:
             set(makeAddr(allocate(std::max(inst.allocaSize, 1u)), 0));
             break;
-          case Opcode::Load:
-            set(loadWord(op(0), m_.value(inst.result).width, iid));
+          case Opcode::Load: {
+            const Word addr = op(0);
+            traceDeref(iid, inst.operands[0], addr,
+                       m_.value(inst.result).width);
+            set(loadWord(addr, m_.value(inst.result).width, iid));
             break;
-          case Opcode::Store:
-            storeWord(op(0), op(1), m_.value(inst.operands[1]).width, iid);
+          }
+          case Opcode::Store: {
+            const Word addr = op(0);
+            traceDeref(iid, inst.operands[0], addr,
+                       m_.value(inst.operands[1]).width);
+            storeWord(addr, op(1), m_.value(inst.operands[1]).width, iid);
             break;
+          }
           case Opcode::Add: set(op(0) + op(1)); break;
           case Opcode::Sub: set(op(0) - op(1)); break;
           case Opcode::Mul: set(op(0) * op(1)); break;
@@ -455,6 +497,12 @@ class Interpreter::Impl
             }
             const FuncId callee(
                 static_cast<FuncId::RawType>(target & 0xFFFFFFFFu));
+            if (opts_.recordTrace) {
+                const std::uint64_t key =
+                    (std::uint64_t(iid.raw()) << 32) | callee.raw();
+                if (icall_seen_.insert(key).second)
+                    result_.icallsTaken.emplace_back(iid, callee);
+            }
             std::vector<Word> args;
             for (std::size_t k = 1; k < inst.operands.size(); ++k)
                 args.push_back(op(k));
@@ -565,6 +613,8 @@ class Interpreter::Impl
     std::vector<std::uint32_t> global_segment_;
     std::vector<std::string> commands_;
     InterpResult result_;
+    std::unordered_set<std::uint32_t> deref_seen_;
+    std::unordered_set<std::uint64_t> icall_seen_;
     bool halted_ = false;
 };
 

@@ -57,6 +57,21 @@ struct InterpOptions
     std::int64_t uninitWord = 0;
     /** Stop at the first memory-safety event. */
     bool stopOnFault = false;
+    /**
+     * Record which dereference sites and indirect-call dispatches the
+     * run actually executed (InterpResult::derefs / icallsTaken). Off
+     * by default; the fuzz oracles (src/fuzz/oracles.h) switch it on
+     * to cross-check static verdicts against observed behavior.
+     */
+    bool recordTrace = false;
+};
+
+/** One executed load/store site (recorded under recordTrace). */
+struct DerefRecord
+{
+    InstId site;       ///< The load/store instruction.
+    ValueId addr;      ///< Its address operand.
+    bool faulted = false;  ///< The access raised a memory-safety event.
 };
 
 /** Result of one interpretation run. */
@@ -66,6 +81,18 @@ struct InterpResult
     std::size_t steps = 0;
     std::int64_t returnValue = 0;
     std::vector<RuntimeEvent> events;
+
+    /**
+     * Trace of executed dereference sites, one entry per site (first
+     * observation wins). Empty unless InterpOptions::recordTrace.
+     */
+    std::vector<DerefRecord> derefs;
+
+    /**
+     * Resolved indirect-call dispatches actually taken, deduplicated
+     * (site, callee) pairs. Empty unless InterpOptions::recordTrace.
+     */
+    std::vector<std::pair<InstId, FuncId>> icallsTaken;
 
     /** Events of one kind. */
     std::size_t

@@ -1,8 +1,10 @@
 #include "mir/parser.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <sstream>
+#include <tuple>
 #include <unordered_map>
 
 #include "mir/externals.h"
@@ -79,6 +81,35 @@ splitMnemonic(const std::string &token)
     return {token.substr(0, dot), token.substr(dot + 1)};
 }
 
+/** Parse a non-negative decimal integer; diagnoses junk like "12abc". */
+std::uint64_t
+parseUnsigned(const std::string &text, int line_no, const char *what)
+{
+    if (text.empty())
+        bail(line_no, std::string("missing ") + what);
+    for (const char c : text) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            bail(line_no, std::string("malformed ") + what + " '" + text +
+                              "'");
+    }
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || end == text.c_str() || *end != '\0')
+        bail(line_no, std::string("malformed ") + what + " '" + text + "'");
+    return value;
+}
+
+/** Parse a register width and insist it is one of {1,8,16,32,64}. */
+int
+parseWidth(const std::string &text, int line_no)
+{
+    const std::uint64_t width = parseUnsigned(text, line_no, "width");
+    if (!isValidWidth(static_cast<int>(width)))
+        bail(line_no, "invalid width " + text);
+    return static_cast<int>(width);
+}
+
 class Parser
 {
   public:
@@ -115,9 +146,11 @@ class Parser
                     bail(line_no, "malformed global");
                 Global g;
                 g.name = tokens[1].substr(1);
-                g.sizeBytes =
-                    static_cast<std::uint32_t>(std::atoll(tokens[2].c_str()));
+                g.sizeBytes = static_cast<std::uint32_t>(
+                    parseUnsigned(tokens[2], line_no, "global size"));
                 const std::string name = g.name;
+                if (globalIds_.count(name))
+                    bail(line_no, "duplicate global @" + name);
                 globalIds_[name] = module_.addGlobal(std::move(g));
             } else if (tokens[0] == "string") {
                 if (tokens.size() < 3 || tokens[1][0] != '@' ||
@@ -131,6 +164,8 @@ class Parser
                 g.sizeBytes =
                     static_cast<std::uint32_t>(g.stringValue.size() + 1);
                 const std::string name = g.name;
+                if (globalIds_.count(name))
+                    bail(line_no, "duplicate string @" + name);
                 globalIds_[name] = module_.addGlobal(std::move(g));
             } else if (tokens[0] == "func") {
                 declareFunc(tokens, line_no, i);
@@ -146,6 +181,8 @@ class Parser
             bail(line_no, "malformed func header");
         Function fn;
         fn.name = tokens[1].substr(1);
+        if (funcIds_.count(fn.name))
+            bail(line_no, "duplicate function @" + fn.name);
         const FuncId fid = module_.addFunc(std::move(fn));
         funcIds_[module_.func(fid).name] = fid;
         funcHeaderLines_.emplace_back(fid, line_index);
@@ -167,7 +204,7 @@ class Parser
             v.kind = ValueKind::Argument;
             v.name = param.substr(1, colon - 1);
             v.width = static_cast<std::uint8_t>(
-                std::atoi(param.c_str() + colon + 1));
+                parseWidth(param.substr(colon + 1), line_no));
             v.argIndex = static_cast<std::uint32_t>(
                 module_.func(fid).params.size());
             v.argFunc = fid;
@@ -235,14 +272,14 @@ class Parser
         }
 
         // Resolve forward-referenced phi operands.
-        for (const auto &[iid, names] : pendingPhis_) {
+        for (const auto &[iid, phi_line, names] : pendingPhis_) {
             Instruction &inst = module_.inst(iid);
             for (std::size_t k = 0; k < names.size(); ++k) {
                 if (names[k].empty())
                     continue;
                 const auto it = values_.find(names[k]);
                 if (it == values_.end())
-                    bail(0, "unresolved phi operand %" + names[k]);
+                    bail(phi_line, "unresolved phi operand %" + names[k]);
                 inst.operands[k] = it->second;
             }
         }
@@ -286,7 +323,7 @@ class Parser
         std::string digits = token;
         const auto colon = token.find(':');
         if (colon != std::string::npos) {
-            width = std::atoi(token.c_str() + colon + 1);
+            width = parseWidth(token.substr(colon + 1), line_no);
             digits = token.substr(0, colon);
         }
         char *parse_end = nullptr;
@@ -323,6 +360,8 @@ class Parser
     void
     defineResult(InstId iid, const std::string &name, int width, int line_no)
     {
+        if (name.empty())
+            bail(line_no, "instruction produces a result; expected '%name ='");
         if (values_.count(name))
             bail(line_no, "redefinition of %" + name);
         Value v;
@@ -368,6 +407,10 @@ class Parser
                                   " operands");
             }
         };
+        auto noResult = [&] {
+            if (!result_name.empty())
+                bail(line_no, op + " does not produce a result");
+        };
 
         if (op == "copy") {
             needOperands(1);
@@ -406,26 +449,27 @@ class Parser
             for (const auto &p : pending)
                 any_pending |= !p.empty();
             if (any_pending)
-                pendingPhis_.emplace_back(iid, std::move(pending));
+                pendingPhis_.emplace_back(iid, line_no, std::move(pending));
         } else if (op == "alloca") {
             needOperands(1);
             Instruction inst;
             inst.op = Opcode::Alloca;
-            inst.allocaSize =
-                static_cast<std::uint32_t>(std::atoll(raw[0].c_str()));
+            inst.allocaSize = static_cast<std::uint32_t>(
+                parseUnsigned(raw[0], line_no, "alloca size"));
             const InstId iid = appendInst(std::move(inst));
             defineResult(iid, result_name, 64, line_no);
         } else if (op == "load") {
             needOperands(1);
             const int width = spec.suffix.empty()
                                   ? 64
-                                  : std::atoi(spec.suffix.c_str());
+                                  : parseWidth(spec.suffix, line_no);
             Instruction inst;
             inst.op = Opcode::Load;
             inst.operands = {operand(raw[0], line_no)};
             const InstId iid = appendInst(std::move(inst));
             defineResult(iid, result_name, width, line_no);
         } else if (op == "store") {
+            noResult();
             needOperands(2);
             Instruction inst;
             inst.op = Opcode::Store;
@@ -448,7 +492,9 @@ class Parser
                       : op == "zext" ? Opcode::ZExt
                                      : Opcode::SExt;
             inst.operands = {operand(raw[0], line_no)};
-            const int width = std::atoi(spec.suffix.c_str());
+            if (spec.suffix.empty())
+                bail(line_no, op + " requires a width suffix");
+            const int width = parseWidth(spec.suffix, line_no);
             const InstId iid = appendInst(std::move(inst));
             defineResult(iid, result_name, width, line_no);
         } else if (op == "call") {
@@ -471,7 +517,7 @@ class Parser
             if (!result_name.empty()) {
                 const int width = spec.suffix.empty()
                                       ? 64
-                                      : std::atoi(spec.suffix.c_str());
+                                      : parseWidth(spec.suffix, line_no);
                 defineResult(iid, result_name, width, line_no);
             }
         } else if (op == "icall") {
@@ -485,16 +531,18 @@ class Parser
             if (!result_name.empty()) {
                 const int width = spec.suffix.empty()
                                       ? 64
-                                      : std::atoi(spec.suffix.c_str());
+                                      : parseWidth(spec.suffix, line_no);
                 defineResult(iid, result_name, width, line_no);
             }
         } else if (op == "ret") {
+            noResult();
             Instruction inst;
             inst.op = Opcode::Ret;
             if (!raw.empty())
                 inst.operands.push_back(operand(raw[0], line_no));
             appendInst(std::move(inst));
         } else if (op == "br") {
+            noResult();
             needOperands(3);
             Instruction inst;
             inst.op = Opcode::Br;
@@ -503,12 +551,14 @@ class Parser
             inst.elseBlock = blockRef(raw[2], line_no);
             appendInst(std::move(inst));
         } else if (op == "jmp") {
+            noResult();
             needOperands(1);
             Instruction inst;
             inst.op = Opcode::Jmp;
             inst.thenBlock = blockRef(raw[0], line_no);
             appendInst(std::move(inst));
         } else if (op == "unreachable") {
+            noResult();
             Instruction inst;
             inst.op = Opcode::Unreachable;
             appendInst(std::move(inst));
@@ -561,7 +611,8 @@ class Parser
     BlockId currentBlock_;
     std::unordered_map<std::string, ValueId> values_;
     std::unordered_map<std::string, BlockId> blockIds_;
-    std::vector<std::pair<InstId, std::vector<std::string>>> pendingPhis_;
+    std::vector<std::tuple<InstId, int, std::vector<std::string>>>
+        pendingPhis_;
 };
 
 } // namespace

@@ -1,0 +1,36 @@
+#include "support/chaos.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace manta {
+
+namespace {
+
+bool
+envOn(const char *name)
+{
+    const char *value = std::getenv(name);
+    return value != nullptr && *value != '\0' &&
+           std::strcmp(value, "0") != 0;
+}
+
+} // namespace
+
+ChaosFlag::ChaosFlag(const char *env_name) : state_(envOn(env_name)) {}
+
+ChaosFlag &
+chaosBreakMeet()
+{
+    static ChaosFlag flag("MANTA_FUZZ_BREAK_MEET");
+    return flag;
+}
+
+ChaosFlag &
+chaosBreakPts()
+{
+    static ChaosFlag flag("MANTA_FUZZ_BREAK_PTS");
+    return flag;
+}
+
+} // namespace manta

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Deliberate fault injection ("chaos") switches for testing the
+ * correctness tooling itself.
+ *
+ * The differential fuzzing harness (src/fuzz/) claims to catch
+ * analysis regressions; the only way to trust that claim is to break
+ * the analysis on purpose and watch the oracles fire. Each ChaosFlag
+ * guards one such injected defect. Flags are off unless the matching
+ * environment variable is set to a non-empty, non-"0" value at process
+ * start, or a test flips them via setForTesting(). Production code
+ * pays one relaxed atomic load per check.
+ *
+ * Active defects (see docs/TESTING.md, "Fault injection"):
+ *   MANTA_FUZZ_BREAK_MEET   TypeTable::meet computes a join instead,
+ *                           corrupting every lower bound.
+ *   MANTA_FUZZ_BREAK_PTS    The sparse points-to solver drops one
+ *                           location from its largest solution set
+ *                           after converging.
+ */
+#ifndef MANTA_SUPPORT_CHAOS_H
+#define MANTA_SUPPORT_CHAOS_H
+
+#include <atomic>
+
+namespace manta {
+
+/** One env-gated fault-injection switch. */
+class ChaosFlag
+{
+  public:
+    /** Reads `env_name` once at construction (static-init time). */
+    explicit ChaosFlag(const char *env_name);
+
+    bool enabled() const { return state_.load(std::memory_order_relaxed); }
+
+    /** Test override; use the ChaosScope RAII guard in tests. */
+    void
+    setForTesting(bool on)
+    {
+        state_.store(on, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<bool> state_;
+};
+
+/** RAII guard: enables a flag for one test scope, restores on exit. */
+class ChaosScope
+{
+  public:
+    explicit ChaosScope(ChaosFlag &flag) : flag_(flag), was_(flag.enabled())
+    {
+        flag_.setForTesting(true);
+    }
+    ~ChaosScope() { flag_.setForTesting(was_); }
+
+    ChaosScope(const ChaosScope &) = delete;
+    ChaosScope &operator=(const ChaosScope &) = delete;
+
+  private:
+    ChaosFlag &flag_;
+    bool was_;
+};
+
+/** MANTA_FUZZ_BREAK_MEET: lattice meet answers with the join. */
+ChaosFlag &chaosBreakMeet();
+
+/** MANTA_FUZZ_BREAK_PTS: sparse points-to loses one location. */
+ChaosFlag &chaosBreakPts();
+
+} // namespace manta
+
+#endif // MANTA_SUPPORT_CHAOS_H

@@ -86,6 +86,30 @@ struct BoundPair
         lower = table.meet(lower, other.lower);
     }
 
+    /**
+     * Clamp a re-collected interval to the interval a refinement stage
+     * set out to refine. DDG walks can surface evidence the earlier
+     * stage never attributed to the variable (e.g. callee-side uses
+     * reached through a different caller), and committing such bounds
+     * verbatim can WIDEN the interval - a refinement must refine, so
+     * the result is the intersection of the two intervals; when they
+     * are outright disjoint the stage makes no progress and the input
+     * interval is kept. Found by the fuzz harness's monotonicity
+     * oracle (docs/TESTING.md).
+     */
+    static BoundPair
+    refineWithin(TypeTable &table, const BoundPair &refined,
+                 const BoundPair &base)
+    {
+        if (base.classify(table) != TypeClass::Over)
+            return refined;
+        const BoundPair out(table.meet(refined.upper, base.upper),
+                            table.join(refined.lower, base.lower));
+        if (!table.isSubtype(out.lower, out.upper))
+            return base;
+        return out;
+    }
+
     /** Classify per Section 4.1. */
     TypeClass
     classify(const TypeTable &table) const

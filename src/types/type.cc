@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/chaos.h"
 #include "support/error.h"
 
 namespace manta {
@@ -287,6 +288,10 @@ TypeTable::join(TypeRef a, TypeRef b)
 TypeRef
 TypeTable::meet(TypeRef a, TypeRef b)
 {
+    // Injected defect for fuzz-harness validation: answer with the
+    // join, corrupting every lower bound downstream (support/chaos.h).
+    if (chaosBreakMeet().enabled())
+        return joinRec(a, b, 0);
     return meetRec(a, b, 0);
 }
 

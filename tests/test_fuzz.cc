@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Tests for the differential fuzzing harness itself: sampler
+ * determinism, synthesized-module well-formedness, the oracle battery
+ * on known-good seeds, fault injection (the chaos flags must make the
+ * matching oracle fire), and the reproducer shrinker.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fuzz/campaign.h"
+#include "fuzz/oracles.h"
+#include "fuzz/sample.h"
+#include "fuzz/shrink.h"
+#include "mir/parser.h"
+#include "mir/printer.h"
+#include "mir/verifier.h"
+#include "support/chaos.h"
+
+namespace manta {
+namespace {
+
+using fuzz::OracleId;
+
+bool
+failedOracle(const fuzz::CaseResult &r, OracleId which)
+{
+    return r.counters.failures[static_cast<std::size_t>(which)] > 0;
+}
+
+TEST(FuzzSample, CaseSeedsAreDistinctAndDeterministic)
+{
+    std::set<std::uint64_t> seen;
+    for (std::size_t i = 0; i < 256; ++i) {
+        const std::uint64_t s = fuzz::caseSeedFor(1, i);
+        EXPECT_EQ(s, fuzz::caseSeedFor(1, i));
+        EXPECT_TRUE(seen.insert(s).second) << "collision at index " << i;
+    }
+    // Different base seeds diverge immediately.
+    EXPECT_NE(fuzz::caseSeedFor(1, 0), fuzz::caseSeedFor(2, 0));
+}
+
+TEST(FuzzSample, SampleCaseIsPureInItsSeed)
+{
+    for (std::uint64_t seed : {0x1234ull, 0xdeadbeefull, 7ull}) {
+        const fuzz::FuzzCase a = fuzz::sampleCase(seed);
+        const fuzz::FuzzCase b = fuzz::sampleCase(seed);
+        EXPECT_EQ(a.synthesized, b.synthesized);
+        EXPECT_EQ(a.strict, b.strict);
+        EXPECT_EQ(a.config.seed, b.config.seed);
+        EXPECT_EQ(a.config.numFunctions, b.config.numFunctions);
+        EXPECT_EQ(a.config.stmtsPerFunction, b.config.stmtsPerFunction);
+    }
+}
+
+TEST(FuzzSample, StrictCasesDisableSoundnessNoise)
+{
+    std::size_t strict_seen = 0;
+    for (std::size_t i = 0; i < 64; ++i) {
+        const fuzz::FuzzCase c = fuzz::sampleCase(fuzz::caseSeedFor(3, i));
+        if (c.synthesized || !c.strict)
+            continue;
+        ++strict_seen;
+        EXPECT_EQ(c.config.polymorphicRate, 0.0);
+        EXPECT_EQ(c.config.recycleRate, 0.0);
+        EXPECT_EQ(c.config.errorCompareRate, 0.0);
+        EXPECT_EQ(c.config.maskRate, 0.0);
+    }
+    EXPECT_GT(strict_seen, 0u);
+}
+
+TEST(FuzzSample, NoCaseInjectsRealBugs)
+{
+    // The harness fuzzes the toolchain, not the bug detector: every
+    // generated program must be bug-free so the interp oracle can
+    // demand a clean (or benignly-null-dereferencing) run.
+    for (std::size_t i = 0; i < 64; ++i) {
+        const fuzz::FuzzCase c = fuzz::sampleCase(fuzz::caseSeedFor(9, i));
+        EXPECT_EQ(c.config.realBugRate, 0.0);
+        EXPECT_EQ(c.config.decoyRate, 0.0);
+    }
+}
+
+TEST(FuzzSample, SynthesizedModulesVerifyAndRoundTrip)
+{
+    for (std::uint64_t seed : {1ull, 2ull, 3ull, 99ull, 0xabcdefull}) {
+        const auto m = fuzz::synthesizeModule(seed);
+        ASSERT_NE(m, nullptr);
+        EXPECT_TRUE(verifyModule(*m).empty()) << "seed " << seed;
+        const std::string text = printModule(*m);
+        Module reparsed;
+        std::string error;
+        ASSERT_TRUE(parseModule(text, reparsed, error))
+            << "seed " << seed << ": " << error;
+        EXPECT_EQ(printModule(reparsed), text);
+    }
+}
+
+TEST(FuzzSample, MaterializeIsDeterministic)
+{
+    const fuzz::FuzzCase c = fuzz::sampleCase(fuzz::caseSeedFor(4, 2));
+    const fuzz::CaseProgram a = fuzz::materialize(c);
+    const fuzz::CaseProgram b = fuzz::materialize(c);
+    EXPECT_EQ(printModule(*a.module), printModule(*b.module));
+    EXPECT_EQ(a.hasTruth, b.hasTruth);
+}
+
+TEST(FuzzOracles, NamesRoundTrip)
+{
+    for (std::size_t i = 0; i < fuzz::kNumOracles; ++i) {
+        const OracleId id = static_cast<OracleId>(i);
+        OracleId back;
+        ASSERT_TRUE(fuzz::oracleFromName(fuzz::oracleName(id), back));
+        EXPECT_EQ(back, id);
+    }
+    OracleId ignored;
+    EXPECT_FALSE(fuzz::oracleFromName("no_such_oracle", ignored));
+}
+
+TEST(FuzzOracles, KnownGoodSeedsPassTheFullBattery)
+{
+    for (std::size_t i = 0; i < 8; ++i) {
+        const std::uint64_t seed = fuzz::caseSeedFor(1, i);
+        const fuzz::CaseResult r = fuzz::runCase(fuzz::sampleCase(seed));
+        for (const fuzz::OracleFailure &f : r.failures) {
+            ADD_FAILURE() << "seed 0x" << std::hex << seed << std::dec
+                          << ": " << fuzz::oracleName(f.oracle) << ": "
+                          << f.detail;
+        }
+        EXPECT_GT(r.insts, 0u);
+    }
+}
+
+TEST(FuzzOracles, VerdictsAreDeterministic)
+{
+    const fuzz::FuzzCase c = fuzz::sampleCase(fuzz::caseSeedFor(2, 5));
+    const fuzz::CaseResult a = fuzz::runCase(c);
+    const fuzz::CaseResult b = fuzz::runCase(c);
+    EXPECT_EQ(a.failures.size(), b.failures.size());
+    EXPECT_EQ(a.counters.runs, b.counters.runs);
+    EXPECT_EQ(a.counters.failures, b.counters.failures);
+    EXPECT_EQ(a.insts, b.insts);
+}
+
+/** Find a generator-backed (ground-truth-carrying) case. */
+fuzz::FuzzCase
+firstGeneratedCase(std::uint64_t base, bool want_strict)
+{
+    for (std::size_t i = 0; i < 256; ++i) {
+        const fuzz::FuzzCase c = fuzz::sampleCase(fuzz::caseSeedFor(base, i));
+        if (!c.synthesized && c.strict == want_strict)
+            return c;
+    }
+    ADD_FAILURE() << "no generated case in 256 samples";
+    return fuzz::sampleCase(fuzz::caseSeedFor(base, 0));
+}
+
+TEST(FuzzChaos, BrokenMeetIsCaughtAndShrinksSmall)
+{
+    // Flip the lattice meet to a join: the ground-truth oracle must
+    // fire within a small campaign of strict generated cases, and the
+    // shrinker must bring one such failure under the 30-instruction
+    // acceptance bar. Not every case exercises the corrupted bounds, so
+    // scan a fixed window instead of pinning one seed.
+    ChaosScope broken(chaosBreakMeet());
+    std::size_t caught = 0;
+    std::size_t best = SIZE_MAX;
+    for (std::size_t i = 0; i < 64 && caught < 4; ++i) {
+        const fuzz::FuzzCase c = fuzz::sampleCase(fuzz::caseSeedFor(1, i));
+        if (c.synthesized || !c.strict)
+            continue;
+        const fuzz::CaseResult r = fuzz::runCase(c);
+        if (!failedOracle(r, OracleId::GroundTruth))
+            continue;
+        ++caught;
+        const fuzz::CaseShrinkResult shrunk =
+            fuzz::shrinkCase(c, OracleId::GroundTruth, 600);
+        // The shrunk case must still trip the oracle.
+        EXPECT_TRUE(failedOracle(fuzz::runCase(shrunk.shrunkCase),
+                                 OracleId::GroundTruth));
+        best = std::min(best, shrunk.insts);
+        if (best <= 30)
+            break;
+    }
+    ASSERT_GT(caught, 0u) << "chaos meet went undetected in 64 cases";
+    EXPECT_LE(best, 30u)
+        << "no reproducer shrank below the acceptance bar";
+}
+
+TEST(FuzzChaos, BrokenSparsePtsIsCaughtByTheDiffOracle)
+{
+    const fuzz::FuzzCase victim = firstGeneratedCase(12, /*strict=*/false);
+    ChaosScope broken(chaosBreakPts());
+    const fuzz::CaseResult r = fuzz::runCase(victim);
+    ASSERT_FALSE(r.ok()) << "chaos pts went undetected";
+    EXPECT_TRUE(failedOracle(r, OracleId::PtsDiff));
+
+    // pts_diff is truth-free, so text-level ddmin applies and must
+    // strictly reduce the module.
+    const std::string text =
+        printModule(*fuzz::materialize(victim).module);
+    ASSERT_TRUE(fuzz::textFailsOracle(text, OracleId::PtsDiff));
+    const fuzz::ShrinkResult s = fuzz::shrinkText(
+        text,
+        [](const std::string &t) {
+            return fuzz::textFailsOracle(t, OracleId::PtsDiff);
+        },
+        300);
+    EXPECT_TRUE(s.changed);
+    EXPECT_GT(s.evals, 0u);
+    ASSERT_TRUE(fuzz::textFailsOracle(s.text, OracleId::PtsDiff));
+}
+
+TEST(FuzzShrink, DdminMinimizesAgainstASyntheticPredicate)
+{
+    // Synthetic oracle: "the module still defines %keep". ddmin must
+    // strip everything else that is individually removable.
+    const fuzz::FuzzCase c = firstGeneratedCase(13, /*strict=*/false);
+    std::string text = printModule(*fuzz::materialize(c).module);
+    text += "\nfunc @shrink_anchor() {\nentry:\n"
+            "  %keep = copy 42:64\n  ret %keep\n}\n";
+    auto fails = [](const std::string &t) {
+        Module m;
+        std::string error;
+        if (!parseModule(t, m, error))
+            return false;
+        return t.find("%keep = copy 42:64") != std::string::npos;
+    };
+    ASSERT_TRUE(fails(text));
+    const fuzz::ShrinkResult s = fuzz::shrinkText(text, fails, 400);
+    EXPECT_TRUE(s.changed);
+    EXPECT_TRUE(fails(s.text));
+    // Everything but the anchor function's skeleton is removable.
+    EXPECT_LE(s.insts, 4u) << s.text;
+}
+
+TEST(FuzzCampaign, RepeatedRunsAreIdentical)
+{
+    fuzz::CampaignOptions opts;
+    opts.seed = 21;
+    opts.count = 16;
+    opts.jobs = 2;
+    opts.shrink = false;
+    opts.writeJson = false;
+    opts.writeReproducers = false;
+    const fuzz::CampaignResult a = fuzz::runCampaign(opts);
+    const fuzz::CampaignResult b = fuzz::runCampaign(opts);
+    EXPECT_EQ(a.cases, b.cases);
+    EXPECT_EQ(a.failedCases, b.failedCases);
+    EXPECT_EQ(a.totalInsts, b.totalInsts);
+    EXPECT_EQ(a.counters.runs, b.counters.runs);
+    EXPECT_EQ(a.counters.failures, b.counters.failures);
+}
+
+TEST(FuzzCampaign, ReplayMatchesCampaignVerdict)
+{
+    const std::uint64_t seed = fuzz::caseSeedFor(21, 3);
+    fuzz::FuzzCase c;
+    const fuzz::CaseResult r = fuzz::replayCase(seed, &c);
+    EXPECT_EQ(c.caseSeed, seed);
+    EXPECT_TRUE(r.ok());
+    // The advertised replay command names the same seed.
+    const std::string cmd = fuzz::replayCommand(seed);
+    EXPECT_NE(cmd.find("--replay"), std::string::npos);
+    EXPECT_NE(cmd.find("fuzz_driver"), std::string::npos);
+}
+
+} // namespace
+} // namespace manta

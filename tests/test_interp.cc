@@ -295,6 +295,222 @@ head:
     EXPECT_GE(r.steps, 1000u);
 }
 
+TEST(Interp, WidthCastsTruncateAndExtend)
+{
+    // trunc drops high bits; zext reads the narrow value unsigned,
+    // sext sign-extends it. 0x1ff truncated to 8 bits is 0xff, which
+    // zext reads as 255 and sext as -1.
+    const char *prog = R"(
+func @main(%x:64) {
+entry:
+  %n = trunc.8 %x
+  %z = zext.64 %n
+  %s = sext.64 %n
+  %d = sub %z, %s
+  ret %d
+}
+)";
+    // z = 255, s = -1 -> z - s = 256.
+    EXPECT_EQ(runText(prog, {0x1ff}).returnValue, 256);
+    // Positive narrow values agree under both extensions.
+    EXPECT_EQ(runText(prog, {0x17}).returnValue, 0);
+}
+
+TEST(Interp, TruncThenSextRoundTripsNegatives)
+{
+    const auto r = runText(R"(
+func @main() {
+entry:
+  %wide = copy -5:64
+  %n = trunc.32 %wide
+  %back = sext.64 %n
+  ret %back
+}
+)");
+    EXPECT_EQ(r.returnValue, -5);
+}
+
+TEST(Interp, IcmpIsSignedAtOperandWidth)
+{
+    // Comparison sign-extends from the operand width first: 128:8 is
+    // -128 and 255:8 is -1, so both compare below small positives.
+    const char *prog = R"(
+func @main(%a:8, %b:8) {
+entry:
+  %c = icmp.lt %a, %b
+  %w = zext.64 %c
+  ret %w
+}
+)";
+    EXPECT_EQ(runText(prog, {128, 127}).returnValue, 1);  // -128 < 127
+    EXPECT_EQ(runText(prog, {255, 0}).returnValue, 1);    // -1 < 0
+    EXPECT_EQ(runText(prog, {0, 255}).returnValue, 0);    // 0 < -1 is false
+}
+
+TEST(Interp, IcmpSigned32BitBoundary)
+{
+    // 2147483648:32 is INT32_MIN after masking to the operand width.
+    const auto r = runText(R"(
+func @main() {
+entry:
+  %c = icmp.lt 2147483648:32, 2147483647:32
+  %w = zext.64 %c
+  ret %w
+}
+)");
+    EXPECT_EQ(r.returnValue, 1);
+}
+
+TEST(Interp, IcmpEqualityAtBoundaries)
+{
+    // Equality also respects operand width: 256:8 wraps to 0.
+    const char *prog = R"(
+func @main() {
+entry:
+  %e = icmp.eq 256:8, 0:8
+  %n = icmp.ne 255:8, -1:8
+  %we = zext.64 %e
+  %wn = zext.64 %n
+  %s = add %we, %wn
+  ret %s
+}
+)";
+    EXPECT_EQ(runText(prog).returnValue, 1);  // eq fires, ne does not
+}
+
+TEST(Interp, IndirectCallDispatchSelectsStoredTarget)
+{
+    // A two-entry dispatch slot: the branch decides which function
+    // address the slot holds, and the icall follows it.
+    const char *prog = R"(
+func @double(%x:64) {
+entry:
+  %r = mul %x, 2:64
+  ret %r
+}
+func @negate(%x:64) {
+entry:
+  %r = sub 0:64, %x
+  ret %r
+}
+func @main(%sel:64) {
+entry:
+  %slot = alloca 8
+  %c = icmp.eq %sel, 0:64
+  br %c, first, second
+first:
+  store %slot, @double
+  jmp go
+second:
+  store %slot, @negate
+  jmp go
+go:
+  %fn = load.64 %slot
+  %r = icall.64 %fn(21:64)
+  ret %r
+}
+)";
+    EXPECT_EQ(runText(prog, {0}).returnValue, 42);
+    EXPECT_EQ(runText(prog, {1}).returnValue, -21);
+}
+
+TEST(Interp, IndirectCallOnNonFunctionFaults)
+{
+    const auto r = runText(R"(
+func @main() {
+entry:
+  %bogus = copy 12345:64
+  %r = icall.64 %bogus(1:64)
+  ret %r
+}
+)");
+    EXPECT_EQ(r.count(RuntimeEvent::Kind::BadIndirect), 1u);
+}
+
+TEST(Interp, TraceRecordsDerefSitesOnce)
+{
+    // recordTrace notes each executed load/store site once with its
+    // address operand; in-bounds accesses are not flagged as faulted.
+    InterpOptions opts;
+    opts.recordTrace = true;
+    const auto r = runText(R"(
+func @main() {
+entry:
+  %p = alloca 16
+  store %p, 7:64
+  %a = load.64 %p
+  %b = load.64 %p
+  %s = add %a, %b
+  ret %s
+}
+)",
+                           {}, opts);
+    EXPECT_EQ(r.returnValue, 14);
+    EXPECT_EQ(r.derefs.size(), 3u);  // one store site + two load sites
+    for (const DerefRecord &d : r.derefs) {
+        EXPECT_TRUE(d.site.valid());
+        EXPECT_TRUE(d.addr.valid());
+        EXPECT_FALSE(d.faulted);
+    }
+}
+
+TEST(Interp, TraceFlagsFaultingDeref)
+{
+    InterpOptions opts;
+    opts.recordTrace = true;
+    const auto r = runText(R"(
+func @main() {
+entry:
+  %p = copy 0:64
+  %v = load.64 %p
+  ret %v
+}
+)",
+                           {}, opts);
+    ASSERT_EQ(r.derefs.size(), 1u);
+    EXPECT_TRUE(r.derefs[0].faulted);
+}
+
+TEST(Interp, TraceRecordsResolvedIndirectCalls)
+{
+    InterpOptions opts;
+    opts.recordTrace = true;
+    Module m = parseModuleOrDie(R"(
+func @double(%x:64) {
+entry:
+  %r = mul %x, 2:64
+  ret %r
+}
+func @main() {
+entry:
+  %slot = alloca 8
+  store %slot, @double
+  %fn = load.64 %slot
+  %r = icall.64 %fn(21:64)
+  ret %r
+}
+)");
+    Interpreter interp(m, opts);
+    const auto r = interp.run(m.findFunc("main"));
+    ASSERT_EQ(r.icallsTaken.size(), 1u);
+    EXPECT_EQ(r.icallsTaken[0].second, m.findFunc("double"));
+}
+
+TEST(Interp, TraceOffByDefault)
+{
+    const auto r = runText(R"(
+func @main() {
+entry:
+  %p = alloca 8
+  store %p, 1:64
+  %v = load.64 %p
+  ret %v
+}
+)");
+    EXPECT_TRUE(r.derefs.empty());
+    EXPECT_TRUE(r.icallsTaken.empty());
+}
+
 TEST(Interp, GeneratedProgramsExecute)
 {
     // Generated programs (pre-unrolling, with natural loops) must run

@@ -6,11 +6,15 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <stdexcept>
 
+#include "analysis/acyclic.h"
 #include "eval/harness.h"
 #include "eval/metrics.h"
 #include "eval/parallel.h"
+#include "fuzz/campaign.h"
+#include "fuzz/sample.h"
 
 namespace manta {
 namespace {
@@ -150,6 +154,101 @@ TEST(ParallelHarnessTest, FirmwareFleetPreparesInOrder)
     ASSERT_EQ(names.size(), 2u);
     EXPECT_EQ(names[0], fleet[0].name);
     EXPECT_EQ(names[1], fleet[1].name);
+}
+
+/** Temporarily pin MANTA_JOBS; restores the prior value on scope exit. */
+class ScopedJobs
+{
+  public:
+    explicit ScopedJobs(const char *value)
+    {
+        if (const char *prev = std::getenv("MANTA_JOBS")) {
+            had_ = true;
+            prev_ = prev;
+        }
+        ::setenv("MANTA_JOBS", value, 1);
+    }
+    ~ScopedJobs()
+    {
+        if (had_)
+            ::setenv("MANTA_JOBS", prev_.c_str(), 1);
+        else
+            ::unsetenv("MANTA_JOBS");
+    }
+
+  private:
+    bool had_ = false;
+    std::string prev_;
+};
+
+/** Per-module inference metrics for the fuzz corpus, exact-comparable. */
+struct CorpusMetrics
+{
+    std::size_t precise = 0;
+    std::size_t over = 0;
+    std::size_t unknown = 0;
+    std::size_t insts = 0;
+
+    bool
+    operator==(const CorpusMetrics &other) const
+    {
+        return precise == other.precise && over == other.over &&
+               unknown == other.unknown && insts == other.insts;
+    }
+};
+
+TEST(ParallelHarnessTest, FuzzCorpusMetricsIdenticalAcrossJobCounts)
+{
+    // ISSUE contract: bit-identical metrics under MANTA_JOBS=1 vs
+    // MANTA_JOBS=8 for a fuzz-generated corpus. The env var is what
+    // ParallelHarness(0) resolves its worker count from.
+    constexpr std::size_t kCorpus = 12;
+    auto run = [&](const char *jobs_env) {
+        ScopedJobs jobs(jobs_env);
+        ParallelHarness harness(0);
+        return harness.map(kCorpus, [](std::size_t i) {
+            const fuzz::FuzzCase c = fuzz::sampleCase(
+                fuzz::caseSeedFor(/*base_seed=*/77, i));
+            fuzz::CaseProgram prog = fuzz::materialize(c);
+            makeAcyclic(*prog.module);
+            MantaAnalyzer analyzer(*prog.module, HybridConfig::full());
+            const StageStats stats = analyzer.infer().finalStats();
+            return CorpusMetrics{stats.precise, stats.over, stats.unknown,
+                                 prog.module->numInsts()};
+        });
+    };
+    const auto one = run("1");
+    const auto eight = run("8");
+    ASSERT_EQ(one.size(), eight.size());
+    for (std::size_t i = 0; i < one.size(); ++i)
+        EXPECT_TRUE(one[i] == eight[i]) << "fuzz case " << i;
+}
+
+TEST(ParallelHarnessTest, FuzzCampaignCountersIdenticalAcrossJobCounts)
+{
+    // The campaign's own aggregation must also be job-count invariant:
+    // same verdicts, same counters, same case sizes.
+    auto run = [&](std::size_t jobs) {
+        fuzz::CampaignOptions opts;
+        opts.seed = 5;
+        opts.count = 24;
+        opts.jobs = jobs;
+        opts.shrink = false;
+        opts.writeJson = false;
+        opts.writeReproducers = false;
+        return fuzz::runCampaign(opts);
+    };
+    const auto one = run(1);
+    const auto eight = run(8);
+    EXPECT_EQ(one.cases, eight.cases);
+    EXPECT_EQ(one.failedCases, eight.failedCases);
+    EXPECT_EQ(one.totalInsts, eight.totalInsts);
+    for (std::size_t o = 0; o < fuzz::kNumOracles; ++o) {
+        EXPECT_EQ(one.counters.runs[o], eight.counters.runs[o])
+            << fuzz::oracleName(static_cast<fuzz::OracleId>(o));
+        EXPECT_EQ(one.counters.failures[o], eight.counters.failures[o])
+            << fuzz::oracleName(static_cast<fuzz::OracleId>(o));
+    }
 }
 
 TEST(ParallelHarnessTest, PerStageProfileTimesAreRecorded)

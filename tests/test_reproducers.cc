@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Regression replay of promoted fuzz reproducers: every .mir file under
+ * tests/reproducers/ is parsed and pushed through the truth-free oracle
+ * battery (verifier, roundtrip, monotonic, pts_diff, static interp
+ * checks) and must come back green. A file that starts failing again
+ * means a fixed defect has regressed; the header comments in each file
+ * carry the original oracle, seed, and replay command.
+ *
+ * The harness stays useful even when the directory is empty: discovery
+ * is dynamic, so promoting a reproducer is just `cp` plus re-running
+ * ctest (docs/TESTING.md describes the workflow).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "fuzz/oracles.h"
+#include "mir/parser.h"
+
+#ifndef MANTA_REPRO_DIR
+#error "MANTA_REPRO_DIR must point at tests/reproducers"
+#endif
+
+namespace manta {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path>
+reproducerFiles()
+{
+    std::vector<fs::path> files;
+    const fs::path dir(MANTA_REPRO_DIR);
+    if (!fs::exists(dir))
+        return files;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        if (entry.is_regular_file() && entry.path().extension() == ".mir")
+            files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+std::string
+slurp(const fs::path &path)
+{
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+TEST(Reproducers, DirectoryIsDiscoverable)
+{
+    // The compile-time path must exist in the source tree; the corpus
+    // inside it may legitimately be empty.
+    EXPECT_TRUE(fs::exists(fs::path(MANTA_REPRO_DIR)))
+        << "missing directory " << MANTA_REPRO_DIR;
+}
+
+TEST(Reproducers, AllParse)
+{
+    for (const fs::path &file : reproducerFiles()) {
+        Module m;
+        std::string error;
+        EXPECT_TRUE(parseModule(slurp(file), m, error))
+            << file.filename().string() << ": " << error;
+    }
+}
+
+TEST(Reproducers, TruthFreeOraclesStayGreen)
+{
+    const auto files = reproducerFiles();
+    for (const fs::path &file : files) {
+        const fuzz::CaseResult r = fuzz::runTextOracles(slurp(file));
+        for (const fuzz::OracleFailure &f : r.failures) {
+            ADD_FAILURE() << file.filename().string() << ": oracle "
+                          << fuzz::oracleName(f.oracle)
+                          << " regressed: " << f.detail;
+        }
+    }
+    // The promoted monotonicity reproducer ships with the repo, so the
+    // sweep above is never vacuously green.
+    EXPECT_GE(files.size(), 1u);
+}
+
+} // namespace
+} // namespace manta

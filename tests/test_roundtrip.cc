@@ -152,5 +152,119 @@ INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedSweep,
                                            25ull, 1000ull, 2000ull,
                                            3000ull));
 
+// ---- Parser error paths: malformed inputs must produce diagnostics,
+// never crashes or silent acceptance. ----
+
+struct MalformedCase
+{
+    const char *name;    ///< test label, shown on failure
+    const char *text;    ///< malformed module text
+    const char *expect;  ///< substring required in the diagnostic
+};
+
+class ParserRejects : public ::testing::TestWithParam<MalformedCase>
+{};
+
+TEST_P(ParserRejects, WithLineTaggedDiagnostic)
+{
+    const MalformedCase &c = GetParam();
+    Module m;
+    std::string error;
+    ASSERT_FALSE(parseModule(c.text, m, error)) << c.name;
+    EXPECT_FALSE(error.empty()) << c.name;
+    EXPECT_NE(error.find("line "), std::string::npos)
+        << c.name << ": diagnostic lacks a line tag: " << error;
+    EXPECT_NE(error.find(c.expect), std::string::npos)
+        << c.name << ": expected '" << c.expect << "' in: " << error;
+}
+
+const MalformedCase kMalformed[] = {
+    {"truncated_body",
+     "func @main() {\nentry:\n  ret 0:64\n",
+     "unterminated function"},
+    {"undefined_register",
+     "func @main() {\nentry:\n  %x = add %undef, 1:64\n  ret %x\n}\n",
+     "use of undefined value %undef"},
+    {"bad_load_width",
+     "func @main(%p:64) {\nentry:\n  %v = load.7 %p\n  ret %v\n}\n",
+     "invalid width 7"},
+    {"junk_width",
+     "func @main(%p:64) {\nentry:\n  %v = load.abc %p\n  ret %v\n}\n",
+     "malformed width"},
+    {"trunc_without_suffix",
+     "func @main(%x:64) {\nentry:\n  %n = trunc %x\n  ret %n\n}\n",
+     "trunc requires a width suffix"},
+    {"bad_param_width",
+     "func @main(%x:13) {\nentry:\n  ret %x\n}\n",
+     "invalid width 13"},
+    {"malformed_param",
+     "func @main(%x) {\nentry:\n  ret 0:64\n}\n",
+     "malformed parameter"},
+    {"duplicate_function",
+     "func @f() {\nentry:\n  ret 0:64\n}\nfunc @f() {\nentry:\n"
+     "  ret 0:64\n}\n",
+     "duplicate function @f"},
+    {"duplicate_block_label",
+     "func @main() {\nentry:\n  jmp entry\nentry:\n  ret 0:64\n}\n",
+     "duplicate block label entry"},
+    {"value_redefinition",
+     "func @main() {\nentry:\n  %x = copy 1:64\n  %x = copy 2:64\n"
+     "  ret %x\n}\n",
+     "redefinition of %x"},
+    {"store_with_result",
+     "func @main(%p:64) {\nentry:\n  %r = store %p, 1:64\n"
+     "  ret 0:64\n}\n",
+     "store does not produce a result"},
+    {"missing_result_name",
+     "func @main() {\nentry:\n  add 1:64, 2:64\n  ret 0:64\n}\n",
+     "expected '%name ='"},
+    {"unknown_opcode",
+     "func @main() {\nentry:\n  %x = frobnicate 1:64\n  ret %x\n}\n",
+     "unknown opcode frobnicate"},
+    {"unknown_callee",
+     "func @main() {\nentry:\n  %x = call @nosuch(1:64)\n  ret %x\n}\n",
+     "unknown callee @nosuch"},
+    {"unknown_branch_target",
+     "func @main(%c:1) {\nentry:\n  br %c, nowhere, entry\n}\n",
+     "unknown block label nowhere"},
+    {"inst_before_label",
+     "func @main() {\n  %x = copy 1:64\nentry:\n  ret %x\n}\n",
+     "instruction before any block label"},
+    {"wrong_operand_count",
+     "func @main(%c:1) {\nentry:\n  br %c, entry\n}\n",
+     "br expects 3 operands"},
+    {"unknown_predicate",
+     "func @main() {\nentry:\n  %c = icmp.zz 1:64, 2:64\n"
+     "  ret 0:64\n}\n",
+     "unknown compare predicate .zz"},
+    {"junk_constant",
+     "func @main() {\nentry:\n  %x = add 12abc, 1:64\n  ret %x\n}\n",
+     "bad operand 12abc"},
+    {"phi_only_forward_refs",
+     "func @main() {\nentry:\n  %p = phi %a, entry, %b, entry\n"
+     "  ret %p\n}\n",
+     "phi with only forward references"},
+    {"unresolved_phi_operand",
+     "func @main() {\nentry:\n  %p = phi 1:64, entry, %never, other\n"
+     "  jmp other\nother:\n  ret %p\n}\n",
+     "unresolved phi operand %never"},
+    {"malformed_global",
+     "global @g\nfunc @main() {\nentry:\n  ret 0:64\n}\n",
+     "malformed global"},
+    {"duplicate_global",
+     "global @g 8\nglobal @g 16\nfunc @main() {\nentry:\n"
+     "  ret 0:64\n}\n",
+     "duplicate global @g"},
+    {"malformed_alloca_size",
+     "func @main() {\nentry:\n  %p = alloca lots\n  ret 0:64\n}\n",
+     "malformed alloca size"},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, ParserRejects, ::testing::ValuesIn(kMalformed),
+    [](const ::testing::TestParamInfo<MalformedCase> &info) {
+        return std::string(info.param.name);
+    });
+
 } // namespace
 } // namespace manta
