@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Lint benchmark driver (docs/LINT.md).
+ *
+ * Generates a corpus, runs the type-assisted lint framework over
+ * every project on the parallel harness, scores the diagnostics
+ * against the oracle-typed reference run, and writes three artifacts:
+ * the human-readable report, a SARIF 2.1.0 log (one run per project)
+ * and BENCH_lint.json with per-checker counts, seconds and
+ * precision/recall.
+ *
+ * All three artifacts are byte-identical across MANTA_JOBS settings;
+ * pass --stable to additionally zero the wall-clock fields so whole
+ * files can be diffed (the CI smoke step and the determinism test do).
+ *
+ * Usage:
+ *   lint_driver [--seed N] [--count N] [--jobs N] [--out FILE]
+ *               [--sarif FILE] [--text FILE] [--no-types] [--stable]
+ */
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "lint/campaign.h"
+
+namespace {
+
+void
+writeFile(const std::string &path, const std::string &contents)
+{
+    std::ofstream out(path, std::ios::binary);
+    out << contents;
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        std::exit(1);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace manta::lint;
+    LintCampaignOptions opts;
+    std::string json_path = "BENCH_lint.json";
+    std::string sarif_path;
+    std::string text_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires an argument\n", arg);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--seed") == 0)
+            opts.seed = std::strtoull(next(), nullptr, 0);
+        else if (std::strcmp(arg, "--count") == 0)
+            opts.count = static_cast<int>(std::strtol(next(), nullptr, 0));
+        else if (std::strcmp(arg, "--jobs") == 0)
+            opts.jobs = std::strtoull(next(), nullptr, 0);
+        else if (std::strcmp(arg, "--out") == 0)
+            json_path = next();
+        else if (std::strcmp(arg, "--sarif") == 0)
+            sarif_path = next();
+        else if (std::strcmp(arg, "--text") == 0)
+            text_path = next();
+        else if (std::strcmp(arg, "--no-types") == 0)
+            opts.useTypes = false;
+        else if (std::strcmp(arg, "--stable") == 0)
+            opts.stable = true;
+        else {
+            std::fprintf(stderr, "unknown flag %s\n", arg);
+            return 2;
+        }
+    }
+
+    std::printf("=== lint_driver: %d projects, seed %" PRIu64 "%s ===\n\n",
+                opts.count, opts.seed,
+                opts.useTypes ? "" : " (no-type ablation)");
+    const LintCampaignResult result = runLintCampaign(opts);
+
+    std::printf("%zu diagnostic(s) across %d project(s)\n\n",
+                result.totalDiagnostics, opts.count);
+    std::printf("  %-16s %6s %6s %6s %10s %8s\n", "checker", "diags",
+                "ref", "match", "precision", "recall");
+    for (const LintCheckerSummary &summary : result.checkers) {
+        std::printf("  %-16s %6zu %6zu %6zu %10.4f %8.4f\n",
+                    summary.id.c_str(), summary.diagnostics,
+                    summary.referenceDiagnostics, summary.matched,
+                    summary.precision(), summary.recall());
+    }
+
+    writeFile(json_path, result.json);
+    std::printf("\nwrote %s\n", json_path.c_str());
+    if (!sarif_path.empty()) {
+        writeFile(sarif_path, result.sarif);
+        std::printf("wrote %s\n", sarif_path.c_str());
+    }
+    if (!text_path.empty()) {
+        writeFile(text_path, result.textReport);
+        std::printf("wrote %s\n", text_path.c_str());
+    }
+    return 0;
+}

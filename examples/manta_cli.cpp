@@ -8,6 +8,9 @@
  *   manta_cli <file> types        annotated listing + signatures
  *   manta_cli <file> bugs         type-assisted bug reports
  *   manta_cli <file> bugs-notype  untyped ablation reports
+ *   manta_cli <file> lint         lint framework, human-readable text
+ *   manta_cli <file> lint-notype  lint in the no-type ablation
+ *   manta_cli <file> lint-sarif   lint framework, SARIF 2.1.0 JSON
  *   manta_cli <file> icall        indirect-call target sets
  *   manta_cli <file> stats        stage statistics
  *   manta_cli <file> run          execute under the interpreter
@@ -24,6 +27,7 @@
 #include "clients/ddg_prune.h"
 #include "clients/icall.h"
 #include "core/pipeline.h"
+#include "lint/campaign.h"
 #include "mir/interp.h"
 #include "mir/parser.h"
 
@@ -36,7 +40,8 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: manta_cli <module.mir|-> "
-                 "<types|bugs|bugs-notype|icall|stats|run>\n");
+                 "<types|bugs|bugs-notype|lint|lint-notype|lint-sarif|"
+                 "icall|stats|run>\n");
     return 2;
 }
 
@@ -107,6 +112,27 @@ main(int argc, char **argv)
         printBugs(analyzer, &types);
     } else if (mode == "bugs-notype") {
         printBugs(analyzer, nullptr);
+    } else if (mode == "lint" || mode == "lint-notype" ||
+               mode == "lint-sarif") {
+        const InferenceResult types = analyzer.infer();
+        const lint::LintResult result =
+            lint::runLint(analyzer,
+                          mode == "lint-notype" ? nullptr : &types,
+                          nullptr, lint::LintOptions{});
+        if (mode == "lint-sarif") {
+            lint::SarifRun run;
+            run.artifact = argv[1];
+            run.diagnostics = result.diagnostics;
+            std::printf("%s", lint::sarifLog({run}, result.rules).c_str());
+        } else {
+            std::printf("%zu diagnostic(s)%s\n", result.diagnostics.size(),
+                        mode == "lint" ? " (type-assisted)"
+                                       : " (no types)");
+            std::printf(
+                "%s",
+                lint::DiagnosticEngine::renderText(result.diagnostics)
+                    .c_str());
+        }
     } else if (mode == "icall") {
         InferenceResult types = analyzer.infer();
         const IcallAnalysis analysis(module, &types);

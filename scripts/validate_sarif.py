@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Validate a SARIF log against data/sarif-2.1.0-subset.schema.json.
+
+A dependency-free validator for the schema subset manta-lint emits
+(no jsonschema package on the CI runners). It implements exactly the
+keywords the vendored schema uses: type, required, properties, items,
+enum, minItems. Unknown keys in the instance are allowed, matching
+JSON Schema's default open-world behavior.
+
+Usage: scripts/validate_sarif.py <log.sarif> [schema.json]
+Exit status: 0 on success, 1 with one error line per violation.
+"""
+
+import json
+import os
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+}
+
+
+def validate(instance, schema, path, errors):
+    expected = schema.get("type")
+    if expected is not None:
+        py = TYPES[expected]
+        ok = isinstance(instance, py)
+        # bool is an int subclass in Python; JSON keeps them distinct.
+        if expected in ("integer", "number") and isinstance(instance, bool):
+            ok = False
+        if not ok:
+            errors.append(f"{path}: expected {expected}, "
+                          f"got {type(instance).__name__}")
+            return
+
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not in {schema['enum']}")
+
+    if isinstance(instance, dict):
+        for key in schema.get("required", []):
+            if key not in instance:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in instance:
+                validate(instance[key], sub, f"{path}.{key}", errors)
+
+    if isinstance(instance, list):
+        if len(instance) < schema.get("minItems", 0):
+            errors.append(f"{path}: fewer than "
+                          f"{schema['minItems']} item(s)")
+        item_schema = schema.get("items")
+        if item_schema is not None:
+            for i, item in enumerate(instance):
+                validate(item, item_schema, f"{path}[{i}]", errors)
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    default_schema = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(argv[0]))),
+        "data", "sarif-2.1.0-subset.schema.json")
+    schema_path = argv[2] if len(argv) == 3 else default_schema
+
+    with open(argv[1], encoding="utf-8") as f:
+        instance = json.load(f)
+    with open(schema_path, encoding="utf-8") as f:
+        schema = json.load(f)
+
+    errors = []
+    validate(instance, schema, "$", errors)
+    for err in errors:
+        print(f"validate_sarif: {err}", file=sys.stderr)
+    if not errors:
+        runs = instance.get("runs", [])
+        results = sum(len(r.get("results", [])) for r in runs)
+        print(f"validate_sarif: OK ({len(runs)} run(s), "
+              f"{results} result(s))")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

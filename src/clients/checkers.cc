@@ -1,5 +1,7 @@
 #include "clients/checkers.h"
 
+#include <algorithm>
+#include <cassert>
 #include <set>
 
 namespace manta {
@@ -13,8 +15,10 @@ checkerName(CheckerKind kind)
       case CheckerKind::UAF: return "UAF";
       case CheckerKind::CMI: return "CMI";
       case CheckerKind::BOF: return "BOF";
+      default:
+        assert(false && "checkerName: invalid CheckerKind");
+        return "<bad-checker>";
     }
-    return "<bad-checker>";
 }
 
 BugDetector::BugDetector(MantaAnalyzer &analyzer,
@@ -33,30 +37,7 @@ BugDetector::BugDetector(MantaAnalyzer &analyzer,
     const IcallResult targets = icall.run(options_.useTypes
                                               ? IcallDiscipline::FullTypes
                                               : IcallDiscipline::ArgCount);
-    for (const auto &[site, funcs] : targets.targets) {
-        const Instruction &inst = module_.inst(site);
-        for (const FuncId target : funcs) {
-            const Function &fn = module_.func(target);
-            const std::size_t n = std::min(fn.params.size(),
-                                           inst.operands.size() - 1);
-            for (std::size_t i = 0; i < n; ++i) {
-                slicer_.addExtraEdge(inst.operands[i + 1], fn.params[i],
-                                     DepKind::CallArg, site);
-            }
-            if (inst.result.valid()) {
-                for (const BlockId bid : fn.blocks) {
-                    const BasicBlock &bb = module_.block(bid);
-                    if (bb.insts.empty())
-                        continue;
-                    const Instruction &term = module_.inst(bb.insts.back());
-                    if (term.op == Opcode::Ret && !term.operands.empty()) {
-                        slicer_.addExtraEdge(term.operands[0], inst.result,
-                                             DepKind::CallRet, site);
-                    }
-                }
-            }
-        }
-    }
+    bindIcallTargets(slicer_, module_, targets);
 }
 
 bool
@@ -115,7 +96,25 @@ class ReportSet
             BugReport{kind, source, sink, sink_tag, std::move(message)});
     }
 
-    std::vector<BugReport> take() { return std::move(reports_); }
+    /**
+     * Reports in an explicitly deterministic order: sorted by
+     * (kind, sourceSite, sinkSite) rather than discovery order, so
+     * report lists are comparable across job counts and refactors of
+     * the per-checker iteration order.
+     */
+    std::vector<BugReport>
+    take()
+    {
+        std::sort(reports_.begin(), reports_.end(),
+                  [](const BugReport &a, const BugReport &b) {
+                      if (a.kind != b.kind)
+                          return a.kind < b.kind;
+                      if (a.sourceSite != b.sourceSite)
+                          return a.sourceSite < b.sourceSite;
+                      return a.sinkSite < b.sinkSite;
+                  });
+        return std::move(reports_);
+    }
 
   private:
     std::set<std::uint64_t> seen_;

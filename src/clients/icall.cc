@@ -1,6 +1,40 @@
 #include "clients/icall.h"
 
+#include <algorithm>
+
+#include "clients/slicing.h"
+
 namespace manta {
+
+void
+bindIcallTargets(DataSlicer &slicer, const Module &module,
+                 const IcallResult &targets)
+{
+    for (const auto &[site, funcs] : targets.targets) {
+        const Instruction &inst = module.inst(site);
+        for (const FuncId target : funcs) {
+            const Function &fn = module.func(target);
+            const std::size_t n =
+                std::min(fn.params.size(), inst.operands.size() - 1);
+            for (std::size_t i = 0; i < n; ++i) {
+                slicer.addExtraEdge(inst.operands[i + 1], fn.params[i],
+                                    DepKind::CallArg, site);
+            }
+            if (inst.result.valid()) {
+                for (const BlockId bid : fn.blocks) {
+                    const BasicBlock &bb = module.block(bid);
+                    if (bb.insts.empty())
+                        continue;
+                    const Instruction &term = module.inst(bb.insts.back());
+                    if (term.op == Opcode::Ret && !term.operands.empty()) {
+                        slicer.addExtraEdge(term.operands[0], inst.result,
+                                            DepKind::CallRet, site);
+                    }
+                }
+            }
+        }
+    }
+}
 
 double
 IcallResult::aict() const

@@ -43,6 +43,18 @@ struct IcallResult
     std::size_t numSites() const { return targets.size(); }
 };
 
+class DataSlicer;
+
+/**
+ * Bind indirect-call data flow into a slicer: for every feasible
+ * (site, target) pair, connect actual arguments to the target's formal
+ * parameters and the target's returns to the call result. Shared by
+ * the BugDetector and the lint framework so both model indirect calls
+ * with exactly the same edges.
+ */
+void bindIcallTargets(DataSlicer &slicer, const Module &module,
+                      const IcallResult &targets);
+
 /** The indirect-call target analysis. */
 class IcallAnalysis
 {

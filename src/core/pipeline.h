@@ -115,6 +115,14 @@ struct InferenceProfile
      * attributing it to any single configuration's stages.
      */
     double ptsSeconds = 0.0;
+
+    /**
+     * Wall clock spent inside the lint framework (src/lint) when the
+     * caller requested diagnostics for this result. Zero when lint
+     * never ran. Like the stage timers, the parallel harness sums
+     * these after the join.
+     */
+    double lintSeconds = 0.0;
 };
 
 /** The per-variable/per-site outcome of a pipeline run. */
@@ -146,6 +154,9 @@ class InferenceResult
     BoundPair fieldBounds(ObjectId obj, std::int32_t offset) const;
 
     const InferenceProfile &profile() const { return profile_; }
+
+    /** Mutable profile access (lint billing, harness aggregation). */
+    InferenceProfile &profile() { return profile_; }
 
     TypeTable &types() const { return module_.types(); }
 

@@ -272,6 +272,12 @@ class ProgramGenerator
         // One stack slot, two disjoint lifetimes of different types.
         FunctionBuilder &fb = *s.fb;
         const ValueId slot = fb.alloca_(8);
+        // Record the recycled slot in the ground truth so dominance-
+        // based checkers can skip it (GroundTruth::recycledSlotTags).
+        // Tagging draws no randomness: generation stays bit-identical.
+        const std::uint32_t slot_tag = nextTag();
+        tagLast(fb, slot_tag);
+        program_.truth.recycledSlotTags.push_back(slot_tag);
         const TypedValue first = produce(s, tInt64_);
         fb.store(slot, first.value);
         const ValueId l1 = fb.load(slot, 64);

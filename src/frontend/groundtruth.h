@@ -43,6 +43,16 @@ struct GroundTruth
     /** Injected bug sites and decoys. */
     std::vector<BugSeed> seeds;
 
+    /**
+     * Origin tags of stack slots the generator deliberately recycled
+     * across disjoint typed lifetimes (each tag marks the alloca).
+     * Slot-recycling means stores and loads interleave in ways a
+     * dominance-based uninitialized-read argument cannot see through;
+     * checkers consult this map to avoid false positives on such
+     * slots (the lint framework's uninit-stack checker does).
+     */
+    std::vector<std::uint32_t> recycledSlotTags;
+
     /** Type of a value; invalid TypeRef when unrecorded. */
     TypeRef
     typeOf(ValueId v) const

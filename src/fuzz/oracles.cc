@@ -9,6 +9,7 @@
 #include "core/pipeline.h"
 #include "eval/metrics.h"
 #include "mir/interp.h"
+#include "lint/run.h"
 #include "mir/parser.h"
 #include "mir/printer.h"
 #include "mir/verifier.h"
@@ -26,6 +27,7 @@ oracleName(OracleId id)
     case OracleId::GroundTruth: return "ground_truth";
     case OracleId::PtsDiff: return "pts_diff";
     case OracleId::Interp: return "interp";
+    case OracleId::LintStable: return "lint_stable";
     }
     return "?";
 }
@@ -364,6 +366,52 @@ checkInterpStatic(Module &m, const InferenceResult &full,
     }
 }
 
+/**
+ * Oracle 7: lint diagnostics are a function of the module, not of the
+ * object identities a particular parse produced. Print the module,
+ * parse it twice (via the printer fixpoint), run the full pipeline +
+ * lint on both parses and require identical rendered reports. Any
+ * difference means some checker leaked parse-order state into its
+ * output - exactly the class of bug that would break the lint
+ * driver's MANTA_JOBS byte-identity contract.
+ */
+void
+checkLintStable(const Module &m, Battery &b)
+{
+    b.ran(OracleId::LintStable);
+
+    const auto lintRender = [](Module &mod) {
+        makeAcyclic(mod);
+        MantaAnalyzer an(mod, HybridConfig::full());
+        const InferenceResult full = an.infer();
+        const lint::LintResult result =
+            lint::runLint(an, &full, nullptr, lint::LintOptions{});
+        return lint::DiagnosticEngine::renderText(result.diagnostics);
+    };
+
+    const std::string t1 = printModule(m);
+    Module m2;
+    std::string err;
+    if (!parseModule(t1, m2, err)) {
+        b.fail(OracleId::LintStable, "reparse failed: " + err);
+        return;
+    }
+    const std::string t2 = printModule(m2);
+    Module m3;
+    if (!parseModule(t2, m3, err)) {
+        b.fail(OracleId::LintStable, "second reparse failed: " + err);
+        return;
+    }
+    const std::string first = lintRender(m2);
+    const std::string second = lintRender(m3);
+    if (first != second) {
+        b.fail(OracleId::LintStable,
+               "lint report changed across a print/parse roundtrip (" +
+                   std::to_string(first.size()) + " vs " +
+                   std::to_string(second.size()) + " bytes)");
+    }
+}
+
 } // namespace
 
 CaseResult
@@ -387,6 +435,7 @@ runCase(const FuzzCase &c)
     }
 
     checkRoundTrip(m, b);
+    checkLintStable(m, b);
 
     InterpResult run;
     {
@@ -444,6 +493,7 @@ runTextOracles(const std::string &text)
     r.insts = m.numInsts();
 
     checkRoundTrip(m, b);
+    checkLintStable(m, b);
 
     makeAcyclic(m);
     {
@@ -482,6 +532,10 @@ textFailsOracle(const std::string &text, OracleId which)
     Battery b(r);
     if (which == OracleId::RoundTrip) {
         checkRoundTrip(m, b);
+        return b.failed(which);
+    }
+    if (which == OracleId::LintStable) {
+        checkLintStable(m, b);
         return b.failed(which);
     }
 

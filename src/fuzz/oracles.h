@@ -3,7 +3,7 @@
  * The metamorphic oracle battery of the differential fuzzing harness.
  *
  * Every sampled case is pushed through the whole pipeline and checked
- * against six properties that must hold for ANY generated program:
+ * against seven properties that must hold for ANY generated program:
  *
  *  1. verifier    - the generator and the synthesizer only produce
  *                   well-formed MIR, before and after acyclic
@@ -27,10 +27,15 @@
  *                   and observed indirect-call targets are contained in
  *                   both the recorded ground truth and the FullTypes
  *                   client's feasible set.
+ *  7. lint_stable - the lint framework's diagnostics are invariant
+ *                   under a print/parse roundtrip: linting the reparsed
+ *                   module and linting its second-generation reparse
+ *                   render to identical text reports.
  *
- * Truth-free oracles (1, 2, 3, 5, and the truth-free parts of 6) can
- * also run over parsed module text, which is what the delta-debugging
- * shrinker and the promoted-reproducer regression tests use.
+ * Truth-free oracles (1, 2, 3, 5, 7, and the truth-free parts of 6)
+ * can also run over parsed module text, which is what the
+ * delta-debugging shrinker and the promoted-reproducer regression
+ * tests use.
  */
 #ifndef MANTA_FUZZ_ORACLES_H
 #define MANTA_FUZZ_ORACLES_H
@@ -45,7 +50,7 @@
 namespace manta {
 namespace fuzz {
 
-/** The six oracles, in the order reported by BENCH_fuzz.json. */
+/** The seven oracles, in the order reported by BENCH_fuzz.json. */
 enum class OracleId : std::uint8_t {
     Verifier = 0,
     RoundTrip,
@@ -53,9 +58,10 @@ enum class OracleId : std::uint8_t {
     GroundTruth,
     PtsDiff,
     Interp,
+    LintStable,
 };
 
-constexpr std::size_t kNumOracles = 6;
+constexpr std::size_t kNumOracles = 7;
 
 /** Stable snake_case oracle name (JSON keys, reproducer headers). */
 const char *oracleName(OracleId id);

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The checker interface and registry of the lint framework.
+ *
+ * A checker is a stateless class that inspects a read-only
+ * LintContext and returns structured Diagnostics. Checkers register
+ * through explicit factory functions (registerBuiltinCheckers) rather
+ * than static self-registration, so a static-library build cannot
+ * silently drop a checker's object file. See docs/LINT.md for the
+ * catalog and a worked "write a checker in 50 lines" example.
+ */
+#ifndef MANTA_LINT_CHECKER_H
+#define MANTA_LINT_CHECKER_H
+
+#include <memory>
+#include <vector>
+
+#include "lint/diagnostic.h"
+
+namespace manta {
+namespace lint {
+
+class LintContext;
+
+/** One static checker. Implementations must be const-safe. */
+class Checker
+{
+  public:
+    virtual ~Checker() = default;
+
+    /** Stable kebab-case id ("npd", "width-trunc", ...). */
+    virtual const char *id() const = 0;
+
+    /** Default severity of this checker's findings. */
+    virtual Severity severity() const = 0;
+
+    /** One-line description (SARIF rule metadata, docs). */
+    virtual const char *description() const = 0;
+
+    /** Inspect the module; return findings in any order. */
+    virtual std::vector<Diagnostic> run(const LintContext &ctx) const = 0;
+};
+
+using CheckerFactory = std::unique_ptr<Checker> (*)();
+
+/**
+ * The process-wide checker registry. Factories are registered once
+ * (idempotently) by registerBuiltinCheckers(); createAll() builds a
+ * fresh instance of every registered checker sorted by id, which is
+ * the deterministic execution order of runLint().
+ */
+class CheckerRegistry
+{
+  public:
+    static CheckerRegistry &instance();
+
+    /** Register a factory; duplicate ids are rejected (first wins). */
+    void add(CheckerFactory factory);
+
+    /** Fresh instances of every registered checker, sorted by id. */
+    std::vector<std::unique_ptr<Checker>> createAll() const;
+
+    std::size_t size() const { return factories_.size(); }
+
+  private:
+    std::vector<CheckerFactory> factories_;
+};
+
+/**
+ * Register the ten built-in checkers (five paper adapters + five
+ * type-assisted additions). Safe to call more than once.
+ */
+void registerBuiltinCheckers();
+
+/// @name Built-in checker factories.
+/// @{
+std::unique_ptr<Checker> makeNpdChecker();
+std::unique_ptr<Checker> makeRsaChecker();
+std::unique_ptr<Checker> makeUafChecker();
+std::unique_ptr<Checker> makeCmiChecker();
+std::unique_ptr<Checker> makeBofChecker();
+std::unique_ptr<Checker> makeWidthTruncChecker();
+std::unique_ptr<Checker> makeSignConfusionChecker();
+std::unique_ptr<Checker> makeUninitStackChecker();
+std::unique_ptr<Checker> makeDoubleFreeChecker();
+std::unique_ptr<Checker> makeIcallMismatchChecker();
+/// @}
+
+} // namespace lint
+} // namespace manta
+
+#endif // MANTA_LINT_CHECKER_H

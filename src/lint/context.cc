@@ -1,0 +1,165 @@
+#include "lint/context.h"
+
+namespace manta {
+namespace lint {
+
+LintContext::LintContext(MantaAnalyzer &analyzer,
+                         const InferenceResult *inference,
+                         const GroundTruth *truth, ContextOptions options)
+    : analyzer_(analyzer), module_(analyzer.module()), inference_(inference),
+      truth_(truth), options_(options), slicer_(module_, analyzer.ddg()),
+      order_(module_), instIndex_(module_)
+{
+    // Same indirect-call modeling as BugDetector: the type-based
+    // feasible sets with types, every count-compatible address-taken
+    // function without.
+    const IcallAnalysis icall(module_,
+                              options_.useTypes ? inference_ : nullptr);
+    icallTargets_ = icall.run(options_.useTypes ? IcallDiscipline::FullTypes
+                                                : IcallDiscipline::ArgCount);
+    bindIcallTargets(slicer_, module_, icallTargets_);
+}
+
+const Cfg &
+LintContext::cfg(FuncId func) const
+{
+    auto it = cfgs_.find(func.raw());
+    if (it == cfgs_.end()) {
+        it = cfgs_.emplace(func.raw(),
+                           std::make_unique<Cfg>(module_, func)).first;
+    }
+    return *it->second;
+}
+
+const Dominators &
+LintContext::dominators(FuncId func) const
+{
+    auto it = doms_.find(func.raw());
+    if (it == doms_.end()) {
+        it = doms_.emplace(func.raw(),
+                           std::make_unique<Dominators>(module_, func))
+                 .first;
+    }
+    return *it->second;
+}
+
+const BugDetector &
+LintContext::paperDetector() const
+{
+    if (!detector_) {
+        DetectorOptions opts;
+        opts.useTypes = options_.useTypes;
+        opts.maxVisited = options_.maxVisited;
+        detector_ = std::make_unique<BugDetector>(
+            analyzer_, options_.useTypes ? inference_ : nullptr, opts);
+    }
+    return *detector_;
+}
+
+DataSlicer::Options
+LintContext::sliceOptions(bool with_barrier) const
+{
+    DataSlicer::Options opts;
+    opts.respectPruning = options_.useTypes;
+    opts.maxVisited = options_.maxVisited;
+    if (with_barrier && options_.useTypes) {
+        opts.barrier = [this](ValueId v) { return preciselyNumeric(v); };
+    }
+    return opts;
+}
+
+bool
+LintContext::preciselyNumeric(ValueId v) const
+{
+    if (!options_.useTypes || inference_ == nullptr)
+        return false;
+    TypeTable &tt = inference_->types();
+    const BoundPair bp = inference_->valueBounds(v);
+    return tt.isNumeric(bp.upper) &&
+           (tt.isNumeric(bp.lower) || bp.lower == tt.bottom());
+}
+
+bool
+LintContext::definitelyPtr(ValueId v) const
+{
+    if (!options_.useTypes || inference_ == nullptr)
+        return false;
+    TypeTable &tt = inference_->types();
+    const BoundPair bp = inference_->valueBounds(v);
+    return tt.kind(bp.upper) == TypeKind::Ptr &&
+           (tt.kind(bp.lower) == TypeKind::Ptr ||
+            bp.lower == tt.bottom());
+}
+
+FuncId
+LintContext::funcOf(InstId inst) const
+{
+    return module_.block(module_.inst(inst).parent).func;
+}
+
+std::string
+LintContext::funcNameOf(InstId inst) const
+{
+    return module_.func(funcOf(inst)).name;
+}
+
+DiagLocation
+LintContext::loc(InstId inst, std::string role) const
+{
+    DiagLocation location;
+    location.inst = inst;
+    location.func = funcNameOf(inst);
+    location.role = std::move(role);
+    return location;
+}
+
+std::vector<InstId>
+LintContext::externalCallsWithRole(ExternRole role) const
+{
+    std::vector<InstId> result;
+    for (std::size_t i = 0; i < module_.numInsts(); ++i) {
+        const InstId iid(static_cast<InstId::RawType>(i));
+        const Instruction &inst = module_.inst(iid);
+        if (inst.op == Opcode::Call && inst.external.valid() &&
+                module_.external(inst.external).role == role) {
+            result.push_back(iid);
+        }
+    }
+    return result;
+}
+
+bool
+LintContext::dominatesInst(InstId a, InstId b) const
+{
+    const Instruction &ia = module_.inst(a);
+    const Instruction &ib = module_.inst(b);
+    const FuncId fa = module_.block(ia.parent).func;
+    if (fa != module_.block(ib.parent).func)
+        return false;
+    if (ia.parent == ib.parent) {
+        return instIndex_.positionInBlock(a) <
+               instIndex_.positionInBlock(b);
+    }
+    const Dominators &dom = dominators(fa);
+    return dom.dominates(ia.parent, ib.parent);
+}
+
+std::string
+LintContext::fingerprint(const std::string &checker, InstId primary) const
+{
+    const Instruction &inst = module_.inst(primary);
+    const FuncId func = module_.block(inst.parent).func;
+    const Function &fn = module_.func(func);
+    std::size_t block_index = 0;
+    for (std::size_t i = 0; i < fn.blocks.size(); ++i) {
+        if (fn.blocks[i] == inst.parent) {
+            block_index = i;
+            break;
+        }
+    }
+    return checker + "@" + fn.name + "#" + std::to_string(block_index) +
+           ":" + std::to_string(instIndex_.positionInBlock(primary));
+}
+
+} // namespace lint
+} // namespace manta

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * LintContext: the shared read-only world every checker runs over.
+ *
+ * One context wraps one analyzed module: the MIR itself, the
+ * (optional) inference result, the points-to/DDG/CFG substrates, the
+ * indirect-call target sets (bound into a shared DataSlicer), and the
+ * optional frontend ground truth (origin tags, slot-recycling map).
+ * Per-function CFGs and dominator trees are built lazily and cached.
+ *
+ * Threading: a LintContext is NOT thread-safe (the lazy caches are
+ * unsynchronized). The parallel lint driver builds one context per
+ * project inside each worker, which is also what keeps runs
+ * deterministic under MANTA_JOBS (see docs/LINT.md).
+ */
+#ifndef MANTA_LINT_CONTEXT_H
+#define MANTA_LINT_CONTEXT_H
+
+#include <memory>
+#include <unordered_map>
+
+#include "analysis/dominators.h"
+#include "clients/checkers.h"
+#include "frontend/groundtruth.h"
+#include "lint/diagnostic.h"
+
+namespace manta {
+namespace lint {
+
+/** Context-level knobs (mirrors DetectorOptions). */
+struct ContextOptions
+{
+    /** Type assistance: pruning, icall filtering, numeric barriers. */
+    bool useTypes = true;
+    /** Slice budget per source (DataSlicer::Options::maxVisited). */
+    std::size_t maxVisited = 100000;
+};
+
+/** The read-only world a checker inspects. */
+class LintContext
+{
+  public:
+    /**
+     * @param analyzer  Analyzer whose DDG has (optionally) been
+     *                  pruned, exactly as for BugDetector.
+     * @param inference Type source; may be null only when
+     *                  options.useTypes is false.
+     * @param truth     Frontend ground truth; null for stripped input.
+     */
+    LintContext(MantaAnalyzer &analyzer, const InferenceResult *inference,
+                const GroundTruth *truth, ContextOptions options = {});
+
+    LintContext(const LintContext &) = delete;
+    LintContext &operator=(const LintContext &) = delete;
+
+    /// @name The analyzed world.
+    /// @{
+    Module &module() const { return module_; }
+    MantaAnalyzer &analyzer() const { return analyzer_; }
+    const InferenceResult *inference() const { return inference_; }
+    const GroundTruth *truth() const { return truth_; }
+    bool useTypes() const { return options_.useTypes; }
+    const ContextOptions &options() const { return options_; }
+    const PointsTo &pts() const { return analyzer_.pts(); }
+    const MemObjects &memObjects() const { return analyzer_.memObjects(); }
+    const Ddg &ddg() const { return analyzer_.ddg(); }
+    /// @}
+
+    /// @name Shared traversal machinery.
+    /// @{
+    /** Slicer with indirect-call edges already bound. */
+    const DataSlicer &slicer() const { return slicer_; }
+    const OrderOracle &order() const { return order_; }
+    const InstIndex &instIndex() const { return instIndex_; }
+    /** Feasible icall targets (FullTypes with types, ArgCount without). */
+    const IcallResult &icallTargets() const { return icallTargets_; }
+    /** Per-function CFG (lazy, cached). */
+    const Cfg &cfg(FuncId func) const;
+    /** Per-function dominator tree (lazy, cached). */
+    const Dominators &dominators(FuncId func) const;
+    /**
+     * The paper's BugDetector over this context's analyzer, with
+     * matching options (lazy). The five paper adapters call through
+     * it, which is what keeps Table 5 output bit-identical.
+     */
+    const BugDetector &paperDetector() const;
+    /// @}
+
+    /// @name Checker helpers.
+    /// @{
+    /** Slice options mirroring BugDetector::sliceOptions. */
+    DataSlicer::Options sliceOptions(bool with_barrier) const;
+    /** Inference commits to "numeric" for v (barrier predicate). */
+    bool preciselyNumeric(ValueId v) const;
+    /** Inference commits to "pointer" for v. */
+    bool definitelyPtr(ValueId v) const;
+    /** Function owning an instruction. */
+    FuncId funcOf(InstId inst) const;
+    /** Name of the function owning an instruction. */
+    std::string funcNameOf(InstId inst) const;
+    /** Build a diagnostic location for an instruction. */
+    DiagLocation loc(InstId inst, std::string role) const;
+    /** Call sites of externals with the given role, in id order. */
+    std::vector<InstId> externalCallsWithRole(ExternRole role) const;
+    /**
+     * Does instruction `a` dominate instruction `b`? False when they
+     * live in different functions. Same-block: position order.
+     */
+    bool dominatesInst(InstId a, InstId b) const;
+    /**
+     * Stable suppression fingerprint `checker@func#block:pos` for a
+     * diagnostic anchored at `primary` (baseline files store these).
+     * The block index is function-local, so fingerprints survive
+     * re-analysis and unrelated module growth.
+     */
+    std::string fingerprint(const std::string &checker,
+                            InstId primary) const;
+    /// @}
+
+  private:
+    MantaAnalyzer &analyzer_;
+    Module &module_;
+    const InferenceResult *inference_;
+    const GroundTruth *truth_;
+    ContextOptions options_;
+    DataSlicer slicer_;
+    OrderOracle order_;
+    InstIndex instIndex_;
+    IcallResult icallTargets_;
+    // Lazy, unsynchronized caches (single-threaded use; see header).
+    mutable std::unordered_map<std::uint32_t, std::unique_ptr<Cfg>> cfgs_;
+    mutable std::unordered_map<std::uint32_t, std::unique_ptr<Dominators>>
+        doms_;
+    mutable std::unique_ptr<BugDetector> detector_;
+};
+
+} // namespace lint
+} // namespace manta
+
+#endif // MANTA_LINT_CONTEXT_H

@@ -1,0 +1,44 @@
+#include "lint/diagnostic.h"
+
+#include <algorithm>
+
+namespace manta {
+namespace lint {
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+const char *
+severityLevel(Severity severity)
+{
+    // SARIF 2.1.0 levels happen to use the same spelling.
+    return severityName(severity);
+}
+
+bool
+diagnosticLess(const Diagnostic &a, const Diagnostic &b)
+{
+    if (a.checker != b.checker)
+        return a.checker < b.checker;
+    if (a.primary.inst != b.primary.inst)
+        return a.primary.inst < b.primary.inst;
+    if (a.message != b.message)
+        return a.message < b.message;
+    const std::size_t n = std::min(a.related.size(), b.related.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (a.related[i].inst != b.related[i].inst)
+            return a.related[i].inst < b.related[i].inst;
+    }
+    return a.related.size() < b.related.size();
+}
+
+} // namespace lint
+} // namespace manta

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Structured diagnostics for the lint framework (docs/LINT.md).
+ *
+ * A Diagnostic is what a checker produces: which checker fired, how
+ * severe the finding is, the primary instruction it anchors to plus
+ * any related instructions (each with the owning function's name and
+ * a role label such as "source" or "sink"), a fix-it-style message,
+ * and the type evidence that made the checker fire. MIR has no file
+ * or line coordinates, so locations are instruction ids; serializers
+ * map them to pseudo-lines (SARIF) or `@func/inst<N>` spans (text).
+ */
+#ifndef MANTA_LINT_DIAGNOSTIC_H
+#define MANTA_LINT_DIAGNOSTIC_H
+
+#include <string>
+#include <vector>
+
+#include "mir/mir.h"
+
+namespace manta {
+namespace lint {
+
+/** Diagnostic severity, in increasing order. */
+enum class Severity : std::uint8_t {
+    Note,
+    Warning,
+    Error,
+};
+
+/** Printable severity name ("note" / "warning" / "error"). */
+const char *severityName(Severity severity);
+
+/** SARIF result level for a severity (same spelling, by design). */
+const char *severityLevel(Severity severity);
+
+/** One instruction location a diagnostic points at. */
+struct DiagLocation
+{
+    InstId inst;          ///< The instruction (invalid = whole module).
+    std::string func;     ///< Name of the owning function.
+    std::string role;     ///< "sink", "source", "cast", ... (free-form).
+};
+
+/** One lint finding. */
+struct Diagnostic
+{
+    std::string checker;              ///< Checker id, e.g. "width-trunc".
+    Severity severity = Severity::Warning;
+    DiagLocation primary;             ///< Where the problem manifests.
+    std::vector<DiagLocation> related;///< Supporting locations, in order.
+    std::string message;              ///< Fix-it-style, human readable.
+    std::string evidence;             ///< Type facts that fired the checker.
+    /**
+     * Frontend origin tag of the primary instruction (0 = untagged);
+     * lets the evaluation match diagnostics against injected ground
+     * truth exactly like BugReport::sinkTag.
+     */
+    std::uint32_t srcTag = 0;
+    /**
+     * Stable suppression fingerprint (`checker@func#block:pos`),
+     * filled by the framework before the diagnostic reaches the
+     * engine; baseline files store these strings.
+     */
+    std::string fingerprint;
+};
+
+/**
+ * The framework's deterministic order: (checker, primary, message,
+ * related). Independent of discovery order and job count.
+ */
+bool diagnosticLess(const Diagnostic &a, const Diagnostic &b);
+
+} // namespace lint
+} // namespace manta
+
+#endif // MANTA_LINT_DIAGNOSTIC_H

@@ -1,0 +1,159 @@
+#include "lint/engine.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace manta {
+namespace lint {
+
+namespace {
+
+/** Identity of a finding for dedup: everything but severity/evidence. */
+std::string
+dedupKey(const Diagnostic &d)
+{
+    std::string key = d.checker;
+    key += '\0';
+    key += std::to_string(d.primary.inst.valid() ? d.primary.inst.raw()
+                                                 : ~0u);
+    for (const DiagLocation &rel : d.related) {
+        key += '\0';
+        key += std::to_string(rel.inst.valid() ? rel.inst.raw() : ~0u);
+    }
+    key += '\0';
+    key += d.message;
+    return key;
+}
+
+} // namespace
+
+void
+DiagnosticEngine::disable(const std::string &checker)
+{
+    disabled_.insert(checker);
+}
+
+void
+DiagnosticEngine::enableOnly(const std::vector<std::string> &checkers)
+{
+    enabled_only_.clear();
+    enabled_only_.insert(checkers.begin(), checkers.end());
+}
+
+bool
+DiagnosticEngine::checkerEnabled(const std::string &checker) const
+{
+    if (disabled_.count(checker))
+        return false;
+    return enabled_only_.empty() || enabled_only_.count(checker) != 0;
+}
+
+void
+DiagnosticEngine::loadBaseline(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        // Trim trailing carriage returns / spaces.
+        while (!line.empty() &&
+               (line.back() == '\r' || line.back() == ' '))
+            line.pop_back();
+        if (line.empty() || line[0] == '#')
+            continue;
+        baseline_.insert(line);
+    }
+}
+
+void
+DiagnosticEngine::report(Diagnostic diagnostic)
+{
+    if (!checkerEnabled(diagnostic.checker))
+        return;
+    if (!dedup_.insert(dedupKey(diagnostic)).second)
+        return;
+    if (!diagnostic.fingerprint.empty() &&
+            baseline_.count(diagnostic.fingerprint)) {
+        ++baseline_suppressed_;
+        ++baseline_by_checker_[diagnostic.checker];
+        return;
+    }
+    diagnostics_.push_back(std::move(diagnostic));
+}
+
+std::size_t
+DiagnosticEngine::baselineSuppressedFor(const std::string &checker) const
+{
+    const auto it = baseline_by_checker_.find(checker);
+    return it == baseline_by_checker_.end() ? 0 : it->second;
+}
+
+std::vector<Diagnostic>
+DiagnosticEngine::take()
+{
+    std::sort(diagnostics_.begin(), diagnostics_.end(), diagnosticLess);
+    dedup_.clear();
+    return std::move(diagnostics_);
+}
+
+std::string
+DiagnosticEngine::renderText(const std::vector<Diagnostic> &diags)
+{
+    std::string out;
+    for (const Diagnostic &d : diags) {
+        out += severityName(d.severity);
+        out += ": [";
+        out += d.checker;
+        out += "] @";
+        out += d.primary.func;
+        out += "/inst";
+        out += std::to_string(d.primary.inst.valid()
+                                  ? d.primary.inst.raw()
+                                  : ~0u);
+        if (!d.primary.role.empty()) {
+            out += " (";
+            out += d.primary.role;
+            out += ")";
+        }
+        out += ": ";
+        out += d.message;
+        out += '\n';
+        for (const DiagLocation &rel : d.related) {
+            out += "    related: @";
+            out += rel.func;
+            out += "/inst";
+            out += std::to_string(rel.inst.valid() ? rel.inst.raw() : ~0u);
+            if (!rel.role.empty()) {
+                out += " (";
+                out += rel.role;
+                out += ")";
+            }
+            out += '\n';
+        }
+        if (!d.evidence.empty()) {
+            out += "    evidence: ";
+            out += d.evidence;
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+std::string
+DiagnosticEngine::writeBaseline(const std::vector<Diagnostic> &diags)
+{
+    std::set<std::string> fingerprints;
+    for (const Diagnostic &d : diags) {
+        if (!d.fingerprint.empty())
+            fingerprints.insert(d.fingerprint);
+    }
+    std::string out =
+        "# manta-lint baseline: one fingerprint per suppressed finding\n";
+    for (const std::string &fp : fingerprints) {
+        out += fp;
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace lint
+} // namespace manta

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * DiagnosticEngine: the sink every checker's findings flow through.
+ *
+ * The engine deduplicates (a checker may reach the same finding along
+ * several slice paths), filters by per-checker enable/disable state
+ * and by a baseline-suppression file (lines of fingerprints, the
+ * classic "adopt a linter on a legacy codebase" workflow), and hands
+ * back diagnostics in the framework's deterministic order. It also
+ * owns the human-readable text rendering; SARIF serialization lives
+ * in lint/sarif.h.
+ */
+#ifndef MANTA_LINT_ENGINE_H
+#define MANTA_LINT_ENGINE_H
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.h"
+
+namespace manta {
+namespace lint {
+
+/** Collects, filters and orders diagnostics. */
+class DiagnosticEngine
+{
+  public:
+    /// @name Per-checker enable/disable.
+    /// @{
+    /** Drop every diagnostic of this checker. */
+    void disable(const std::string &checker);
+    /** Keep only these checkers (empty list = keep all). */
+    void enableOnly(const std::vector<std::string> &checkers);
+    /** Is the checker currently enabled? */
+    bool checkerEnabled(const std::string &checker) const;
+    /// @}
+
+    /**
+     * Load a baseline-suppression file: one fingerprint per line
+     * (LintContext::fingerprint format); blank lines and '#' comments
+     * are ignored. Reported diagnostics whose fingerprint appears are
+     * counted as suppressed and dropped.
+     */
+    void loadBaseline(const std::string &text);
+
+    /** Report one finding (deduplicated; may be filtered). */
+    void report(Diagnostic diagnostic);
+
+    /** Diagnostics suppressed by the baseline so far. */
+    std::size_t baselineSuppressed() const { return baseline_suppressed_; }
+
+    /** Baseline suppressions attributed to one checker. */
+    std::size_t baselineSuppressedFor(const std::string &checker) const;
+
+    /** Surviving diagnostics, deterministically sorted; engine resets. */
+    std::vector<Diagnostic> take();
+
+    /** Render diagnostics as stable human-readable text. */
+    static std::string renderText(const std::vector<Diagnostic> &diags);
+
+    /** A baseline file suppressing exactly these diagnostics. */
+    static std::string writeBaseline(const std::vector<Diagnostic> &diags);
+
+  private:
+    std::vector<Diagnostic> diagnostics_;
+    std::set<std::string> dedup_;
+    std::set<std::string> disabled_;
+    std::set<std::string> enabled_only_;  ///< Empty = all enabled.
+    std::set<std::string> baseline_;
+    std::map<std::string, std::size_t> baseline_by_checker_;
+    std::size_t baseline_suppressed_ = 0;
+};
+
+} // namespace lint
+} // namespace manta
+
+#endif // MANTA_LINT_ENGINE_H

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * icall-mismatch: an indirect call no address-taken function can
+ * satisfy.
+ *
+ * With type assistance the checker reads the context's FullTypes
+ * target sets (the paper's icall pruning, Section 5.2): an empty set
+ * means every candidate was contradicted by arity, width, or subtype
+ * compatibility - the call either crashes or was mis-lifted. Without
+ * types only exact arity matching is available, so a call whose
+ * argument count matches no address-taken signature is flagged; type
+ * assistance suppresses the arity-only false positives where a
+ * candidate legally ignores surplus arguments (the calling-convention
+ * rule FullTypes models with its >=-arity check).
+ */
+#include "lint/checker.h"
+#include "lint/context.h"
+
+namespace manta {
+namespace lint {
+
+namespace {
+
+class IcallMismatchChecker final : public Checker
+{
+  public:
+    const char *id() const override { return "icall-mismatch"; }
+    Severity severity() const override { return Severity::Warning; }
+    const char *
+    description() const override
+    {
+        return "indirect call has no feasible address-taken target";
+    }
+
+    std::vector<Diagnostic>
+    run(const LintContext &ctx) const override
+    {
+        std::vector<Diagnostic> out;
+        Module &module = ctx.module();
+        const std::vector<FuncId> candidates = module.addressTakenFuncs();
+
+        for (std::size_t i = 0; i < module.numInsts(); ++i) {
+            const InstId iid(static_cast<InstId::RawType>(i));
+            const Instruction &inst = module.inst(iid);
+            if (inst.op != Opcode::ICall)
+                continue;
+            const std::size_t num_args = inst.operands.size() - 1;
+
+            std::size_t feasible = 0;
+            std::string evidence;
+            if (ctx.useTypes()) {
+                const auto it = ctx.icallTargets().targets.find(iid);
+                feasible = (it == ctx.icallTargets().targets.end())
+                               ? 0
+                               : it->second.size();
+                evidence = "typed pruning left " +
+                           std::to_string(feasible) + " of " +
+                           std::to_string(candidates.size()) +
+                           " address-taken candidates";
+            } else {
+                for (const FuncId fid : candidates) {
+                    if (module.func(fid).params.size() == num_args)
+                        ++feasible;
+                }
+                evidence = "no-type mode: " + std::to_string(feasible) +
+                           " of " + std::to_string(candidates.size()) +
+                           " address-taken candidates take exactly " +
+                           std::to_string(num_args) + " argument(s)";
+            }
+            if (feasible > 0)
+                continue;
+
+            Diagnostic d;
+            d.checker = id();
+            d.severity = severity();
+            d.primary = ctx.loc(iid, "indirect call");
+            d.message = "indirect call with " + std::to_string(num_args) +
+                        " argument(s) has no feasible address-taken "
+                        "target; the target expression is likely "
+                        "corrupted or mis-lifted";
+            d.evidence = std::move(evidence);
+            d.srcTag = inst.srcTag;
+            out.push_back(std::move(d));
+        }
+        return out;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Checker>
+makeIcallMismatchChecker()
+{
+    return std::make_unique<IcallMismatchChecker>();
+}
+
+} // namespace lint
+} // namespace manta

@@ -1,0 +1,64 @@
+#include "lint/checker.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace manta {
+namespace lint {
+
+CheckerRegistry &
+CheckerRegistry::instance()
+{
+    static CheckerRegistry registry;
+    return registry;
+}
+
+void
+CheckerRegistry::add(CheckerFactory factory)
+{
+    // Reject duplicate ids so re-registration stays idempotent.
+    const std::unique_ptr<Checker> probe = factory();
+    for (const CheckerFactory existing : factories_) {
+        const std::unique_ptr<Checker> present = existing();
+        if (std::strcmp(present->id(), probe->id()) == 0)
+            return;
+    }
+    factories_.push_back(factory);
+}
+
+std::vector<std::unique_ptr<Checker>>
+CheckerRegistry::createAll() const
+{
+    std::vector<std::unique_ptr<Checker>> checkers;
+    checkers.reserve(factories_.size());
+    for (const CheckerFactory factory : factories_)
+        checkers.push_back(factory());
+    std::sort(checkers.begin(), checkers.end(),
+              [](const std::unique_ptr<Checker> &a,
+                 const std::unique_ptr<Checker> &b) {
+                  return std::strcmp(a->id(), b->id()) < 0;
+              });
+    return checkers;
+}
+
+void
+registerBuiltinCheckers()
+{
+    CheckerRegistry &registry = CheckerRegistry::instance();
+    // Explicit factory references (no static self-registration): a
+    // static-library link cannot drop a checker's object file without
+    // breaking this translation unit.
+    registry.add(&makeNpdChecker);
+    registry.add(&makeRsaChecker);
+    registry.add(&makeUafChecker);
+    registry.add(&makeCmiChecker);
+    registry.add(&makeBofChecker);
+    registry.add(&makeWidthTruncChecker);
+    registry.add(&makeSignConfusionChecker);
+    registry.add(&makeUninitStackChecker);
+    registry.add(&makeDoubleFreeChecker);
+    registry.add(&makeIcallMismatchChecker);
+}
+
+} // namespace lint
+} // namespace manta

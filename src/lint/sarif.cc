@@ -1,0 +1,158 @@
+#include "lint/sarif.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace manta {
+namespace lint {
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** The 1-based pseudo-line an instruction maps to. */
+std::uint32_t
+pseudoLine(InstId inst)
+{
+    return inst.valid() ? inst.raw() + 1 : 1;
+}
+
+void
+appendLocation(std::string &out, const std::string &indent,
+               const std::string &artifact, const DiagLocation &loc)
+{
+    out += indent + "{\n";
+    out += indent + "  \"physicalLocation\": {\n";
+    out += indent + "    \"artifactLocation\": {\"uri\": \"" +
+           jsonEscape(artifact) + "\"},\n";
+    out += indent + "    \"region\": {\"startLine\": " +
+           std::to_string(pseudoLine(loc.inst)) + "}\n";
+    out += indent + "  },\n";
+    out += indent + "  \"logicalLocations\": [\n";
+    out += indent + "    {\"name\": \"" + jsonEscape(loc.func) +
+           "\", \"kind\": \"function\"}\n";
+    out += indent + "  ]";
+    if (!loc.role.empty()) {
+        out += ",\n" + indent + "  \"message\": {\"text\": \"" +
+               jsonEscape(loc.role) + "\"}";
+    }
+    out += "\n" + indent + "}";
+}
+
+} // namespace
+
+std::string
+sarifLog(const std::vector<SarifRun> &runs,
+         const std::vector<SarifRule> &rules)
+{
+    std::vector<SarifRule> sorted_rules = rules;
+    std::sort(sorted_rules.begin(), sorted_rules.end(),
+              [](const SarifRule &a, const SarifRule &b) {
+                  return a.id < b.id;
+              });
+
+    std::string out;
+    out += "{\n";
+    out += "  \"$schema\": "
+           "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+    out += "  \"version\": \"2.1.0\",\n";
+    out += "  \"runs\": [\n";
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+        const SarifRun &run = runs[r];
+        out += "    {\n";
+        out += "      \"tool\": {\n";
+        out += "        \"driver\": {\n";
+        out += "          \"name\": \"manta-lint\",\n";
+        out += "          \"informationUri\": "
+               "\"https://example.invalid/manta/docs/LINT.md\",\n";
+        out += "          \"version\": \"1.0.0\",\n";
+        out += "          \"rules\": [\n";
+        for (std::size_t i = 0; i < sorted_rules.size(); ++i) {
+            const SarifRule &rule = sorted_rules[i];
+            out += "            {\n";
+            out += "              \"id\": \"" + jsonEscape(rule.id) +
+                   "\",\n";
+            out += "              \"shortDescription\": {\"text\": \"" +
+                   jsonEscape(rule.description) + "\"},\n";
+            out += "              \"defaultConfiguration\": "
+                   "{\"level\": \"" +
+                   std::string(severityLevel(rule.severity)) + "\"}\n";
+            out += "            }";
+            out += (i + 1 < sorted_rules.size()) ? ",\n" : "\n";
+        }
+        out += "          ]\n";
+        out += "        }\n";
+        out += "      },\n";
+        out += "      \"artifacts\": [\n";
+        out += "        {\"location\": {\"uri\": \"" +
+               jsonEscape(run.artifact) + "\"}}\n";
+        out += "      ],\n";
+        out += "      \"results\": [\n";
+        for (std::size_t i = 0; i < run.diagnostics.size(); ++i) {
+            const Diagnostic &d = run.diagnostics[i];
+            out += "        {\n";
+            out += "          \"ruleId\": \"" + jsonEscape(d.checker) +
+                   "\",\n";
+            out += "          \"level\": \"" +
+                   std::string(severityLevel(d.severity)) + "\",\n";
+            out += "          \"message\": {\"text\": \"" +
+                   jsonEscape(d.message) + "\"},\n";
+            out += "          \"locations\": [\n";
+            appendLocation(out, "            ", run.artifact, d.primary);
+            out += "\n          ]";
+            if (!d.related.empty()) {
+                out += ",\n          \"relatedLocations\": [\n";
+                for (std::size_t j = 0; j < d.related.size(); ++j) {
+                    appendLocation(out, "            ", run.artifact,
+                                   d.related[j]);
+                    out += (j + 1 < d.related.size()) ? ",\n" : "\n";
+                }
+                out += "          ]";
+            }
+            if (!d.fingerprint.empty()) {
+                out += ",\n          \"partialFingerprints\": "
+                       "{\"mantaLint/v1\": \"" +
+                       jsonEscape(d.fingerprint) + "\"}";
+            }
+            if (!d.evidence.empty()) {
+                out += ",\n          \"properties\": {\"evidence\": \"" +
+                       jsonEscape(d.evidence) + "\"}";
+            }
+            out += "\n        }";
+            out += (i + 1 < run.diagnostics.size()) ? ",\n" : "\n";
+        }
+        out += "      ]\n";
+        out += "    }";
+        out += (r + 1 < runs.size()) ? ",\n" : "\n";
+    }
+    out += "  ]\n";
+    out += "}\n";
+    return out;
+}
+
+} // namespace lint
+} // namespace manta

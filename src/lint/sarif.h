@@ -1,0 +1,50 @@
+/**
+ * @file
+ * SARIF 2.1.0 serialization of lint diagnostics.
+ *
+ * One `run` per analyzed artifact (a .mir module); each diagnostic
+ * becomes a `result` with ruleId/level/message, a physical location
+ * (the artifact URI plus the instruction id as a 1-based pseudo-line,
+ * since MIR carries no source coordinates), logical locations naming
+ * the owning function, relatedLocations for the supporting sites, a
+ * partialFingerprints entry carrying the baseline fingerprint, and a
+ * properties bag with the type evidence. The emitted subset is
+ * validated in CI against data/sarif-2.1.0-subset.schema.json.
+ */
+#ifndef MANTA_LINT_SARIF_H
+#define MANTA_LINT_SARIF_H
+
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.h"
+
+namespace manta {
+namespace lint {
+
+/** Rule metadata for the tool.driver.rules table. */
+struct SarifRule
+{
+    std::string id;
+    std::string description;
+    Severity severity = Severity::Warning;
+};
+
+/** One SARIF run: an artifact name plus its diagnostics. */
+struct SarifRun
+{
+    std::string artifact;               ///< e.g. "router_fw.mir".
+    std::vector<Diagnostic> diagnostics;///< Already sorted by the engine.
+};
+
+/** Serialize runs into one SARIF 2.1.0 log (pretty-printed, stable). */
+std::string sarifLog(const std::vector<SarifRun> &runs,
+                     const std::vector<SarifRule> &rules);
+
+/** Escape a string for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &text);
+
+} // namespace lint
+} // namespace manta
+
+#endif // MANTA_LINT_SARIF_H

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * sign-confusion: an ordered comparison whose verdict flips under a
+ * signedness misread of one operand.
+ *
+ * Two patterns:
+ *  - sext-vs-out-of-range constant (reported in both modes): one
+ *    operand was sign-extended from w bits and the other is a
+ *    constant outside the signed w-bit range, so the comparison's
+ *    verdict hinges on the extension's sign semantics.
+ *  - negative-constant order compare (no-type mode only): ordering a
+ *    64-bit value against a negative constant is suspicious when
+ *    nothing is known about the value; type assistance suppresses the
+ *    finding when inference commits the operand to a pointer (the
+ *    ptr-vs-error-constant idiom of Section 6.4) or to a numeric
+ *    type (an honest signed comparison).
+ */
+#include "lint/checker.h"
+#include "lint/context.h"
+
+namespace manta {
+namespace lint {
+
+namespace {
+
+class SignConfusionChecker final : public Checker
+{
+  public:
+    const char *id() const override { return "sign-confusion"; }
+    Severity severity() const override { return Severity::Warning; }
+    const char *
+    description() const override
+    {
+        return "ordered comparison depends on a signedness assumption";
+    }
+
+    std::vector<Diagnostic>
+    run(const LintContext &ctx) const override
+    {
+        std::vector<Diagnostic> out;
+        Module &module = ctx.module();
+
+        for (std::size_t i = 0; i < module.numInsts(); ++i) {
+            const InstId iid(static_cast<InstId::RawType>(i));
+            const Instruction &inst = module.inst(iid);
+            if (inst.op != Opcode::ICmp || !isOrdered(inst.pred) ||
+                    inst.operands.size() != 2) {
+                continue;
+            }
+            checkOperandPair(ctx, iid, inst.operands[0],
+                             inst.operands[1], out);
+            checkOperandPair(ctx, iid, inst.operands[1],
+                             inst.operands[0], out);
+        }
+        return out;
+    }
+
+  private:
+    static bool
+    isOrdered(CmpPred pred)
+    {
+        return pred == CmpPred::LT || pred == CmpPred::LE ||
+               pred == CmpPred::GT || pred == CmpPred::GE;
+    }
+
+    static bool
+    outsideSignedRange(std::int64_t value, int width_bits)
+    {
+        const std::int64_t hi =
+            (std::int64_t(1) << (width_bits - 1)) - 1;
+        const std::int64_t lo = -hi - 1;
+        return value < lo || value > hi;
+    }
+
+    void
+    checkOperandPair(const LintContext &ctx, InstId site, ValueId lhs,
+                     ValueId rhs, std::vector<Diagnostic> &out) const
+    {
+        Module &module = ctx.module();
+        const Value &rv = module.value(rhs);
+        if (rv.kind != ValueKind::Constant)
+            return;
+        const Instruction &cmp = module.inst(site);
+
+        // Pattern 1: sign-extended operand ordered against a constant
+        // outside the source width's signed range.
+        const Value &lv = module.value(lhs);
+        if (lv.kind == ValueKind::InstResult) {
+            const Instruction &def = module.inst(lv.inst);
+            if (def.op == Opcode::SExt) {
+                const int w = module.value(def.operands[0]).width;
+                if (w < 64 && outsideSignedRange(rv.constValue, w)) {
+                    Diagnostic d;
+                    d.checker = id();
+                    d.severity = severity();
+                    d.primary = ctx.loc(site, "comparison");
+                    d.related.push_back(
+                        ctx.loc(lv.inst, "sign extension"));
+                    d.message =
+                        "ordered comparison of a value sign-extended "
+                        "from " +
+                        std::to_string(w) + " bits against constant " +
+                        std::to_string(rv.constValue) +
+                        ", which no signed " + std::to_string(w) +
+                        "-bit value can reach; compare before widening "
+                        "or use an explicit zero-extension";
+                    d.evidence = "constant outside [-2^" +
+                                 std::to_string(w - 1) + ", 2^" +
+                                 std::to_string(w - 1) + "-1]";
+                    d.srcTag = cmp.srcTag;
+                    out.push_back(std::move(d));
+                }
+                return;  // The sext pattern owns this operand pair.
+            }
+        }
+
+        // Pattern 2: ordering a 64-bit value against a negative
+        // constant with no type knowledge.
+        if (rv.constValue >= 0 || module.value(lhs).width != 64)
+            return;
+        if (ctx.useTypes() &&
+                (ctx.definitelyPtr(lhs) || ctx.preciselyNumeric(lhs))) {
+            // Typed: a pointer ordered against -1 is the error-
+            // constant idiom; a committed numeric is an honest signed
+            // comparison. Either way, not a signedness confusion.
+            return;
+        }
+        Diagnostic d;
+        d.checker = id();
+        d.severity = severity();
+        d.primary = ctx.loc(site, "comparison");
+        d.message = "ordered comparison against negative constant " +
+                    std::to_string(rv.constValue) +
+                    " on a value of unknown signedness; the branch "
+                    "flips if the value is unsigned or a pointer";
+        d.evidence = ctx.useTypes()
+                         ? "inference left the operand's type open"
+                         : "no-type mode: operand signedness unknown";
+        d.srcTag = cmp.srcTag;
+        out.push_back(std::move(d));
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Checker>
+makeSignConfusionChecker()
+{
+    return std::make_unique<SignConfusionChecker>();
+}
+
+} // namespace lint
+} // namespace manta

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * width-trunc: a value flows through a narrowing cast into an address
+ * or size operand.
+ *
+ * For every Trunc, the checker forward-slices the narrowed value and
+ * reports uses as a dereferenced address or as the size operand of a
+ * bounded copy. Type assistance suppresses two false-positive
+ * classes: (1) when inference commits the source to a numeric type
+ * that already fits the destination width the cast loses nothing, and
+ * (2) Table 2 pruning stops the slice from following offset->pointer
+ * edges, so a truncated offset added to a base pointer no longer
+ * "reaches" the dereference (the same barrier the paper checkers use).
+ */
+#include "lint/checker.h"
+#include "lint/context.h"
+
+namespace manta {
+namespace lint {
+
+namespace {
+
+class WidthTruncChecker final : public Checker
+{
+  public:
+    const char *id() const override { return "width-trunc"; }
+    Severity severity() const override { return Severity::Warning; }
+    const char *
+    description() const override
+    {
+        return "truncated value flows into an address or size operand";
+    }
+
+    std::vector<Diagnostic>
+    run(const LintContext &ctx) const override
+    {
+        std::vector<Diagnostic> out;
+        Module &module = ctx.module();
+        const auto opts = ctx.sliceOptions(/*with_barrier=*/false);
+
+        for (std::size_t i = 0; i < module.numInsts(); ++i) {
+            const InstId iid(static_cast<InstId::RawType>(i));
+            const Instruction &inst = module.inst(iid);
+            if (inst.op != Opcode::Trunc || !inst.result.valid())
+                continue;
+            const ValueId src = inst.operands[0];
+            const int src_width = module.value(src).width;
+            const int dst_width = module.value(inst.result).width;
+            if (src_width <= dst_width)
+                continue;
+
+            // Type-assisted suppression (1): the source is committed
+            // to a numeric type that already fits the destination.
+            if (ctx.useTypes() && ctx.inference() != nullptr) {
+                TypeTable &tt = ctx.inference()->types();
+                const BoundPair bp =
+                    ctx.inference()->siteBounds(src, iid);
+                const int committed = tt.widthBits(bp.upper);
+                if (tt.isNumeric(bp.upper) && committed != 0 &&
+                        committed <= dst_width) {
+                    continue;
+                }
+            }
+
+            for (const ValueId reached :
+                 ctx.slicer().forwardSlice(inst.result, opts)) {
+                for (const InstId user : ctx.instIndex().users(reached)) {
+                    const Instruction &use = module.inst(user);
+                    const char *what = nullptr;
+                    if ((use.op == Opcode::Load ||
+                         use.op == Opcode::Store) &&
+                            use.operands[0] == reached) {
+                        what = "memory address";
+                    } else if (use.op == Opcode::Call &&
+                               use.external.valid() &&
+                               module.external(use.external).role ==
+                                   ExternRole::BoundedCopy &&
+                               use.operands.size() >= 3 &&
+                               use.operands[2] == reached) {
+                        what = "copy size";
+                    }
+                    if (what == nullptr ||
+                            !ctx.order().mayPrecede(iid, user)) {
+                        continue;
+                    }
+                    Diagnostic d;
+                    d.checker = id();
+                    d.severity = severity();
+                    d.primary = ctx.loc(user, "sink");
+                    d.related.push_back(ctx.loc(iid, "narrowing cast"));
+                    d.message = std::string("value truncated from ") +
+                                std::to_string(src_width) + " to " +
+                                std::to_string(dst_width) +
+                                " bits is used as a " + what +
+                                "; widen the intermediate or bound-check "
+                                "before the cast";
+                    d.evidence = truncEvidence(ctx, src, iid);
+                    d.srcTag = use.srcTag;
+                    out.push_back(std::move(d));
+                }
+            }
+        }
+        return out;
+    }
+
+  private:
+    static std::string
+    truncEvidence(const LintContext &ctx, ValueId src, InstId site)
+    {
+        if (!ctx.useTypes() || ctx.inference() == nullptr)
+            return "no-type mode: every narrowing cast is suspect";
+        TypeTable &tt = ctx.inference()->types();
+        const BoundPair bp = ctx.inference()->siteBounds(src, site);
+        return "inferred source type " + tt.toString(bp.upper) +
+               " does not fit the destination width";
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Checker>
+makeWidthTruncChecker()
+{
+    return std::make_unique<WidthTruncChecker>();
+}
+
+} // namespace lint
+} // namespace manta

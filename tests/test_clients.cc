@@ -438,6 +438,149 @@ entry:
     EXPECT_NE(reports[0].message.find("exceeds"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------
+// False-positive barriers: for each paper checker, a case where the
+// untyped ablation fires and type assistance suppresses the report.
+// ---------------------------------------------------------------------
+
+TEST_F(ClientTest, RsaPointerDifferenceSuppressedWithTypes)
+{
+    // A pointer difference derived from a stack address flows to the
+    // return. Type pruning cuts both PtrArith edges at the Sub (the
+    // result is numeric, the operands are pointers), so the typed
+    // slice never reaches the return; the untyped slice does.
+    load(R"(
+func @f() {
+entry:
+  %buf = alloca 32
+  store %buf, 7:64
+  %mid = add %buf, 16:64
+  %v = load.8 %mid
+  %len = sub %mid, %buf
+  %r = call.32 @print_int(%len)
+  ret %len
+}
+)");
+    const auto with_types = detect(CheckerKind::RSA, true);
+    EXPECT_TRUE(with_types.empty());
+    const auto without = detect(CheckerKind::RSA, false);
+    EXPECT_FALSE(without.empty());
+}
+
+TEST_F(ClientTest, UafOffsetReuseSuppressedWithTypes)
+{
+    // The freed pointer only contributes a numeric offset to the later
+    // dereference (ptr - ptr, then base + offset). Typed pruning cuts
+    // the pointer -> difference edge; untyped slicing follows it from
+    // the free all the way to the load.
+    load(R"(
+func @f() {
+entry:
+  %h = call.64 @malloc(16:64)
+  %g = call.64 @malloc(16:64)
+  %off = sub %h, %g
+  %r = call.32 @print_int(%off)
+  call @free(%h)
+  %p = add %g, %off
+  %v = load.8 %p
+  ret
+}
+)");
+    const auto with_types = detect(CheckerKind::UAF, true);
+    EXPECT_TRUE(with_types.empty());
+    const auto without = detect(CheckerKind::UAF, false);
+    EXPECT_FALSE(without.empty());
+}
+
+TEST_F(ClientTest, BofSanitizedOffsetSuppressedWithTypes)
+{
+    // Tainted data is converted to an integer (atoi barrier) before it
+    // shapes the copied pointer. With types the precisely-numeric
+    // conversion stops the slice; without types the taint "reaches"
+    // the unbounded copy's source operand.
+    load(R"(
+string @key "idx"
+func @f() {
+entry:
+  %t = call.64 @nvram_get(@key)
+  %n = call.32 @atoi(%t)
+  %w = zext.64 %n
+  %src = call.64 @malloc(64:64)
+  %p = add %src, %w
+  %buf = alloca 16
+  %r = call.64 @strcpy(%buf, %p)
+  ret
+}
+)");
+    const auto with_types = detect(CheckerKind::BOF, true);
+    EXPECT_TRUE(with_types.empty());
+    const auto without = detect(CheckerKind::BOF, false);
+    EXPECT_FALSE(without.empty());
+}
+
+TEST_F(ClientTest, CmiSanitizedOffsetFlipsWithoutTypes)
+{
+    // Ablation flip for the atoi barrier: the same program is clean
+    // with types and reported without them.
+    load(R"(
+string @key "port"
+func @f() {
+entry:
+  %t = call.64 @nvram_get(@key)
+  %n = call.32 @atoi(%t)
+  %w = zext.64 %n
+  %cmd = call.64 @malloc(64:64)
+  %p = add %cmd, %w
+  %r = call.32 @system(%p)
+  ret
+}
+)");
+    const auto with_types = detect(CheckerKind::CMI, true);
+    EXPECT_TRUE(with_types.empty());
+    const auto without = detect(CheckerKind::CMI, false);
+    EXPECT_FALSE(without.empty());
+}
+
+TEST_F(ClientTest, ReportsAreDeterministicallySorted)
+{
+    // ReportSet::take() orders by (kind, sourceSite, sinkSite), so two
+    // identical detector runs produce identical report lists.
+    load(R"(
+string @key "cmd"
+func @f() {
+entry:
+  %t = call.64 @nvram_get(@key)
+  %r = call.32 @system(%t)
+  %buf = alloca 8
+  %r2 = call.64 @strcpy(%buf, %t)
+  %t2 = call.64 @nvram_get(@key)
+  %r3 = call.32 @system(%t2)
+  ret
+}
+)");
+    DetectorOptions opts;
+    const BugDetector detector(*analyzer_, result_.get(), opts);
+    const auto first = detector.runAll();
+    const auto second = detector.runAll();
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].kind, second[i].kind);
+        EXPECT_EQ(first[i].sourceSite, second[i].sourceSite);
+        EXPECT_EQ(first[i].sinkSite, second[i].sinkSite);
+        if (i > 0) {
+            const bool ordered =
+                first[i - 1].kind < first[i].kind ||
+                (first[i - 1].kind == first[i].kind &&
+                 (first[i - 1].sourceSite.raw() <
+                      first[i].sourceSite.raw() ||
+                  (first[i - 1].sourceSite == first[i].sourceSite &&
+                   first[i - 1].sinkSite.raw() <
+                       first[i].sinkSite.raw())));
+            EXPECT_TRUE(ordered) << "report " << i << " out of order";
+        }
+    }
+}
+
 TEST_F(ClientTest, RunAllAggregatesCheckers)
 {
     load(R"(
