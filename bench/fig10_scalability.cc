@@ -34,6 +34,7 @@ struct SizePoint
     double csSeconds = 0.0;
     double fsSeconds = 0.0;
     double inferSeconds = 0.0;
+    WalkStats walk;  ///< CS+FS traversal counters, merged.
 };
 
 int
@@ -71,6 +72,8 @@ runFig10()
         point.csSeconds = profile.csSeconds;
         point.fsSeconds = profile.fsSeconds;
         point.inferSeconds = profile.seconds;
+        point.walk = profile.csWalk;
+        point.walk.merge(profile.fsWalk);
         std::printf("  measured %d functions\n", sizes_cfg[i]);
         std::fflush(stdout);
         return point;
@@ -102,6 +105,22 @@ runFig10()
     std::printf("\n%s", table.render().c_str());
     CsvWriter csv("fig10_scalability");
     table.writeCsv(csv);
+
+    // Traversal work of the refinement stages per size point: memo
+    // hit rate should stay high and truncations rare as size grows,
+    // which is what keeps the curve above near-linear.
+    AsciiTable walk_table;
+    walk_table.setHeader({"#funcs", "walk queries", "memo hits",
+                          "truncated", "steps", "peak ctx depth"});
+    for (const SizePoint &point : points) {
+        walk_table.addRow({std::to_string(point.numFunctions),
+                           std::to_string(point.walk.queries),
+                           std::to_string(point.walk.memoHits),
+                           std::to_string(point.walk.truncated),
+                           std::to_string(point.walk.steps),
+                           std::to_string(point.walk.peakCtxDepth)});
+    }
+    std::printf("\n%s", walk_table.render().c_str());
 
     // Least-squares fit time = a * size + b; report the curve and how
     // superlinear the growth looks (ratio of per-inst cost largest vs

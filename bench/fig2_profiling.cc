@@ -6,6 +6,7 @@
  *  (b) how many of the variables a flow-sensitive analysis leaves
  *      unknown can the low-precision analysis precisely infer.
  */
+#include <algorithm>
 #include <cstdio>
 
 #include "eval/harness.h"
@@ -23,6 +24,7 @@ runFig2()
     std::size_t fi_over = 0, fi_over_refined = 0;
     std::size_t fs_unknown = 0, fs_unknown_fi_precise = 0;
     std::size_t binaries = 0;
+    WalkStats cs_walk, fs_walk;
 
     auto run_one = [&](const ProjectProfile &profile) {
         PreparedProject project = prepareProject(profile);
@@ -36,6 +38,8 @@ runFig2()
             project.analyzer->infer(HybridConfig::fsOnly());
         const InferenceResult full =
             project.analyzer->infer(HybridConfig::full());
+        cs_walk.merge(full.profile().csWalk);
+        fs_walk.merge(full.profile().fsWalk);
 
         auto first_layer_precise = [&](const BoundPair &bp) {
             if (bp.classify(tt) != TypeClass::Precise &&
@@ -90,6 +94,12 @@ runFig2()
                                        fs_unknown)});
     std::printf("%s", table.render().c_str());
     std::printf("\nBinaries profiled: %zu\n", binaries);
+    std::printf("Full-pipeline traversal (all binaries): CS %zu queries "
+                "(%zu memo hits, %zu truncated), FS %zu queries "
+                "(%zu memo hits, %zu truncated), peak ctx depth %zu\n",
+                cs_walk.queries, cs_walk.memoHits, cs_walk.truncated,
+                fs_walk.queries, fs_walk.memoHits, fs_walk.truncated,
+                std::max(cs_walk.peakCtxDepth, fs_walk.peakCtxDepth));
     std::printf("Paper reference: both panels show a large brown share - "
                 "over-approximated types are\nlargely refinable by higher "
                 "precision, and many FS-unknowns are FI-precise.\n");

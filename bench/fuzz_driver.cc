@@ -2,7 +2,7 @@
  * @file
  * Differential fuzzing driver (docs/TESTING.md, "Fuzzing").
  *
- * Fans randomized cases across the task pool, checks the seven
+ * Fans randomized cases across the task pool, checks the eight
  * metamorphic oracles per case, shrinks failures to .mir reproducers
  * and writes BENCH_fuzz.json. Exit status is nonzero when any oracle
  * fired, and the report names the exact replay command.

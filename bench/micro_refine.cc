@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Fast-vs-reference refinement traversal benchmark.
+ *
+ * Runs the CS+FS refinement stages with both walker engines over a
+ * slice of the standard corpus, verifies the refined bounds are
+ * bit-identical (variable- and site-level, by TypeRef id), and
+ * reports wall clock, speedup and the fast engine's work counters
+ * (queries, memo hits, truncations, peak context depth). Results go
+ * to stdout as a table and to BENCH_refine.json for CI artifacts and
+ * the committed reference numbers.
+ *
+ * Flags:
+ *   --quick       Small projects only, one timing rep (CI smoke).
+ *   --out <path>  JSON output path (default BENCH_refine.json).
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/acyclic.h"
+#include "core/pipeline.h"
+#include "frontend/corpus.h"
+#include "support/table.h"
+
+namespace manta {
+namespace {
+
+struct EngineRun
+{
+    double seconds = 0.0;  ///< CS+FS stage wall clock (best of reps).
+    WalkStats walk;        ///< csWalk+fsWalk merged, from the best rep.
+};
+
+/** Best-of-reps timing of the refinement stages under one config. */
+EngineRun
+timeEngine(MantaAnalyzer &an, const HybridConfig &config, int reps,
+           std::unique_ptr<InferenceResult> *keep)
+{
+    EngineRun best;
+    for (int r = 0; r < reps; ++r) {
+        auto result = std::make_unique<InferenceResult>(an.infer(config));
+        const InferenceProfile &p = result->profile();
+        const double s = p.csSeconds + p.fsSeconds;
+        if (r == 0 || s < best.seconds) {
+            best.seconds = s;
+            best.walk = p.csWalk;
+            best.walk.merge(p.fsWalk);
+        }
+        *keep = std::move(result);
+    }
+    return best;
+}
+
+struct ProjectRow
+{
+    std::string name;
+    int functions = 0;
+    std::size_t insts = 0;
+    EngineRun ref;
+    EngineRun fast;
+    bool identical = false;
+
+    double
+    speedup() const
+    {
+        return fast.seconds > 0.0 ? ref.seconds / fast.seconds : 0.0;
+    }
+};
+
+/** Bit-identity of the refinement overlays (TypeRef ids). */
+bool
+sameBounds(const Module &module, const InferenceResult &a,
+           const InferenceResult &b)
+{
+    std::size_t differing = 0;
+    if (a.overlay().size() != b.overlay().size()) {
+        std::fprintf(stderr, "value overlay sizes differ: %zu vs %zu\n",
+                     a.overlay().size(), b.overlay().size());
+        ++differing;
+    }
+    for (const auto &[v, bp] : a.overlay()) {
+        const auto it = b.overlay().find(v);
+        if (it != b.overlay().end() && it->second.upper == bp.upper &&
+            it->second.lower == bp.lower) {
+            continue;
+        }
+        if (++differing <= 8) {
+            std::fprintf(stderr, "value %u: fast [%s,%s] ref %s\n", v.raw(),
+                         module.types().toString(bp.lower).c_str(),
+                         module.types().toString(bp.upper).c_str(),
+                         it == b.overlay().end()
+                             ? "missing"
+                             : module.types().toString(it->second.upper)
+                                   .c_str());
+        }
+    }
+    if (a.siteOverlay().size() != b.siteOverlay().size()) {
+        std::fprintf(stderr, "site overlay sizes differ: %zu vs %zu\n",
+                     a.siteOverlay().size(), b.siteOverlay().size());
+        ++differing;
+    }
+    for (const auto &[sv, bp] : a.siteOverlay()) {
+        const auto it = b.siteOverlay().find(sv);
+        if (it != b.siteOverlay().end() && it->second.upper == bp.upper &&
+            it->second.lower == bp.lower) {
+            continue;
+        }
+        if (++differing <= 8) {
+            std::fprintf(stderr, "site (v%u, s%u) differs\n", sv.value.raw(),
+                         sv.site.raw());
+        }
+    }
+    if (differing > 0)
+        std::fprintf(stderr, "%zu differing bounds total\n", differing);
+    return differing == 0;
+}
+
+void
+writeJson(const std::string &path, const std::vector<ProjectRow> &rows)
+{
+    std::FILE *out = std::fopen(path.c_str(), "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(out, "{\n  \"benchmark\": \"refine\",\n");
+    std::fprintf(out, "  \"projects\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const ProjectRow &r = rows[i];
+        std::fprintf(out,
+                     "    {\"name\": \"%s\", \"functions\": %d, "
+                     "\"insts\": %zu, \"refSeconds\": %.6f, "
+                     "\"fastSeconds\": %.6f, \"speedup\": %.2f, "
+                     "\"queries\": %zu, \"memoHits\": %zu, "
+                     "\"truncated\": %zu, \"steps\": %zu, "
+                     "\"refSteps\": %zu, \"peakCtxDepth\": %zu, "
+                     "\"identical\": %s}%s\n",
+                     r.name.c_str(), r.functions, r.insts, r.ref.seconds,
+                     r.fast.seconds, r.speedup(), r.fast.walk.queries,
+                     r.fast.walk.memoHits, r.fast.walk.truncated,
+                     r.fast.walk.steps, r.ref.walk.steps,
+                     r.fast.walk.peakCtxDepth,
+                     r.identical ? "true" : "false",
+                     i + 1 < rows.size() ? "," : "");
+    }
+    const ProjectRow &largest = rows.back();
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out, "  \"largestProject\": \"%s\",\n",
+                 largest.name.c_str());
+    std::fprintf(out, "  \"largestSpeedup\": %.2f\n}\n",
+                 largest.speedup());
+    std::fclose(out);
+    std::printf("\nwrote %s\n", path.c_str());
+}
+
+int
+runMicroRefine(bool quick, const std::string &out_path)
+{
+    std::printf("=== micro_refine: fast vs reference walker ===\n\n");
+
+    std::vector<std::string> picks =
+        quick ? std::vector<std::string>{"vsftpd", "memcached"}
+              : std::vector<std::string>{"vsftpd", "memcached", "tmux",
+                                         "redis", "vim", "python",
+                                         "ffmpeg"};
+    const int reps = quick ? 1 : 3;
+
+    HybridConfig ref_cfg = HybridConfig::full();
+    ref_cfg.walkEngine = WalkEngine::Reference;
+    ref_cfg.walkParallel = false;
+    HybridConfig fast_cfg = HybridConfig::full();
+    fast_cfg.walkEngine = WalkEngine::Fast;
+    fast_cfg.walkParallel = true;
+
+    std::vector<ProjectRow> rows;
+    for (const ProjectProfile &profile : standardCorpus()) {
+        if (std::find(picks.begin(), picks.end(), profile.name) ==
+                picks.end()) {
+            continue;
+        }
+        GeneratedProgram prog = buildProject(profile);
+        makeAcyclic(*prog.module);
+        MantaAnalyzer an(*prog.module);
+
+        ProjectRow row;
+        row.name = profile.name;
+        row.functions = profile.config.numFunctions;
+        row.insts = prog.module->numInsts();
+
+        std::unique_ptr<InferenceResult> ref, fast;
+        row.ref = timeEngine(an, ref_cfg, reps, &ref);
+        row.fast = timeEngine(an, fast_cfg, reps, &fast);
+        row.identical = sameBounds(*prog.module, *fast, *ref);
+        std::printf("  %-10s %4d funcs %7zu insts  ref %.3fs  "
+                    "fast %.3fs  %.2fx %s\n",
+                    row.name.c_str(), row.functions, row.insts,
+                    row.ref.seconds, row.fast.seconds, row.speedup(),
+                    row.identical ? "" : " BOUNDS DIFFER");
+        std::fflush(stdout);
+        rows.push_back(std::move(row));
+    }
+
+    AsciiTable table;
+    table.setHeader({"project", "#funcs", "#insts", "ref (s)", "fast (s)",
+                     "speedup", "queries", "memo hits", "truncated",
+                     "peak ctx", "identical"});
+    bool all_identical = true;
+    for (const ProjectRow &r : rows) {
+        all_identical &= r.identical;
+        table.addRow({r.name, std::to_string(r.functions),
+                      std::to_string(r.insts), fmtDouble(r.ref.seconds, 4),
+                      fmtDouble(r.fast.seconds, 4),
+                      fmtDouble(r.speedup(), 2) + "x",
+                      std::to_string(r.fast.walk.queries),
+                      std::to_string(r.fast.walk.memoHits),
+                      std::to_string(r.fast.walk.truncated),
+                      std::to_string(r.fast.walk.peakCtxDepth),
+                      r.identical ? "yes" : "NO"});
+    }
+    std::printf("\n%s", table.render().c_str());
+
+    if (!rows.empty())
+        writeJson(out_path, rows);
+    if (!all_identical) {
+        std::fprintf(stderr, "FAIL: fast and reference bounds differ\n");
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace manta
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string out_path = "BENCH_refine.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out_path = argv[++i];
+    }
+    return manta::runMicroRefine(quick, out_path);
+}

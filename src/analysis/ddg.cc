@@ -10,16 +10,15 @@
 
 namespace manta {
 
-const std::vector<std::uint32_t> Ddg::none_;
-
 Ddg::Ddg(const Module &module, const PointsTo &pts)
     : module_(module), pts_(pts)
 {
-    out_.assign(module.numValues(), {});
-    in_.assign(module.numValues(), {});
+    build_out_.assign(module.numValues(), {});
+    build_in_.assign(module.numValues(), {});
     buildSsaEdges();
     buildMemoryEdges();
     buildCallEdges();
+    packAdjacency();
 }
 
 void
@@ -29,24 +28,57 @@ Ddg::addEdge(ValueId from, ValueId to, DepKind kind, InstId site)
         return;
     const auto index = static_cast<std::uint32_t>(edges_.size());
     edges_.push_back(Edge{from, to, kind, site, false});
-    out_[from.index()].push_back(index);
-    in_[to.index()].push_back(index);
+    build_out_[from.index()].push_back(index);
+    build_in_[to.index()].push_back(index);
 }
 
-const std::vector<std::uint32_t> &
+namespace {
+
+void
+packCsr(std::vector<std::vector<std::uint32_t>> &build,
+        std::vector<std::uint32_t> &data, std::vector<std::uint32_t> &start)
+{
+    start.resize(build.size() + 1);
+    std::uint32_t total = 0;
+    for (std::size_t i = 0; i < build.size(); ++i) {
+        start[i] = total;
+        total += static_cast<std::uint32_t>(build[i].size());
+    }
+    start[build.size()] = total;
+    data.reserve(total);
+    for (const auto &row : build)
+        data.insert(data.end(), row.begin(), row.end());
+    build.clear();
+    build.shrink_to_fit();
+}
+
+} // namespace
+
+void
+Ddg::packAdjacency()
+{
+    packCsr(build_out_, out_data_, out_start_);
+    packCsr(build_in_, in_data_, in_start_);
+}
+
+EdgeRange
 Ddg::outEdges(ValueId value) const
 {
-    if (!value.valid() || value.index() >= out_.size())
-        return none_;
-    return out_[value.index()];
+    if (!value.valid() || value.index() + 1 >= out_start_.size())
+        return EdgeRange(nullptr, nullptr);
+    const std::uint32_t *base = out_data_.data();
+    return EdgeRange(base + out_start_[value.index()],
+                     base + out_start_[value.index() + 1]);
 }
 
-const std::vector<std::uint32_t> &
+EdgeRange
 Ddg::inEdges(ValueId value) const
 {
-    if (!value.valid() || value.index() >= in_.size())
-        return none_;
-    return in_[value.index()];
+    if (!value.valid() || value.index() + 1 >= in_start_.size())
+        return EdgeRange(nullptr, nullptr);
+    const std::uint32_t *base = in_data_.data();
+    return EdgeRange(base + in_start_[value.index()],
+                     base + in_start_[value.index() + 1]);
 }
 
 void

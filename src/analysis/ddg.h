@@ -50,6 +50,30 @@ isAliasEdge(DepKind kind)
            kind == DepKind::CallRet;
 }
 
+/**
+ * A contiguous run of edge indices (one node's adjacency) inside the
+ * graph's CSR-packed arrays. Iterates in edge insertion order, which
+ * traversal determinism relies on.
+ */
+class EdgeRange
+{
+  public:
+    EdgeRange(const std::uint32_t *begin, const std::uint32_t *end)
+        : begin_(begin), end_(end)
+    {}
+
+    const std::uint32_t *begin() const { return begin_; }
+    const std::uint32_t *end() const { return end_; }
+    std::size_t size() const { return static_cast<std::size_t>(end_ - begin_); }
+    bool empty() const { return begin_ == end_; }
+    std::uint32_t front() const { return *begin_; }
+    std::uint32_t operator[](std::size_t i) const { return begin_[i]; }
+
+  private:
+    const std::uint32_t *begin_;
+    const std::uint32_t *end_;
+};
+
 /** The data dependence graph of a module. */
 class Ddg
 {
@@ -68,9 +92,15 @@ class Ddg
     std::size_t numEdges() const { return edges_.size(); }
     const Edge &edge(std::uint32_t index) const { return edges_[index]; }
 
-    /** Indices of edges leaving / entering a value. */
-    const std::vector<std::uint32_t> &outEdges(ValueId value) const;
-    const std::vector<std::uint32_t> &inEdges(ValueId value) const;
+    /**
+     * Indices of edges leaving / entering a value. Adjacency is packed
+     * into flat CSR arrays once at construction (the per-node vectors
+     * used while building are discarded), so the hot traversal loops
+     * touch two cache lines per node instead of chasing a
+     * vector-of-vectors indirection.
+     */
+    EdgeRange outEdges(ValueId value) const;
+    EdgeRange inEdges(ValueId value) const;
 
     /** Mark an edge pruned; traversals will skip it. */
     void prune(std::uint32_t index) { edges_[index].pruned = true; }
@@ -89,13 +119,17 @@ class Ddg
     void buildSsaEdges();
     void buildMemoryEdges();
     void buildCallEdges();
+    void packAdjacency();
 
     const Module &module_;
     const PointsTo &pts_;
     std::vector<Edge> edges_;
-    std::vector<std::vector<std::uint32_t>> out_;
-    std::vector<std::vector<std::uint32_t>> in_;
-    static const std::vector<std::uint32_t> none_;
+    /** Build-time adjacency; released by packAdjacency(). */
+    std::vector<std::vector<std::uint32_t>> build_out_;
+    std::vector<std::vector<std::uint32_t>> build_in_;
+    /** CSR-packed adjacency (start has numValues + 1 entries). */
+    std::vector<std::uint32_t> out_data_, out_start_;
+    std::vector<std::uint32_t> in_data_, in_start_;
 };
 
 } // namespace manta

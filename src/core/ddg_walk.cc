@@ -1,13 +1,26 @@
 #include "core/ddg_walk.h"
 
+#include <cstdlib>
 #include <set>
 #include <unordered_set>
 
 namespace manta {
 
+WalkEngine
+defaultWalkEngine()
+{
+    static const WalkEngine engine = []() {
+        const char *env = std::getenv("MANTA_WALK_REF");
+        const bool ref = env != nullptr && env[0] != '\0' &&
+                         !(env[0] == '0' && env[1] == '\0');
+        return ref ? WalkEngine::Reference : WalkEngine::Fast;
+    }();
+    return engine;
+}
+
 namespace {
 
-/** A traversal frame: node plus calling-context stack. */
+/** Reference-engine traversal frame: node plus context stack copy. */
 struct Frame
 {
     ValueId node;
@@ -35,6 +48,13 @@ keyOf(const Frame &f)
     return VisitKey{f.node.raw(),
                     f.ctx.empty() ? 0xffffffffu : f.ctx.back().raw()};
 }
+
+/** Fast-engine frame: two ids, trivially copyable. */
+struct FastFrame
+{
+    std::uint32_t node;
+    std::uint32_t ctx;
+};
 
 } // namespace
 
@@ -75,8 +95,98 @@ DdgWalker::arithEdgeFeasible(const Ddg::Edge &edge) const
     return true;
 }
 
+bool
+DdgWalker::edgeFeasibleCached(std::uint32_t index, const Ddg::Edge &edge)
+{
+    if (edge.kind != DepKind::PtrArith)
+        return true;
+    if (edge_feasible_.empty())
+        edge_feasible_.assign(ddg_.numEdges(), 0);
+    std::uint8_t &slot = edge_feasible_[index];
+    if (slot == 0)
+        slot = arithEdgeFeasible(edge) ? 1 : 2;
+    return slot == 1;
+}
+
 std::vector<ValueId>
 DdgWalker::findRoots(ValueId v)
+{
+    ++stats_.queries;
+    std::vector<ValueId> roots = engine_ == WalkEngine::Fast
+                                     ? findRootsFast(v)
+                                     : findRootsRef(v);
+    if (truncated_)
+        ++stats_.truncated;
+    return roots;
+}
+
+std::vector<ValueId>
+DdgWalker::findRootsFast(ValueId v)
+{
+    truncated_ = false;
+    visited_.ensure(v.raw() + 1);
+    root_seen_.ensure(v.raw() + 1);
+    visited_.newEpoch();
+    root_seen_.newEpoch();
+
+    std::vector<ValueId> roots;
+    std::vector<FastFrame> work;
+    work.push_back(FastFrame{v.raw(), CtxInterner::kEmpty});
+    visited_.insert(v.raw(), CtxInterner::kNoSite);
+
+    std::size_t steps = 0;
+    while (!work.empty()) {
+        if (++steps > budget_.maxVisited) {
+            truncated_ = true;
+            break;
+        }
+        const FastFrame frame = work.back();
+        work.pop_back();
+
+        bool expanded = false;
+        const ValueId node(static_cast<ValueId::RawType>(frame.node));
+        for (const auto idx : ddg_.inEdges(node)) {
+            const Ddg::Edge &edge = ddg_.edge(idx);
+            if (edge.pruned || !isAliasEdge(edge.kind) ||
+                    !edgeFeasibleCached(idx, edge)) {
+                continue;
+            }
+            std::uint32_t ctx = frame.ctx;
+            if (edge.kind == DepKind::CallArg) {
+                // formal -> actual: exiting the callee.
+                if (ctx != CtxInterner::kEmpty) {
+                    if (interner_.top(ctx) != edge.site.raw())
+                        continue; // CFL-invalid
+                    ctx = interner_.pop(ctx);
+                }
+            } else if (edge.kind == DepKind::CallRet) {
+                // call result -> return operand: entering the callee.
+                if (interner_.depth(ctx) >= budget_.maxStack)
+                    continue;
+                ctx = interner_.push(ctx, edge.site);
+                if (interner_.depth(ctx) > stats_.peakCtxDepth)
+                    stats_.peakCtxDepth = interner_.depth(ctx);
+            }
+            expanded = true;
+            const std::uint32_t to = edge.from.raw();
+            visited_.ensure(to + 1);
+            if (visited_.insert(to, interner_.top(ctx)))
+                work.push_back(FastFrame{to, ctx});
+        }
+        if (!expanded) {
+            root_seen_.ensure(frame.node + 1);
+            if (root_seen_.mark(frame.node))
+                roots.push_back(node);
+        }
+    }
+    stats_.steps += steps;
+    if (roots.empty())
+        roots.push_back(v); // Algorithm 1 lines 18-19
+    return roots;
+}
+
+std::vector<ValueId>
+DdgWalker::findRootsRef(ValueId v)
 {
     truncated_ = false;
     std::vector<ValueId> roots;
@@ -117,6 +227,8 @@ DdgWalker::findRoots(ValueId v)
                 if (next.ctx.size() >= budget_.maxStack)
                     continue;
                 next.ctx.push_back(edge.site);
+                if (next.ctx.size() > stats_.peakCtxDepth)
+                    stats_.peakCtxDepth = next.ctx.size();
             }
             expanded = true;
             if (visited.insert(keyOf(next)).second)
@@ -125,6 +237,7 @@ DdgWalker::findRoots(ValueId v)
         if (!expanded && root_set.insert(frame.node.raw()).second)
             roots.push_back(frame.node);
     }
+    stats_.steps += steps;
     if (roots.empty())
         roots.push_back(v); // Algorithm 1 lines 18-19
     return roots;
@@ -132,6 +245,75 @@ DdgWalker::findRoots(ValueId v)
 
 std::vector<TypeRef>
 DdgWalker::collectTypes(ValueId root, const HintIndex &hints)
+{
+    ++stats_.queries;
+    std::vector<TypeRef> types = engine_ == WalkEngine::Fast
+                                     ? collectTypesFast(root, hints)
+                                     : collectTypesRef(root, hints);
+    if (truncated_)
+        ++stats_.truncated;
+    return types;
+}
+
+std::vector<TypeRef>
+DdgWalker::collectTypesFast(ValueId root, const HintIndex &hints)
+{
+    truncated_ = false;
+    visited_.ensure(root.raw() + 1);
+    visited_.newEpoch();
+
+    std::vector<TypeRef> types;
+    std::vector<FastFrame> work;
+    work.push_back(FastFrame{root.raw(), CtxInterner::kEmpty});
+    visited_.insert(root.raw(), CtxInterner::kNoSite);
+
+    std::size_t steps = 0;
+    while (!work.empty()) {
+        if (++steps > budget_.maxVisited) {
+            truncated_ = true;
+            break;
+        }
+        const FastFrame frame = work.back();
+        work.pop_back();
+
+        const ValueId node(static_cast<ValueId::RawType>(frame.node));
+        for (const TypeHint &hint : hints.of(node))
+            types.push_back(hint.type);
+
+        for (const auto idx : ddg_.outEdges(node)) {
+            const Ddg::Edge &edge = ddg_.edge(idx);
+            if (edge.pruned || !isAliasEdge(edge.kind) ||
+                    !edgeFeasibleCached(idx, edge)) {
+                continue;
+            }
+            std::uint32_t ctx = frame.ctx;
+            if (edge.kind == DepKind::CallArg) {
+                // actual -> formal: entering the callee.
+                if (interner_.depth(ctx) >= budget_.maxStack)
+                    continue;
+                ctx = interner_.push(ctx, edge.site);
+                if (interner_.depth(ctx) > stats_.peakCtxDepth)
+                    stats_.peakCtxDepth = interner_.depth(ctx);
+            } else if (edge.kind == DepKind::CallRet) {
+                // return operand -> call result: exiting the callee.
+                if (ctx != CtxInterner::kEmpty) {
+                    if (interner_.top(ctx) != edge.site.raw())
+                        continue; // CFL-invalid
+                    ctx = interner_.pop(ctx);
+                }
+            }
+            const std::uint32_t to = edge.to.raw();
+            visited_.ensure(to + 1);
+            if (visited_.insert(to, interner_.top(ctx)))
+                work.push_back(FastFrame{to, ctx});
+        }
+    }
+    stats_.steps += steps;
+    return types;
+}
+
+std::vector<TypeRef>
+DdgWalker::collectTypesRef(ValueId root, const HintIndex &hints)
 {
     truncated_ = false;
     std::vector<TypeRef> types;
@@ -166,6 +348,8 @@ DdgWalker::collectTypes(ValueId root, const HintIndex &hints)
                 if (next.ctx.size() >= budget_.maxStack)
                     continue;
                 next.ctx.push_back(edge.site);
+                if (next.ctx.size() > stats_.peakCtxDepth)
+                    stats_.peakCtxDepth = next.ctx.size();
             } else if (edge.kind == DepKind::CallRet) {
                 // return operand -> call result: exiting the callee.
                 if (!next.ctx.empty()) {
@@ -178,7 +362,56 @@ DdgWalker::collectTypes(ValueId root, const HintIndex &hints)
                 work.push_back(std::move(next));
         }
     }
+    stats_.steps += steps;
     return types;
+}
+
+const std::vector<ValueId> &
+DdgWalker::rootsOf(ValueId v)
+{
+    const auto it = roots_memo_.find(v.raw());
+    if (it != roots_memo_.end()) {
+        ++stats_.queries;
+        ++stats_.memoHits;
+        truncated_ = false;
+        return it->second;
+    }
+    std::vector<ValueId> roots = findRoots(v);
+    if (truncated_) {
+        // A budget-limited closure is an artifact of the budget, not a
+        // summary of the graph; never reuse it.
+        scratch_roots_ = std::move(roots);
+        return scratch_roots_;
+    }
+    return roots_memo_.emplace(v.raw(), std::move(roots)).first->second;
+}
+
+const std::vector<TypeRef> &
+DdgWalker::typesOf(ValueId root, const HintIndex &hints)
+{
+    if (engine_ == WalkEngine::Reference) {
+        // The reference engine recomputes every COLLECT_TYPES query,
+        // preserving the original walker's cost model for benchmarks.
+        scratch_types_ = collectTypes(root, hints);
+        return scratch_types_;
+    }
+    if (memo_hints_ != &hints) {
+        types_memo_.clear();
+        memo_hints_ = &hints;
+    }
+    const auto it = types_memo_.find(root.raw());
+    if (it != types_memo_.end()) {
+        ++stats_.queries;
+        ++stats_.memoHits;
+        truncated_ = false;
+        return it->second;
+    }
+    std::vector<TypeRef> types = collectTypes(root, hints);
+    if (truncated_) {
+        scratch_types_ = std::move(types);
+        return scratch_types_;
+    }
+    return types_memo_.emplace(root.raw(), std::move(types)).first->second;
 }
 
 } // namespace manta

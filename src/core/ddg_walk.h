@@ -13,15 +13,43 @@
  * environment first ("resolve the type of operands first and perform
  * feasibility checking", Section 4.2.1): a numeric operand cannot be
  * the alias root of a pointer result.
+ *
+ * Two engines compute identical answers:
+ *
+ *  - The **fast engine** (default) represents a calling context as one
+ *    32-bit id into a hash-consed context tree (push/pop/top are O(1)
+ *    and a frame is two words, where the reference copies a heap
+ *    vector per edge crossing), keeps visited/root marks in
+ *    epoch-stamped flat arrays reused across queries with zero
+ *    clearing, caches pointer-arithmetic feasibility per edge, and
+ *    memoizes whole findRoots/collectTypes closures per start node so
+ *    the thousands of over-approximated values queried in a refinement
+ *    pass share work. Truncated (budget-limited) queries are never
+ *    memoized.
+ *  - The **reference engine** (`MANTA_WALK_REF=1`, or an explicit
+ *    constructor argument) is the original walker: a fresh std::set
+ *    visited per query, a std::vector context stack copied on every
+ *    crossing, no memoization. Kept for differential testing and as
+ *    the benchmark baseline (`bench/micro_refine`).
+ *
+ * Both engines expand the same frames in the same order, so roots and
+ * collected types come back in identical order, element for element.
+ *
+ * A walker instance assumes the DDG's pruning state and the type
+ * environment are frozen for its lifetime; the refinement stages
+ * create one walker per pass (or per query batch) to guarantee this.
  */
 #ifndef MANTA_CORE_DDG_WALK_H
 #define MANTA_CORE_DDG_WALK_H
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "analysis/ddg.h"
 #include "core/hints.h"
 #include "core/unify.h"
+#include "support/flat_map.h"
 
 namespace manta {
 
@@ -32,6 +60,177 @@ struct WalkBudget
     std::size_t maxStack = 32;      ///< Calling-context depth.
 };
 
+/** Which traversal engine answers walker queries. */
+enum class WalkEngine : std::uint8_t {
+    Fast,      ///< Interned contexts + epochs + summaries (default).
+    Reference, ///< Original per-query-allocating walker.
+};
+
+/** Fast unless MANTA_WALK_REF=1 is set in the environment. */
+WalkEngine defaultWalkEngine();
+
+/** Work counters for one walker (aggregated into InferenceProfile). */
+struct WalkStats
+{
+    std::size_t queries = 0;     ///< findRoots/collectTypes calls.
+    std::size_t memoHits = 0;    ///< Queries answered from summaries.
+    std::size_t truncated = 0;   ///< Queries that hit maxVisited.
+    std::size_t steps = 0;       ///< Frames expanded across all queries.
+    std::size_t peakCtxDepth = 0; ///< Deepest calling context reached.
+
+    void
+    merge(const WalkStats &other)
+    {
+        queries += other.queries;
+        memoHits += other.memoHits;
+        truncated += other.truncated;
+        steps += other.steps;
+        if (other.peakCtxDepth > peakCtxDepth)
+            peakCtxDepth = other.peakCtxDepth;
+    }
+};
+
+/**
+ * Hash-consed calling-context tree: a context stack is an id; pushing
+ * a call site maps (parent id, site) to a child id, popping returns
+ * the parent. Identical stacks always intern to the same id, so the
+ * visited key's "context top" comparison degenerates to comparing two
+ * 32-bit sites, and a traversal frame carries no heap state.
+ */
+class CtxInterner
+{
+  public:
+    static constexpr std::uint32_t kEmpty = 0;
+    /** Sentinel "no site" top used by visited keys for empty stacks. */
+    static constexpr std::uint32_t kNoSite = 0xffffffffu;
+
+    CtxInterner() { nodes_.push_back(Node{kEmpty, kNoSite, 0}); }
+
+    /** Child of `ctx` through call site `site` (interned). */
+    std::uint32_t
+    push(std::uint32_t ctx, InstId site)
+    {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(ctx) << 32) | site.raw();
+        const auto [id, inserted] =
+            map_.insert(key, static_cast<std::uint32_t>(nodes_.size()));
+        if (inserted)
+            nodes_.push_back(Node{ctx, site.raw(), nodes_[ctx].depth + 1});
+        return id;
+    }
+
+    std::uint32_t pop(std::uint32_t ctx) const { return nodes_[ctx].parent; }
+
+    /** Raw call site on top, or kNoSite for the empty context. */
+    std::uint32_t top(std::uint32_t ctx) const { return nodes_[ctx].site; }
+
+    std::uint32_t depth(std::uint32_t ctx) const { return nodes_[ctx].depth; }
+
+  private:
+    struct Node
+    {
+        std::uint32_t parent;
+        std::uint32_t site;
+        std::uint32_t depth;
+    };
+
+    std::vector<Node> nodes_;
+    FlatU64Map map_;
+};
+
+/**
+ * Per-node (node, context-top) visited marks with a generation
+ * counter: starting a new query bumps the epoch instead of clearing
+ * anything, and a slot's top-list is lazily reset on its first touch
+ * of the new epoch. No allocation in steady state.
+ */
+class EpochVisited
+{
+  public:
+    void
+    ensure(std::size_t nodes)
+    {
+        if (slots_.size() < nodes)
+            slots_.resize(nodes);
+    }
+
+    void newEpoch() { ++epoch_; }
+
+    /** True when (node, top) had not been visited this epoch. */
+    bool
+    insert(std::uint32_t node, std::uint32_t top)
+    {
+        Slot &slot = slots_[node];
+        if (slot.epoch != epoch_) {
+            slot.epoch = epoch_;
+            slot.first = top;
+            slot.rest.clear();
+            return true;
+        }
+        if (slot.first == top)
+            return false;
+        for (const std::uint32_t seen : slot.rest) {
+            if (seen == top)
+                return false;
+        }
+        slot.rest.push_back(top);
+        return true;
+    }
+
+  private:
+    struct Slot
+    {
+        std::uint64_t epoch = 0;
+        std::uint32_t first = 0;
+        std::vector<std::uint32_t> rest; ///< Rarely used; reused capacity.
+    };
+
+    std::vector<Slot> slots_;
+    std::uint64_t epoch_ = 0;
+};
+
+/** Epoch-stamped once-per-query membership flags (root sets). */
+class EpochFlags
+{
+  public:
+    void
+    ensure(std::size_t nodes)
+    {
+        if (marks_.size() < nodes)
+            marks_.resize(nodes, 0);
+    }
+
+    void newEpoch() { ++epoch_; }
+
+    /** Mark `node` (grows on demand); true when not yet marked. */
+    bool
+    mark(std::uint32_t node)
+    {
+        if (node >= marks_.size())
+            marks_.resize(node + 1, 0);
+        if (marks_[node] == epoch_)
+            return false;
+        marks_[node] = epoch_;
+        return true;
+    }
+
+    /**
+     * Membership test. Queried ids are NOT bounded by the marked set
+     * (flow refinement probes hint roots against a candidate's root
+     * set), so ids past the mark frontier answer false rather than
+     * reading out of bounds.
+     */
+    bool
+    marked(std::uint32_t node) const
+    {
+        return node < marks_.size() && marks_[node] == epoch_;
+    }
+
+  private:
+    std::vector<std::uint64_t> marks_;
+    std::uint64_t epoch_ = 1;
+};
+
 /** Context-validated walks over the DDG. */
 class DdgWalker
 {
@@ -39,12 +238,18 @@ class DdgWalker
     /**
      * @param ddg The dependence graph (pruned edges are skipped).
      * @param env Flow-insensitive bounds for arithmetic feasibility;
-     *            may be null (no feasibility pruning).
+     *            may be null (no feasibility pruning). Only the
+     *            mutation-free const read path is used.
      * @param types The shared type table.
+     * @param budget Traversal budgets.
+     * @param engine Fast or reference engine (MANTA_WALK_REF=1 flips
+     *               the default to the reference).
      */
-    DdgWalker(const Ddg &ddg, TypeEnv *env, TypeTable &types,
-              WalkBudget budget = {})
-        : ddg_(ddg), env_(env), types_(types), budget_(budget)
+    DdgWalker(const Ddg &ddg, const TypeEnv *env, TypeTable &types,
+              WalkBudget budget = {},
+              WalkEngine engine = defaultWalkEngine())
+        : ddg_(ddg), env_(env), types_(types), budget_(budget),
+          engine_(engine)
     {}
 
     /**
@@ -59,18 +264,69 @@ class DdgWalker
      */
     std::vector<TypeRef> collectTypes(ValueId root, const HintIndex &hints);
 
+    /**
+     * Memoized FIND_ROOTS: the returned reference stays valid until
+     * the next walker call. Both engines memoize here (the flow stage
+     * always cached roots); truncated queries are never cached.
+     */
+    const std::vector<ValueId> &rootsOf(ValueId v);
+
+    /**
+     * Memoized COLLECT_TYPES (fast engine only; the reference engine
+     * recomputes, preserving the original cost model). All calls on
+     * one walker must pass the same HintIndex.
+     */
+    const std::vector<TypeRef> &typesOf(ValueId root,
+                                        const HintIndex &hints);
+
     /** Did the previous query exhaust its budget? */
     bool lastQueryTruncated() const { return truncated_; }
 
-  private:
-    /** Feasibility of traversing a ptr-arith edge as an alias link. */
+    /** Work counters accumulated across every query on this walker. */
+    const WalkStats &stats() const { return stats_; }
+
+    WalkEngine engine() const { return engine_; }
+
+    /** The context tree, shared with the flow stage's CFG walks. */
+    CtxInterner &interner() { return interner_; }
+
+    /**
+     * Feasibility of traversing a ptr-arith edge as an alias link
+     * (cached per edge by the fast engine; the environment and the
+     * pruning state are frozen for the walker's lifetime).
+     */
     bool arithEdgeFeasible(const Ddg::Edge &edge) const;
 
+  private:
+    std::vector<ValueId> findRootsFast(ValueId v);
+    std::vector<ValueId> findRootsRef(ValueId v);
+    std::vector<TypeRef> collectTypesFast(ValueId root,
+                                          const HintIndex &hints);
+    std::vector<TypeRef> collectTypesRef(ValueId root,
+                                         const HintIndex &hints);
+    bool edgeFeasibleCached(std::uint32_t index, const Ddg::Edge &edge);
+
     const Ddg &ddg_;
-    TypeEnv *env_;
+    const TypeEnv *env_;
     TypeTable &types_;
     WalkBudget budget_;
+    WalkEngine engine_;
     bool truncated_ = false;
+    WalkStats stats_;
+
+    CtxInterner interner_;
+    EpochVisited visited_;
+    EpochFlags root_seen_;
+    /** Per-edge feasibility memo: 0 unknown, 1 feasible, 2 blocked. */
+    std::vector<std::uint8_t> edge_feasible_;
+
+    /** Cross-query summaries (non-truncated queries only). */
+    std::unordered_map<std::uint32_t, std::vector<ValueId>> roots_memo_;
+    std::unordered_map<std::uint32_t, std::vector<TypeRef>> types_memo_;
+    const HintIndex *memo_hints_ = nullptr;
+    /** Holds truncated (uncacheable) results for the by-ref accessors. */
+    std::vector<ValueId> scratch_roots_;
+    std::vector<TypeRef> scratch_types_;
 };
 
 } // namespace manta

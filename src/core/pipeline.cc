@@ -137,20 +137,24 @@ MantaAnalyzer::infer(const HybridConfig &config)
 
     auto run_cs = [&](const std::vector<ValueId> &candidates) {
         const ScopedSeconds cs_clock(result.profile_.csSeconds);
-        CtxRefinement cs(module_, *ddg_, *hints_, env_ref, config_.budget);
+        CtxRefinement cs(module_, *ddg_, *hints_, env_ref, config_.budget,
+                         config_.walkEngine, config_.walkParallel);
         CtxRefineResult cs_result = cs.run(candidates);
         result.profile_.csResolved = cs_result.resolved;
         result.profile_.csStillOver = cs_result.stillOver.size();
+        result.profile_.csWalk = cs_result.walk;
         for (const auto &[v, bp] : cs_result.refined)
             result.overlay_[v] = bp;
         return std::move(cs_result.stillOver);
     };
     auto run_fs = [&](const std::vector<ValueId> &candidates) {
         const ScopedSeconds fs_clock(result.profile_.fsSeconds);
-        FlowRefinement fs(module_, *ddg_, *hints_, env_ref, config_.budget);
+        FlowRefinement fs(module_, *ddg_, *hints_, env_ref, config_.budget,
+                          config_.walkEngine, config_.walkParallel);
         FlowRefineResult fs_result = fs.run(candidates);
         result.profile_.fsResolved = fs_result.resolved;
         result.profile_.fsLost = fs_result.lost;
+        result.profile_.fsWalk = fs_result.walk;
         std::vector<ValueId> still_over;
         for (const auto &[v, bp] : fs_result.refined) {
             result.overlay_[v] = bp;

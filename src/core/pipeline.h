@@ -45,6 +45,23 @@ struct HybridConfig
     bool fsBeforeCs = false;
     WalkBudget budget;
 
+    /**
+     * Which DDG/CFG traversal engine the refinement stages use. The
+     * default honors MANTA_WALK_REF=1 (reference engine); both engines
+     * produce bit-identical bounds — the reference exists for
+     * differential testing and as the benchmark baseline.
+     */
+    WalkEngine walkEngine = defaultWalkEngine();
+
+    /**
+     * Batch refinement traversals across the shared task pool (fast
+     * engine only; the reference engine always runs sequentially).
+     * Results are independent of MANTA_JOBS: the worklist is chunked
+     * at a fixed size and all type-table mutation happens in a
+     * sequential merge phase.
+     */
+    bool walkParallel = true;
+
     static HybridConfig
     fiOnly()
     {
@@ -96,6 +113,17 @@ struct InferenceProfile
     std::size_t fsLost = 0;      ///< Refined to unknown by flow stage.
     std::size_t hintCount = 0;
     double seconds = 0.0;        ///< End-to-end wall clock of infer().
+
+    /**
+     * Traversal work counters of the refinement stages (queries, memo
+     * hits, truncations, steps, peak calling-context depth), merged
+     * across every walker the stage ran. Bounds are engine- and
+     * job-count-independent; these counters are not (the reference
+     * engine never hits a memo, and sequential runs share one memo
+     * across the whole worklist where parallel runs share per-chunk).
+     */
+    WalkStats csWalk;  ///< Context-sensitive stage.
+    WalkStats fsWalk;  ///< Flow-sensitive stage.
 
     /**
      * Per-stage wall clock. Each infer() call runs on one thread, so
@@ -162,6 +190,23 @@ class InferenceResult
 
     /** Classification counts over all Argument/InstResult values. */
     StageStats finalStats() const;
+
+    /**
+     * Raw refinement overlays (variable- and site-level), exposed so
+     * differential harnesses (micro_refine, the walk_diff fuzz oracle)
+     * can compare two results bound-for-bound without enumerating
+     * every (value, site) pair.
+     */
+    const std::unordered_map<ValueId, BoundPair> &
+    overlay() const
+    {
+        return overlay_;
+    }
+    const std::unordered_map<SiteVar, BoundPair> &
+    siteOverlay() const
+    {
+        return site_overlay_;
+    }
 
     /**
      * Build an oracle result from a ground-truth type map: every mapped

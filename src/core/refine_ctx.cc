@@ -1,25 +1,82 @@
 #include "core/refine_ctx.h"
 
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/task_pool.h"
+
 namespace manta {
+
+void
+CtxRefinement::collectFor(DdgWalker &walker, ValueId v,
+                          std::vector<TypeRef> &out) const
+{
+    if (walker.engine() == WalkEngine::Fast) {
+        for (const ValueId root : walker.rootsOf(v)) {
+            const auto &collected = walker.typesOf(root, hints_);
+            out.insert(out.end(), collected.begin(), collected.end());
+        }
+    } else {
+        // The reference engine recomputes every query, preserving the
+        // original walker's cost model.
+        for (const ValueId root : walker.findRoots(v)) {
+            const auto collected = walker.collectTypes(root, hints_);
+            out.insert(out.end(), collected.begin(), collected.end());
+        }
+    }
+}
 
 CtxRefineResult
 CtxRefinement::run(const std::vector<ValueId> &over_approx)
 {
     CtxRefineResult result;
     TypeTable &tt = module_.types();
-    DdgWalker walker(ddg_, &env_, tt, budget_);
+    const std::size_t n = over_approx.size();
+    std::vector<std::vector<TypeRef>> collected(n);
 
-    for (const ValueId v : over_approx) {
-        std::vector<TypeRef> types;
-        for (const ValueId root : walker.findRoots(v)) {
-            const auto collected = walker.collectTypes(root, hints_);
-            types.insert(types.end(), collected.begin(), collected.end());
+    // Phase 1: traversal. Reads only frozen state (graph, environment,
+    // hints, interned types), so chunks can run on the shared pool.
+    if (parallel_ && engine_ == WalkEngine::Fast && n > 1) {
+        const std::size_t chunks = (n + kChunk - 1) / kChunk;
+        std::vector<WalkStats> stats(chunks);
+        sharedPool().parallelFor(chunks, [&](std::size_t c) {
+            DdgWalker walker(ddg_, &env_, tt, budget_, engine_);
+            const std::size_t lo = c * kChunk;
+            const std::size_t hi = std::min(n, lo + kChunk);
+            for (std::size_t i = lo; i < hi; ++i)
+                collectFor(walker, over_approx[i], collected[i]);
+            stats[c] = walker.stats();
+        });
+        for (const WalkStats &s : stats)
+            result.walk.merge(s);
+    } else {
+        DdgWalker walker(ddg_, &env_, tt, budget_, engine_);
+        for (std::size_t i = 0; i < n; ++i)
+            collectFor(walker, over_approx[i], collected[i]);
+        result.walk = walker.stats();
+    }
+
+    // Phase 2: merge, sequentially in worklist order (join/meet intern
+    // new type nodes; the interning order defines TypeRef ids).
+    std::vector<TypeRef> uniq;
+    std::unordered_set<std::uint32_t> seen;
+    for (std::size_t i = 0; i < n; ++i) {
+        const ValueId v = over_approx[i];
+        // Overlapping root closures surface the same annotation many
+        // times; joining a duplicate is not always a no-op once joins
+        // have widened past it, so dedup (keeping first occurrence)
+        // before folding.
+        uniq.clear();
+        seen.clear();
+        for (const TypeRef t : collected[i]) {
+            if (seen.insert(t.raw()).second)
+                uniq.push_back(t);
         }
-        if (types.empty()) {
+        if (uniq.empty()) {
             result.stillOver.push_back(v);
             continue;
         }
-        BoundPair refined(tt.joinAll(types), tt.meetAll(types));
+        BoundPair refined(tt.joinAll(uniq), tt.meetAll(uniq));
         refined = BoundPair::refineWithin(tt, refined,
                                           env_.boundsOf(TypeVar::of(v)));
         const TypeClass cls = refined.classify(tt);

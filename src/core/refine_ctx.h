@@ -8,6 +8,17 @@
  * LUB/GLB replace the variable's bounds. Context validity removes the
  * over-approximation that polymorphic functions introduce (Figure 7),
  * and alias-restricted traversal avoids merging non-aliased variables.
+ *
+ * The stage runs in two phases so the traversal work can be batched
+ * across the shared task pool: a walk phase that only reads the graph,
+ * the environment and the hint index (each worker owns a DdgWalker
+ * with its own memo tables and scratch), and a sequential merge phase
+ * that performs every TypeTable::join/meet in worklist order — the
+ * table interns new nodes on join, which is neither thread-safe nor
+ * order-independent at the TypeRef-id level. The worklist is split
+ * into fixed-size chunks independent of the job count, so memo
+ * sharing (and therefore the walk statistics) do not depend on
+ * MANTA_JOBS.
  */
 #ifndef MANTA_CORE_REFINE_CTX_H
 #define MANTA_CORE_REFINE_CTX_H
@@ -30,6 +41,9 @@ struct CtxRefineResult
 
     /** Variables still over-approximated after refinement. */
     std::vector<ValueId> stillOver;
+
+    /** Traversal work counters, merged across all walkers. */
+    WalkStats walk;
 };
 
 /** The context-sensitive refinement stage. */
@@ -37,20 +51,32 @@ class CtxRefinement
 {
   public:
     CtxRefinement(Module &module, const Ddg &ddg, const HintIndex &hints,
-                  TypeEnv &env, WalkBudget budget = {})
+                  TypeEnv &env, WalkBudget budget = {},
+                  WalkEngine engine = defaultWalkEngine(),
+                  bool parallel = false)
         : module_(module), ddg_(ddg), hints_(hints), env_(env),
-          budget_(budget)
+          budget_(budget), engine_(engine), parallel_(parallel)
     {}
 
     /** Refine every variable in `over_approx` (Algorithm 1). */
     CtxRefineResult run(const std::vector<ValueId> &over_approx);
 
   private:
+    /** FIND_ROOTS + COLLECT_TYPES for one variable, appended to `out`. */
+    void collectFor(DdgWalker &walker, ValueId v,
+                    std::vector<TypeRef> &out) const;
+
+    /** Worklist chunk size; fixed so results and statistics do not
+     *  depend on the worker count. */
+    static constexpr std::size_t kChunk = 128;
+
     Module &module_;
     const Ddg &ddg_;
     const HintIndex &hints_;
     TypeEnv &env_;
     WalkBudget budget_;
+    WalkEngine engine_;
+    bool parallel_;
 };
 
 } // namespace manta

@@ -1,35 +1,39 @@
 #include "core/refine_flow.h"
 
-#include <memory>
+#include <algorithm>
 #include <set>
 
-#include "support/error.h"
+#include "support/task_pool.h"
 
 namespace manta {
 
+/**
+ * Per-worker walk-phase scratch. The DdgWalker answers the alias-root
+ * queries (memoized within the worker); the interner/epoch structures
+ * back the fast CFG walks. Everything a worker touches beyond this is
+ * frozen for the whole phase.
+ */
+struct FlowRefinement::Worker
+{
+    Worker(const Ddg &ddg, const TypeEnv *env, TypeTable &types,
+           WalkBudget budget, WalkEngine engine)
+        : walker(ddg, env, types, budget, engine)
+    {}
+
+    DdgWalker walker;
+    CtxInterner ctx;        ///< Contexts for the CFG walk (call insts).
+    EpochVisited visited;   ///< (inst, ctx-top) marks for the CFG walk.
+    EpochFlags roots;       ///< Current candidate's alias-root set.
+    WalkStats cfgStats;     ///< CFG-walk counters (walker has its own).
+};
+
 FlowRefinement::FlowRefinement(Module &module, const Ddg &ddg,
                                const HintIndex &hints, TypeEnv &env,
-                               WalkBudget budget)
+                               WalkBudget budget, WalkEngine engine,
+                               bool parallel)
     : module_(module), ddg_(ddg), hints_(hints), env_(env), budget_(budget),
-      walker_(ddg, &env, module.types(), budget), instIndex_(module)
-{
-    call_sites_.assign(module.numFuncs(), {});
-    for (std::size_t i = 0; i < module.numInsts(); ++i) {
-        const InstId iid(static_cast<InstId::RawType>(i));
-        const Instruction &inst = module.inst(iid);
-        if (inst.op == Opcode::Call && inst.callee.valid())
-            call_sites_[inst.callee.index()].push_back(iid);
-    }
-}
-
-const std::vector<ValueId> &
-FlowRefinement::rootsOf(ValueId v)
-{
-    const auto it = roots_cache_.find(v.raw());
-    if (it != roots_cache_.end())
-        return it->second;
-    return roots_cache_.emplace(v.raw(), walker_.findRoots(v)).first->second;
-}
+      engine_(engine), parallel_(parallel), instIndex_(module)
+{}
 
 const Cfg &
 FlowRefinement::cfgOf(FuncId func)
@@ -42,6 +46,7 @@ FlowRefinement::cfgOf(FuncId func)
 
 namespace {
 
+/** Reference-engine CFG walk item: instruction plus context copy. */
 struct WalkItem
 {
     InstId inst;
@@ -68,12 +73,113 @@ keyOf(const WalkItem &item)
                     item.ctx.empty() ? 0xffffffffu : item.ctx.back().raw()};
 }
 
+/** Fast-engine CFG walk item: two ids. */
+struct FastItem
+{
+    std::uint32_t inst;
+    std::uint32_t ctx;
+};
+
 } // namespace
 
 std::vector<TypeRef>
-FlowRefinement::reachableTypes(
-    InstId site, const std::unordered_map<std::uint32_t, char> &roots)
+FlowRefinement::reachableTypesFast(Worker &w, InstId site)
 {
+    ++w.cfgStats.queries;
+    std::vector<TypeRef> types;
+    w.visited.ensure(site.raw() + 1);
+    w.visited.newEpoch();
+    std::vector<FastItem> work;
+    work.push_back(FastItem{site.raw(), CtxInterner::kEmpty});
+    w.visited.insert(site.raw(), CtxInterner::kNoSite);
+
+    std::size_t steps = 0;
+    while (!work.empty()) {
+        if (++steps > budget_.maxVisited) {
+            ++w.cfgStats.truncated;
+            break;
+        }
+        const FastItem item = work.back();
+        work.pop_back();
+
+        const InstId iid(static_cast<InstId::RawType>(item.inst));
+        const Instruction &inst = module_.inst(iid);
+
+        // Annotation check: the first alias annotation met along the
+        // path is collected and strong-updates (stops) the path.
+        bool stop = false;
+        for (const TypeHint &hint : hints_.at(iid)) {
+            for (const ValueId r : w.walker.rootsOf(hint.value)) {
+                if (w.roots.marked(r.raw())) {
+                    types.push_back(hint.type);
+                    stop = true;
+                    break;
+                }
+            }
+        }
+        if (stop)
+            continue;
+
+        auto enqueue = [&](InstId next, std::uint32_t ctx) {
+            w.visited.ensure(next.raw() + 1);
+            if (w.visited.insert(next.raw(), w.ctx.top(ctx)))
+                work.push_back(FastItem{next.raw(), ctx});
+        };
+
+        // Descend into direct callees: the callee body executes before
+        // control returns to this point.
+        if (inst.op == Opcode::Call && inst.callee.valid() &&
+                w.ctx.depth(item.ctx) < budget_.maxStack) {
+            const Function &callee = module_.func(inst.callee);
+            for (const BlockId bid : callee.blocks) {
+                const BasicBlock &bb = module_.block(bid);
+                if (bb.insts.empty())
+                    continue;
+                const Instruction &term = module_.inst(bb.insts.back());
+                if (term.op == Opcode::Ret) {
+                    const std::uint32_t ctx = w.ctx.push(item.ctx, iid);
+                    if (w.ctx.depth(ctx) > w.cfgStats.peakCtxDepth)
+                        w.cfgStats.peakCtxDepth = w.ctx.depth(ctx);
+                    enqueue(bb.insts.back(), ctx);
+                }
+            }
+        }
+
+        const BasicBlock &bb = module_.block(inst.parent);
+        const std::size_t pos = instIndex_.positionInBlock(iid);
+        if (pos > 0) {
+            enqueue(bb.insts[pos - 1], item.ctx);
+            continue;
+        }
+
+        const Cfg &cfg = cfgOf(bb.func);
+        for (const BlockId pred : cfg.preds(inst.parent)) {
+            const BasicBlock &pb = module_.block(pred);
+            if (!pb.insts.empty())
+                enqueue(pb.insts.back(), item.ctx);
+        }
+
+        // At the function entry: return to the call site we descended
+        // from. The flow-sensitive walk never ascends past its starting
+        // frame - collecting hints from arbitrary callers without a
+        // context is the context-sensitive stage's job, not this one's
+        // (mixing them would re-introduce the polymorphic merging that
+        // Section 4.2.1 exists to avoid).
+        const Function &fn = module_.func(bb.func);
+        if (inst.parent == fn.entry() && item.ctx != CtxInterner::kEmpty) {
+            const InstId ret_site(
+                static_cast<InstId::RawType>(w.ctx.top(item.ctx)));
+            enqueue(ret_site, w.ctx.pop(item.ctx));
+        }
+    }
+    w.cfgStats.steps += steps;
+    return types;
+}
+
+std::vector<TypeRef>
+FlowRefinement::reachableTypesRef(Worker &w, InstId site)
+{
+    ++w.cfgStats.queries;
     std::vector<TypeRef> types;
     std::set<VisitKey> visited;
     std::vector<WalkItem> work;
@@ -82,8 +188,10 @@ FlowRefinement::reachableTypes(
 
     std::size_t steps = 0;
     while (!work.empty()) {
-        if (++steps > budget_.maxVisited)
+        if (++steps > budget_.maxVisited) {
+            ++w.cfgStats.truncated;
             break;
+        }
         WalkItem item = std::move(work.back());
         work.pop_back();
 
@@ -93,9 +201,8 @@ FlowRefinement::reachableTypes(
         // path is collected and strong-updates (stops) the path.
         bool stop = false;
         for (const TypeHint &hint : hints_.at(item.inst)) {
-            const auto hr = rootsOf(hint.value);
-            for (const ValueId r : hr) {
-                if (roots.count(r.raw())) {
+            for (const ValueId r : w.walker.rootsOf(hint.value)) {
+                if (w.roots.marked(r.raw())) {
                     types.push_back(hint.type);
                     stop = true;
                     break;
@@ -124,6 +231,8 @@ FlowRefinement::reachableTypes(
                 if (term.op == Opcode::Ret) {
                     auto ctx = item.ctx;
                     ctx.push_back(item.inst);
+                    if (ctx.size() > w.cfgStats.peakCtxDepth)
+                        w.cfgStats.peakCtxDepth = ctx.size();
                     enqueue(bb.insts.back(), std::move(ctx));
                 }
             }
@@ -137,19 +246,15 @@ FlowRefinement::reachableTypes(
         }
 
         const Cfg &cfg = cfgOf(bb.func);
-        const auto &preds = cfg.preds(inst.parent);
-        for (const BlockId pred : preds) {
+        for (const BlockId pred : cfg.preds(inst.parent)) {
             const BasicBlock &pb = module_.block(pred);
             if (!pb.insts.empty())
                 enqueue(pb.insts.back(), item.ctx);
         }
 
         // At the function entry: return to the call site we descended
-        // from. The flow-sensitive walk never ascends past its starting
-        // frame - collecting hints from arbitrary callers without a
-        // context is the context-sensitive stage's job, not this one's
-        // (mixing them would re-introduce the polymorphic merging that
-        // Section 4.2.1 exists to avoid).
+        // from (never ascending past the starting frame; see the fast
+        // variant for why).
         const Function &fn = module_.func(bb.func);
         if (inst.parent == fn.entry() && !item.ctx.empty()) {
             auto ctx = item.ctx;
@@ -158,7 +263,40 @@ FlowRefinement::reachableTypes(
             enqueue(ret_site, std::move(ctx));
         }
     }
+    w.cfgStats.steps += steps;
     return types;
+}
+
+void
+FlowRefinement::processCandidate(Worker &w, ValueId v, CandidateOut &out)
+{
+    // Root set for the alias check.
+    w.roots.newEpoch();
+    for (const ValueId r : w.walker.rootsOf(v)) {
+        w.roots.ensure(r.raw() + 1);
+        w.roots.mark(r.raw());
+    }
+
+    // Sites: the def site plus every use site.
+    const Value &value = module_.value(v);
+    if (value.kind == ValueKind::InstResult) {
+        out.defSite = value.inst;
+    } else if (value.kind == ValueKind::Argument) {
+        const Function &fn = module_.func(value.argFunc);
+        if (fn.entry().valid() && !module_.block(fn.entry()).insts.empty())
+            out.defSite = module_.block(fn.entry()).insts.front();
+    }
+    if (out.defSite.valid())
+        out.sites.push_back(out.defSite);
+    for (const InstId user : instIndex_.users(v))
+        out.sites.push_back(user);
+
+    out.siteTypes.reserve(out.sites.size());
+    for (const InstId s : out.sites) {
+        out.siteTypes.push_back(engine_ == WalkEngine::Fast
+                                    ? reachableTypesFast(w, s)
+                                    : reachableTypesRef(w, s));
+    }
 }
 
 FlowRefineResult
@@ -166,34 +304,46 @@ FlowRefinement::run(const std::vector<ValueId> &candidates)
 {
     FlowRefineResult result;
     TypeTable &tt = module_.types();
+    const std::size_t n = candidates.size();
+    std::vector<CandidateOut> collected(n);
 
-    for (const ValueId v : candidates) {
-        // Root set for the alias check.
-        std::unordered_map<std::uint32_t, char> roots;
-        for (const ValueId r : rootsOf(v))
-            roots.emplace(r.raw(), 1);
+    // Phase 1: traversal, reading only frozen state.
+    if (parallel_ && engine_ == WalkEngine::Fast && n > 1) {
+        // Build every per-function CFG up front; the lazy cache would
+        // be a write from multiple workers.
+        for (std::size_t f = 0; f < module_.numFuncs(); ++f)
+            cfgOf(FuncId(static_cast<FuncId::RawType>(f)));
+        const std::size_t chunks = (n + kChunk - 1) / kChunk;
+        std::vector<WalkStats> stats(chunks);
+        sharedPool().parallelFor(chunks, [&](std::size_t c) {
+            Worker w(ddg_, &env_, tt, budget_, engine_);
+            const std::size_t lo = c * kChunk;
+            const std::size_t hi = std::min(n, lo + kChunk);
+            for (std::size_t i = lo; i < hi; ++i)
+                processCandidate(w, candidates[i], collected[i]);
+            stats[c] = w.walker.stats();
+            stats[c].merge(w.cfgStats);
+        });
+        for (const WalkStats &s : stats)
+            result.walk.merge(s);
+    } else {
+        Worker w(ddg_, &env_, tt, budget_, engine_);
+        for (std::size_t i = 0; i < n; ++i)
+            processCandidate(w, candidates[i], collected[i]);
+        result.walk = w.walker.stats();
+        result.walk.merge(w.cfgStats);
+    }
 
-        // Sites: the def site plus every use site.
-        std::vector<InstId> sites;
-        InstId def_site;
-        const Value &value = module_.value(v);
-        if (value.kind == ValueKind::InstResult) {
-            def_site = value.inst;
-        } else if (value.kind == ValueKind::Argument) {
-            const Function &fn = module_.func(value.argFunc);
-            if (fn.entry().valid() &&
-                    !module_.block(fn.entry()).insts.empty()) {
-                def_site = module_.block(fn.entry()).insts.front();
-            }
-        }
-        if (def_site.valid())
-            sites.push_back(def_site);
-        for (const InstId user : instIndex_.users(v))
-            sites.push_back(user);
+    // Phase 2: merge, sequentially in candidate/site order (join/meet
+    // intern new type nodes; interning order defines TypeRef ids).
+    for (std::size_t i = 0; i < n; ++i) {
+        const ValueId v = candidates[i];
+        const CandidateOut &out = collected[i];
 
         BoundPair def_bp = BoundPair::anyType(tt);
-        for (const InstId s : sites) {
-            const auto types = reachableTypes(s, roots);
+        for (std::size_t j = 0; j < out.sites.size(); ++j) {
+            const InstId s = out.sites[j];
+            const std::vector<TypeRef> &types = out.siteTypes[j];
             if (types.empty()) {
                 // Site refined to unknown (Section 6.4 aggression).
                 result.siteBounds.emplace(SiteVar{v, s},
@@ -202,7 +352,7 @@ FlowRefinement::run(const std::vector<ValueId> &candidates)
             }
             const BoundPair site_bp(tt.joinAll(types), tt.meetAll(types));
             result.siteBounds.emplace(SiteVar{v, s}, site_bp);
-            if (s == def_site)
+            if (s == out.defSite)
                 def_bp = site_bp;
         }
 

@@ -10,6 +10,13 @@
  * annotations become the bounds of v@s. A site with no reachable
  * annotations becomes unknown - the deliberate aggression the paper
  * discusses in Section 6.4 (Type Refinement Order).
+ *
+ * Like the context stage, this runs as a read-only walk phase (which
+ * can be chunked across the shared pool; each worker owns a DdgWalker
+ * for the alias-root queries plus interned-context/epoch scratch for
+ * the CFG walks) followed by a sequential merge phase that performs
+ * the joins in candidate/site order. Chunks are fixed-size, so the
+ * result and the walk statistics are independent of MANTA_JOBS.
  */
 #ifndef MANTA_CORE_REFINE_FLOW_H
 #define MANTA_CORE_REFINE_FLOW_H
@@ -65,6 +72,9 @@ struct FlowRefineResult
 
     std::size_t resolved = 0;   ///< Variables precise after this stage.
     std::size_t lost = 0;       ///< Variables refined to unknown.
+
+    /** Traversal work counters (DDG root queries + CFG walks). */
+    WalkStats walk;
 };
 
 /** The flow-sensitive refinement stage. */
@@ -72,19 +82,31 @@ class FlowRefinement
 {
   public:
     FlowRefinement(Module &module, const Ddg &ddg, const HintIndex &hints,
-                   TypeEnv &env, WalkBudget budget = {});
+                   TypeEnv &env, WalkBudget budget = {},
+                   WalkEngine engine = defaultWalkEngine(),
+                   bool parallel = false);
 
     /** Refine every variable in `candidates` (Algorithm 2). */
     FlowRefineResult run(const std::vector<ValueId> &candidates);
 
   private:
-    /** REACHABLE_TYPES: backward CFG walk from `site`. */
-    std::vector<TypeRef>
-    reachableTypes(InstId site,
-                   const std::unordered_map<std::uint32_t, char> &roots);
+    /** Walk-phase scratch owned by one worker; defined in the .cc. */
+    struct Worker;
 
-    /** Cached FIND_ROOTS per value. */
-    const std::vector<ValueId> &rootsOf(ValueId v);
+    /** Walk-phase output for one candidate. */
+    struct CandidateOut
+    {
+        InstId defSite;
+        std::vector<InstId> sites;
+        std::vector<std::vector<TypeRef>> siteTypes;
+    };
+
+    /** Walk phase for one candidate (read-only on shared state). */
+    void processCandidate(Worker &w, ValueId v, CandidateOut &out);
+
+    /** REACHABLE_TYPES: backward CFG walk from `site`. */
+    std::vector<TypeRef> reachableTypesFast(Worker &w, InstId site);
+    std::vector<TypeRef> reachableTypesRef(Worker &w, InstId site);
 
     const Cfg &cfgOf(FuncId func);
 
@@ -93,11 +115,14 @@ class FlowRefinement
     const HintIndex &hints_;
     TypeEnv &env_;
     WalkBudget budget_;
-    DdgWalker walker_;
+    WalkEngine engine_;
+    bool parallel_;
     InstIndex instIndex_;
-    std::unordered_map<std::uint32_t, std::vector<ValueId>> roots_cache_;
     std::unordered_map<std::uint32_t, Cfg> cfg_cache_;
-    std::vector<std::vector<InstId>> call_sites_;  ///< Per callee function.
+
+    /** Candidate chunk size; fixed so results and statistics do not
+     *  depend on the worker count. */
+    static constexpr std::size_t kChunk = 128;
 };
 
 } // namespace manta

@@ -69,6 +69,23 @@ TypeEnv::boundsOf(const TypeVar &var)
     return bounds_[find(idx)];
 }
 
+std::uint32_t
+TypeEnv::find(std::uint32_t index) const
+{
+    while (parents_[index] != index)
+        index = parents_[index];
+    return index;
+}
+
+BoundPair
+TypeEnv::boundsOf(const TypeVar &var) const
+{
+    const auto idx = tryIndexOf(var);
+    if (idx == std::numeric_limits<std::uint32_t>::max())
+        return BoundPair::unknown(types_);
+    return bounds_[find(idx)];
+}
+
 TypeClass
 TypeEnv::classifyOf(const TypeVar &var)
 {

@@ -43,6 +43,14 @@ class TypeEnv
     /** Union-find root of an index. */
     std::uint32_t find(std::uint32_t index);
 
+    /**
+     * Root lookup without path compression: a pure read, safe to call
+     * concurrently from many threads as long as nobody is mutating the
+     * environment (the refinement stages' batched walkers rely on
+     * this — unification has finished by the time they run).
+     */
+    std::uint32_t find(std::uint32_t index) const;
+
     /** Merge two classes (bounds merge too). */
     void unite(std::uint32_t a, std::uint32_t b);
 
@@ -51,6 +59,10 @@ class TypeEnv
 
     /** Current bounds of a variable (unknown pair if never seen). */
     BoundPair boundsOf(const TypeVar &var);
+
+    /** Mutation-free bounds read (no path compression; thread-safe
+     *  against concurrent const readers on a frozen environment). */
+    BoundPair boundsOf(const TypeVar &var) const;
 
     /** Classification of a variable per Section 4.1. */
     TypeClass classifyOf(const TypeVar &var);

@@ -28,6 +28,7 @@ oracleName(OracleId id)
     case OracleId::PtsDiff: return "pts_diff";
     case OracleId::Interp: return "interp";
     case OracleId::LintStable: return "lint_stable";
+    case OracleId::WalkDiff: return "walk_diff";
     }
     return "?";
 }
@@ -412,6 +413,73 @@ checkLintStable(const Module &m, Battery &b)
     }
 }
 
+/**
+ * Oracle 8: the fast refinement walker (interned contexts, epoch
+ * scratch, memoized summaries, batched parallel queries) is a pure
+ * optimization of the reference walker. Run the full pipeline once
+ * per engine on shared substrates and require bit-identical refined
+ * bounds - every variable-level and site-level overlay entry, by
+ * TypeRef id. The fast run uses walkParallel, so this also exercises
+ * the chunked pool path (including under TSan in the fuzz smokes).
+ */
+void
+checkWalkDiff(Module &m, MantaAnalyzer &an, Battery &b)
+{
+    b.ran(OracleId::WalkDiff);
+
+    HybridConfig fast_cfg = HybridConfig::full();
+    fast_cfg.walkEngine = WalkEngine::Fast;
+    fast_cfg.walkParallel = true;
+    HybridConfig ref_cfg = HybridConfig::full();
+    ref_cfg.walkEngine = WalkEngine::Reference;
+
+    const InferenceResult fast = an.infer(fast_cfg);
+    const InferenceResult ref = an.infer(ref_cfg);
+
+    if (fast.overlay().size() != ref.overlay().size()) {
+        b.fail(OracleId::WalkDiff,
+               "value overlay sizes differ (fast " +
+                   std::to_string(fast.overlay().size()) + ", reference " +
+                   std::to_string(ref.overlay().size()) + ")");
+    }
+    for (const auto &[v, rbp] : ref.overlay()) {
+        const auto it = fast.overlay().find(v);
+        if (it == fast.overlay().end()) {
+            b.fail(OracleId::WalkDiff,
+                   "fast engine missed refinement of " + printValueRef(m, v));
+            continue;
+        }
+        if (it->second.upper != rbp.upper || it->second.lower != rbp.lower) {
+            b.fail(OracleId::WalkDiff,
+                   "engines disagree on " + printValueRef(m, v) + ": fast " +
+                       m.types().toString(it->second.upper) +
+                       " vs reference " + m.types().toString(rbp.upper));
+        }
+    }
+
+    if (fast.siteOverlay().size() != ref.siteOverlay().size()) {
+        b.fail(OracleId::WalkDiff,
+               "site overlay sizes differ (fast " +
+                   std::to_string(fast.siteOverlay().size()) +
+                   ", reference " +
+                   std::to_string(ref.siteOverlay().size()) + ")");
+    }
+    for (const auto &[sv, rbp] : ref.siteOverlay()) {
+        const auto it = fast.siteOverlay().find(sv);
+        if (it == fast.siteOverlay().end()) {
+            b.fail(OracleId::WalkDiff,
+                   "fast engine missed site refinement of " +
+                       printValueRef(m, sv.value));
+            continue;
+        }
+        if (it->second.upper != rbp.upper || it->second.lower != rbp.lower) {
+            b.fail(OracleId::WalkDiff,
+                   "engines disagree at a site of " +
+                       printValueRef(m, sv.value));
+        }
+    }
+}
+
 } // namespace
 
 CaseResult
@@ -462,6 +530,7 @@ runCase(const FuzzCase &c)
     MantaAnalyzer an(m, HybridConfig::full());
     const InferenceResult full = an.infer();
     checkMonotonic(m, an, full, b);
+    checkWalkDiff(m, an, b);
 
     if (prog.hasTruth)
         checkGroundTruth(m, prog.truth, full, c.strict, b);
@@ -510,6 +579,7 @@ runTextOracles(const std::string &text)
     MantaAnalyzer an(m, HybridConfig::full());
     const InferenceResult full = an.infer();
     checkMonotonic(m, an, full, b);
+    checkWalkDiff(m, an, b);
     return r;
 }
 
@@ -561,6 +631,10 @@ textFailsOracle(const std::string &text, OracleId which)
     const InferenceResult full = an.infer();
     if (which == OracleId::Monotonic) {
         checkMonotonic(m, an, full, b);
+        return b.failed(which);
+    }
+    if (which == OracleId::WalkDiff) {
+        checkWalkDiff(m, an, b);
         return b.failed(which);
     }
     // Interp: the truth-free static half (typed derefs + icall

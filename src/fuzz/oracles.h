@@ -3,7 +3,7 @@
  * The metamorphic oracle battery of the differential fuzzing harness.
  *
  * Every sampled case is pushed through the whole pipeline and checked
- * against seven properties that must hold for ANY generated program:
+ * against eight properties that must hold for ANY generated program:
  *
  *  1. verifier    - the generator and the synthesizer only produce
  *                   well-formed MIR, before and after acyclic
@@ -31,8 +31,13 @@
  *                   under a print/parse roundtrip: linting the reparsed
  *                   module and linting its second-generation reparse
  *                   render to identical text reports.
+ *  8. walk_diff   - the fast traversal engine (interned contexts,
+ *                   epoch scratch, memoized summaries, batched
+ *                   parallel queries) and the reference walker
+ *                   (MANTA_WALK_REF=1) produce bit-identical refined
+ *                   bounds, variable- and site-level.
  *
- * Truth-free oracles (1, 2, 3, 5, 7, and the truth-free parts of 6)
+ * Truth-free oracles (1, 2, 3, 5, 7, 8, and the truth-free parts of 6)
  * can also run over parsed module text, which is what the
  * delta-debugging shrinker and the promoted-reproducer regression
  * tests use.
@@ -50,7 +55,7 @@
 namespace manta {
 namespace fuzz {
 
-/** The seven oracles, in the order reported by BENCH_fuzz.json. */
+/** The eight oracles, in the order reported by BENCH_fuzz.json. */
 enum class OracleId : std::uint8_t {
     Verifier = 0,
     RoundTrip,
@@ -59,9 +64,10 @@ enum class OracleId : std::uint8_t {
     PtsDiff,
     Interp,
     LintStable,
+    WalkDiff,
 };
 
-constexpr std::size_t kNumOracles = 7;
+constexpr std::size_t kNumOracles = 8;
 
 /** Stable snake_case oracle name (JSON keys, reproducer headers). */
 const char *oracleName(OracleId id);

@@ -24,6 +24,13 @@ defaultJobs()
     return hw == 0 ? 1 : hw;
 }
 
+TaskPool &
+sharedPool()
+{
+    static TaskPool pool;
+    return pool;
+}
+
 TaskPool::TaskPool(std::size_t jobs)
 {
     if (jobs == 0)

@@ -42,6 +42,19 @@ namespace manta {
  */
 std::size_t defaultJobs();
 
+class TaskPool;
+
+/**
+ * Process-wide pool for library-internal parallelism (the refinement
+ * stages' batched walker queries), sized by defaultJobs() and created
+ * lazily on first use. Sharing one pool keeps nested fan-outs (an
+ * eval-harness task whose infer() call batches walker queries) from
+ * multiplying thread counts: parallelFor's calling thread claims
+ * iterations itself, so waiting on this pool from another pool's
+ * worker cannot deadlock.
+ */
+TaskPool &sharedPool();
+
 /** Fixed-size work-stealing thread pool. */
 class TaskPool
 {

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Unit tests for the fast traversal engine's building blocks (context
+ * interning, epoch-stamped scratch, memoized summaries) and for
+ * fast-vs-reference agreement on the CFL edge cases: maxStack capping,
+ * budget truncation mid-query, call-argument exits under a bound
+ * context, and empty-stack ascent past the starting frame.
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/acyclic.h"
+#include "core/ddg_walk.h"
+#include "core/pipeline.h"
+#include "frontend/generator.h"
+#include "mir/parser.h"
+
+namespace manta {
+namespace {
+
+TEST(CtxInternerTest, HashConsesStacks)
+{
+    CtxInterner interner;
+    const InstId site1(7), site2(9);
+    const std::uint32_t a = interner.push(CtxInterner::kEmpty, site1);
+    const std::uint32_t b = interner.push(CtxInterner::kEmpty, site1);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, CtxInterner::kEmpty);
+
+    const std::uint32_t c = interner.push(a, site2);
+    EXPECT_NE(c, a);
+    EXPECT_EQ(interner.pop(c), a);
+    EXPECT_EQ(interner.pop(a), CtxInterner::kEmpty);
+    EXPECT_EQ(interner.top(c), site2.raw());
+    EXPECT_EQ(interner.top(CtxInterner::kEmpty), CtxInterner::kNoSite);
+    EXPECT_EQ(interner.depth(c), 2u);
+    EXPECT_EQ(interner.depth(CtxInterner::kEmpty), 0u);
+
+    // Re-interning an identical stack bottom-up lands on the same id.
+    EXPECT_EQ(interner.push(interner.push(CtxInterner::kEmpty, site1),
+                            site2),
+              c);
+}
+
+TEST(EpochScratchTest, FlagsQueriesPastMarkFrontierAnswerFalse)
+{
+    // Regression: flow refinement probes hint-root ids against a
+    // candidate's root set, and those ids are not bounded by what was
+    // marked. Reading past the frontier must answer false, not read
+    // out of bounds (this was a heap-buffer-overflow caught by the
+    // walk_diff oracle under ASan).
+    EpochFlags flags;
+    flags.ensure(4);
+    flags.newEpoch();
+    EXPECT_TRUE(flags.mark(2));
+    EXPECT_FALSE(flags.mark(2));
+    EXPECT_TRUE(flags.marked(2));
+    EXPECT_FALSE(flags.marked(3));
+    EXPECT_FALSE(flags.marked(100000));
+    EXPECT_TRUE(flags.mark(100000));
+    EXPECT_TRUE(flags.marked(100000));
+    flags.newEpoch();
+    EXPECT_FALSE(flags.marked(2));
+    EXPECT_FALSE(flags.marked(100000));
+}
+
+TEST(EpochScratchTest, VisitedSeparatesEpochsAndTops)
+{
+    EpochVisited visited;
+    visited.ensure(3);
+    visited.newEpoch();
+    EXPECT_TRUE(visited.insert(1, 7));
+    EXPECT_FALSE(visited.insert(1, 7));
+    EXPECT_TRUE(visited.insert(1, 8));  // same node, different ctx top
+    EXPECT_FALSE(visited.insert(1, 8));
+    EXPECT_TRUE(visited.insert(2, 7));
+    visited.newEpoch();  // no clearing, marks just expire
+    EXPECT_TRUE(visited.insert(1, 7));
+    EXPECT_TRUE(visited.insert(1, 8));
+}
+
+class DdgWalkTest : public ::testing::Test
+{
+  protected:
+    void
+    load(const std::string &text)
+    {
+        module_ = parseModuleOrDie(text);
+        makeAcyclic(module_);
+        analyzer_ =
+            std::make_unique<MantaAnalyzer>(module_, HybridConfig::full());
+        env_ = std::make_unique<TypeEnv>(module_.types());
+        FlowInsensitiveInference fi(module_, analyzer_->pts(),
+                                    analyzer_->hints());
+        fi.run(*env_);
+    }
+
+    ValueId
+    val(const std::string &name) const
+    {
+        for (std::size_t v = 0; v < module_.numValues(); ++v) {
+            const ValueId vid(static_cast<ValueId::RawType>(v));
+            if (module_.value(vid).name == name)
+                return vid;
+        }
+        return ValueId::invalid();
+    }
+
+    DdgWalker
+    walker(WalkEngine engine, WalkBudget budget = {})
+    {
+        return DdgWalker(analyzer_->ddg(), env_.get(), module_.types(),
+                         budget, engine);
+    }
+
+    /** Both engines, element for element, over every value. */
+    void
+    expectEnginesAgree(WalkBudget budget = {})
+    {
+        DdgWalker fast = walker(WalkEngine::Fast, budget);
+        DdgWalker ref = walker(WalkEngine::Reference, budget);
+        for (std::size_t v = 0; v < module_.numValues(); ++v) {
+            const ValueId vid(static_cast<ValueId::RawType>(v));
+            const ValueKind kind = module_.value(vid).kind;
+            if (kind != ValueKind::Argument && kind != ValueKind::InstResult)
+                continue;
+            EXPECT_EQ(fast.findRoots(vid), ref.findRoots(vid))
+                << "roots differ for value " << v;
+            EXPECT_EQ(fast.collectTypes(vid, analyzer_->hints()),
+                      ref.collectTypes(vid, analyzer_->hints()))
+                << "types differ for value " << v;
+        }
+    }
+
+    Module module_;
+    std::unique_ptr<MantaAnalyzer> analyzer_;
+    std::unique_ptr<TypeEnv> env_;
+};
+
+namespace {
+const char *const kNestedCalls = R"(
+func @leaf(%x:64) {
+entry:
+  ret %x
+}
+func @mid(%y:64) {
+entry:
+  %m = call.64 @leaf(%y)
+  ret %m
+}
+func @top1() {
+entry:
+  %h = call.64 @malloc(8:64)
+  %r = call.64 @mid(%h)
+  %p = call.32 @print_str(%r)
+  ret
+}
+func @top2() {
+entry:
+  %c = copy 42:64
+  %r2 = call.64 @mid(%c)
+  %p2 = call.32 @print_int(%r2)
+  ret
+}
+)";
+} // namespace
+
+TEST_F(DdgWalkTest, MaxStackCapsDescentIdenticallyInBothEngines)
+{
+    load(kNestedCalls);
+    WalkBudget shallow;
+    shallow.maxStack = 1;  // can enter @mid but not @leaf
+    expectEnginesAgree(shallow);
+
+    DdgWalker fast = walker(WalkEngine::Fast, shallow);
+    (void)fast.findRoots(val("r"));
+    (void)fast.collectTypes(val("h"), analyzer_->hints());
+    EXPECT_LE(fast.stats().peakCtxDepth, shallow.maxStack);
+
+    WalkBudget deep;
+    deep.maxStack = 8;
+    DdgWalker fast_deep = walker(WalkEngine::Fast, deep);
+    (void)fast_deep.collectTypes(val("h"), analyzer_->hints());
+    EXPECT_GE(fast_deep.stats().peakCtxDepth, 2u);
+    expectEnginesAgree(deep);
+}
+
+TEST_F(DdgWalkTest, CallArgExitRespectsBoundContext)
+{
+    // Backward from @top2's call result descends into @mid/@leaf with
+    // the calling context bound; the CallArg exit must come back out
+    // through @top2's argument edge only, never @top1's pointer.
+    load(kNestedCalls);
+    for (const WalkEngine engine :
+         {WalkEngine::Fast, WalkEngine::Reference}) {
+        DdgWalker w = walker(engine);
+        const auto roots = w.findRoots(val("r2"));
+        ASSERT_EQ(roots.size(), 1u);
+        EXPECT_EQ(module_.value(roots[0]).kind, ValueKind::Constant);
+        EXPECT_EQ(module_.value(roots[0]).constValue, 42);
+        const auto roots1 = w.findRoots(val("r"));
+        ASSERT_EQ(roots1.size(), 1u);
+        EXPECT_EQ(roots1[0], val("h"));
+    }
+}
+
+TEST_F(DdgWalkTest, EmptyStackAscentReachesEveryCaller)
+{
+    // Starting INSIDE the callee (no context bound), the walk may
+    // ascend through any call-argument edge: both callers' sources
+    // are roots of the shared parameter.
+    load(kNestedCalls);
+    for (const WalkEngine engine :
+         {WalkEngine::Fast, WalkEngine::Reference}) {
+        DdgWalker w = walker(engine);
+        const auto roots = w.findRoots(val("y"));
+        bool saw_h = false, saw_const = false;
+        for (const ValueId r : roots) {
+            saw_h |= r == val("h");
+            saw_const |= module_.value(r).kind == ValueKind::Constant &&
+                         module_.value(r).constValue == 42;
+        }
+        EXPECT_TRUE(saw_h) << "engine " << static_cast<int>(engine);
+        EXPECT_TRUE(saw_const) << "engine " << static_cast<int>(engine);
+    }
+    expectEnginesAgree();
+}
+
+TEST_F(DdgWalkTest, TruncatedQueriesAreNotMemoized)
+{
+    load(R"(
+func @f() {
+entry:
+  %h = call.64 @malloc(8:64)
+  %a = copy %h
+  %b = copy %a
+  %c = copy %b
+  %d = copy %c
+  ret %d
+}
+)");
+    WalkBudget tiny;
+    tiny.maxVisited = 2;
+    DdgWalker w = walker(WalkEngine::Fast, tiny);
+    const auto first = w.rootsOf(val("d"));
+    EXPECT_TRUE(w.lastQueryTruncated());
+    const auto second = w.rootsOf(val("d"));
+    EXPECT_TRUE(w.lastQueryTruncated());
+    EXPECT_EQ(first, second);  // deterministic recompute
+    EXPECT_EQ(w.stats().queries, 2u);
+    EXPECT_EQ(w.stats().memoHits, 0u);  // truncated answers never cached
+    EXPECT_EQ(w.stats().truncated, 2u);
+
+    DdgWalker roomy = walker(WalkEngine::Fast);
+    const auto full1 = roomy.rootsOf(val("d"));
+    EXPECT_FALSE(roomy.lastQueryTruncated());
+    const auto full2 = roomy.rootsOf(val("d"));
+    EXPECT_EQ(full1, full2);
+    EXPECT_EQ(roomy.stats().memoHits, 1u);
+    (void)roomy.typesOf(val("h"), analyzer_->hints());
+    (void)roomy.typesOf(val("h"), analyzer_->hints());
+    EXPECT_EQ(roomy.stats().memoHits, 2u);
+    EXPECT_EQ(roomy.stats().truncated, 0u);
+}
+
+TEST_F(DdgWalkTest, GeneratedProgramEnginesAgree)
+{
+    GenConfig cfg;
+    cfg.seed = 20250805;
+    cfg.numFunctions = 20;
+    GeneratedProgram prog = generateProgram(cfg);
+    makeAcyclic(*prog.module);
+    MantaAnalyzer an(*prog.module);
+
+    HybridConfig fast_par = HybridConfig::full();
+    fast_par.walkEngine = WalkEngine::Fast;
+    fast_par.walkParallel = true;
+    HybridConfig fast_seq = fast_par;
+    fast_seq.walkParallel = false;
+    HybridConfig ref_cfg = HybridConfig::full();
+    ref_cfg.walkEngine = WalkEngine::Reference;
+    ref_cfg.walkParallel = false;
+
+    const InferenceResult par = an.infer(fast_par);
+    const InferenceResult seq = an.infer(fast_seq);
+    const InferenceResult ref = an.infer(ref_cfg);
+
+    auto expect_same = [&](const InferenceResult &a,
+                           const InferenceResult &b, const char *label) {
+        EXPECT_EQ(a.overlay().size(), b.overlay().size()) << label;
+        for (const auto &[v, bp] : a.overlay()) {
+            const auto it = b.overlay().find(v);
+            ASSERT_NE(it, b.overlay().end()) << label << " value " << v.raw();
+            EXPECT_EQ(it->second.upper, bp.upper) << label;
+            EXPECT_EQ(it->second.lower, bp.lower) << label;
+        }
+        EXPECT_EQ(a.siteOverlay().size(), b.siteOverlay().size()) << label;
+        for (const auto &[sv, bp] : a.siteOverlay()) {
+            const auto it = b.siteOverlay().find(sv);
+            ASSERT_NE(it, b.siteOverlay().end()) << label;
+            EXPECT_EQ(it->second.upper, bp.upper) << label;
+            EXPECT_EQ(it->second.lower, bp.lower) << label;
+        }
+    };
+    expect_same(par, seq, "parallel-vs-sequential");
+    expect_same(par, ref, "fast-vs-reference");
+
+    // Query counts are job-count-invariant (fixed-size chunks; a
+    // memo hit still counts as a query). Hit counts differ between
+    // the chunked and whole-worklist memo scopes, so only the totals
+    // that the bounds depend on are asserted here.
+    EXPECT_EQ(par.profile().csWalk.queries, seq.profile().csWalk.queries);
+    EXPECT_EQ(par.profile().fsWalk.queries, seq.profile().fsWalk.queries);
+    EXPECT_GT(par.profile().csWalk.queries + par.profile().fsWalk.queries,
+              0u);
+}
+
+} // namespace
+} // namespace manta
