@@ -1,0 +1,471 @@
+/**
+ * @file
+ * Serving-layer benchmark: cold vs warm re-analysis and request
+ * latency (docs/SERVING.md, docs/BENCHMARKS.md).
+ *
+ * The headline measurement mirrors the daemon's intended use: submit
+ * ffmpeg (the corpus' largest project), patch a single function, and
+ * re-submit. The warm path re-parses and rebuilds substrates but
+ * answers unchanged refinement candidates from the session memo, so
+ * it must be >= 5x faster than a cold analysis of the same text -
+ * with byte-identical rendered artifacts (types/lint/icall), which
+ * this driver asserts by digest. The snapshot path (save, reload into
+ * a fresh session, warm re-infer) is exercised the same way.
+ *
+ * Measurement protocol: the cold baseline is the best of three fresh
+ * subprocesses each analyzing the patched text from scratch (a
+ * cache-less analysis genuinely starts process-cold); the warm number
+ * is the best of three independent sessions each doing an untimed
+ * cold populate followed by the timed warm re-analysis. Best-of-N on
+ * both sides is the low-noise estimator on a shared box, and both
+ * samples lists are recorded in the JSON for inspection.
+ *
+ * A latency sweep re-executes this binary with MANTA_JOBS=1 and =8
+ * (the shared pool is sized once per process) and reports per-request
+ * percentiles over a scripted NDJSON stream.
+ *
+ * Flags:
+ *   --quick       Small project, no latency sweep, no 5x assertion.
+ *   --out <path>  JSON output path (default BENCH_serve.json).
+ *   --lat         Internal: run the latency child and print one line.
+ *   --cold-child <project>
+ *                 Internal: fresh-process cold analysis, one line.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "frontend/corpus.h"
+#include "mir/printer.h"
+#include "serve/service.h"
+#include "serve/session.h"
+#include "support/timer.h"
+
+namespace manta {
+namespace {
+
+using serve::BinarySession;
+
+/**
+ * This binary's own path, resolved once at startup. Child processes
+ * cannot be spawned as "/proc/self/exe" through popen: the shell is
+ * the process doing the exec, so the symlink resolves to the shell.
+ */
+std::string g_self_path;
+
+std::string
+selfPath(const char *argv0)
+{
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return argv0;
+}
+
+std::string
+projectText(const std::string &name)
+{
+    for (const ProjectProfile &profile : standardCorpus()) {
+        if (profile.name == name) {
+            GeneratedProgram prog = buildProject(profile);
+            return printModule(*prog.module);
+        }
+    }
+    std::fprintf(stderr, "no corpus project named %s\n", name.c_str());
+    std::exit(2);
+}
+
+/**
+ * Patch exactly one function: bump one constant operand used by the
+ * function nearest the middle of the list that has one, and return
+ * the re-printed text plus the patched function's name.
+ */
+std::string
+patchOneFunction(const std::string &name, std::string &patched_func)
+{
+    for (const ProjectProfile &profile : standardCorpus()) {
+        if (profile.name != name)
+            continue;
+        GeneratedProgram prog = buildProject(profile);
+        Module &module = *prog.module;
+        // Start from the middle so the patched function has callers
+        // and callees (a more representative dirty closure than main
+        // or a leaf).
+        const std::size_t n = module.numFuncs();
+        for (std::size_t step = 0; step < n; ++step) {
+            const std::size_t f = (n / 2 + step) % n;
+            const FuncId fid(static_cast<FuncId::RawType>(f));
+            const Function &func = module.func(fid);
+            for (const BlockId b : func.blocks) {
+                for (const InstId i : module.block(b).insts) {
+                    for (const ValueId op : module.inst(i).operands) {
+                        if (module.value(op).kind !=
+                            ValueKind::Constant)
+                            continue;
+                        module.value(op).constValue += 1;
+                        patched_func = func.name;
+                        return printModule(module);
+                    }
+                }
+            }
+        }
+    }
+    std::fprintf(stderr, "no patchable constant found in %s\n",
+                 name.c_str());
+    std::exit(2);
+}
+
+struct Renders
+{
+    std::string types, lint, icall;
+};
+
+Renders
+rendersOf(const BinarySession &session)
+{
+    return {session.renderTypes(), session.renderLint(),
+            session.renderIcall()};
+}
+
+bool
+sameRenders(const Renders &a, const Renders &b, const char *what)
+{
+    const bool ok =
+        a.types == b.types && a.lint == b.lint && a.icall == b.icall;
+    if (!ok)
+        std::fprintf(stderr, "FAIL: %s artifacts differ (types %s, "
+                             "lint %s, icall %s)\n",
+                     what, a.types == b.types ? "ok" : "DIFFER",
+                     a.lint == b.lint ? "ok" : "DIFFER",
+                     a.icall == b.icall ? "ok" : "DIFFER");
+    return ok;
+}
+
+/** Latency child: scripted request stream, one JSON line to stdout. */
+int
+runLatencyChild()
+{
+    serve::Service service;
+    const std::string vsftpd = projectText("vsftpd");
+    const std::string memcached = projectText("memcached");
+
+    auto jsonEscapeless = [](const std::string &method,
+                             const std::string &binary) {
+        return std::string("{\"id\":1,\"method\":\"") + method +
+               "\",\"params\":{\"binary\":\"" + binary + "\"}}";
+    };
+    auto analyzeReq = [](const std::string &binary,
+                         const std::string &text) {
+        return std::string("{\"id\":1,\"method\":\"analyze\",")
+            + "\"params\":{\"binary\":\"" + binary + "\",\"text\":" +
+            serve::quoteJson(text) + "}}";
+    };
+
+    std::vector<std::string> stream;
+    stream.push_back(analyzeReq("vsftpd", vsftpd));
+    stream.push_back(analyzeReq("memcached", memcached));
+    for (int i = 0; i < 10; ++i) {
+        stream.push_back(jsonEscapeless("lint", "vsftpd"));
+        stream.push_back(jsonEscapeless("icall", "memcached"));
+        stream.push_back(jsonEscapeless("types", "vsftpd"));
+        stream.push_back("{\"id\":1,\"method\":\"status\"}");
+    }
+
+    std::vector<double> millis;
+    for (const std::string &line : stream) {
+        Timer t;
+        const std::string response = service.handleLine(line);
+        millis.push_back(t.seconds() * 1e3);
+        if (response.find("\"ok\":true") == std::string::npos) {
+            std::fprintf(stderr, "latency request failed: %s\n",
+                         response.c_str());
+            return 1;
+        }
+    }
+    std::sort(millis.begin(), millis.end());
+    auto pct = [&](double p) {
+        const std::size_t idx = static_cast<std::size_t>(
+            p / 100.0 * static_cast<double>(millis.size() - 1) + 0.5);
+        return millis[std::min(idx, millis.size() - 1)];
+    };
+    std::printf("LAT {\"requests\": %zu, \"p50Ms\": %.3f, "
+                "\"p90Ms\": %.3f, \"p99Ms\": %.3f}\n",
+                millis.size(), pct(50), pct(90), pct(99));
+    return 0;
+}
+
+/** Cold child: analyze the patched text in this fresh process. */
+int
+runColdChild(const std::string &project)
+{
+    std::string patched_func;
+    const std::string patched = patchOneFunction(project, patched_func);
+    BinarySession session(project + "-coldchild");
+    Timer t;
+    const serve::AnalyzeOutcome out = session.analyze(patched);
+    if (!out.ok) {
+        std::fprintf(stderr, "cold child analyze failed: %s\n",
+                     out.error.c_str());
+        return 1;
+    }
+    std::printf("COLD %.6f\n", t.seconds());
+    return 0;
+}
+
+/** One fresh-subprocess cold run; negative on failure. */
+double
+coldSubprocess(const std::string &project)
+{
+    const std::string command =
+        "'" + g_self_path + "' --cold-child " + project + " 2>/dev/null";
+    std::FILE *pipe = ::popen(command.c_str(), "r");
+    if (!pipe)
+        return -1.0;
+    std::string output;
+    char buf[256];
+    while (std::fgets(buf, sizeof buf, pipe))
+        output += buf;
+    ::pclose(pipe);
+    const std::size_t at = output.find("COLD ");
+    if (at == std::string::npos)
+        return -1.0;
+    return std::atof(output.c_str() + at + 5);
+}
+
+/** Run the latency child under MANTA_JOBS=`jobs`; returns its line. */
+std::string
+latencySweep(int jobs)
+{
+    const std::string command =
+        "env MANTA_JOBS=" + std::to_string(jobs) + " '" + g_self_path +
+        "' --lat 2>/dev/null";
+    std::FILE *pipe = ::popen(command.c_str(), "r");
+    if (!pipe)
+        return {};
+    std::string output;
+    char buf[512];
+    while (std::fgets(buf, sizeof buf, pipe))
+        output += buf;
+    ::pclose(pipe);
+    const std::size_t at = output.find("LAT {");
+    if (at == std::string::npos)
+        return {};
+    std::string line = output.substr(at + 4);
+    const std::size_t end = line.find('\n');
+    if (end != std::string::npos)
+        line.resize(end);
+    return line;
+}
+
+int
+runServeBench(bool quick, const std::string &out_path)
+{
+    std::printf("=== serve_driver: cold vs warm re-analysis ===\n\n");
+    const std::string project = quick ? "memcached" : "ffmpeg";
+    const std::string text = projectText(project);
+    std::string patched_func;
+    const std::string patched = patchOneFunction(project, patched_func);
+    std::printf("project %s, patched function @%s\n", project.c_str(),
+                patched_func.c_str());
+
+    // Warm measurement: independent sessions, each an untimed cold
+    // populate on the ORIGINAL text followed by the timed warm
+    // re-analysis of the patched text. Best-of-N is the low-noise
+    // estimator; the last session is kept for renders/snapshot (every
+    // rep is deterministic, so they are interchangeable).
+    const int reps = quick ? 1 : 3;
+    double cold_seconds = 0.0;
+    std::vector<double> warm_samples;
+    serve::AnalyzeOutcome warm;
+    std::unique_ptr<BinarySession> session;
+    for (int rep = 0; rep < reps; ++rep) {
+        session = std::make_unique<BinarySession>(project);
+        Timer cold_timer;
+        const serve::AnalyzeOutcome cold = session->analyze(text);
+        if (rep == 0)
+            cold_seconds = cold_timer.seconds();
+        if (!cold.ok) {
+            std::fprintf(stderr, "cold analyze failed: %s\n",
+                         cold.error.c_str());
+            return 1;
+        }
+        Timer warm_timer;
+        warm = session->analyze(patched);
+        warm_samples.push_back(warm_timer.seconds());
+        if (!warm.ok) {
+            std::fprintf(stderr, "warm analyze failed: %s\n",
+                         warm.error.c_str());
+            return 1;
+        }
+    }
+    const double warm_seconds =
+        *std::min_element(warm_samples.begin(), warm_samples.end());
+    const Renders warm_renders = rendersOf(*session);
+
+    // Cold control on the PATCHED text in a fresh session: the warm
+    // artifacts must be byte-identical to this.
+    BinarySession control(project + "-cold");
+    Timer control_timer;
+    const serve::AnalyzeOutcome control_out = control.analyze(patched);
+    const double control_seconds = control_timer.seconds();
+    if (!control_out.ok) {
+        std::fprintf(stderr, "control analyze failed: %s\n",
+                     control_out.error.c_str());
+        return 1;
+    }
+    const Renders cold_renders = rendersOf(control);
+
+    // Cold baseline for the headline ratio: fresh subprocesses, since
+    // a cache-less analysis genuinely starts process-cold. Quick mode
+    // skips the subprocesses and reuses the in-process control.
+    std::vector<double> cold_samples;
+    if (!quick) {
+        for (int rep = 0; rep < reps; ++rep) {
+            const double s = coldSubprocess(project);
+            if (s > 0.0)
+                cold_samples.push_back(s);
+        }
+    }
+    if (cold_samples.empty())
+        cold_samples.push_back(control_seconds);
+    const double cold_best =
+        *std::min_element(cold_samples.begin(), cold_samples.end());
+
+    const bool identical =
+        sameRenders(warm_renders, cold_renders, "warm vs cold");
+    const double speedup =
+        warm_seconds > 0.0 ? cold_best / warm_seconds : 0.0;
+    std::printf("cold %.3fs  patched-cold %.3fs  warm %.3fs  "
+                "(%.2fx)  dirty %zu  closure %zu  reused CS %zu FS "
+                "%zu  identical %s\n",
+                cold_seconds, cold_best, warm_seconds, speedup,
+                warm.dirty.size(), warm.closure.size(), warm.csReused,
+                warm.fsReused, identical ? "yes" : "NO");
+
+    // Snapshot path: save, reload into a fresh session, compare.
+    std::string snapshot, snap_error;
+    if (!session->saveSnapshot(snapshot, snap_error)) {
+        std::fprintf(stderr, "snapshot save failed: %s\n",
+                     snap_error.c_str());
+        return 1;
+    }
+    BinarySession restored(project + "-restored");
+    Timer load_timer;
+    if (!restored.loadSnapshot(snapshot, snap_error)) {
+        std::fprintf(stderr, "snapshot load failed: %s\n",
+                     snap_error.c_str());
+        return 1;
+    }
+    const double load_seconds = load_timer.seconds();
+    const bool snap_identical =
+        sameRenders(rendersOf(restored), warm_renders, "snapshot");
+    std::printf("snapshot %zu bytes, reload %.3fs, identical %s\n",
+                snapshot.size(), load_seconds,
+                snap_identical ? "yes" : "NO");
+
+    std::vector<std::pair<int, std::string>> latency;
+    if (!quick) {
+        for (const int jobs : {1, 8}) {
+            const std::string line = latencySweep(jobs);
+            if (!line.empty()) {
+                std::printf("jobs=%d %s\n", jobs, line.c_str());
+                latency.emplace_back(jobs, line);
+            }
+        }
+    }
+
+    std::FILE *out = std::fopen(out_path.c_str(), "w");
+    if (out) {
+        std::fprintf(out, "{\n  \"benchmark\": \"serve\",\n");
+        std::fprintf(out, "  \"project\": \"%s\",\n", project.c_str());
+        std::fprintf(out, "  \"patchedFunction\": \"%s\",\n",
+                     patched_func.c_str());
+        std::fprintf(out, "  \"coldSeconds\": %.6f,\n", cold_seconds);
+        std::fprintf(out, "  \"patchedColdSeconds\": %.6f,\n",
+                     cold_best);
+        std::fprintf(out, "  \"warmSeconds\": %.6f,\n", warm_seconds);
+        std::fprintf(out, "  \"speedup\": %.2f,\n", speedup);
+        auto samples = [&](const char *key,
+                           const std::vector<double> &values) {
+            std::fprintf(out, "  \"%s\": [", key);
+            for (std::size_t i = 0; i < values.size(); ++i)
+                std::fprintf(out, "%s%.6f", i ? ", " : "", values[i]);
+            std::fprintf(out, "],\n");
+        };
+        samples("coldSamples", cold_samples);
+        samples("warmSamples", warm_samples);
+        std::fprintf(out, "  \"dirty\": %zu,\n", warm.dirty.size());
+        std::fprintf(out, "  \"closure\": %zu,\n", warm.closure.size());
+        std::fprintf(out, "  \"csReused\": %zu,\n", warm.csReused);
+        std::fprintf(out, "  \"fsReused\": %zu,\n", warm.fsReused);
+        std::fprintf(out, "  \"identical\": %s,\n",
+                     identical ? "true" : "false");
+        std::fprintf(out, "  \"snapshotBytes\": %zu,\n", snapshot.size());
+        std::fprintf(out, "  \"snapshotLoadSeconds\": %.6f,\n",
+                     load_seconds);
+        std::fprintf(out, "  \"snapshotIdentical\": %s,\n",
+                     snap_identical ? "true" : "false");
+        std::fprintf(out, "  \"latency\": [\n");
+        for (std::size_t i = 0; i < latency.size(); ++i) {
+            std::string body = latency[i].second;
+            // Splice the jobs count into the child's object.
+            body.insert(1, "\"jobs\": " +
+                               std::to_string(latency[i].first) + ", ");
+            std::fprintf(out, "    %s%s\n", body.c_str(),
+                         i + 1 < latency.size() ? "," : "");
+        }
+        std::fprintf(out, "  ]\n}\n");
+        std::fclose(out);
+        std::printf("wrote %s\n", out_path.c_str());
+    } else {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    }
+
+    if (!identical || !snap_identical)
+        return 1;
+    if (!quick && speedup < 5.0) {
+        std::fprintf(stderr,
+                     "FAIL: warm speedup %.2fx below the 5x bar\n",
+                     speedup);
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace manta
+
+int
+main(int argc, char **argv)
+{
+    manta::g_self_path = manta::selfPath(argv[0]);
+    bool quick = false;
+    bool lat = false;
+    std::string cold_child;
+    std::string out_path = "BENCH_serve.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else if (std::strcmp(argv[i], "--lat") == 0)
+            lat = true;
+        else if (std::strcmp(argv[i], "--cold-child") == 0 &&
+                 i + 1 < argc)
+            cold_child = argv[++i];
+        else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out_path = argv[++i];
+    }
+    if (lat)
+        return manta::runLatencyChild();
+    if (!cold_child.empty())
+        return manta::runColdChild(cold_child);
+    return manta::runServeBench(quick, out_path);
+}

@@ -14,6 +14,10 @@
  *   manta_cli <file> icall        indirect-call target sets
  *   manta_cli <file> stats        stage statistics
  *   manta_cli <file> run          execute under the interpreter
+ *   manta_cli serve [--socket P]  long-lived analysis daemon
+ *
+ * The mode list is defined once in serve/cli_modes.h; --help renders
+ * it and the help-parity test asserts the two never drift.
  */
 #include <cstdio>
 #include <cstring>
@@ -30,6 +34,8 @@
 #include "lint/campaign.h"
 #include "mir/interp.h"
 #include "mir/parser.h"
+#include "serve/cli_modes.h"
+#include "serve/server.h"
 
 using namespace manta;
 
@@ -38,10 +44,7 @@ namespace {
 int
 usage()
 {
-    std::fprintf(stderr,
-                 "usage: manta_cli <module.mir|-> "
-                 "<types|bugs|bugs-notype|lint|lint-notype|lint-sarif|"
-                 "icall|stats|run>\n");
+    std::fprintf(stderr, "%s", serve::cliHelpText().c_str());
     return 2;
 }
 
@@ -84,11 +87,34 @@ printBugs(MantaAnalyzer &analyzer, const InferenceResult *types)
     analyzer.ddg().resetPruning();
 }
 
+int
+runServe(int argc, char **argv)
+{
+    std::string socket_path;
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+            socket_path = argv[++i];
+        } else {
+            return usage();
+        }
+    }
+    serve::Service service;
+    if (!socket_path.empty())
+        return serve::runUnixServer(service, socket_path);
+    return serve::runStdioServer(service);
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    if (argc >= 2 && std::strcmp(argv[1], "--help") == 0) {
+        std::printf("%s", serve::cliHelpText().c_str());
+        return 0;
+    }
+    if (argc >= 2 && std::strcmp(argv[1], "serve") == 0)
+        return runServe(argc, argv);
     if (argc != 3)
         return usage();
     const std::string text = readInput(argv[1]);

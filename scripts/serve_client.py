@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Scriptable client for the manta_cli serve daemon (docs/SERVING.md).
+
+Speaks the NDJSON protocol over the daemon's stdio transport. Because
+stdio responses may arrive out of request order (they are dispatched to
+a task pool), the client matches responses by id rather than position.
+
+As a library:
+
+    with ServeClient(["./build/examples/manta_cli", "serve"]) as c:
+        r = c.request("analyze", {"binary": "demo", "text": mir_text})
+
+As a CI smoke (used by .github/workflows/ci.yml):
+
+    python3 scripts/serve_client.py --binary ./build/examples/manta_cli
+
+analyzes a built-in module, exercises every query method plus a
+snapshot save/load round-trip, re-analyzes a patched module, and
+asserts that the rendered types/lint/icall artifacts are byte-identical
+between a MANTA_JOBS=1 daemon and a MANTA_JOBS=8 daemon, and between
+warm and cold analyses of the patched text.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+MIR_BASE = """\
+func @c(%p:64) {
+entry:
+  %v = load.64 %p
+  %w = add %v, 1:64
+  ret %w
+}
+func @b(%p:64) {
+entry:
+  %r = call.64 @c(%p)
+  ret %r
+}
+func @a() {
+entry:
+  %buf = alloca 16
+  store %buf, 7:64
+  %r = call.64 @b(%buf)
+  ret %r
+}
+"""
+
+# @b patched: one extra instruction. dirty must be exactly ["b"].
+MIR_PATCHED = MIR_BASE.replace(
+    "  %r = call.64 @c(%p)\n  ret %r\n}",
+    "  %r = call.64 @c(%p)\n  %s = add %r, 2:64\n  ret %s\n}", 1)
+
+
+class ServeClient:
+    """One daemon process plus id-matched request/response plumbing."""
+
+    def __init__(self, argv, env=None):
+        full_env = dict(os.environ)
+        if env:
+            full_env.update(env)
+        self.proc = subprocess.Popen(
+            argv, stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            env=full_env, text=True)
+        self.next_id = 0
+        self.responses = {}
+
+    def request(self, method, params=None):
+        self.next_id += 1
+        req = {"id": self.next_id, "method": method}
+        if params is not None:
+            req["params"] = params
+        self.proc.stdin.write(json.dumps(req) + "\n")
+        self.proc.stdin.flush()
+        return self.await_response(self.next_id)
+
+    def await_response(self, want_id):
+        while want_id not in self.responses:
+            line = self.proc.stdout.readline()
+            if not line:
+                raise RuntimeError("daemon closed the pipe")
+            resp = json.loads(line)
+            self.responses[resp.get("id")] = resp
+        return self.responses.pop(want_id)
+
+    def result(self, method, params=None):
+        resp = self.request(method, params)
+        if not resp.get("ok"):
+            raise RuntimeError(f"{method} failed: {resp.get('error')}")
+        return resp["result"]
+
+    def shutdown(self):
+        if self.proc.poll() is None:
+            resp = self.request("shutdown")
+            assert resp.get("ok"), resp
+            self.proc.stdin.close()
+            self.proc.wait(timeout=30)
+        return self.proc.returncode
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        try:
+            self.shutdown()
+        finally:
+            if self.proc.poll() is None:
+                self.proc.kill()
+
+
+def renders(client, binary):
+    return {what: client.result(what, {"binary": binary})["text"]
+            for what in ("types", "lint", "icall")}
+
+
+def smoke_session(binary_path, jobs, snap_path):
+    """Full protocol pass at one pool width; returns rendered artifacts."""
+    with ServeClient([binary_path, "serve"],
+                     env={"MANTA_JOBS": str(jobs)}) as c:
+        out = c.result("analyze", {"binary": "demo", "text": MIR_BASE})
+        assert out["funcs"] == 3, out
+
+        again = c.result("analyze", {"binary": "demo", "text": MIR_BASE})
+        assert again["unchanged"], again
+
+        cold = renders(c, "demo")
+        values = c.result(
+            "slice", {"binary": "demo", "func": "a", "value": "buf"})
+        assert values["values"], values
+
+        c.result("snapshot_save", {"binary": "demo", "path": snap_path})
+        c.result("snapshot_load", {"binary": "demo2", "path": snap_path})
+        assert renders(c, "demo2") == cold, "snapshot reload diverged"
+
+        # Warm re-analysis of the patched text: invalidation must name
+        # exactly the edited function, and warm renders must match a
+        # cold session's byte-for-byte.
+        patched = c.result(
+            "analyze", {"binary": "demo", "text": MIR_PATCHED})
+        assert patched["dirty"] == ["b"], patched
+        warm = renders(c, "demo")
+        c.result("analyze", {"binary": "fresh", "text": MIR_PATCHED})
+        assert warm == renders(c, "fresh"), "warm vs cold renders diverged"
+
+        status = c.result("status")
+        assert status["jobs"] == jobs, status
+        assert len(status["binaries"]) == 3, status
+
+        bad = c.request("types", {"binary": "nosuch"})
+        assert not bad["ok"] and bad["error"]["code"] == "unknown_binary"
+        return warm
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", default="./build/examples/manta_cli",
+                        help="path to the manta_cli binary")
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        j1 = smoke_session(args.binary, 1, os.path.join(tmp, "j1.msnp"))
+        j8 = smoke_session(args.binary, 8, os.path.join(tmp, "j8.msnp"))
+    if j1 != j8:
+        print("FAIL: MANTA_JOBS=1 and MANTA_JOBS=8 renders differ",
+              file=sys.stderr)
+        return 1
+    print("serve smoke OK: protocol, snapshot round-trip, invalidation, "
+          "warm==cold, jobs(1)==jobs(8)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

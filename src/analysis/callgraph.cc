@@ -97,4 +97,44 @@ CallGraph::isAcyclic() const
     return true;
 }
 
+std::vector<FuncId>
+callClosure(const CallGraph &graph, const Module &module,
+            const std::vector<FuncId> &dirty)
+{
+    std::vector<char> in(module.numFuncs(), 0);
+    std::vector<FuncId> stack;
+    for (const FuncId f : dirty) {
+        if (f.index() < in.size() && !in[f.index()]) {
+            in[f.index()] = 1;
+            stack.push_back(f);
+        }
+    }
+    // Two independent sweeps (down along callees, up along callers)
+    // would under-approximate: a dirtied callee's change can surface
+    // in a caller which then feeds another callee. One worklist over
+    // the union relation computes the combined closure.
+    while (!stack.empty()) {
+        const FuncId f = stack.back();
+        stack.pop_back();
+        for (const FuncId n : graph.callees(f)) {
+            if (!in[n.index()]) {
+                in[n.index()] = 1;
+                stack.push_back(n);
+            }
+        }
+        for (const FuncId n : graph.callers(f)) {
+            if (!in[n.index()]) {
+                in[n.index()] = 1;
+                stack.push_back(n);
+            }
+        }
+    }
+    std::vector<FuncId> out;
+    for (std::size_t f = 0; f < in.size(); ++f) {
+        if (in[f])
+            out.emplace_back(static_cast<FuncId::RawType>(f));
+    }
+    return out;
+}
+
 } // namespace manta

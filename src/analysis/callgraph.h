@@ -51,6 +51,18 @@ class CallGraph
     std::vector<std::vector<InstId>> sites_of_;
 };
 
+/**
+ * The call closure of a dirty set: `dirty` itself plus every function
+ * reachable from it along call edges in either direction (transitive
+ * callers and transitive callees). This is the conservative
+ * re-analysis frontier the serving layer reports for an incremental
+ * update: a change can flow downward into callees (arguments) and
+ * upward into callers (returns). Returned in ascending raw-id order.
+ */
+std::vector<FuncId> callClosure(const CallGraph &graph,
+                                const Module &module,
+                                const std::vector<FuncId> &dirty);
+
 } // namespace manta
 
 #endif // MANTA_ANALYSIS_CALLGRAPH_H

@@ -1,6 +1,6 @@
 #include "analysis/ddg.h"
 
-#include <map>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -13,8 +13,6 @@ namespace manta {
 Ddg::Ddg(const Module &module, const PointsTo &pts)
     : module_(module), pts_(pts)
 {
-    build_out_.assign(module.numValues(), {});
-    build_in_.assign(module.numValues(), {});
     buildSsaEdges();
     buildMemoryEdges();
     buildCallEdges();
@@ -26,30 +24,34 @@ Ddg::addEdge(ValueId from, ValueId to, DepKind kind, InstId site)
 {
     if (!from.valid() || !to.valid())
         return;
-    const auto index = static_cast<std::uint32_t>(edges_.size());
     edges_.push_back(Edge{from, to, kind, site, false});
-    build_out_[from.index()].push_back(index);
-    build_in_[to.index()].push_back(index);
 }
 
 namespace {
 
+/**
+ * Two-pass counting sort of edge indices into CSR form: count
+ * degrees, prefix-sum, then scatter in edge-index order - which
+ * preserves per-row insertion order, exactly as building per-value
+ * vectors would, without a heap allocation per touched value.
+ */
 void
-packCsr(std::vector<std::vector<std::uint32_t>> &build,
-        std::vector<std::uint32_t> &data, std::vector<std::uint32_t> &start)
+packCsr(const std::vector<Ddg::Edge> &edges, std::size_t num_values,
+        bool by_from, std::vector<std::uint32_t> &data,
+        std::vector<std::uint32_t> &start)
 {
-    start.resize(build.size() + 1);
-    std::uint32_t total = 0;
-    for (std::size_t i = 0; i < build.size(); ++i) {
-        start[i] = total;
-        total += static_cast<std::uint32_t>(build[i].size());
+    start.assign(num_values + 1, 0);
+    for (const Ddg::Edge &e : edges)
+        ++start[(by_from ? e.from : e.to).index() + 1];
+    for (std::size_t i = 1; i <= num_values; ++i)
+        start[i] += start[i - 1];
+    data.resize(edges.size());
+    std::vector<std::uint32_t> fill(start.begin(), start.end() - 1);
+    for (std::uint32_t e = 0; e < edges.size(); ++e) {
+        const std::size_t row =
+            (by_from ? edges[e].from : edges[e].to).index();
+        data[fill[row]++] = e;
     }
-    start[build.size()] = total;
-    data.reserve(total);
-    for (const auto &row : build)
-        data.insert(data.end(), row.begin(), row.end());
-    build.clear();
-    build.shrink_to_fit();
 }
 
 } // namespace
@@ -57,8 +59,8 @@ packCsr(std::vector<std::vector<std::uint32_t>> &build,
 void
 Ddg::packAdjacency()
 {
-    packCsr(build_out_, out_data_, out_start_);
-    packCsr(build_in_, in_data_, in_start_);
+    packCsr(edges_, module_.numValues(), true, out_data_, out_start_);
+    packCsr(edges_, module_.numValues(), false, in_data_, in_start_);
 }
 
 EdgeRange
@@ -141,7 +143,12 @@ Ddg::buildSsaEdges()
 void
 Ddg::buildMemoryEdges()
 {
-    StoreReach reach(module_);
+    // Reuse the points-to analysis's reachability tables when it built
+    // them (flow-aware runs); otherwise compute our own.
+    std::unique_ptr<StoreReach> local;
+    if (!pts_.reach())
+        local = std::make_unique<StoreReach>(module_);
+    const StoreReach &reach = pts_.reach() ? *pts_.reach() : *local;
 
     // Pseudo-store entry: field loc, carrier value, site, address SSA
     // value (invalid for external pseudo-stores).
@@ -152,7 +159,9 @@ Ddg::buildMemoryEdges()
         InstId site;
         ValueId addr;
     };
-    std::map<std::uint32_t, std::vector<StoreEntry>> stores;
+    // Only ever probed by find(); never iterated, so hashing keeps
+    // the edge order deterministic.
+    std::unordered_map<std::uint32_t, std::vector<StoreEntry>> stores;
 
     InstId current_site;
     ValueId current_addr;

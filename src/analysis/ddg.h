@@ -124,9 +124,6 @@ class Ddg
     const Module &module_;
     const PointsTo &pts_;
     std::vector<Edge> edges_;
-    /** Build-time adjacency; released by packAdjacency(). */
-    std::vector<std::vector<std::uint32_t>> build_out_;
-    std::vector<std::vector<std::uint32_t>> build_in_;
     /** CSR-packed adjacency (start has numValues + 1 entries). */
     std::vector<std::uint32_t> out_data_, out_start_;
     std::vector<std::uint32_t> in_data_, in_start_;

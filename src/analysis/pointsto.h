@@ -96,6 +96,13 @@ class PointsTo
     /** Every populated (object, offset) field bucket. */
     std::vector<std::pair<ObjectId, std::int32_t>> fieldBuckets() const;
 
+    /**
+     * The store-to-load reachability tables this analysis queries, or
+     * null when not flow-aware. Downstream substrate builders (the
+     * DDG) reuse them instead of recomputing the same closure.
+     */
+    const StoreReach *reach() const { return reach_.get(); }
+
     /** Number of fixpoint passes taken (for stats/tests). */
     std::size_t passes() const { return stats_.passes; }
 

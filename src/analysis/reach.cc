@@ -39,20 +39,46 @@ StoreReach::StoreReach(const Module &module) : module_(module)
         }
     }
 
-    // Block-to-block may-reach, per function (block ids are unique
-    // module-wide, so one set serves every function).
+    // Block-to-block may-reach, per function. Successor lists are
+    // flattened to function-local indices once, then one DFS per
+    // start block fills that block's bitset row.
+    block_local_.assign(module.numBlocks(), 0);
+    block_row_.assign(module.numBlocks(), 0);
+    std::vector<std::uint32_t> adj;
+    std::vector<std::uint32_t> adj_start;
+    std::vector<std::uint32_t> stack;
+    std::vector<unsigned char> seen;
     for (const FuncId fid : module.funcIds()) {
         const Cfg cfg(module_, fid);
-        for (const BlockId start : module.func(fid).blocks) {
-            std::vector<BlockId> stack{start};
-            std::unordered_set<std::uint32_t> seen;
+        const std::vector<BlockId> &blocks = module.func(fid).blocks;
+        const std::uint32_t n = static_cast<std::uint32_t>(blocks.size());
+        const std::uint32_t words = (n + 63) / 64;
+        for (std::uint32_t i = 0; i < n; ++i)
+            block_local_[blocks[i].index()] = i;
+        adj.clear();
+        adj_start.assign(n + 1, 0);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            for (const BlockId next : cfg.succs(blocks[i]))
+                adj.push_back(block_local_[next.index()]);
+            adj_start[i + 1] = static_cast<std::uint32_t>(adj.size());
+        }
+        const std::size_t base = reach_bits_.size();
+        reach_bits_.resize(base + std::size_t(n) * words, 0);
+        seen.assign(n, 0);
+        for (std::uint32_t s = 0; s < n; ++s) {
+            block_row_[blocks[s].index()] = base + std::size_t(s) * words;
+            std::uint64_t *row = reach_bits_.data() + block_row_[blocks[s].index()];
+            std::fill(seen.begin(), seen.end(), 0);
+            stack.assign(1, s);
             while (!stack.empty()) {
-                const BlockId at = stack.back();
+                const std::uint32_t at = stack.back();
                 stack.pop_back();
-                for (const BlockId next : cfg.succs(at)) {
-                    if (seen.insert(next.raw()).second) {
-                        block_reach_.insert(
-                            packPair(start.raw(), next.raw()));
+                for (std::uint32_t e = adj_start[at]; e < adj_start[at + 1];
+                     ++e) {
+                    const std::uint32_t next = adj[e];
+                    if (!seen[next]) {
+                        seen[next] = 1;
+                        row[next >> 6] |= std::uint64_t(1) << (next & 63);
                         stack.push_back(next);
                     }
                 }
@@ -98,7 +124,11 @@ StoreReach::reaches(InstId store, ValueId store_addr, InstId load) const
 bool
 StoreReach::blockReaches(BlockId from, BlockId to) const
 {
-    return block_reach_.count(packPair(from.raw(), to.raw())) > 0;
+    // Callers guarantee `from` and `to` share a function, so the
+    // local index of `to` addresses `from`'s row.
+    const std::uint32_t to_local = block_local_[to.index()];
+    const std::uint64_t *row = reach_bits_.data() + block_row_[from.index()];
+    return (row[to_local >> 6] >> (to_local & 63)) & 1;
 }
 
 } // namespace manta

@@ -19,7 +19,7 @@
 #ifndef MANTA_ANALYSIS_REACH_H
 #define MANTA_ANALYSIS_REACH_H
 
-#include <unordered_set>
+#include <cstdint>
 #include <vector>
 
 #include "mir/mir.h"
@@ -45,8 +45,17 @@ class StoreReach
 
     const Module &module_;
     std::vector<std::uint32_t> position_;
-    /** (from block << 32 | to block) pairs with a non-trivial CFG path. */
-    std::unordered_set<std::uint64_t> block_reach_;
+    /**
+     * Block-to-block may-reach as one bitset row per block over its
+     * function's blocks (function-local indices): row `from` has bit
+     * `to` set when a non-trivial CFG path exists. Queries are only
+     * ever intra-function, so local indices suffice, and rows for a
+     * few dozen blocks stay a handful of words where a pair set would
+     * pay a hash per edge of the closure.
+     */
+    std::vector<std::uint32_t> block_local_; ///< block raw -> local index
+    std::vector<std::size_t> block_row_;     ///< block raw -> word offset
+    std::vector<std::uint64_t> reach_bits_;
     /** (block << 32 | address value) -> index into store_positions_. */
     FlatU64Map store_index_;
     /** Ascending in-block positions of stores through one address. */

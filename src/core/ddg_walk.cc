@@ -108,13 +108,56 @@ DdgWalker::edgeFeasibleCached(std::uint32_t index, const Ddg::Edge &edge)
     return slot == 1;
 }
 
+void
+DdgWalker::beginQueryCapture()
+{
+    if (!capture_)
+        return;
+    query_funcs_seen_.newEpoch();
+    query_funcs_.clear();
+}
+
+void
+DdgWalker::mergeQueryIntoCandidate()
+{
+    if (!capture_)
+        return;
+    for (const std::uint32_t f : query_funcs_) {
+        if (cand_funcs_seen_.mark(f))
+            cand_funcs_.push_back(f);
+    }
+}
+
+void
+DdgWalker::replayTouched(
+    const std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>
+        &funcs,
+    std::uint32_t key)
+{
+    if (!capture_)
+        return;
+    const auto it = funcs.find(key);
+    if (it == funcs.end()) {
+        // Summary predates capture being enabled; its reads are
+        // unaccounted for, so the candidate cannot be cached.
+        cand_poisoned_ = true;
+        return;
+    }
+    for (const std::uint32_t f : it->second) {
+        if (cand_funcs_seen_.mark(f))
+            cand_funcs_.push_back(f);
+    }
+}
+
 std::vector<ValueId>
 DdgWalker::findRoots(ValueId v)
 {
     ++stats_.queries;
+    beginQueryCapture();
     std::vector<ValueId> roots = engine_ == WalkEngine::Fast
                                      ? findRootsFast(v)
                                      : findRootsRef(v);
+    mergeQueryIntoCandidate();
     if (truncated_)
         ++stats_.truncated;
     return roots;
@@ -133,6 +176,7 @@ DdgWalker::findRootsFast(ValueId v)
     std::vector<FastFrame> work;
     work.push_back(FastFrame{v.raw(), CtxInterner::kEmpty});
     visited_.insert(v.raw(), CtxInterner::kNoSite);
+    touchValue(v.raw());
 
     std::size_t steps = 0;
     while (!work.empty()) {
@@ -147,6 +191,9 @@ DdgWalker::findRootsFast(ValueId v)
         const ValueId node(static_cast<ValueId::RawType>(frame.node));
         for (const auto idx : ddg_.inEdges(node)) {
             const Ddg::Edge &edge = ddg_.edge(idx);
+            // Examined endpoints count as reads even when the edge is
+            // skipped: pruning/kind/feasibility were consulted.
+            touchValue(edge.from.raw());
             if (edge.pruned || !isAliasEdge(edge.kind) ||
                     !edgeFeasibleCached(idx, edge)) {
                 continue;
@@ -247,9 +294,11 @@ std::vector<TypeRef>
 DdgWalker::collectTypes(ValueId root, const HintIndex &hints)
 {
     ++stats_.queries;
+    beginQueryCapture();
     std::vector<TypeRef> types = engine_ == WalkEngine::Fast
                                      ? collectTypesFast(root, hints)
                                      : collectTypesRef(root, hints);
+    mergeQueryIntoCandidate();
     if (truncated_)
         ++stats_.truncated;
     return types;
@@ -266,6 +315,7 @@ DdgWalker::collectTypesFast(ValueId root, const HintIndex &hints)
     std::vector<FastFrame> work;
     work.push_back(FastFrame{root.raw(), CtxInterner::kEmpty});
     visited_.insert(root.raw(), CtxInterner::kNoSite);
+    touchValue(root.raw());
 
     std::size_t steps = 0;
     while (!work.empty()) {
@@ -282,6 +332,7 @@ DdgWalker::collectTypesFast(ValueId root, const HintIndex &hints)
 
         for (const auto idx : ddg_.outEdges(node)) {
             const Ddg::Edge &edge = ddg_.edge(idx);
+            touchValue(edge.to.raw());
             if (edge.pruned || !isAliasEdge(edge.kind) ||
                     !edgeFeasibleCached(idx, edge)) {
                 continue;
@@ -374,6 +425,7 @@ DdgWalker::rootsOf(ValueId v)
         ++stats_.queries;
         ++stats_.memoHits;
         truncated_ = false;
+        replayTouched(roots_funcs_, v.raw());
         return it->second;
     }
     std::vector<ValueId> roots = findRoots(v);
@@ -383,6 +435,8 @@ DdgWalker::rootsOf(ValueId v)
         scratch_roots_ = std::move(roots);
         return scratch_roots_;
     }
+    if (capture_)
+        roots_funcs_.emplace(v.raw(), query_funcs_);
     return roots_memo_.emplace(v.raw(), std::move(roots)).first->second;
 }
 
@@ -397,6 +451,7 @@ DdgWalker::typesOf(ValueId root, const HintIndex &hints)
     }
     if (memo_hints_ != &hints) {
         types_memo_.clear();
+        types_funcs_.clear();
         memo_hints_ = &hints;
     }
     const auto it = types_memo_.find(root.raw());
@@ -404,6 +459,7 @@ DdgWalker::typesOf(ValueId root, const HintIndex &hints)
         ++stats_.queries;
         ++stats_.memoHits;
         truncated_ = false;
+        replayTouched(types_funcs_, root.raw());
         return it->second;
     }
     std::vector<TypeRef> types = collectTypes(root, hints);
@@ -411,6 +467,8 @@ DdgWalker::typesOf(ValueId root, const HintIndex &hints)
         scratch_types_ = std::move(types);
         return scratch_types_;
     }
+    if (capture_)
+        types_funcs_.emplace(root.raw(), query_funcs_);
     return types_memo_.emplace(root.raw(), std::move(types)).first->second;
 }
 

@@ -297,6 +297,61 @@ class DdgWalker
      */
     bool arithEdgeFeasible(const Ddg::Edge &edge) const;
 
+    /// @name Touch capture (incremental re-analysis, core/refine_memo.h).
+    ///
+    /// When enabled, every query records the owning function of every
+    /// value it reads (visited nodes AND examined edge endpoints - a
+    /// skipped edge was still consulted for kind/pruning/feasibility).
+    /// Memoized queries store their touched-function list alongside the
+    /// summary and replay it on hits, so a candidate's touched-set is
+    /// complete even when its queries were answered from summaries
+    /// computed for an earlier candidate. Fast engine only; the stages
+    /// never enable capture on the reference engine.
+    /// @{
+
+    /** `owners[value raw id]` = owning function raw id (invalid raw =
+     *  unattributable; touching such a value poisons the candidate). */
+    void
+    enableTouchCapture(const std::uint32_t *owners, std::size_t count)
+    {
+        capture_ = owners != nullptr;
+        owners_ = owners;
+        owners_count_ = count;
+    }
+
+    /** Reset the per-candidate touched set (epoch bump, no clearing). */
+    void
+    beginCandidate()
+    {
+        cand_funcs_seen_.newEpoch();
+        cand_funcs_.clear();
+        cand_poisoned_ = false;
+    }
+
+    /** Explicitly add a function (the flow stage's CFG walks). */
+    void
+    noteFunc(std::uint32_t func_raw)
+    {
+        if (!capture_)
+            return;
+        if (cand_funcs_seen_.mark(func_raw))
+            cand_funcs_.push_back(func_raw);
+    }
+
+    /** True when the candidate touched an unattributable value. */
+    bool candidatePoisoned() const { return cand_poisoned_; }
+
+    /** Whether capture is on (callers gate their own noteFunc reads). */
+    bool captureEnabled() const { return capture_; }
+
+    /** Raw function ids touched since beginCandidate (unordered). */
+    const std::vector<std::uint32_t> &
+    candidateTouched() const
+    {
+        return cand_funcs_;
+    }
+    /// @}
+
   private:
     std::vector<ValueId> findRootsFast(ValueId v);
     std::vector<ValueId> findRootsRef(ValueId v);
@@ -305,6 +360,31 @@ class DdgWalker
     std::vector<TypeRef> collectTypesRef(ValueId root,
                                          const HintIndex &hints);
     bool edgeFeasibleCached(std::uint32_t index, const Ddg::Edge &edge);
+
+    /** Record one value read by the current query (capture only). */
+    void
+    touchValue(std::uint32_t value_raw)
+    {
+        if (!capture_)
+            return;
+        const std::uint32_t owner = value_raw < owners_count_
+                                        ? owners_[value_raw]
+                                        : 0xffffffffu;
+        if (owner == 0xffffffffu) {
+            cand_poisoned_ = true;
+            return;
+        }
+        if (query_funcs_seen_.mark(owner))
+            query_funcs_.push_back(owner);
+    }
+
+    void beginQueryCapture();
+    void mergeQueryIntoCandidate();
+    /** Replay a memoized query's stored touched list (or poison). */
+    void replayTouched(
+        const std::unordered_map<std::uint32_t,
+                                 std::vector<std::uint32_t>> &funcs,
+        std::uint32_t key);
 
     const Ddg &ddg_;
     const TypeEnv *env_;
@@ -327,6 +407,23 @@ class DdgWalker
     /** Holds truncated (uncacheable) results for the by-ref accessors. */
     std::vector<ValueId> scratch_roots_;
     std::vector<TypeRef> scratch_types_;
+
+    /// @name Touch-capture state (see enableTouchCapture).
+    /// @{
+    bool capture_ = false;
+    const std::uint32_t *owners_ = nullptr;
+    std::size_t owners_count_ = 0;
+    EpochFlags query_funcs_seen_;
+    std::vector<std::uint32_t> query_funcs_;
+    EpochFlags cand_funcs_seen_;
+    std::vector<std::uint32_t> cand_funcs_;
+    bool cand_poisoned_ = false;
+    /** Touched-function lists stored alongside the query summaries. */
+    std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>
+        roots_funcs_;
+    std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>
+        types_funcs_;
+    /// @}
 };
 
 } // namespace manta

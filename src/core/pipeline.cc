@@ -100,6 +100,12 @@ MantaAnalyzer::infer()
 InferenceResult
 MantaAnalyzer::infer(const HybridConfig &config)
 {
+    return infer(config, nullptr);
+}
+
+InferenceResult
+MantaAnalyzer::infer(const HybridConfig &config, RefineMemo *memo)
+{
     const HybridConfig saved = config_;
     config_ = config;
     Timer timer;
@@ -135,14 +141,27 @@ MantaAnalyzer::infer(const HybridConfig &config)
         }
     }
 
+    // The memo keys candidate records by post-FI content, so it only
+    // engages when the FI stage ran and the fast engine answers the
+    // walks; beginRun lets the memo itself veto (e.g. on a budget or
+    // configuration mismatch with its stored records).
+    if (memo != nullptr) {
+        if (!config_.flowInsensitive ||
+                config_.walkEngine != WalkEngine::Fast ||
+                !memo->beginRun(module_, *ddg_, *hints_, *pts_, env_ref,
+                                config_.budget))
+            memo = nullptr;
+    }
+
     auto run_cs = [&](const std::vector<ValueId> &candidates) {
         const ScopedSeconds cs_clock(result.profile_.csSeconds);
         CtxRefinement cs(module_, *ddg_, *hints_, env_ref, config_.budget,
-                         config_.walkEngine, config_.walkParallel);
+                         config_.walkEngine, config_.walkParallel, memo);
         CtxRefineResult cs_result = cs.run(candidates);
         result.profile_.csResolved = cs_result.resolved;
         result.profile_.csStillOver = cs_result.stillOver.size();
         result.profile_.csWalk = cs_result.walk;
+        result.profile_.csReused = cs_result.reused;
         for (const auto &[v, bp] : cs_result.refined)
             result.overlay_[v] = bp;
         return std::move(cs_result.stillOver);
@@ -150,11 +169,12 @@ MantaAnalyzer::infer(const HybridConfig &config)
     auto run_fs = [&](const std::vector<ValueId> &candidates) {
         const ScopedSeconds fs_clock(result.profile_.fsSeconds);
         FlowRefinement fs(module_, *ddg_, *hints_, env_ref, config_.budget,
-                          config_.walkEngine, config_.walkParallel);
+                          config_.walkEngine, config_.walkParallel, memo);
         FlowRefineResult fs_result = fs.run(candidates);
         result.profile_.fsResolved = fs_result.resolved;
         result.profile_.fsLost = fs_result.lost;
         result.profile_.fsWalk = fs_result.walk;
+        result.profile_.fsReused = fs_result.reused;
         std::vector<ValueId> still_over;
         for (const auto &[v, bp] : fs_result.refined) {
             result.overlay_[v] = bp;

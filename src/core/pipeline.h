@@ -111,6 +111,8 @@ struct InferenceProfile
     std::size_t csStillOver = 0; ///< Passed on to flow refinement.
     std::size_t fsResolved = 0;  ///< Made precise by flow refinement.
     std::size_t fsLost = 0;      ///< Refined to unknown by flow stage.
+    std::size_t csReused = 0;    ///< CS candidates answered from a memo.
+    std::size_t fsReused = 0;    ///< FS candidates answered from a memo.
     std::size_t hintCount = 0;
     double seconds = 0.0;        ///< End-to-end wall clock of infer().
 
@@ -245,6 +247,15 @@ class MantaAnalyzer
 
     /** Run with an explicit configuration (substrates are shared). */
     InferenceResult infer(const HybridConfig &config);
+
+    /**
+     * Run with a cross-run refinement memo (serve/incremental mode).
+     * The memo is consulted and populated by the CS/FS stages; it is
+     * only engaged for the fast walk engine with the flow-insensitive
+     * stage on (the memo keys candidates by post-FI content), and only
+     * if `memo->beginRun(...)` accepts this module/configuration.
+     */
+    InferenceResult infer(const HybridConfig &config, RefineMemo *memo);
 
     const PointsTo &pts() const { return *pts_; }
     const MemObjects &memObjects() const { return *objects_; }

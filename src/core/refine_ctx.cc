@@ -32,27 +32,63 @@ CtxRefinement::run(const std::vector<ValueId> &over_approx)
     CtxRefineResult result;
     TypeTable &tt = module_.types();
     const std::size_t n = over_approx.size();
-    std::vector<std::vector<TypeRef>> collected(n);
+
+    // Phase 0: memo consult. Each lookup is a hash-compare over the
+    // candidate's recorded touched-set; hits skip the walk phase
+    // entirely (their stored bounds are applied in the merge phase).
+    const bool use_memo = memo_ != nullptr && engine_ == WalkEngine::Fast;
+    std::vector<CtxCached> cached(use_memo ? n : 0);
+    std::vector<char> hit(n, 0);
+    std::vector<std::size_t> misses;
+    misses.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (use_memo && memo_->lookupCtx(over_approx[i], cached[i]))
+            hit[i] = 1;
+        else
+            misses.push_back(i);
+    }
+    const std::size_t m = misses.size();
+
+    const std::uint32_t *owners = nullptr;
+    std::size_t owners_count = 0;
+    if (use_memo)
+        owners = memo_->valueOwners(&owners_count);
+
+    std::vector<std::vector<TypeRef>> collected(m);
+    std::vector<std::vector<std::uint32_t>> touched(use_memo ? m : 0);
+    std::vector<char> poisoned(m, 0);
+
+    auto walkRange = [&](DdgWalker &walker, std::size_t lo, std::size_t hi) {
+        for (std::size_t k = lo; k < hi; ++k) {
+            if (use_memo)
+                walker.beginCandidate();
+            collectFor(walker, over_approx[misses[k]], collected[k]);
+            if (use_memo) {
+                touched[k] = walker.candidateTouched();
+                poisoned[k] = walker.candidatePoisoned() ? 1 : 0;
+            }
+        }
+    };
 
     // Phase 1: traversal. Reads only frozen state (graph, environment,
     // hints, interned types), so chunks can run on the shared pool.
-    if (parallel_ && engine_ == WalkEngine::Fast && n > 1) {
-        const std::size_t chunks = (n + kChunk - 1) / kChunk;
+    if (parallel_ && engine_ == WalkEngine::Fast && m > 1) {
+        const std::size_t chunks = (m + kChunk - 1) / kChunk;
         std::vector<WalkStats> stats(chunks);
         sharedPool().parallelFor(chunks, [&](std::size_t c) {
             DdgWalker walker(ddg_, &env_, tt, budget_, engine_);
-            const std::size_t lo = c * kChunk;
-            const std::size_t hi = std::min(n, lo + kChunk);
-            for (std::size_t i = lo; i < hi; ++i)
-                collectFor(walker, over_approx[i], collected[i]);
+            if (use_memo)
+                walker.enableTouchCapture(owners, owners_count);
+            walkRange(walker, c * kChunk, std::min(m, (c + 1) * kChunk));
             stats[c] = walker.stats();
         });
         for (const WalkStats &s : stats)
             result.walk.merge(s);
-    } else {
+    } else if (m > 0) {
         DdgWalker walker(ddg_, &env_, tt, budget_, engine_);
-        for (std::size_t i = 0; i < n; ++i)
-            collectFor(walker, over_approx[i], collected[i]);
+        if (use_memo)
+            walker.enableTouchCapture(owners, owners_count);
+        walkRange(walker, 0, m);
         result.walk = walker.stats();
     }
 
@@ -60,20 +96,38 @@ CtxRefinement::run(const std::vector<ValueId> &over_approx)
     // new type nodes; the interning order defines TypeRef ids).
     std::vector<TypeRef> uniq;
     std::unordered_set<std::uint32_t> seen;
+    std::size_t mi = 0;
     for (std::size_t i = 0; i < n; ++i) {
         const ValueId v = over_approx[i];
+        if (hit[i]) {
+            ++result.reused;
+            if (!cached[i].hasBound) {
+                result.stillOver.push_back(v);
+                continue;
+            }
+            const BoundPair refined = cached[i].bound;
+            result.refined.emplace(v, refined);
+            if (refined.classify(tt) == TypeClass::Precise)
+                ++result.resolved;
+            else
+                result.stillOver.push_back(v);
+            continue;
+        }
+        const std::size_t k = mi++;
         // Overlapping root closures surface the same annotation many
         // times; joining a duplicate is not always a no-op once joins
         // have widened past it, so dedup (keeping first occurrence)
         // before folding.
         uniq.clear();
         seen.clear();
-        for (const TypeRef t : collected[i]) {
+        for (const TypeRef t : collected[k]) {
             if (seen.insert(t.raw()).second)
                 uniq.push_back(t);
         }
         if (uniq.empty()) {
             result.stillOver.push_back(v);
+            if (use_memo && !poisoned[k])
+                memo_->storeCtx(v, CtxCached{}, touched[k]);
             continue;
         }
         BoundPair refined(tt.joinAll(uniq), tt.meetAll(uniq));
@@ -86,6 +140,8 @@ CtxRefinement::run(const std::vector<ValueId> &over_approx)
         } else {
             result.stillOver.push_back(v);
         }
+        if (use_memo && !poisoned[k])
+            memo_->storeCtx(v, CtxCached{true, refined}, touched[k]);
     }
     return result;
 }

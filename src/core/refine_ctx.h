@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/ddg_walk.h"
+#include "core/refine_memo.h"
 
 namespace manta {
 
@@ -42,6 +43,9 @@ struct CtxRefineResult
     /** Variables still over-approximated after refinement. */
     std::vector<ValueId> stillOver;
 
+    /** Candidates answered from the cross-run memo (0 without one). */
+    std::size_t reused = 0;
+
     /** Traversal work counters, merged across all walkers. */
     WalkStats walk;
 };
@@ -53,9 +57,10 @@ class CtxRefinement
     CtxRefinement(Module &module, const Ddg &ddg, const HintIndex &hints,
                   TypeEnv &env, WalkBudget budget = {},
                   WalkEngine engine = defaultWalkEngine(),
-                  bool parallel = false)
+                  bool parallel = false, RefineMemo *memo = nullptr)
         : module_(module), ddg_(ddg), hints_(hints), env_(env),
-          budget_(budget), engine_(engine), parallel_(parallel)
+          budget_(budget), engine_(engine), parallel_(parallel),
+          memo_(memo)
     {}
 
     /** Refine every variable in `over_approx` (Algorithm 1). */
@@ -77,6 +82,7 @@ class CtxRefinement
     WalkBudget budget_;
     WalkEngine engine_;
     bool parallel_;
+    RefineMemo *memo_;
 };
 
 } // namespace manta

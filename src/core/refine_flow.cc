@@ -30,9 +30,9 @@ struct FlowRefinement::Worker
 FlowRefinement::FlowRefinement(Module &module, const Ddg &ddg,
                                const HintIndex &hints, TypeEnv &env,
                                WalkBudget budget, WalkEngine engine,
-                               bool parallel)
+                               bool parallel, RefineMemo *memo)
     : module_(module), ddg_(ddg), hints_(hints), env_(env), budget_(budget),
-      engine_(engine), parallel_(parallel), instIndex_(module)
+      engine_(engine), parallel_(parallel), memo_(memo), instIndex_(module)
 {}
 
 const Cfg &
@@ -104,6 +104,11 @@ FlowRefinement::reachableTypesFast(Worker &w, InstId site)
 
         const InstId iid(static_cast<InstId::RawType>(item.inst));
         const Instruction &inst = module_.inst(iid);
+        // Touch capture: the walk read this instruction (and below,
+        // possibly a callee's block structure); its function's content
+        // hash covers the CFG shape, positions and hints read here.
+        if (w.walker.captureEnabled())
+            w.walker.noteFunc(module_.block(inst.parent).func.raw());
 
         // Annotation check: the first alias annotation met along the
         // path is collected and strong-updates (stops) the path.
@@ -130,6 +135,7 @@ FlowRefinement::reachableTypesFast(Worker &w, InstId site)
         // control returns to this point.
         if (inst.op == Opcode::Call && inst.callee.valid() &&
                 w.ctx.depth(item.ctx) < budget_.maxStack) {
+            w.walker.noteFunc(inst.callee.raw());
             const Function &callee = module_.func(inst.callee);
             for (const BlockId bid : callee.blocks) {
                 const BasicBlock &bb = module_.block(bid);
@@ -268,15 +274,8 @@ FlowRefinement::reachableTypesRef(Worker &w, InstId site)
 }
 
 void
-FlowRefinement::processCandidate(Worker &w, ValueId v, CandidateOut &out)
+FlowRefinement::candidateSites(ValueId v, CandidateOut &out) const
 {
-    // Root set for the alias check.
-    w.roots.newEpoch();
-    for (const ValueId r : w.walker.rootsOf(v)) {
-        w.roots.ensure(r.raw() + 1);
-        w.roots.mark(r.raw());
-    }
-
     // Sites: the def site plus every use site.
     const Value &value = module_.value(v);
     if (value.kind == ValueKind::InstResult) {
@@ -290,6 +289,17 @@ FlowRefinement::processCandidate(Worker &w, ValueId v, CandidateOut &out)
         out.sites.push_back(out.defSite);
     for (const InstId user : instIndex_.users(v))
         out.sites.push_back(user);
+}
+
+void
+FlowRefinement::processCandidate(Worker &w, ValueId v, CandidateOut &out)
+{
+    // Root set for the alias check.
+    w.roots.newEpoch();
+    for (const ValueId r : w.walker.rootsOf(v)) {
+        w.roots.ensure(r.raw() + 1);
+        w.roots.mark(r.raw());
+    }
 
     out.siteTypes.reserve(out.sites.size());
     for (const InstId s : out.sites) {
@@ -307,39 +317,101 @@ FlowRefinement::run(const std::vector<ValueId> &candidates)
     const std::size_t n = candidates.size();
     std::vector<CandidateOut> collected(n);
 
+    // Phase 0: site enumeration (cheap, module-derived) and memo
+    // consult. Hits skip the walk phase; their cached per-site bounds
+    // line up positionally with the regenerated site list.
+    const bool use_memo = memo_ != nullptr && engine_ == WalkEngine::Fast;
+    for (std::size_t i = 0; i < n; ++i)
+        candidateSites(candidates[i], collected[i]);
+    std::vector<FlowCached> cached(use_memo ? n : 0);
+    std::vector<char> hit(n, 0);
+    std::vector<std::size_t> misses;
+    misses.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (use_memo && memo_->lookupFlow(candidates[i],
+                                          collected[i].sites.size(),
+                                          cached[i])) {
+            hit[i] = 1;
+        } else {
+            misses.push_back(i);
+        }
+    }
+    const std::size_t m = misses.size();
+
+    const std::uint32_t *owners = nullptr;
+    std::size_t owners_count = 0;
+    if (use_memo)
+        owners = memo_->valueOwners(&owners_count);
+
+    std::vector<std::vector<std::uint32_t>> touched(use_memo ? m : 0);
+    std::vector<char> poisoned(m, 0);
+
+    auto walkRange = [&](Worker &w, std::size_t lo, std::size_t hi) {
+        for (std::size_t k = lo; k < hi; ++k) {
+            if (use_memo)
+                w.walker.beginCandidate();
+            processCandidate(w, candidates[misses[k]],
+                             collected[misses[k]]);
+            if (use_memo) {
+                touched[k] = w.walker.candidateTouched();
+                poisoned[k] = w.walker.candidatePoisoned() ? 1 : 0;
+            }
+        }
+    };
+
     // Phase 1: traversal, reading only frozen state.
-    if (parallel_ && engine_ == WalkEngine::Fast && n > 1) {
+    if (parallel_ && engine_ == WalkEngine::Fast && m > 1) {
         // Build every per-function CFG up front; the lazy cache would
         // be a write from multiple workers.
         for (std::size_t f = 0; f < module_.numFuncs(); ++f)
             cfgOf(FuncId(static_cast<FuncId::RawType>(f)));
-        const std::size_t chunks = (n + kChunk - 1) / kChunk;
+        const std::size_t chunks = (m + kChunk - 1) / kChunk;
         std::vector<WalkStats> stats(chunks);
         sharedPool().parallelFor(chunks, [&](std::size_t c) {
             Worker w(ddg_, &env_, tt, budget_, engine_);
-            const std::size_t lo = c * kChunk;
-            const std::size_t hi = std::min(n, lo + kChunk);
-            for (std::size_t i = lo; i < hi; ++i)
-                processCandidate(w, candidates[i], collected[i]);
+            if (use_memo)
+                w.walker.enableTouchCapture(owners, owners_count);
+            walkRange(w, c * kChunk, std::min(m, (c + 1) * kChunk));
             stats[c] = w.walker.stats();
             stats[c].merge(w.cfgStats);
         });
         for (const WalkStats &s : stats)
             result.walk.merge(s);
-    } else {
+    } else if (m > 0) {
         Worker w(ddg_, &env_, tt, budget_, engine_);
-        for (std::size_t i = 0; i < n; ++i)
-            processCandidate(w, candidates[i], collected[i]);
+        if (use_memo)
+            w.walker.enableTouchCapture(owners, owners_count);
+        walkRange(w, 0, m);
         result.walk = w.walker.stats();
         result.walk.merge(w.cfgStats);
     }
 
     // Phase 2: merge, sequentially in candidate/site order (join/meet
     // intern new type nodes; interning order defines TypeRef ids).
+    std::size_t mi = 0;
     for (std::size_t i = 0; i < n; ++i) {
         const ValueId v = candidates[i];
         const CandidateOut &out = collected[i];
 
+        if (hit[i]) {
+            ++result.reused;
+            const FlowCached &rec = cached[i];
+            for (std::size_t j = 0; j < out.sites.size(); ++j)
+                result.siteBounds.emplace(SiteVar{v, out.sites[j]},
+                                          rec.siteBounds[j]);
+            if (!rec.hasRefined) {
+                ++result.lost;
+            } else {
+                result.refined.emplace(v, rec.refined);
+                if (rec.refined.classify(tt) == TypeClass::Precise)
+                    ++result.resolved;
+            }
+            continue;
+        }
+        const std::size_t k = mi++;
+
+        FlowCached rec;
+        rec.siteBounds.reserve(out.sites.size());
         BoundPair def_bp = BoundPair::anyType(tt);
         for (std::size_t j = 0; j < out.sites.size(); ++j) {
             const InstId s = out.sites[j];
@@ -348,10 +420,12 @@ FlowRefinement::run(const std::vector<ValueId> &candidates)
                 // Site refined to unknown (Section 6.4 aggression).
                 result.siteBounds.emplace(SiteVar{v, s},
                                           BoundPair::anyType(tt));
+                rec.siteBounds.push_back(BoundPair::anyType(tt));
                 continue;
             }
             const BoundPair site_bp(tt.joinAll(types), tt.meetAll(types));
             result.siteBounds.emplace(SiteVar{v, s}, site_bp);
+            rec.siteBounds.push_back(site_bp);
             if (s == out.defSite)
                 def_bp = site_bp;
         }
@@ -367,9 +441,13 @@ FlowRefinement::run(const std::vector<ValueId> &candidates)
             def_bp = BoundPair::refineWithin(tt, def_bp,
                                              env_.boundsOf(TypeVar::of(v)));
             result.refined.emplace(v, def_bp);
+            rec.hasRefined = true;
+            rec.refined = def_bp;
             if (def_bp.classify(tt) == TypeClass::Precise)
                 ++result.resolved;
         }
+        if (use_memo && !poisoned[k])
+            memo_->storeFlow(v, rec, touched[k]);
     }
     return result;
 }

@@ -26,6 +26,7 @@
 
 #include "analysis/cfg.h"
 #include "core/ddg_walk.h"
+#include "core/refine_memo.h"
 
 namespace manta {
 
@@ -73,6 +74,9 @@ struct FlowRefineResult
     std::size_t resolved = 0;   ///< Variables precise after this stage.
     std::size_t lost = 0;       ///< Variables refined to unknown.
 
+    /** Candidates answered from the cross-run memo (0 without one). */
+    std::size_t reused = 0;
+
     /** Traversal work counters (DDG root queries + CFG walks). */
     WalkStats walk;
 };
@@ -84,7 +88,7 @@ class FlowRefinement
     FlowRefinement(Module &module, const Ddg &ddg, const HintIndex &hints,
                    TypeEnv &env, WalkBudget budget = {},
                    WalkEngine engine = defaultWalkEngine(),
-                   bool parallel = false);
+                   bool parallel = false, RefineMemo *memo = nullptr);
 
     /** Refine every variable in `candidates` (Algorithm 2). */
     FlowRefineResult run(const std::vector<ValueId> &candidates);
@@ -101,7 +105,18 @@ class FlowRefinement
         std::vector<std::vector<TypeRef>> siteTypes;
     };
 
-    /** Walk phase for one candidate (read-only on shared state). */
+    /**
+     * Enumerate the candidate's sites (def site first, then use sites
+     * in instruction order). Derived only from the module/inst index,
+     * so hits and misses alike get their site lists here; for an
+     * unchanged owning function the enumeration is identical across
+     * runs, which is what lines a cached record's per-site bounds up
+     * with the regenerated sites.
+     */
+    void candidateSites(ValueId v, CandidateOut &out) const;
+
+    /** Walk phase for one candidate (read-only on shared state);
+     *  `out.sites` must already be enumerated. */
     void processCandidate(Worker &w, ValueId v, CandidateOut &out);
 
     /** REACHABLE_TYPES: backward CFG walk from `site`. */
@@ -117,6 +132,7 @@ class FlowRefinement
     WalkBudget budget_;
     WalkEngine engine_;
     bool parallel_;
+    RefineMemo *memo_;
     InstIndex instIndex_;
     std::unordered_map<std::uint32_t, Cfg> cfg_cache_;
 

@@ -13,6 +13,7 @@
 #include "mir/parser.h"
 #include "mir/printer.h"
 #include "mir/verifier.h"
+#include "serve/session.h"
 
 namespace manta {
 namespace fuzz {
@@ -29,6 +30,7 @@ oracleName(OracleId id)
     case OracleId::Interp: return "interp";
     case OracleId::LintStable: return "lint_stable";
     case OracleId::WalkDiff: return "walk_diff";
+    case OracleId::SnapshotRoundTrip: return "snapshot_roundtrip";
     }
     return "?";
 }
@@ -414,6 +416,65 @@ checkLintStable(const Module &m, Battery &b)
 }
 
 /**
+ * Oracle 9: serve-layer snapshots round-trip (docs/SERVING.md). A
+ * session that analyzed the module must serialize to an MSNP snapshot
+ * that restores into a fresh session whose rendered types/lint/icall
+ * artifacts are byte-identical to the saving session's, and a
+ * corrupted snapshot must be rejected outright, leaving the loader
+ * empty and able to analyze cold. Running this per generated program
+ * continuously fuzzes the snapshot decoder, the memo serialization,
+ * and the RESULTS digest proof against every module shape the
+ * generator can produce.
+ */
+void
+checkSnapshotRoundTrip(const Module &m, Battery &b)
+{
+    b.ran(OracleId::SnapshotRoundTrip);
+
+    const std::string text = printModule(m);
+    serve::BinarySession saver("fuzz");
+    const serve::AnalyzeOutcome out = saver.analyze(text);
+    if (!out.ok) {
+        b.fail(OracleId::SnapshotRoundTrip,
+               "session analyze failed: " + out.error);
+        return;
+    }
+    std::string bytes, error;
+    if (!saver.saveSnapshot(bytes, error)) {
+        b.fail(OracleId::SnapshotRoundTrip, "save failed: " + error);
+        return;
+    }
+
+    serve::BinarySession loader("fuzz");
+    if (!loader.loadSnapshot(bytes, error)) {
+        b.fail(OracleId::SnapshotRoundTrip,
+               "reload rejected a fresh snapshot: " + error);
+        return;
+    }
+    if (loader.renderTypes() != saver.renderTypes())
+        b.fail(OracleId::SnapshotRoundTrip,
+               "types render diverged across a snapshot roundtrip");
+    if (loader.renderLint() != saver.renderLint())
+        b.fail(OracleId::SnapshotRoundTrip,
+               "lint render diverged across a snapshot roundtrip");
+    if (loader.renderIcall() != saver.renderIcall())
+        b.fail(OracleId::SnapshotRoundTrip,
+               "icall render diverged across a snapshot roundtrip");
+
+    std::string bad = bytes;
+    bad[bad.size() / 2] = static_cast<char>(bad[bad.size() / 2] ^ 0x5a);
+    serve::BinarySession corrupt("fuzz");
+    std::string corrupt_error;
+    if (corrupt.loadSnapshot(bad, corrupt_error)) {
+        b.fail(OracleId::SnapshotRoundTrip,
+               "corrupted snapshot was accepted");
+    } else if (corrupt.hasResult()) {
+        b.fail(OracleId::SnapshotRoundTrip,
+               "rejected snapshot left session state behind");
+    }
+}
+
+/**
  * Oracle 8: the fast refinement walker (interned contexts, epoch
  * scratch, memoized summaries, batched parallel queries) is a pure
  * optimization of the reference walker. Run the full pipeline once
@@ -504,6 +565,7 @@ runCase(const FuzzCase &c)
 
     checkRoundTrip(m, b);
     checkLintStable(m, b);
+    checkSnapshotRoundTrip(m, b);
 
     InterpResult run;
     {
@@ -563,6 +625,7 @@ runTextOracles(const std::string &text)
 
     checkRoundTrip(m, b);
     checkLintStable(m, b);
+    checkSnapshotRoundTrip(m, b);
 
     makeAcyclic(m);
     {
@@ -606,6 +669,10 @@ textFailsOracle(const std::string &text, OracleId which)
     }
     if (which == OracleId::LintStable) {
         checkLintStable(m, b);
+        return b.failed(which);
+    }
+    if (which == OracleId::SnapshotRoundTrip) {
+        checkSnapshotRoundTrip(m, b);
         return b.failed(which);
     }
 

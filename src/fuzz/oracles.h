@@ -3,7 +3,7 @@
  * The metamorphic oracle battery of the differential fuzzing harness.
  *
  * Every sampled case is pushed through the whole pipeline and checked
- * against eight properties that must hold for ANY generated program:
+ * against nine properties that must hold for ANY generated program:
  *
  *  1. verifier    - the generator and the synthesizer only produce
  *                   well-formed MIR, before and after acyclic
@@ -36,9 +36,15 @@
  *                   parallel queries) and the reference walker
  *                   (MANTA_WALK_REF=1) produce bit-identical refined
  *                   bounds, variable- and site-level.
+ *  9. snapshot_roundtrip
+ *                 - a serve-layer session snapshot (docs/SERVING.md)
+ *                   restores into a fresh session whose rendered
+ *                   types/lint/icall artifacts are byte-identical to
+ *                   the saving session's, and a corrupted snapshot is
+ *                   rejected with a clean cold fallback.
  *
- * Truth-free oracles (1, 2, 3, 5, 7, 8, and the truth-free parts of 6)
- * can also run over parsed module text, which is what the
+ * Truth-free oracles (1, 2, 3, 5, 7, 8, 9, and the truth-free parts
+ * of 6) can also run over parsed module text, which is what the
  * delta-debugging shrinker and the promoted-reproducer regression
  * tests use.
  */
@@ -55,7 +61,7 @@
 namespace manta {
 namespace fuzz {
 
-/** The eight oracles, in the order reported by BENCH_fuzz.json. */
+/** The nine oracles, in the order reported by BENCH_fuzz.json. */
 enum class OracleId : std::uint8_t {
     Verifier = 0,
     RoundTrip,
@@ -65,9 +71,10 @@ enum class OracleId : std::uint8_t {
     Interp,
     LintStable,
     WalkDiff,
+    SnapshotRoundTrip,
 };
 
-constexpr std::size_t kNumOracles = 8;
+constexpr std::size_t kNumOracles = 9;
 
 /** Stable snake_case oracle name (JSON keys, reproducer headers). */
 const char *oracleName(OracleId id);

@@ -1,9 +1,7 @@
 #include "mir/parser.h"
 
 #include <cctype>
-#include <cerrno>
-#include <cstdlib>
-#include <sstream>
+#include <string_view>
 #include <tuple>
 #include <unordered_map>
 
@@ -26,88 +24,126 @@ bail(int line, const std::string &msg)
     throw ParseError{"line " + std::to_string(line) + ": " + msg};
 }
 
-/** A whitespace/punctuation tokenizer for one line. */
-std::vector<std::string>
-tokenize(const std::string &line)
+std::string
+str(std::string_view view)
 {
-    std::vector<std::string> tokens;
-    std::string current;
-    auto flush = [&] {
-        if (!current.empty()) {
-            tokens.push_back(current);
-            current.clear();
+    return std::string(view);
+}
+
+/**
+ * A whitespace/punctuation tokenizer for one line. Tokens are views
+ * into the backing module text: the parser tokenizes every line
+ * exactly once up front (the body pass used to re-tokenize each line
+ * twice, and each token was a heap-allocated string - together the
+ * dominant cost of parsing large modules).
+ */
+void
+tokenize(std::string_view line, std::vector<std::string_view> &tokens)
+{
+    std::size_t start = std::string_view::npos;
+    auto flush = [&](std::size_t end) {
+        if (start != std::string_view::npos) {
+            tokens.push_back(line.substr(start, end - start));
+            start = std::string_view::npos;
         }
     };
     for (std::size_t i = 0; i < line.size(); ++i) {
         const char c = line[i];
-        if (c == ';') // comment
-            break;
+        if (c == ';') { // comment
+            flush(i);
+            return;
+        }
         if (c == '"') {
-            flush();
-            std::string lit = "\"";
-            for (++i; i < line.size() && line[i] != '"'; ++i)
-                lit += line[i];
-            lit += '"';
-            tokens.push_back(lit);
+            flush(i);
+            const std::size_t open = i;
+            for (++i; i < line.size() && line[i] != '"'; ++i) {
+            }
+            // Token includes both quotes; an unterminated literal
+            // keeps its historical shape (closing quote appended) by
+            // simply taking the rest of the line - the views below
+            // strip one char per side either way, matching the old
+            // string-building tokenizer's behavior for valid input.
+            tokens.push_back(line.substr(open, i - open + 1));
             continue;
         }
         if (std::isspace(static_cast<unsigned char>(c))) {
-            flush();
+            flush(i);
         } else if (c == ',' || c == '(' || c == ')' || c == '[' ||
                    c == ']' || c == '{' || c == '}' || c == '=') {
-            flush();
-            tokens.push_back(std::string(1, c));
-        } else {
-            current += c;
+            flush(i);
+            tokens.push_back(line.substr(i, 1));
+        } else if (start == std::string_view::npos) {
+            start = i;
         }
     }
-    flush();
-    return tokens;
+    flush(line.size());
 }
 
 /** Opcode spellings with optional ".suffix" parsed separately. */
 struct OpSpec
 {
-    std::string mnemonic;
-    std::string suffix;
+    std::string_view mnemonic;
+    std::string_view suffix;
 };
 
 OpSpec
-splitMnemonic(const std::string &token)
+splitMnemonic(std::string_view token)
 {
     const auto dot = token.find('.');
-    if (dot == std::string::npos)
-        return {token, ""};
+    if (dot == std::string_view::npos)
+        return {token, {}};
     return {token.substr(0, dot), token.substr(dot + 1)};
 }
 
 /** Parse a non-negative decimal integer; diagnoses junk like "12abc". */
 std::uint64_t
-parseUnsigned(const std::string &text, int line_no, const char *what)
+parseUnsigned(std::string_view text, int line_no, const char *what)
 {
     if (text.empty())
         bail(line_no, std::string("missing ") + what);
+    std::uint64_t value = 0;
     for (const char c : text) {
-        if (!std::isdigit(static_cast<unsigned char>(c)))
-            bail(line_no, std::string("malformed ") + what + " '" + text +
-                              "'");
+        if (!std::isdigit(static_cast<unsigned char>(c)) ||
+                value > (UINT64_MAX - 9) / 10) {
+            bail(line_no, std::string("malformed ") + what + " '" +
+                              str(text) + "'");
+        }
+        value = value * 10 + static_cast<std::uint64_t>(c - '0');
     }
-    errno = 0;
-    char *end = nullptr;
-    const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
-    if (errno != 0 || end == text.c_str() || *end != '\0')
-        bail(line_no, std::string("malformed ") + what + " '" + text + "'");
     return value;
 }
 
 /** Parse a register width and insist it is one of {1,8,16,32,64}. */
 int
-parseWidth(const std::string &text, int line_no)
+parseWidth(std::string_view text, int line_no)
 {
     const std::uint64_t width = parseUnsigned(text, line_no, "width");
     if (!isValidWidth(static_cast<int>(width)))
-        bail(line_no, "invalid width " + text);
+        bail(line_no, "invalid width " + str(text));
     return static_cast<int>(width);
+}
+
+/** Parse an optionally-signed decimal integer constant. */
+std::int64_t
+parseSigned(std::string_view text, int line_no, std::string_view token)
+{
+    bool negative = false;
+    std::size_t i = 0;
+    if (i < text.size() && (text[i] == '-' || text[i] == '+')) {
+        negative = text[i] == '-';
+        ++i;
+    }
+    if (i >= text.size())
+        bail(line_no, "bad operand " + str(token));
+    std::uint64_t magnitude = 0;
+    for (; i < text.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(text[i])))
+            bail(line_no, "bad operand " + str(token));
+        magnitude =
+            magnitude * 10 + static_cast<std::uint64_t>(text[i] - '0');
+    }
+    return negative ? -static_cast<std::int64_t>(magnitude)
+                    : static_cast<std::int64_t>(magnitude);
 }
 
 class Parser
@@ -116,10 +152,19 @@ class Parser
     Parser(const std::string &text, Module &module)
         : module_(module)
     {
-        std::istringstream is(text);
-        std::string line;
-        while (std::getline(is, line))
-            lines_.push_back(line);
+        // Split into lines and tokenize each exactly once. Both the
+        // line views and the token views alias `text`, which outlives
+        // the parser (parseModule holds it by reference).
+        std::string_view rest(text);
+        while (!rest.empty()) {
+            const auto eol = rest.find('\n');
+            const std::string_view line = rest.substr(0, eol);
+            line_tokens_.emplace_back();
+            tokenize(line, line_tokens_.back());
+            if (eol == std::string_view::npos)
+                break;
+            rest.remove_prefix(eol + 1);
+        }
         externals_ = StandardExternals::install(module_);
         (void)externals_;
     }
@@ -136,8 +181,8 @@ class Parser
     void
     scanTopLevel()
     {
-        for (std::size_t i = 0; i < lines_.size(); ++i) {
-            const auto tokens = tokenize(lines_[i]);
+        for (std::size_t i = 0; i < line_tokens_.size(); ++i) {
+            const auto &tokens = line_tokens_[i];
             if (tokens.empty())
                 continue;
             const int line_no = static_cast<int>(i + 1);
@@ -145,7 +190,7 @@ class Parser
                 if (tokens.size() < 3 || tokens[1][0] != '@')
                     bail(line_no, "malformed global");
                 Global g;
-                g.name = tokens[1].substr(1);
+                g.name = str(tokens[1].substr(1));
                 g.sizeBytes = static_cast<std::uint32_t>(
                     parseUnsigned(tokens[2], line_no, "global size"));
                 const std::string name = g.name;
@@ -158,9 +203,10 @@ class Parser
                     bail(line_no, "malformed string literal");
                 }
                 Global g;
-                g.name = tokens[1].substr(1);
+                g.name = str(tokens[1].substr(1));
                 g.isStringLiteral = true;
-                g.stringValue = tokens[2].substr(1, tokens[2].size() - 2);
+                g.stringValue =
+                    str(tokens[2].substr(1, tokens[2].size() - 2));
                 g.sizeBytes =
                     static_cast<std::uint32_t>(g.stringValue.size() + 1);
                 const std::string name = g.name;
@@ -174,13 +220,13 @@ class Parser
     }
 
     void
-    declareFunc(const std::vector<std::string> &tokens, int line_no,
+    declareFunc(const std::vector<std::string_view> &tokens, int line_no,
                 std::size_t line_index)
     {
         if (tokens.size() < 2 || tokens[1][0] != '@')
             bail(line_no, "malformed func header");
         Function fn;
-        fn.name = tokens[1].substr(1);
+        fn.name = str(tokens[1].substr(1));
         if (funcIds_.count(fn.name))
             bail(line_no, "duplicate function @" + fn.name);
         const FuncId fid = module_.addFunc(std::move(fn));
@@ -196,13 +242,13 @@ class Parser
                 ++t;
                 continue;
             }
-            const std::string &param = tokens[t];
+            const std::string_view param = tokens[t];
             const auto colon = param.find(':');
-            if (param[0] != '%' || colon == std::string::npos)
-                bail(line_no, "malformed parameter " + param);
+            if (param[0] != '%' || colon == std::string_view::npos)
+                bail(line_no, "malformed parameter " + str(param));
             Value v;
             v.kind = ValueKind::Argument;
-            v.name = param.substr(1, colon - 1);
+            v.name = str(param.substr(1, colon - 1));
             v.width = static_cast<std::uint8_t>(
                 parseWidth(param.substr(colon + 1), line_no));
             v.argIndex = static_cast<std::uint32_t>(
@@ -233,13 +279,13 @@ class Parser
 
         // Find the body extent and pre-create labeled blocks.
         std::size_t end = header_line + 1;
-        for (; end < lines_.size(); ++end) {
-            const auto tokens = tokenize(lines_[end]);
+        for (; end < line_tokens_.size(); ++end) {
+            const auto &tokens = line_tokens_[end];
             if (tokens.size() == 1 && tokens[0] == "}")
                 break;
             if (tokens.size() == 1 && tokens[0].back() == ':') {
                 const std::string label =
-                    tokens[0].substr(0, tokens[0].size() - 1);
+                    str(tokens[0].substr(0, tokens[0].size() - 1));
                 if (blockIds_.count(label)) {
                     bail(static_cast<int>(end + 1),
                          "duplicate block label " + label);
@@ -252,18 +298,18 @@ class Parser
                 blockIds_[label] = bid;
             }
         }
-        if (end == lines_.size())
+        if (end == line_tokens_.size())
             bail(static_cast<int>(header_line + 1), "unterminated function");
 
         currentBlock_ = BlockId::invalid();
         for (std::size_t i = header_line + 1; i < end; ++i) {
-            const auto tokens = tokenize(lines_[i]);
+            const auto &tokens = line_tokens_[i];
             if (tokens.empty())
                 continue;
             const int line_no = static_cast<int>(i + 1);
             if (tokens.size() == 1 && tokens[0].back() == ':') {
-                currentBlock_ =
-                    blockIds_[tokens[0].substr(0, tokens[0].size() - 1)];
+                currentBlock_ = blockIds_[str(
+                    tokens[0].substr(0, tokens[0].size() - 1))];
                 continue;
             }
             if (!currentBlock_.valid())
@@ -287,16 +333,16 @@ class Parser
 
     /** Resolve an operand token to a value id. */
     ValueId
-    operand(const std::string &token, int line_no)
+    operand(std::string_view token, int line_no)
     {
         if (token[0] == '%') {
-            const auto it = values_.find(token.substr(1));
+            const auto it = values_.find(str(token.substr(1)));
             if (it == values_.end())
-                bail(line_no, "use of undefined value " + token);
+                bail(line_no, "use of undefined value " + str(token));
             return it->second;
         }
         if (token[0] == '@') {
-            const std::string name = token.substr(1);
+            const std::string name = str(token.substr(1));
             const auto git = globalIds_.find(name);
             if (git != globalIds_.end()) {
                 Value v;
@@ -316,34 +362,29 @@ class Parser
                 v.name = name;
                 return module_.addValue(std::move(v));
             }
-            bail(line_no, "unknown symbol " + token);
+            bail(line_no, "unknown symbol " + str(token));
         }
         // Integer constant, optionally width-suffixed.
         int width = 64;
-        std::string digits = token;
+        std::string_view digits = token;
         const auto colon = token.find(':');
-        if (colon != std::string::npos) {
+        if (colon != std::string_view::npos) {
             width = parseWidth(token.substr(colon + 1), line_no);
             digits = token.substr(0, colon);
         }
-        char *parse_end = nullptr;
-        const std::int64_t value =
-            std::strtoll(digits.c_str(), &parse_end, 10);
-        if (parse_end == digits.c_str() || *parse_end != '\0')
-            bail(line_no, "bad operand " + token);
         Value v;
         v.kind = ValueKind::Constant;
         v.width = static_cast<std::uint8_t>(width);
-        v.constValue = value;
+        v.constValue = parseSigned(digits, line_no, token);
         return module_.addValue(std::move(v));
     }
 
     BlockId
-    blockRef(const std::string &token, int line_no)
+    blockRef(std::string_view token, int line_no)
     {
-        const auto it = blockIds_.find(token);
+        const auto it = blockIds_.find(str(token));
         if (it == blockIds_.end())
-            bail(line_no, "unknown block label " + token);
+            bail(line_no, "unknown block label " + str(token));
         return it->second;
     }
 
@@ -375,12 +416,12 @@ class Parser
     }
 
     void
-    parseInst(const std::vector<std::string> &tokens, int line_no)
+    parseInst(const std::vector<std::string_view> &tokens, int line_no)
     {
         std::string result_name;
         std::size_t t = 0;
         if (tokens.size() >= 2 && tokens[0][0] == '%' && tokens[1] == "=") {
-            result_name = tokens[0].substr(1);
+            result_name = str(tokens[0].substr(1));
             t = 2;
         }
         if (t >= tokens.size())
@@ -390,9 +431,10 @@ class Parser
 
         // Gather remaining non-punctuation tokens as raw operands; the
         // per-op handlers interpret them.
-        std::vector<std::string> raw;
+        raw_.clear();
+        std::vector<std::string_view> &raw = raw_;
         for (; t < tokens.size(); ++t) {
-            const std::string &tok = tokens[t];
+            const std::string_view tok = tokens[t];
             if (tok == "," || tok == "(" || tok == ")" || tok == "[" ||
                     tok == "]") {
                 continue;
@@ -400,7 +442,7 @@ class Parser
             raw.push_back(tok);
         }
 
-        const std::string &op = spec.mnemonic;
+        const std::string op = str(spec.mnemonic);
         auto needOperands = [&](std::size_t n) {
             if (raw.size() != n) {
                 bail(line_no, op + " expects " + std::to_string(n) +
@@ -429,10 +471,10 @@ class Parser
             std::vector<std::string> pending(raw.size() / 2);
             int width = -1;
             for (std::size_t k = 0; k < raw.size(); k += 2) {
-                const std::string &vt = raw[k];
-                if (vt[0] == '%' && !values_.count(vt.substr(1))) {
+                const std::string_view vt = raw[k];
+                if (vt[0] == '%' && !values_.count(str(vt.substr(1)))) {
                     // Forward reference: record for fixup.
-                    pending[k / 2] = vt.substr(1);
+                    pending[k / 2] = str(vt.substr(1));
                     inst.operands.push_back(ValueId::invalid());
                 } else {
                     const ValueId vid = operand(vt, line_no);
@@ -500,7 +542,7 @@ class Parser
         } else if (op == "call") {
             if (raw.empty() || raw[0][0] != '@')
                 bail(line_no, "call expects @callee");
-            const std::string callee = raw[0].substr(1);
+            const std::string callee = str(raw[0].substr(1));
             Instruction inst;
             inst.op = Opcode::Call;
             const auto fit = funcIds_.find(callee);
@@ -525,7 +567,7 @@ class Parser
                 bail(line_no, "icall expects a target");
             Instruction inst;
             inst.op = Opcode::ICall;
-            for (const auto &tok : raw)
+            for (const std::string_view tok : raw)
                 inst.operands.push_back(operand(tok, line_no));
             const InstId iid = appendInst(std::move(inst));
             if (!result_name.empty()) {
@@ -588,7 +630,7 @@ class Parser
     }
 
     static CmpPred
-    parsePred(const std::string &suffix, int line_no)
+    parsePred(std::string_view suffix, int line_no)
     {
         if (suffix == "eq") return CmpPred::EQ;
         if (suffix == "ne") return CmpPred::NE;
@@ -596,12 +638,12 @@ class Parser
         if (suffix == "le") return CmpPred::LE;
         if (suffix == "gt") return CmpPred::GT;
         if (suffix == "ge") return CmpPred::GE;
-        bail(line_no, "unknown compare predicate ." + suffix);
+        bail(line_no, "unknown compare predicate ." + str(suffix));
     }
 
     Module &module_;
     StandardExternals externals_;
-    std::vector<std::string> lines_;
+    std::vector<std::vector<std::string_view>> line_tokens_;
     std::unordered_map<std::string, GlobalId> globalIds_;
     std::unordered_map<std::string, FuncId> funcIds_;
     std::vector<std::pair<FuncId, std::size_t>> funcHeaderLines_;
@@ -611,6 +653,7 @@ class Parser
     BlockId currentBlock_;
     std::unordered_map<std::string, ValueId> values_;
     std::unordered_map<std::string, BlockId> blockIds_;
+    std::vector<std::string_view> raw_;
     std::vector<std::tuple<InstId, int, std::vector<std::string>>>
         pendingPhis_;
 };

@@ -1,0 +1,291 @@
+#include "mir/serialize.h"
+
+#include "types/typeio.h"
+
+namespace manta {
+
+namespace {
+
+template <typename Tag>
+void
+putId(ByteWriter &out, Id<Tag> id)
+{
+    out.u32(id.raw());
+}
+
+template <typename Tag>
+Id<Tag>
+getId(ByteReader &in)
+{
+    return Id<Tag>(in.u32());
+}
+
+/** Validate a decoded id: invalid sentinel or in-range index. */
+template <typename Tag>
+bool
+idOk(Id<Tag> id, std::size_t pool_size)
+{
+    return !id.valid() || id.index() < pool_size;
+}
+
+} // namespace
+
+void
+serializeModule(const Module &module, ByteWriter &out)
+{
+    // Externals reference interned types; pool them first so the
+    // decoder can rebuild the TypeTable before the externs pool.
+    TypePoolWriter types(module.types());
+    ByteWriter externs;
+    externs.u32(static_cast<std::uint32_t>(module.numExterns()));
+    for (std::size_t i = 0; i < module.numExterns(); ++i) {
+        const External &e =
+            module.external(ExternId(static_cast<std::uint32_t>(i)));
+        externs.str(e.name);
+        externs.u32(static_cast<std::uint32_t>(e.paramTypes.size()));
+        for (const TypeRef t : e.paramTypes)
+            externs.u32(types.index(t));
+        externs.u32(types.index(e.retType));
+        externs.u8(static_cast<std::uint8_t>(e.role));
+    }
+    types.write(out);
+    out.raw(externs.bytes());
+
+    out.u32(static_cast<std::uint32_t>(module.numGlobals()));
+    for (std::size_t i = 0; i < module.numGlobals(); ++i) {
+        const Global &g =
+            module.global(GlobalId(static_cast<std::uint32_t>(i)));
+        out.str(g.name);
+        out.u32(g.sizeBytes);
+        out.u8(g.isStringLiteral ? 1 : 0);
+        out.str(g.stringValue);
+    }
+
+    out.u32(static_cast<std::uint32_t>(module.numFuncs()));
+    for (std::size_t i = 0; i < module.numFuncs(); ++i) {
+        const Function &f = module.func(FuncId(static_cast<std::uint32_t>(i)));
+        out.str(f.name);
+        out.u32(static_cast<std::uint32_t>(f.params.size()));
+        for (const ValueId p : f.params)
+            putId(out, p);
+        out.u32(static_cast<std::uint32_t>(f.blocks.size()));
+        for (const BlockId b : f.blocks)
+            putId(out, b);
+        out.u8(f.addressTaken ? 1 : 0);
+        out.u8(f.isVariadicStub ? 1 : 0);
+    }
+
+    out.u32(static_cast<std::uint32_t>(module.numBlocks()));
+    for (std::size_t i = 0; i < module.numBlocks(); ++i) {
+        const BasicBlock &b =
+            module.block(BlockId(static_cast<std::uint32_t>(i)));
+        putId(out, b.func);
+        out.str(b.name);
+        out.u32(static_cast<std::uint32_t>(b.insts.size()));
+        for (const InstId inst : b.insts)
+            putId(out, inst);
+    }
+
+    out.u32(static_cast<std::uint32_t>(module.numValues()));
+    for (std::size_t i = 0; i < module.numValues(); ++i) {
+        const Value &v = module.value(ValueId(static_cast<std::uint32_t>(i)));
+        out.u8(static_cast<std::uint8_t>(v.kind));
+        out.u8(v.width);
+        out.i64(v.constValue);
+        out.u32(v.argIndex);
+        putId(out, v.argFunc);
+        putId(out, v.inst);
+        putId(out, v.global);
+        putId(out, v.funcAddr);
+        out.str(v.name);
+    }
+
+    out.u32(static_cast<std::uint32_t>(module.numInsts()));
+    for (std::size_t i = 0; i < module.numInsts(); ++i) {
+        const Instruction &inst =
+            module.inst(InstId(static_cast<std::uint32_t>(i)));
+        out.u8(static_cast<std::uint8_t>(inst.op));
+        putId(out, inst.result);
+        out.u32(static_cast<std::uint32_t>(inst.operands.size()));
+        for (const ValueId op : inst.operands)
+            putId(out, op);
+        putId(out, inst.callee);
+        putId(out, inst.external);
+        putId(out, inst.thenBlock);
+        putId(out, inst.elseBlock);
+        out.u32(static_cast<std::uint32_t>(inst.phiBlocks.size()));
+        for (const BlockId b : inst.phiBlocks)
+            putId(out, b);
+        out.u32(inst.allocaSize);
+        out.u8(static_cast<std::uint8_t>(inst.pred));
+        putId(out, inst.parent);
+        out.u32(inst.srcTag);
+    }
+}
+
+bool
+deserializeModule(ByteReader &in, Module &out)
+{
+    TypePoolReader types;
+    if (!types.read(in, out.types()))
+        return false;
+
+    const std::uint32_t num_externs = in.u32();
+    for (std::uint32_t i = 0; i < num_externs && in.ok(); ++i) {
+        External e;
+        e.name = in.str();
+        const std::uint32_t num_params = in.u32();
+        for (std::uint32_t p = 0; p < num_params && in.ok(); ++p) {
+            const std::uint32_t idx = in.u32();
+            const TypeRef t = types.type(idx);
+            if (idx != kNoTypeIndex && !t.valid()) {
+                in.fail();
+                break;
+            }
+            e.paramTypes.push_back(t);
+        }
+        const std::uint32_t ret = in.u32();
+        e.retType = types.type(ret);
+        if (ret != kNoTypeIndex && !e.retType.valid())
+            in.fail();
+        e.role = static_cast<ExternRole>(in.u8());
+        if (!in.ok())
+            break;
+        out.addExternal(std::move(e));
+    }
+
+    const std::uint32_t num_globals = in.u32();
+    for (std::uint32_t i = 0; i < num_globals && in.ok(); ++i) {
+        Global g;
+        g.name = in.str();
+        g.sizeBytes = in.u32();
+        g.isStringLiteral = in.u8() != 0;
+        g.stringValue = in.str();
+        out.addGlobal(std::move(g));
+    }
+
+    const std::uint32_t num_funcs = in.u32();
+    for (std::uint32_t i = 0; i < num_funcs && in.ok(); ++i) {
+        Function f;
+        f.name = in.str();
+        const std::uint32_t num_params = in.u32();
+        for (std::uint32_t p = 0; p < num_params && in.ok(); ++p)
+            f.params.push_back(getId<ValueTag>(in));
+        const std::uint32_t num_blocks = in.u32();
+        for (std::uint32_t b = 0; b < num_blocks && in.ok(); ++b)
+            f.blocks.push_back(getId<BlockTag>(in));
+        f.addressTaken = in.u8() != 0;
+        f.isVariadicStub = in.u8() != 0;
+        if (!in.ok())
+            break;
+        out.addFunc(std::move(f));
+    }
+
+    const std::uint32_t num_blocks = in.u32();
+    for (std::uint32_t i = 0; i < num_blocks && in.ok(); ++i) {
+        BasicBlock b;
+        b.func = getId<FuncTag>(in);
+        b.name = in.str();
+        const std::uint32_t num_insts = in.u32();
+        for (std::uint32_t k = 0; k < num_insts && in.ok(); ++k)
+            b.insts.push_back(getId<InstTag>(in));
+        if (!in.ok())
+            break;
+        out.addBlock(std::move(b));
+    }
+
+    const std::uint32_t num_values = in.u32();
+    for (std::uint32_t i = 0; i < num_values && in.ok(); ++i) {
+        Value v;
+        v.kind = static_cast<ValueKind>(in.u8());
+        v.width = in.u8();
+        v.constValue = in.i64();
+        v.argIndex = in.u32();
+        v.argFunc = getId<FuncTag>(in);
+        v.inst = getId<InstTag>(in);
+        v.global = getId<GlobalTag>(in);
+        v.funcAddr = getId<FuncTag>(in);
+        v.name = in.str();
+        if (!in.ok())
+            break;
+        out.addValue(std::move(v));
+    }
+
+    const std::uint32_t num_insts = in.u32();
+    for (std::uint32_t i = 0; i < num_insts && in.ok(); ++i) {
+        Instruction inst;
+        inst.op = static_cast<Opcode>(in.u8());
+        inst.result = getId<ValueTag>(in);
+        const std::uint32_t num_operands = in.u32();
+        for (std::uint32_t k = 0; k < num_operands && in.ok(); ++k)
+            inst.operands.push_back(getId<ValueTag>(in));
+        inst.callee = getId<FuncTag>(in);
+        inst.external = getId<ExternTag>(in);
+        inst.thenBlock = getId<BlockTag>(in);
+        inst.elseBlock = getId<BlockTag>(in);
+        const std::uint32_t num_phi = in.u32();
+        for (std::uint32_t k = 0; k < num_phi && in.ok(); ++k)
+            inst.phiBlocks.push_back(getId<BlockTag>(in));
+        inst.allocaSize = in.u32();
+        inst.pred = static_cast<CmpPred>(in.u8());
+        inst.parent = getId<BlockTag>(in);
+        inst.srcTag = in.u32();
+        if (!in.ok())
+            break;
+        out.addInst(std::move(inst));
+    }
+    if (!in.ok())
+        return false;
+
+    // Cross-pool id validation: every stored id must be the invalid
+    // sentinel or index into its (now fully sized) pool. This keeps a
+    // corrupted-but-well-framed snapshot from crashing later passes.
+    for (std::size_t i = 0; i < out.numFuncs(); ++i) {
+        const Function &f = out.func(FuncId(static_cast<std::uint32_t>(i)));
+        for (const ValueId p : f.params)
+            if (!idOk(p, out.numValues()))
+                return false;
+        for (const BlockId b : f.blocks)
+            if (!idOk(b, out.numBlocks()))
+                return false;
+    }
+    for (std::size_t i = 0; i < out.numBlocks(); ++i) {
+        const BasicBlock &b =
+            out.block(BlockId(static_cast<std::uint32_t>(i)));
+        if (!idOk(b.func, out.numFuncs()))
+            return false;
+        for (const InstId inst : b.insts)
+            if (!idOk(inst, out.numInsts()))
+                return false;
+    }
+    for (std::size_t i = 0; i < out.numValues(); ++i) {
+        const Value &v = out.value(ValueId(static_cast<std::uint32_t>(i)));
+        if (!idOk(v.argFunc, out.numFuncs()) ||
+                !idOk(v.inst, out.numInsts()) ||
+                !idOk(v.global, out.numGlobals()) ||
+                !idOk(v.funcAddr, out.numFuncs())) {
+            return false;
+        }
+    }
+    for (std::size_t i = 0; i < out.numInsts(); ++i) {
+        const Instruction &inst =
+            out.inst(InstId(static_cast<std::uint32_t>(i)));
+        if (!idOk(inst.result, out.numValues()) ||
+                !idOk(inst.callee, out.numFuncs()) ||
+                !idOk(inst.external, out.numExterns()) ||
+                !idOk(inst.thenBlock, out.numBlocks()) ||
+                !idOk(inst.elseBlock, out.numBlocks()) ||
+                !idOk(inst.parent, out.numBlocks())) {
+            return false;
+        }
+        for (const ValueId op : inst.operands)
+            if (!idOk(op, out.numValues()))
+                return false;
+        for (const BlockId b : inst.phiBlocks)
+            if (!idOk(b, out.numBlocks()))
+                return false;
+    }
+    return true;
+}
+
+} // namespace manta

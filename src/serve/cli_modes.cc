@@ -1,0 +1,55 @@
+#include "serve/cli_modes.h"
+
+namespace manta {
+namespace serve {
+
+const std::vector<CliMode> &
+cliModes()
+{
+    static const std::vector<CliMode> kModes = {
+        {"types", "", "annotated listing with inferred types/signatures"},
+        {"bugs", "", "type-assisted bug reports"},
+        {"bugs-notype", "", "bug reports in the untyped ablation"},
+        {"lint", "", "lint framework, human-readable text"},
+        {"lint-notype", "", "lint framework in the no-type ablation"},
+        {"lint-sarif", "", "lint framework, SARIF 2.1.0 JSON"},
+        {"icall", "", "indirect-call target sets"},
+        {"stats", "", "per-stage inference statistics"},
+        {"run", "", "execute the module under the interpreter"},
+        {"serve", "[--socket PATH]",
+         "long-lived NDJSON analysis daemon (docs/SERVING.md)"},
+    };
+    return kModes;
+}
+
+std::string
+cliHelpText()
+{
+    std::string out =
+        "usage: manta_cli <module.mir|-> <mode> [mode args]\n"
+        "       manta_cli serve [--socket PATH]\n"
+        "       manta_cli --help\n"
+        "\n"
+        "modes:\n";
+    for (const CliMode &mode : cliModes()) {
+        out += "  ";
+        out += mode.name;
+        if (mode.args[0] != '\0') {
+            out += " ";
+            out += mode.args;
+        }
+        // Pad to a fixed column so summaries align.
+        const std::size_t used =
+            2 + std::string(mode.name).size() +
+            (mode.args[0] != '\0' ? 1 + std::string(mode.args).size() : 0);
+        for (std::size_t i = used; i < 26; ++i)
+            out += " ";
+        out += " ";
+        out += mode.summary;
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace serve
+} // namespace manta

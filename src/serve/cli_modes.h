@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The single source of truth for manta_cli's mode list.
+ *
+ * Both the binary's usage/--help output and the help-parity test
+ * enumerate modes from here, so adding a mode to the CLI without
+ * documenting it is a test failure, not a drift.
+ */
+#ifndef MANTA_SERVE_CLI_MODES_H
+#define MANTA_SERVE_CLI_MODES_H
+
+#include <string>
+#include <vector>
+
+namespace manta {
+namespace serve {
+
+/** One manta_cli invocation mode. */
+struct CliMode
+{
+    const char *name;     ///< The mode argument, e.g. "lint".
+    const char *args;     ///< Extra argument syntax ("" when none).
+    const char *summary;  ///< One-line description for --help.
+};
+
+/** Every registered mode, in documentation order. */
+const std::vector<CliMode> &cliModes();
+
+/** The full --help text (usage line + one line per mode). */
+std::string cliHelpText();
+
+} // namespace serve
+} // namespace manta
+
+#endif // MANTA_SERVE_CLI_MODES_H

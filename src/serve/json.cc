@@ -1,0 +1,364 @@
+#include "serve/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace manta {
+namespace serve {
+
+const Json *
+Json::get(const std::string &key) const
+{
+    for (const auto &[k, v] : members_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+std::string
+quoteJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+Json::dump() const
+{
+    switch (kind_) {
+      case Kind::Null:
+        return "null";
+      case Kind::Bool:
+        return bool_ ? "true" : "false";
+      case Kind::Number: {
+        if (integral_)
+            return std::to_string(int_);
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.17g", num_);
+        return buf;
+      }
+      case Kind::String:
+        return quoteJson(str_);
+      case Kind::Array: {
+        std::string out = "[";
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            out += items_[i].dump();
+        }
+        out += ']';
+        return out;
+      }
+      case Kind::Object: {
+        std::string out = "{";
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            out += quoteJson(members_[i].first);
+            out += ':';
+            out += members_[i].second.dump();
+        }
+        out += '}';
+        return out;
+      }
+    }
+    return "null";
+}
+
+namespace {
+
+/** Recursive-descent parser over the document text. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string &error)
+        : text_(text), error_(error)
+    {}
+
+    bool
+    parse(Json &out)
+    {
+        skipSpace();
+        if (!parseValue(out, 0))
+            return false;
+        skipSpace();
+        if (pos_ != text_.size())
+            return fail("trailing content");
+        return true;
+    }
+
+  private:
+    static constexpr std::size_t kMaxDepth = 64;
+
+    bool
+    fail(const char *what)
+    {
+        error_ = std::string(what) + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word, std::size_t len)
+    {
+        if (text_.compare(pos_, len, word) != 0)
+            return fail("invalid literal");
+        pos_ += len;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return fail("expected string");
+        ++pos_;
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    return fail("truncated escape");
+                const char e = text_[pos_++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        return fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return fail("invalid \\u escape");
+                    }
+                    // UTF-8 encode (surrogates pass through unpaired
+                    // as the replacement pattern for simplicity; the
+                    // protocol never emits them).
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xc0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3f));
+                    } else {
+                        out += static_cast<char>(0xe0 | (code >> 12));
+                        out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                        out += static_cast<char>(0x80 | (code & 0x3f));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("invalid escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(Json &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        bool integral = true;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            integral = false;
+            ++pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            integral = false;
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ == start || (pos_ == start + 1 && text_[start] == '-'))
+            return fail("invalid number");
+        const std::string token = text_.substr(start, pos_ - start);
+        if (integral) {
+            errno = 0;
+            const long long v = std::strtoll(token.c_str(), nullptr, 10);
+            if (errno == 0) {
+                out = Json::integer(v);
+                return true;
+            }
+        }
+        out = Json::number(std::strtod(token.c_str(), nullptr));
+        return true;
+    }
+
+    bool
+    parseValue(Json &out, std::size_t depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipSpace();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        const char c = text_[pos_];
+        if (c == 'n') {
+            if (!literal("null", 4))
+                return false;
+            out = Json::null();
+            return true;
+        }
+        if (c == 't') {
+            if (!literal("true", 4))
+                return false;
+            out = Json::boolean(true);
+            return true;
+        }
+        if (c == 'f') {
+            if (!literal("false", 5))
+                return false;
+            out = Json::boolean(false);
+            return true;
+        }
+        if (c == '"') {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Json::string(std::move(s));
+            return true;
+        }
+        if (c == '[') {
+            ++pos_;
+            out = Json::array();
+            skipSpace();
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                Json item;
+                if (!parseValue(item, depth + 1))
+                    return false;
+                out.push(std::move(item));
+                skipSpace();
+                if (pos_ >= text_.size())
+                    return fail("unterminated array");
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == ']') {
+                    ++pos_;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '{') {
+            ++pos_;
+            out = Json::object();
+            skipSpace();
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                skipSpace();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipSpace();
+                if (pos_ >= text_.size() || text_[pos_] != ':')
+                    return fail("expected ':'");
+                ++pos_;
+                Json item;
+                if (!parseValue(item, depth + 1))
+                    return false;
+                out.set(std::move(key), std::move(item));
+                skipSpace();
+                if (pos_ >= text_.size())
+                    return fail("unterminated object");
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == '}') {
+                    ++pos_;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+        }
+        return parseNumber(out);
+    }
+
+    const std::string &text_;
+    std::string &error_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+parseJson(const std::string &text, Json &out, std::string &error)
+{
+    Parser parser(text, error);
+    return parser.parse(out);
+}
+
+} // namespace serve
+} // namespace manta

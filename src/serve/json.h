@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Minimal JSON value model for the serving layer's NDJSON protocol
+ * (docs/SERVING.md). Self-contained on purpose: the daemon must not
+ * pull in an external JSON dependency, and the lint framework's SARIF
+ * writer only emits. Supports the full JSON grammar except that
+ * numbers are held as double plus a flag recording whether the source
+ * text was integral (so request ids round-trip exactly).
+ */
+#ifndef MANTA_SERVE_JSON_H
+#define MANTA_SERVE_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace manta {
+namespace serve {
+
+/** A parsed JSON value (tree-owning). */
+class Json
+{
+  public:
+    enum class Kind : std::uint8_t {
+        Null, Bool, Number, String, Array, Object,
+    };
+
+    Json() = default;
+
+    static Json null() { return Json(); }
+    static Json
+    boolean(bool b)
+    {
+        Json j;
+        j.kind_ = Kind::Bool;
+        j.bool_ = b;
+        return j;
+    }
+    static Json
+    number(double v)
+    {
+        Json j;
+        j.kind_ = Kind::Number;
+        j.num_ = v;
+        j.integral_ = false;
+        return j;
+    }
+    static Json
+    integer(std::int64_t v)
+    {
+        Json j;
+        j.kind_ = Kind::Number;
+        j.num_ = static_cast<double>(v);
+        j.int_ = v;
+        j.integral_ = true;
+        return j;
+    }
+    static Json
+    string(std::string s)
+    {
+        Json j;
+        j.kind_ = Kind::String;
+        j.str_ = std::move(s);
+        return j;
+    }
+    static Json
+    array()
+    {
+        Json j;
+        j.kind_ = Kind::Array;
+        return j;
+    }
+    static Json
+    object()
+    {
+        Json j;
+        j.kind_ = Kind::Object;
+        return j;
+    }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool asBool() const { return bool_; }
+    double asNumber() const { return num_; }
+    /** Integer view; exact when the source text was integral. */
+    std::int64_t
+    asInt() const
+    {
+        return integral_ ? int_ : static_cast<std::int64_t>(num_);
+    }
+    bool isIntegral() const { return integral_; }
+    const std::string &asString() const { return str_; }
+
+    /** Array access. */
+    const std::vector<Json> &items() const { return items_; }
+    void push(Json v) { items_.push_back(std::move(v)); }
+
+    /** Object access (insertion-ordered; dumps deterministically). */
+    const std::vector<std::pair<std::string, Json>> &
+    members() const
+    {
+        return members_;
+    }
+    void
+    set(std::string key, Json v)
+    {
+        for (auto &[k, existing] : members_) {
+            if (k == key) {
+                existing = std::move(v);
+                return;
+            }
+        }
+        members_.emplace_back(std::move(key), std::move(v));
+    }
+    /** Member lookup; nullptr when absent (or not an object). */
+    const Json *get(const std::string &key) const;
+
+    /** Serialize to compact JSON (no whitespace, stable key order). */
+    std::string dump() const;
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::int64_t int_ = 0;
+    bool integral_ = false;
+    std::string str_;
+    std::vector<Json> items_;
+    std::vector<std::pair<std::string, Json>> members_;
+};
+
+/**
+ * Parse one JSON document from `text`. Returns false (and fills
+ * `error` with an offset-tagged message) on malformed input or
+ * trailing non-whitespace.
+ */
+bool parseJson(const std::string &text, Json &out, std::string &error);
+
+/** Escape a string for embedding in a JSON document (adds quotes). */
+std::string quoteJson(const std::string &s);
+
+} // namespace serve
+} // namespace manta
+
+#endif // MANTA_SERVE_JSON_H

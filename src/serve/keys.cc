@@ -1,0 +1,345 @@
+#include "serve/keys.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "types/typeio.h"
+
+namespace manta {
+namespace serve {
+
+ModuleKeys::ModuleKeys(const Module &module)
+    : module_(module)
+{
+    const std::size_t num_values = module.numValues();
+    const std::size_t num_funcs = module.numFuncs();
+    owners_.assign(num_values, kNoOwner);
+    ordinals_.assign(num_values, kNoOwner);
+    inst_pos_.assign(module.numInsts(), 0);
+
+    // Kind-based attribution first: arguments and instruction results
+    // carry their function directly.
+    for (std::size_t i = 0; i < num_values; ++i) {
+        const Value &v = module.value(ValueId(static_cast<ValueId::RawType>(i)));
+        if (v.kind == ValueKind::Argument && v.argFunc.valid()) {
+            owners_[i] = v.argFunc.raw();
+        } else if (v.kind == ValueKind::InstResult && v.inst.valid()) {
+            const BlockId parent = module.inst(v.inst).parent;
+            if (parent.valid())
+                owners_[i] = module.block(parent).func.raw();
+        }
+    }
+
+    // Use-based attribution for literal-like values, and instruction
+    // positions, in one pass over every function body. A literal used
+    // by two different functions has no single owner.
+    for (std::size_t f = 0; f < num_funcs; ++f) {
+        const FuncId fid(static_cast<FuncId::RawType>(f));
+        const Function &fn = module.func(fid);
+        std::uint32_t pos = 0;
+        for (const BlockId bid : fn.blocks) {
+            for (const InstId iid : module.block(bid).insts) {
+                inst_pos_[iid.raw()] = pos++;
+                for (const ValueId op : module.inst(iid).operands) {
+                    std::uint32_t &owner = owners_[op.raw()];
+                    const Value &v = module.value(op);
+                    if (v.kind == ValueKind::Argument ||
+                        v.kind == ValueKind::InstResult)
+                        continue;
+                    if (owner == kNoOwner)
+                        owner = fid.raw();
+                    else if (owner != fid.raw())
+                        owner = kNoOwner - 1; // conflict marker
+                }
+            }
+        }
+    }
+    // Conflicted literals collapse to unattributable; a literal that
+    // was never used keeps kNoOwner too (it cannot be walked).
+    for (std::uint32_t &owner : owners_) {
+        if (owner == kNoOwner - 1)
+            owner = kNoOwner;
+    }
+
+    // Ordinals: index among the owner's values in raw-id order. The
+    // parser creates a function's values while parsing that function
+    // and makeAcyclic appends clones per function, so the relative
+    // order is a property of the function's own content.
+    std::vector<std::uint32_t> next(num_funcs, 0);
+    for (std::size_t i = 0; i < num_values; ++i) {
+        const std::uint32_t owner = owners_[i];
+        if (owner != kNoOwner && owner < num_funcs)
+            ordinals_[i] = next[owner]++;
+    }
+
+    func_key_.resize(num_funcs);
+    content_.resize(num_funcs);
+    for (std::size_t f = 0; f < num_funcs; ++f) {
+        const FuncId fid(static_cast<FuncId::RawType>(f));
+        func_key_[f] = Fnv64::of(module.func(fid).name);
+        content_[f] = hashFunction(module, fid);
+    }
+}
+
+namespace {
+
+/** Block raw id -> position within one function (local scratch). */
+class BlockPositions
+{
+  public:
+    BlockPositions(const Module &module, const Function &fn)
+    {
+        for (std::size_t i = 0; i < fn.blocks.size(); ++i)
+            pos_[fn.blocks[i].raw()] = static_cast<std::uint32_t>(i);
+        (void)module;
+    }
+
+    std::uint32_t
+    of(BlockId b) const
+    {
+        const auto it = pos_.find(b.raw());
+        return it == pos_.end() ? 0xffffffffu : it->second;
+    }
+
+  private:
+    std::unordered_map<std::uint32_t, std::uint32_t> pos_;
+};
+
+} // namespace
+
+std::uint64_t
+ModuleKeys::hashFunction(const Module &module, FuncId f) const
+{
+    const Function &fn = module.func(f);
+    const BlockPositions blocks(module, fn);
+    Fnv64 h;
+    h.str(fn.name);
+    h.byte(fn.addressTaken ? 1 : 0);
+    h.byte(fn.isVariadicStub ? 1 : 0);
+
+    // Operands encode by local ordinal when owned here, by literal
+    // content otherwise - never by raw id, which is global.
+    auto hashOperand = [&](ValueId op) {
+        const Value &v = module.value(op);
+        const std::uint32_t owner = owners_[op.raw()];
+        if (owner == f.raw()) {
+            h.byte(0x01);
+            h.byte(static_cast<std::uint8_t>(v.kind));
+            h.u32(ordinals_[op.raw()]);
+            h.byte(v.width);
+            if (v.kind == ValueKind::Constant)
+                h.u64(static_cast<std::uint64_t>(v.constValue));
+            else if (v.kind == ValueKind::GlobalAddr && v.global.valid())
+                h.str(module.global(v.global).name);
+            else if (v.kind == ValueKind::FuncAddr && v.funcAddr.valid())
+                h.str(module.func(v.funcAddr).name);
+            return;
+        }
+        h.byte(0x02);
+        h.byte(static_cast<std::uint8_t>(v.kind));
+        h.byte(v.width);
+        switch (v.kind) {
+          case ValueKind::Constant:
+            h.u64(static_cast<std::uint64_t>(v.constValue));
+            break;
+          case ValueKind::GlobalAddr:
+            if (v.global.valid())
+                h.str(module.global(v.global).name);
+            break;
+          case ValueKind::FuncAddr:
+            if (v.funcAddr.valid())
+                h.str(module.func(v.funcAddr).name);
+            break;
+          default:
+            // Cross-function SSA use: encode by the other function's
+            // stable coordinate.
+            if (owner != kNoOwner) {
+                h.u64(func_key_.empty() ? 0 : Fnv64::of(
+                          module.func(FuncId(owner)).name));
+                h.u32(ordinals_[op.raw()]);
+            } else {
+                h.byte(0xff);
+            }
+            break;
+        }
+    };
+
+    h.u32(static_cast<std::uint32_t>(fn.params.size()));
+    for (const ValueId p : fn.params)
+        h.byte(module.value(p).width);
+
+    h.u32(static_cast<std::uint32_t>(fn.blocks.size()));
+    for (const BlockId bid : fn.blocks) {
+        const BasicBlock &bb = module.block(bid);
+        h.u32(static_cast<std::uint32_t>(bb.insts.size()));
+        for (const InstId iid : bb.insts) {
+            const Instruction &inst = module.inst(iid);
+            h.byte(static_cast<std::uint8_t>(inst.op));
+            h.byte(static_cast<std::uint8_t>(inst.pred));
+            h.u32(inst.allocaSize);
+            if (inst.result.valid()) {
+                h.byte(0x01);
+                h.byte(module.value(inst.result).width);
+                h.u32(ordinals_[inst.result.raw()]);
+            } else {
+                h.byte(0x00);
+            }
+            if (inst.callee.valid())
+                h.str(module.func(inst.callee).name);
+            if (inst.external.valid())
+                h.str(module.external(inst.external).name);
+            if (inst.thenBlock.valid())
+                h.u32(blocks.of(inst.thenBlock));
+            if (inst.elseBlock.valid())
+                h.u32(blocks.of(inst.elseBlock));
+            h.u32(static_cast<std::uint32_t>(inst.operands.size()));
+            for (const ValueId op : inst.operands)
+                hashOperand(op);
+            for (const BlockId pb : inst.phiBlocks)
+                h.u32(blocks.of(pb));
+        }
+    }
+    return h.value();
+}
+
+void
+ModuleKeys::hashEndpoint(const Module &module, Fnv64 &h, ValueId v) const
+{
+    const std::uint32_t owner = owners_[v.raw()];
+    if (owner != kNoOwner) {
+        h.u64(func_key_[owner]);
+        h.u32(ordinals_[v.raw()]);
+        return;
+    }
+    // Unattributable endpoint: hash its literal content; any walk
+    // examining it is poisoned anyway, this only keeps the incident
+    // edge multiset deterministic.
+    const Value &val = module.value(v);
+    h.byte(static_cast<std::uint8_t>(val.kind));
+    h.byte(val.width);
+    h.u64(static_cast<std::uint64_t>(val.constValue));
+}
+
+std::vector<std::uint64_t>
+ModuleKeys::substrateHashes(const Ddg &ddg, const HintIndex &hints,
+                            const PointsTo &pts, const TypeEnv &env) const
+{
+    const std::size_t num_funcs = module_.numFuncs();
+    std::vector<std::uint64_t> out(num_funcs);
+    const TypeTable &tt = module_.types();
+
+    // Incident DDG edges, combined per function order-independently
+    // (modular sum) so the combination does not depend on the edge
+    // pool's construction order.
+    std::vector<std::uint64_t> edge_sum(num_funcs, 0);
+    for (std::uint32_t e = 0; e < ddg.numEdges(); ++e) {
+        const Ddg::Edge &edge = ddg.edge(e);
+        Fnv64 eh;
+        hashEndpoint(module_, eh, edge.from);
+        hashEndpoint(module_, eh, edge.to);
+        eh.byte(static_cast<std::uint8_t>(edge.kind));
+        eh.byte(edge.pruned ? 1 : 0);
+        if (edge.site.valid() && edge.site.raw() < inst_pos_.size()) {
+            const BlockId parent = module_.inst(edge.site).parent;
+            if (parent.valid()) {
+                eh.u64(func_key_[module_.block(parent).func.index()]);
+                eh.u32(inst_pos_[edge.site.raw()]);
+            }
+        }
+        const std::uint64_t digest = eh.value();
+        const std::uint32_t from_owner = owners_[edge.from.raw()];
+        const std::uint32_t to_owner = owners_[edge.to.raw()];
+        if (from_owner != kNoOwner)
+            edge_sum[from_owner] += digest;
+        if (to_owner != kNoOwner && to_owner != from_owner)
+            edge_sum[to_owner] += digest;
+    }
+
+    // Per-value observations (hints, post-FI bounds, points-to
+    // emptiness), folded in ordinal order per function. The same few
+    // hundred type nodes appear at hundreds of thousands of values, so
+    // structural hashes are computed once per TypeRef (the table is
+    // hash-consed: equal refs are structurally equal).
+    std::vector<std::uint64_t> type_hash(tt.numTypes() + 1, 0);
+    std::vector<bool> type_hashed(tt.numTypes() + 1, false);
+    auto hashOf = [&](TypeRef ref) -> std::uint64_t {
+        const std::size_t slot =
+            ref.valid() ? ref.raw() + 1 : std::size_t{0};
+        if (slot >= type_hash.size())
+            return structuralTypeHash(tt, ref);
+        if (!type_hashed[slot]) {
+            type_hash[slot] = structuralTypeHash(tt, ref);
+            type_hashed[slot] = true;
+        }
+        return type_hash[slot];
+    };
+    std::vector<Fnv64> per_func(num_funcs);
+    for (std::size_t i = 0; i < module_.numValues(); ++i) {
+        const std::uint32_t owner = owners_[i];
+        if (owner == kNoOwner)
+            continue;
+        const ValueId vid(static_cast<ValueId::RawType>(i));
+        Fnv64 &h = per_func[owner];
+        h.u32(ordinals_[i]);
+        const auto &value_hints = hints.of(vid);
+        h.u32(static_cast<std::uint32_t>(value_hints.size()));
+        for (const TypeHint &hint : value_hints) {
+            h.u64(hashOf(hint.type));
+            if (hint.site.valid() && hint.site.raw() < inst_pos_.size())
+                h.u32(inst_pos_[hint.site.raw()]);
+        }
+        const BoundPair bp = env.boundsOf(TypeVar::of(vid));
+        h.u64(hashOf(bp.upper));
+        h.u64(hashOf(bp.lower));
+        h.byte(pts.locs(vid).empty() ? 0 : 1);
+    }
+
+    for (std::size_t f = 0; f < num_funcs; ++f) {
+        Fnv64 h;
+        h.u64(content_[f]);
+        h.u64(edge_sum[f]);
+        h.u64(per_func[f].value());
+        out[f] = h.value();
+    }
+    return out;
+}
+
+std::uint64_t
+hashText(const std::string &text)
+{
+    std::uint64_t h = Fnv64::kOffset;
+    std::size_t i = 0;
+    for (; i + 8 <= text.size(); i += 8) {
+        std::uint64_t word;
+        std::memcpy(&word, text.data() + i, 8);
+        h = (h ^ word) * Fnv64::kPrime;
+    }
+    for (; i < text.size(); ++i) {
+        h = (h ^ static_cast<unsigned char>(text[i])) * Fnv64::kPrime;
+    }
+    // Length guards against block-boundary ambiguity between the word
+    // and tail phases.
+    return (h ^ text.size()) * Fnv64::kPrime;
+}
+
+std::vector<std::string>
+diffContentHashes(const std::unordered_map<std::string, std::uint64_t> &before,
+                  const std::unordered_map<std::string, std::uint64_t> &after)
+{
+    std::vector<std::string> dirty;
+    for (const auto &[name, hash] : after) {
+        const auto it = before.find(name);
+        if (it == before.end() || it->second != hash)
+            dirty.push_back(name);
+    }
+    for (const auto &[name, hash] : before) {
+        (void)hash;
+        if (after.find(name) == after.end())
+            dirty.push_back(name);
+    }
+    std::sort(dirty.begin(), dirty.end());
+    return dirty;
+}
+
+} // namespace serve
+} // namespace manta

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Stable cross-run identities for incremental re-analysis
+ * (docs/SERVING.md, "Invalidation model").
+ *
+ * Raw ids are parse-order artifacts; re-submitting a patched module
+ * re-numbers everything after the edit. The serving layer therefore
+ * keys every cached refinement record by (function name, ordinal),
+ * where the ordinal is the value's index among the values *attributed*
+ * to its owning function, in raw-id order - a function-local coordinate
+ * that survives edits elsewhere in the module.
+ *
+ * Attribution: Arguments belong to their declaring function and
+ * InstResults to their defining instruction's function; Constant,
+ * GlobalAddr and FuncAddr values are created fresh per operand use by
+ * the parser, so a single scan attributes each to the one function
+ * whose instruction uses it. A value used from more than one function
+ * (possible for builder-constructed modules that share literals) is
+ * unattributable: walks that touch it are never cached.
+ *
+ * Two hash layers ride on the attribution:
+ *  - contentHash(f): post-acyclic structural hash of f's own MIR -
+ *    opcodes, widths, predicates, block shape (positional, not
+ *    name-based) and operands encoded by local ordinal or literal
+ *    content. Cross-function references hash the callee/global NAME,
+ *    so renaming a callee dirties its callers.
+ *  - substrateHash(f): contentHash plus everything the refinement
+ *    walks can read about f's values in this run - incident DDG edges
+ *    (order-independently combined), type hints, post-FI bounds and
+ *    points-to emptiness. Two runs agreeing on a function's substrate
+ *    hash agree on every observation a walk can make of that function.
+ */
+#ifndef MANTA_SERVE_KEYS_H
+#define MANTA_SERVE_KEYS_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/ddg.h"
+#include "analysis/pointsto.h"
+#include "core/hints.h"
+#include "core/unify.h"
+#include "mir/mir.h"
+#include "support/binio.h"
+
+namespace manta {
+namespace serve {
+
+/** Owner raw id meaning "no single owning function". */
+constexpr std::uint32_t kNoOwner = 0xffffffffu;
+
+/** Per-module stable coordinates, computed once per (re-)parse. */
+class ModuleKeys
+{
+  public:
+    explicit ModuleKeys(const Module &module);
+
+    /** value raw id -> owning function raw id (kNoOwner = shared). */
+    const std::vector<std::uint32_t> &
+    owners() const
+    {
+        return owners_;
+    }
+
+    /** value raw id -> ordinal within owner (meaningless if unowned). */
+    const std::vector<std::uint32_t> &
+    ordinals() const
+    {
+        return ordinals_;
+    }
+
+    /** instruction raw id -> position within its function's listing. */
+    const std::vector<std::uint32_t> &
+    instPositions() const
+    {
+        return inst_pos_;
+    }
+
+    /** FNV-64 of the function's name (the cross-run function key). */
+    std::uint64_t funcKey(FuncId f) const { return func_key_[f.index()]; }
+
+    /** Structural content hash of one function (see file comment). */
+    std::uint64_t
+    contentHash(FuncId f) const
+    {
+        return content_[f.index()];
+    }
+
+    const std::vector<std::uint64_t> &
+    contentHashes() const
+    {
+        return content_;
+    }
+
+    /**
+     * Per-function substrate hashes for this run. Requires the post-FI
+     * environment; call after unification has populated `env`.
+     */
+    std::vector<std::uint64_t> substrateHashes(const Ddg &ddg,
+                                               const HintIndex &hints,
+                                               const PointsTo &pts,
+                                               const TypeEnv &env) const;
+
+  private:
+    std::uint64_t hashFunction(const Module &module, FuncId f) const;
+
+    /** Stable encoding of a value for edge-endpoint hashing. */
+    void hashEndpoint(const Module &module, Fnv64 &h, ValueId v) const;
+
+    const Module &module_;
+    std::vector<std::uint32_t> owners_;
+    std::vector<std::uint32_t> ordinals_;
+    std::vector<std::uint32_t> inst_pos_;
+    std::vector<std::uint64_t> func_key_;
+    std::vector<std::uint64_t> content_;
+};
+
+/**
+ * Digest of a submitted module text, used for the resident-text
+ * identity shortcut and the snapshot's textHash field. FNV folded
+ * over 8-byte words (tail bytes singly): byte-serial FNV is
+ * measurable on multi-megabyte texts, and an identity check needs a
+ * stable digest, not byte-granular mixing.
+ */
+std::uint64_t hashText(const std::string &text);
+
+/**
+ * Functions whose content hash differs between two (name -> hash)
+ * maps: changed, added or removed names. Names absent from the module
+ * are ignored by callers that map back to FuncIds.
+ */
+std::vector<std::string>
+diffContentHashes(const std::unordered_map<std::string, std::uint64_t> &before,
+                  const std::unordered_map<std::string, std::uint64_t> &after);
+
+} // namespace serve
+} // namespace manta
+
+#endif // MANTA_SERVE_KEYS_H

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Transports for the serve daemon (docs/SERVING.md, "Running the
+ * daemon").
+ *
+ * Two transports feed the same Service:
+ *  - stdio: one request per stdin line, one response per stdout line.
+ *    Requests are dispatched onto the shared task pool so several
+ *    binaries analyze concurrently; responses are written as they
+ *    complete (clients correlate by id, not by order). `shutdown` is
+ *    handled synchronously after draining in-flight requests, so its
+ *    response is always the last line.
+ *  - unix socket: an AF_UNIX stream listener; each connection speaks
+ *    the same NDJSON protocol. Connections are served concurrently on
+ *    the shared pool. A `shutdown` from any connection stops the
+ *    accept loop after in-flight connections finish.
+ */
+#ifndef MANTA_SERVE_SERVER_H
+#define MANTA_SERVE_SERVER_H
+
+#include <string>
+
+#include "serve/service.h"
+
+namespace manta {
+namespace serve {
+
+/** Serve NDJSON over stdin/stdout until EOF or shutdown. Returns 0. */
+int runStdioServer(Service &service);
+
+/**
+ * Serve NDJSON over an AF_UNIX stream socket at `path` (an existing
+ * socket file is replaced). Returns 0 on clean shutdown, 1 when the
+ * socket cannot be created.
+ */
+int runUnixServer(Service &service, const std::string &path);
+
+} // namespace serve
+} // namespace manta
+
+#endif // MANTA_SERVE_SERVER_H

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Request dispatch for the serve daemon (docs/SERVING.md, "Wire
+ * protocol").
+ *
+ * A Service owns the registry of resident BinarySessions and turns one
+ * request line (newline-delimited JSON) into one response line. It is
+ * transport-agnostic: server.h feeds it lines from stdin or from unix
+ * socket connections, possibly from several threads at once.
+ *
+ * Locking: the registry map is guarded by a registry mutex held only
+ * while resolving/creating a session; each session then serializes its
+ * own requests with its per-session lock, so requests against
+ * different binaries run concurrently while requests against one
+ * binary are ordered.
+ */
+#ifndef MANTA_SERVE_SERVICE_H
+#define MANTA_SERVE_SERVICE_H
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/json.h"
+#include "serve/session.h"
+
+namespace manta {
+namespace serve {
+
+/** Machine-readable error codes (docs/SERVING.md, "Error codes"). */
+namespace errc {
+constexpr const char *kBadRequest = "bad_request";
+constexpr const char *kParseError = "parse_error";
+constexpr const char *kUnknownMethod = "unknown_method";
+constexpr const char *kUnknownBinary = "unknown_binary";
+constexpr const char *kAnalysisError = "analysis_error";
+constexpr const char *kInternalError = "internal_error";
+constexpr const char *kShuttingDown = "shutting_down";
+} // namespace errc
+
+/** The daemon's method dispatcher. */
+class Service
+{
+  public:
+    Service() = default;
+
+    /**
+     * Handle one request line; returns the response line (without a
+     * trailing newline). Never throws and always produces a valid
+     * response object, echoing the request id when one was readable.
+     */
+    std::string handleLine(const std::string &line);
+
+    /** True once a shutdown request has been accepted. */
+    bool shuttingDown() const { return shutting_down_.load(); }
+
+    /** Number of resident binaries (status reporting, tests). */
+    std::size_t numBinaries();
+
+  private:
+    Json dispatch(const std::string &method, const Json *params);
+
+    Json doAnalyze(const Json &params);
+    Json doRender(const Json &params, const std::string &what);
+    Json doSlice(const Json &params);
+    Json doStatus();
+    Json doSnapshotSave(const Json &params);
+    Json doSnapshotLoad(const Json &params);
+
+    /** Resolve a session by params.binary; null + error Json if absent. */
+    BinarySession *findSession(const Json &params, Json &error);
+    BinarySession &sessionFor(const std::string &name);
+
+    /** Build `{"code":..., "message":...}` (stashed via makeError). */
+    static Json errorValue(const char *code, const std::string &message);
+
+    std::mutex registry_mutex_;
+    std::map<std::string, std::unique_ptr<BinarySession>> sessions_;
+    std::atomic<bool> shutting_down_{false};
+};
+
+} // namespace serve
+} // namespace manta
+
+#endif // MANTA_SERVE_SERVICE_H

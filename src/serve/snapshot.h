@@ -1,0 +1,124 @@
+/**
+ * @file
+ * On-disk substrate snapshots (the "MSNP" format; docs/SERVING.md,
+ * "Snapshot format").
+ *
+ * Layout: magic "MSNP", format version, a section table (id, offset,
+ * size, FNV-64 checksum per section), then the section payloads.
+ * Readers reject unknown magic, a version mismatch, a malformed table
+ * or any checksum failure - the caller falls back to a cold analysis,
+ * never to a partially-decoded state.
+ *
+ * Sections:
+ *   META      (1)  version info, module text hash, walk budget,
+ *                  pipeline configuration label.
+ *   FUNCS     (2)  function names + per-function content hashes.
+ *   MIR       (3)  the full post-acyclic module (mir/serialize.h) -
+ *                  authoritative.
+ *   PTS       (4)  points-to digest mirror: solution checksum +
+ *                  counts. Substrates rebuild deterministically from
+ *                  MIR; the mirror verifies the rebuild, it does not
+ *                  replace it.
+ *   DDG       (5)  dependence-graph digest mirror, same contract.
+ *   SUMMARIES (6)  memoized refinement records (serve/memo.h) -
+ *                  authoritative.
+ *   RESULTS   (7)  named digests of rendered artifacts at save time,
+ *                  letting a reloaded session prove warm answers
+ *                  byte-identical to the saved ones.
+ */
+#ifndef MANTA_SERVE_SNAPSHOT_H
+#define MANTA_SERVE_SNAPSHOT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/ddg.h"
+#include "analysis/pointsto.h"
+#include "core/ddg_walk.h"
+#include "mir/mir.h"
+#include "serve/memo.h"
+
+namespace manta {
+namespace serve {
+
+constexpr std::uint32_t kSnapshotVersion = 1;
+
+/** Section ids (stable; new sections append new ids). */
+enum class SnapshotSection : std::uint32_t {
+    Meta = 1,
+    Funcs = 2,
+    Mir = 3,
+    Pts = 4,
+    Ddg = 5,
+    Summaries = 6,
+    Results = 7,
+};
+
+/** META payload. */
+struct SnapshotMeta
+{
+    std::uint64_t textHash = 0;   ///< FNV-64 of the submitted MIR text.
+    WalkBudget budget;
+    std::string configLabel;      ///< HybridConfig::label() at save.
+};
+
+/** Verified digest mirrors of the derived substrates. */
+struct SubstrateDigests
+{
+    std::uint64_t pts = 0;
+    std::uint64_t ptsLocs = 0;    ///< Total location count.
+    std::uint64_t ddg = 0;
+    std::uint64_t ddgEdges = 0;
+};
+
+/** One named rendered-artifact digest (RESULTS payload entry). */
+struct ResultDigest
+{
+    std::string name;
+    std::uint64_t digest = 0;
+};
+
+/** FNV-64 digests of the current points-to solution and DDG. */
+SubstrateDigests computeSubstrateDigests(const Module &module,
+                                         const PointsTo &pts,
+                                         const Ddg &ddg);
+
+/**
+ * Serialize a session's state. `funcs` pairs each function name with
+ * its content hash (FUNCS section).
+ */
+std::string
+writeSnapshot(const Module &module, const SnapshotMeta &meta,
+              const std::vector<std::pair<std::string, std::uint64_t>> &funcs,
+              const SubstrateDigests &digests, const IncrementalMemo &memo,
+              const std::vector<ResultDigest> &results);
+
+/** Decoded snapshot (module owned by the caller-provided object). */
+struct SnapshotContents
+{
+    SnapshotMeta meta;
+    std::vector<std::pair<std::string, std::uint64_t>> funcs;
+    SubstrateDigests digests;
+    std::vector<ResultDigest> results;
+};
+
+/**
+ * Decode a snapshot. Returns false (with `error` set) on bad magic,
+ * version mismatch, malformed sections or checksum failure; `module`
+ * and `memo` are only meaningful on success.
+ */
+bool readSnapshot(const std::string &bytes, Module &module,
+                  IncrementalMemo &memo, SnapshotContents &out,
+                  std::string &error);
+
+/** File convenience wrappers (binary I/O). */
+bool saveSnapshotFile(const std::string &path, const std::string &bytes,
+                      std::string &error);
+bool loadSnapshotFile(const std::string &path, std::string &bytes,
+                      std::string &error);
+
+} // namespace serve
+} // namespace manta
+
+#endif // MANTA_SERVE_SNAPSHOT_H

@@ -1,0 +1,233 @@
+#include "types/typeio.h"
+
+namespace manta {
+
+std::uint32_t
+TypePoolWriter::index(TypeRef ref)
+{
+    if (!ref.valid())
+        return kNoTypeIndex;
+    const auto it = indexOf_.find(ref.raw());
+    if (it != indexOf_.end())
+        return it->second;
+
+    const TypeNode &node = table_.node(ref);
+    Node out;
+    out.kind = node.kind;
+    out.size = node.size;
+    out.length = node.length;
+    // Children first: their indices must exist before this node's.
+    out.elem = index(node.elem);
+    for (const TypeField &f : node.fields)
+        out.fields.emplace_back(f.offset, index(f.type));
+    for (const TypeRef p : node.params)
+        out.params.push_back(index(p));
+    out.ret = index(node.ret);
+
+    const auto idx = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back(std::move(out));
+    indexOf_[ref.raw()] = idx;
+    return idx;
+}
+
+void
+TypePoolWriter::write(ByteWriter &out) const
+{
+    out.u32(static_cast<std::uint32_t>(nodes_.size()));
+    for (const Node &n : nodes_) {
+        out.u8(static_cast<std::uint8_t>(n.kind));
+        out.u8(n.size);
+        out.u32(n.elem);
+        out.u32(n.length);
+        out.u32(static_cast<std::uint32_t>(n.fields.size()));
+        for (const auto &[offset, type] : n.fields) {
+            out.u32(offset);
+            out.u32(type);
+        }
+        out.u32(static_cast<std::uint32_t>(n.params.size()));
+        for (const std::uint32_t p : n.params)
+            out.u32(p);
+        out.u32(n.ret);
+    }
+}
+
+bool
+TypePoolReader::read(ByteReader &in, TypeTable &table)
+{
+    const std::uint32_t count = in.u32();
+    types_.clear();
+    types_.reserve(count);
+    // A node may only reference already-decoded (lower-index) nodes.
+    auto child = [&](std::uint32_t idx) -> TypeRef {
+        if (idx == kNoTypeIndex)
+            return TypeRef::invalid();
+        if (idx >= types_.size()) {
+            in.fail();
+            return TypeRef::invalid();
+        }
+        return types_[idx];
+    };
+    auto validChild = [&](TypeRef ref) {
+        if (!ref.valid()) {
+            in.fail();
+            return false;
+        }
+        return true;
+    };
+    for (std::uint32_t i = 0; i < count && in.ok(); ++i) {
+        const auto kind = static_cast<TypeKind>(in.u8());
+        const std::uint8_t size = in.u8();
+        const std::uint32_t elem = in.u32();
+        const std::uint32_t length = in.u32();
+        const std::uint32_t num_fields = in.u32();
+        std::vector<TypeField> fields;
+        for (std::uint32_t f = 0; f < num_fields && in.ok(); ++f) {
+            const std::uint32_t offset = in.u32();
+            const TypeRef type = child(in.u32());
+            if (!validChild(type))
+                break;
+            fields.push_back(TypeField{offset, type});
+        }
+        const std::uint32_t num_params = in.u32();
+        std::vector<TypeRef> params;
+        for (std::uint32_t p = 0; p < num_params && in.ok(); ++p) {
+            const TypeRef param = child(in.u32());
+            if (!validChild(param))
+                break;
+            params.push_back(param);
+        }
+        const std::uint32_t ret = in.u32();
+        if (!in.ok())
+            break;
+
+        TypeRef decoded;
+        switch (kind) {
+        case TypeKind::Top:
+            decoded = table.top();
+            break;
+        case TypeKind::Bottom:
+            decoded = table.bottom();
+            break;
+        case TypeKind::Reg:
+            if (!isValidWidth(size)) { in.fail(); break; }
+            decoded = table.reg(size);
+            break;
+        case TypeKind::Num:
+            if (!isValidWidth(size)) { in.fail(); break; }
+            decoded = table.num(size);
+            break;
+        case TypeKind::Int:
+            if (!isValidWidth(size)) { in.fail(); break; }
+            decoded = table.intTy(size);
+            break;
+        case TypeKind::Float:
+            decoded = table.floatTy();
+            break;
+        case TypeKind::Double:
+            decoded = table.doubleTy();
+            break;
+        case TypeKind::Ptr: {
+            const TypeRef pointee = child(elem);
+            if (validChild(pointee))
+                decoded = table.ptr(pointee);
+            break;
+        }
+        case TypeKind::Array: {
+            const TypeRef element = child(elem);
+            if (validChild(element))
+                decoded = table.array(element, length);
+            break;
+        }
+        case TypeKind::Object:
+            decoded = table.object(std::move(fields));
+            break;
+        case TypeKind::Func: {
+            const TypeRef retType = child(ret);
+            if (validChild(retType))
+                decoded = table.func(std::move(params), retType);
+            break;
+        }
+        default:
+            in.fail();
+            break;
+        }
+        if (!in.ok())
+            break;
+        types_.push_back(decoded);
+    }
+    return in.ok() && types_.size() == count;
+}
+
+TypeRef
+transferType(const TypeTable &src, TypeRef ref, TypeTable &dst)
+{
+    if (!ref.valid())
+        return TypeRef::invalid();
+    const TypeNode &node = src.node(ref);
+    switch (node.kind) {
+    case TypeKind::Top:
+        return dst.top();
+    case TypeKind::Bottom:
+        return dst.bottom();
+    case TypeKind::Reg:
+        return dst.reg(node.size);
+    case TypeKind::Num:
+        return dst.num(node.size);
+    case TypeKind::Int:
+        return dst.intTy(node.size);
+    case TypeKind::Float:
+        return dst.floatTy();
+    case TypeKind::Double:
+        return dst.doubleTy();
+    case TypeKind::Ptr:
+        return dst.ptr(transferType(src, node.elem, dst));
+    case TypeKind::Array:
+        return dst.array(transferType(src, node.elem, dst), node.length);
+    case TypeKind::Object: {
+        std::vector<TypeField> fields;
+        fields.reserve(node.fields.size());
+        for (const TypeField &f : node.fields)
+            fields.push_back(TypeField{f.offset,
+                                       transferType(src, f.type, dst)});
+        return dst.object(std::move(fields));
+    }
+    case TypeKind::Func: {
+        std::vector<TypeRef> params;
+        params.reserve(node.params.size());
+        for (const TypeRef p : node.params)
+            params.push_back(transferType(src, p, dst));
+        return dst.func(std::move(params),
+                        transferType(src, node.ret, dst));
+    }
+    }
+    return TypeRef::invalid();
+}
+
+std::uint64_t
+structuralTypeHash(const TypeTable &table, TypeRef ref)
+{
+    Fnv64 h;
+    if (!ref.valid()) {
+        h.byte(0xff);
+        return h.value();
+    }
+    const TypeNode &node = table.node(ref);
+    h.byte(static_cast<std::uint8_t>(node.kind));
+    h.byte(node.size);
+    if (node.elem.valid())
+        h.u64(structuralTypeHash(table, node.elem));
+    h.u32(node.length);
+    h.u32(static_cast<std::uint32_t>(node.fields.size()));
+    for (const TypeField &f : node.fields) {
+        h.u32(f.offset);
+        h.u64(structuralTypeHash(table, f.type));
+    }
+    h.u32(static_cast<std::uint32_t>(node.params.size()));
+    for (const TypeRef p : node.params)
+        h.u64(structuralTypeHash(table, p));
+    if (node.ret.valid())
+        h.u64(structuralTypeHash(table, node.ret));
+    return h.value();
+}
+
+} // namespace manta

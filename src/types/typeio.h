@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Structural serialization of interned types (snapshot TYPES pools).
+ *
+ * TypeRefs are ids into a per-run hash-consed TypeTable, so raw ids
+ * are meaningless across runs. Serialization therefore goes through a
+ * structural pool: each distinct type referenced by a snapshot section
+ * is encoded once as a node (kind + width + child *indices*), children
+ * before parents, and every TypeRef in the section body becomes a u32
+ * index into that pool. Deserialization re-interns each node through
+ * the destination TypeTable's constructors, so a decoded TypeRef is
+ * structurally identical to the encoded one even though its raw id
+ * differs - rendered artifacts depend only on structure, which is what
+ * makes warm answers byte-identical to cold runs (docs/SERVING.md).
+ */
+#ifndef MANTA_TYPES_TYPEIO_H
+#define MANTA_TYPES_TYPEIO_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "support/binio.h"
+#include "types/type.h"
+
+namespace manta {
+
+/** Sentinel pool index for "no type" (invalid TypeRef). */
+constexpr std::uint32_t kNoTypeIndex = 0xffffffffu;
+
+/**
+ * Collects the distinct types a snapshot section references and
+ * assigns each a dense pool index. Children are indexed before the
+ * types that contain them, so the reader can rebuild in one pass.
+ */
+class TypePoolWriter
+{
+  public:
+    explicit TypePoolWriter(const TypeTable &table)
+        : table_(table)
+    {
+    }
+
+    /** Pool index for `ref`, interning its structure on first sight. */
+    std::uint32_t index(TypeRef ref);
+
+    /** Emit the pool: node count, then each node's structure. */
+    void write(ByteWriter &out) const;
+
+    std::size_t size() const { return nodes_.size(); }
+
+  private:
+    struct Node
+    {
+        TypeKind kind;
+        std::uint8_t size;
+        std::uint32_t elem;
+        std::uint32_t length;
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> fields;
+        std::vector<std::uint32_t> params;
+        std::uint32_t ret;
+    };
+
+    const TypeTable &table_;
+    std::unordered_map<std::uint32_t, std::uint32_t> indexOf_;
+    std::vector<Node> nodes_;
+};
+
+/**
+ * Decodes a type pool, re-interning every node through `table`.
+ * On malformed input the reader's failure flag is set and lookups
+ * return the invalid TypeRef.
+ */
+class TypePoolReader
+{
+  public:
+    /** Decode the pool at the reader's cursor. Returns false on error. */
+    bool read(ByteReader &in, TypeTable &table);
+
+    /** Map a pool index back to an interned TypeRef. */
+    TypeRef
+    type(std::uint32_t index) const
+    {
+        if (index == kNoTypeIndex)
+            return TypeRef::invalid();
+        if (index >= types_.size())
+            return TypeRef::invalid();
+        return types_[index];
+    }
+
+    std::size_t size() const { return types_.size(); }
+
+  private:
+    std::vector<TypeRef> types_;
+};
+
+/**
+ * Structural content hash of a type (order-independent across runs,
+ * unlike the raw TypeRef id). Used by substrate hashing.
+ */
+std::uint64_t structuralTypeHash(const TypeTable &table, TypeRef ref);
+
+/**
+ * Re-intern `ref` from `src` into `dst`, structurally (children
+ * first). Both tables hash-cons, so transferring is idempotent and a
+ * same-table transfer returns `ref` unchanged. The invalid ref maps
+ * to itself. This is how the serve-layer memo keeps cached bounds
+ * alive across runs whose modules each own a fresh TypeTable.
+ */
+TypeRef transferType(const TypeTable &src, TypeRef ref, TypeTable &dst);
+
+} // namespace manta
+
+#endif // MANTA_TYPES_TYPEIO_H

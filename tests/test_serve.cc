@@ -1,0 +1,416 @@
+/**
+ * @file
+ * Tests for the serving layer (docs/SERVING.md): the NDJSON protocol,
+ * cache invalidation, snapshot round-trips and their failure modes,
+ * warm-vs-cold byte identity, and the --help parity contract.
+ *
+ * The replay test at the bottom re-executes every `>>>` request line
+ * from docs/SERVING.md against a fresh Service and checks the
+ * documented `<<<` response shape (ok flag, error code), so protocol
+ * examples in the docs cannot drift from the implementation.
+ */
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "serve/cli_modes.h"
+#include "serve/json.h"
+#include "serve/keys.h"
+#include "serve/service.h"
+#include "serve/session.h"
+#include "serve/snapshot.h"
+
+namespace manta {
+namespace serve {
+namespace {
+
+// A three-function chain @a -> @b -> @c with enough memory traffic
+// for refinement candidates to exist in every function.
+const char *kChainText = R"(
+func @c(%p:64) {
+entry:
+  %v = load.64 %p
+  %w = add %v, 1:64
+  ret %w
+}
+func @b(%p:64) {
+entry:
+  %r = call.64 @c(%p)
+  ret %r
+}
+func @a() {
+entry:
+  %buf = alloca 16
+  store %buf, 7:64
+  %r = call.64 @b(%buf)
+  ret %r
+}
+)";
+
+// Same module with @b's body changed (extra arithmetic).
+const char *kChainPatchedB = R"(
+func @c(%p:64) {
+entry:
+  %v = load.64 %p
+  %w = add %v, 1:64
+  ret %w
+}
+func @b(%p:64) {
+entry:
+  %r = call.64 @c(%p)
+  %s = add %r, 2:64
+  ret %s
+}
+func @a() {
+entry:
+  %buf = alloca 16
+  store %buf, 7:64
+  %r = call.64 @b(%buf)
+  ret %r
+}
+)";
+
+// A fourth function rides along untouched by either edit.
+const char *kIslandTail = R"(
+func @island(%x:64) {
+entry:
+  %y = add %x, 3:64
+  ret %y
+}
+)";
+
+Json
+parseOrDie(const std::string &text)
+{
+    Json j;
+    std::string err;
+    EXPECT_TRUE(parseJson(text, j, err)) << err << " in: " << text;
+    return j;
+}
+
+std::string
+request(Service &service, const std::string &line)
+{
+    return service.handleLine(line);
+}
+
+/** Response must be ok:true; returns the result object. */
+Json
+okResult(Service &service, const std::string &line)
+{
+    const Json resp = parseOrDie(request(service, line));
+    const Json *ok = resp.get("ok");
+    EXPECT_TRUE(ok != nullptr && ok->isBool() && ok->asBool())
+        << "response not ok: " << resp.dump();
+    const Json *result = resp.get("result");
+    EXPECT_NE(result, nullptr);
+    return result != nullptr ? *result : Json::null();
+}
+
+/** Response must be ok:false with the given error code. */
+void
+expectError(Service &service, const std::string &line, const char *code)
+{
+    const Json resp = parseOrDie(request(service, line));
+    const Json *ok = resp.get("ok");
+    ASSERT_TRUE(ok != nullptr && ok->isBool());
+    EXPECT_FALSE(ok->asBool()) << resp.dump();
+    const Json *error = resp.get("error");
+    ASSERT_NE(error, nullptr);
+    const Json *got = error->get("code");
+    ASSERT_TRUE(got != nullptr && got->isString());
+    EXPECT_EQ(got->asString(), code) << resp.dump();
+}
+
+std::string
+analyzeLine(const std::string &binary, const std::string &text)
+{
+    Json params = Json::object();
+    params.set("binary", Json::string(binary));
+    params.set("text", Json::string(text));
+    Json req = Json::object();
+    req.set("id", Json::integer(1));
+    req.set("method", Json::string("analyze"));
+    req.set("params", std::move(params));
+    return req.dump();
+}
+
+TEST(ServeJson, RoundTripsNestedDocuments)
+{
+    const std::string text =
+        R"({"id":42,"s":"a\"b\\c\nd","arr":[1,2.5,true,null],"o":{"k":"v"}})";
+    const Json j = parseOrDie(text);
+    EXPECT_EQ(j.get("id")->asInt(), 42);
+    EXPECT_TRUE(j.get("id")->isIntegral());
+    EXPECT_EQ(j.get("s")->asString(), "a\"b\\c\nd");
+    EXPECT_EQ(j.get("arr")->items().size(), 4u);
+    // Dump/parse fixpoint.
+    const Json again = parseOrDie(j.dump());
+    EXPECT_EQ(again.dump(), j.dump());
+}
+
+TEST(ServeJson, RejectsMalformedInput)
+{
+    Json j;
+    std::string err;
+    EXPECT_FALSE(parseJson("{\"a\":", j, err));
+    EXPECT_FALSE(parseJson("{} trailing", j, err));
+    EXPECT_FALSE(parseJson("{'single':1}", j, err));
+    EXPECT_FALSE(parseJson("[1,]", j, err));
+}
+
+TEST(ServeProtocol, ErrorCodes)
+{
+    Service service;
+    expectError(service, "not json at all", errc::kParseError);
+    expectError(service, "[1,2,3]", errc::kBadRequest);
+    expectError(service, R"({"id":1})", errc::kBadRequest);
+    expectError(service, R"({"id":1,"method":"nope"})",
+                errc::kUnknownMethod);
+    expectError(service,
+                R"({"id":1,"method":"types","params":{"binary":"x"}})",
+                errc::kUnknownBinary);
+    expectError(service, R"({"id":1,"method":"analyze","params":{}})",
+                errc::kBadRequest);
+    expectError(
+        service,
+        R"({"id":1,"method":"analyze","params":{"binary":"x","text":"func @"}})",
+        errc::kAnalysisError);
+}
+
+TEST(ServeProtocol, AnalyzeRenderSliceStatus)
+{
+    Service service;
+    const Json first = okResult(service, analyzeLine("demo", kChainText));
+    EXPECT_EQ(first.get("funcs")->asInt(), 3);
+    EXPECT_FALSE(first.get("unchanged")->asBool());
+    EXPECT_TRUE(first.get("dirty")->items().empty());
+
+    // Identical resubmission short-circuits on the text hash.
+    const Json again = okResult(service, analyzeLine("demo", kChainText));
+    EXPECT_TRUE(again.get("unchanged")->asBool());
+
+    const Json types = okResult(
+        service, R"({"id":2,"method":"types","params":{"binary":"demo"}})");
+    EXPECT_NE(types.get("text")->asString().find("func @a"),
+              std::string::npos);
+    okResult(service,
+             R"({"id":3,"method":"lint","params":{"binary":"demo"}})");
+    okResult(service,
+             R"({"id":4,"method":"icall","params":{"binary":"demo"}})");
+
+    const Json slice = okResult(
+        service,
+        R"({"id":5,"method":"slice","params":{"binary":"demo","func":"a","value":"buf"}})");
+    EXPECT_FALSE(slice.get("values")->items().empty());
+
+    const Json status =
+        okResult(service, R"({"id":6,"method":"status"})");
+    ASSERT_EQ(status.get("binaries")->items().size(), 1u);
+    const Json &entry = status.get("binaries")->items()[0];
+    EXPECT_EQ(entry.get("binary")->asString(), "demo");
+    EXPECT_TRUE(entry.get("analyzed")->asBool());
+    EXPECT_EQ(entry.get("analyses")->asInt(), 1);
+
+    okResult(service, R"({"id":7,"method":"shutdown"})");
+    EXPECT_TRUE(service.shuttingDown());
+    expectError(service,
+                R"({"id":8,"method":"lint","params":{"binary":"demo"}})",
+                errc::kShuttingDown);
+}
+
+TEST(ServeInvalidation, PatchDirtiesExactlyTheFunctionAndItsClosure)
+{
+    BinarySession session("inv");
+    const std::string before = std::string(kChainText) + kIslandTail;
+    const std::string after = std::string(kChainPatchedB) + kIslandTail;
+    ASSERT_TRUE(session.analyze(before).ok);
+
+    const AnalyzeOutcome out = session.analyze(after);
+    ASSERT_TRUE(out.ok);
+    // Exactly @b changed...
+    ASSERT_EQ(out.dirty.size(), 1u);
+    EXPECT_EQ(out.dirty[0], "b");
+    // ...and the re-analysis frontier is its call closure: the caller
+    // @a, @b itself, and the callee @c - but never @island.
+    EXPECT_EQ(out.closure, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ServeInvalidation, UnchangedResubmissionReusesEveryCandidate)
+{
+    BinarySession session("reuse");
+    ASSERT_TRUE(session.analyze(kChainText).ok);
+    // Same text with different whitespace: same content hashes, so the
+    // memo answers every refinement candidate without a walk.
+    std::string reformatted = kChainText;
+    reformatted += "\n\n";
+    const AnalyzeOutcome out = session.analyze(reformatted);
+    ASSERT_TRUE(out.ok);
+    EXPECT_FALSE(out.unchanged); // text hash differs...
+    EXPECT_TRUE(out.dirty.empty()); // ...but no function does.
+}
+
+TEST(ServeIdentity, WarmRendersMatchColdByteForByte)
+{
+    // Warm: analyze the base text, then the patched text.
+    BinarySession warm("warm");
+    ASSERT_TRUE(warm.analyze(kChainText).ok);
+    const AnalyzeOutcome warm_out = warm.analyze(kChainPatchedB);
+    ASSERT_TRUE(warm_out.ok);
+
+    // Cold: a fresh session sees only the patched text.
+    BinarySession cold("cold");
+    ASSERT_TRUE(cold.analyze(kChainPatchedB).ok);
+
+    EXPECT_EQ(warm.renderTypes(), cold.renderTypes());
+    EXPECT_EQ(warm.renderLint(), cold.renderLint());
+    EXPECT_EQ(warm.renderIcall(), cold.renderIcall());
+}
+
+TEST(ServeSnapshot, RoundTripRestoresIdenticalRenders)
+{
+    BinarySession saver("snap");
+    ASSERT_TRUE(saver.analyze(kChainText).ok);
+    std::string bytes, error;
+    ASSERT_TRUE(saver.saveSnapshot(bytes, error)) << error;
+    EXPECT_EQ(bytes.compare(0, 4, "MSNP"), 0);
+
+    BinarySession loader("snap");
+    ASSERT_TRUE(loader.loadSnapshot(bytes, error)) << error;
+    EXPECT_EQ(loader.renderTypes(), saver.renderTypes());
+    EXPECT_EQ(loader.renderLint(), saver.renderLint());
+    EXPECT_EQ(loader.renderIcall(), saver.renderIcall());
+    EXPECT_EQ(loader.textHash(), saver.textHash());
+
+    // The restored memo keeps answering: a patch after reload reuses
+    // records exactly as the saving session would have.
+    const AnalyzeOutcome out = loader.analyze(kChainPatchedB);
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(out.dirty, std::vector<std::string>{"b"});
+}
+
+TEST(ServeSnapshot, CorruptByteIsRejectedAndColdAnalysisStillWorks)
+{
+    BinarySession saver("snap");
+    ASSERT_TRUE(saver.analyze(kChainText).ok);
+    std::string bytes, error;
+    ASSERT_TRUE(saver.saveSnapshot(bytes, error)) << error;
+
+    // Flip one byte in every region of the file: header, section
+    // table, and payloads. Each corruption must be rejected outright.
+    for (const std::size_t at :
+         {std::size_t(1), std::size_t(9), bytes.size() / 2,
+          bytes.size() - 1}) {
+        std::string bad = bytes;
+        bad[at] = static_cast<char>(bad[at] ^ 0x5a);
+        BinarySession loader("snap");
+        std::string load_error;
+        EXPECT_FALSE(loader.loadSnapshot(bad, load_error))
+            << "byte " << at << " accepted";
+        EXPECT_FALSE(load_error.empty());
+        EXPECT_FALSE(loader.hasResult());
+        // Cold fallback: the session is still usable.
+        EXPECT_TRUE(loader.analyze(kChainText).ok);
+    }
+}
+
+TEST(ServeSnapshot, VersionMismatchIsRejected)
+{
+    BinarySession saver("snap");
+    ASSERT_TRUE(saver.analyze(kChainText).ok);
+    std::string bytes, error;
+    ASSERT_TRUE(saver.saveSnapshot(bytes, error)) << error;
+
+    // The u32 format version sits right after the 4-byte magic.
+    std::string bad = bytes;
+    bad[4] = static_cast<char>(kSnapshotVersion + 1);
+    BinarySession loader("snap");
+    std::string load_error;
+    EXPECT_FALSE(loader.loadSnapshot(bad, load_error));
+    EXPECT_NE(load_error.find("version"), std::string::npos) << load_error;
+    EXPECT_FALSE(loader.hasResult());
+    EXPECT_TRUE(loader.analyze(kChainText).ok);
+}
+
+TEST(ServeKeys, TextHashIsStableAndSensitive)
+{
+    const std::string a(100, 'x');
+    std::string b = a;
+    b[50] = 'y';
+    EXPECT_EQ(hashText(a), hashText(a));
+    EXPECT_NE(hashText(a), hashText(b));
+    // Word-folded hashing must still see pure-length differences.
+    EXPECT_NE(hashText(a), hashText(a + "x"));
+    EXPECT_NE(hashText(std::string()), hashText(std::string(1, '\0')));
+}
+
+TEST(ServeCli, HelpTextCoversEveryMode)
+{
+    const std::string help = cliHelpText();
+    for (const CliMode &mode : cliModes()) {
+        EXPECT_NE(help.find(std::string("  ") + mode.name),
+                  std::string::npos)
+            << "mode '" << mode.name << "' missing from --help";
+        EXPECT_NE(help.find(mode.summary), std::string::npos)
+            << "summary for '" << mode.name << "' missing from --help";
+    }
+    EXPECT_NE(help.find("usage: manta_cli"), std::string::npos);
+}
+
+TEST(ServeCli, ModeListMatchesDispatchedModes)
+{
+    // The modes manta_cli's main() dispatches on. Adding a branch to
+    // the binary without registering it in cliModes() (or vice versa)
+    // must fail here - this list is the parity contract.
+    const std::vector<std::string> dispatched = {
+        "types", "bugs", "bugs-notype", "lint", "lint-notype",
+        "lint-sarif", "icall", "stats", "run", "serve",
+    };
+    ASSERT_EQ(cliModes().size(), dispatched.size());
+    for (std::size_t i = 0; i < dispatched.size(); ++i)
+        EXPECT_EQ(cliModes()[i].name, dispatched[i]);
+}
+
+/**
+ * Replay every `>>>` request from docs/SERVING.md and compare the
+ * response against the documented `<<<` line: the ok flag must match,
+ * and when the doc shows an error, the code must match too.
+ */
+TEST(ServeDocs, ServingMdExamplesReplay)
+{
+    std::ifstream doc(std::string(MANTA_DOCS_DIR) + "/SERVING.md");
+    ASSERT_TRUE(doc.is_open()) << "docs/SERVING.md not found";
+    Service service;
+    std::string line;
+    std::string pending_response;
+    std::size_t replayed = 0;
+    while (std::getline(doc, line)) {
+        if (line.rfind(">>> ", 0) == 0) {
+            pending_response = request(service, line.substr(4));
+            ++replayed;
+        } else if (line.rfind("<<< ", 0) == 0) {
+            ASSERT_FALSE(pending_response.empty())
+                << "expected line without a preceding request: " << line;
+            const Json expected = parseOrDie(line.substr(4));
+            const Json got = parseOrDie(pending_response);
+            ASSERT_NE(expected.get("ok"), nullptr);
+            EXPECT_EQ(got.get("ok")->asBool(),
+                      expected.get("ok")->asBool())
+                << "for documented request; got: " << pending_response;
+            if (const Json *want_err = expected.get("error")) {
+                const Json *got_err = got.get("error");
+                ASSERT_NE(got_err, nullptr);
+                EXPECT_EQ(got_err->get("code")->asString(),
+                          want_err->get("code")->asString());
+            }
+            pending_response.clear();
+        }
+    }
+    // The doc must actually contain a replayable session.
+    EXPECT_GE(replayed, 6u);
+}
+
+} // namespace
+} // namespace serve
+} // namespace manta
