@@ -1,0 +1,111 @@
+#include "analysis/scc.h"
+
+#include <algorithm>
+
+#include "support/graph.h"
+
+namespace manta {
+
+SccGraph::SccGraph(const CallGraph &graph, std::size_t num_funcs)
+{
+    Digraph g(num_funcs);
+    for (std::size_t f = 0; f < num_funcs; ++f) {
+        for (const FuncId callee :
+             graph.callees(FuncId(static_cast<FuncId::RawType>(f))))
+            g.addEdge(f, callee.index());
+    }
+    std::size_t num_sccs = 0;
+    scc_of_ = g.sccIds(&num_sccs);
+
+    members_.assign(num_sccs, {});
+    callees_.assign(num_sccs, {});
+    callers_.assign(num_sccs, {});
+    self_loop_.assign(num_sccs, 0);
+    for (std::size_t f = 0; f < num_funcs; ++f)
+        members_[scc_of_[f]].emplace_back(static_cast<FuncId::RawType>(f));
+
+    // Condensation edges, deduplicated and sorted for determinism.
+    for (std::size_t f = 0; f < num_funcs; ++f) {
+        const std::uint32_t from = scc_of_[f];
+        for (const FuncId callee :
+             graph.callees(FuncId(static_cast<FuncId::RawType>(f)))) {
+            const std::uint32_t to = scc_of_[callee.index()];
+            if (to == from)
+                self_loop_[from] = 1;
+            else
+                callees_[from].push_back(to);
+        }
+    }
+    for (std::size_t s = 0; s < num_sccs; ++s) {
+        auto &outs = callees_[s];
+        std::sort(outs.begin(), outs.end());
+        outs.erase(std::unique(outs.begin(), outs.end()), outs.end());
+        for (const std::uint32_t to : outs)
+            callers_[to].push_back(static_cast<std::uint32_t>(s));
+    }
+    // callers_ entries arrive in ascending source order already, but
+    // sort anyway so the invariant does not depend on the loop above.
+    for (auto &ins : callers_)
+        std::sort(ins.begin(), ins.end());
+
+    // Bottom-up waves. Tarjan assigns component ids in reverse
+    // topological order of the condensation, i.e. every callee
+    // component has a SMALLER id than its callers, so one ascending
+    // sweep sees all callees of a component before the component.
+    wave_of_.assign(num_sccs, 0);
+    std::uint32_t max_wave = 0;
+    for (std::uint32_t s = 0; s < num_sccs; ++s) {
+        std::uint32_t wave = 0;
+        for (const std::uint32_t callee : callees_[s])
+            wave = std::max(wave, wave_of_[callee] + 1);
+        wave_of_[s] = wave;
+        max_wave = std::max(max_wave, wave);
+    }
+    waves_.assign(num_sccs == 0 ? 0 : max_wave + 1, {});
+    for (std::uint32_t s = 0; s < num_sccs; ++s)
+        waves_[wave_of_[s]].push_back(s);
+}
+
+std::vector<FuncId>
+SccGraph::closure(const std::vector<FuncId> &dirty) const
+{
+    std::vector<char> in(numSccs(), 0);
+    std::vector<std::uint32_t> stack;
+    for (const FuncId f : dirty) {
+        if (f.index() >= scc_of_.size())
+            continue;
+        const std::uint32_t s = scc_of_[f.index()];
+        if (!in[s]) {
+            in[s] = 1;
+            stack.push_back(s);
+        }
+    }
+    // One worklist over the union relation (callees ∪ callers): the
+    // same combined closure callClosure() computes, except each step
+    // moves whole components.
+    while (!stack.empty()) {
+        const std::uint32_t s = stack.back();
+        stack.pop_back();
+        for (const std::uint32_t n : callees_[s]) {
+            if (!in[n]) {
+                in[n] = 1;
+                stack.push_back(n);
+            }
+        }
+        for (const std::uint32_t n : callers_[s]) {
+            if (!in[n]) {
+                in[n] = 1;
+                stack.push_back(n);
+            }
+        }
+    }
+    std::vector<FuncId> out;
+    for (std::size_t s = 0; s < in.size(); ++s) {
+        if (in[s])
+            out.insert(out.end(), members_[s].begin(), members_[s].end());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace manta

@@ -4,6 +4,9 @@
 #include <set>
 #include <unordered_set>
 
+#include "core/fn_summary.h"
+#include "core/modular.h"
+
 namespace manta {
 
 WalkEngine
@@ -147,6 +150,62 @@ DdgWalker::replayTouched(
         if (cand_funcs_seen_.mark(f))
             cand_funcs_.push_back(f);
     }
+}
+
+void
+DdgWalker::replayStored(const std::vector<std::uint32_t> &touched,
+                        bool has_touched)
+{
+    if (!capture_)
+        return;
+    if (!has_touched) {
+        // Entry was harvested from a walker without capture; its reads
+        // are unaccounted for, so the candidate cannot be cached.
+        cand_poisoned_ = true;
+        return;
+    }
+    for (const std::uint32_t f : touched) {
+        if (cand_funcs_seen_.mark(f))
+            cand_funcs_.push_back(f);
+    }
+}
+
+void
+DdgWalker::harvestSummaries(FnSummaryStore::Delta &delta,
+                            const ModularSchedule &sched)
+{
+    for (auto &[key, roots] : roots_memo_) {
+        if (borrowed_roots_.count(key))
+            continue;
+        FnSummaryStore::RootsEntry entry;
+        entry.roots = std::move(roots);
+        const auto t = roots_funcs_.find(key);
+        if (t != roots_funcs_.end()) {
+            entry.touched = std::move(t->second);
+            entry.hasTouched = true;
+        }
+        delta.roots.emplace_back(key, sched.ownerOf(key),
+                                 std::move(entry));
+    }
+    for (auto &[key, types] : types_memo_) {
+        if (borrowed_types_.count(key))
+            continue;
+        FnSummaryStore::TypesEntry entry;
+        entry.types = std::move(types);
+        const auto t = types_funcs_.find(key);
+        if (t != types_funcs_.end()) {
+            entry.touched = std::move(t->second);
+            entry.hasTouched = true;
+        }
+        delta.types.emplace_back(key, sched.ownerOf(key),
+                                 std::move(entry));
+    }
+    roots_memo_.clear();
+    roots_funcs_.clear();
+    types_memo_.clear();
+    types_funcs_.clear();
+    borrowed_roots_.clear();
+    borrowed_types_.clear();
 }
 
 std::vector<ValueId>
@@ -428,6 +487,25 @@ DdgWalker::rootsOf(ValueId v)
         replayTouched(roots_funcs_, v.raw());
         return it->second;
     }
+    if (shared_ != nullptr) {
+        if (const FnSummaryStore::RootsEntry *entry =
+                shared_->findRoots(v.raw())) {
+            ++stats_.queries;
+            ++stats_.memoHits;
+            ++stats_.summaryHits;
+            truncated_ = false;
+            replayStored(entry->touched, entry->hasTouched);
+            // Localize the borrowed closure so repeated queries hit
+            // the local memo; an entry without a touched list stays
+            // out of roots_funcs_, which makes later local hits poison
+            // the candidate exactly as the store hit just did.
+            borrowed_roots_.insert(v.raw());
+            if (capture_ && entry->hasTouched)
+                roots_funcs_.emplace(v.raw(), entry->touched);
+            return roots_memo_.emplace(v.raw(), entry->roots)
+                .first->second;
+        }
+    }
     std::vector<ValueId> roots = findRoots(v);
     if (truncated_) {
         // A budget-limited closure is an artifact of the budget, not a
@@ -452,6 +530,7 @@ DdgWalker::typesOf(ValueId root, const HintIndex &hints)
     if (memo_hints_ != &hints) {
         types_memo_.clear();
         types_funcs_.clear();
+        borrowed_types_.clear();
         memo_hints_ = &hints;
     }
     const auto it = types_memo_.find(root.raw());
@@ -461,6 +540,21 @@ DdgWalker::typesOf(ValueId root, const HintIndex &hints)
         truncated_ = false;
         replayTouched(types_funcs_, root.raw());
         return it->second;
+    }
+    if (shared_ != nullptr) {
+        if (const FnSummaryStore::TypesEntry *entry =
+                shared_->findTypes(root.raw())) {
+            ++stats_.queries;
+            ++stats_.memoHits;
+            ++stats_.summaryHits;
+            truncated_ = false;
+            replayStored(entry->touched, entry->hasTouched);
+            borrowed_types_.insert(root.raw());
+            if (capture_ && entry->hasTouched)
+                types_funcs_.emplace(root.raw(), entry->touched);
+            return types_memo_.emplace(root.raw(), entry->types)
+                .first->second;
+        }
     }
     std::vector<TypeRef> types = collectTypes(root, hints);
     if (truncated_) {

@@ -44,14 +44,18 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "analysis/ddg.h"
+#include "core/fn_summary.h"
 #include "core/hints.h"
 #include "core/unify.h"
 #include "support/flat_map.h"
 
 namespace manta {
+
+class ModularSchedule;
 
 /** Tunable traversal budgets. */
 struct WalkBudget
@@ -74,6 +78,7 @@ struct WalkStats
 {
     std::size_t queries = 0;     ///< findRoots/collectTypes calls.
     std::size_t memoHits = 0;    ///< Queries answered from summaries.
+    std::size_t summaryHits = 0; ///< Subset answered by the shared store.
     std::size_t truncated = 0;   ///< Queries that hit maxVisited.
     std::size_t steps = 0;       ///< Frames expanded across all queries.
     std::size_t peakCtxDepth = 0; ///< Deepest calling context reached.
@@ -83,6 +88,7 @@ struct WalkStats
     {
         queries += other.queries;
         memoHits += other.memoHits;
+        summaryHits += other.summaryHits;
         truncated += other.truncated;
         steps += other.steps;
         if (other.peakCtxDepth > peakCtxDepth)
@@ -285,6 +291,13 @@ class DdgWalker
     /** Work counters accumulated across every query on this walker. */
     const WalkStats &stats() const { return stats_; }
 
+    /**
+     * Zero the counters (scratch, memos, and interner are untouched).
+     * Lets a pooled walker report per-pack stats when it is recycled
+     * across scheduling packs instead of constructed per pack.
+     */
+    void resetStats() { stats_ = WalkStats{}; }
+
     WalkEngine engine() const { return engine_; }
 
     /** The context tree, shared with the flow stage's CFG walks. */
@@ -296,6 +309,38 @@ class DdgWalker
      * pruning state are frozen for the walker's lifetime).
      */
     bool arithEdgeFeasible(const Ddg::Edge &edge) const;
+
+    /// @name Shared cross-SCC summaries (core/fn_summary.h).
+    ///
+    /// In modular bottom-up mode the refinement stages attach a frozen
+    /// FnSummaryStore for the duration of one scheduling wave: when a
+    /// rootsOf/typesOf query misses this walker's own memo, the store
+    /// is consulted before walking, so closures computed during callee
+    /// waves are instantiated instead of re-traversed. A store hit
+    /// replays the entry's recorded touched-function list when touch
+    /// capture is on (an entry recorded without capture poisons the
+    /// candidate, mirroring replayTouched). The harvest accessors
+    /// expose this walker's freshly memoized closures so the scheduler
+    /// can publish them into the store between waves.
+    /// @{
+
+    /** Attach (or detach with nullptr) the read-only shared store. */
+    void
+    attachSharedSummaries(const FnSummaryStore *store)
+    {
+        shared_ = store;
+    }
+
+    /**
+     * Move this walker's freshly memoized closures (with their
+     * touched-function lists, when capture was on) into `delta` for
+     * publication; the local memo is left empty. Entries answered by
+     * the shared store were never re-memoized locally, so a harvest
+     * contains only closures first computed by this walker.
+     */
+    void harvestSummaries(FnSummaryStore::Delta &delta,
+                          const ModularSchedule &sched);
+    /// @}
 
     /// @name Touch capture (incremental re-analysis, core/refine_memo.h).
     ///
@@ -380,6 +425,9 @@ class DdgWalker
 
     void beginQueryCapture();
     void mergeQueryIntoCandidate();
+    /** Replay a shared-store entry's touched list (or poison). */
+    void replayStored(const std::vector<std::uint32_t> &touched,
+                      bool has_touched);
     /** Replay a memoized query's stored touched list (or poison). */
     void replayTouched(
         const std::unordered_map<std::uint32_t,
@@ -391,6 +439,7 @@ class DdgWalker
     TypeTable &types_;
     WalkBudget budget_;
     WalkEngine engine_;
+    const FnSummaryStore *shared_ = nullptr;
     bool truncated_ = false;
     WalkStats stats_;
 
@@ -403,6 +452,12 @@ class DdgWalker
     /** Cross-query summaries (non-truncated queries only). */
     std::unordered_map<std::uint32_t, std::vector<ValueId>> roots_memo_;
     std::unordered_map<std::uint32_t, std::vector<TypeRef>> types_memo_;
+    /** Keys whose memo entries were copied in from the shared store on
+     *  a hit. Repeated queries then hit the small, hot local memo
+     *  instead of re-probing the whole-module store; harvest skips
+     *  these keys (the store already owns identical entries). */
+    std::unordered_set<std::uint32_t> borrowed_roots_;
+    std::unordered_set<std::uint32_t> borrowed_types_;
     const HintIndex *memo_hints_ = nullptr;
     /** Holds truncated (uncacheable) results for the by-ref accessors. */
     std::vector<ValueId> scratch_roots_;

@@ -1,0 +1,34 @@
+#include "core/fn_summary.h"
+
+#include <utility>
+
+namespace manta {
+
+void
+FnSummaryStore::publish(Delta &&delta)
+{
+    for (auto &[value_raw, func_raw, entry] : delta.roots) {
+        const auto [it, inserted] =
+            roots_.try_emplace(value_raw, std::move(entry));
+        (void)it;
+        if (inserted) {
+            ++stats_.publishedRoots;
+            ++per_func_[func_raw].rootEntries;
+        } else {
+            ++stats_.dropped;
+        }
+    }
+    for (auto &[value_raw, func_raw, entry] : delta.types) {
+        const auto [it, inserted] =
+            types_.try_emplace(value_raw, std::move(entry));
+        (void)it;
+        if (inserted) {
+            ++stats_.publishedTypes;
+            ++per_func_[func_raw].typeEntries;
+        } else {
+            ++stats_.dropped;
+        }
+    }
+}
+
+} // namespace manta

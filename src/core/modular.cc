@@ -1,0 +1,62 @@
+#include "core/modular.h"
+
+#include <algorithm>
+
+namespace manta {
+
+ModularSchedule::ModularSchedule(const Module &module,
+                                 const CallGraph &graph)
+    : sccs_(graph, module.numFuncs())
+{
+    // Kind-based attribution: arguments and instruction results carry
+    // their function directly. Literals, globals and function
+    // addresses stay unowned — their closures are still walked and
+    // published, just scheduled in the first wave.
+    const std::size_t n = module.numValues();
+    owner_of_.assign(n, kNoOwner);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Value &v =
+            module.value(ValueId(static_cast<ValueId::RawType>(i)));
+        if (v.kind == ValueKind::Argument && v.argFunc.valid()) {
+            owner_of_[i] = v.argFunc.raw();
+        } else if (v.kind == ValueKind::InstResult && v.inst.valid()) {
+            const BlockId parent = module.inst(v.inst).parent;
+            if (parent.valid())
+                owner_of_[i] = module.block(parent).func.raw();
+        }
+    }
+}
+
+std::vector<ModularSchedule::Wave>
+ModularSchedule::plan(const std::vector<ValueId> &candidates,
+                      const std::vector<std::size_t> &misses,
+                      std::size_t pack_size) const
+{
+    if (pack_size == 0)
+        pack_size = 1;
+    const std::size_t num_waves = sccs_.numWaves();
+    std::vector<std::vector<std::size_t>> by_wave(
+        num_waves == 0 ? 1 : num_waves);
+    for (std::size_t k = 0; k < misses.size(); ++k) {
+        const std::uint32_t w = waveOfValue(candidates[misses[k]].raw());
+        by_wave[w].push_back(k);
+    }
+
+    std::vector<Wave> out;
+    for (const auto &ks : by_wave) {
+        if (ks.empty())
+            continue;
+        Wave wave;
+        for (std::size_t lo = 0; lo < ks.size(); lo += pack_size) {
+            const std::size_t hi = std::min(ks.size(), lo + pack_size);
+            Pack pack;
+            pack.ks.assign(ks.begin() + static_cast<std::ptrdiff_t>(lo),
+                           ks.begin() + static_cast<std::ptrdiff_t>(hi));
+            wave.packs.push_back(std::move(pack));
+        }
+        out.push_back(std::move(wave));
+    }
+    return out;
+}
+
+} // namespace manta

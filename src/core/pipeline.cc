@@ -1,8 +1,23 @@
 #include "core/pipeline.h"
 
+#include <cstdlib>
+
 #include "support/timer.h"
 
 namespace manta {
+
+ScheduleMode
+defaultScheduleMode()
+{
+    static const ScheduleMode mode = []() {
+        const char *env = std::getenv("MANTA_WP");
+        const bool wp = env != nullptr && env[0] != '\0' &&
+                        !(env[0] == '0' && env[1] == '\0');
+        return wp ? ScheduleMode::WholeProgram
+                  : ScheduleMode::ModularBottomUp;
+    }();
+    return mode;
+}
 
 std::string
 HybridConfig::label() const
@@ -91,6 +106,19 @@ MantaAnalyzer::MantaAnalyzer(Module &module, HybridConfig config)
     hints_ = std::make_unique<HintIndex>(module_, pts_.get());
 }
 
+const ModularSchedule &
+MantaAnalyzer::schedule(double *build_seconds)
+{
+    if (!schedule_) {
+        Timer timer;
+        callgraph_ = std::make_unique<CallGraph>(module_);
+        schedule_ = std::make_unique<ModularSchedule>(module_, *callgraph_);
+        if (build_seconds != nullptr)
+            *build_seconds += timer.seconds();
+    }
+    return *schedule_;
+}
+
 InferenceResult
 MantaAnalyzer::infer()
 {
@@ -153,10 +181,26 @@ MantaAnalyzer::infer(const HybridConfig &config, RefineMemo *memo)
             memo = nullptr;
     }
 
+    // Modular bottom-up scheduling: one shared summary store for the
+    // whole run (CS then FS walk over the same frozen environment and
+    // hint index, so FS instantiates the closures CS published).
+    const ModularSchedule *sched = nullptr;
+    FnSummaryStore store;
+    FnSummaryStore *store_ptr = nullptr;
+    if (config_.scheduleMode == ScheduleMode::ModularBottomUp &&
+            config_.walkEngine == WalkEngine::Fast &&
+            (config_.contextSensitive || config_.flowSensitive)) {
+        sched = &schedule(&result.profile_.summarySeconds);
+        store_ptr = &store;
+        result.profile_.sccCount = sched->sccs().numSccs();
+        result.profile_.sccWaves = sched->sccs().numWaves();
+    }
+
     auto run_cs = [&](const std::vector<ValueId> &candidates) {
         const ScopedSeconds cs_clock(result.profile_.csSeconds);
         CtxRefinement cs(module_, *ddg_, *hints_, env_ref, config_.budget,
-                         config_.walkEngine, config_.walkParallel, memo);
+                         config_.walkEngine, config_.walkParallel, memo,
+                         sched, store_ptr);
         CtxRefineResult cs_result = cs.run(candidates);
         result.profile_.csResolved = cs_result.resolved;
         result.profile_.csStillOver = cs_result.stillOver.size();
@@ -169,7 +213,8 @@ MantaAnalyzer::infer(const HybridConfig &config, RefineMemo *memo)
     auto run_fs = [&](const std::vector<ValueId> &candidates) {
         const ScopedSeconds fs_clock(result.profile_.fsSeconds);
         FlowRefinement fs(module_, *ddg_, *hints_, env_ref, config_.budget,
-                          config_.walkEngine, config_.walkParallel, memo);
+                          config_.walkEngine, config_.walkParallel, memo,
+                          sched, store_ptr);
         FlowRefineResult fs_result = fs.run(candidates);
         result.profile_.fsResolved = fs_result.resolved;
         result.profile_.fsLost = fs_result.lost;
@@ -207,6 +252,8 @@ MantaAnalyzer::infer(const HybridConfig &config, RefineMemo *memo)
             run_fs(fs_candidates);
     }
 
+    result.profile_.summaryRoots = store.numRootEntries();
+    result.profile_.summaryTypes = store.numTypeEntries();
     result.profile_.seconds = timer.seconds();
     config_ = saved;
     return result;

@@ -29,6 +29,23 @@
 
 namespace manta {
 
+/** How the refinement walk phases are scheduled. */
+enum class ScheduleMode : std::uint8_t {
+    /**
+     * Bottom-up over callgraph SCC waves with a shared per-function
+     * summary store (core/modular.h). The default: bit-identical
+     * bounds to WholeProgram, but cross-SCC closures are computed once
+     * and instantiated at call sites instead of re-walked per worker.
+     */
+    ModularBottomUp,
+    /** Flat fixed-size chunks over the worklist (the original path;
+     *  kept as the bit-identity reference, MANTA_WP=1). */
+    WholeProgram,
+};
+
+/** ModularBottomUp unless MANTA_WP=1 is set in the environment. */
+ScheduleMode defaultScheduleMode();
+
 /** Stage toggles; defaults give the full pipeline (FI+CS+FS). */
 struct HybridConfig
 {
@@ -61,6 +78,14 @@ struct HybridConfig
      * sequential merge phase.
      */
     bool walkParallel = true;
+
+    /**
+     * Walk-phase scheduling. Modular bottom-up engages only with the
+     * fast engine (the reference engine always runs the whole-program
+     * path, preserving its cost model); either way the refined bounds
+     * are bit-identical — only the traversal work differs.
+     */
+    ScheduleMode scheduleMode = defaultScheduleMode();
 
     static HybridConfig
     fiOnly()
@@ -126,6 +151,18 @@ struct InferenceProfile
      */
     WalkStats csWalk;  ///< Context-sensitive stage.
     WalkStats fsWalk;  ///< Flow-sensitive stage.
+
+    /// @name Modular scheduling counters (zero in whole-program mode).
+    /// @{
+    std::size_t sccCount = 0;     ///< Callgraph SCCs.
+    std::size_t sccWaves = 0;     ///< Bottom-up wave levels.
+    std::size_t summaryRoots = 0; ///< FIND_ROOTS closures published.
+    std::size_t summaryTypes = 0; ///< COLLECT_TYPES closures published.
+    /** Wall clock building the callgraph condensation + value
+     *  attribution (once per analyzer, billed to the run that built
+     *  it; publication time is part of cs/fsSeconds). */
+    double summarySeconds = 0.0;
+    /// @}
 
     /**
      * Per-stage wall clock. Each infer() call runs on one thread, so
@@ -263,6 +300,15 @@ class MantaAnalyzer
     const HintIndex &hints() const { return *hints_; }
     Module &module() { return module_; }
 
+    /**
+     * Callgraph + SCC condensation + value attribution for modular
+     * scheduling, built lazily on the first modular infer() and cached
+     * for the analyzer's lifetime (the module is frozen). The double
+     * return lets the first build be billed to that run's
+     * summarySeconds.
+     */
+    const ModularSchedule &schedule(double *build_seconds = nullptr);
+
   private:
     Module &module_;
     HybridConfig config_;
@@ -270,6 +316,8 @@ class MantaAnalyzer
     std::unique_ptr<PointsTo> pts_;
     std::unique_ptr<Ddg> ddg_;
     std::unique_ptr<HintIndex> hints_;
+    std::unique_ptr<CallGraph> callgraph_;
+    std::unique_ptr<ModularSchedule> schedule_;
 };
 
 } // namespace manta

@@ -1,6 +1,8 @@
 #include "core/refine_ctx.h"
 
 #include <algorithm>
+#include <memory>
+#include <mutex>
 #include <unordered_set>
 
 #include "support/task_pool.h"
@@ -58,28 +60,90 @@ CtxRefinement::run(const std::vector<ValueId> &over_approx)
     std::vector<std::vector<std::uint32_t>> touched(use_memo ? m : 0);
     std::vector<char> poisoned(m, 0);
 
-    auto walkRange = [&](DdgWalker &walker, std::size_t lo, std::size_t hi) {
-        for (std::size_t k = lo; k < hi; ++k) {
-            if (use_memo)
-                walker.beginCandidate();
-            collectFor(walker, over_approx[misses[k]], collected[k]);
-            if (use_memo) {
-                touched[k] = walker.candidateTouched();
-                poisoned[k] = walker.candidatePoisoned() ? 1 : 0;
-            }
+    auto walkOne = [&](DdgWalker &walker, std::size_t k) {
+        if (use_memo)
+            walker.beginCandidate();
+        collectFor(walker, over_approx[misses[k]], collected[k]);
+        if (use_memo) {
+            touched[k] = walker.candidateTouched();
+            poisoned[k] = walker.candidatePoisoned() ? 1 : 0;
         }
     };
 
     // Phase 1: traversal. Reads only frozen state (graph, environment,
-    // hints, interned types), so chunks can run on the shared pool.
-    if (parallel_ && engine_ == WalkEngine::Fast && m > 1) {
+    // hints, interned types), so packs/chunks can run on the shared
+    // pool.
+    const bool modular = schedule_ != nullptr && summaries_ != nullptr &&
+                         engine_ == WalkEngine::Fast;
+    if (modular && m > 0) {
+        // Bottom-up SCC waves: callee-wave closures are published into
+        // the shared store before caller waves walk, so cross-SCC
+        // traversals instantiate summaries instead of re-walking.
+        const auto waves = schedule_->plan(over_approx, misses, kChunk);
+        // Walker construction allocates module-sized scratch, so a
+        // freelist recycles walkers across packs and waves (thousands
+        // of packs on the xxl rungs). Reuse is invisible to results:
+        // harvest drains the memo, scratch is epoch-stamped, and
+        // visited keys are instruction ids, never interner ids.
+        std::vector<std::unique_ptr<DdgWalker>> pool_store;
+        std::vector<DdgWalker *> idle;
+        std::mutex pool_mu;
+        auto acquire = [&]() -> DdgWalker * {
+            std::lock_guard<std::mutex> lock(pool_mu);
+            if (!idle.empty()) {
+                DdgWalker *w = idle.back();
+                idle.pop_back();
+                return w;
+            }
+            pool_store.push_back(std::make_unique<DdgWalker>(
+                ddg_, &env_, tt, budget_, engine_));
+            DdgWalker *w = pool_store.back().get();
+            w->attachSharedSummaries(summaries_);
+            if (use_memo)
+                w->enableTouchCapture(owners, owners_count);
+            return w;
+        };
+        auto release = [&](DdgWalker *w) {
+            std::lock_guard<std::mutex> lock(pool_mu);
+            idle.push_back(w);
+        };
+        for (const auto &wave : waves) {
+            const std::size_t np = wave.packs.size();
+            std::vector<WalkStats> stats(np);
+            std::vector<FnSummaryStore::Delta> deltas(np);
+            auto runPack = [&](std::size_t p) {
+                DdgWalker *walker = acquire();
+                walker->resetStats();
+                for (const std::size_t k : wave.packs[p].ks)
+                    walkOne(*walker, k);
+                stats[p] = walker->stats();
+                walker->harvestSummaries(deltas[p], *schedule_);
+                release(walker);
+            };
+            if (parallel_ && np > 1) {
+                sharedPool().parallelFor(np, runPack);
+            } else {
+                for (std::size_t p = 0; p < np; ++p)
+                    runPack(p);
+            }
+            // Sequential publication in pack order keeps the store
+            // contents (and thus every later wave's summary hits)
+            // independent of MANTA_JOBS.
+            for (std::size_t p = 0; p < np; ++p) {
+                result.walk.merge(stats[p]);
+                summaries_->publish(std::move(deltas[p]));
+            }
+        }
+    } else if (parallel_ && engine_ == WalkEngine::Fast && m > 1) {
         const std::size_t chunks = (m + kChunk - 1) / kChunk;
         std::vector<WalkStats> stats(chunks);
         sharedPool().parallelFor(chunks, [&](std::size_t c) {
             DdgWalker walker(ddg_, &env_, tt, budget_, engine_);
             if (use_memo)
                 walker.enableTouchCapture(owners, owners_count);
-            walkRange(walker, c * kChunk, std::min(m, (c + 1) * kChunk));
+            const std::size_t hi = std::min(m, (c + 1) * kChunk);
+            for (std::size_t k = c * kChunk; k < hi; ++k)
+                walkOne(walker, k);
             stats[c] = walker.stats();
         });
         for (const WalkStats &s : stats)
@@ -88,7 +152,8 @@ CtxRefinement::run(const std::vector<ValueId> &over_approx)
         DdgWalker walker(ddg_, &env_, tt, budget_, engine_);
         if (use_memo)
             walker.enableTouchCapture(owners, owners_count);
-        walkRange(walker, 0, m);
+        for (std::size_t k = 0; k < m; ++k)
+            walkOne(walker, k);
         result.walk = walker.stats();
     }
 

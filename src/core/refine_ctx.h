@@ -19,6 +19,14 @@
  * into fixed-size chunks independent of the job count, so memo
  * sharing (and therefore the walk statistics) do not depend on
  * MANTA_JOBS.
+ *
+ * With a ModularSchedule + FnSummaryStore attached (the modular
+ * bottom-up mode, core/modular.h), the walk phase runs as SCC waves
+ * over the callgraph condensation instead of flat chunks: each wave's
+ * packs execute concurrently against the frozen store, and their
+ * freshly memoized closures are published sequentially in pack order
+ * before the next wave starts. The merge phase is untouched, so the
+ * refined bounds are bit-identical to the whole-program path.
  */
 #ifndef MANTA_CORE_REFINE_CTX_H
 #define MANTA_CORE_REFINE_CTX_H
@@ -27,6 +35,7 @@
 #include <vector>
 
 #include "core/ddg_walk.h"
+#include "core/modular.h"
 #include "core/refine_memo.h"
 
 namespace manta {
@@ -57,10 +66,12 @@ class CtxRefinement
     CtxRefinement(Module &module, const Ddg &ddg, const HintIndex &hints,
                   TypeEnv &env, WalkBudget budget = {},
                   WalkEngine engine = defaultWalkEngine(),
-                  bool parallel = false, RefineMemo *memo = nullptr)
+                  bool parallel = false, RefineMemo *memo = nullptr,
+                  const ModularSchedule *schedule = nullptr,
+                  FnSummaryStore *summaries = nullptr)
         : module_(module), ddg_(ddg), hints_(hints), env_(env),
           budget_(budget), engine_(engine), parallel_(parallel),
-          memo_(memo)
+          memo_(memo), schedule_(schedule), summaries_(summaries)
     {}
 
     /** Refine every variable in `over_approx` (Algorithm 1). */
@@ -83,6 +94,8 @@ class CtxRefinement
     WalkEngine engine_;
     bool parallel_;
     RefineMemo *memo_;
+    const ModularSchedule *schedule_;
+    FnSummaryStore *summaries_;
 };
 
 } // namespace manta

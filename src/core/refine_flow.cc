@@ -1,6 +1,8 @@
 #include "core/refine_flow.h"
 
 #include <algorithm>
+#include <memory>
+#include <mutex>
 #include <set>
 
 #include "support/task_pool.h"
@@ -30,9 +32,12 @@ struct FlowRefinement::Worker
 FlowRefinement::FlowRefinement(Module &module, const Ddg &ddg,
                                const HintIndex &hints, TypeEnv &env,
                                WalkBudget budget, WalkEngine engine,
-                               bool parallel, RefineMemo *memo)
+                               bool parallel, RefineMemo *memo,
+                               const ModularSchedule *schedule,
+                               FnSummaryStore *summaries)
     : module_(module), ddg_(ddg), hints_(hints), env_(env), budget_(budget),
-      engine_(engine), parallel_(parallel), memo_(memo), instIndex_(module)
+      engine_(engine), parallel_(parallel), memo_(memo),
+      schedule_(schedule), summaries_(summaries), instIndex_(module)
 {}
 
 const Cfg &
@@ -274,6 +279,171 @@ FlowRefinement::reachableTypesRef(Worker &w, InstId site)
 }
 
 void
+FlowRefinement::buildFlatHints(WalkStats &stats)
+{
+    // Single sequential pass in instruction order: one walker computes
+    // (or borrows from the shared store) the alias-root closure of
+    // every hint value and flattens it into the pooled arrays. The
+    // pass is deterministic regardless of MANTA_JOBS, and the fresh
+    // closures it publishes seed the store for the walk waves.
+    TypeTable &tt = module_.types();
+    Worker w(ddg_, &env_, tt, budget_, engine_);
+    w.walker.attachSharedSummaries(summaries_);
+    const std::size_t ni = module_.numInsts();
+    flat_.instSpan.assign(ni, {0, 0});
+    // Hint values repeat across sites; flatten each closure once.
+    std::unordered_map<std::uint32_t,
+                       std::pair<std::uint32_t, std::uint32_t>> pooled;
+    for (std::size_t i = 0; i < ni; ++i) {
+        const InstId iid(static_cast<InstId::RawType>(i));
+        const std::vector<TypeHint> &hints = hints_.at(iid);
+        if (hints.empty())
+            continue;
+        flat_.instSpan[i] = {static_cast<std::uint32_t>(flat_.spans.size()),
+                             static_cast<std::uint32_t>(hints.size())};
+        for (const TypeHint &hint : hints) {
+            auto [it, fresh] = pooled.try_emplace(hint.value.raw());
+            if (fresh) {
+                const auto begin =
+                    static_cast<std::uint32_t>(flat_.rootPool.size());
+                for (const ValueId r : w.walker.rootsOf(hint.value))
+                    flat_.rootPool.push_back(r.raw());
+                it->second = {begin,
+                              static_cast<std::uint32_t>(
+                                  flat_.rootPool.size()) - begin};
+            }
+            flat_.spans.push_back(
+                {hint.type, it->second.first, it->second.second});
+        }
+    }
+    stats.merge(w.walker.stats());
+    FnSummaryStore::Delta delta;
+    w.walker.harvestSummaries(delta, *schedule_);
+    summaries_->publish(std::move(delta));
+}
+
+void
+FlowRefinement::buildFlatCfg()
+{
+    // Flatten the backward-step relation (see reachableTypesFast) into
+    // the tagged adjacency, emitting entries in the interpreted push
+    // order so walk DFS order - and the truncation point of budget-
+    // limited walks - is preserved exactly.
+    const std::size_t ni = module_.numInsts();
+    fcfg_.rowSpan.assign(ni, {0, 0});
+    for (std::size_t i = 0; i < ni; ++i) {
+        const InstId iid(static_cast<InstId::RawType>(i));
+        const Instruction &inst = module_.inst(iid);
+        const auto begin = static_cast<std::uint32_t>(fcfg_.pool.size());
+
+        if (inst.op == Opcode::Call && inst.callee.valid()) {
+            const Function &callee = module_.func(inst.callee);
+            for (const BlockId bid : callee.blocks) {
+                const BasicBlock &bb = module_.block(bid);
+                if (bb.insts.empty())
+                    continue;
+                const Instruction &term = module_.inst(bb.insts.back());
+                if (term.op == Opcode::Ret)
+                    fcfg_.pool.push_back((FlatCfg::kCall << 30) |
+                                         bb.insts.back().raw());
+            }
+        }
+
+        const BasicBlock &bb = module_.block(inst.parent);
+        const std::size_t pos = instIndex_.positionInBlock(iid);
+        if (pos > 0) {
+            fcfg_.pool.push_back((FlatCfg::kStep << 30) |
+                                 bb.insts[pos - 1].raw());
+        } else {
+            const Cfg &cfg = cfgOf(bb.func);
+            for (const BlockId pred : cfg.preds(inst.parent)) {
+                const BasicBlock &pb = module_.block(pred);
+                if (!pb.insts.empty())
+                    fcfg_.pool.push_back((FlatCfg::kStep << 30) |
+                                         pb.insts.back().raw());
+            }
+            const Function &fn = module_.func(bb.func);
+            if (inst.parent == fn.entry())
+                fcfg_.pool.push_back(FlatCfg::kAscend << 30);
+        }
+        fcfg_.rowSpan[i] = {begin,
+                            static_cast<std::uint32_t>(fcfg_.pool.size()) -
+                                begin};
+    }
+    flatReady_ = true;
+}
+
+std::vector<TypeRef>
+FlowRefinement::reachableTypesFlat(Worker &w, InstId site)
+{
+    ++w.cfgStats.queries;
+    std::vector<TypeRef> types;
+    w.visited.ensure(site.raw() + 1);
+    w.visited.newEpoch();
+    std::vector<FastItem> work;
+    work.push_back(FastItem{site.raw(), CtxInterner::kEmpty});
+    w.visited.insert(site.raw(), CtxInterner::kNoSite);
+
+    std::size_t steps = 0;
+    while (!work.empty()) {
+        if (++steps > budget_.maxVisited) {
+            ++w.cfgStats.truncated;
+            break;
+        }
+        const FastItem item = work.back();
+        work.pop_back();
+
+        // Annotation check against the flattened hint index: the exact
+        // root sets rootsOf() would answer, minus the memo probe.
+        bool stop = false;
+        const auto [hfirst, hcount] = flat_.instSpan[item.inst];
+        for (std::uint32_t h = 0; h < hcount; ++h) {
+            const FlatHints::Span &span = flat_.spans[hfirst + h];
+            for (std::uint32_t j = 0; j < span.count; ++j) {
+                if (w.roots.marked(flat_.rootPool[span.begin + j])) {
+                    types.push_back(span.type);
+                    stop = true;
+                    break;
+                }
+            }
+        }
+        if (stop)
+            continue;
+
+        const std::uint32_t cur_top = w.ctx.top(item.ctx);
+        const auto [rfirst, rcount] = fcfg_.rowSpan[item.inst];
+        for (std::uint32_t e = 0; e < rcount; ++e) {
+            const std::uint32_t entry = fcfg_.pool[rfirst + e];
+            const std::uint32_t tag = entry >> 30;
+            const std::uint32_t target = entry & FlatCfg::kPayload;
+            if (tag == FlatCfg::kStep) {
+                w.visited.ensure(target + 1);
+                if (w.visited.insert(target, cur_top))
+                    work.push_back(FastItem{target, item.ctx});
+            } else if (tag == FlatCfg::kCall) {
+                if (w.ctx.depth(item.ctx) >= budget_.maxStack)
+                    continue;
+                const std::uint32_t ctx = w.ctx.push(
+                    item.ctx, InstId(static_cast<InstId::RawType>(item.inst)));
+                if (w.ctx.depth(ctx) > w.cfgStats.peakCtxDepth)
+                    w.cfgStats.peakCtxDepth = w.ctx.depth(ctx);
+                w.visited.ensure(target + 1);
+                if (w.visited.insert(target, item.inst))
+                    work.push_back(FastItem{target, ctx});
+            } else if (item.ctx != CtxInterner::kEmpty) {
+                // Ascend to the call site we descended from.
+                const std::uint32_t up = w.ctx.pop(item.ctx);
+                w.visited.ensure(cur_top + 1);
+                if (w.visited.insert(cur_top, w.ctx.top(up)))
+                    work.push_back(FastItem{cur_top, up});
+            }
+        }
+    }
+    w.cfgStats.steps += steps;
+    return types;
+}
+
+void
 FlowRefinement::candidateSites(ValueId v, CandidateOut &out) const
 {
     // Sites: the def site plus every use site.
@@ -303,9 +473,12 @@ FlowRefinement::processCandidate(Worker &w, ValueId v, CandidateOut &out)
 
     out.siteTypes.reserve(out.sites.size());
     for (const InstId s : out.sites) {
-        out.siteTypes.push_back(engine_ == WalkEngine::Fast
-                                    ? reachableTypesFast(w, s)
-                                    : reachableTypesRef(w, s));
+        if (engine_ != WalkEngine::Fast)
+            out.siteTypes.push_back(reachableTypesRef(w, s));
+        else if (flatReady_)
+            out.siteTypes.push_back(reachableTypesFlat(w, s));
+        else
+            out.siteTypes.push_back(reachableTypesFast(w, s));
     }
 }
 
@@ -346,21 +519,86 @@ FlowRefinement::run(const std::vector<ValueId> &candidates)
     std::vector<std::vector<std::uint32_t>> touched(use_memo ? m : 0);
     std::vector<char> poisoned(m, 0);
 
-    auto walkRange = [&](Worker &w, std::size_t lo, std::size_t hi) {
-        for (std::size_t k = lo; k < hi; ++k) {
-            if (use_memo)
-                w.walker.beginCandidate();
-            processCandidate(w, candidates[misses[k]],
-                             collected[misses[k]]);
-            if (use_memo) {
-                touched[k] = w.walker.candidateTouched();
-                poisoned[k] = w.walker.candidatePoisoned() ? 1 : 0;
-            }
+    auto walkOne = [&](Worker &w, std::size_t k) {
+        if (use_memo)
+            w.walker.beginCandidate();
+        processCandidate(w, candidates[misses[k]], collected[misses[k]]);
+        if (use_memo) {
+            touched[k] = w.walker.candidateTouched();
+            poisoned[k] = w.walker.candidatePoisoned() ? 1 : 0;
         }
     };
 
     // Phase 1: traversal, reading only frozen state.
-    if (parallel_ && engine_ == WalkEngine::Fast && m > 1) {
+    const bool modular = schedule_ != nullptr && summaries_ != nullptr &&
+                         engine_ == WalkEngine::Fast;
+    if (modular && m > 0) {
+        // Bottom-up SCC waves over the shared summary store; see
+        // refine_ctx.cc for the publication protocol.
+        for (std::size_t f = 0; f < module_.numFuncs(); ++f)
+            cfgOf(FuncId(static_cast<FuncId::RawType>(f)));
+        // Touch capture needs the per-hint rootsOf() calls to record
+        // which functions a candidate's answer read, so the flattened
+        // index only serves memo-less (batch) runs.
+        if (!use_memo) {
+            buildFlatHints(result.walk);
+            buildFlatCfg();
+        }
+        const auto waves = schedule_->plan(candidates, misses, kChunk);
+        // As in refine_ctx.cc: Workers carry module-sized epoch scratch,
+        // so a freelist recycles them across packs and waves instead of
+        // constructing one per pack. Harvest drains the memo and every
+        // visited/root mark is epoch-stamped, so reuse cannot change a
+        // walk's answer or its expansion order.
+        std::vector<std::unique_ptr<Worker>> pool_store;
+        std::vector<Worker *> idle;
+        std::mutex pool_mu;
+        auto acquire = [&]() -> Worker * {
+            std::lock_guard<std::mutex> lock(pool_mu);
+            if (!idle.empty()) {
+                Worker *w = idle.back();
+                idle.pop_back();
+                return w;
+            }
+            pool_store.push_back(std::make_unique<Worker>(
+                ddg_, &env_, tt, budget_, engine_));
+            Worker *w = pool_store.back().get();
+            w->walker.attachSharedSummaries(summaries_);
+            if (use_memo)
+                w->walker.enableTouchCapture(owners, owners_count);
+            return w;
+        };
+        auto release = [&](Worker *w) {
+            std::lock_guard<std::mutex> lock(pool_mu);
+            idle.push_back(w);
+        };
+        for (const auto &wave : waves) {
+            const std::size_t np = wave.packs.size();
+            std::vector<WalkStats> stats(np);
+            std::vector<FnSummaryStore::Delta> deltas(np);
+            auto runPack = [&](std::size_t p) {
+                Worker *w = acquire();
+                w->walker.resetStats();
+                w->cfgStats = WalkStats{};
+                for (const std::size_t k : wave.packs[p].ks)
+                    walkOne(*w, k);
+                stats[p] = w->walker.stats();
+                stats[p].merge(w->cfgStats);
+                w->walker.harvestSummaries(deltas[p], *schedule_);
+                release(w);
+            };
+            if (parallel_ && np > 1) {
+                sharedPool().parallelFor(np, runPack);
+            } else {
+                for (std::size_t p = 0; p < np; ++p)
+                    runPack(p);
+            }
+            for (std::size_t p = 0; p < np; ++p) {
+                result.walk.merge(stats[p]);
+                summaries_->publish(std::move(deltas[p]));
+            }
+        }
+    } else if (parallel_ && engine_ == WalkEngine::Fast && m > 1) {
         // Build every per-function CFG up front; the lazy cache would
         // be a write from multiple workers.
         for (std::size_t f = 0; f < module_.numFuncs(); ++f)
@@ -371,7 +609,9 @@ FlowRefinement::run(const std::vector<ValueId> &candidates)
             Worker w(ddg_, &env_, tt, budget_, engine_);
             if (use_memo)
                 w.walker.enableTouchCapture(owners, owners_count);
-            walkRange(w, c * kChunk, std::min(m, (c + 1) * kChunk));
+            const std::size_t hi = std::min(m, (c + 1) * kChunk);
+            for (std::size_t k = c * kChunk; k < hi; ++k)
+                walkOne(w, k);
             stats[c] = w.walker.stats();
             stats[c].merge(w.cfgStats);
         });
@@ -381,7 +621,8 @@ FlowRefinement::run(const std::vector<ValueId> &candidates)
         Worker w(ddg_, &env_, tt, budget_, engine_);
         if (use_memo)
             w.walker.enableTouchCapture(owners, owners_count);
-        walkRange(w, 0, m);
+        for (std::size_t k = 0; k < m; ++k)
+            walkOne(w, k);
         result.walk = w.walker.stats();
         result.walk.merge(w.cfgStats);
     }

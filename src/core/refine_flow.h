@@ -17,6 +17,13 @@
  * the CFG walks) followed by a sequential merge phase that performs
  * the joins in candidate/site order. Chunks are fixed-size, so the
  * result and the walk statistics are independent of MANTA_JOBS.
+ *
+ * With a ModularSchedule + FnSummaryStore attached the walk phase runs
+ * as bottom-up SCC waves (see core/refine_ctx.h — the protocol is
+ * identical); the alias-root closures the CFG walks depend on are then
+ * shared across packs and with the context stage instead of being
+ * recomputed per worker. The merge phase is untouched, so site and
+ * variable bounds are bit-identical to the whole-program path.
  */
 #ifndef MANTA_CORE_REFINE_FLOW_H
 #define MANTA_CORE_REFINE_FLOW_H
@@ -26,6 +33,7 @@
 
 #include "analysis/cfg.h"
 #include "core/ddg_walk.h"
+#include "core/modular.h"
 #include "core/refine_memo.h"
 
 namespace manta {
@@ -88,7 +96,9 @@ class FlowRefinement
     FlowRefinement(Module &module, const Ddg &ddg, const HintIndex &hints,
                    TypeEnv &env, WalkBudget budget = {},
                    WalkEngine engine = defaultWalkEngine(),
-                   bool parallel = false, RefineMemo *memo = nullptr);
+                   bool parallel = false, RefineMemo *memo = nullptr,
+                   const ModularSchedule *schedule = nullptr,
+                   FnSummaryStore *summaries = nullptr);
 
     /** Refine every variable in `candidates` (Algorithm 2). */
     FlowRefineResult run(const std::vector<ValueId> &candidates);
@@ -125,6 +135,64 @@ class FlowRefinement
 
     const Cfg &cfgOf(FuncId func);
 
+    /**
+     * Candidate-independent flattened hint index for the modular walk
+     * phase: for every instruction, the alias-root closure of each of
+     * its hints, pooled into flat arrays. rootsOf(hint.value) depends
+     * only on frozen state, so flattening it once per stage (instead of
+     * probing the walker memo per hint on every one of the hundreds of
+     * millions of CFG-walk steps) answers the annotation check with the
+     * exact same root sets - site types are unchanged, only the probe
+     * cost moves out of the hot loop. Built through the shared summary
+     * store; closures computed fresh here are published for the waves.
+     */
+    struct FlatHints
+    {
+        /** One hint at an instruction: type + its value's roots. */
+        struct Span
+        {
+            TypeRef type;
+            std::uint32_t begin;  ///< Offset into rootPool.
+            std::uint32_t count;
+        };
+        /** Per instruction: (first span, span count); (0,0) = none. */
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> instSpan;
+        std::vector<Span> spans;
+        std::vector<std::uint32_t> rootPool;  ///< Root value raw ids.
+    };
+
+    /** Build flat_ (sequential; publishes fresh closures). */
+    void buildFlatHints(WalkStats &stats);
+
+    /**
+     * The backward-step relation of REACHABLE_TYPES flattened into a
+     * tagged CSR adjacency (modular walk phase). Entries are emitted in
+     * exactly the order the interpreted walk pushes work items - call
+     * descents, then the in-block predecessor (which suppresses the
+     * rest) or block predecessors plus the caller ascent - so the DFS
+     * order, and therefore the budget-truncation point of every walk,
+     * is unchanged. Only dynamic checks (stack depth, empty context)
+     * stay in the hot loop.
+     */
+    struct FlatCfg
+    {
+        static constexpr std::uint32_t kStep = 0;    ///< Same context.
+        static constexpr std::uint32_t kCall = 1;    ///< Push this inst.
+        static constexpr std::uint32_t kAscend = 2;  ///< Pop to caller.
+        static constexpr std::uint32_t kPayload = 0x3fffffffu;
+
+        /** Per instruction: (first entry, entry count) into pool. */
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> rowSpan;
+        /** Tag in bits 30-31, target inst raw id in bits 0-29. */
+        std::vector<std::uint32_t> pool;
+    };
+
+    /** Build fcfg_ (pure CFG structure; sequential, deterministic). */
+    void buildFlatCfg();
+
+    /** REACHABLE_TYPES over the flattened index + adjacency. */
+    std::vector<TypeRef> reachableTypesFlat(Worker &w, InstId site);
+
     Module &module_;
     const Ddg &ddg_;
     const HintIndex &hints_;
@@ -133,8 +201,13 @@ class FlowRefinement
     WalkEngine engine_;
     bool parallel_;
     RefineMemo *memo_;
+    const ModularSchedule *schedule_;
+    FnSummaryStore *summaries_;
     InstIndex instIndex_;
     std::unordered_map<std::uint32_t, Cfg> cfg_cache_;
+    FlatHints flat_;
+    FlatCfg fcfg_;
+    bool flatReady_ = false;
 
     /** Candidate chunk size; fixed so results and statistics do not
      *  depend on the worker count. */

@@ -62,6 +62,56 @@ standardCorpus()
 }
 
 std::vector<ProjectProfile>
+scaleCorpus(std::size_t max_insts)
+{
+    // Approximate instruction yield per (function, statement-budget)
+    // pair was calibrated against the generator; exact counts are
+    // deterministic per profile and reported by the benches.
+    auto scaled = [](const std::string &name, std::uint64_t seed,
+                     int funcs, int stmts, double union_rate,
+                     double poly_rate, double icall_rate,
+                     double reveal_rate, double float_share,
+                     std::size_t approx_insts) {
+        ProjectProfile profile;
+        profile.name = name;
+        profile.approxInsts = approx_insts;
+        profile.kloc = static_cast<int>(approx_insts / 320);
+        GenConfig &cfg = profile.config;
+        cfg.seed = seed;
+        cfg.numFunctions = funcs;
+        cfg.stmtsPerFunction = stmts;
+        cfg.unionRate = union_rate;
+        cfg.polymorphicRate = poly_rate;
+        cfg.icallRate = icall_rate;
+        cfg.revealRate = reveal_rate;
+        cfg.floatShare = float_share;
+        return profile;
+    };
+
+    // "chromium" mixes: dispatch-heavy, polymorphic, deep fan-out.
+    // "linux" mixes: ops-table icalls, heavy unions, integer-only.
+    std::vector<ProjectProfile> ladder = {
+        scaled("xl-chromium-100k", 7100, 2000, 18, 0.10, 0.22, 0.24,
+               0.44, 0.12, 100000),
+        scaled("xl-linux-250k", 7200, 4000, 18, 0.18, 0.08, 0.20, 0.50,
+               0.01, 250000),
+        scaled("xl-chromium-500k", 7300, 9800, 18, 0.10, 0.22, 0.24,
+               0.44, 0.12, 500000),
+        scaled("xxl-linux-1m", 7400, 16200, 18, 0.18, 0.08, 0.20, 0.50,
+               0.01, 1000000),
+    };
+    if (max_insts != 0) {
+        std::vector<ProjectProfile> capped;
+        for (ProjectProfile &p : ladder) {
+            if (p.approxInsts <= max_insts)
+                capped.push_back(std::move(p));
+        }
+        return capped;
+    }
+    return ladder;
+}
+
+std::vector<ProjectProfile>
 coreutilsBatch(int count)
 {
     std::vector<ProjectProfile> batch;

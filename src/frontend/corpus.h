@@ -21,12 +21,32 @@ struct ProjectProfile
     std::string name;
     int kloc = 0;          ///< Display size (paper's KLoC column).
     GenConfig config;      ///< Fully resolved generation config.
+    /** Approximate generated size (scale ladder only; 0 elsewhere).
+     *  Calibrated, not exact - used for size caps and display. */
+    std::size_t approxInsts = 0;
 };
 
 /** The 14 named projects of Table 3/4, scaled for laptop runs. */
 std::vector<ProjectProfile> standardCorpus();
 
-/** A coreutils-like batch of `count` small single-purpose binaries. */
+/**
+ * The scale-up ladder: xl/xxl profiles from ~100k to 1M+ generated
+ * instructions, in ascending size order. Feature mixes are shaped
+ * after two large real-world codebases rather than the mid-size
+ * Table 3 projects: the "chromium" profiles are dispatch-heavy
+ * (virtual-call-like indirect calls, high polymorphism, deep call
+ * fan-out), the "linux" profiles are ops-table and union-heavy with
+ * almost no floating point. These feed the modular-vs-whole-program
+ * scalability curve committed as BENCH_modular.json.
+ *
+ * `max_insts` drops profiles whose approximate instruction count
+ * exceeds the cap (0 = full ladder), so CI smokes can run the shape
+ * end-to-end without paying for the million-instruction point.
+ */
+std::vector<ProjectProfile> scaleCorpus(std::size_t max_insts = 0);
+
+/** A coreutils-like batch of `count` small single-purpose binaries.
+ *  Scales to 10k+ entries (distinct seeds, bounded name set). */
 std::vector<ProjectProfile> coreutilsBatch(int count = 104);
 
 /** Generate a project's program. */

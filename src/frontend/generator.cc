@@ -580,33 +580,18 @@ class ProgramGenerator
     {
         // Dispatch slot: pick a signature family with at least two
         // members, store one of two alternative handlers per branch,
-        // load and call indirectly.
-        struct Family
-        {
-            TypeRef param;
-            std::vector<FuncPlan *> members;
-        };
-        Family families[2];
-        families[0].param = tInt64_;
-        families[1].param = tStr_;
-        for (FuncPlan &plan : plans_) {
-            if (plan.paramTypes.size() != 1 || !plan.retType.valid() ||
-                    plan.retType != tInt64_) {
-                continue;
-            }
-            for (Family &family : families) {
-                if (plan.paramTypes[0] == family.param)
-                    family.members.push_back(&plan);
-            }
-        }
-        std::vector<Family *> usable;
-        for (Family &family : families) {
+        // load and call indirectly. The families are precomputed once
+        // after planFunctions (signatures never change afterwards);
+        // rescanning all plans per dispatch site made icall emission
+        // quadratic in module size on the xl/xxl profiles.
+        std::vector<IcallFamily *> usable;
+        for (IcallFamily &family : icall_families_) {
             if (family.members.size() >= 2)
                 usable.push_back(&family);
         }
         if (usable.empty())
             return;
-        Family &family = *usable[rng_.below(usable.size())];
+        IcallFamily &family = *usable[rng_.below(usable.size())];
 
         FunctionBuilder &fb = *s.fb;
         const ValueId slot = fb.alloca_(8);
@@ -621,12 +606,12 @@ class ProgramGenerator
         if (second == first)
             second = (second + 1) % family.members.size();
         fb.setInsertPoint(a_bb);
-        fb.store(slot, mb_->funcAddr(family.members[first]->id));
-        targets.push_back(family.members[first]->id);
+        fb.store(slot, mb_->funcAddr(plans_[family.members[first]].id));
+        targets.push_back(plans_[family.members[first]].id);
         fb.jmp(join_bb);
         fb.setInsertPoint(b_bb);
-        fb.store(slot, mb_->funcAddr(family.members[second]->id));
-        targets.push_back(family.members[second]->id);
+        fb.store(slot, mb_->funcAddr(plans_[family.members[second]].id));
+        targets.push_back(plans_[family.members[second]].id);
         fb.jmp(join_bb);
         fb.setInsertPoint(join_bb);
 
@@ -1016,6 +1001,22 @@ class ProgramGenerator
                 mb_->function("fn" + std::to_string(i), widths)));
             plans_[i].id = builders_.back()->funcId();
         }
+        // Index the icall signature families once; signatures are fixed
+        // from here on and this scan draws no randomness, so hoisting
+        // it out of emitIcall leaves generated programs bit-identical.
+        icall_families_[0].param = tInt64_;
+        icall_families_[1].param = tStr_;
+        for (std::size_t i = 0; i < plans_.size(); ++i) {
+            const FuncPlan &plan = plans_[i];
+            if (plan.paramTypes.size() != 1 || !plan.retType.valid() ||
+                    plan.retType != tInt64_) {
+                continue;
+            }
+            for (IcallFamily &family : icall_families_) {
+                if (plan.paramTypes[0] == family.param)
+                    family.members.push_back(i);
+            }
+        }
     }
 
     void
@@ -1135,11 +1136,20 @@ class ProgramGenerator
 
     const StandardExternals &se() const { return program_.externals; }
 
+    /** One icall dispatch family: plans taking exactly `param` and
+     *  returning int64, indexed by position in `plans_`. */
+    struct IcallFamily
+    {
+        TypeRef param;
+        std::vector<std::size_t> members;
+    };
+
     GenConfig cfg_;
     Rng rng_;
     GeneratedProgram program_;
     std::unique_ptr<ModuleBuilder> mb_;
     std::vector<FuncPlan> plans_;
+    IcallFamily icall_families_[2];
     std::vector<std::unique_ptr<FunctionBuilder>> builders_;
     std::uint32_t tag_counter_ = 0;
 

@@ -31,6 +31,7 @@ oracleName(OracleId id)
     case OracleId::LintStable: return "lint_stable";
     case OracleId::WalkDiff: return "walk_diff";
     case OracleId::SnapshotRoundTrip: return "snapshot_roundtrip";
+    case OracleId::SummaryDiff: return "summary_diff";
     }
     return "?";
 }
@@ -541,6 +542,79 @@ checkWalkDiff(Module &m, MantaAnalyzer &an, Battery &b)
     }
 }
 
+/**
+ * summary_diff: the modular bottom-up scheduler must be a pure
+ * performance optimization of the whole-program schedule. Run the full
+ * pipeline once per ScheduleMode and require bit-identical refined
+ * bounds - every variable-level and site-level overlay entry, by
+ * TypeRef id - while the modular run must actually have condensed the
+ * callgraph (a trivial schedule would vacuously pass).
+ */
+void
+checkSummaryDiff(Module &m, MantaAnalyzer &an, Battery &b)
+{
+    b.ran(OracleId::SummaryDiff);
+
+    HybridConfig modular_cfg = HybridConfig::full();
+    modular_cfg.scheduleMode = ScheduleMode::ModularBottomUp;
+    HybridConfig wp_cfg = HybridConfig::full();
+    wp_cfg.scheduleMode = ScheduleMode::WholeProgram;
+
+    const InferenceResult modular = an.infer(modular_cfg);
+    const InferenceResult wp = an.infer(wp_cfg);
+
+    if (modular.profile().sccCount == 0) {
+        b.fail(OracleId::SummaryDiff,
+               "modular run reports no SCC condensation");
+    }
+
+    if (modular.overlay().size() != wp.overlay().size()) {
+        b.fail(OracleId::SummaryDiff,
+               "value overlay sizes differ (modular " +
+                   std::to_string(modular.overlay().size()) +
+                   ", whole-program " +
+                   std::to_string(wp.overlay().size()) + ")");
+    }
+    for (const auto &[v, rbp] : wp.overlay()) {
+        const auto it = modular.overlay().find(v);
+        if (it == modular.overlay().end()) {
+            b.fail(OracleId::SummaryDiff,
+                   "modular schedule missed refinement of " +
+                       printValueRef(m, v));
+            continue;
+        }
+        if (it->second.upper != rbp.upper || it->second.lower != rbp.lower) {
+            b.fail(OracleId::SummaryDiff,
+                   "schedules disagree on " + printValueRef(m, v) +
+                       ": modular " +
+                       m.types().toString(it->second.upper) +
+                       " vs whole-program " + m.types().toString(rbp.upper));
+        }
+    }
+
+    if (modular.siteOverlay().size() != wp.siteOverlay().size()) {
+        b.fail(OracleId::SummaryDiff,
+               "site overlay sizes differ (modular " +
+                   std::to_string(modular.siteOverlay().size()) +
+                   ", whole-program " +
+                   std::to_string(wp.siteOverlay().size()) + ")");
+    }
+    for (const auto &[sv, rbp] : wp.siteOverlay()) {
+        const auto it = modular.siteOverlay().find(sv);
+        if (it == modular.siteOverlay().end()) {
+            b.fail(OracleId::SummaryDiff,
+                   "modular schedule missed site refinement of " +
+                       printValueRef(m, sv.value));
+            continue;
+        }
+        if (it->second.upper != rbp.upper || it->second.lower != rbp.lower) {
+            b.fail(OracleId::SummaryDiff,
+                   "schedules disagree at a site of " +
+                       printValueRef(m, sv.value));
+        }
+    }
+}
+
 } // namespace
 
 CaseResult
@@ -593,6 +667,7 @@ runCase(const FuzzCase &c)
     const InferenceResult full = an.infer();
     checkMonotonic(m, an, full, b);
     checkWalkDiff(m, an, b);
+    checkSummaryDiff(m, an, b);
 
     if (prog.hasTruth)
         checkGroundTruth(m, prog.truth, full, c.strict, b);
@@ -643,6 +718,7 @@ runTextOracles(const std::string &text)
     const InferenceResult full = an.infer();
     checkMonotonic(m, an, full, b);
     checkWalkDiff(m, an, b);
+    checkSummaryDiff(m, an, b);
     return r;
 }
 
@@ -702,6 +778,10 @@ textFailsOracle(const std::string &text, OracleId which)
     }
     if (which == OracleId::WalkDiff) {
         checkWalkDiff(m, an, b);
+        return b.failed(which);
+    }
+    if (which == OracleId::SummaryDiff) {
+        checkSummaryDiff(m, an, b);
         return b.failed(which);
     }
     // Interp: the truth-free static half (typed derefs + icall

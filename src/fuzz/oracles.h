@@ -3,7 +3,7 @@
  * The metamorphic oracle battery of the differential fuzzing harness.
  *
  * Every sampled case is pushed through the whole pipeline and checked
- * against nine properties that must hold for ANY generated program:
+ * against ten properties that must hold for ANY generated program:
  *
  *  1. verifier    - the generator and the synthesizer only produce
  *                   well-formed MIR, before and after acyclic
@@ -42,9 +42,14 @@
  *                   types/lint/icall artifacts are byte-identical to
  *                   the saving session's, and a corrupted snapshot is
  *                   rejected with a clean cold fallback.
+ * 10. summary_diff- the modular bottom-up scheduler (SCC waves over a
+ *                   shared FnSummaryStore, flattened hint/CFG indexes;
+ *                   the default) and the whole-program path
+ *                   (MANTA_WP=1) produce bit-identical refined bounds,
+ *                   variable- and site-level.
  *
- * Truth-free oracles (1, 2, 3, 5, 7, 8, 9, and the truth-free parts
- * of 6) can also run over parsed module text, which is what the
+ * Truth-free oracles (1, 2, 3, 5, 7, 8, 9, 10, and the truth-free
+ * parts of 6) can also run over parsed module text, which is what the
  * delta-debugging shrinker and the promoted-reproducer regression
  * tests use.
  */
@@ -61,7 +66,7 @@
 namespace manta {
 namespace fuzz {
 
-/** The nine oracles, in the order reported by BENCH_fuzz.json. */
+/** The ten oracles, in the order reported by BENCH_fuzz.json. */
 enum class OracleId : std::uint8_t {
     Verifier = 0,
     RoundTrip,
@@ -72,9 +77,10 @@ enum class OracleId : std::uint8_t {
     LintStable,
     WalkDiff,
     SnapshotRoundTrip,
+    SummaryDiff,
 };
 
-constexpr std::size_t kNumOracles = 9;
+constexpr std::size_t kNumOracles = 10;
 
 /** Stable snake_case oracle name (JSON keys, reproducer headers). */
 const char *oracleName(OracleId id);

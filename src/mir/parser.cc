@@ -31,6 +31,27 @@ str(std::string_view view)
 }
 
 /**
+ * Transparent hashing so the name maps can be probed with the token
+ * views directly — the old per-lookup std::string materialization was
+ * one heap allocation per operand/label/callee reference, the hottest
+ * remaining cost of the body pass on million-instruction modules.
+ * Keys are still owned std::strings; only lookups are heterogeneous.
+ */
+struct NameHash
+{
+    using is_transparent = void;
+
+    std::size_t
+    operator()(std::string_view s) const noexcept
+    {
+        return std::hash<std::string_view>{}(s);
+    }
+};
+
+template <typename T>
+using NameMap = std::unordered_map<std::string, T, NameHash, std::equal_to<>>;
+
+/**
  * A whitespace/punctuation tokenizer for one line. Tokens are views
  * into the backing module text: the parser tokenizes every line
  * exactly once up front (the body pass used to re-tokenize each line
@@ -189,30 +210,32 @@ class Parser
             if (tokens[0] == "global") {
                 if (tokens.size() < 3 || tokens[1][0] != '@')
                     bail(line_no, "malformed global");
+                const std::string_view name = tokens[1].substr(1);
+                if (globalIds_.count(name))
+                    bail(line_no, "duplicate global @" + str(name));
                 Global g;
-                g.name = str(tokens[1].substr(1));
+                g.name = str(name);
                 g.sizeBytes = static_cast<std::uint32_t>(
                     parseUnsigned(tokens[2], line_no, "global size"));
-                const std::string name = g.name;
-                if (globalIds_.count(name))
-                    bail(line_no, "duplicate global @" + name);
-                globalIds_[name] = module_.addGlobal(std::move(g));
+                const GlobalId gid = module_.addGlobal(std::move(g));
+                globalIds_.emplace(str(name), gid);
             } else if (tokens[0] == "string") {
                 if (tokens.size() < 3 || tokens[1][0] != '@' ||
                         tokens[2].front() != '"') {
                     bail(line_no, "malformed string literal");
                 }
+                const std::string_view name = tokens[1].substr(1);
+                if (globalIds_.count(name))
+                    bail(line_no, "duplicate string @" + str(name));
                 Global g;
-                g.name = str(tokens[1].substr(1));
+                g.name = str(name);
                 g.isStringLiteral = true;
                 g.stringValue =
                     str(tokens[2].substr(1, tokens[2].size() - 2));
                 g.sizeBytes =
                     static_cast<std::uint32_t>(g.stringValue.size() + 1);
-                const std::string name = g.name;
-                if (globalIds_.count(name))
-                    bail(line_no, "duplicate string @" + name);
-                globalIds_[name] = module_.addGlobal(std::move(g));
+                const GlobalId gid = module_.addGlobal(std::move(g));
+                globalIds_.emplace(str(name), gid);
             } else if (tokens[0] == "func") {
                 declareFunc(tokens, line_no, i);
             }
@@ -225,12 +248,13 @@ class Parser
     {
         if (tokens.size() < 2 || tokens[1][0] != '@')
             bail(line_no, "malformed func header");
+        const std::string_view fname = tokens[1].substr(1);
+        if (funcIds_.count(fname))
+            bail(line_no, "duplicate function @" + str(fname));
         Function fn;
-        fn.name = str(tokens[1].substr(1));
-        if (funcIds_.count(fn.name))
-            bail(line_no, "duplicate function @" + fn.name);
+        fn.name = str(fname);
         const FuncId fid = module_.addFunc(std::move(fn));
-        funcIds_[module_.func(fid).name] = fid;
+        funcIds_.emplace(str(fname), fid);
         funcHeaderLines_.emplace_back(fid, line_index);
 
         // Parameters: sequence of %name : width between parens.
@@ -284,18 +308,18 @@ class Parser
             if (tokens.size() == 1 && tokens[0] == "}")
                 break;
             if (tokens.size() == 1 && tokens[0].back() == ':') {
-                const std::string label =
-                    str(tokens[0].substr(0, tokens[0].size() - 1));
+                const std::string_view label =
+                    tokens[0].substr(0, tokens[0].size() - 1);
                 if (blockIds_.count(label)) {
                     bail(static_cast<int>(end + 1),
-                         "duplicate block label " + label);
+                         "duplicate block label " + str(label));
                 }
                 BasicBlock bb;
                 bb.func = fid;
-                bb.name = label;
+                bb.name = str(label);
                 const BlockId bid = module_.addBlock(std::move(bb));
                 module_.func(fid).blocks.push_back(bid);
-                blockIds_[label] = bid;
+                blockIds_.emplace(str(label), bid);
             }
         }
         if (end == line_tokens_.size())
@@ -308,8 +332,10 @@ class Parser
                 continue;
             const int line_no = static_cast<int>(i + 1);
             if (tokens.size() == 1 && tokens[0].back() == ':') {
-                currentBlock_ = blockIds_[str(
-                    tokens[0].substr(0, tokens[0].size() - 1))];
+                currentBlock_ =
+                    blockIds_
+                        .find(tokens[0].substr(0, tokens[0].size() - 1))
+                        ->second;
                 continue;
             }
             if (!currentBlock_.valid())
@@ -336,20 +362,20 @@ class Parser
     operand(std::string_view token, int line_no)
     {
         if (token[0] == '%') {
-            const auto it = values_.find(str(token.substr(1)));
+            const auto it = values_.find(token.substr(1));
             if (it == values_.end())
                 bail(line_no, "use of undefined value " + str(token));
             return it->second;
         }
         if (token[0] == '@') {
-            const std::string name = str(token.substr(1));
+            const std::string_view name = token.substr(1);
             const auto git = globalIds_.find(name);
             if (git != globalIds_.end()) {
                 Value v;
                 v.kind = ValueKind::GlobalAddr;
                 v.width = 64;
                 v.global = git->second;
-                v.name = name;
+                v.name = str(name);
                 return module_.addValue(std::move(v));
             }
             const auto fit = funcIds_.find(name);
@@ -359,7 +385,7 @@ class Parser
                 v.kind = ValueKind::FuncAddr;
                 v.width = 64;
                 v.funcAddr = fit->second;
-                v.name = name;
+                v.name = str(name);
                 return module_.addValue(std::move(v));
             }
             bail(line_no, "unknown symbol " + str(token));
@@ -382,7 +408,7 @@ class Parser
     BlockId
     blockRef(std::string_view token, int line_no)
     {
-        const auto it = blockIds_.find(str(token));
+        const auto it = blockIds_.find(token);
         if (it == blockIds_.end())
             bail(line_no, "unknown block label " + str(token));
         return it->second;
@@ -399,29 +425,29 @@ class Parser
 
     /** Create and register the result value for an instruction. */
     void
-    defineResult(InstId iid, const std::string &name, int width, int line_no)
+    defineResult(InstId iid, std::string_view name, int width, int line_no)
     {
         if (name.empty())
             bail(line_no, "instruction produces a result; expected '%name ='");
         if (values_.count(name))
-            bail(line_no, "redefinition of %" + name);
+            bail(line_no, "redefinition of %" + str(name));
         Value v;
         v.kind = ValueKind::InstResult;
         v.width = static_cast<std::uint8_t>(width);
         v.inst = iid;
-        v.name = name;
+        v.name = str(name);
         const ValueId vid = module_.addValue(std::move(v));
         module_.inst(iid).result = vid;
-        values_[name] = vid;
+        values_.emplace(str(name), vid);
     }
 
     void
     parseInst(const std::vector<std::string_view> &tokens, int line_no)
     {
-        std::string result_name;
+        std::string_view result_name;
         std::size_t t = 0;
         if (tokens.size() >= 2 && tokens[0][0] == '%' && tokens[1] == "=") {
-            result_name = str(tokens[0].substr(1));
+            result_name = tokens[0].substr(1);
             t = 2;
         }
         if (t >= tokens.size())
@@ -442,16 +468,16 @@ class Parser
             raw.push_back(tok);
         }
 
-        const std::string op = str(spec.mnemonic);
+        const std::string_view op = spec.mnemonic;
         auto needOperands = [&](std::size_t n) {
             if (raw.size() != n) {
-                bail(line_no, op + " expects " + std::to_string(n) +
+                bail(line_no, str(op) + " expects " + std::to_string(n) +
                                   " operands");
             }
         };
         auto noResult = [&] {
             if (!result_name.empty())
-                bail(line_no, op + " does not produce a result");
+                bail(line_no, str(op) + " does not produce a result");
         };
 
         if (op == "copy") {
@@ -472,7 +498,7 @@ class Parser
             int width = -1;
             for (std::size_t k = 0; k < raw.size(); k += 2) {
                 const std::string_view vt = raw[k];
-                if (vt[0] == '%' && !values_.count(str(vt.substr(1)))) {
+                if (vt[0] == '%' && !values_.count(vt.substr(1))) {
                     // Forward reference: record for fixup.
                     pending[k / 2] = str(vt.substr(1));
                     inst.operands.push_back(ValueId::invalid());
@@ -535,23 +561,23 @@ class Parser
                                      : Opcode::SExt;
             inst.operands = {operand(raw[0], line_no)};
             if (spec.suffix.empty())
-                bail(line_no, op + " requires a width suffix");
+                bail(line_no, str(op) + " requires a width suffix");
             const int width = parseWidth(spec.suffix, line_no);
             const InstId iid = appendInst(std::move(inst));
             defineResult(iid, result_name, width, line_no);
         } else if (op == "call") {
             if (raw.empty() || raw[0][0] != '@')
                 bail(line_no, "call expects @callee");
-            const std::string callee = str(raw[0].substr(1));
+            const std::string_view callee = raw[0].substr(1);
             Instruction inst;
             inst.op = Opcode::Call;
             const auto fit = funcIds_.find(callee);
             if (fit != funcIds_.end()) {
                 inst.callee = fit->second;
             } else {
-                inst.external = module_.findExternal(callee);
+                inst.external = module_.findExternal(str(callee));
                 if (!inst.external.valid())
-                    bail(line_no, "unknown callee @" + callee);
+                    bail(line_no, "unknown callee @" + str(callee));
             }
             for (std::size_t k = 1; k < raw.size(); ++k)
                 inst.operands.push_back(operand(raw[k], line_no));
@@ -606,7 +632,8 @@ class Parser
             appendInst(std::move(inst));
         } else {
             // Integer / float binops share one shape.
-            static const std::unordered_map<std::string, Opcode> binops = {
+            static const std::unordered_map<std::string_view, Opcode>
+                binops = {
                 {"add", Opcode::Add}, {"sub", Opcode::Sub},
                 {"mul", Opcode::Mul}, {"div", Opcode::Div},
                 {"rem", Opcode::Rem}, {"and", Opcode::And},
@@ -617,7 +644,7 @@ class Parser
             };
             const auto it = binops.find(op);
             if (it == binops.end())
-                bail(line_no, "unknown opcode " + op);
+                bail(line_no, "unknown opcode " + str(op));
             needOperands(2);
             Instruction inst;
             inst.op = it->second;
@@ -644,15 +671,15 @@ class Parser
     Module &module_;
     StandardExternals externals_;
     std::vector<std::vector<std::string_view>> line_tokens_;
-    std::unordered_map<std::string, GlobalId> globalIds_;
-    std::unordered_map<std::string, FuncId> funcIds_;
+    NameMap<GlobalId> globalIds_;
+    NameMap<FuncId> funcIds_;
     std::vector<std::pair<FuncId, std::size_t>> funcHeaderLines_;
 
     // Per-function parse state.
     FuncId currentFunc_;
     BlockId currentBlock_;
-    std::unordered_map<std::string, ValueId> values_;
-    std::unordered_map<std::string, BlockId> blockIds_;
+    NameMap<ValueId> values_;
+    NameMap<BlockId> blockIds_;
     std::vector<std::string_view> raw_;
     std::vector<std::tuple<InstId, int, std::vector<std::string>>>
         pendingPhis_;

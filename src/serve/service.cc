@@ -49,6 +49,8 @@ outcomeJson(const std::string &binary, const AnalyzeOutcome &out)
     result.set("seconds", Json::number(out.seconds));
     result.set("dirty", stringList(out.dirty));
     result.set("closure", stringList(out.closure));
+    result.set("dirtySccs",
+               Json::integer(static_cast<std::int64_t>(out.dirtySccs)));
     return result;
 }
 

@@ -4,6 +4,7 @@
 
 #include "analysis/acyclic.h"
 #include "analysis/callgraph.h"
+#include "analysis/scc.h"
 #include "clients/annotate.h"
 #include "clients/icall.h"
 #include "clients/slicing.h"
@@ -71,8 +72,22 @@ BinarySession::runAnalysis(std::unique_ptr<Module> module,
                 dirty_ids.push_back(fid);
         }
         if (!dirty_ids.empty()) {
+            // Closure on the SCC condensation: function-for-function
+            // the same frontier callClosure() computes, but each
+            // worklist step moves a whole component, and the dirty-SCC
+            // count tells clients how many modular re-analysis units
+            // the change actually hit.
             const CallGraph graph(*module);
-            for (const FuncId f : callClosure(graph, *module, dirty_ids))
+            const SccGraph sccs(graph, module->numFuncs());
+            std::vector<char> seen(sccs.numSccs(), 0);
+            for (const FuncId f : dirty_ids) {
+                const std::uint32_t s = sccs.sccOf(f);
+                if (!seen[s]) {
+                    seen[s] = 1;
+                    ++out.dirtySccs;
+                }
+            }
+            for (const FuncId f : sccs.closure(dirty_ids))
                 out.closure.push_back(module->func(f).name);
             std::sort(out.closure.begin(), out.closure.end());
         }

@@ -49,8 +49,14 @@ struct AnalyzeOutcome
      *  (empty on a first analyze). */
     std::vector<std::string> dirty;
     /** Call closure of the dirty set - the conservative re-analysis
-     *  frontier reported to clients. */
+     *  frontier reported to clients. Computed on the callgraph SCC
+     *  condensation (analysis/scc.h): a dirty function dirties its
+     *  whole component, and the frontier is the condensation-DAG
+     *  closure in both directions. */
     std::vector<std::string> closure;
+    /** Strongly connected components the dirty functions fall into
+     *  (the modular invalidation unit; 0 on a clean submit). */
+    std::size_t dirtySccs = 0;
 };
 
 /** One resident binary: module + substrates + memo + result. */
