@@ -6,6 +6,7 @@
  * types), for each type-inference tool.
  */
 #include <cstdio>
+#include <cstring>
 #include <map>
 
 #include "eval/harness.h"
@@ -15,14 +16,18 @@ namespace manta {
 namespace {
 
 int
-runFig12()
+runFig12(bool real_retypd)
 {
     std::printf("=== Figure 12: source-sink slicing F1 vs source-level "
                 "reference ===\n\n");
+    if (real_retypd)
+        std::printf("(--real-retypd: the Retypd column runs the real "
+                    "polymorphic subtyping engine, src/subtype/)\n\n");
 
     const DirtyModel dirty = trainDirtyModel();
     const std::vector<std::string> tool_names = {
-        "DIRTY", "Ghidra", "RetDec", "Retypd",
+        "DIRTY", "Ghidra", "RetDec",
+        real_retypd ? "Retypd" : "Retypd-lite",
         "Manta-FI", "Manta-FS", "Manta-FI+FS", "Manta-FI+CS+FS",
         "Manta-NoType",
     };
@@ -69,7 +74,9 @@ runFig12()
         score_types(dirty.predict(module).types, false);
         score_types(runGhidraLike(module).types, false);
         score_types(runRetdecLike(module).types, false);
-        const BaselineOutcome retypd = runRetypdLike(module);
+        const BaselineOutcome retypd = real_retypd
+                                           ? runRetypdReal(module)
+                                           : runRetypdLike(module);
         score_types(retypd.types, retypd.timedOut);
 
         for (const HybridConfig config :
@@ -140,7 +147,12 @@ runFig12()
 } // namespace manta
 
 int
-main()
+main(int argc, char **argv)
 {
-    return manta::runFig12();
+    bool real_retypd = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--real-retypd") == 0)
+            real_retypd = true;
+    }
+    return manta::runFig12(real_retypd);
 }

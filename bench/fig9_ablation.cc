@@ -9,6 +9,7 @@
  * distribution is bit-identical to a sequential run.
  */
 #include <cstdio>
+#include <cstring>
 
 #include "eval/harness.h"
 #include "eval/parallel.h"
@@ -19,10 +20,14 @@ namespace manta {
 namespace {
 
 int
-runFig9()
+runFig9(bool real_retypd)
 {
     std::printf("=== Figure 9: inferred-type distribution by "
                 "sensitivity ===\n\n");
+    if (real_retypd)
+        std::printf("(--real-retypd: stage 1 of every combination runs "
+                    "the polymorphic subtyping\n engine, src/subtype/, "
+                    "instead of unification)\n\n");
 
     ParallelHarness harness;
     std::printf("(jobs: %zu; set MANTA_JOBS to override)\n\n",
@@ -41,6 +46,10 @@ runFig9()
         {"Manta-FI+FS", HybridConfig::fiFs(), {}},
         {"Manta-FI+CS+FS", HybridConfig::full(), {}},
     };
+    if (real_retypd) {
+        for (Bucket &bucket : buckets)
+            bucket.config.inferEngine = InferEngine::Subtype;
+    }
 
     // Each task returns one TypeEval per bucket for its project.
     auto per_project = harness.mapProjects(
@@ -93,7 +102,12 @@ runFig9()
 } // namespace manta
 
 int
-main()
+main(int argc, char **argv)
 {
-    return manta::runFig9();
+    bool real_retypd = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--real-retypd") == 0)
+            real_retypd = true;
+    }
+    return manta::runFig9(real_retypd);
 }

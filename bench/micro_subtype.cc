@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Unifier vs polymorphic subtyping solver benchmark.
+ *
+ * Runs the flow-insensitive stage of the pipeline with both inference
+ * cores (core/unify.h equivalence classes vs subtype/solver.h
+ * polymorphic subtyping) over a slice of the standard corpus plus the
+ * recursive-struct/polymorphism scenario pack, and the Retypd-lite
+ * budget-capped closure surrogate for scale. Reports solve wall clock
+ * and precision/recall against generator ground truth to stdout and
+ * to BENCH_subtype.json for CI artifacts and the committed reference
+ * numbers.
+ *
+ * The two engines answer different questions on purpose: unification
+ * merges evidence across whole equivalence classes (more precise
+ * verdicts, but polymorphic call patterns conflate), while the
+ * subtyping solver keeps per-variable intervals that provably nest
+ * inside the unifier's (tests/test_subtype.cc) and separate
+ * polymorphic call sites - visible in the scenario-pack row.
+ *
+ * Flags:
+ *   --quick       Small projects only, one timing rep (CI smoke).
+ *   --out <path>  JSON output path (default BENCH_subtype.json).
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/acyclic.h"
+#include "baselines/typetools.h"
+#include "core/pipeline.h"
+#include "eval/metrics.h"
+#include "frontend/corpus.h"
+#include "frontend/generator.h"
+#include "support/table.h"
+
+namespace manta {
+namespace {
+
+struct EngineRun
+{
+    double seconds = 0.0; ///< FI-stage wall clock (best of reps).
+    TypeEval eval;        ///< Against generator ground truth.
+    bool timedOut = false;
+};
+
+/** Best-of-reps timing of the flow-insensitive stage of one core. */
+EngineRun
+timeEngine(MantaAnalyzer &an, Module &module, const GroundTruth &truth,
+           InferEngine engine, int reps)
+{
+    HybridConfig cfg = HybridConfig::fiOnly();
+    cfg.inferEngine = engine;
+    EngineRun best;
+    for (int r = 0; r < reps; ++r) {
+        const InferenceResult result = an.infer(cfg);
+        const double s = result.profile().fiSeconds;
+        if (r == 0 || s < best.seconds) {
+            best.seconds = s;
+            best.eval = evalInference(module, truth, result);
+        }
+    }
+    return best;
+}
+
+/** The Retypd-lite closure surrogate, timed through its own Timer. */
+EngineRun
+timeLite(Module &module, const GroundTruth &truth)
+{
+    const BaselineOutcome out = runRetypdLike(module);
+    EngineRun run;
+    run.seconds = out.seconds;
+    run.timedOut = out.timedOut;
+    if (!out.timedOut)
+        run.eval = evalTypeMap(module, truth, out.types);
+    return run;
+}
+
+struct ProjectRow
+{
+    std::string name;
+    int functions = 0;
+    std::size_t insts = 0;
+    EngineRun unify;
+    EngineRun subtype;
+    EngineRun lite;
+};
+
+void
+writeJson(const std::string &path, const std::vector<ProjectRow> &rows)
+{
+    std::FILE *out = std::fopen(path.c_str(), "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    std::size_t uni_incorrect = 0;
+    std::size_t sub_incorrect = 0;
+    std::fprintf(out, "{\n  \"benchmark\": \"subtype\",\n");
+    std::fprintf(out, "  \"projects\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const ProjectRow &r = rows[i];
+        uni_incorrect += r.unify.eval.incorrect;
+        sub_incorrect += r.subtype.eval.incorrect;
+        std::fprintf(
+            out,
+            "    {\"name\": \"%s\", \"functions\": %d, \"insts\": %zu, "
+            "\"unifySeconds\": %.6f, \"subtypeSeconds\": %.6f, "
+            "\"liteSeconds\": %.6f, "
+            "\"unifyPrecision\": %.4f, \"unifyRecall\": %.4f, "
+            "\"subtypePrecision\": %.4f, \"subtypeRecall\": %.4f, "
+            "\"litePrecision\": %.4f, \"liteRecall\": %.4f, "
+            "\"unifyIncorrect\": %zu, \"subtypeIncorrect\": %zu, "
+            "\"liteTimedOut\": %s}%s\n",
+            r.name.c_str(), r.functions, r.insts, r.unify.seconds,
+            r.subtype.seconds, r.lite.seconds,
+            r.unify.eval.precision(), r.unify.eval.recall(),
+            r.subtype.eval.precision(), r.subtype.eval.recall(),
+            r.lite.eval.precision(), r.lite.eval.recall(),
+            r.unify.eval.incorrect, r.subtype.eval.incorrect,
+            r.lite.timedOut ? "true" : "false",
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out, "  \"unifyIncorrectTotal\": %zu,\n", uni_incorrect);
+    std::fprintf(out, "  \"subtypeIncorrectTotal\": %zu\n}\n",
+                 sub_incorrect);
+    std::fclose(out);
+    std::printf("\nwrote %s\n", path.c_str());
+}
+
+ProjectRow
+benchProgram(const std::string &name, int functions,
+             GeneratedProgram &prog, int reps)
+{
+    makeAcyclic(*prog.module);
+    MantaAnalyzer an(*prog.module);
+
+    ProjectRow row;
+    row.name = name;
+    row.functions = functions;
+    row.insts = prog.module->numInsts();
+    row.unify = timeEngine(an, *prog.module, prog.truth,
+                           InferEngine::Unify, reps);
+    row.subtype = timeEngine(an, *prog.module, prog.truth,
+                             InferEngine::Subtype, reps);
+    row.lite = timeLite(*prog.module, prog.truth);
+    std::printf("  %-14s %4d funcs %7zu insts  unify %.4fs  "
+                "subtype %.4fs  lite %s\n",
+                row.name.c_str(), row.functions, row.insts,
+                row.unify.seconds, row.subtype.seconds,
+                row.lite.timedOut
+                    ? "TIMEOUT"
+                    : fmtDouble(row.lite.seconds, 4).c_str());
+    std::fflush(stdout);
+    return row;
+}
+
+int
+runMicroSubtype(bool quick, const std::string &out_path)
+{
+    std::printf("=== micro_subtype: unifier vs polymorphic subtyping "
+                "solver ===\n\n");
+
+    std::vector<std::string> picks =
+        quick ? std::vector<std::string>{"vsftpd", "memcached"}
+              : std::vector<std::string>{"vsftpd", "memcached", "tmux",
+                                         "redis", "vim", "python",
+                                         "ffmpeg"};
+    const int reps = quick ? 1 : 3;
+
+    std::vector<ProjectRow> rows;
+    for (const ProjectProfile &profile : standardCorpus()) {
+        if (std::find(picks.begin(), picks.end(), profile.name) ==
+                picks.end()) {
+            continue;
+        }
+        GeneratedProgram prog = buildProject(profile);
+        rows.push_back(benchProgram(profile.name,
+                                    profile.config.numFunctions, prog,
+                                    reps));
+    }
+
+    // The polymorphism scenario pack: the row where the engines must
+    // disagree (the unifier conflates the identity function's call
+    // sites; the subtyping solver separates them).
+    {
+        GeneratedProgram prog = generatePolyScenarios();
+        rows.push_back(benchProgram("polyscenarios", 4, prog, reps));
+    }
+
+    AsciiTable table;
+    table.setHeader({"project", "#funcs", "#insts", "unify (s)",
+                     "subtype (s)", "lite (s)", "unify %P/%R",
+                     "subtype %P/%R", "lite %P/%R"});
+    for (const ProjectRow &r : rows) {
+        table.addRow(
+            {r.name, std::to_string(r.functions),
+             std::to_string(r.insts), fmtDouble(r.unify.seconds, 4),
+             fmtDouble(r.subtype.seconds, 4),
+             r.lite.timedOut ? "TIMEOUT" : fmtDouble(r.lite.seconds, 4),
+             fmtPercent(r.unify.eval.precision()) + "/" +
+                 fmtPercent(r.unify.eval.recall()),
+             fmtPercent(r.subtype.eval.precision()) + "/" +
+                 fmtPercent(r.subtype.eval.recall()),
+             r.lite.timedOut ? "-"
+                             : fmtPercent(r.lite.eval.precision()) + "/" +
+                                   fmtPercent(r.lite.eval.recall())});
+    }
+    std::printf("\n%s", table.render().c_str());
+
+    if (!rows.empty())
+        writeJson(out_path, rows);
+    return 0;
+}
+
+} // namespace
+} // namespace manta
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string out_path = "BENCH_subtype.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out_path = argv[++i];
+    }
+    return manta::runMicroSubtype(quick, out_path);
+}

@@ -11,6 +11,7 @@
  * sequential run.
  */
 #include <cstdio>
+#include <cstring>
 
 #include "eval/harness.h"
 #include "eval/parallel.h"
@@ -30,10 +31,13 @@ struct Row
 };
 
 int
-runTable3()
+runTable3(bool real_retypd)
 {
     std::printf("=== Table 3: type inference precision/recall ===\n");
     std::printf("(corpus: synthetic projects; see DESIGN.md)\n\n");
+    if (real_retypd)
+        std::printf("(--real-retypd: the Retypd column runs the real "
+                    "polymorphic subtyping engine, src/subtype/)\n\n");
 
     ParallelHarness harness;
     std::printf("(jobs: %zu; set MANTA_JOBS to override)\n\n",
@@ -44,7 +48,8 @@ runTable3()
     const DirtyModel dirty = trainDirtyModel();
 
     const std::vector<std::string> tool_names = {
-        "DIRTY", "Ghidra", "RetDec", "Retypd",
+        "DIRTY", "Ghidra", "RetDec",
+        real_retypd ? "Retypd" : "Retypd-lite",
         "Manta-FI", "Manta-FS", "Manta-FI+FS", "Manta-FI+CS+FS",
     };
 
@@ -79,7 +84,8 @@ runTable3()
         const BaselineOutcome retdec_out = runRetdecLike(module);
         row.tools.push_back(evalTypeMap(module, truth, retdec_out.types));
 
-        const BaselineOutcome retypd_out = runRetypdLike(module);
+        const BaselineOutcome retypd_out =
+            real_retypd ? runRetypdReal(module) : runRetypdLike(module);
         row.timeouts[3] = retypd_out.timedOut;
         row.tools.push_back(retypd_out.timedOut
                                 ? TypeEval{}
@@ -212,7 +218,12 @@ runTable3()
 } // namespace manta
 
 int
-main()
+main(int argc, char **argv)
 {
-    return manta::runTable3();
+    bool real_retypd = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--real-retypd") == 0)
+            real_retypd = true;
+    }
+    return manta::runTable3(real_retypd);
 }

@@ -12,6 +12,7 @@
  * join, in project order, so output is independent of scheduling.
  */
 #include <cstdio>
+#include <cstring>
 
 #include "eval/harness.h"
 #include "eval/parallel.h"
@@ -40,10 +41,13 @@ struct ProjectOutcome
 };
 
 int
-runTable4()
+runTable4(bool real_retypd)
 {
     std::printf("=== Table 4 / Figure 11: type-based indirect-call "
                 "analysis ===\n\n");
+    if (real_retypd)
+        std::printf("(--real-retypd: the Retypd column runs the real "
+                    "polymorphic subtyping engine, src/subtype/)\n\n");
 
     ParallelHarness harness;
     std::printf("(jobs: %zu; set MANTA_JOBS to override)\n\n",
@@ -52,7 +56,8 @@ runTable4()
 
     const DirtyModel dirty = trainDirtyModel();
     const std::vector<std::string> tool_names = {
-        "DIRTY", "Ghidra", "RetDec", "Retypd", "TypeArmor", "tau-CFI",
+        "DIRTY", "Ghidra", "RetDec",
+        real_retypd ? "Retypd" : "Retypd-lite", "TypeArmor", "tau-CFI",
         "Manta-FI", "Manta-FS", "Manta-FI+FS", "Manta-FI+CS+FS",
     };
 
@@ -101,7 +106,9 @@ runTable4()
             add_with_types(dirty.predict(module).types, false);
             add_with_types(runGhidraLike(module).types, false);
             add_with_types(runRetdecLike(module).types, false);
-            const BaselineOutcome retypd = runRetypdLike(module);
+            const BaselineOutcome retypd = real_retypd
+                                               ? runRetypdReal(module)
+                                               : runRetypdLike(module);
             add_with_types(retypd.types, retypd.timedOut);
 
             // Count/width disciplines (no inferred types needed).
@@ -196,7 +203,12 @@ runTable4()
 } // namespace manta
 
 int
-main()
+main(int argc, char **argv)
 {
-    return manta::runTable4();
+    bool real_retypd = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--real-retypd") == 0)
+            real_retypd = true;
+    }
+    return manta::runTable4(real_retypd);
 }

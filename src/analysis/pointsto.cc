@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "support/chaos.h"
+#include "support/env.h"
 #include "support/error.h"
 #include "support/timer.h"
 
@@ -15,8 +16,8 @@ const LocSet PointsTo::empty_;
 PtsSolver
 PointsTo::defaultSolver()
 {
-    const char *env = std::getenv("MANTA_PTS_DENSE");
-    return (env && env[0] == '1') ? PtsSolver::Dense : PtsSolver::Sparse;
+    return envFlagTruthy(std::getenv("MANTA_PTS_DENSE")) ? PtsSolver::Dense
+                                                         : PtsSolver::Sparse;
 }
 
 PointsTo::PointsTo(const Module &module, const MemObjects &objects,

@@ -2,7 +2,11 @@
 
 #include <vector>
 
+#include "analysis/memobj.h"
+#include "analysis/pointsto.h"
 #include "core/hints.h"
+#include "core/unify.h"
+#include "subtype/solver.h"
 #include "support/timer.h"
 
 namespace manta {
@@ -189,7 +193,10 @@ runRetypdLike(Module &module, std::size_t work_budget)
 {
     Timer timer;
     BaselineOutcome out;
-    out.name = "Retypd";
+    // "-lite": the budget-capped transitive-closure surrogate. The
+    // real polymorphic subtyping engine (src/subtype/) reports as
+    // "Retypd" through runRetypdReal below.
+    out.name = "Retypd-lite";
     TypeTable &tt = module.types();
 
     // Subtyping constraint graph (no points-to): bidirectional
@@ -275,6 +282,37 @@ runRetypdLike(Module &module, std::size_t work_budget)
         if (tt.isNumeric(t) && tt.widthBits(t) != 0)
             reported = tt.num(tt.widthBits(t));
         out.types.emplace(v, reported);
+    }
+    out.seconds = timer.seconds();
+    return out;
+}
+
+BaselineOutcome
+runRetypdReal(Module &module)
+{
+    Timer timer;
+    BaselineOutcome out;
+    out.name = "Retypd";
+
+    const MemObjects objects(module);
+    PointsTo pts(module, objects, true, PtsSolver::Sparse);
+    pts.run();
+    const HintIndex hints(module, &pts);
+
+    subtype::SubtypeInference inference(module, pts, hints);
+    TypeEnv env(module.types());
+    inference.run(env);
+
+    // Project the solved intervals to the singleton report format the
+    // baseline tables share: only precisely resolved variables
+    // predict; over-approximated and unknown stay absent.
+    for (std::size_t v = 0; v < module.numValues(); ++v) {
+        const ValueId vid(static_cast<ValueId::RawType>(v));
+        if (!isVariable(module, vid))
+            continue;
+        const BoundPair bp = env.boundsOf(TypeVar::of(vid));
+        if (bp.classify(module.types()) == TypeClass::Precise)
+            out.types.emplace(vid, bp.upper);
     }
     out.seconds = timer.seconds();
     return out;

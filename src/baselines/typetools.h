@@ -9,9 +9,14 @@
  *    at the cost of recall).
  *  - Ghidra-like: heuristic regional propagation: hints spread only
  *    within a basic block; unresolved values stay `undefined`.
- *  - Retypd-like: principled subtyping constraints solved by
+ *  - Retypd-lite: principled subtyping constraints solved by
  *    transitive closure; cubic work, modeled by a work budget whose
  *    exhaustion reports a timeout (the Table 3 triangle).
+ *
+ * The "Retypd" column proper is served by runRetypdReal: the actual
+ * polymorphic subtyping engine (src/subtype/, saturation + per-SCC
+ * summaries + sketch lowering) run flow-insensitively and projected
+ * to singleton predictions, the way the other baselines report.
  */
 #ifndef MANTA_BASELINES_TYPETOOLS_H
 #define MANTA_BASELINES_TYPETOOLS_H
@@ -42,12 +47,22 @@ BaselineOutcome runRetdecLike(Module &module);
 BaselineOutcome runGhidraLike(Module &module);
 
 /**
- * Retypd-like constraint-closure inference.
+ * Retypd-lite constraint-closure inference (the budget-capped
+ * surrogate).
  * @param work_budget Max propagation steps before the run reports a
  *        timeout (models the 72-hour cap on the closure).
  */
 BaselineOutcome runRetypdLike(Module &module,
                               std::size_t work_budget = 5000000);
+
+/**
+ * The real Retypd-style engine: src/subtype/'s polymorphic subtyping
+ * solver over full substrates (points-to-backed hints), projected to
+ * singleton predictions - a value is predicted iff its solved
+ * interval is precise. Owns the "Retypd" name in every table; enable
+ * in the benches with --real-retypd.
+ */
+BaselineOutcome runRetypdReal(Module &module);
 
 } // namespace manta
 

@@ -6,18 +6,16 @@
 
 #include "core/fn_summary.h"
 #include "core/modular.h"
+#include "support/env.h"
 
 namespace manta {
 
 WalkEngine
 defaultWalkEngine()
 {
-    static const WalkEngine engine = []() {
-        const char *env = std::getenv("MANTA_WALK_REF");
-        const bool ref = env != nullptr && env[0] != '\0' &&
-                         !(env[0] == '0' && env[1] == '\0');
-        return ref ? WalkEngine::Reference : WalkEngine::Fast;
-    }();
+    static const WalkEngine engine =
+        envFlagTruthy(std::getenv("MANTA_WALK_REF")) ? WalkEngine::Reference
+                                                     : WalkEngine::Fast;
     return engine;
 }
 

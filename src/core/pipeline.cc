@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "subtype/solver.h"
+#include "support/env.h"
 #include "support/timer.h"
 
 namespace manta {
@@ -9,14 +11,22 @@ namespace manta {
 ScheduleMode
 defaultScheduleMode()
 {
-    static const ScheduleMode mode = []() {
-        const char *env = std::getenv("MANTA_WP");
-        const bool wp = env != nullptr && env[0] != '\0' &&
-                        !(env[0] == '0' && env[1] == '\0');
-        return wp ? ScheduleMode::WholeProgram
-                  : ScheduleMode::ModularBottomUp;
-    }();
+    static const ScheduleMode mode =
+        envFlagTruthy(std::getenv("MANTA_WP")) ? ScheduleMode::WholeProgram
+                                               : ScheduleMode::ModularBottomUp;
     return mode;
+}
+
+InferEngine
+defaultInferEngine()
+{
+    static const InferEngine engine = []() {
+        static const char *const choices[] = {"unify", "subtype"};
+        const std::size_t pick = parseEnvChoice(
+            "MANTA_INFER", std::getenv("MANTA_INFER"), choices, 2, 0);
+        return pick == 1 ? InferEngine::Subtype : InferEngine::Unify;
+    }();
+    return engine;
 }
 
 std::string
@@ -147,8 +157,13 @@ MantaAnalyzer::infer(const HybridConfig &config, RefineMemo *memo)
     std::vector<ValueId> over_approx;
     if (config_.flowInsensitive) {
         const ScopedSeconds fi_clock(result.profile_.fiSeconds);
-        FlowInsensitiveInference fi(module_, *pts_, *hints_);
-        result.profile_.afterFi = fi.run(env_ref);
+        if (config_.inferEngine == InferEngine::Subtype) {
+            subtype::SubtypeInference fi(module_, *pts_, *hints_);
+            result.profile_.afterFi = fi.run(env_ref);
+        } else {
+            FlowInsensitiveInference fi(module_, *pts_, *hints_);
+            result.profile_.afterFi = fi.run(env_ref);
+        }
         for (std::size_t i = 0; i < module_.numValues(); ++i) {
             const ValueId vid(static_cast<ValueId::RawType>(i));
             const ValueKind kind = module_.value(vid).kind;
@@ -175,6 +190,7 @@ MantaAnalyzer::infer(const HybridConfig &config, RefineMemo *memo)
     // configuration mismatch with its stored records).
     if (memo != nullptr) {
         if (!config_.flowInsensitive ||
+                config_.inferEngine != InferEngine::Unify ||
                 config_.walkEngine != WalkEngine::Fast ||
                 !memo->beginRun(module_, *ddg_, *hints_, *pts_, env_ref,
                                 config_.budget))

@@ -46,6 +46,19 @@ enum class ScheduleMode : std::uint8_t {
 /** ModularBottomUp unless MANTA_WP=1 is set in the environment. */
 ScheduleMode defaultScheduleMode();
 
+/** Which flow-insensitive inference core populates the TypeEnv. */
+enum class InferEngine : std::uint8_t {
+    /** Unification over equivalence classes (core/unify.h, default). */
+    Unify,
+    /** Polymorphic subtyping with per-call-site summary instantiation
+     *  (subtype/solver.h). Strictly-nested bounds: never wider than
+     *  the unifier's, tighter on polymorphic call patterns. */
+    Subtype,
+};
+
+/** Unify unless MANTA_INFER=subtype is set in the environment. */
+InferEngine defaultInferEngine();
+
 /** Stage toggles; defaults give the full pipeline (FI+CS+FS). */
 struct HybridConfig
 {
@@ -61,6 +74,16 @@ struct HybridConfig
      */
     bool fsBeforeCs = false;
     WalkBudget budget;
+
+    /**
+     * Which flow-insensitive core runs stage 1. Both cores commit the
+     * same artifact (per-variable BoundPair sketches in the TypeEnv),
+     * so the CS/FS refinement stages, modular scheduling and clients
+     * work with either; the cross-run refinement memo only engages for
+     * the default Unify core (its records key on unifier output).
+     * Honors MANTA_INFER=subtype.
+     */
+    InferEngine inferEngine = defaultInferEngine();
 
     /**
      * Which DDG/CFG traversal engine the refinement stages use. The

@@ -539,8 +539,11 @@ FlowRefinement::run(const std::vector<ValueId> &candidates)
             cfgOf(FuncId(static_cast<FuncId::RawType>(f)));
         // Touch capture needs the per-hint rootsOf() calls to record
         // which functions a candidate's answer read, so the flattened
-        // index only serves memo-less (batch) runs.
-        if (!use_memo) {
+        // index only serves memo-less (batch) runs - and only modules
+        // large enough to amortize the whole-module flattening pass
+        // (kFlatIndexMinInsts; tiny modules fall back to the
+        // interpreted walk, which answers identically).
+        if (!use_memo && flatIndexEligible(module_)) {
             buildFlatHints(result.walk);
             buildFlatCfg();
         }

@@ -93,6 +93,23 @@ struct FlowRefineResult
 class FlowRefinement
 {
   public:
+    /**
+     * Modules below this instruction count skip the flattened
+     * hint/CFG indexes in the modular batch walk phase: flattening is
+     * a whole-module pass, and on tiny modules its setup cost exceeds
+     * everything the flat hot loop saves (the interpreted walk answers
+     * with identical site types either way). The threshold is pinned
+     * by tests/test_modular.cc.
+     */
+    static constexpr std::size_t kFlatIndexMinInsts = 500;
+
+    /** True when the module is large enough to amortize flattening. */
+    static bool
+    flatIndexEligible(const Module &module)
+    {
+        return module.numInsts() >= kFlatIndexMinInsts;
+    }
+
     FlowRefinement(Module &module, const Ddg &ddg, const HintIndex &hints,
                    TypeEnv &env, WalkBudget budget = {},
                    WalkEngine engine = defaultWalkEngine(),

@@ -57,6 +57,18 @@ class TypeEnv
     /** Fold a hint into a class. */
     void addHint(std::uint32_t index, TypeRef type);
 
+    /**
+     * Overwrite a class's bounds wholesale. The subtype engine's
+     * sketch lowering (subtype/solver.cc) uses this to publish solved
+     * intervals onto singleton classes; the unification stage never
+     * calls it.
+     */
+    void
+    setBounds(std::uint32_t index, const BoundPair &bp)
+    {
+        bounds_[find(index)] = bp;
+    }
+
     /** Current bounds of a variable (unknown pair if never seen). */
     BoundPair boundsOf(const TypeVar &var);
 

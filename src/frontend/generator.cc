@@ -1165,4 +1165,86 @@ generateProgram(const GenConfig &config)
     return generator.run();
 }
 
+GeneratedProgram
+generatePolyScenarios()
+{
+    GeneratedProgram out;
+    out.module = std::make_unique<Module>();
+    Module &m = *out.module;
+    out.externals = StandardExternals::install(m);
+    ModuleBuilder mb(m);
+    TypeTable &tt = m.types();
+
+    const TypeRef tInt = tt.intTy(64);
+    // The list node: { 0: int64 payload, 8: next pointer }. The next
+    // field's pointee is the register cell the loads reveal (the
+    // interned lattice cannot express the truly recursive pointee).
+    const TypeRef tCell = tt.ptr(tt.reg(64));
+    auto &truth = out.truth.valueTypes;
+
+    // @id: the polymorphic identity. No hints of its own; every bit
+    // of evidence it carries comes from its callers, which is exactly
+    // what the unifier merges and the subtype engine keeps apart.
+    FunctionBuilder id = mb.function("id", {64});
+    id.ret(id.param(0));
+
+    // @walk: chase one link of a recursive node list and print the
+    // payload, revealing { int64, ptr } at the node's two offsets.
+    FunctionBuilder walk = mb.function("walk", {64});
+    {
+        const ValueId p = walk.param(0);
+        const ValueId payload = walk.load(p, 64);
+        walk.callExternal(out.externals.printIntFn, {payload}, 32);
+        const ValueId next_addr = walk.add(p, mb.constInt(8));
+        const ValueId next = walk.load(next_addr, 64);
+        const ValueId payload2 = walk.load(next, 64);
+        walk.callExternal(out.externals.printIntFn, {payload2}, 32);
+        walk.ret();
+        truth.emplace(p, tCell);
+        truth.emplace(payload, tInt);
+        truth.emplace(next, tCell);
+        truth.emplace(payload2, tInt);
+    }
+
+    // @driver_ptr: builds a two-node list (the second node points at
+    // itself, closing the recursive shape), passes the head through
+    // @id and walks the result.
+    FunctionBuilder dp = mb.function("driver_ptr", {});
+    {
+        const ValueId head = dp.alloca_(16);
+        const ValueId tail = dp.alloca_(16);
+        dp.store(head, dp.copy(mb.constInt(7)));
+        const ValueId head_next = dp.add(head, mb.constInt(8));
+        dp.store(head_next, tail);
+        dp.store(tail, dp.copy(mb.constInt(9)));
+        const ValueId tail_next = dp.add(tail, mb.constInt(8));
+        dp.store(tail_next, tail);
+        const ValueId aliased = dp.call(id.funcId(), {head}, 64);
+        dp.call(walk.funcId(), {aliased}, 0);
+        dp.ret();
+        truth.emplace(head, tCell);
+        truth.emplace(tail, tCell);
+        truth.emplace(aliased, tCell);
+    }
+
+    // @driver_int: the same identity at an integer type. Under the
+    // unifier, @id's single class merges this caller's int64 evidence
+    // with @driver_ptr's pointer evidence, leaving both call results
+    // over-approximated; the subtype engine instantiates @id per call
+    // site and keeps each result precise.
+    FunctionBuilder di = mb.function("driver_int", {});
+    {
+        const ValueId n = di.copy(mb.constInt(21));
+        const ValueId doubled = di.mul(n, mb.constInt(2));
+        const ValueId through = di.call(id.funcId(), {doubled}, 64);
+        di.callExternal(out.externals.printIntFn, {through}, 32);
+        di.ret();
+        truth.emplace(n, tInt);
+        truth.emplace(doubled, tInt);
+        truth.emplace(through, tInt);
+    }
+
+    return out;
+}
+
 } // namespace manta

@@ -73,6 +73,16 @@ struct GeneratedProgram
 /** Generate one program. Deterministic in the config (incl. seed). */
 GeneratedProgram generateProgram(const GenConfig &config);
 
+/**
+ * Fixed scenario pack: a polymorphic identity reused at a recursive
+ * list-node pointer type and at int64, plus a walker that chases the
+ * node's next link. The unifier provably merges the two uses of the
+ * identity into one class (both call results degrade to Over); a
+ * per-call-site instantiating engine keeps them Precise. Deterministic
+ * (no RNG). Consumed by the engine-differential tests and benches.
+ */
+GeneratedProgram generatePolyScenarios();
+
 } // namespace manta
 
 #endif // MANTA_FRONTEND_GENERATOR_H

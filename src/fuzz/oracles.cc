@@ -32,6 +32,7 @@ oracleName(OracleId id)
     case OracleId::WalkDiff: return "walk_diff";
     case OracleId::SnapshotRoundTrip: return "snapshot_roundtrip";
     case OracleId::SummaryDiff: return "summary_diff";
+    case OracleId::EngineDiff: return "engine_diff";
     }
     return "?";
 }
@@ -615,6 +616,97 @@ checkSummaryDiff(Module &m, MantaAnalyzer &an, Battery &b)
     }
 }
 
+/**
+ * Oracle 11: engine_diff. The polymorphic subtyping core is a
+ * precision-or-equal sibling of the unification core, never an unsound
+ * one. Run both engines FI-only on shared substrates and require, for
+ * every variable, that the subtype interval nests inside the unifier's:
+ * the subtype upper bound is a subtype of the unification upper bound
+ * and the unification lower bound is a subtype of the subtype lower
+ * bound. Directed constraint edges only ever connect variables the
+ * unifier would have placed in one equivalence class, and every atom
+ * the subtype solver folds into a variable is drawn from that class's
+ * hint set - so a variable's subtype evidence is a subset of its class
+ * evidence, and a class with no evidence at all (unifier Unknown) must
+ * stay Unknown under the subtype engine too. With ground truth on a
+ * strict case, the subtype engine's full pipeline must additionally
+ * never contradict the erased truth (the unsoundness tripwire).
+ */
+void
+checkEngineDiff(Module &m, MantaAnalyzer &an, const GroundTruth *truth,
+                bool strict, Battery &b)
+{
+    b.ran(OracleId::EngineDiff);
+
+    HybridConfig uni_cfg = HybridConfig::fiOnly();
+    uni_cfg.inferEngine = InferEngine::Unify;
+    HybridConfig sub_cfg = HybridConfig::fiOnly();
+    sub_cfg.inferEngine = InferEngine::Subtype;
+
+    const InferenceResult uni = an.infer(uni_cfg);
+    const InferenceResult sub = an.infer(sub_cfg);
+
+    TypeTable &table = m.types();
+    std::size_t violations = 0;
+    const auto violation = [&](std::string detail) {
+        if (++violations <= 3)
+            b.fail(OracleId::EngineDiff, std::move(detail));
+    };
+
+    for (std::size_t i = 0; i < m.numValues(); ++i) {
+        const ValueId v(static_cast<ValueId::RawType>(i));
+        const ValueKind kind = m.value(v).kind;
+        if (kind != ValueKind::Argument && kind != ValueKind::InstResult)
+            continue;
+        const TypeClass uc = uni.valueClass(v);
+        const TypeClass sc = sub.valueClass(v);
+        if (uc == TypeClass::Unknown) {
+            if (sc != TypeClass::Unknown) {
+                violation("subtype engine invented evidence for " +
+                          printValueRef(m, v) + " (" +
+                          table.toString(sub.valueBounds(v).upper) +
+                          ") where unification saw none");
+            }
+            continue;
+        }
+        if (sc == TypeClass::Unknown)
+            continue;
+        const BoundPair ub = uni.valueBounds(v);
+        const BoundPair sb = sub.valueBounds(v);
+        if (!table.isSubtype(sb.upper, ub.upper)) {
+            violation("subtype upper bound of " + printValueRef(m, v) +
+                      " escapes the unification interval: " +
+                      table.toString(sb.upper) + " vs " +
+                      table.toString(ub.upper));
+        }
+        if (!table.isSubtype(ub.lower, sb.lower)) {
+            violation("subtype lower bound of " + printValueRef(m, v) +
+                      " escapes the unification interval: " +
+                      table.toString(sb.lower) + " vs " +
+                      table.toString(ub.lower));
+        }
+    }
+    if (violations > 3) {
+        b.fail(OracleId::EngineDiff,
+               std::to_string(violations) +
+                   " variables violate engine-interval nesting");
+    }
+
+    if (truth != nullptr && strict) {
+        HybridConfig full_cfg = HybridConfig::full();
+        full_cfg.inferEngine = InferEngine::Subtype;
+        const InferenceResult full = an.infer(full_cfg);
+        const TypeEval ev = evalInference(m, *truth, full);
+        if (ev.incorrect != 0) {
+            b.fail(OracleId::EngineDiff,
+                   std::to_string(ev.incorrect) + "/" +
+                       std::to_string(ev.total) +
+                       " params contradict ground truth under the "
+                       "subtype engine's noise-free full pipeline");
+        }
+    }
+}
+
 } // namespace
 
 CaseResult
@@ -668,6 +760,8 @@ runCase(const FuzzCase &c)
     checkMonotonic(m, an, full, b);
     checkWalkDiff(m, an, b);
     checkSummaryDiff(m, an, b);
+    checkEngineDiff(m, an, prog.hasTruth ? &prog.truth : nullptr, c.strict,
+                    b);
 
     if (prog.hasTruth)
         checkGroundTruth(m, prog.truth, full, c.strict, b);
@@ -719,6 +813,7 @@ runTextOracles(const std::string &text)
     checkMonotonic(m, an, full, b);
     checkWalkDiff(m, an, b);
     checkSummaryDiff(m, an, b);
+    checkEngineDiff(m, an, nullptr, false, b);
     return r;
 }
 
@@ -782,6 +877,10 @@ textFailsOracle(const std::string &text, OracleId which)
     }
     if (which == OracleId::SummaryDiff) {
         checkSummaryDiff(m, an, b);
+        return b.failed(which);
+    }
+    if (which == OracleId::EngineDiff) {
+        checkEngineDiff(m, an, nullptr, false, b);
         return b.failed(which);
     }
     // Interp: the truth-free static half (typed derefs + icall

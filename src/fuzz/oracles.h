@@ -47,8 +47,17 @@
  *                   the default) and the whole-program path
  *                   (MANTA_WP=1) produce bit-identical refined bounds,
  *                   variable- and site-level.
+ * 11. engine_diff - the polymorphic subtyping core (MANTA_INFER=subtype)
+ *                   agrees with the unification core at FI: on every
+ *                   variable both engines solved, the subtype interval
+ *                   nests inside the unifier's ([F-down, F-up] is no
+ *                   wider), and a variable the unifier left Unknown
+ *                   stays Unknown - the subtype engine may be strictly
+ *                   more precise but never invents evidence. On strict
+ *                   cases the subtype full pipeline must additionally
+ *                   never contradict the erased ground truth.
  *
- * Truth-free oracles (1, 2, 3, 5, 7, 8, 9, 10, and the truth-free
+ * Truth-free oracles (1, 2, 3, 5, 7, 8, 9, 10, 11, and the truth-free
  * parts of 6) can also run over parsed module text, which is what the
  * delta-debugging shrinker and the promoted-reproducer regression
  * tests use.
@@ -66,7 +75,7 @@
 namespace manta {
 namespace fuzz {
 
-/** The ten oracles, in the order reported by BENCH_fuzz.json. */
+/** The eleven oracles, in the order reported by BENCH_fuzz.json. */
 enum class OracleId : std::uint8_t {
     Verifier = 0,
     RoundTrip,
@@ -78,9 +87,10 @@ enum class OracleId : std::uint8_t {
     WalkDiff,
     SnapshotRoundTrip,
     SummaryDiff,
+    EngineDiff,
 };
 
-constexpr std::size_t kNumOracles = 10;
+constexpr std::size_t kNumOracles = 11;
 
 /** Stable snake_case oracle name (JSON keys, reproducer headers). */
 const char *oracleName(OracleId id);

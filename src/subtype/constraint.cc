@@ -1,0 +1,190 @@
+#include "subtype/constraint.h"
+
+#include <deque>
+
+namespace manta {
+namespace subtype {
+
+bool
+labelCovariant(CapLabel label)
+{
+    switch (label) {
+      case CapLabel::Load:
+      case CapLabel::Field:
+      case CapLabel::Out:
+        return true;
+      case CapLabel::Store:
+      case CapLabel::In:
+        return false;
+    }
+    return true;
+}
+
+SubVarId
+ConstraintSystem::makeVar()
+{
+    const SubVarId v = static_cast<SubVarId>(succs_.size());
+    succs_.emplace_back();
+    preds_.emplace_back();
+    children_.emplace_back();
+    atoms_fwd_.push_back(BoundPair::unknown(types_));
+    atoms_bwd_.push_back(BoundPair::unknown(types_));
+    return v;
+}
+
+SubVarId
+ConstraintSystem::derived(SubVarId parent, CapLabel label,
+                          std::int32_t operand)
+{
+    const DerivedKey key{parent, label, operand};
+    const auto it = derived_.find(key);
+    if (it != derived_.end())
+        return it->second;
+    const SubVarId v = makeVar();
+    derived_.emplace(key, v);
+    children_[parent].push_back({label, operand, v});
+    return v;
+}
+
+SubVarId
+ConstraintSystem::tryDerived(SubVarId parent, CapLabel label,
+                             std::int32_t operand) const
+{
+    const auto it = derived_.find(DerivedKey{parent, label, operand});
+    return it == derived_.end() ? kInvalidSubVar : it->second;
+}
+
+bool
+ConstraintSystem::hasEdge(SubVarId a, SubVarId b) const
+{
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint64_t>(b);
+    return edge_set_.count(key) != 0;
+}
+
+void
+ConstraintSystem::addSub(SubVarId a, SubVarId b)
+{
+    if (a == b)
+        return;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint64_t>(b);
+    if (!edge_set_.emplace(key, 1).second)
+        return;
+    edges_.emplace_back(a, b);
+    succs_[a].push_back(b);
+    preds_[b].push_back(a);
+}
+
+void
+ConstraintSystem::addAtom(SubVarId v, TypeRef type)
+{
+    atoms_fwd_[v].addHint(types_, type);
+    atoms_bwd_[v].addHint(types_, type);
+    ++num_atoms_;
+}
+
+void
+ConstraintSystem::seed(SubVarId v, const BoundPair &fwd, const BoundPair &bwd)
+{
+    atoms_fwd_[v].merge(types_, fwd);
+    atoms_bwd_[v].merge(types_, bwd);
+}
+
+void
+ConstraintSystem::deriveEdges(
+    SubVarId a, SubVarId b,
+    std::vector<std::pair<SubVarId, SubVarId>> &out) const
+{
+    // For every label both endpoints carry, emit the variance-directed
+    // edge between the derived variables. Scan the smaller child list.
+    const std::vector<DerivedEntry> &small =
+        children_[a].size() <= children_[b].size() ? children_[a]
+                                                   : children_[b];
+    const SubVarId other = children_[a].size() <= children_[b].size() ? b : a;
+    const bool small_is_a = children_[a].size() <= children_[b].size();
+    for (const DerivedEntry &entry : small) {
+        const SubVarId mate = tryDerived(other, entry.label, entry.operand);
+        if (mate == kInvalidSubVar)
+            continue;
+        const SubVarId da = small_is_a ? entry.var : mate;
+        const SubVarId db = small_is_a ? mate : entry.var;
+        if (labelCovariant(entry.label))
+            out.emplace_back(da, db);
+        else
+            out.emplace_back(db, da);
+    }
+}
+
+std::size_t
+ConstraintSystem::saturate()
+{
+    std::size_t added = 0;
+    // Worklist over edge indices: freshly derived edges are appended to
+    // edges_ and scanned in turn, so the closure reaches a fixpoint
+    // even when derived variables themselves carry further labels.
+    std::vector<std::pair<SubVarId, SubVarId>> fresh;
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+        fresh.clear();
+        deriveEdges(edges_[i].first, edges_[i].second, fresh);
+        for (const auto &[da, db] : fresh) {
+            if (da == db || hasEdge(da, db))
+                continue;
+            addSub(da, db);
+            ++added;
+        }
+    }
+    return added;
+}
+
+void
+ConstraintSystem::solve()
+{
+    const std::size_t n = numVars();
+    fwd_ = atoms_fwd_;
+    bwd_ = atoms_bwd_;
+
+    std::deque<SubVarId> work;
+    std::vector<char> queued(n, 1);
+    for (SubVarId v = 0; v < n; ++v)
+        work.push_back(v);
+
+    auto mergedInto = [this](BoundPair &into, const BoundPair &from) {
+        if (from.isNoHint(types_))
+            return false;
+        const BoundPair before = into;
+        into.merge(types_, from);
+        return into.upper != before.upper || into.lower != before.lower;
+    };
+
+    while (!work.empty()) {
+        const SubVarId v = work.front();
+        work.pop_front();
+        queued[v] = 0;
+        // Lower-side evidence flows forward: fwd[b] absorbs fwd[v].
+        for (const SubVarId b : succs_[v]) {
+            if (mergedInto(fwd_[b], fwd_[v]) && !queued[b]) {
+                queued[b] = 1;
+                work.push_back(b);
+            }
+        }
+        // Upper-side evidence flows backward: bwd[a] absorbs bwd[v].
+        for (const SubVarId a : preds_[v]) {
+            if (mergedInto(bwd_[a], bwd_[v]) && !queued[a]) {
+                queued[a] = 1;
+                work.push_back(a);
+            }
+        }
+    }
+}
+
+BoundPair
+ConstraintSystem::boundsOf(SubVarId v) const
+{
+    BoundPair out = fwd_[v];
+    out.merge(types_, bwd_[v]);
+    return out;
+}
+
+} // namespace subtype
+} // namespace manta

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The polymorphic subtyping constraint algebra (Retypd/BinSub style).
+ *
+ * The second inference core (HybridConfig::inferEngine == Subtype)
+ * models typing evidence as DIRECTED subtype constraints `a <: b`
+ * between type variables instead of the unifier's symmetric
+ * equivalence classes. Variables carry capability labels - a value
+ * loaded through `p` is `p.load`, a value stored through `p` is
+ * `p.store`, an object's field at byte offset `o` is `obj.field<o>`,
+ * a call-site interface is `c.in<k>` / `c.out` - and saturation
+ * closes the edge set under the labels' variance:
+ *
+ *     a <: b  ==>  a.load  <: b.load     (covariant: reads)
+ *     a <: b  ==>  b.store <: a.store    (contravariant: writes)
+ *     a <: b  ==>  a.field<o> <: b.field<o>   (covariant)
+ *     a <: b  ==>  b.in<k> <: a.in<k>    (contravariant: params)
+ *     a <: b  ==>  a.out   <: b.out      (covariant: returns)
+ *
+ * Solving propagates hint atoms through the directed graph - forward
+ * along edges for lower-bound evidence, backward for upper-bound
+ * evidence - and folds each variable's attributed evidence into the
+ * same (F-up, F-down) BoundPair the unification core produces, so
+ * sketches lower onto types/bounds.h unchanged. Because a variable's
+ * directional evidence is always a subset of its unification class's
+ * evidence, the solved interval of every variable NESTS inside the
+ * unifier's (the engine-agreement suite asserts this on the whole
+ * corpus); on polymorphic call patterns it is strictly tighter.
+ */
+#ifndef MANTA_SUBTYPE_CONSTRAINT_H
+#define MANTA_SUBTYPE_CONSTRAINT_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "types/bounds.h"
+
+namespace manta {
+namespace subtype {
+
+/** Dense handle of one subtype variable. */
+using SubVarId = std::uint32_t;
+constexpr SubVarId kInvalidSubVar = 0xffffffffu;
+
+/** Capability labels a derived variable can carry. */
+enum class CapLabel : std::uint8_t {
+    Load,   ///< Value read through a pointer (covariant).
+    Store,  ///< Value written through a pointer (contravariant).
+    Field,  ///< Object field at a byte offset (covariant).
+    In,     ///< k-th parameter of a function value (contravariant).
+    Out,    ///< Return of a function value (covariant).
+};
+
+/** Variance of a label under the saturation rules above. */
+bool labelCovariant(CapLabel label);
+
+/**
+ * A directed subtype constraint graph over plain and label-derived
+ * variables, with per-variable hint atoms, structural saturation and
+ * a directional evidence-propagation solver.
+ */
+class ConstraintSystem
+{
+  public:
+    explicit ConstraintSystem(TypeTable &types) : types_(types) {}
+
+    /** A fresh plain variable. */
+    SubVarId makeVar();
+
+    /**
+     * The derived variable `parent.label<operand>`, created on first
+     * use. `operand` is the byte offset for Field, the parameter
+     * index for In, and ignored otherwise.
+     */
+    SubVarId derived(SubVarId parent, CapLabel label,
+                     std::int32_t operand = 0);
+
+    /** Lookup without creation; kInvalidSubVar when absent. */
+    SubVarId tryDerived(SubVarId parent, CapLabel label,
+                        std::int32_t operand = 0) const;
+
+    /** Add the constraint a <: b. Self-edges are dropped. */
+    void addSub(SubVarId a, SubVarId b);
+
+    /** Add a <: b and b <: a (the unification-mirroring rules). */
+    void
+    addBoth(SubVarId a, SubVarId b)
+    {
+        addSub(a, b);
+        addSub(b, a);
+    }
+
+    /** Attach one hint atom to a variable. */
+    void addAtom(SubVarId v, TypeRef type);
+
+    /**
+     * Seed a variable with pre-folded evidence pairs (summary
+     * instantiation): `fwd` joins the lower-side fold, `bwd` the
+     * upper-side fold.
+     */
+    void seed(SubVarId v, const BoundPair &fwd, const BoundPair &bwd);
+
+    /**
+     * Close the edge set under the label variance rules. Returns the
+     * number of edges added; a second call on an unchanged system adds
+     * none (closure idempotence, asserted by the property tests).
+     */
+    std::size_t saturate();
+
+    /**
+     * Propagate evidence to a fixpoint and fold per-variable bounds.
+     * Deterministic: a FIFO worklist over the edge list insertion
+     * order. May be called repeatedly (e.g. after adding constraints).
+     */
+    void solve();
+
+    /** Solved interval of a variable (valid after solve()). */
+    BoundPair boundsOf(SubVarId v) const;
+
+    /** Seeded lower-side evidence of a variable (pre-propagation). */
+    const BoundPair &atomFwdOf(SubVarId v) const { return atoms_fwd_[v]; }
+
+    /** Seeded upper-side evidence of a variable (pre-propagation). */
+    const BoundPair &atomBwdOf(SubVarId v) const { return atoms_bwd_[v]; }
+
+    /** Lower-side (forward-propagated) fold of a variable. */
+    const BoundPair &fwdOf(SubVarId v) const { return fwd_[v]; }
+
+    /** Upper-side (backward-propagated) fold of a variable. */
+    const BoundPair &bwdOf(SubVarId v) const { return bwd_[v]; }
+
+    /** Out-neighbours (b with v <: b). */
+    const std::vector<SubVarId> &succs(SubVarId v) const
+    {
+        return succs_[v];
+    }
+
+    /** In-neighbours (a with a <: v). */
+    const std::vector<SubVarId> &preds(SubVarId v) const
+    {
+        return preds_[v];
+    }
+
+    std::size_t numVars() const { return succs_.size(); }
+    std::size_t numEdges() const { return edges_.size(); }
+    std::size_t numAtoms() const { return num_atoms_; }
+
+    TypeTable &types() { return types_; }
+
+  private:
+    struct DerivedKey
+    {
+        SubVarId parent;
+        CapLabel label;
+        std::int32_t operand;
+
+        friend bool
+        operator==(const DerivedKey &a, const DerivedKey &b)
+        {
+            return a.parent == b.parent && a.label == b.label &&
+                   a.operand == b.operand;
+        }
+    };
+    struct DerivedKeyHash
+    {
+        std::size_t
+        operator()(const DerivedKey &k) const noexcept
+        {
+            std::size_t h = k.parent;
+            h = h * 131 + static_cast<std::size_t>(k.label);
+            h = h * 131 + static_cast<std::size_t>(k.operand + 7);
+            return h;
+        }
+    };
+    struct DerivedEntry
+    {
+        CapLabel label;
+        std::int32_t operand;
+        SubVarId var;
+    };
+
+    bool hasEdge(SubVarId a, SubVarId b) const;
+    /** Append the variance-derived edges of (a, b) to `out`. */
+    void deriveEdges(SubVarId a, SubVarId b,
+                     std::vector<std::pair<SubVarId, SubVarId>> &out) const;
+
+    TypeTable &types_;
+    std::vector<std::pair<SubVarId, SubVarId>> edges_;
+    std::vector<std::vector<SubVarId>> succs_;
+    std::vector<std::vector<SubVarId>> preds_;
+    std::unordered_map<std::uint64_t, char> edge_set_;
+    std::unordered_map<DerivedKey, SubVarId, DerivedKeyHash> derived_;
+    /** Derived children of each parent (for the saturation scan). */
+    std::vector<std::vector<DerivedEntry>> children_;
+    /** Per-variable seeded evidence, folded before propagation. */
+    std::vector<BoundPair> atoms_fwd_;
+    std::vector<BoundPair> atoms_bwd_;
+    /** Per-variable propagated folds (solve output). */
+    std::vector<BoundPair> fwd_;
+    std::vector<BoundPair> bwd_;
+    std::size_t num_atoms_ = 0;
+};
+
+} // namespace subtype
+} // namespace manta
+
+#endif // MANTA_SUBTYPE_CONSTRAINT_H

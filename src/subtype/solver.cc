@@ -1,0 +1,505 @@
+#include "subtype/solver.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "analysis/callgraph.h"
+
+namespace manta {
+namespace subtype {
+
+namespace {
+
+/** Owner tag of variables no SCC may expand through in summaries. */
+constexpr std::uint32_t kBoundaryOwner = 0xffffffffu;
+
+/** The unifier collapses symbolic offsets to one field variable. */
+std::int32_t
+fieldOffsetOf(const Loc &loc)
+{
+    return loc.collapsed() ? Loc::unknownOffset : loc.offset;
+}
+
+} // namespace
+
+void
+SubtypeInference::syncOwner(std::uint32_t tag)
+{
+    while (owner_.size() < cs_->numVars())
+        owner_.push_back(tag);
+}
+
+SubVarId
+SubtypeInference::fieldVar(ObjectId obj, std::int32_t offset)
+{
+    const auto anchor_it = obj_vars_.find(obj.raw());
+    SubVarId anchor;
+    if (anchor_it != obj_vars_.end()) {
+        anchor = anchor_it->second;
+    } else {
+        anchor = cs_->makeVar();
+        syncOwner(kBoundaryOwner);
+        obj_vars_.emplace(obj.raw(), anchor);
+    }
+    const SubVarId known = cs_->tryDerived(anchor, CapLabel::Field, offset);
+    if (known != kInvalidSubVar)
+        return known;
+    const SubVarId fv = cs_->derived(anchor, CapLabel::Field, offset);
+    syncOwner(kBoundaryOwner);
+    field_list_.emplace_back(Loc{obj, offset}, fv);
+    field_offsets_[obj].insert(offset);
+    return fv;
+}
+
+SubVarId
+SubtypeInference::fieldVarOfLoc(const Loc &loc)
+{
+    return fieldVar(loc.obj, fieldOffsetOf(loc));
+}
+
+void
+SubtypeInference::applyAtoms()
+{
+    for (std::size_t v = 0; v < module_.numValues(); ++v) {
+        const ValueId vid(static_cast<ValueId::RawType>(v));
+        for (const TypeHint &hint : hints_.of(vid))
+            cs_->addAtom(valueVar(vid), hint.type);
+    }
+}
+
+void
+SubtypeInference::genMemoryRules(const SccGraph &sccs)
+{
+    // The LOAD/STORE rules, in module instruction order like the
+    // unifier's pass 1, so the field registry ends up identical. The
+    // per-site deref variable (`addr.load` / `addr.store`) mediates:
+    //   field <: addr.load  <: result        (reads are covariant)
+    //   value <: addr.store <: field         (writes flow into memory)
+    for (std::size_t i = 0; i < module_.numInsts(); ++i) {
+        const InstId iid(static_cast<InstId::RawType>(i));
+        const Instruction &inst = module_.inst(iid);
+        if (inst.op != Opcode::Load && inst.op != Opcode::Store)
+            continue;
+        const ValueId addr = inst.operands[0];
+        const FuncId owner_fn = module_.block(inst.parent).func;
+        const std::uint32_t tag = sccs.sccOf(owner_fn);
+        const CapLabel label =
+            inst.op == Opcode::Load ? CapLabel::Load : CapLabel::Store;
+        const SubVarId deref = cs_->derived(
+            valueVar(addr), label, static_cast<std::int32_t>(i));
+        syncOwner(tag);
+        if (inst.op == Opcode::Load) {
+            for (const Loc &loc : pts_.locs(addr)) {
+                const SubVarId fv = fieldVarOfLoc(loc);
+                cs_->addSub(fv, deref);
+                func_fields_[owner_fn.index()].push_back(fv);
+            }
+            cs_->addSub(deref, valueVar(inst.result));
+        } else {
+            cs_->addSub(valueVar(inst.operands[1]), deref);
+            for (const Loc &loc : pts_.locs(addr)) {
+                const SubVarId fv = fieldVarOfLoc(loc);
+                cs_->addSub(deref, fv);
+                func_fields_[owner_fn.index()].push_back(fv);
+            }
+        }
+    }
+}
+
+void
+SubtypeInference::objLink(ValueId a, ValueId b)
+{
+    // The UnifyObjType mirror: fields registered at the same offset of
+    // objects pointed to by either side exchange evidence both ways
+    // (memory is invariant). Same size guard as the unifier.
+    const LocSet &la = pts_.locs(a);
+    const LocSet &lb = pts_.locs(b);
+    if (la.empty() || lb.empty())
+        return;
+    if (la.size() > kMaxObjLinkSet || lb.size() > kMaxObjLinkSet)
+        return;
+    std::vector<ObjectId> objs;
+    for (const Loc &loc : la)
+        objs.push_back(loc.obj);
+    for (const Loc &loc : lb)
+        objs.push_back(loc.obj);
+    for (std::size_t i = 0; i < objs.size(); ++i) {
+        for (std::size_t j = i + 1; j < objs.size(); ++j) {
+            if (objs[i] == objs[j])
+                continue;
+            const auto oi = field_offsets_.find(objs[i]);
+            const auto oj = field_offsets_.find(objs[j]);
+            if (oi == field_offsets_.end() || oj == field_offsets_.end())
+                continue;
+            for (const std::int32_t off : oi->second) {
+                if (oj->second.count(off)) {
+                    cs_->addBoth(fieldVar(objs[i], off),
+                                 fieldVar(objs[j], off));
+                }
+            }
+        }
+    }
+}
+
+void
+SubtypeInference::genFunction(FuncId f, std::uint32_t scc,
+                              const SccGraph &sccs)
+{
+    const Function &fn = module_.func(f);
+    for (const BlockId bid : fn.blocks) {
+        for (const InstId iid : module_.block(bid).insts) {
+            const Instruction &inst = module_.inst(iid);
+            switch (inst.op) {
+              case Opcode::Copy:
+                cs_->addSub(valueVar(inst.operands[0]),
+                            valueVar(inst.result));
+                objLink(inst.result, inst.operands[0]);
+                break;
+              case Opcode::Phi:
+                for (const ValueId op : inst.operands) {
+                    cs_->addSub(valueVar(op), valueVar(inst.result));
+                    objLink(inst.result, op);
+                }
+                break;
+              case Opcode::ICmp:
+                // Compared values share a type, in both directions
+                // (the unifier's symmetric same-type rule).
+                cs_->addBoth(valueVar(inst.operands[0]),
+                             valueVar(inst.operands[1]));
+                break;
+              case Opcode::Ret:
+                if (!inst.operands.empty()) {
+                    cs_->addSub(valueVar(inst.operands[0]),
+                                ret_vars_[f.index()]);
+                }
+                break;
+              case Opcode::Call: {
+                if (!inst.callee.valid())
+                    break;
+                const FuncId g = inst.callee;
+                const Function &callee = module_.func(g);
+                const std::size_t n =
+                    std::min(callee.params.size(), inst.operands.size());
+                const FnSummary &sum = summaries_[g.index()];
+                if (sccs.sccOf(g) != scc && sum.usable) {
+                    // Polymorphic instantiation: fresh call-site
+                    // variable, summary mapped onto its in/out slots.
+                    const SubVarId site = cs_->makeVar();
+                    syncOwner(scc);
+                    std::vector<SubVarId> ins(sum.numParams);
+                    for (std::size_t k = 0; k < sum.numParams; ++k) {
+                        ins[k] = cs_->derived(
+                            site, CapLabel::In,
+                            static_cast<std::int32_t>(k));
+                        syncOwner(scc);
+                    }
+                    const SubVarId out =
+                        cs_->derived(site, CapLabel::Out);
+                    syncOwner(scc);
+                    const auto mapped = [&](std::uint32_t slot) {
+                        if (slot < sum.numParams)
+                            return ins[slot];
+                        if (slot == sum.numParams)
+                            return out;
+                        return sum.iface[slot];
+                    };
+                    for (const auto &[from, to] : sum.edges)
+                        cs_->addSub(mapped(from), mapped(to));
+                    for (std::size_t k = 0; k <= sum.numParams; ++k) {
+                        cs_->seed(mapped(static_cast<std::uint32_t>(k)),
+                                  sum.seedFwd[k], sum.seedBwd[k]);
+                    }
+                    for (std::size_t k = 0; k < n; ++k)
+                        cs_->addSub(valueVar(inst.operands[k]), ins[k]);
+                    if (inst.result.valid())
+                        cs_->addSub(out, valueVar(inst.result));
+                    // The callee's interface fields become this SCC's
+                    // touched fields too (memory stays monomorphic).
+                    for (std::size_t k = sum.numParams + 1;
+                         k < sum.iface.size(); ++k) {
+                        func_fields_[f.index()].push_back(sum.iface[k]);
+                    }
+                    ++stats_.instantiations;
+                } else {
+                    // Intra-SCC recursion or an oversized callee:
+                    // monomorphic binding, exactly like the unifier.
+                    if (sccs.sccOf(g) != scc)
+                        ++stats_.monoFallbacks;
+                    for (std::size_t k = 0; k < n; ++k) {
+                        cs_->addSub(valueVar(inst.operands[k]),
+                                    valueVar(callee.params[k]));
+                        objLink(inst.operands[k], callee.params[k]);
+                    }
+                    if (inst.result.valid()) {
+                        cs_->addSub(ret_vars_[g.index()],
+                                    valueVar(inst.result));
+                        for (const ValueId rop : ret_ops_[g.index()])
+                            objLink(inst.result, rop);
+                    }
+                }
+                // Either way the caller's solved argument/result
+                // evidence re-attaches to the callee's committed
+                // formals in one post-solve step (Table-3 parity
+                // with the unifier's arg~param class merge).
+                for (std::size_t k = 0; k < n; ++k)
+                    enrich_.emplace_back(inst.operands[k],
+                                         callee.params[k]);
+                if (inst.result.valid()) {
+                    for (const ValueId rop : ret_ops_[g.index()])
+                        enrich_.emplace_back(inst.result, rop);
+                }
+                break;
+              }
+              default:
+                break;
+            }
+        }
+    }
+}
+
+void
+SubtypeInference::registerStringLiterals()
+{
+    // Same position in the pipeline as the unifier: after the copy
+    // rules (so the object-link registry matches), before the
+    // unknown-offset collapse (so the char hint reaches every offset).
+    TypeTable &tt = module_.types();
+    for (std::size_t g = 0; g < module_.numGlobals(); ++g) {
+        const GlobalId gid(static_cast<GlobalId::RawType>(g));
+        if (!module_.global(gid).isStringLiteral)
+            continue;
+        const ObjectId obj = pts_.objects().objectOfGlobal(gid);
+        if (!obj.valid())
+            continue;
+        cs_->addAtom(fieldVar(obj, Loc::unknownOffset), tt.intTy(8));
+    }
+}
+
+void
+SubtypeInference::collapseUnknownOffsets()
+{
+    for (const auto &[obj, offsets] : field_offsets_) {
+        if (!offsets.count(Loc::unknownOffset))
+            continue;
+        const SubVarId unknown_fv = fieldVar(obj, Loc::unknownOffset);
+        for (const std::int32_t off : offsets) {
+            if (off != Loc::unknownOffset)
+                cs_->addBoth(unknown_fv, fieldVar(obj, off));
+        }
+    }
+}
+
+SubtypeInference::FnSummary
+SubtypeInference::summarize(FuncId f, std::uint32_t scc,
+                            const SccGraph &sccs)
+{
+    FnSummary sum;
+    const Function &fn = module_.func(f);
+    sum.numParams = fn.params.size();
+
+    // The SCC's touched fields (every member's: mutually recursive
+    // functions form one segment).
+    std::vector<SubVarId> fields;
+    for (const FuncId member : sccs.members(scc)) {
+        fields.insert(fields.end(), func_fields_[member.index()].begin(),
+                      func_fields_[member.index()].end());
+    }
+    std::sort(fields.begin(), fields.end());
+    fields.erase(std::unique(fields.begin(), fields.end()), fields.end());
+
+    if (sum.numParams > kMaxSummaryParams ||
+            fields.size() > kMaxSummaryFields) {
+        return sum; // unusable: callers bind monomorphically
+    }
+
+    for (const ValueId p : fn.params)
+        sum.iface.push_back(valueVar(p));
+    sum.iface.push_back(ret_vars_[f.index()]);
+    sum.iface.insert(sum.iface.end(), fields.begin(), fields.end());
+    sum.seedFwd.assign(sum.numParams + 1, BoundPair::unknown(cs_->types()));
+    sum.seedBwd.assign(sum.numParams + 1, BoundPair::unknown(cs_->types()));
+
+    std::unordered_map<SubVarId, std::uint32_t> slot_of;
+    for (std::uint32_t i = 0; i < sum.iface.size(); ++i)
+        slot_of.emplace(sum.iface[i], i);
+
+    if (stamp_.size() < cs_->numVars())
+        stamp_.resize(cs_->numVars(), 0);
+
+    std::unordered_set<std::uint64_t> edge_seen;
+    std::vector<SubVarId> stack;
+    const std::uint32_t freshened = static_cast<std::uint32_t>(sum.numParams);
+
+    for (std::uint32_t i = 0; i < sum.iface.size(); ++i) {
+        const SubVarId start = sum.iface[i];
+        const bool seeded = i <= freshened;
+
+        // Forward pass: interface-to-interface edges, plus the
+        // upper-side seed (evidence the eliminated variables would
+        // push BACK to this slot flows from its transitive succs).
+        ++epoch_;
+        stamp_[start] = epoch_;
+        stack.assign(1, start);
+        if (seeded)
+            sum.seedBwd[i].merge(cs_->types(), cs_->atomBwdOf(start));
+        while (!stack.empty()) {
+            const SubVarId x = stack.back();
+            stack.pop_back();
+            for (const SubVarId y : cs_->succs(x)) {
+                if (stamp_[y] == epoch_)
+                    continue;
+                stamp_[y] = epoch_;
+                const auto slot = slot_of.find(y);
+                if (slot != slot_of.end()) {
+                    // Field-to-field connectivity stays on the global
+                    // field variables; only freshened endpoints need
+                    // summary edges.
+                    if (i <= freshened || slot->second <= freshened) {
+                        const std::uint64_t key =
+                            (static_cast<std::uint64_t>(i) << 32) |
+                            slot->second;
+                        if (edge_seen.insert(key).second)
+                            sum.edges.emplace_back(i, slot->second);
+                    }
+                    continue; // record, never expand through
+                }
+                if (owner_[y] != scc)
+                    continue; // boundary: constants, other segments
+                if (seeded)
+                    sum.seedBwd[i].merge(cs_->types(), cs_->atomBwdOf(y));
+                stack.push_back(y);
+            }
+        }
+
+        // Backward pass: the lower-side seed (evidence the eliminated
+        // variables push INTO this slot flows from transitive preds).
+        if (!seeded)
+            continue;
+        ++epoch_;
+        stamp_[start] = epoch_;
+        stack.assign(1, start);
+        sum.seedFwd[i].merge(cs_->types(), cs_->atomFwdOf(start));
+        while (!stack.empty()) {
+            const SubVarId x = stack.back();
+            stack.pop_back();
+            for (const SubVarId y : cs_->preds(x)) {
+                if (stamp_[y] == epoch_ || slot_of.count(y) ||
+                        owner_[y] != scc) {
+                    continue;
+                }
+                stamp_[y] = epoch_;
+                sum.seedFwd[i].merge(cs_->types(), cs_->atomFwdOf(y));
+                stack.push_back(y);
+            }
+        }
+    }
+
+    sum.usable = true;
+    ++stats_.summaries;
+    return sum;
+}
+
+void
+SubtypeInference::commit(TypeEnv &env)
+{
+    TypeTable &tt = cs_->types();
+    const std::size_t nv = module_.numValues();
+    std::vector<BoundPair> base;
+    base.reserve(nv);
+    for (std::size_t v = 0; v < nv; ++v)
+        base.push_back(cs_->boundsOf(value_vars_[v]));
+
+    // One-step call-binding enrichment over the PRE-enrichment
+    // snapshot: deterministic, no transitive re-pollution.
+    std::vector<BoundPair> lowered = base;
+    for (const auto &[src, dst] : enrich_)
+        lowered[dst.index()].merge(tt, base[src.index()]);
+
+    for (std::size_t v = 0; v < nv; ++v) {
+        const ValueId vid(static_cast<ValueId::RawType>(v));
+        env.setBounds(env.indexOf(TypeVar::of(vid)), lowered[v]);
+    }
+    for (const auto &[loc, fv] : field_list_) {
+        env.setBounds(env.indexOf(TypeVar::field(loc.obj, loc.offset)),
+                      cs_->boundsOf(fv));
+    }
+}
+
+StageStats
+SubtypeInference::run(TypeEnv &env)
+{
+    cs_ = std::make_unique<ConstraintSystem>(module_.types());
+    const CallGraph cg(module_);
+    const SccGraph sccs(cg, module_.numFuncs());
+
+    // Variable registry: one plain variable per SSA value, owned by
+    // its function's SCC (constants/globals/function addresses are
+    // shared boundary variables), plus one return variable and the
+    // return-operand list per function.
+    const std::size_t nv = module_.numValues();
+    value_vars_.resize(nv);
+    for (std::size_t v = 0; v < nv; ++v) {
+        const ValueId vid(static_cast<ValueId::RawType>(v));
+        const FuncId f = module_.owningFunc(vid);
+        value_vars_[v] = cs_->makeVar();
+        syncOwner(f.valid() ? sccs.sccOf(f) : kBoundaryOwner);
+    }
+    const std::size_t nf = module_.numFuncs();
+    ret_vars_.resize(nf);
+    ret_ops_.assign(nf, {});
+    func_fields_.assign(nf, {});
+    summaries_.assign(nf, FnSummary{});
+    for (std::size_t f = 0; f < nf; ++f) {
+        const FuncId fid(static_cast<FuncId::RawType>(f));
+        ret_vars_[f] = cs_->makeVar();
+        syncOwner(sccs.sccOf(fid));
+        for (const BlockId bid : module_.func(fid).blocks) {
+            const BasicBlock &bb = module_.block(bid);
+            if (bb.insts.empty())
+                continue;
+            const Instruction &term = module_.inst(bb.insts.back());
+            if (term.op == Opcode::Ret && !term.operands.empty())
+                ret_ops_[f].push_back(term.operands[0]);
+        }
+    }
+
+    applyAtoms();
+    genMemoryRules(sccs);
+
+    // Bottom-up waves: generate each SCC's copy/call/compare edges
+    // with callee summaries already published, then simplify the SCC
+    // into its members' summaries for the callers above.
+    for (std::size_t level = 0; level < sccs.numWaves(); ++level) {
+        for (const std::uint32_t scc : sccs.wave(level)) {
+            for (const FuncId f : sccs.members(scc))
+                genFunction(f, scc, sccs);
+            for (const FuncId f : sccs.members(scc))
+                summaries_[f.index()] = summarize(f, scc, sccs);
+        }
+    }
+
+    registerStringLiterals();
+    collapseUnknownOffsets();
+    stats_.saturationAdded = cs_->saturate();
+    cs_->solve();
+
+    stats_.vars = cs_->numVars();
+    stats_.edges = cs_->numEdges();
+    stats_.atoms = cs_->numAtoms();
+
+    commit(env);
+
+    StageStats out;
+    for (std::size_t v = 0; v < nv; ++v) {
+        const ValueId vid(static_cast<ValueId::RawType>(v));
+        switch (env.classifyOf(TypeVar::of(vid))) {
+          case TypeClass::Precise: ++out.precise; break;
+          case TypeClass::Over: ++out.over; break;
+          case TypeClass::Unknown: ++out.unknown; break;
+        }
+    }
+    return out;
+}
+
+} // namespace subtype
+} // namespace manta

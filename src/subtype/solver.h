@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The polymorphic subtyping inference core (Retypd/BinSub style).
+ *
+ * SubtypeInference is a drop-in alternative to the unification core
+ * (core/unify.h, FlowInsensitiveInference): same constructor shape,
+ * same `StageStats run(TypeEnv&)` contract, same committed artifact -
+ * per-variable BoundPair sketches in the TypeEnv - so the CS/FS
+ * refinement stages, lint checkers and icall clients consume its
+ * output unchanged. What differs is HOW evidence reaches a variable:
+ *
+ *  1. **Constraint generation** mirrors each Table-1 unification rule
+ *     as one or two DIRECTED edges. A copy/phi/call binding becomes
+ *     `src <: dst`; a load becomes `field <: addr.load <: result`; a
+ *     store becomes `value <: addr.store <: field`; compares and the
+ *     object-field mirror stay symmetric, exactly like the unifier.
+ *  2. **Simplification** eliminates callee-internal type variables:
+ *     per callgraph SCC (bottom-up waves, callees first) every
+ *     function gets a summary - subtype edges between its interface
+ *     variables (parameters, return, touched object fields) computed
+ *     by a reachability pass restricted to the SCC's own variables,
+ *     plus pre-folded evidence seeds attributing the eliminated
+ *     variables' atoms to the interface. This is the transducer
+ *     closure of Retypd in its simplest useful form.
+ *  3. **Polymorphism**: a cross-SCC call does NOT link actuals to the
+ *     callee's formals. It instantiates the callee summary at a fresh
+ *     call-site variable `c` - `arg_k <: c.in<k>`, `c.out <: result`,
+ *     summary edges and seeds mapped onto `c.in/c.out` - so two call
+ *     sites of the same callee never exchange evidence through the
+ *     callee body. Intra-SCC (recursive) calls stay monomorphic, as
+ *     do calls whose callee summary exceeds the size caps.
+ *  4. **Sketch extraction**: after saturation and the directional
+ *     evidence solve, every SSA value's and object field's interval
+ *     is lowered onto the TypeEnv via setBounds - no unification ever
+ *     happens, every class stays a singleton.
+ *
+ * Precision ordering: every generated edge connects variables the
+ * unifier places in one equivalence class, and every seed folds a
+ * subset of one class's hint atoms, so each solved interval NESTS
+ * inside the unifier's interval for the same variable (and a variable
+ * the unifier leaves Unknown stays Unknown here). The engine-agreement
+ * suite (tests/test_subtype.cc) and the engine_diff fuzz oracle assert
+ * exactly this invariant; the ablation-flip test shows the strict side
+ * of it on a polymorphic recursive-struct scenario.
+ *
+ * Known monomorphic residue (shared with the unifier by design):
+ * object fields are global variables, so evidence exchanged THROUGH
+ * MEMORY is never call-site-specialized, and values flowing through a
+ * shared constant (the compare rule) keep the unifier's behavior.
+ */
+#ifndef MANTA_SUBTYPE_SOLVER_H
+#define MANTA_SUBTYPE_SOLVER_H
+
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/pointsto.h"
+#include "analysis/scc.h"
+#include "core/hints.h"
+#include "core/unify.h"
+#include "subtype/constraint.h"
+
+namespace manta {
+namespace subtype {
+
+/** Engine counters exposed for benches, profiles and tests. */
+struct SubtypeStats
+{
+    std::size_t vars = 0;            ///< Subtype variables created.
+    std::size_t edges = 0;           ///< Subtype constraints generated.
+    std::size_t atoms = 0;           ///< Hint atoms attached.
+    std::size_t summaries = 0;       ///< Usable function summaries.
+    std::size_t instantiations = 0;  ///< Polymorphic call-site copies.
+    std::size_t monoFallbacks = 0;   ///< Cross-SCC calls bound directly.
+    std::size_t saturationAdded = 0; ///< Edges added by variance closure.
+};
+
+/** The flow-insensitive polymorphic subtyping stage. */
+class SubtypeInference
+{
+  public:
+    /** Callee summaries above these caps fall back to direct edges. */
+    static constexpr std::size_t kMaxSummaryFields = 48;
+    static constexpr std::size_t kMaxSummaryParams = 16;
+    /** Mirror of FlowInsensitiveInference::maxObjUnifySet. */
+    static constexpr std::size_t kMaxObjLinkSet = 4;
+
+    SubtypeInference(Module &module, const PointsTo &pts,
+                     const HintIndex &hints)
+        : module_(module), pts_(pts), hints_(hints)
+    {}
+
+    /**
+     * Generate, simplify, solve and lower sketches into `env`.
+     * Returns the classification counts over all SSA values.
+     */
+    StageStats run(TypeEnv &env);
+
+    /** Engine counters; populated by run(). */
+    const SubtypeStats &stats() const { return stats_; }
+
+  private:
+    /**
+     * One function's simplified interface: parameters, the return
+     * variable, then the SCC's touched field variables, with subtype
+     * edges between interface slots and the eliminated internal
+     * variables' evidence folded into per-slot seeds.
+     */
+    struct FnSummary
+    {
+        bool usable = false;
+        std::size_t numParams = 0;
+        std::vector<SubVarId> iface;
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+        /** Seeds for slots 0..numParams (params then return). */
+        std::vector<BoundPair> seedFwd;
+        std::vector<BoundPair> seedBwd;
+    };
+
+    SubVarId valueVar(ValueId v) const { return value_vars_[v.index()]; }
+    SubVarId fieldVar(ObjectId obj, std::int32_t offset);
+    SubVarId fieldVarOfLoc(const Loc &loc);
+    void syncOwner(std::uint32_t tag);
+    void applyAtoms();
+    void genMemoryRules(const SccGraph &sccs);
+    void genFunction(FuncId f, std::uint32_t scc, const SccGraph &sccs);
+    void objLink(ValueId a, ValueId b);
+    void registerStringLiterals();
+    void collapseUnknownOffsets();
+    FnSummary summarize(FuncId f, std::uint32_t scc, const SccGraph &sccs);
+    void commit(TypeEnv &env);
+
+    Module &module_;
+    const PointsTo &pts_;
+    const HintIndex &hints_;
+
+    std::unique_ptr<ConstraintSystem> cs_;
+    std::vector<SubVarId> value_vars_;            ///< Per ValueId.
+    std::vector<SubVarId> ret_vars_;              ///< Per FuncId.
+    std::vector<std::vector<ValueId>> ret_ops_;   ///< Per FuncId.
+    std::unordered_map<std::uint32_t, SubVarId> obj_vars_;
+    /** Per subtype variable: owning SCC, or kBoundaryOwner. */
+    std::vector<std::uint32_t> owner_;
+    /** Registered field variables in creation order (commit order). */
+    std::vector<std::pair<Loc, SubVarId>> field_list_;
+    /** Registered offsets per object (the unifier's fieldsOf mirror). */
+    std::map<ObjectId, std::set<std::int32_t>> field_offsets_;
+    /** Field variables each function's body touches. */
+    std::vector<std::vector<SubVarId>> func_fields_;
+    std::vector<FnSummary> summaries_;
+    /** Post-solve one-step bindings: solved src merges into dst. */
+    std::vector<std::pair<ValueId, ValueId>> enrich_;
+    SubtypeStats stats_;
+
+    // Scratch for the summary reachability passes.
+    std::vector<std::uint32_t> stamp_;
+    std::uint32_t epoch_ = 0;
+};
+
+} // namespace subtype
+} // namespace manta
+
+#endif // MANTA_SUBTYPE_SOLVER_H

@@ -1,0 +1,48 @@
+#include "support/env.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace manta {
+
+bool
+envFlagTruthy(const char *value)
+{
+    return value != nullptr && value[0] != '\0' &&
+           !(value[0] == '0' && value[1] == '\0');
+}
+
+long
+parseEnvLong(const char *name, const char *value, long fallback, long min)
+{
+    if (value == nullptr || value[0] == '\0')
+        return fallback;
+    char *end = nullptr;
+    const long parsed = std::strtol(value, &end, 10);
+    if (end != value && *end == '\0' && parsed >= min)
+        return parsed;
+    std::fprintf(stderr, "warning: ignoring invalid %s=%s\n", name, value);
+    return fallback;
+}
+
+std::size_t
+parseEnvChoice(const char *name, const char *value,
+               const char *const *choices, std::size_t num_choices,
+               std::size_t fallback)
+{
+    if (value == nullptr || value[0] == '\0')
+        return fallback;
+    for (std::size_t i = 0; i < num_choices; ++i) {
+        if (std::strcmp(value, choices[i]) == 0)
+            return i;
+    }
+    std::fprintf(stderr, "warning: ignoring invalid %s=%s (valid:", name,
+                 value);
+    for (std::size_t i = 0; i < num_choices; ++i)
+        std::fprintf(stderr, " %s", choices[i]);
+    std::fprintf(stderr, ")\n");
+    return fallback;
+}
+
+} // namespace manta

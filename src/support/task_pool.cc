@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "support/env.h"
 #include "support/error.h"
 
 namespace manta {
@@ -11,17 +12,10 @@ namespace manta {
 std::size_t
 defaultJobs()
 {
-    if (const char *env = std::getenv("MANTA_JOBS")) {
-        char *end = nullptr;
-        const long parsed = std::strtol(env, &end, 10);
-        if (end != env && *end == '\0' && parsed > 0)
-            return static_cast<std::size_t>(parsed);
-        if (env[0] != '\0')
-            std::fprintf(stderr,
-                         "warning: ignoring invalid MANTA_JOBS=%s\n", env);
-    }
     const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : hw;
+    const long fallback = hw == 0 ? 1 : static_cast<long>(hw);
+    return static_cast<std::size_t>(
+        parseEnvLong("MANTA_JOBS", std::getenv("MANTA_JOBS"), fallback));
 }
 
 TaskPool &

@@ -110,6 +110,26 @@ TEST(RetypdLike, TimesOutUnderBudget)
     EXPECT_FALSE(big_budget.types.empty());
 }
 
+TEST(RetypdLike, LiteAndRealEnginesOwnDistinctNames)
+{
+    // The budget-capped closure surrogate must present as
+    // "Retypd-lite" in every table; the real polymorphic subtyping
+    // engine (src/subtype/) owns the bare "Retypd" column.
+    GenConfig cfg;
+    cfg.seed = 31;
+    cfg.numFunctions = 6;
+    GeneratedProgram prog = generateProgram(cfg);
+    makeAcyclic(*prog.module);
+
+    const BaselineOutcome lite = runRetypdLike(*prog.module);
+    EXPECT_EQ(lite.name, "Retypd-lite");
+
+    const BaselineOutcome real = runRetypdReal(*prog.module);
+    EXPECT_EQ(real.name, "Retypd");
+    EXPECT_FALSE(real.timedOut);
+    EXPECT_FALSE(real.types.empty());
+}
+
 TEST(RetypdLike, WidensNumericsToRegisterClass)
 {
     Module m = parseModuleOrDie(R"(

@@ -103,7 +103,11 @@ done:
 
 TEST_F(CoreTest, UnionIsOverApproximatedByFI)
 {
-    analyze(kUnionProgram, HybridConfig::fiOnly());
+    // Pinned to the unification core: this documents ITS merge
+    // behavior (the subtype engine keeps the branches apart).
+    HybridConfig config = HybridConfig::fiOnly();
+    config.inferEngine = InferEngine::Unify;
+    analyze(kUnionProgram, config);
     // Flow-insensitive unification merges both branches' hints.
     EXPECT_EQ(result_->valueClass(val("i")), TypeClass::Over);
     EXPECT_EQ(result_->valueClass(val("s")), TypeClass::Over);
@@ -189,13 +193,22 @@ entry:
 
 TEST_F(CoreTest, PolymorphicMergedByFI)
 {
-    analyze(kPolyProgram, HybridConfig::fiOnly());
+    // Unifier-only behavior: the subtype engine already separates the
+    // two calling contexts at the FI stage (see test_subtype.cc's
+    // AblationFlip for the differential assertion).
+    HybridConfig config = HybridConfig::fiOnly();
+    config.inferEngine = InferEngine::Unify;
+    analyze(kPolyProgram, config);
     EXPECT_EQ(result_->valueClass(val("r2")), TypeClass::Over);
 }
 
 TEST_F(CoreTest, ContextRefinementSeparatesPolymorphicContexts)
 {
-    analyze(kPolyProgram, HybridConfig::full());
+    // Pinned to the unifier: csResolved > 0 requires the FI stage to
+    // leave r1/r2 over-approximated for CS refinement to resolve.
+    HybridConfig config = HybridConfig::full();
+    config.inferEngine = InferEngine::Unify;
+    analyze(kPolyProgram, config);
     TypeTable &tt = module_.types();
     // CFL-reachability rejects the cross-context hints: r2 is int64.
     const BoundPair r2 = result_->valueBounds(val("r2"));

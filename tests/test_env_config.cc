@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Table-driven coverage of every HybridConfig environment override.
+ *
+ * The process environment is global mutable state, so the knobs'
+ * default-readers cache their answer on first use and the pipeline
+ * tests pin configs explicitly. What CAN be tested exhaustively is the
+ * parsing layer those readers delegate to (support/env.h): one rule
+ * per knob shape, including the invalid-value fallback-with-warning
+ * contract:
+ *
+ *   MANTA_WP        envFlagTruthy   ScheduleMode::WholeProgram
+ *   MANTA_WALK_REF  envFlagTruthy   WalkEngine::Reference
+ *   MANTA_PTS_DENSE envFlagTruthy   PtsSolver::Dense
+ *   MANTA_JOBS      parseEnvLong    worker count (>= 1)
+ *   MANTA_INFER     parseEnvChoice  InferEngine::{Unify,Subtype}
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "analysis/pointsto.h"
+#include "core/ddg_walk.h"
+#include "core/pipeline.h"
+#include "support/env.h"
+
+namespace manta {
+namespace {
+
+// ---- Flag knobs: MANTA_WP, MANTA_WALK_REF, MANTA_PTS_DENSE --------
+
+TEST(EnvFlag, UnsetAndEmptyAndZeroAreOff)
+{
+    EXPECT_FALSE(envFlagTruthy(nullptr));
+    EXPECT_FALSE(envFlagTruthy(""));
+    EXPECT_FALSE(envFlagTruthy("0"));
+}
+
+TEST(EnvFlag, AnyOtherValueIsOn)
+{
+    // The documented contract for all three flag knobs: set, non-empty
+    // and not exactly "0" means on - including values a user might
+    // reach for instinctively.
+    for (const char *value :
+         {"1", "2", "true", "yes", "on", "TRUE", " 0", "00"}) {
+        EXPECT_TRUE(envFlagTruthy(value)) << "\"" << value << "\"";
+    }
+}
+
+// ---- MANTA_JOBS: positive decimal with warned fallback ------------
+
+TEST(EnvJobs, UnsetOrEmptyFallsBackSilently)
+{
+    EXPECT_EQ(parseEnvLong("MANTA_JOBS", nullptr, 8), 8);
+    EXPECT_EQ(parseEnvLong("MANTA_JOBS", "", 8), 8);
+}
+
+TEST(EnvJobs, ValidDecimalsParse)
+{
+    EXPECT_EQ(parseEnvLong("MANTA_JOBS", "1", 8), 1);
+    EXPECT_EQ(parseEnvLong("MANTA_JOBS", "64", 8), 64);
+}
+
+TEST(EnvJobs, InvalidValuesWarnAndFallBack)
+{
+    // Garbage, sub-minimum, negative and trailing-junk values must all
+    // yield the fallback (the warning goes to stderr; capture it to
+    // assert it names the variable).
+    struct Case
+    {
+        const char *value;
+    };
+    for (const Case &c : {Case{"zero"}, Case{"0"}, Case{"-4"}, Case{"3x"},
+                          Case{"1.5"}}) {
+        ::testing::internal::CaptureStderr();
+        EXPECT_EQ(parseEnvLong("MANTA_JOBS", c.value, 8), 8)
+            << "\"" << c.value << "\"";
+        const std::string warning =
+            ::testing::internal::GetCapturedStderr();
+        EXPECT_NE(warning.find("MANTA_JOBS"), std::string::npos)
+            << "\"" << c.value << "\" fell back without naming the knob";
+    }
+}
+
+TEST(EnvJobs, MinimumIsConfigurable)
+{
+    EXPECT_EQ(parseEnvLong("MANTA_X", "5", 9, 6), 9);
+    EXPECT_EQ(parseEnvLong("MANTA_X", "6", 9, 6), 6);
+}
+
+// ---- MANTA_INFER: enumerated engine choice ------------------------
+
+const char *const kEngines[] = {"unify", "subtype"};
+
+TEST(EnvInfer, BothEngineNamesResolve)
+{
+    EXPECT_EQ(parseEnvChoice("MANTA_INFER", "unify", kEngines, 2, 0), 0u);
+    EXPECT_EQ(parseEnvChoice("MANTA_INFER", "subtype", kEngines, 2, 0), 1u);
+}
+
+TEST(EnvInfer, UnsetOrEmptyFallsBackSilently)
+{
+    ::testing::internal::CaptureStderr();
+    EXPECT_EQ(parseEnvChoice("MANTA_INFER", nullptr, kEngines, 2, 0), 0u);
+    EXPECT_EQ(parseEnvChoice("MANTA_INFER", "", kEngines, 2, 0), 0u);
+    EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(EnvInfer, UnknownEngineWarnsAndFallsBack)
+{
+    for (const char *value : {"retypd", "SUBTYPE", "subtype ", "both"}) {
+        ::testing::internal::CaptureStderr();
+        EXPECT_EQ(parseEnvChoice("MANTA_INFER", value, kEngines, 2, 0), 0u)
+            << "\"" << value << "\"";
+        const std::string warning =
+            ::testing::internal::GetCapturedStderr();
+        EXPECT_NE(warning.find("MANTA_INFER"), std::string::npos);
+        // The warning must list the valid spellings so the fix is
+        // one read away.
+        EXPECT_NE(warning.find("subtype"), std::string::npos);
+    }
+}
+
+// ---- The live readers, end to end ---------------------------------
+
+TEST(EnvDefaults, LiveReadersAgreeWithTheInheritedEnvironment)
+{
+    // The cached default-readers must equal the documented rule applied
+    // to whatever environment this process inherited. Written against
+    // the inherited value (not a fixed expectation) so the same binary
+    // also validates the readers under the CI differential runs
+    // (MANTA_WP=1, MANTA_WALK_REF=1, MANTA_INFER=subtype).
+    EXPECT_EQ(defaultScheduleMode(),
+              envFlagTruthy(std::getenv("MANTA_WP"))
+                  ? ScheduleMode::WholeProgram
+                  : ScheduleMode::ModularBottomUp);
+    EXPECT_EQ(defaultWalkEngine(),
+              envFlagTruthy(std::getenv("MANTA_WALK_REF"))
+                  ? WalkEngine::Reference
+                  : WalkEngine::Fast);
+    EXPECT_EQ(PointsTo::defaultSolver(),
+              envFlagTruthy(std::getenv("MANTA_PTS_DENSE"))
+                  ? PtsSolver::Dense
+                  : PtsSolver::Sparse);
+    const char *infer = std::getenv("MANTA_INFER");
+    const bool subtype = infer && std::string(infer) == "subtype";
+    EXPECT_EQ(defaultInferEngine(),
+              subtype ? InferEngine::Subtype : InferEngine::Unify);
+    // And HybridConfig must pick the reader's answer up as its default.
+    EXPECT_EQ(HybridConfig::full().inferEngine, defaultInferEngine());
+}
+
+} // namespace
+} // namespace manta

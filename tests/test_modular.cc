@@ -15,6 +15,7 @@
 #include "analysis/scc.h"
 #include "core/modular.h"
 #include "core/pipeline.h"
+#include "core/refine_flow.h"
 #include "frontend/corpus.h"
 #include "mir/parser.h"
 
@@ -263,6 +264,73 @@ TEST_P(ModularIdentityTest, OverlaysMatchWholeProgram)
 // engine is bit-identity on every one of them.
 INSTANTIATE_TEST_SUITE_P(Corpus, ModularIdentityTest,
                          ::testing::Range(0, 14));
+
+// ---- Flat-index size gate -----------------------------------------
+
+TEST(FlatIndexGate, ThresholdIsPinnedAndSmallModulesAreIneligible)
+{
+    // The flattened hint/CFG indexes are a whole-module pass; below
+    // this instruction count their setup costs more than the flat hot
+    // loop saves, which is exactly the tiny-module regression the gate
+    // exists to prevent. Moving the threshold is a deliberate
+    // performance decision - re-measure bench/micro_refine before
+    // editing this pin.
+    EXPECT_EQ(FlowRefinement::kFlatIndexMinInsts, 500u);
+
+    Module small = parseModuleOrDie(R"(
+func @main() {
+entry:
+  %a = add 1:64, 2:64
+  ret %a
+}
+)");
+    ASSERT_LT(small.numInsts(), FlowRefinement::kFlatIndexMinInsts);
+    EXPECT_FALSE(FlowRefinement::flatIndexEligible(small));
+
+    // A standard-corpus project sits far above the gate.
+    GeneratedProgram prog = buildProject(standardCorpus()[0]);
+    ASSERT_GE(prog.module->numInsts(), FlowRefinement::kFlatIndexMinInsts);
+    EXPECT_TRUE(FlowRefinement::flatIndexEligible(*prog.module));
+}
+
+TEST(FlatIndexGate, TinyModuleModularRunStillMatchesWholeProgram)
+{
+    // Below the gate the modular batch walk answers through the
+    // interpreted path; its bounds must stay bit-identical to the
+    // whole-program schedule (the gate is performance-only).
+    Module m = parseModuleOrDie(R"(
+func @use(%p:64) {
+entry:
+  %v = load.64 %p
+  ret %v
+}
+func @main() {
+entry:
+  %slot = alloca 8
+  store %slot, 7:64
+  %r = call.64 @use(%slot)
+  ret %r
+}
+)");
+    ASSERT_FALSE(FlowRefinement::flatIndexEligible(m));
+    makeAcyclic(m);
+    MantaAnalyzer analyzer(m);
+
+    HybridConfig modular = HybridConfig::full();
+    modular.scheduleMode = ScheduleMode::ModularBottomUp;
+    HybridConfig wp = HybridConfig::full();
+    wp.scheduleMode = ScheduleMode::WholeProgram;
+
+    const InferenceResult a = analyzer.infer(modular);
+    const InferenceResult b = analyzer.infer(wp);
+    ASSERT_EQ(a.overlay().size(), b.overlay().size());
+    for (const auto &[v, bp] : a.overlay()) {
+        const auto it = b.overlay().find(v);
+        ASSERT_NE(it, b.overlay().end());
+        EXPECT_EQ(bp.upper, it->second.upper);
+        EXPECT_EQ(bp.lower, it->second.lower);
+    }
+}
 
 } // namespace
 } // namespace manta
