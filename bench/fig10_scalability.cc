@@ -38,6 +38,7 @@
 #include "support/csv.h"
 #include "support/table.h"
 #include "support/timer.h"
+#include "taint/taint.h"
 
 namespace manta {
 namespace {
@@ -56,6 +57,9 @@ struct SizePoint
     std::size_t sccCount = 0;
     std::size_t sccWaves = 0;
     WalkStats walk;  ///< CS+FS traversal counters, merged.
+    double taintSeconds = 0.0;    ///< Taint fixpoints over the result.
+    std::size_t taintFlows = 0;
+    std::size_t taintSuppressed = 0;
 };
 
 int
@@ -75,6 +79,8 @@ runFig10()
         cfg.numFunctions = sizes_cfg[i];
         cfg.realBugRate = 0.02;
         cfg.decoyRate = 0.03;
+        cfg.leakRate = 0.02;
+        cfg.leakDecoyRate = 0.02;
         GeneratedProgram prog = generateProgram(cfg);
         makeAcyclic(*prog.module);
 
@@ -85,7 +91,18 @@ runFig10()
         MantaAnalyzer analyzer(*prog.module, HybridConfig::full());
         point.substrateSeconds = substrate_timer.seconds();
 
-        const InferenceResult result = analyzer.infer();
+        InferenceResult result = analyzer.infer();
+
+        // Bill the taint fixpoint to the profile so the secondary
+        // table shows its cost alongside the traversal counters.
+        taint::TaintOptions taint_opts;
+        taint_opts.useTypes = true;
+        const taint::TaintResult taint_result =
+            taint::runTaint(analyzer, &result, taint_opts);
+        result.profile().taintSeconds += taint_result.stats.seconds;
+        result.profile().taintFlows += taint_result.stats.flows;
+        result.profile().taintSuppressed += taint_result.stats.suppressed;
+
         const InferenceProfile &profile = result.profile();
         point.numInsts = prog.module->numInsts();
         point.ptsSeconds = profile.ptsSeconds;
@@ -98,6 +115,9 @@ runFig10()
         point.sccWaves = profile.sccWaves;
         point.walk = profile.csWalk;
         point.walk.merge(profile.fsWalk);
+        point.taintSeconds = profile.taintSeconds;
+        point.taintFlows = profile.taintFlows;
+        point.taintSuppressed = profile.taintSuppressed;
         std::printf("  measured %d functions\n", sizes_cfg[i]);
         std::fflush(stdout);
         return point;
@@ -139,7 +159,8 @@ runFig10()
     walk_table.setHeader({"#funcs", "walk queries", "memo hits",
                           "summary hits", "truncated", "steps",
                           "peak ctx depth", "SCCs", "waves",
-                          "schedule (s)"});
+                          "schedule (s)", "taint flows",
+                          "taint suppressed", "taint (s)"});
     for (const SizePoint &point : points) {
         walk_table.addRow({std::to_string(point.numFunctions),
                            std::to_string(point.walk.queries),
@@ -150,7 +171,10 @@ runFig10()
                            std::to_string(point.walk.peakCtxDepth),
                            std::to_string(point.sccCount),
                            std::to_string(point.sccWaves),
-                           fmtDouble(point.summarySeconds, 4)});
+                           fmtDouble(point.summarySeconds, 4),
+                           std::to_string(point.taintFlows),
+                           std::to_string(point.taintSuppressed),
+                           fmtDouble(point.taintSeconds, 4)});
     }
     std::printf("\n%s", walk_table.render().c_str());
 

@@ -15,7 +15,8 @@
  *
  * Usage:
  *   lint_driver [--seed N] [--count N] [--jobs N] [--out FILE]
- *               [--sarif FILE] [--text FILE] [--no-types] [--stable]
+ *               [--sarif FILE] [--text FILE] [--no-types]
+ *               [--taint-no-type] [--stable]
  */
 #include <cinttypes>
 #include <cstdio>
@@ -73,6 +74,8 @@ main(int argc, char **argv)
             text_path = next();
         else if (std::strcmp(arg, "--no-types") == 0)
             opts.useTypes = false;
+        else if (std::strcmp(arg, "--taint-no-type") == 0)
+            opts.taintNoTypeOverride = 1;
         else if (std::strcmp(arg, "--stable") == 0)
             opts.stable = true;
         else {

@@ -7,8 +7,14 @@ keywords the vendored schema uses: type, required, properties, items,
 enum, minItems. Unknown keys in the instance are allowed, matching
 JSON Schema's default open-world behavior.
 
-Usage: scripts/validate_sarif.py <log.sarif> [schema.json]
+Usage: scripts/validate_sarif.py [--require-flow-steps] <log.sarif>
+       [schema.json]
 Exit status: 0 on success, 1 with one error line per violation.
+
+--require-flow-steps additionally asserts that at least one taint
+family result (addr-leak / taint-deref / format-string) carries its
+witness path as relatedLocations — a "flow source (...)" message on
+the first step — so CI notices if the flow serialization regresses.
 """
 
 import json
@@ -59,22 +65,51 @@ def validate(instance, schema, path, errors):
                 validate(item, item_schema, f"{path}[{i}]", errors)
 
 
+TAINT_FAMILY = ("addr-leak", "taint-deref", "format-string")
+
+
+def check_flow_steps(instance, errors):
+    """Require one taint-family result with a witness path."""
+    witnessed = 0
+    for run in instance.get("runs", []):
+        for result in run.get("results", []):
+            if result.get("ruleId") not in TAINT_FAMILY:
+                continue
+            related = result.get("relatedLocations", [])
+            texts = [loc.get("message", {}).get("text", "")
+                     for loc in related]
+            if texts and texts[0].startswith("flow source ("):
+                witnessed += 1
+    if witnessed == 0:
+        errors.append("no taint-family result carries flow steps "
+                      "(--require-flow-steps)")
+    else:
+        print(f"validate_sarif: {witnessed} taint-family result(s) "
+              "with flow steps")
+
+
 def main(argv):
-    if len(argv) not in (2, 3):
+    args = list(argv[1:])
+    require_flow = "--require-flow-steps" in args
+    if require_flow:
+        args.remove("--require-flow-steps")
+    if len(args) not in (1, 2):
         print(__doc__.strip(), file=sys.stderr)
         return 2
     default_schema = os.path.join(
         os.path.dirname(os.path.dirname(os.path.abspath(argv[0]))),
         "data", "sarif-2.1.0-subset.schema.json")
-    schema_path = argv[2] if len(argv) == 3 else default_schema
+    schema_path = args[1] if len(args) == 2 else default_schema
 
-    with open(argv[1], encoding="utf-8") as f:
+    with open(args[0], encoding="utf-8") as f:
         instance = json.load(f)
     with open(schema_path, encoding="utf-8") as f:
         schema = json.load(f)
 
     errors = []
     validate(instance, schema, "$", errors)
+    if not errors and require_flow:
+        check_flow_steps(instance, errors)
     for err in errors:
         print(f"validate_sarif: {err}", file=sys.stderr)
     if not errors:

@@ -213,6 +213,16 @@ struct InferenceProfile
      * these after the join.
      */
     double lintSeconds = 0.0;
+
+    /// @name Taint engine counters (zero when taint never ran).
+    /// @{
+    /** Wall clock of src/taint fixpoints billed to this result. */
+    double taintSeconds = 0.0;
+    /** Reported source-to-sink flows. */
+    std::size_t taintFlows = 0;
+    /** Flows the type endpoint gate suppressed. */
+    std::size_t taintSuppressed = 0;
+    /// @}
 };
 
 /** The per-variable/per-site outcome of a pipeline run. */

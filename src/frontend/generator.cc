@@ -856,9 +856,139 @@ class ProgramGenerator
         seed(tag, CheckerKind::CMI, false);
     }
 
+    // -- seeded taint flows (the taint checker family's corpus) --------
+
+    void
+    seedTaint(std::uint32_t tag, TaintChecker checker, bool real)
+    {
+        program_.truth.taintSeeds.push_back(TaintSeed{tag, checker, real});
+    }
+
+    void
+    emitLeakReal(Scope &s)
+    {
+        // A stack address escapes to an output sink. The pointer is
+        // also stored through, so the print hint alone cannot commit
+        // its interval to numeric (a committed-numeric endpoint would
+        // gate the real flow away).
+        FunctionBuilder &fb = *s.fb;
+        const ValueId buf = fb.alloca_(32);
+        fb.store(buf, mb_->constInt(5, 64));
+        program_.truth.valueTypes[buf] = tPInt64_;
+        fb.callExternal(se().printIntFn, {buf}, 32);
+        const std::uint32_t tag = nextTag();
+        tagLast(fb, tag);
+        seedTaint(tag, TaintChecker::AddrLeak, true);
+    }
+
+    void
+    emitLeakDecoy(Scope &s)
+    {
+        // The printed value derives from a stack address but is a
+        // length by then: strlen's signature commits it to numeric
+        // under both engines, so the type gate suppresses the flow.
+        // With MANTA_TAINT_NOTYPE=1 the StackAddr fact sails through
+        // strlen and this becomes a false positive.
+        FunctionBuilder &fb = *s.fb;
+        const ValueId buf = fb.alloca_(32);
+        fb.store(buf, mb_->constInt(0, 64));
+        const ValueId len = fb.callExternal(se().strlenFn, {buf}, 64);
+        program_.truth.valueTypes[len] = tInt64_;
+        fb.callExternal(se().printIntFn, {len}, 32);
+        const std::uint32_t tag = nextTag();
+        tagLast(fb, tag);
+        seedTaint(tag, TaintChecker::AddrLeak, false);
+    }
+
+    void
+    emitDerefReal(Scope &s)
+    {
+        // Attacker-controlled pointer dereferenced after a spill hop.
+        FunctionBuilder &fb = *s.fb;
+        const ValueId t = taintedString(s);
+        const ValueId slot = fb.alloca_(8);
+        fb.store(slot, t);
+        const ValueId reloaded = fb.load(slot, 64);
+        program_.truth.valueTypes[reloaded] = tStr_;
+        fb.load(reloaded, 8);
+        const std::uint32_t tag = nextTag();
+        tagLast(fb, tag);
+        seedTaint(tag, TaintChecker::TaintDeref, true);
+    }
+
+    void
+    emitDerefDecoy(Scope &s)
+    {
+        // The dereferenced address only depends on the input through a
+        // strlen-derived (numeric-committed) index into a global
+        // table: the barrier stops Input there under either engine.
+        FunctionBuilder &fb = *s.fb;
+        const ValueId t = taintedString(s);
+        const ValueId len = fb.callExternal(se().strlenFn, {t}, 64);
+        program_.truth.valueTypes[len] = tInt64_;
+        const ValueId idx = fb.mul(len, mb_->constInt(8, 64));
+        program_.truth.valueTypes[idx] = tInt64_;
+        const ValueId table = mb_->addGlobal(
+            "leaktable" + std::to_string(nextTag()), 64);
+        const ValueId p = fb.add(table, idx);
+        program_.truth.valueTypes[p] = tStr_;
+        fb.load(p, 8);
+        const std::uint32_t tag = nextTag();
+        tagLast(fb, tag);
+        seedTaint(tag, TaintChecker::TaintDeref, false);
+    }
+
+    void
+    emitFmtReal(Scope &s)
+    {
+        // Attacker-controlled format operand.
+        FunctionBuilder &fb = *s.fb;
+        const ValueId t = taintedString(s);
+        fb.callExternal(se().printStrFn, {t}, 32);
+        const std::uint32_t tag = nextTag();
+        tagLast(fb, tag);
+        seedTaint(tag, TaintChecker::FormatString, true);
+    }
+
+    void
+    emitFmtDecoy(Scope &s)
+    {
+        // The format operand is a literal plus a strlen-derived
+        // (numeric-committed) offset: tainted only without types.
+        FunctionBuilder &fb = *s.fb;
+        const ValueId t = taintedString(s);
+        const ValueId len = fb.callExternal(se().strlenFn, {t}, 64);
+        program_.truth.valueTypes[len] = tInt64_;
+        const ValueId off =
+            fb.binop(Opcode::And, len, mb_->constInt(7, 64));
+        program_.truth.valueTypes[off] = tInt64_;
+        const ValueId lit = mb_->addStringLiteral(
+            "fmt" + std::to_string(nextTag()), "status: %d\n");
+        const ValueId p = fb.add(lit, off);
+        program_.truth.valueTypes[p] = tStr_;
+        fb.callExternal(se().printStrFn, {p}, 32);
+        const std::uint32_t tag = nextTag();
+        tagLast(fb, tag);
+        seedTaint(tag, TaintChecker::FormatString, false);
+    }
+
     void
     emitBugOrDecoy(Scope &s)
     {
+        if (cfg_.leakRate > 0 && rng_.chance(cfg_.leakRate)) {
+            switch (rng_.below(3)) {
+              case 0: emitLeakReal(s); break;
+              case 1: emitDerefReal(s); break;
+              default: emitFmtReal(s); break;
+            }
+        }
+        if (cfg_.leakDecoyRate > 0 && rng_.chance(cfg_.leakDecoyRate)) {
+            switch (rng_.below(3)) {
+              case 0: emitLeakDecoy(s); break;
+              case 1: emitDerefDecoy(s); break;
+              default: emitFmtDecoy(s); break;
+            }
+        }
         if (rng_.chance(cfg_.realBugRate)) {
             switch (rng_.below(4)) {
               case 0: emitCmiReal(s); break;
@@ -1242,6 +1372,182 @@ generatePolyScenarios()
         truth.emplace(n, tInt);
         truth.emplace(doubled, tInt);
         truth.emplace(through, tInt);
+    }
+
+    return out;
+}
+
+GeneratedProgram
+generateLeakScenarios()
+{
+    GeneratedProgram out;
+    out.module = std::make_unique<Module>();
+    Module &m = *out.module;
+    out.externals = StandardExternals::install(m);
+    ModuleBuilder mb(m);
+    TypeTable &tt = m.types();
+
+    const TypeRef tInt = tt.intTy(64);
+    const TypeRef tStr = tt.ptr(tt.intTy(8));
+    const TypeRef tPInt = tt.ptr(tt.intTy(64));
+    auto &truth = out.truth.valueTypes;
+    std::uint32_t tag = 0;
+
+    const auto seed_taint = [&](FunctionBuilder &fb, TaintChecker checker,
+                                bool real) {
+        m.inst(fb.lastInst()).srcTag = ++tag;
+        out.truth.taintSeeds.push_back(TaintSeed{tag, checker, real});
+    };
+
+    // @leak_direct: a stack address printed outright. The pointer is
+    // stored through, so the print hint cannot commit it to numeric.
+    FunctionBuilder ld = mb.function("leak_direct", {});
+    {
+        const ValueId buf = ld.alloca_(32);
+        ld.store(buf, mb.constInt(5));
+        truth.emplace(buf, tPInt);
+        ld.callExternal(out.externals.printIntFn, {buf}, 32);
+        seed_taint(ld, TaintChecker::AddrLeak, true);
+        ld.ret();
+    }
+
+    // @pass: identity helper; the interprocedural leak flows through
+    // its param-to-ret taint summary.
+    FunctionBuilder pass = mb.function("pass", {64});
+    pass.ret(pass.param(0));
+
+    // @leak_chain: the stack address crosses a call boundary first.
+    FunctionBuilder lc = mb.function("leak_chain", {});
+    {
+        const ValueId buf = lc.alloca_(32);
+        lc.store(buf, mb.constInt(7));
+        truth.emplace(buf, tPInt);
+        const ValueId through = lc.call(pass.funcId(), {buf}, 64);
+        truth.emplace(through, tPInt);
+        lc.callExternal(out.externals.printIntFn, {through}, 32);
+        seed_taint(lc, TaintChecker::AddrLeak, true);
+        lc.ret();
+    }
+
+    // @leak_decoy: only the buffer's length is printed. strlen's
+    // signature commits the printed value to numeric under both
+    // engines, so the type gate must suppress this flow; with
+    // MANTA_TAINT_NOTYPE=1 it surfaces as a false positive.
+    FunctionBuilder lk = mb.function("leak_decoy", {});
+    {
+        const ValueId buf = lk.alloca_(32);
+        lk.store(buf, mb.constInt(0));
+        const ValueId len =
+            lk.callExternal(out.externals.strlenFn, {buf}, 64);
+        truth.emplace(len, tInt);
+        lk.callExternal(out.externals.printIntFn, {len}, 32);
+        seed_taint(lk, TaintChecker::AddrLeak, false);
+        lk.ret();
+    }
+
+    // @deref_input: attacker-controlled pointer dereferenced after a
+    // spill hop.
+    FunctionBuilder di = mb.function("deref_input", {});
+    {
+        const ValueId key = mb.addStringLiteral("k_deref", "lan_ip");
+        const ValueId t =
+            di.callExternal(out.externals.nvramGetFn, {key}, 64);
+        truth.emplace(t, tStr);
+        const ValueId slot = di.alloca_(8);
+        di.store(slot, t);
+        const ValueId reloaded = di.load(slot, 64);
+        truth.emplace(reloaded, tStr);
+        di.load(reloaded, 8);
+        seed_taint(di, TaintChecker::TaintDeref, true);
+        di.ret();
+    }
+
+    // @deref_decoy: the address depends on input only through a
+    // strlen-derived index; the numeric barrier stops Input there.
+    FunctionBuilder dd = mb.function("deref_decoy", {});
+    {
+        const ValueId key = mb.addStringLiteral("k_deref2", "wan_ip");
+        const ValueId t =
+            dd.callExternal(out.externals.nvramGetFn, {key}, 64);
+        truth.emplace(t, tStr);
+        const ValueId len =
+            dd.callExternal(out.externals.strlenFn, {t}, 64);
+        truth.emplace(len, tInt);
+        const ValueId idx = dd.mul(len, mb.constInt(8));
+        truth.emplace(idx, tInt);
+        const ValueId table = mb.addGlobal("routes", 64);
+        const ValueId p = dd.add(table, idx);
+        truth.emplace(p, tStr);
+        dd.load(p, 8);
+        seed_taint(dd, TaintChecker::TaintDeref, false);
+        dd.ret();
+    }
+
+    // @fmt_input: attacker-controlled format operand.
+    FunctionBuilder fi = mb.function("fmt_input", {});
+    {
+        const ValueId key = mb.addStringLiteral("k_fmt", "banner");
+        const ValueId t =
+            fi.callExternal(out.externals.nvramGetFn, {key}, 64);
+        truth.emplace(t, tStr);
+        fi.callExternal(out.externals.printStrFn, {t}, 32);
+        seed_taint(fi, TaintChecker::FormatString, true);
+        fi.ret();
+    }
+
+    // @fmt_decoy: a literal plus a strlen-derived offset; tainted only
+    // without types.
+    FunctionBuilder fd = mb.function("fmt_decoy", {});
+    {
+        const ValueId key = mb.addStringLiteral("k_fmt2", "motd");
+        const ValueId t =
+            fd.callExternal(out.externals.nvramGetFn, {key}, 64);
+        truth.emplace(t, tStr);
+        const ValueId len =
+            fd.callExternal(out.externals.strlenFn, {t}, 64);
+        truth.emplace(len, tInt);
+        const ValueId off = fd.binop(Opcode::And, len, mb.constInt(7));
+        truth.emplace(off, tInt);
+        const ValueId lit = mb.addStringLiteral("fmt_lit", "status: %d\n");
+        const ValueId p = fd.add(lit, off);
+        truth.emplace(p, tStr);
+        fd.callExternal(out.externals.printStrFn, {p}, 32);
+        seed_taint(fd, TaintChecker::FormatString, false);
+        fd.ret();
+    }
+
+    // @sanitized: atoi kills the Input fact regardless of types or the
+    // NOTYPE ablation -- this function must never report a flow (with
+    // sanitizers enabled).
+    FunctionBuilder sa = mb.function("sanitized", {});
+    {
+        const ValueId key = mb.addStringLiteral("k_san", "port");
+        const ValueId t =
+            sa.callExternal(out.externals.nvramGetFn, {key}, 64);
+        truth.emplace(t, tStr);
+        const ValueId n32 = sa.callExternal(out.externals.atoiFn, {t}, 32);
+        truth.emplace(n32, tt.intTy(32));
+        const ValueId n = sa.cast(Opcode::ZExt, n32, 64);
+        truth.emplace(n, tInt);
+        const ValueId table = mb.addGlobal("ports", 64);
+        const ValueId p = sa.add(table, sa.mul(n, mb.constInt(8)));
+        truth.emplace(p, tStr);
+        sa.load(p, 8);
+        sa.ret();
+    }
+
+    // @uninit_leak: an uninitialized stack read escapes to a print
+    // sink. The value is also dereferenced so the print hint alone
+    // cannot commit it to numeric.
+    FunctionBuilder ul = mb.function("uninit_leak", {});
+    {
+        const ValueId slot = ul.alloca_(8);
+        const ValueId v = ul.load(slot, 64);
+        truth.emplace(v, tPInt);
+        ul.load(v, 64);
+        ul.callExternal(out.externals.printIntFn, {v}, 32);
+        seed_taint(ul, TaintChecker::AddrLeak, true);
+        ul.ret();
     }
 
     return out;

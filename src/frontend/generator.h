@@ -57,6 +57,12 @@ struct GenConfig
     double benignCopyRate = 0.0;    ///< Safe strcpy of literals (FP bait
                                     ///  for pattern-based tools).
     double benignSystemRate = 0.0;  ///< system() over untainted buffers.
+
+    double leakRate = 0.0;          ///< Seeded taint-family true flows
+                                    ///  (addr-leak / taint-deref /
+                                    ///  format-string).
+    double leakDecoyRate = 0.0;     ///< Numeric look-alikes the taint
+                                    ///  engine's type gate suppresses.
 };
 
 /** A generated program plus its ground truth. */
@@ -82,6 +88,18 @@ GeneratedProgram generateProgram(const GenConfig &config);
  * (no RNG). Consumed by the engine-differential tests and benches.
  */
 GeneratedProgram generatePolyScenarios();
+
+/**
+ * Fixed taint scenario pack: one function per seeded flow shape of the
+ * taint checker family -- direct and interprocedural address leaks, an
+ * uninitialized-stack leak, a tainted dereference, a tainted format
+ * string, their numeric decoys (strlen-derived values the type gate
+ * must suppress), and an atoi-sanitized flow that must vanish under
+ * every configuration. Ground truth lands in GroundTruth::taintSeeds.
+ * Deterministic (no RNG). Consumed by the taint engine tests, the
+ * SARIF determinism tests and the taint_stable fuzz reproducer.
+ */
+GeneratedProgram generateLeakScenarios();
 
 } // namespace manta
 

@@ -27,6 +27,26 @@ struct BugSeed
     bool real = true;            ///< false = benign decoy (an FP if reported).
 };
 
+/**
+ * Taint-family checker a seeded flow belongs to. Kept separate from
+ * CheckerKind: the taint family reports flows, not single-site bugs,
+ * and the two taxonomies are scored by different harnesses.
+ */
+enum class TaintChecker
+{
+    AddrLeak,
+    TaintDeref,
+    FormatString,
+};
+
+/** One seeded taint flow (or numeric decoy) in generated code. */
+struct TaintSeed
+{
+    std::uint32_t tag = 0;  ///< Matches Instruction::srcTag at the sink.
+    TaintChecker checker = TaintChecker::AddrLeak;
+    bool real = true;       ///< false = decoy the type gate must kill.
+};
+
 /** Everything the generator knows that a binary would not reveal. */
 struct GroundTruth
 {
@@ -42,6 +62,9 @@ struct GroundTruth
 
     /** Injected bug sites and decoys. */
     std::vector<BugSeed> seeds;
+
+    /** Seeded taint-family flows and their numeric decoys. */
+    std::vector<TaintSeed> taintSeeds;
 
     /**
      * Origin tags of stack slots the generator deliberately recycled

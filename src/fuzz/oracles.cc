@@ -14,6 +14,7 @@
 #include "mir/printer.h"
 #include "mir/verifier.h"
 #include "serve/session.h"
+#include "taint/taint.h"
 
 namespace manta {
 namespace fuzz {
@@ -33,6 +34,7 @@ oracleName(OracleId id)
     case OracleId::SnapshotRoundTrip: return "snapshot_roundtrip";
     case OracleId::SummaryDiff: return "summary_diff";
     case OracleId::EngineDiff: return "engine_diff";
+    case OracleId::TaintStable: return "taint_stable";
     }
     return "?";
 }
@@ -707,6 +709,80 @@ checkEngineDiff(Module &m, MantaAnalyzer &an, const GroundTruth *truth,
     }
 }
 
+/** Pinned options: oracle 12 must not wobble with MANTA_TAINT*. */
+taint::TaintOptions
+pinnedTaintOptions()
+{
+    taint::TaintOptions opts;
+    opts.useTypes = true;
+    opts.sanitizers = true;
+    opts.maxFactsPerValue = 256;
+    opts.mode = ScheduleMode::ModularBottomUp;
+    return opts;
+}
+
+/**
+ * Oracle 12, roundtrip half: the taint artifact is invariant under a
+ * print/parse roundtrip. Runs on the PRE-acyclic module (like
+ * lint_stable) — the acyclic transform's @__recursion_stub callees
+ * are not printable MIR, so the printed text of a post-acyclic module
+ * would not reparse on recursive cases. One print/parse normalizes
+ * value numbering, so the artifact of the first reparse must equal
+ * the second's.
+ */
+void
+checkTaintRoundtrip(const Module &m, Battery &b)
+{
+    b.ran(OracleId::TaintStable);
+
+    const auto taintRender = [](Module &mod) {
+        makeAcyclic(mod);
+        MantaAnalyzer an2(mod, HybridConfig::full());
+        const InferenceResult full2 = an2.infer();
+        return taint::runTaint(an2, &full2, pinnedTaintOptions())
+            .canonicalText(mod);
+    };
+    const std::string t1 = printModule(m);
+    Module m2;
+    std::string err;
+    if (!parseModule(t1, m2, err)) {
+        b.fail(OracleId::TaintStable, "reparse failed: " + err);
+        return;
+    }
+    const std::string t2 = printModule(m2);
+    Module m3;
+    if (!parseModule(t2, m3, err)) {
+        b.fail(OracleId::TaintStable, "second reparse failed: " + err);
+        return;
+    }
+    if (taintRender(m2) != taintRender(m3)) {
+        b.fail(OracleId::TaintStable,
+               "taint artifact changed across a print/parse roundtrip");
+    }
+}
+
+/**
+ * Oracle 12, schedule half: the taint engine's canonical artifact is
+ * bit-identical between the ModularBottomUp and WholeProgram
+ * schedules on the analyzed (post-acyclic) module.
+ */
+void
+checkTaintStable(Module &m, MantaAnalyzer &an, const InferenceResult &full,
+                 Battery &b)
+{
+    taint::TaintOptions opts = pinnedTaintOptions();
+    const taint::TaintResult modular = taint::runTaint(an, &full, opts);
+    opts.mode = ScheduleMode::WholeProgram;
+    const taint::TaintResult wp = taint::runTaint(an, &full, opts);
+    const std::string canon = modular.canonicalText(m);
+    if (canon != wp.canonicalText(m)) {
+        b.fail(OracleId::TaintStable,
+               "modular and whole-program taint artifacts differ (" +
+                   std::to_string(canon.size()) + " vs " +
+                   std::to_string(wp.canonicalText(m).size()) + " bytes)");
+    }
+}
+
 } // namespace
 
 CaseResult
@@ -731,6 +807,7 @@ runCase(const FuzzCase &c)
 
     checkRoundTrip(m, b);
     checkLintStable(m, b);
+    checkTaintRoundtrip(m, b);
     checkSnapshotRoundTrip(m, b);
 
     InterpResult run;
@@ -762,6 +839,7 @@ runCase(const FuzzCase &c)
     checkSummaryDiff(m, an, b);
     checkEngineDiff(m, an, prog.hasTruth ? &prog.truth : nullptr, c.strict,
                     b);
+    checkTaintStable(m, an, full, b);
 
     if (prog.hasTruth)
         checkGroundTruth(m, prog.truth, full, c.strict, b);
@@ -794,6 +872,7 @@ runTextOracles(const std::string &text)
 
     checkRoundTrip(m, b);
     checkLintStable(m, b);
+    checkTaintRoundtrip(m, b);
     checkSnapshotRoundTrip(m, b);
 
     makeAcyclic(m);
@@ -814,6 +893,7 @@ runTextOracles(const std::string &text)
     checkWalkDiff(m, an, b);
     checkSummaryDiff(m, an, b);
     checkEngineDiff(m, an, nullptr, false, b);
+    checkTaintStable(m, an, full, b);
     return r;
 }
 
@@ -845,6 +925,13 @@ textFailsOracle(const std::string &text, OracleId which)
     if (which == OracleId::SnapshotRoundTrip) {
         checkSnapshotRoundTrip(m, b);
         return b.failed(which);
+    }
+    if (which == OracleId::TaintStable) {
+        // Roundtrip half runs pre-acyclic; fall through to the
+        // post-acyclic schedule half below if it holds.
+        checkTaintRoundtrip(m, b);
+        if (b.failed(which))
+            return true;
     }
 
     InterpResult run;
@@ -881,6 +968,10 @@ textFailsOracle(const std::string &text, OracleId which)
     }
     if (which == OracleId::EngineDiff) {
         checkEngineDiff(m, an, nullptr, false, b);
+        return b.failed(which);
+    }
+    if (which == OracleId::TaintStable) {
+        checkTaintStable(m, an, full, b);
         return b.failed(which);
     }
     // Interp: the truth-free static half (typed derefs + icall

@@ -3,7 +3,7 @@
  * The metamorphic oracle battery of the differential fuzzing harness.
  *
  * Every sampled case is pushed through the whole pipeline and checked
- * against ten properties that must hold for ANY generated program:
+ * against twelve properties that must hold for ANY generated program:
  *
  *  1. verifier    - the generator and the synthesizer only produce
  *                   well-formed MIR, before and after acyclic
@@ -56,11 +56,18 @@
  *                   more precise but never invents evidence. On strict
  *                   cases the subtype full pipeline must additionally
  *                   never contradict the erased ground truth.
+ * 12. taint_stable- the interprocedural taint engine's canonical
+ *                   artifact (flows, per-function summaries,
+ *                   fixpoint counters) is bit-identical between the
+ *                   ModularBottomUp and WholeProgram schedules and
+ *                   invariant under a print/parse roundtrip. Together
+ *                   with the sequentiality of the WholeProgram path
+ *                   this pins the verdicts across MANTA_JOBS too.
  *
- * Truth-free oracles (1, 2, 3, 5, 7, 8, 9, 10, 11, and the truth-free
- * parts of 6) can also run over parsed module text, which is what the
- * delta-debugging shrinker and the promoted-reproducer regression
- * tests use.
+ * Truth-free oracles (1, 2, 3, 5, 7, 8, 9, 10, 11, 12, and the
+ * truth-free parts of 6) can also run over parsed module text, which
+ * is what the delta-debugging shrinker and the promoted-reproducer
+ * regression tests use.
  */
 #ifndef MANTA_FUZZ_ORACLES_H
 #define MANTA_FUZZ_ORACLES_H
@@ -75,7 +82,7 @@
 namespace manta {
 namespace fuzz {
 
-/** The eleven oracles, in the order reported by BENCH_fuzz.json. */
+/** The twelve oracles, in the order reported by BENCH_fuzz.json. */
 enum class OracleId : std::uint8_t {
     Verifier = 0,
     RoundTrip,
@@ -88,9 +95,10 @@ enum class OracleId : std::uint8_t {
     SnapshotRoundTrip,
     SummaryDiff,
     EngineDiff,
+    TaintStable,
 };
 
-constexpr std::size_t kNumOracles = 11;
+constexpr std::size_t kNumOracles = 12;
 
 /** Stable snake_case oracle name (JSON keys, reproducer headers). */
 const char *oracleName(OracleId id);

@@ -39,6 +39,8 @@ campaignCorpus(const LintCampaignOptions &options)
         profile.config.benignCopyRate = 0.03;
         profile.config.benignSystemRate = 0.03;
         profile.config.recycleRate = 0.15;
+        profile.config.leakRate = 0.05;
+        profile.config.leakDecoyRate = 0.05;
         profiles.push_back(std::move(profile));
     }
     return profiles;
@@ -77,6 +79,7 @@ runLintCampaign(const LintCampaignOptions &options)
 
     LintOptions lint_opts;
     lint_opts.maxVisited = options.maxVisited;
+    lint_opts.taintNoTypeOverride = options.taintNoTypeOverride;
 
     std::vector<ProjectOutcome> outcomes = harness.mapProjects(
         profiles, [&](PreparedProject &project, std::size_t) {
@@ -93,8 +96,13 @@ runLintCampaign(const LintCampaignOptions &options)
             outcome.rules = std::move(tool.rules);
 
             InferenceResult oracle = oracleInference(project);
+            // The reference stays type-gated even under the
+            // MANTA_TAINT_NOTYPE ablation: the ablation's extra taint
+            // flows must score as precision loss, not move the bar.
+            LintOptions ref_opts = lint_opts;
+            ref_opts.taintNoTypeOverride = 0;
             LintResult reference = runLint(*project.analyzer, &oracle,
-                                           &project.truth(), lint_opts);
+                                           &project.truth(), ref_opts);
             outcome.refDiags = std::move(reference.diagnostics);
             return outcome;
         });

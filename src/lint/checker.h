@@ -67,8 +67,9 @@ class CheckerRegistry
 };
 
 /**
- * Register the ten built-in checkers (five paper adapters + five
- * type-assisted additions). Safe to call more than once.
+ * Register the thirteen built-in checkers (five paper adapters + five
+ * type-assisted additions + the three-checker taint family). Safe to
+ * call more than once.
  */
 void registerBuiltinCheckers();
 
@@ -84,6 +85,9 @@ std::unique_ptr<Checker> makeSignConfusionChecker();
 std::unique_ptr<Checker> makeUninitStackChecker();
 std::unique_ptr<Checker> makeDoubleFreeChecker();
 std::unique_ptr<Checker> makeIcallMismatchChecker();
+std::unique_ptr<Checker> makeAddrLeakChecker();
+std::unique_ptr<Checker> makeTaintDerefChecker();
+std::unique_ptr<Checker> makeFormatStringChecker();
 /// @}
 
 } // namespace lint

@@ -56,6 +56,29 @@ LintContext::paperDetector() const
     return *detector_;
 }
 
+const taint::TaintResult &
+LintContext::taint() const
+{
+    if (!taint_) {
+        taint::TaintOptions opts = taint::TaintOptions::fromEnv();
+        opts.useTypes = options_.useTypes && !options_.taintNoType &&
+                        inference_ != nullptr;
+        taint_ = std::make_unique<taint::TaintResult>(
+            taint::runTaint(analyzer_, inference_, opts));
+        if (inference_ != nullptr) {
+            // Same const_cast billing convention as runLint's
+            // lintSeconds: the profile is the one mutable corner of an
+            // otherwise read-only result.
+            InferenceProfile &profile =
+                const_cast<InferenceResult *>(inference_)->profile();
+            profile.taintSeconds += taint_->stats.seconds;
+            profile.taintFlows += taint_->stats.flows;
+            profile.taintSuppressed += taint_->stats.suppressed;
+        }
+    }
+    return *taint_;
+}
+
 DataSlicer::Options
 LintContext::sliceOptions(bool with_barrier) const
 {

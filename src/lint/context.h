@@ -23,6 +23,7 @@
 #include "clients/checkers.h"
 #include "frontend/groundtruth.h"
 #include "lint/diagnostic.h"
+#include "taint/taint.h"
 
 namespace manta {
 namespace lint {
@@ -34,6 +35,14 @@ struct ContextOptions
     bool useTypes = true;
     /** Slice budget per source (DataSlicer::Options::maxVisited). */
     std::size_t maxVisited = 100000;
+    /**
+     * Ablation flip for the taint family (MANTA_TAINT_NOTYPE=1): the
+     * taint engine still propagates, but runs without the numeric
+     * barrier and endpoint gate, so addr-leak / taint-deref /
+     * format-string lose their type-based FP suppression while every
+     * other checker keeps useTypes.
+     */
+    bool taintNoType = taint::defaultTaintNoType();
 };
 
 /** The read-only world a checker inspects. */
@@ -84,6 +93,15 @@ class LintContext
      * it, which is what keeps Table 5 output bit-identical.
      */
     const BugDetector &paperDetector() const;
+    /**
+     * The interprocedural taint fixpoint over this context's analyzer
+     * (lazy; shared by the addr-leak / taint-deref / format-string
+     * checkers). Runs with the endpoint gate + barrier unless
+     * useTypes is off or options().taintNoType flips the ablation.
+     * The run's wall clock and flow counters are credited to the
+     * inference profile (taintSeconds / taintFlows / taintSuppressed).
+     */
+    const taint::TaintResult &taint() const;
     /// @}
 
     /// @name Checker helpers.
@@ -132,6 +150,7 @@ class LintContext
     mutable std::unordered_map<std::uint32_t, std::unique_ptr<Dominators>>
         doms_;
     mutable std::unique_ptr<BugDetector> detector_;
+    mutable std::unique_ptr<taint::TaintResult> taint_;
 };
 
 } // namespace lint

@@ -58,6 +58,9 @@ registerBuiltinCheckers()
     registry.add(&makeUninitStackChecker);
     registry.add(&makeDoubleFreeChecker);
     registry.add(&makeIcallMismatchChecker);
+    registry.add(&makeAddrLeakChecker);
+    registry.add(&makeTaintDerefChecker);
+    registry.add(&makeFormatStringChecker);
 }
 
 } // namespace lint

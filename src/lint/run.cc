@@ -27,6 +27,8 @@ runLint(MantaAnalyzer &analyzer, const InferenceResult *inference,
         ContextOptions ctx_opts;
         ctx_opts.useTypes = inference != nullptr;
         ctx_opts.maxVisited = options.maxVisited;
+        if (options.taintNoTypeOverride >= 0)
+            ctx_opts.taintNoType = options.taintNoTypeOverride != 0;
         const LintContext ctx(analyzer, inference, truth, ctx_opts);
 
         DiagnosticEngine engine;

@@ -31,6 +31,13 @@ struct LintOptions
     std::vector<std::string> disabled;
     /** Baseline-suppression file contents ("" = none). */
     std::string baselineText;
+    /**
+     * Taint-ablation override: -1 honors MANTA_TAINT_NOTYPE, 0 forces
+     * the type gate on, 1 forces it off. The campaign pins its
+     * oracle-typed reference run to 0 so the ablation's extra flows
+     * surface as precision loss instead of shifting the reference.
+     */
+    int taintNoTypeOverride = -1;
 };
 
 /** Per-checker outcome of one run. */

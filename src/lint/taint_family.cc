@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The taint checker family: addr-leak, taint-deref and format-string.
+ *
+ * All three report flows found by the shared interprocedural taint
+ * fixpoint (src/taint, cached on the LintContext):
+ *
+ *  - addr-leak: a stack/heap address or uninitialized stack read
+ *    reaches a print argument, the source operand of a copy routine,
+ *    or an indirect-call argument (ASLR-defeating information leak).
+ *  - taint-deref: attacker-controlled input reaches a load/store
+ *    address or an indirect-call target.
+ *  - format-string: attacker-controlled input reaches the format
+ *    operand of print_str/sprintf/snprintf.
+ *
+ * Type inference suppresses flows whose endpoint interval commits to
+ * numeric (they cannot carry an address) and stops propagation out of
+ * numeric-committed values; MANTA_TAINT_NOTYPE=1 flips both off, the
+ * ablation the campaign measures. Each diagnostic carries the witness
+ * path as related "flow step" locations, which SARIF serializes as
+ * relatedLocations (docs/LINT.md).
+ */
+#include <string>
+
+#include "lint/checker.h"
+#include "lint/context.h"
+#include "taint/spec.h"
+
+namespace manta {
+namespace lint {
+
+namespace {
+
+/** Human-readable endpoint role per sink kind. */
+const char *
+sinkRole(taint::SinkKind sink)
+{
+    switch (sink) {
+    case taint::SinkKind::PrintArg:
+        return "print argument";
+    case taint::SinkKind::CopySource:
+        return "copy source";
+    case taint::SinkKind::FormatArg:
+        return "format operand";
+    case taint::SinkKind::DerefAddr:
+        return "dereferenced address";
+    case taint::SinkKind::IcallTarget:
+        return "indirect-call target";
+    case taint::SinkKind::IcallArg:
+        return "indirect-call argument";
+    }
+    return "sink";
+}
+
+/** Shared flow-to-diagnostic lowering for the family. */
+std::vector<Diagnostic>
+diagnoseFlows(const LintContext &ctx, const char *checker,
+              Severity severity, const std::string &problem)
+{
+    std::vector<Diagnostic> out;
+    const taint::TaintResult &taint = ctx.taint();
+    for (const taint::TaintFlow &flow : taint.flows) {
+        if (flow.suppressed || std::string(taint::flowChecker(flow)) !=
+                                   checker)
+            continue;
+        Diagnostic diag;
+        diag.checker = checker;
+        diag.severity = severity;
+        diag.primary = ctx.loc(flow.sinkInst, sinkRole(flow.sink));
+        diag.srcTag = ctx.module().inst(flow.sinkInst).srcTag;
+        // Witness path: source first, every mediating step after (the
+        // sink itself is the primary location, so it is dropped here).
+        for (std::size_t s = 0; s + 1 < flow.steps.size(); ++s) {
+            const std::string role =
+                s == 0 ? std::string("flow source (") +
+                             taint::taintKindName(flow.kind) + ")"
+                       : "flow step " + std::to_string(s);
+            diag.related.push_back(ctx.loc(flow.steps[s], role));
+        }
+        diag.message = problem + " (operand " +
+                       std::to_string(flow.argIndex) + " is tainted " +
+                       taint::taintKindName(flow.kind) + ")";
+        // Engine-independent evidence only: fact provenance and the
+        // witness length, never inferred bounds (the unify/subtype
+        // SARIF identity tests rely on this).
+        diag.evidence = std::string("kind=") +
+                        taint::taintKindName(flow.kind) + " source=inst" +
+                        std::to_string(flow.sourceInst.raw()) + " sink=" +
+                        taint::sinkKindName(flow.sink) + " steps=" +
+                        std::to_string(flow.steps.size());
+        out.push_back(std::move(diag));
+    }
+    return out;
+}
+
+class AddrLeakChecker final : public Checker
+{
+  public:
+    const char *id() const override { return "addr-leak"; }
+    Severity severity() const override { return Severity::Warning; }
+    const char *
+    description() const override
+    {
+        return "stack/heap address or uninitialized stack data reaches "
+               "an output sink";
+    }
+
+    std::vector<Diagnostic>
+    run(const LintContext &ctx) const override
+    {
+        return diagnoseFlows(ctx, id(), severity(),
+                             "address-bearing value escapes to an "
+                             "output sink");
+    }
+};
+
+class TaintDerefChecker final : public Checker
+{
+  public:
+    const char *id() const override { return "taint-deref"; }
+    Severity severity() const override { return Severity::Error; }
+    const char *
+    description() const override
+    {
+        return "attacker-controlled value used as a memory address or "
+               "indirect-call target";
+    }
+
+    std::vector<Diagnostic>
+    run(const LintContext &ctx) const override
+    {
+        return diagnoseFlows(ctx, id(), severity(),
+                             "attacker-controlled value dereferenced");
+    }
+};
+
+class FormatStringChecker final : public Checker
+{
+  public:
+    const char *id() const override { return "format-string"; }
+    Severity severity() const override { return Severity::Error; }
+    const char *
+    description() const override
+    {
+        return "attacker-controlled string used as a format operand";
+    }
+
+    std::vector<Diagnostic>
+    run(const LintContext &ctx) const override
+    {
+        return diagnoseFlows(ctx, id(), severity(),
+                             "attacker-controlled format string");
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Checker>
+makeAddrLeakChecker()
+{
+    return std::make_unique<AddrLeakChecker>();
+}
+
+std::unique_ptr<Checker>
+makeTaintDerefChecker()
+{
+    return std::make_unique<TaintDerefChecker>();
+}
+
+std::unique_ptr<Checker>
+makeFormatStringChecker()
+{
+    return std::make_unique<FormatStringChecker>();
+}
+
+} // namespace lint
+} // namespace manta

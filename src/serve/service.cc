@@ -126,7 +126,8 @@ Service::dispatch(const std::string &method, const Json *params)
 
     if (method == "analyze")
         return doAnalyze(p);
-    if (method == "types" || method == "lint" || method == "icall")
+    if (method == "types" || method == "lint" || method == "icall" ||
+            method == "taint")
         return doRender(p, method);
     if (method == "slice")
         return doSlice(p);
@@ -225,6 +226,8 @@ Service::doRender(const Json &params, const std::string &what)
         text = session->renderTypes();
     else if (what == "lint")
         text = session->renderLint();
+    else if (what == "taint")
+        text = session->renderTaint();
     else
         text = session->renderIcall();
     Json result = Json::object();

@@ -10,6 +10,7 @@
 #include "clients/slicing.h"
 #include "lint/engine.h"
 #include "lint/run.h"
+#include "taint/taint.h"
 #include "mir/parser.h"
 #include "mir/printer.h"
 #include "support/task_pool.h"
@@ -155,6 +156,21 @@ BinarySession::renderLint() const
 }
 
 std::string
+BinarySession::renderTaint() const
+{
+    if (!result_)
+        return {};
+    const taint::TaintResult taint_result = taint::runTaint(
+        *analyzer_, result_.get(), taint::TaintOptions::fromEnv());
+    std::string out =
+        std::to_string(taint_result.stats.flows) + " flow(s), " +
+        std::to_string(taint_result.stats.suppressed) +
+        " suppressed by the type gate\n";
+    out += taint_result.canonicalText(*module_);
+    return out;
+}
+
+std::string
 BinarySession::renderIcall() const
 {
     if (!result_)
@@ -246,6 +262,7 @@ BinarySession::saveSnapshot(std::string &bytes, std::string &error) const
     results.push_back({"types", Fnv64::of(renderTypes())});
     results.push_back({"lint", Fnv64::of(renderLint())});
     results.push_back({"icall", Fnv64::of(renderIcall())});
+    results.push_back({"taint", Fnv64::of(renderTaint())});
     bytes = writeSnapshot(*module_, meta, funcs, digests, memo_, results);
     return true;
 }
@@ -324,6 +341,8 @@ BinarySession::loadSnapshot(const std::string &bytes, std::string &error)
             digest = Fnv64::of(renderLint());
         else if (expected.name == "icall")
             digest = Fnv64::of(renderIcall());
+        else if (expected.name == "taint")
+            digest = Fnv64::of(renderTaint());
         else
             continue;
         if (digest != expected.digest) {

@@ -81,6 +81,9 @@ class BinarySession
     std::string renderTypes() const;
     std::string renderLint() const;
     std::string renderIcall() const;
+    /** Taint flows + per-function summaries (the canonical artifact
+     *  of src/taint, preceded by a one-line flow count header). */
+    std::string renderTaint() const;
 
     /**
      * Forward slice from the value named `value_name` (with or

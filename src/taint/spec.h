@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Source / sink / sanitizer specs of the taint engine.
+ *
+ * Specs are derived from MIR structure and external-function roles
+ * (mir/externals.h), never from names alone — with one exception: the
+ * format-argument positions of the printf-family externals are a
+ * name-keyed table, because ExternRole cannot express "operand 2 is
+ * the format".
+ *
+ *   sources   alloca results (stack-addr), Alloc-role call results
+ *             (heap-addr), TaintSource-role call results (input),
+ *             loads of provably never-written stack slots (uninit)
+ *   sinks     Print-role arguments, StrCopy/BoundedCopy source
+ *             operands, format operands, Load/Store addresses,
+ *             indirect-call targets and arguments
+ *   sanitizer Sanitizer-role externals (atoi, strtol): ExtRet edges
+ *             through them are not followed
+ */
+#ifndef MANTA_TAINT_SPEC_H
+#define MANTA_TAINT_SPEC_H
+
+#include <vector>
+
+#include "analysis/ddg.h"
+#include "analysis/memobj.h"
+#include "taint/taint.h"
+
+namespace manta {
+namespace taint {
+
+/** One sink operand position of one instruction. */
+struct SinkSite
+{
+    SinkKind sink = SinkKind::PrintArg;
+    InstId inst;
+    ValueId value;              ///< The operand to inspect.
+    std::uint32_t argIndex = 0; ///< Operand position.
+};
+
+/**
+ * Format-argument position of an external by name (-1 when the
+ * external takes no format): print_str -> 0, sprintf -> 1,
+ * snprintf -> 2.
+ */
+int formatArgIndex(const External &ext);
+
+/** Copy-source operand position of a StrCopy/BoundedCopy external
+ *  (memcpy/strcpy/strncpy/sprintf -> 1, snprintf -> 2). */
+int copySourceIndex(const External &ext);
+
+/** Does `flow.kind` at `flow.sink` constitute a reportable finding,
+ *  and for which checker? Null when the combination is benign. */
+const char *checkerFor(SinkKind sink, TaintKind kind);
+
+/**
+ * All fact introductions of a module, ascending by instruction id.
+ * The uninit source mirrors the uninit-stack checker's definition:
+ * a load whose address resolves to exactly one stack object owned by
+ * the loading function, with no Memory edge into the load result (no
+ * store reaches it).
+ */
+struct SourceSeed
+{
+    TaintFact fact;
+    ValueId value; ///< The value the fact starts on.
+};
+std::vector<SourceSeed> collectSources(const Module &module, const Ddg &ddg,
+                                       const MemObjects &objects);
+
+/** All sink operand positions of a module, ascending by instruction
+ *  id then operand position. */
+std::vector<SinkSite> collectSinks(const Module &module);
+
+/** True when DDG edge `edge` must not carry facts: an ExtRet edge
+ *  whose site calls a Sanitizer-role external. */
+bool sanitizerEdge(const Module &module, const Ddg::Edge &edge);
+
+} // namespace taint
+} // namespace manta
+
+#endif // MANTA_TAINT_SPEC_H

@@ -14,6 +14,13 @@
  *   MANTA_PTS_DENSE envFlagTruthy   PtsSolver::Dense
  *   MANTA_JOBS      parseEnvLong    worker count (>= 1)
  *   MANTA_INFER     parseEnvChoice  InferEngine::{Unify,Subtype}
+ *   MANTA_TAINT_NOTYPE      envFlagTruthy   taint ablation flip
+ *   MANTA_TAINT_MAX_FACTS   parseEnvLong    capped-join bound (>= 1)
+ *   MANTA_TAINT_SANITIZERS  parseEnvChoice  {on,off}
+ *
+ * The chaos switches (MANTA_FUZZ_BREAK_MEET, MANTA_FUZZ_BREAK_PTS)
+ * share the flag-truthiness rule but latch at static-init time; their
+ * live state is covered through the ChaosScope test override.
  */
 #include <gtest/gtest.h>
 
@@ -23,7 +30,9 @@
 #include "analysis/pointsto.h"
 #include "core/ddg_walk.h"
 #include "core/pipeline.h"
+#include "support/chaos.h"
 #include "support/env.h"
+#include "taint/taint.h"
 
 namespace manta {
 namespace {
@@ -120,6 +129,103 @@ TEST(EnvInfer, UnknownEngineWarnsAndFallsBack)
         // one read away.
         EXPECT_NE(warning.find("subtype"), std::string::npos);
     }
+}
+
+// ---- MANTA_TAINT* knobs: one per parsing shape --------------------
+
+TEST(EnvTaint, MaxFactsParsesWithWarnedFallback)
+{
+    // Valid values parse; the minimum is 1 (a zero cap would make the
+    // capped join drop every fact and trivially converge).
+    EXPECT_EQ(parseEnvLong("MANTA_TAINT_MAX_FACTS", "1", 256, 1), 1);
+    EXPECT_EQ(parseEnvLong("MANTA_TAINT_MAX_FACTS", "4096", 256, 1), 4096);
+    EXPECT_EQ(parseEnvLong("MANTA_TAINT_MAX_FACTS", nullptr, 256, 1), 256);
+    for (const char *value : {"lots", "0", "-1", "8x"}) {
+        ::testing::internal::CaptureStderr();
+        EXPECT_EQ(parseEnvLong("MANTA_TAINT_MAX_FACTS", value, 256, 1), 256)
+            << "\"" << value << "\"";
+        const std::string warning =
+            ::testing::internal::GetCapturedStderr();
+        EXPECT_NE(warning.find("MANTA_TAINT_MAX_FACTS"), std::string::npos)
+            << "\"" << value << "\" fell back without naming the knob";
+    }
+}
+
+TEST(EnvTaint, SanitizerChoiceParsesWithWarnedFallback)
+{
+    const char *const kChoices[] = {"on", "off"};
+    EXPECT_EQ(parseEnvChoice("MANTA_TAINT_SANITIZERS", "on", kChoices, 2, 0),
+              0u);
+    EXPECT_EQ(parseEnvChoice("MANTA_TAINT_SANITIZERS", "off", kChoices, 2, 0),
+              1u);
+    ::testing::internal::CaptureStderr();
+    EXPECT_EQ(
+        parseEnvChoice("MANTA_TAINT_SANITIZERS", nullptr, kChoices, 2, 0),
+        0u);
+    EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+    for (const char *value : {"ON", "true", "none"}) {
+        ::testing::internal::CaptureStderr();
+        EXPECT_EQ(
+            parseEnvChoice("MANTA_TAINT_SANITIZERS", value, kChoices, 2, 0),
+            0u)
+            << "\"" << value << "\"";
+        const std::string warning =
+            ::testing::internal::GetCapturedStderr();
+        EXPECT_NE(warning.find("MANTA_TAINT_SANITIZERS"),
+                  std::string::npos);
+        EXPECT_NE(warning.find("off"), std::string::npos);
+    }
+}
+
+TEST(EnvTaint, LiveReadersAgreeWithTheInheritedEnvironment)
+{
+    // Same style as EnvDefaults below: assert against the inherited
+    // environment so the binary stays valid under the CI ablation runs
+    // (MANTA_TAINT_NOTYPE=1 etc).
+    EXPECT_EQ(taint::defaultTaintNoType(),
+              envFlagTruthy(std::getenv("MANTA_TAINT_NOTYPE")));
+    const char *raw_max = std::getenv("MANTA_TAINT_MAX_FACTS");
+    EXPECT_EQ(taint::defaultTaintMaxFacts(),
+              static_cast<std::size_t>(
+                  parseEnvLong("MANTA_TAINT_MAX_FACTS", raw_max, 256, 1)));
+    const char *const kChoices[] = {"on", "off"};
+    const char *raw_san = std::getenv("MANTA_TAINT_SANITIZERS");
+    EXPECT_EQ(taint::defaultTaintSanitizers(),
+              parseEnvChoice("MANTA_TAINT_SANITIZERS", raw_san, kChoices, 2,
+                             0) == 0u);
+    // And TaintOptions::fromEnv must pick all three up, plus the
+    // shared schedule knob.
+    const taint::TaintOptions opts = taint::TaintOptions::fromEnv();
+    EXPECT_EQ(opts.useTypes, !taint::defaultTaintNoType());
+    EXPECT_EQ(opts.maxFactsPerValue, taint::defaultTaintMaxFacts());
+    EXPECT_EQ(opts.sanitizers, taint::defaultTaintSanitizers());
+    EXPECT_EQ(opts.mode, defaultScheduleMode());
+}
+
+// ---- Chaos switches: env-latched flags with a test override -------
+
+TEST(EnvChaos, FlagsLatchTheInheritedEnvironment)
+{
+    // The constructor applies the same truthiness rule as
+    // envFlagTruthy to the environment captured at static-init.
+    EXPECT_EQ(chaosBreakMeet().enabled(),
+              envFlagTruthy(std::getenv("MANTA_FUZZ_BREAK_MEET")));
+    EXPECT_EQ(chaosBreakPts().enabled(),
+              envFlagTruthy(std::getenv("MANTA_FUZZ_BREAK_PTS")));
+}
+
+TEST(EnvChaos, ScopeFlipsAndRestores)
+{
+    const bool meet_before = chaosBreakMeet().enabled();
+    const bool pts_before = chaosBreakPts().enabled();
+    {
+        ChaosScope meet(chaosBreakMeet());
+        ChaosScope pts(chaosBreakPts());
+        EXPECT_TRUE(chaosBreakMeet().enabled());
+        EXPECT_TRUE(chaosBreakPts().enabled());
+    }
+    EXPECT_EQ(chaosBreakMeet().enabled(), meet_before);
+    EXPECT_EQ(chaosBreakPts().enabled(), pts_before);
 }
 
 // ---- The live readers, end to end ---------------------------------

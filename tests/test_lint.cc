@@ -56,19 +56,20 @@ class LintTest : public ::testing::Test
 // Registry and engine plumbing.
 // ---------------------------------------------------------------------
 
-TEST(LintRegistry, TenBuiltinCheckersSortedById)
+TEST(LintRegistry, ThirteenBuiltinCheckersSortedById)
 {
     lint::registerBuiltinCheckers();
     lint::registerBuiltinCheckers();  // Idempotent.
     const auto checkers = lint::CheckerRegistry::instance().createAll();
-    ASSERT_EQ(checkers.size(), 10u);
+    ASSERT_EQ(checkers.size(), 13u);
     std::vector<std::string> ids;
     for (const auto &c : checkers)
         ids.push_back(c->id());
     EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
     const std::vector<std::string> expected = {
-        "bof",  "cmi",          "double-free",    "icall-mismatch",
-        "npd",  "rsa",          "sign-confusion", "uaf",
+        "addr-leak", "bof",  "cmi",          "double-free",
+        "format-string", "icall-mismatch", "npd",  "rsa",
+        "sign-confusion", "taint-deref",    "uaf",
         "uninit-stack", "width-trunc"};
     std::vector<std::string> sorted_expected = expected;
     std::sort(sorted_expected.begin(), sorted_expected.end());
@@ -156,7 +157,7 @@ entry:
 )");
     const lint::LintResult result = lintOne("", true);
     ASSERT_FALSE(result.diagnostics.empty());
-    EXPECT_EQ(result.rules.size(), 10u);
+    EXPECT_EQ(result.rules.size(), 13u);
     lint::SarifRun run;
     run.artifact = "unit.mir";
     run.diagnostics = result.diagnostics;
@@ -546,7 +547,7 @@ entry:
     const lint::LintResult result = lintOne("", true);
     EXPECT_GE(result.seconds, 0.0);
     EXPECT_GE(result_->profile().lintSeconds, before);
-    EXPECT_EQ(result.perChecker.size(), 10u);
+    EXPECT_EQ(result.perChecker.size(), 13u);
     for (std::size_t i = 1; i < result.perChecker.size(); ++i)
         EXPECT_LT(result.perChecker[i - 1].id, result.perChecker[i].id);
 }
@@ -591,7 +592,7 @@ TEST(LintCampaign, ArtifactsByteIdenticalAcrossWorkerCounts)
     EXPECT_EQ(serial.json, parallel.json);
     EXPECT_EQ(serial.totalDiagnostics, parallel.totalDiagnostics);
 
-    ASSERT_EQ(serial.checkers.size(), 10u);
+    ASSERT_EQ(serial.checkers.size(), 13u);
     for (const auto &summary : serial.checkers) {
         EXPECT_GE(summary.precision(), 0.0);
         EXPECT_LE(summary.precision(), 1.0);

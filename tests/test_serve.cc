@@ -199,6 +199,10 @@ TEST(ServeProtocol, AnalyzeRenderSliceStatus)
              R"({"id":3,"method":"lint","params":{"binary":"demo"}})");
     okResult(service,
              R"({"id":4,"method":"icall","params":{"binary":"demo"}})");
+    const Json taint = okResult(
+        service, R"({"id":9,"method":"taint","params":{"binary":"demo"}})");
+    EXPECT_NE(taint.get("text")->asString().find("flow(s)"),
+              std::string::npos);
 
     const Json slice = okResult(
         service,
@@ -266,6 +270,7 @@ TEST(ServeIdentity, WarmRendersMatchColdByteForByte)
     EXPECT_EQ(warm.renderTypes(), cold.renderTypes());
     EXPECT_EQ(warm.renderLint(), cold.renderLint());
     EXPECT_EQ(warm.renderIcall(), cold.renderIcall());
+    EXPECT_EQ(warm.renderTaint(), cold.renderTaint());
 }
 
 TEST(ServeSnapshot, RoundTripRestoresIdenticalRenders)
@@ -281,6 +286,7 @@ TEST(ServeSnapshot, RoundTripRestoresIdenticalRenders)
     EXPECT_EQ(loader.renderTypes(), saver.renderTypes());
     EXPECT_EQ(loader.renderLint(), saver.renderLint());
     EXPECT_EQ(loader.renderIcall(), saver.renderIcall());
+    EXPECT_EQ(loader.renderTaint(), saver.renderTaint());
     EXPECT_EQ(loader.textHash(), saver.textHash());
 
     // The restored memo keeps answering: a patch after reload reuses
