@@ -220,6 +220,7 @@ struct LadderRow
     std::size_t summaryTypes = 0;
     std::size_t summaryHits = 0;
     std::size_t walkSteps = 0; ///< CS+FS frames expanded (modular run).
+    double peakRssMib = 0.0;   ///< Process high-water mark after this rung.
     bool identical = false;
 
     double
@@ -307,6 +308,7 @@ runLadderPoint(const ProjectProfile &profile)
     const InferenceResult wp = an.infer(wp_cfg);
     row.wpSeconds = wp.profile().seconds;
     row.identical = sameBounds(modular, wp);
+    row.peakRssMib = peakRssMiB();
     return row;
 }
 
@@ -345,6 +347,7 @@ runBatchPoint(int batch_size)
         row.wpSeconds += wp.profile().seconds;
         row.identical = row.identical && sameBounds(modular, wp);
     }
+    row.peakRssMib = peakRssMiB();
     return row;
 }
 
@@ -368,13 +371,14 @@ writeModularJson(const std::string &path,
                      "\"summaryRoots\": %zu, \"summaryTypes\": %zu, "
                      "\"summaryHits\": %zu, \"walkSteps\": %zu, "
                      "\"stepsPerInst\": %.1f, \"nsPerStep\": %.1f, "
+                     "\"peakRssMib\": %.1f, "
                      "\"identical\": %s}%s\n",
                      r.name.c_str(), r.functions, r.insts, r.genSeconds,
                      r.modularSeconds, r.wpSeconds, r.speedup(),
                      r.scheduleSeconds, r.sccCount, r.sccWaves,
                      r.summaryRoots, r.summaryTypes, r.summaryHits,
                      r.walkSteps, r.stepsPerInst(), r.nsPerStep(),
-                     r.identical ? "true" : "false", trailer);
+                     r.peakRssMib, r.identical ? "true" : "false", trailer);
     };
     std::fprintf(out, "{\n  \"benchmark\": \"modular\",\n");
     std::fprintf(out, "  \"ladder\": [\n");
@@ -448,7 +452,7 @@ runModularLadder(bool quick, int batch_size, const std::string &out_path)
     table.setHeader({"profile", "#funcs", "#insts", "gen (s)",
                      "modular (s)", "WP (s)", "speedup", "SCCs", "waves",
                      "sched (s)", "summary hits", "steps/inst", "ns/step",
-                     "identical"});
+                     "peak RSS (MiB)", "identical"});
     bool all_identical = true;
     for (const LadderRow *r_ptr : [&] {
              std::vector<const LadderRow *> all;
@@ -470,6 +474,7 @@ runModularLadder(bool quick, int batch_size, const std::string &out_path)
                       std::to_string(r.summaryHits),
                       fmtDouble(r.stepsPerInst(), 1),
                       fmtDouble(r.nsPerStep(), 1),
+                      fmtDouble(r.peakRssMib, 1),
                       r.identical ? "yes" : "NO"});
     }
     std::printf("\n%s", table.render().c_str());

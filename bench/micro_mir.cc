@@ -1,0 +1,540 @@
+/**
+ * @file
+ * MIR storage-layout microbenchmark.
+ *
+ * Measures the arena-backed struct-of-arrays Module (CSR operand
+ * pools, interned names, 32-bit handles) against an in-bench
+ * reconstruction of the pre-refactor layout: one record per
+ * instruction with its own heap-allocated operand/phi vectors, and a
+ * std::string debug name per value. Both representations are built
+ * from the same generated corpus module by replaying an identical
+ * event stream, then traversed with the same operand-walk loop, so
+ * the measured delta is purely the storage layout.
+ *
+ * Also times the zero-copy pool snapshot codec (serializeModulePools)
+ * against the element-wise codec, reports exact byte footprints for
+ * both layouts, and - on Linux - the peak-RSS high-water mark of
+ * building each layout on the largest rung (VmHWM, reset between
+ * builds via /proc/self/clear_refs).
+ *
+ * Results go to stdout as a table and to BENCH_mir.json.
+ *
+ * Flags:
+ *   --quick       Small rungs only, one timing rep (CI smoke).
+ *   --out <path>  JSON output path (default BENCH_mir.json).
+ */
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "frontend/corpus.h"
+#include "mir/serialize.h"
+#include "support/binio.h"
+#include "support/table.h"
+#include "support/timer.h"
+
+namespace manta {
+namespace {
+
+// ---- Pre-refactor layout model ------------------------------------
+//
+// Before the struct-of-arrays refactor every Instruction owned its
+// operand and phi-block lists as std::vector members and every Value
+// carried its debug name as a std::string. These two structs
+// reconstruct that layout bit-for-bit in spirit: same payload, same
+// per-record heap indirections.
+
+struct LegacyValue
+{
+    Value rec;
+    std::string name;
+};
+
+struct LegacyInst
+{
+    Instruction rec;
+    std::vector<ValueId> operands;
+    std::vector<BlockId> phiBlocks;
+};
+
+struct LegacyModule
+{
+    std::vector<LegacyValue> values;
+    std::vector<LegacyInst> insts;
+};
+
+/** Build the legacy layout by replaying the source module. */
+LegacyModule
+buildLegacy(const Module &src)
+{
+    LegacyModule out;
+    out.values.reserve(src.numValues());
+    for (std::size_t i = 0; i < src.numValues(); ++i) {
+        const ValueId vid(static_cast<std::uint32_t>(i));
+        LegacyValue lv;
+        lv.rec = src.value(vid);
+        lv.name = std::string(src.str(lv.rec.name));
+        out.values.push_back(std::move(lv));
+    }
+    out.insts.reserve(src.numInsts());
+    for (std::size_t i = 0; i < src.numInsts(); ++i) {
+        const InstId iid(static_cast<std::uint32_t>(i));
+        LegacyInst li;
+        li.rec = src.inst(iid);
+        const auto ops = src.operands(iid);
+        li.operands.assign(ops.begin(), ops.end());
+        const auto phis = src.phiBlocks(iid);
+        li.phiBlocks.assign(phis.begin(), phis.end());
+        out.insts.push_back(std::move(li));
+    }
+    return out;
+}
+
+/** Build the struct-of-arrays layout by replaying the source module. */
+Module
+buildSoa(const Module &src)
+{
+    Module out;
+    out.reservePools(src.numValues(), src.numInsts(),
+                     src.operandPool().size());
+    for (std::size_t i = 0; i < src.numValues(); ++i) {
+        const ValueId vid(static_cast<std::uint32_t>(i));
+        Value v = src.value(vid);
+        v.name = out.internName(src.str(v.name));
+        out.addValue(v);
+    }
+    for (std::size_t i = 0; i < src.numInsts(); ++i) {
+        const InstId iid(static_cast<std::uint32_t>(i));
+        Instruction rec = src.inst(iid);
+        rec.operandOff = rec.operandCnt = 0;
+        rec.phiOff = rec.phiCnt = 0;
+        out.addInst(rec, src.operands(iid), src.phiBlocks(iid));
+    }
+    return out;
+}
+
+/** Operand-walk checksum over the legacy layout: visit every operand
+ *  and touch its value record, the loop shape of every analysis. */
+std::uint64_t
+traverseLegacy(const LegacyModule &m)
+{
+    std::uint64_t acc = 0;
+    for (const LegacyInst &li : m.insts) {
+        acc += static_cast<std::uint64_t>(li.rec.op);
+        for (const ValueId v : li.operands) {
+            const LegacyValue &lv = m.values[v.index()];
+            acc += static_cast<std::uint64_t>(lv.rec.kind) + lv.rec.width;
+        }
+        for (const BlockId b : li.phiBlocks)
+            acc += b.index();
+    }
+    return acc;
+}
+
+/** Identical operand-walk checksum over the SoA layout, through the
+ *  raw pool spans (the layout's intended hot-loop access path). */
+std::uint64_t
+traverseSoa(const Module &m)
+{
+    std::uint64_t acc = 0;
+    const Value *vals = m.valuePool().data();
+    const ValueId *ops = m.operandPool().data();
+    const BlockId *phis = m.phiPool().data();
+    for (const Instruction &in : m.instPool()) {
+        acc += static_cast<std::uint64_t>(in.op);
+        for (std::uint32_t k = 0; k < in.operandCnt; ++k) {
+            const Value &v = vals[ops[in.operandOff + k].index()];
+            acc += static_cast<std::uint64_t>(v.kind) + v.width;
+        }
+        for (std::uint32_t k = 0; k < in.phiCnt; ++k)
+            acc += phis[in.phiOff + k].index();
+    }
+    return acc;
+}
+
+/** Exact logical footprint of the SoA layout (bytes). */
+std::size_t
+soaBytes(const Module &m)
+{
+    return m.numValues() * sizeof(Value) + m.numInsts() * sizeof(Instruction) +
+           m.operandPool().size() * sizeof(ValueId) +
+           m.phiPool().size() * sizeof(BlockId) + m.names().arenaBytes();
+}
+
+/** Exact footprint of the constructed legacy layout (bytes). */
+std::size_t
+legacyBytes(const LegacyModule &m)
+{
+    std::size_t total = m.values.capacity() * sizeof(LegacyValue) +
+                        m.insts.capacity() * sizeof(LegacyInst);
+    for (const LegacyValue &lv : m.values) {
+        // Only heap-spilled names cost extra; SSO names live in the record.
+        if (lv.name.capacity() > sizeof(std::string) - 1)
+            total += lv.name.capacity();
+    }
+    for (const LegacyInst &li : m.insts) {
+        total += li.operands.capacity() * sizeof(ValueId);
+        total += li.phiBlocks.capacity() * sizeof(BlockId);
+    }
+    return total;
+}
+
+// ---- Peak-RSS measurement (Linux) ---------------------------------
+
+/** Current VmHWM in KiB (0 when unavailable). */
+std::size_t
+peakRssKb()
+{
+    std::size_t kb = 0;
+    if (FILE *f = std::fopen("/proc/self/status", "r")) {
+        char line[256];
+        while (std::fgets(line, sizeof line, f)) {
+            if (std::sscanf(line, "VmHWM: %zu kB", &kb) == 1)
+                break;
+        }
+        std::fclose(f);
+    }
+    return kb;
+}
+
+/**
+ * Peak RSS (KiB) of `argv0 --rss-probe <layout> <profile>` run as a
+ * fresh process. A forked child would inherit this process's already
+ * resident allocator arenas and build inside them, hiding the
+ * layout's real footprint; a cold exec gives both layouts the same
+ * clean baseline (corpus generation + source module). 0 off-POSIX.
+ */
+std::size_t
+peakRssOfProbe(const char *argv0, const char *layout,
+               const std::string &profile)
+{
+#if defined(__unix__) || defined(__APPLE__)
+    const std::string cmd = std::string("\"") + argv0 + "\" --rss-probe " +
+                            layout + " \"" + profile + "\"";
+    FILE *p = popen(cmd.c_str(), "r");
+    if (!p)
+        return 0;
+    std::size_t kb = 0;
+    char line[256];
+    while (std::fgets(line, sizeof line, p)) {
+        if (std::sscanf(line, "RSS_KB %zu", &kb) == 1)
+            break;
+    }
+    pclose(p);
+    return kb;
+#else
+    (void)argv0;
+    (void)layout;
+    (void)profile;
+    return 0;
+#endif
+}
+
+// ---- Per-project measurement --------------------------------------
+
+struct ProjectRow
+{
+    std::string name;
+    std::size_t insts = 0;
+    std::size_t operands = 0;
+    double buildLegacySec = 0.0;
+    double buildSoaSec = 0.0;
+    double travLegacySec = 0.0;
+    double travSoaSec = 0.0;
+    double rtPoolSec = 0.0;
+    double rtElemSec = 0.0;
+    std::size_t bytesLegacy = 0;
+    std::size_t bytesSoa = 0;
+    bool checksumsMatch = false;
+
+    double
+    buildTraverseSpeedup() const
+    {
+        const double soa = buildSoaSec + travSoaSec;
+        return soa > 0.0 ? (buildLegacySec + travLegacySec) / soa : 0.0;
+    }
+
+    double
+    roundtripSpeedup() const
+    {
+        return rtPoolSec > 0.0 ? rtElemSec / rtPoolSec : 0.0;
+    }
+};
+
+/** Best-of-reps wall time of `fn()`. */
+template <typename Fn>
+double
+bestOf(int reps, Fn &&fn)
+{
+    double best = 0.0;
+    for (int r = 0; r < reps; ++r) {
+        const Timer timer;
+        fn();
+        const double s = timer.seconds();
+        if (r == 0 || s < best)
+            best = s;
+    }
+    return best;
+}
+
+ProjectRow
+measureProject(const ProjectProfile &profile, int reps, int sweeps)
+{
+    const GeneratedProgram program = buildProject(profile);
+    const Module &src = *program.module;
+
+    ProjectRow row;
+    row.name = profile.name;
+    row.insts = src.numInsts();
+    row.operands = src.operandPool().size();
+
+    // Build throughput: replay the same event stream into each layout.
+    row.buildLegacySec = bestOf(reps, [&] {
+        LegacyModule m = buildLegacy(src);
+        if (m.insts.size() != src.numInsts())
+            std::abort();
+    });
+    row.buildSoaSec = bestOf(reps, [&] {
+        Module m = buildSoa(src);
+        if (m.numInsts() != src.numInsts())
+            std::abort();
+    });
+
+    // Traverse throughput: keep one instance of each layout alive and
+    // sweep it `sweeps` times per timed rep.
+    const LegacyModule legacy = buildLegacy(src);
+    const Module soa = buildSoa(src);
+    std::uint64_t sum_legacy = 0;
+    std::uint64_t sum_soa = 0;
+    row.travLegacySec = bestOf(reps, [&] {
+        sum_legacy = 0;
+        for (int s = 0; s < sweeps; ++s)
+            sum_legacy += traverseLegacy(legacy);
+    });
+    row.travSoaSec = bestOf(reps, [&] {
+        sum_soa = 0;
+        for (int s = 0; s < sweeps; ++s)
+            sum_soa += traverseSoa(soa);
+    });
+    row.checksumsMatch = sum_legacy == sum_soa;
+
+    // Snapshot roundtrip: zero-copy pool codec vs element-wise codec.
+    row.rtPoolSec = bestOf(reps, [&] {
+        ByteWriter w;
+        serializeModulePools(src, w);
+        const std::string bytes = w.take();
+        ByteReader r(bytes);
+        Module loaded;
+        if (!deserializeModulePools(r, loaded))
+            std::abort();
+    });
+    row.rtElemSec = bestOf(reps, [&] {
+        ByteWriter w;
+        serializeModule(src, w);
+        const std::string bytes = w.take();
+        ByteReader r(bytes);
+        Module loaded;
+        if (!deserializeModule(r, loaded))
+            std::abort();
+    });
+
+    row.bytesLegacy = legacyBytes(legacy);
+    row.bytesSoa = soaBytes(soa);
+    return row;
+}
+
+/** The hidden --rss-probe entry: build one layout of one profile in
+ *  this (fresh) process and print the peak RSS. */
+int
+runRssProbe(const char *layout, const std::string &profile_name)
+{
+    std::vector<ProjectProfile> all = standardCorpus();
+    for (ProjectProfile &p : scaleCorpus())
+        all.push_back(std::move(p));
+    for (const ProjectProfile &p : all) {
+        if (p.name != profile_name)
+            continue;
+        const GeneratedProgram program = buildProject(p);
+        const Module &src = *program.module;
+        if (std::strcmp(layout, "legacy") == 0) {
+            const LegacyModule m = buildLegacy(src);
+            if (m.insts.size() != src.numInsts())
+                return 1;
+            std::printf("RSS_KB %zu\n", peakRssKb());
+        } else {
+            const Module m = buildSoa(src);
+            if (m.numInsts() != src.numInsts())
+                return 1;
+            std::printf("RSS_KB %zu\n", peakRssKb());
+        }
+        return 0;
+    }
+    std::fprintf(stderr, "unknown profile %s\n", profile_name.c_str());
+    return 1;
+}
+
+void
+writeJson(const std::string &path, const std::vector<ProjectRow> &rows,
+          double overall_speedup, const std::string &rss_project,
+          std::size_t rss_legacy_kb, std::size_t rss_soa_kb, bool quick)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"micro_mir\",\n");
+    std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+    std::fprintf(f, "  \"projects\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const ProjectRow &r = rows[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"insts\": %zu, "
+                     "\"operands\": %zu,\n"
+                     "     \"buildLegacySeconds\": %.6f, "
+                     "\"buildSoaSeconds\": %.6f,\n"
+                     "     \"traverseLegacySeconds\": %.6f, "
+                     "\"traverseSoaSeconds\": %.6f,\n"
+                     "     \"buildTraverseSpeedup\": %.2f,\n"
+                     "     \"roundtripPoolSeconds\": %.6f, "
+                     "\"roundtripElemSeconds\": %.6f, "
+                     "\"roundtripSpeedup\": %.2f,\n"
+                     "     \"bytesLegacy\": %zu, \"bytesSoa\": %zu, "
+                     "\"bytesRatio\": %.2f,\n"
+                     "     \"checksumsMatch\": %s}%s\n",
+                     r.name.c_str(), r.insts, r.operands, r.buildLegacySec,
+                     r.buildSoaSec, r.travLegacySec, r.travSoaSec,
+                     r.buildTraverseSpeedup(), r.rtPoolSec, r.rtElemSec,
+                     r.roundtripSpeedup(), r.bytesLegacy, r.bytesSoa,
+                     r.bytesSoa > 0
+                         ? static_cast<double>(r.bytesLegacy) /
+                               static_cast<double>(r.bytesSoa)
+                         : 0.0,
+                     r.checksumsMatch ? "true" : "false",
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"overallBuildTraverseSpeedup\": %.2f,\n",
+                 overall_speedup);
+    std::fprintf(f, "  \"peakRss\": {\"project\": \"%s\", "
+                    "\"legacyKb\": %zu, \"soaKb\": %zu, \"reduced\": %s}\n",
+                 rss_project.c_str(), rss_legacy_kb, rss_soa_kb,
+                 (rss_legacy_kb == 0 || rss_soa_kb < rss_legacy_kb) ? "true"
+                                                                    : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+}
+
+int
+run(int argc, char **argv)
+{
+    bool quick = false;
+    std::string out_path = "BENCH_mir.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out_path = argv[++i];
+        else if (std::strcmp(argv[i], "--rss-probe") == 0 && i + 2 < argc)
+            return runRssProbe(argv[i + 1], argv[i + 2]);
+    }
+
+    const int reps = quick ? 1 : 3;
+    const int sweeps = quick ? 8 : 32;
+
+    // Rungs: two mid-size named projects plus the scale ladder
+    // (capped in quick mode so CI smokes skip the million-inst rung).
+    std::vector<ProjectProfile> profiles;
+    {
+        const std::vector<ProjectProfile> standard = standardCorpus();
+        if (!standard.empty())
+            profiles.push_back(standard.front());
+        if (standard.size() > 1)
+            profiles.push_back(standard.back());
+        for (ProjectProfile &p :
+             scaleCorpus(quick ? std::size_t(150000) : std::size_t(0)))
+            profiles.push_back(std::move(p));
+    }
+
+    std::vector<ProjectRow> rows;
+    for (const ProjectProfile &profile : profiles) {
+        std::printf("measuring %s...\n", profile.name.c_str());
+        std::fflush(stdout);
+        rows.push_back(measureProject(profile, reps, sweeps));
+    }
+
+    // Peak RSS on the largest rung (the xxl point unless --quick),
+    // each layout probed in its own cold process.
+    const ProjectProfile &largest = profiles.back();
+    const std::size_t rss_soa_kb =
+        peakRssOfProbe(argv[0], "soa", largest.name);
+    const std::size_t rss_legacy_kb =
+        peakRssOfProbe(argv[0], "legacy", largest.name);
+
+    AsciiTable table;
+    table.setHeader({"project", "insts", "build x", "trav x", "b+t x",
+                     "rt x", "mem x", "ok"});
+    bool all_match = true;
+    for (const ProjectRow &r : rows) {
+        table.addRow(
+            {r.name, std::to_string(r.insts),
+             fmtDouble(r.buildSoaSec > 0.0 ? r.buildLegacySec / r.buildSoaSec
+                                           : 0.0,
+                       2),
+             fmtDouble(r.travSoaSec > 0.0 ? r.travLegacySec / r.travSoaSec
+                                          : 0.0,
+                       2),
+             fmtDouble(r.buildTraverseSpeedup(), 2),
+             fmtDouble(r.roundtripSpeedup(), 2),
+             fmtDouble(r.bytesSoa > 0 ? static_cast<double>(r.bytesLegacy) /
+                                            static_cast<double>(r.bytesSoa)
+                                      : 0.0,
+                       2),
+             r.checksumsMatch ? "yes" : "NO"});
+        all_match = all_match && r.checksumsMatch;
+    }
+    std::printf("%s", table.render().c_str());
+
+    // Headline: time-weighted aggregate across all rungs (per-rung
+    // ratios on sub-millisecond projects are noise-dominated).
+    double legacy_total = 0.0;
+    double soa_total = 0.0;
+    for (const ProjectRow &r : rows) {
+        legacy_total += r.buildLegacySec + r.travLegacySec;
+        soa_total += r.buildSoaSec + r.travSoaSec;
+    }
+    const double overall = soa_total > 0.0 ? legacy_total / soa_total : 0.0;
+    std::printf("overall build+traverse speedup: %.2fx\n", overall);
+    std::printf("peak RSS on %s: legacy %zu KiB, soa %zu KiB\n",
+                largest.name.c_str(), rss_legacy_kb, rss_soa_kb);
+
+    writeJson(out_path, rows, overall, largest.name, rss_legacy_kb,
+              rss_soa_kb, quick);
+
+    if (!all_match) {
+        std::fprintf(stderr, "FAIL: traversal checksums diverged\n");
+        return 1;
+    }
+    if (overall < 1.5)
+        std::fprintf(stderr,
+                     "WARN: overall build+traverse speedup below 1.5x\n");
+    return 0;
+}
+
+} // namespace
+} // namespace manta
+
+int
+main(int argc, char **argv)
+{
+    return manta::run(argc, argv);
+}

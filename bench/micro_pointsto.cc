@@ -90,7 +90,7 @@ sameSolution(const Module &module, const PointsTo &a, const PointsTo &b)
             const Instruction &def = module.inst(val.inst);
             std::fprintf(stderr, " def-op=%d ops=[",
                          static_cast<int>(def.op));
-            for (const ValueId op : def.operands)
+            for (const ValueId op : module.operands(def))
                 std::fprintf(stderr, "%u ", op.raw());
             std::fprintf(stderr, "]");
         }

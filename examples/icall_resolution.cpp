@@ -94,9 +94,13 @@ main()
             const Instruction &inst = module.inst(site);
             const FuncId in_func = module.block(inst.parent).func;
             std::printf("  icall in @%s ->",
-                        module.func(in_func).name.c_str());
-            for (const FuncId t : targets)
-                std::printf(" @%s", module.func(t).name.c_str());
+                        std::string(module.str(
+                            module.func(in_func).name)).c_str());
+            for (const FuncId t : targets) {
+                std::printf(" @%s",
+                            std::string(module.str(
+                                module.func(t).name)).c_str());
+            }
             std::printf("\n");
         }
     }

@@ -81,7 +81,8 @@ printBugs(MantaAnalyzer &analyzer, const InferenceResult *types)
         const FuncId in_func =
             module.block(module.inst(r.sinkSite).parent).func;
         std::printf("  [%s] in @%s: %s\n", checkerName(r.kind),
-                    module.func(in_func).name.c_str(),
+                    std::string(module.str(
+                        module.func(in_func).name)).c_str(),
                     r.message.c_str());
     }
     analyzer.ddg().resetPruning();
@@ -170,9 +171,13 @@ main(int argc, char **argv)
             const FuncId in_func =
                 module.block(module.inst(site).parent).func;
             std::printf("  in @%s ->",
-                        module.func(in_func).name.c_str());
-            for (const FuncId t : targets)
-                std::printf(" @%s", module.func(t).name.c_str());
+                        std::string(module.str(
+                            module.func(in_func).name)).c_str());
+            for (const FuncId t : targets) {
+                std::printf(" @%s",
+                            std::string(module.str(
+                                module.func(t).name)).c_str());
+            }
             std::printf("\n");
         }
     } else if (mode == "stats") {

@@ -49,7 +49,7 @@ findValue(const Module &module, const char *name)
 {
     for (std::size_t v = 0; v < module.numValues(); ++v) {
         const ValueId vid(static_cast<ValueId::RawType>(v));
-        if (module.value(vid).name == name)
+        if (module.str(module.value(vid).name) == name)
             return vid;
     }
     return ValueId::invalid();
@@ -106,13 +106,15 @@ main()
         const Instruction &inst = module.inst(iid);
         if (inst.op != Opcode::Call || !inst.external.valid())
             continue;
-        for (const ValueId arg : inst.operands) {
+        for (const ValueId arg : module.operands(inst)) {
             if (arg != i && arg != s)
                 continue;
             const BoundPair bp = full.siteBounds(arg, iid);
             std::printf("  at call @%s: %%%s is %s\n",
-                        module.external(inst.external).name.c_str(),
-                        module.value(arg).name.c_str(),
+                        std::string(module.str(
+                            module.external(inst.external).name)).c_str(),
+                        std::string(module.str(
+                            module.value(arg).name)).c_str(),
                         tt.toString(bp.upper).c_str());
         }
     }

@@ -62,8 +62,9 @@ class SccUnroller
         for (const BlockId bid : scc) {
             BasicBlock clone;
             clone.func = func_;
-            clone.name = m_.block(bid).name + "$u" +
-                std::to_string(m_.numBlocks());
+            clone.name = m_.internName(
+                std::string(m_.str(m_.block(bid).name)) + "$u" +
+                std::to_string(m_.numBlocks()));
             const BlockId cid = m_.addBlock(std::move(clone));
             m_.func(func_).blocks.push_back(cid);
             blockMap_[bid.raw()] = cid;
@@ -77,15 +78,16 @@ class SccUnroller
                 Instruction clone = m_.inst(iid);
                 clone.parent = cid;
                 clone.result = ValueId::invalid();
-                const InstId ciid = m_.addInst(std::move(clone));
+                const InstId ciid = m_.addInstClone(clone);
                 m_.block(cid).insts.push_back(ciid);
                 instMap_[iid.raw()] = ciid;
                 const ValueId orig_result = m_.inst(iid).result;
                 if (orig_result.valid()) {
                     Value v = m_.value(orig_result);
                     v.inst = ciid;
-                    if (!v.name.empty())
-                        v.name += "$u";
+                    if (v.name.valid())
+                        v.name = m_.internName(
+                            std::string(m_.str(v.name)) + "$u");
                     const ValueId cres = m_.addValue(std::move(v));
                     m_.inst(ciid).result = cres;
                     valueMap_[orig_result.raw()] = cres;
@@ -110,7 +112,7 @@ class SccUnroller
                 Instruction &inst = m_.inst(ciid);
                 if (inst.op == Opcode::Phi)
                     continue; // handled entry-wise in fixupClonePhis
-                for (ValueId &op : inst.operands)
+                for (ValueId &op : m_.operandsMut(ciid))
                     op = mapValue(op);
             }
         }
@@ -148,7 +150,8 @@ class SccUnroller
         if (!stub_.valid()) {
             BasicBlock bb;
             bb.func = func_;
-            bb.name = "unroll_stop$" + std::to_string(m_.numBlocks());
+            bb.name = m_.internName(
+                "unroll_stop$" + std::to_string(m_.numBlocks()));
             stub_ = m_.addBlock(std::move(bb));
             m_.func(func_).blocks.push_back(stub_);
             Instruction inst;
@@ -194,19 +197,23 @@ class SccUnroller
                 Instruction &phi = m_.inst(ciid);
                 if (phi.op != Opcode::Phi)
                     break; // phis lead the block
+                const std::vector<ValueId> old_ops(
+                    m_.operands(phi).begin(), m_.operands(phi).end());
+                const std::vector<BlockId> old_blocks(
+                    m_.phiBlocks(phi).begin(), m_.phiBlocks(phi).end());
                 std::vector<ValueId> ops;
                 std::vector<BlockId> blocks;
-                for (std::size_t k = 0; k < phi.operands.size(); ++k) {
-                    const BlockId in = phi.phiBlocks[k];
+                for (std::size_t k = 0; k < old_ops.size(); ++k) {
+                    const BlockId in = old_blocks[k];
                     if (isBackEdge(in, bid)) {
                         // Value arriving from iteration 1's latch: the
                         // original (un-mapped) value, from the original
                         // block, whose back edge now lands here.
-                        ops.push_back(phi.operands[k]);
+                        ops.push_back(old_ops[k]);
                         blocks.push_back(in);
                     } else if (inScc_.count(in.raw())) {
                         // Intra-iteration forward edge: stay in clone.
-                        ops.push_back(mapValue(phi.operands[k]));
+                        ops.push_back(mapValue(old_ops[k]));
                         blocks.push_back(blockMap_.at(in.raw()));
                     }
                     // Preheader entries don't reach the clone: drop.
@@ -216,12 +223,13 @@ class SccUnroller
                     // entry came from outside the SCC. Demote to a
                     // copy of the (dominating) preheader value.
                     phi.op = Opcode::Copy;
-                    phi.operands = {mapValue(phi.operands[0])};
-                    phi.phiBlocks.clear();
+                    const ValueId copy_op[] = {mapValue(old_ops[0])};
+                    m_.setOperands(ciid, copy_op);
+                    m_.setPhiBlocks(ciid, {});
                     continue;
                 }
-                phi.operands = std::move(ops);
-                phi.phiBlocks = std::move(blocks);
+                m_.setOperands(ciid, ops);
+                m_.setPhiBlocks(ciid, blocks);
             }
         }
     }
@@ -234,25 +242,30 @@ class SccUnroller
                 Instruction &phi = m_.inst(iid);
                 if (phi.op != Opcode::Phi)
                     break;
+                const std::vector<ValueId> old_ops(
+                    m_.operands(phi).begin(), m_.operands(phi).end());
+                const std::vector<BlockId> old_blocks(
+                    m_.phiBlocks(phi).begin(), m_.phiBlocks(phi).end());
                 std::vector<ValueId> ops;
                 std::vector<BlockId> blocks;
-                for (std::size_t k = 0; k < phi.operands.size(); ++k) {
-                    if (isBackEdge(phi.phiBlocks[k], bid))
+                for (std::size_t k = 0; k < old_ops.size(); ++k) {
+                    if (isBackEdge(old_blocks[k], bid))
                         continue; // that edge now enters the clone
-                    ops.push_back(phi.operands[k]);
-                    blocks.push_back(phi.phiBlocks[k]);
+                    ops.push_back(old_ops[k]);
+                    blocks.push_back(old_blocks[k]);
                 }
                 if (ops.empty()) {
                     // Degenerate header reachable only around the loop:
                     // demote the phi to a copy of its first entry so the
                     // block stays structurally valid.
                     phi.op = Opcode::Copy;
-                    phi.operands.resize(1);
-                    phi.phiBlocks.clear();
+                    const ValueId copy_op[] = {old_ops[0]};
+                    m_.setOperands(iid, copy_op);
+                    m_.setPhiBlocks(iid, {});
                     continue;
                 }
-                phi.operands = std::move(ops);
-                phi.phiBlocks = std::move(blocks);
+                m_.setOperands(iid, ops);
+                m_.setPhiBlocks(iid, blocks);
             }
         }
     }
@@ -272,18 +285,26 @@ class SccUnroller
             if (scc_set.count(exit_bid.raw()))
                 continue;
             for (const InstId iid : m_.block(exit_bid).insts) {
-                Instruction &phi = m_.inst(iid);
+                const Instruction &phi = m_.inst(iid);
                 if (phi.op != Opcode::Phi)
                     break;
-                const std::size_t original_entries = phi.operands.size();
+                std::vector<ValueId> ops(m_.operands(phi).begin(),
+                                         m_.operands(phi).end());
+                std::vector<BlockId> blocks(m_.phiBlocks(phi).begin(),
+                                            m_.phiBlocks(phi).end());
+                const std::size_t original_entries = ops.size();
                 for (std::size_t k = 0; k < original_entries; ++k) {
-                    const BlockId in = phi.phiBlocks[k];
+                    const BlockId in = blocks[k];
                     const auto it = blockMap_.find(in.raw());
                     if (it == blockMap_.end())
                         continue;
                     // The clone of `in` also branches to this exit.
-                    phi.operands.push_back(mapValue(phi.operands[k]));
-                    phi.phiBlocks.push_back(it->second);
+                    ops.push_back(mapValue(ops[k]));
+                    blocks.push_back(it->second);
+                }
+                if (ops.size() != original_entries) {
+                    m_.setOperands(iid, ops);
+                    m_.setPhiBlocks(iid, blocks);
                 }
             }
         }
@@ -390,7 +411,7 @@ breakRecursion(Module &module)
     auto ensure_stub = [&] {
         if (!stub.valid()) {
             External ext;
-            ext.name = "__recursion_stub";
+            ext.name = module.internName("__recursion_stub");
             ext.role = ExternRole::None;
             stub = module.addExternal(std::move(ext));
         }

@@ -79,7 +79,7 @@ InstIndex::InstIndex(const Module &module)
         for (std::size_t i = 0; i < bb.insts.size(); ++i) {
             position_[bb.insts[i].index()] = static_cast<std::uint32_t>(i);
             const Instruction &inst = module.inst(bb.insts[i]);
-            for (const ValueId op : inst.operands)
+            for (const ValueId op : module.operands(inst))
                 users_[op.index()].push_back(bb.insts[i]);
         }
     }

@@ -108,7 +108,7 @@ Ddg::buildSsaEdges()
         switch (inst.op) {
           case Opcode::Copy:
           case Opcode::Phi:
-            for (const ValueId op : inst.operands)
+            for (const ValueId op : module_.operands(inst))
                 addEdge(op, inst.result, DepKind::Copy, iid);
             break;
           case Opcode::Trunc:
@@ -126,12 +126,12 @@ Ddg::buildSsaEdges()
           case Opcode::FSub:
           case Opcode::FMul:
           case Opcode::FDiv:
-            for (const ValueId op : inst.operands)
+            for (const ValueId op : module_.operands(inst))
                 addEdge(op, inst.result, DepKind::Ssa, iid);
             break;
           case Opcode::Add:
           case Opcode::Sub:
-            for (const ValueId op : inst.operands)
+            for (const ValueId op : module_.operands(inst))
                 addEdge(op, inst.result, DepKind::PtrArith, iid);
             break;
           default:
@@ -176,25 +176,25 @@ Ddg::buildMemoryEdges()
         current_site = iid;
         current_addr = ValueId::invalid();
         if (inst.op == Opcode::Store) {
-            current_addr = inst.operands[0];
-            for (const Loc &addr : pts_.locs(inst.operands[0]))
-                record_store(addr, inst.operands[1]);
+            current_addr = module_.operand(inst, 0);
+            for (const Loc &addr : pts_.locs(module_.operand(inst, 0)))
+                record_store(addr, module_.operand(inst, 1));
         } else if (inst.op == Opcode::Call && inst.external.valid()) {
             const External &ext = module_.external(inst.external);
             if ((ext.role == ExternRole::StrCopy ||
                  ext.role == ExternRole::BoundedCopy) &&
-                    inst.operands.size() >= 2) {
+                    inst.numOperands() >= 2) {
                 // Copy routines fill the destination buffer with data
                 // derived from the source pointer.
-                for (const Loc &dst : pts_.locs(inst.operands[0])) {
+                for (const Loc &dst : pts_.locs(module_.operand(inst, 0))) {
                     record_store(Loc{dst.obj, Loc::unknownOffset},
-                                 inst.operands[1]);
+                                 module_.operand(inst, 1));
                 }
                 // The destination pointer now carries the copied data:
                 // consumers of dst (e.g. system(buf)) depend on src.
                 // ExtRet is a data edge, not an alias edge, so type
                 // traversals ignore it.
-                addEdge(inst.operands[1], inst.operands[0], DepKind::ExtRet,
+                addEdge(module_.operand(inst, 1), module_.operand(inst, 0), DepKind::ExtRet,
                         iid);
             }
             if (inst.result.valid()) {
@@ -227,11 +227,11 @@ Ddg::buildMemoryEdges()
             continue;
         const bool returns_ptr =
             ext.retType.valid() && module_.types().isPtr(ext.retType);
-        if (returns_ptr || inst.operands.size() < 2 || !inst.result.valid())
+        if (returns_ptr || inst.numOperands() < 2 || !inst.result.valid())
             continue;
         // recv(fd, buf, len, flags): buf contents become external data
         // carried by the call result.
-        for (const Loc &buf : pts_.locs(inst.operands[1]))
+        for (const Loc &buf : pts_.locs(module_.operand(inst, 1)))
             record_store(Loc{buf.obj, Loc::unknownOffset}, inst.result);
     }
 
@@ -241,7 +241,7 @@ Ddg::buildMemoryEdges()
         const Instruction &inst = module_.inst(iid);
         if (inst.op != Opcode::Load)
             continue;
-        for (const Loc &addr : pts_.locs(inst.operands[0])) {
+        for (const Loc &addr : pts_.locs(module_.operand(inst, 0))) {
             const auto it = stores.find(addr.obj.raw());
             if (it == stores.end())
                 continue;
@@ -266,9 +266,9 @@ Ddg::buildCallEdges()
         if (inst.callee.valid()) {
             const Function &callee = module_.func(inst.callee);
             const std::size_t n =
-                std::min(callee.params.size(), inst.operands.size());
+                std::min(callee.params.size(), inst.numOperands());
             for (std::size_t k = 0; k < n; ++k) {
-                addEdge(inst.operands[k], callee.params[k], DepKind::CallArg,
+                addEdge(module_.operand(inst, k), callee.params[k], DepKind::CallArg,
                         iid);
             }
             if (inst.result.valid()) {
@@ -277,14 +277,14 @@ Ddg::buildCallEdges()
                     if (bb.insts.empty())
                         continue;
                     const Instruction &term = module_.inst(bb.insts.back());
-                    if (term.op == Opcode::Ret && !term.operands.empty()) {
-                        addEdge(term.operands[0], inst.result,
+                    if (term.op == Opcode::Ret && term.numOperands() != 0) {
+                        addEdge(module_.operand(term, 0), inst.result,
                                 DepKind::CallRet, iid);
                     }
                 }
             }
         } else if (inst.result.valid()) {
-            for (const ValueId op : inst.operands)
+            for (const ValueId op : module_.operands(inst))
                 addEdge(op, inst.result, DepKind::ExtRet, iid);
         }
     }

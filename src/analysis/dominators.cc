@@ -119,15 +119,16 @@ checkSsaDominance(const Module &module)
             const BasicBlock &bb = module.block(bid);
             for (std::size_t i = 0; i < bb.insts.size(); ++i) {
                 const Instruction &inst = module.inst(bb.insts[i]);
-                for (std::size_t k = 0; k < inst.operands.size(); ++k) {
-                    const auto [def_block, def_pos] =
-                        def_position(inst.operands[k]);
+                const std::span<const ValueId> ops = module.operands(inst);
+                for (std::size_t k = 0; k < ops.size(); ++k) {
+                    const auto [def_block, def_pos] = def_position(ops[k]);
                     if (!def_block.valid())
                         continue;
                     // Phi operands must dominate the incoming edge's
                     // source, not the phi itself.
-                    const BlockId use_block =
-                        inst.op == Opcode::Phi ? inst.phiBlocks[k] : bid;
+                    const BlockId use_block = inst.op == Opcode::Phi
+                                                  ? module.phiBlocks(inst)[k]
+                                                  : bid;
                     if (!dom.reachable(use_block) ||
                             !dom.reachable(def_block)) {
                         continue;
@@ -142,10 +143,11 @@ checkSsaDominance(const Module &module)
                     }
                     if (!ok) {
                         errors.push_back(
-                            "in @" + fn.name + ": operand %" +
-                            module.value(inst.operands[k]).name +
+                            "in @" + std::string(module.str(fn.name)) +
+                            ": operand %" +
+                            std::string(module.nameOf(ops[k])) +
                             " does not dominate its use in block " +
-                            bb.name);
+                            std::string(module.str(bb.name)));
                     }
                 }
             }

@@ -8,16 +8,26 @@
  * 1-4 element case: no node allocation on insert, cache-friendly
  * iteration, and the same (object, signed offset) ordering the
  * original std::set-based implementation exposed.
+ *
+ * Sets that outgrow the vector tiers (kPromote elements) promote to a
+ * paged-bitmap tier: sorted 64-bit pages keyed by the high bits of a
+ * sign-biased (obj, offset) key, one bitmap word per page. Insert and
+ * membership become O(log pages) instead of an O(n) memmove, and
+ * set-vs-set union/intersection run word-parallel when both sides are
+ * paged. Iteration decodes bits in ascending key order, so every tier
+ * observes the identical (obj, signed offset) ordering.
  */
 #ifndef MANTA_ANALYSIS_LOCSET_H
 #define MANTA_ANALYSIS_LOCSET_H
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <initializer_list>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "analysis/memobj.h"
 
@@ -70,20 +80,146 @@ static_assert(std::is_trivially_copyable_v<Loc>,
               "LocSet relies on memcpy-able locations");
 
 /**
- * A sorted set of locations backed by a small vector.
+ * A sorted set of locations backed by a small vector, with a paged
+ * bitmap tier for large sets.
  *
  * The first `kInline` elements live inside the object itself; larger
- * sets spill to a heap array. Iteration is in ascending (obj, offset)
- * order, matching the std::set<Loc> it replaced, so downstream
- * consumers (unification, DDG construction, tests) observe identical
- * ordering.
+ * sets spill to a heap array; sets reaching `kPromote` elements
+ * promote to sorted 64-bit bitmap pages. Iteration is in ascending
+ * (obj, offset) order in every tier, matching the std::set<Loc> it
+ * replaced, so downstream consumers (unification, DDG construction,
+ * tests) observe identical ordering regardless of storage tier.
  */
 class LocSet
 {
   public:
     using value_type = Loc;
-    using const_iterator = const Loc *;
     static constexpr std::uint32_t kInline = 4;
+    /** Element count at which a vector-tier set becomes paged. */
+    static constexpr std::uint32_t kPromote = 64;
+
+  private:
+    /**
+     * Bitmap pages: `keys[i]` is biasedKey(loc) >> 6 and bit
+     * (biasedKey & 63) of `words[i]` marks membership. Keys ascend and
+     * no word is ever zero (there is no erase), so decoding pages in
+     * order yields elements in ascending biased-key == Loc order.
+     */
+    struct BitPages
+    {
+        std::vector<std::uint64_t> keys;
+        std::vector<std::uint64_t> words;
+    };
+
+    /**
+     * Order-preserving 64-bit key: object in the high half, offset
+     * sign-biased in the low half so collapsed (-1) sorts before 0
+     * exactly as the signed Loc comparison does.
+     */
+    static std::uint64_t
+    biasedKey(const Loc &loc)
+    {
+        return (static_cast<std::uint64_t>(loc.obj.raw()) << 32) |
+               (static_cast<std::uint32_t>(loc.offset) ^ 0x80000000u);
+    }
+
+    static Loc
+    fromBiasedKey(std::uint64_t key)
+    {
+        Loc loc;
+        loc.obj = ObjectId(static_cast<std::uint32_t>(key >> 32));
+        loc.offset = static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(key) ^ 0x80000000u);
+        return loc;
+    }
+
+  public:
+    /**
+     * Forward iterator over any tier. Vector tiers walk the element
+     * array directly; the bitmap tier decodes bits eagerly (the
+     * current element is materialized in the iterator, never cached
+     * in the set, so concurrent readers stay data-race-free).
+     */
+    class const_iterator
+    {
+      public:
+        using iterator_category = std::forward_iterator_tag;
+        using value_type = Loc;
+        using difference_type = std::ptrdiff_t;
+        using pointer = const Loc *;
+        using reference = const Loc &;
+
+        const_iterator() = default;
+
+        reference operator*() const { return pages_ ? cur_ : *ptr_; }
+        pointer operator->() const { return pages_ ? &cur_ : ptr_; }
+
+        const_iterator &
+        operator++()
+        {
+            if (!pages_) {
+                ++ptr_;
+                return *this;
+            }
+            if (word_ == 0) {
+                ++page_;
+                if (page_ < pages_->keys.size())
+                    word_ = pages_->words[page_];
+                else
+                    return *this; // now == end()
+            }
+            pop();
+            return *this;
+        }
+
+        const_iterator
+        operator++(int)
+        {
+            const_iterator tmp = *this;
+            ++*this;
+            return tmp;
+        }
+
+        friend bool
+        operator==(const const_iterator &a, const const_iterator &b)
+        {
+            return a.ptr_ == b.ptr_ && a.pages_ == b.pages_ &&
+                   a.page_ == b.page_ && a.word_ == b.word_;
+        }
+        friend bool
+        operator!=(const const_iterator &a, const const_iterator &b)
+        {
+            return !(a == b);
+        }
+
+      private:
+        friend class LocSet;
+
+        explicit const_iterator(const Loc *p) : ptr_(p) {}
+
+        const_iterator(const BitPages *pages, std::size_t page,
+                       std::uint64_t word)
+            : pages_(pages), page_(page), word_(word)
+        {
+            if (word_ != 0)
+                pop();
+        }
+
+        void
+        pop()
+        {
+            const int bit = std::countr_zero(word_);
+            word_ &= word_ - 1;
+            cur_ = fromBiasedKey((pages_->keys[page_] << 6) |
+                                 static_cast<std::uint64_t>(bit));
+        }
+
+        const Loc *ptr_ = nullptr;
+        const BitPages *pages_ = nullptr;
+        std::size_t page_ = 0;
+        std::uint64_t word_ = 0;
+        Loc cur_{};
+    };
 
     LocSet() = default;
 
@@ -119,11 +255,30 @@ class LocSet
 
     ~LocSet() { release(); }
 
-    const_iterator begin() const { return data(); }
-    const_iterator end() const { return data() + size_; }
+    const_iterator
+    begin() const
+    {
+        if (onBitset()) {
+            return const_iterator(pages_, 0,
+                                  pages_->keys.empty() ? 0
+                                                       : pages_->words[0]);
+        }
+        return const_iterator(data());
+    }
+
+    const_iterator
+    end() const
+    {
+        if (onBitset())
+            return const_iterator(pages_, pages_->keys.size(), 0);
+        return const_iterator(data() + size_);
+    }
 
     std::size_t size() const { return size_; }
     bool empty() const { return size_ == 0; }
+
+    /** Is this set stored in the paged-bitmap tier? */
+    bool onBitset() const { return capacity_ == kBitsetTier; }
 
     void
     clear()
@@ -141,11 +296,17 @@ class LocSet
     std::pair<const_iterator, bool>
     insert(const Loc &loc)
     {
+        if (onBitset())
+            return insertPaged(loc);
         Loc *base = data();
         Loc *pos = std::lower_bound(base, base + size_, loc);
         if (pos != base + size_ && *pos == loc)
-            return {pos, false};
+            return {const_iterator(pos), false};
         const std::size_t at = static_cast<std::size_t>(pos - base);
+        if (size_ == kPromote) {
+            promote();
+            return insertPaged(loc);
+        }
         if (size_ == capacity_) {
             grow(capacity_ * 2);
             base = data();
@@ -153,7 +314,7 @@ class LocSet
         std::memmove(base + at + 1, base + at, (size_ - at) * sizeof(Loc));
         base[at] = loc;
         ++size_;
-        return {base + at, true};
+        return {const_iterator(base + at), true};
     }
 
     /** Insert a range (set union with any Loc range). */
@@ -165,11 +326,86 @@ class LocSet
             insert(*first);
     }
 
+    /**
+     * Set union with another LocSet. When both sides are in the
+     * bitmap tier this merges word-parallel (one OR per shared page)
+     * instead of element-by-element.
+     */
+    void
+    unionWith(const LocSet &other)
+    {
+        if (onBitset() && other.onBitset()) {
+            mergePages(*other.pages_);
+            return;
+        }
+        insert(other.begin(), other.end());
+    }
+
+    /**
+     * Set intersection with another LocSet, word-parallel (one AND
+     * per shared page) when both sides are in the bitmap tier.
+     */
+    void
+    intersectWith(const LocSet &other)
+    {
+        if (onBitset() && other.onBitset()) {
+            intersectPages(*other.pages_);
+            return;
+        }
+        LocSet kept;
+        for (const Loc &loc : *this) {
+            if (other.contains(loc))
+                kept.insert(loc);
+        }
+        *this = std::move(kept);
+    }
+
+    /**
+     * Demote a bitmap-tier set back to flat sorted-vector storage
+     * (no-op for vector tiers). Iteration order and content are
+     * unchanged; useful before long read-only phases where the flat
+     * layout scans faster than page decoding.
+     */
+    void
+    compact()
+    {
+        if (!onBitset())
+            return;
+        std::vector<Loc> elems;
+        elems.reserve(size_);
+        for (const Loc &loc : *this)
+            elems.push_back(loc);
+        BitPages *old = pages_;
+        std::uint32_t cap = kInline;
+        while (cap < elems.size())
+            cap *= 2;
+        if (cap > kInline) {
+            heap_ = new Loc[cap];
+            std::memcpy(heap_, elems.data(), elems.size() * sizeof(Loc));
+        } else {
+            std::memcpy(inline_, elems.data(), elems.size() * sizeof(Loc));
+        }
+        capacity_ = cap;
+        size_ = static_cast<std::uint32_t>(elems.size());
+        delete old;
+    }
+
     const_iterator
     find(const Loc &loc) const
     {
-        const Loc *pos = std::lower_bound(begin(), end(), loc);
-        return (pos != end() && *pos == loc) ? pos : end();
+        if (onBitset()) {
+            const std::uint64_t key = biasedKey(loc);
+            const std::size_t page = pageOf(key >> 6);
+            if (page == pages_->keys.size())
+                return end();
+            const std::uint64_t mask = 1ull << (key & 63);
+            if (!(pages_->words[page] & mask))
+                return end();
+            return iteratorAt(page, key & 63);
+        }
+        const Loc *pos = std::lower_bound(data(), data() + size_, loc);
+        return (pos != data() + size_ && *pos == loc) ? const_iterator(pos)
+                                                      : end();
     }
 
     std::size_t count(const Loc &loc) const { return find(loc) != end(); }
@@ -178,8 +414,17 @@ class LocSet
     friend bool
     operator==(const LocSet &a, const LocSet &b)
     {
-        return a.size_ == b.size_ &&
-               std::equal(a.begin(), a.end(), b.begin());
+        if (a.size_ != b.size_)
+            return false;
+        if (a.onBitset() && b.onBitset()) {
+            return a.pages_->keys == b.pages_->keys &&
+                   a.pages_->words == b.pages_->words;
+        }
+        if (!a.onBitset() && !b.onBitset()) {
+            return std::memcmp(a.data(), b.data(),
+                               a.size_ * sizeof(Loc)) == 0;
+        }
+        return std::equal(a.begin(), a.end(), b.begin());
     }
     friend bool
     operator!=(const LocSet &a, const LocSet &b)
@@ -188,6 +433,8 @@ class LocSet
     }
 
   private:
+    static constexpr std::uint32_t kBitsetTier = 0xffffffffu;
+
     Loc *
     data()
     {
@@ -198,7 +445,143 @@ class LocSet
     {
         return onHeap() ? heap_ : reinterpret_cast<const Loc *>(inline_);
     }
-    bool onHeap() const { return capacity_ > kInline; }
+    bool onHeap() const { return capacity_ > kInline && !onBitset(); }
+
+    /** Index of page `key` in keys, or keys.size() when absent. */
+    std::size_t
+    pageOf(std::uint64_t page_key) const
+    {
+        const auto &keys = pages_->keys;
+        const auto it =
+            std::lower_bound(keys.begin(), keys.end(), page_key);
+        if (it == keys.end() || *it != page_key)
+            return keys.size();
+        return static_cast<std::size_t>(it - keys.begin());
+    }
+
+    /** Iterator positioned on bit `bit` of page `page`. */
+    const_iterator
+    iteratorAt(std::size_t page, std::uint64_t bit) const
+    {
+        // Keep the found bit and everything above it; the constructor
+        // pops the found bit as the current element.
+        const std::uint64_t keep = ~((1ull << bit) - 1);
+        return const_iterator(pages_, page, pages_->words[page] & keep);
+    }
+
+    std::pair<const_iterator, bool>
+    insertPaged(const Loc &loc)
+    {
+        const std::uint64_t key = biasedKey(loc);
+        const std::uint64_t page_key = key >> 6;
+        const std::uint64_t mask = 1ull << (key & 63);
+        auto &keys = pages_->keys;
+        auto &words = pages_->words;
+        const auto it =
+            std::lower_bound(keys.begin(), keys.end(), page_key);
+        const std::size_t at = static_cast<std::size_t>(it - keys.begin());
+        if (it != keys.end() && *it == page_key) {
+            if (words[at] & mask)
+                return {iteratorAt(at, key & 63), false};
+            words[at] |= mask;
+        } else {
+            keys.insert(it, page_key);
+            words.insert(words.begin() + static_cast<std::ptrdiff_t>(at),
+                         mask);
+        }
+        ++size_;
+        return {iteratorAt(at, key & 63), true};
+    }
+
+    /** Move vector-tier storage into freshly built bitmap pages. */
+    void
+    promote()
+    {
+        BitPages *pages = new BitPages;
+        pages->keys.reserve(size_);
+        pages->words.reserve(size_);
+        const Loc *base = data();
+        for (std::uint32_t i = 0; i < size_; ++i) {
+            const std::uint64_t key = biasedKey(base[i]);
+            const std::uint64_t page_key = key >> 6;
+            const std::uint64_t mask = 1ull << (key & 63);
+            // Elements arrive sorted, so pages are built append-only.
+            if (pages->keys.empty() || pages->keys.back() != page_key) {
+                pages->keys.push_back(page_key);
+                pages->words.push_back(mask);
+            } else {
+                pages->words.back() |= mask;
+            }
+        }
+        release();
+        pages_ = pages;
+        capacity_ = kBitsetTier;
+    }
+
+    /** this |= other, one OR per shared page (both sides paged). */
+    void
+    mergePages(const BitPages &other)
+    {
+        BitPages merged;
+        const std::size_t n = pages_->keys.size();
+        const std::size_t m = other.keys.size();
+        merged.keys.reserve(n + m);
+        merged.words.reserve(n + m);
+        std::size_t count = 0;
+        std::size_t i = 0, j = 0;
+        while (i < n || j < m) {
+            std::uint64_t key;
+            std::uint64_t word;
+            if (j == m || (i < n && pages_->keys[i] < other.keys[j])) {
+                key = pages_->keys[i];
+                word = pages_->words[i];
+                ++i;
+            } else if (i == n || other.keys[j] < pages_->keys[i]) {
+                key = other.keys[j];
+                word = other.words[j];
+                ++j;
+            } else {
+                key = pages_->keys[i];
+                word = pages_->words[i] | other.words[j];
+                ++i;
+                ++j;
+            }
+            merged.keys.push_back(key);
+            merged.words.push_back(word);
+            count += static_cast<std::size_t>(std::popcount(word));
+        }
+        pages_->keys = std::move(merged.keys);
+        pages_->words = std::move(merged.words);
+        size_ = static_cast<std::uint32_t>(count);
+    }
+
+    /** this &= other, one AND per shared page (both sides paged). */
+    void
+    intersectPages(const BitPages &other)
+    {
+        std::size_t out = 0;
+        std::size_t count = 0;
+        std::size_t j = 0;
+        for (std::size_t i = 0; i < pages_->keys.size(); ++i) {
+            while (j < other.keys.size() &&
+                   other.keys[j] < pages_->keys[i])
+                ++j;
+            if (j == other.keys.size())
+                break;
+            if (other.keys[j] != pages_->keys[i])
+                continue;
+            const std::uint64_t word = pages_->words[i] & other.words[j];
+            if (word == 0)
+                continue;
+            pages_->keys[out] = pages_->keys[i];
+            pages_->words[out] = word;
+            count += static_cast<std::size_t>(std::popcount(word));
+            ++out;
+        }
+        pages_->keys.resize(out);
+        pages_->words.resize(out);
+        size_ = static_cast<std::uint32_t>(count);
+    }
 
     void
     grow(std::uint32_t new_capacity)
@@ -213,7 +596,9 @@ class LocSet
     void
     release()
     {
-        if (onHeap())
+        if (onBitset())
+            delete pages_;
+        else if (onHeap())
             delete[] heap_;
     }
 
@@ -221,7 +606,10 @@ class LocSet
     copyFrom(const LocSet &other)
     {
         size_ = other.size_;
-        if (other.onHeap()) {
+        if (other.onBitset()) {
+            capacity_ = kBitsetTier;
+            pages_ = new BitPages(*other.pages_);
+        } else if (other.onHeap()) {
             capacity_ = other.capacity_;
             heap_ = new Loc[capacity_];
             std::memcpy(heap_, other.heap_, size_ * sizeof(Loc));
@@ -236,7 +624,9 @@ class LocSet
     {
         size_ = other.size_;
         capacity_ = other.capacity_;
-        if (other.onHeap())
+        if (other.onBitset())
+            pages_ = other.pages_;
+        else if (other.onHeap())
             heap_ = other.heap_;
         else
             std::memcpy(inline_, other.inline_, size_ * sizeof(Loc));
@@ -246,13 +636,14 @@ class LocSet
 
     std::uint32_t size_ = 0;
     std::uint32_t capacity_ = kInline;
-    // Raw inline storage keeps both union variants trivial (Loc has a
+    // Raw inline storage keeps all union variants trivial (Loc has a
     // non-trivial default constructor, which would otherwise delete
     // the defaulted LocSet constructors). Loc is trivially copyable,
     // so elements are materialized by plain stores and memcpy.
     union {
         alignas(Loc) unsigned char inline_[kInline * sizeof(Loc)];
         Loc *heap_;
+        BitPages *pages_;
     };
 };
 

@@ -170,30 +170,30 @@ PointsTo::buildSparseIndexes()
           case Opcode::Copy:
           case Opcode::And:
           case Opcode::Or:
-            slot_pool_.push_back(inst.operands[0]);
+            slot_pool_.push_back(module_.operand(inst, 0));
             break;
           case Opcode::Phi:
-            slot_pool_.insert(slot_pool_.end(), inst.operands.begin(),
-                              inst.operands.end());
+            slot_pool_.insert(slot_pool_.end(), module_.operands(inst).begin(),
+                              module_.operands(inst).end());
             break;
           case Opcode::Add:
           case Opcode::Sub:
           case Opcode::Store:
-            slot_pool_.push_back(inst.operands[0]);
-            slot_pool_.push_back(inst.operands[1]);
+            slot_pool_.push_back(module_.operand(inst, 0));
+            slot_pool_.push_back(module_.operand(inst, 1));
             break;
           case Opcode::Load:
-            slot_pool_.push_back(inst.operands[0]);
-            addr_readers_[inst.operands[0].index()].push_back(
+            slot_pool_.push_back(module_.operand(inst, 0));
+            addr_readers_[module_.operand(inst, 0).index()].push_back(
                 static_cast<std::uint32_t>(i));
             break;
           case Opcode::Call:
             if (inst.callee.valid()) {
                 const Function &callee = module_.func(inst.callee);
                 const std::size_t n =
-                    std::min(callee.params.size(), inst.operands.size());
+                    std::min(callee.params.size(), inst.numOperands());
                 for (std::size_t k = 0; k < n; ++k)
-                    slot_pool_.push_back(inst.operands[k]);
+                    slot_pool_.push_back(module_.operand(inst, k));
                 if (inst.result.valid()) {
                     for (const BlockId bid : callee.blocks) {
                         const BasicBlock &bb = module_.block(bid);
@@ -202,8 +202,8 @@ PointsTo::buildSparseIndexes()
                         const Instruction &term =
                             module_.inst(bb.insts.back());
                         if (term.op == Opcode::Ret &&
-                                !term.operands.empty()) {
-                            slot_pool_.push_back(term.operands[0]);
+                                term.numOperands() != 0) {
+                            slot_pool_.push_back(module_.operand(term, 0));
                         }
                     }
                 }
@@ -211,10 +211,10 @@ PointsTo::buildSparseIndexes()
                 const External &ext = module_.external(inst.external);
                 if ((ext.role == ExternRole::StrCopy ||
                      ext.role == ExternRole::BoundedCopy) &&
-                        inst.operands.size() >= 2) {
-                    slot_pool_.push_back(inst.operands[0]);
-                    slot_pool_.push_back(inst.operands[1]);
-                    addr_readers_[inst.operands[1].index()].push_back(
+                        inst.numOperands() >= 2) {
+                    slot_pool_.push_back(module_.operand(inst, 0));
+                    slot_pool_.push_back(module_.operand(inst, 1));
+                    addr_readers_[module_.operand(inst, 1).index()].push_back(
                         static_cast<std::uint32_t>(i));
                 }
             }
@@ -430,8 +430,8 @@ PointsTo::sparseTransfer(InstId iid)
         break;
       case Opcode::Add:
       case Opcode::Sub: {
-        const ValueId a = inst.operands[0];
-        const ValueId b = inst.operands[1];
+        const ValueId a = module_.operand(inst, 0);
+        const ValueId b = module_.operand(inst, 1);
         const std::int64_t sign = inst.op == Opcode::Add ? 1 : -1;
         std::int64_t c = 0;
         const auto shift_delta = [&](std::size_t k, std::int64_t delta) {
@@ -476,14 +476,14 @@ PointsTo::sparseTransfer(InstId iid)
         const auto [from, to] = take(0);
         (void)from;
         const std::vector<Loc> &log =
-            value_log_[inst.operands[0].index()];
+            value_log_[module_.operand(inst, 0).index()];
         for (std::uint32_t k = 0; k < to; ++k)
             gatherLocDelta(iid, log[k], nullptr, nullptr, inst.result);
         break;
       }
       case Opcode::Store: {
-        const ValueId addr = inst.operands[0];
-        const ValueId payload = inst.operands[1];
+        const ValueId addr = module_.operand(inst, 0);
+        const ValueId payload = module_.operand(inst, 1);
         const std::vector<Loc> &alog = value_log_[addr.index()];
         const std::vector<Loc> &plog = value_log_[payload.index()];
         const auto [addr_from, addr_to] = take(0);
@@ -504,7 +504,7 @@ PointsTo::sparseTransfer(InstId iid)
         if (inst.callee.valid()) {
             const Function &callee = module_.func(inst.callee);
             const std::size_t n =
-                std::min(callee.params.size(), inst.operands.size());
+                std::min(callee.params.size(), inst.numOperands());
             for (std::size_t k = 0; k < n; ++k)
                 delta_apply(k, callee.params[k]);
             // Slots beyond the bound arguments are the callee's
@@ -516,8 +516,8 @@ PointsTo::sparseTransfer(InstId iid)
         } else if (num_slots > 0) {
             // Copy-routine external (slots = {dst, src}): move buffer
             // contents src -> dst through the unknown-offset bucket.
-            const ValueId dst = inst.operands[0];
-            const ValueId src = inst.operands[1];
+            const ValueId dst = module_.operand(inst, 0);
+            const ValueId src = module_.operand(inst, 1);
             LocSet &payload_cache = ext_payload_[iid.raw()];
             ext_delta_.clear();
             const auto [src_from, src_to] = take(1);
@@ -745,16 +745,16 @@ PointsTo::transferInst(InstId iid)
 
     switch (inst.op) {
       case Opcode::Copy:
-        changed |= addLocs(inst.result, locs(inst.operands[0]));
+        changed |= addLocs(inst.result, locs(module_.operand(inst, 0)));
         break;
       case Opcode::Phi:
-        for (const ValueId op : inst.operands)
+        for (const ValueId op : module_.operands(inst))
             changed |= addLocs(inst.result, locs(op));
         break;
       case Opcode::Add:
       case Opcode::Sub: {
-        const ValueId a = inst.operands[0];
-        const ValueId b = inst.operands[1];
+        const ValueId a = module_.operand(inst, 0);
+        const ValueId b = module_.operand(inst, 1);
         const std::int64_t sign = inst.op == Opcode::Add ? 1 : -1;
         std::int64_t c = 0;
         if (constOf(b, c)) {
@@ -776,35 +776,35 @@ PointsTo::transferInst(InstId iid)
       case Opcode::And:
       case Opcode::Or:
         // Alignment masking keeps the pointer but may tweak low bits.
-        changed |= addLocs(inst.result, locs(inst.operands[0]));
+        changed |= addLocs(inst.result, locs(module_.operand(inst, 0)));
         break;
       case Opcode::Load: {
-        for (const Loc &addr : locs(inst.operands[0]))
+        for (const Loc &addr : locs(module_.operand(inst, 0)))
             changed |= addLocs(inst.result, loadedLocs(addr, iid));
         break;
       }
       case Opcode::Store: {
-        const LocSet &payload = locs(inst.operands[1]);
-        for (const Loc &addr : locs(inst.operands[0]))
-            changed |= storeInto(addr, payload, iid, inst.operands[0]);
+        const LocSet &payload = locs(module_.operand(inst, 1));
+        for (const Loc &addr : locs(module_.operand(inst, 0)))
+            changed |= storeInto(addr, payload, iid, module_.operand(inst, 0));
         break;
       }
       case Opcode::Call: {
         if (inst.callee.valid()) {
             const Function &callee = module_.func(inst.callee);
             const std::size_t n =
-                std::min(callee.params.size(), inst.operands.size());
+                std::min(callee.params.size(), inst.numOperands());
             for (std::size_t i = 0; i < n; ++i)
-                changed |= addLocs(callee.params[i], locs(inst.operands[i]));
+                changed |= addLocs(callee.params[i], locs(module_.operand(inst, i)));
             if (inst.result.valid()) {
                 for (const BlockId bid : callee.blocks) {
                     const BasicBlock &bb = module_.block(bid);
                     if (bb.insts.empty())
                         continue;
                     const Instruction &term = module_.inst(bb.insts.back());
-                    if (term.op == Opcode::Ret && !term.operands.empty()) {
+                    if (term.op == Opcode::Ret && term.numOperands() != 0) {
                         changed |= addLocs(inst.result,
-                                           locs(term.operands[0]));
+                                           locs(module_.operand(term, 0)));
                     }
                 }
             }
@@ -829,20 +829,20 @@ PointsTo::transferExternalCall(InstId iid, const Instruction &inst)
       case ExternRole::BoundedCopy: {
         // Copy the contents of the source buffer into the destination
         // buffer (coarsely, through the unknown-offset bucket).
-        if (inst.operands.size() < 2)
+        if (inst.numOperands() < 2)
             break;
         LocSet payload;
-        for (const Loc &src : locs(inst.operands[1])) {
+        for (const Loc &src : locs(module_.operand(inst, 1))) {
             const LocSet loaded = loadedLocs(src, iid);
-            payload.insert(loaded.begin(), loaded.end());
+            payload.unionWith(loaded);
         }
-        for (const Loc &dst : locs(inst.operands[0])) {
+        for (const Loc &dst : locs(module_.operand(inst, 0))) {
             changed |= storeInto(Loc{dst.obj, Loc::unknownOffset}, payload,
                                  iid, ValueId::invalid());
         }
         // strcpy/memcpy return the destination pointer.
         if (inst.result.valid())
-            changed |= addLocs(inst.result, locs(inst.operands[0]));
+            changed |= addLocs(inst.result, locs(module_.operand(inst, 0)));
         break;
       }
       default:

@@ -29,8 +29,8 @@ StoreReach::StoreReach(const Module &module) : module_(module)
             const Instruction &inst = module.inst(iid);
             if (inst.op != Opcode::Store)
                 continue;
-            const std::uint64_t key =
-                packPair(BlockId::RawType(b), inst.operands[0].raw());
+            const std::uint64_t key = packPair(
+                BlockId::RawType(b), module.operand(inst, 0).raw());
             const auto [slot, inserted] = store_index_.insert(
                 key, static_cast<std::uint32_t>(store_positions_.size()));
             if (inserted)

@@ -28,10 +28,10 @@ runCweCheckerLike(MantaAnalyzer &analyzer)
                     continue;
                 const External &ext = module.external(inst.external);
                 if (ext.role == ExternRole::StrCopy &&
-                        inst.operands.size() >= 2) {
+                        inst.numOperands() >= 2) {
                     // CWE-121 pattern: strcpy into stack memory.
                     bool stack_dst = false;
-                    for (const Loc &loc : pts.locs(inst.operands[0])) {
+                    for (const Loc &loc : pts.locs(module.operand(inst, 0))) {
                         stack_dst |= pts.objects().object(loc.obj).kind ==
                                      ObjKind::Stack;
                     }
@@ -42,9 +42,9 @@ runCweCheckerLike(MantaAnalyzer &analyzer)
                                       "strcpy into stack buffer"});
                     }
                 } else if (ext.role == ExternRole::CommandSink &&
-                           !inst.operands.empty()) {
+                           inst.numOperands() != 0) {
                     // CWE-78 pattern: system() with a non-literal arg.
-                    const Value &arg = module.value(inst.operands[0]);
+                    const Value &arg = module.value(module.operand(inst, 0));
                     const bool literal =
                         arg.kind == ValueKind::GlobalAddr &&
                         module.global(arg.global).isStringLiteral;
@@ -55,9 +55,9 @@ runCweCheckerLike(MantaAnalyzer &analyzer)
                                       "system with non-literal argument"});
                     }
                 } else if (ext.role == ExternRole::Free &&
-                           !inst.operands.empty()) {
+                           inst.numOperands() != 0) {
                     frees.push_back(iid);
-                    freed_values.push_back(inst.operands[0]);
+                    freed_values.push_back(module.operand(inst, 0));
                 }
             }
         }
@@ -69,7 +69,7 @@ runCweCheckerLike(MantaAnalyzer &analyzer)
                     if (iid == frees[i])
                         continue;
                     const Instruction &inst = module.inst(iid);
-                    for (const ValueId op : inst.operands) {
+                    for (const ValueId op : module.operands(inst)) {
                         if (op == freed_values[i]) {
                             out.reports.push_back(BugReport{
                                 CheckerKind::UAF, frees[i], iid,
@@ -130,7 +130,7 @@ runSatcLike(MantaAnalyzer &analyzer)
     for (std::size_t i = 0; i < module.numInsts(); ++i) {
         const Instruction &inst =
             module.inst(InstId(static_cast<InstId::RawType>(i)));
-        for (const ValueId op : inst.operands) {
+        for (const ValueId op : module.operands(inst)) {
             const Value &value = module.value(op);
             if (value.kind == ValueKind::GlobalAddr &&
                     module.global(value.global).isStringLiteral) {
@@ -174,11 +174,11 @@ runSatcLike(MantaAnalyzer &analyzer)
                 const ExternRole role =
                     module.external(use.external).role;
                 const bool cmd_sink = role == ExternRole::CommandSink &&
-                                      !use.operands.empty() &&
-                                      use.operands[0] == reached;
+                                      use.numOperands() != 0 &&
+                                      module.operand(use, 0) == reached;
                 const bool copy_sink = role == ExternRole::StrCopy &&
-                                       use.operands.size() >= 2 &&
-                                       use.operands[1] == reached;
+                                       use.numOperands() >= 2 &&
+                                       module.operand(use, 1) == reached;
                 if (!cmd_sink && !copy_sink)
                     continue;
                 const std::uint64_t key =

@@ -57,8 +57,8 @@ DirtyModel::featuresAll(const Module &module)
               case Opcode::Call: {
                 f[7] = true;
                 if (inst.external.valid()) {
-                    const std::string &name =
-                        module.external(inst.external).name;
+                    const std::string_view name =
+                        module.str(module.external(inst.external).name);
                     f[8] = name == "malloc" || name == "calloc";
                     f[9] = name == "strlen" || name == "atoi" ||
                            name == "strtol";
@@ -84,8 +84,9 @@ DirtyModel::featuresAll(const Module &module)
             }
         }
 
-        for (std::size_t k = 0; k < inst.operands.size(); ++k) {
-            auto &f = all[inst.operands[k].index()];
+        const std::span<const ValueId> ops = module.operands(inst);
+        for (std::size_t k = 0; k < ops.size(); ++k) {
+            auto &f = all[ops[k].index()];
             switch (inst.op) {
               case Opcode::Load:
                 f[15] = true;
@@ -115,8 +116,8 @@ DirtyModel::featuresAll(const Module &module)
                 break;
               case Opcode::Call: {
                 if (inst.external.valid()) {
-                    const std::string &name =
-                        module.external(inst.external).name;
+                    const std::string_view name =
+                        module.str(module.external(inst.external).name);
                     f[21] = f[21] || name == "print_str" ||
                             name == "strlen" || name == "strcpy" ||
                             name == "strcat" || name == "system" ||

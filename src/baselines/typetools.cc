@@ -78,7 +78,7 @@ runRetdecLike(Module &module)
                 module.inst(InstId(static_cast<InstId::RawType>(i)));
             if ((inst.op == Opcode::Copy || inst.op == Opcode::Phi) &&
                     inst.result.valid()) {
-                for (const ValueId op : inst.operands) {
+                for (const ValueId op : module.operands(inst)) {
                     const auto it = hints.find(op);
                     if (it != hints.end() && !hints.count(inst.result)) {
                         hints.emplace(inst.result, it->second);
@@ -124,7 +124,7 @@ runGhidraLike(Module &module)
             for (const InstId iid : bb.insts) {
                 const Instruction &inst = module.inst(iid);
                 if (inst.op == Opcode::Copy || inst.op == Opcode::Phi) {
-                    for (const ValueId op : inst.operands) {
+                    for (const ValueId op : module.operands(inst)) {
                         const auto it = hints.find(op);
                         const bool same_block =
                             module.value(op).kind == ValueKind::InstResult
@@ -137,11 +137,11 @@ runGhidraLike(Module &module)
                         }
                     }
                 } else if (inst.op == Opcode::Store) {
-                    const auto it = hints.find(inst.operands[1]);
+                    const auto it = hints.find(module.operand(inst, 1));
                     if (it != hints.end())
-                        slots[inst.operands[0].raw()] = it->second;
+                        slots[module.operand(inst, 0).raw()] = it->second;
                 } else if (inst.op == Opcode::Load) {
-                    const auto it = slots.find(inst.operands[0].raw());
+                    const auto it = slots.find(module.operand(inst, 0).raw());
                     if (it != slots.end() && !hints.count(inst.result))
                         hints.emplace(inst.result, it->second);
                 }
@@ -168,10 +168,10 @@ runGhidraLike(Module &module)
         // Store addresses keep their pointer reading; everything else
         // unresolved defaults to a width-sized integer ("undefined8 ->
         // long" decompiler behaviour).
-        for (std::size_t k = 0; k < inst.operands.size(); ++k) {
+        for (std::size_t k = 0; k < inst.numOperands(); ++k) {
             if (inst.op == Opcode::Store && k == 0)
                 continue;
-            const ValueId op = inst.operands[k];
+            const ValueId op = module.operand(inst, k);
             if (isVariable(module, op) && !hints.count(op)) {
                 const int width = module.value(op).width;
                 if (isValidWidth(width))
@@ -212,20 +212,20 @@ runRetypdLike(Module &module, std::size_t work_budget)
         switch (inst.op) {
           case Opcode::Copy:
           case Opcode::Phi:
-            for (const ValueId op : inst.operands)
+            for (const ValueId op : module.operands(inst))
                 link(op, inst.result);
             break;
           case Opcode::ICmp:
-            link(inst.operands[0], inst.operands[1]);
+            link(module.operand(inst, 0), module.operand(inst, 1));
             break;
           case Opcode::Call: {
             if (!inst.callee.valid())
                 break;
             const Function &callee = module.func(inst.callee);
             const std::size_t n =
-                std::min(callee.params.size(), inst.operands.size());
+                std::min(callee.params.size(), inst.numOperands());
             for (std::size_t k = 0; k < n; ++k)
-                link(inst.operands[k], callee.params[k]);
+                link(module.operand(inst, k), callee.params[k]);
             break;
           }
           default:

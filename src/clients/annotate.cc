@@ -83,12 +83,12 @@ recoveredSignature(const Module &module, FuncId func,
         if (bb.insts.empty())
             continue;
         const Instruction &term = module.inst(bb.insts.back());
-        if (term.op == Opcode::Ret && !term.operands.empty()) {
-            ret = describe(tt, types.valueBounds(term.operands[0]));
+        if (term.op == Opcode::Ret && term.numOperands() != 0) {
+            ret = describe(tt, types.valueBounds(module.operand(term, 0)));
             break;
         }
     }
-    os << ret << " " << fn.name << "(";
+    os << ret << " " << module.str(fn.name) << "(";
     for (std::size_t i = 0; i < fn.params.size(); ++i) {
         if (i > 0)
             os << ", ";
@@ -106,9 +106,9 @@ annotateFunction(const Module &module, FuncId func,
     const TypeTable &tt = module.types();
     std::ostringstream os;
     os << "; " << recoveredSignature(module, func, types) << "\n";
-    os << "func @" << fn.name << "(...) {\n";
+    os << "func @" << module.str(fn.name) << "(...) {\n";
     for (const BlockId bid : fn.blocks) {
-        os << module.block(bid).name << ":\n";
+        os << module.str(module.block(bid).name) << ":\n";
         for (const InstId iid : module.block(bid).insts) {
             const Instruction &inst = module.inst(iid);
             os << "  " << printInst(module, iid);

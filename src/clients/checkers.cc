@@ -139,7 +139,7 @@ BugDetector::runNpd() const
                                 inst.op == Opcode::Call;
         if (!feeds_flow)
             continue;
-        for (const ValueId op : inst.operands) {
+        for (const ValueId op : module_.operands(inst)) {
             const Value &v = module_.value(op);
             if (v.kind != ValueKind::Constant || v.constValue != 0 ||
                     v.width != 64) {
@@ -150,9 +150,9 @@ BugDetector::runNpd() const
                     const Instruction &use = module_.inst(user);
                     const bool deref =
                         (use.op == Opcode::Load &&
-                         use.operands[0] == reached) ||
+                         module_.operand(use, 0) == reached) ||
                         (use.op == Opcode::Store &&
-                         use.operands[0] == reached);
+                         module_.operand(use, 0) == reached);
                     if (deref && order_.mayPrecede(iid, user)) {
                         reports.add(CheckerKind::NPD, iid, user, use.srcTag,
                                     "NULL value may reach dereference");
@@ -180,10 +180,10 @@ BugDetector::runRsa() const
              slicer_.forwardSlice(inst.result, opts)) {
             for (const InstId user : instIndex_.users(reached)) {
                 const Instruction &use = module_.inst(user);
-                if (use.op != Opcode::Ret || use.operands.empty())
+                if (use.op != Opcode::Ret || use.numOperands() == 0)
                     continue;
                 if (module_.block(use.parent).func == owner &&
-                        use.operands[0] == reached) {
+                        module_.operand(use, 0) == reached) {
                     reports.add(CheckerKind::RSA, iid, user, use.srcTag,
                                 "stack address returned to caller");
                 }
@@ -201,21 +201,21 @@ BugDetector::runUaf() const
 
     for (const InstId free_site : externalCallsWithRole(ExternRole::Free)) {
         const Instruction &free_inst = module_.inst(free_site);
-        if (free_inst.operands.empty())
+        if (free_inst.numOperands() == 0)
             continue;
-        const ValueId freed = free_inst.operands[0];
+        const ValueId freed = module_.operand(free_inst, 0);
         for (const ValueId reached : slicer_.forwardSlice(freed, opts)) {
             for (const InstId user : instIndex_.users(reached)) {
                 if (user == free_site)
                     continue;
                 const Instruction &use = module_.inst(user);
                 const bool memory_use =
-                    (use.op == Opcode::Load && use.operands[0] == reached) ||
-                    (use.op == Opcode::Store && use.operands[0] == reached);
+                    (use.op == Opcode::Load && module_.operand(use, 0) == reached) ||
+                    (use.op == Opcode::Store && module_.operand(use, 0) == reached);
                 const bool refree =
                     use.op == Opcode::Call && use.external.valid() &&
                     module_.external(use.external).role == ExternRole::Free &&
-                    use.operands[0] == reached;
+                    module_.operand(use, 0) == reached;
                 if ((memory_use || refree) &&
                         order_.mayPrecede(free_site, user)) {
                     reports.add(CheckerKind::UAF, free_site, user, use.srcTag,
@@ -249,7 +249,7 @@ BugDetector::runCmi() const
                         ExternRole::CommandSink) {
                     continue;
                 }
-                if (!use.operands.empty() && use.operands[0] == reached &&
+                if (use.numOperands() != 0 && module_.operand(use, 0) == reached &&
                         order_.mayPrecede(src, user)) {
                     reports.add(CheckerKind::CMI, src, user, use.srcTag,
                                 "tainted data reaches command execution");
@@ -294,20 +294,20 @@ BugDetector::runBof() const
                 if (!order_.mayPrecede(src, user))
                     continue;
                 if (ext.role == ExternRole::StrCopy &&
-                        use.operands.size() >= 2 &&
-                        use.operands[1] == reached) {
+                        use.numOperands() >= 2 &&
+                        module_.operand(use, 1) == reached) {
                     // Unbounded copy of tainted data into a fixed buffer.
-                    if (fixed_dst_size(use.operands[0]) > 0) {
+                    if (fixed_dst_size(module_.operand(use, 0)) > 0) {
                         reports.add(CheckerKind::BOF, src, user, use.srcTag,
                                     "unbounded copy of tainted data into "
                                     "fixed-size buffer");
                     }
                 } else if (ext.role == ExternRole::BoundedCopy &&
-                           use.operands.size() >= 3 &&
-                           use.operands[1] == reached) {
-                    const Value &len = module_.value(use.operands[2]);
+                           use.numOperands() >= 3 &&
+                           module_.operand(use, 1) == reached) {
+                    const Value &len = module_.value(module_.operand(use, 2));
                     const std::uint32_t dst_size =
-                        fixed_dst_size(use.operands[0]);
+                        fixed_dst_size(module_.operand(use, 0));
                     if (len.kind == ValueKind::Constant && dst_size > 0 &&
                             len.constValue >
                                 static_cast<std::int64_t>(dst_size)) {

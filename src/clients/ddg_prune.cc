@@ -52,7 +52,7 @@ pruneInfeasibleDeps(Ddg &ddg, const InferenceResult &inference)
             if (definitelyNum(tt, result_bp) && definitelyPtr(tt, op_bp)) {
                 prune = true;
             } else if (definitelyPtr(tt, result_bp) &&
-                       edge.from == inst.operands[1]) {
+                       edge.from == module.operand(inst, 1)) {
                 // R = SUB base, offset with R:ptr -> the subtrahend is
                 // the offset.
                 prune = true;

@@ -12,12 +12,13 @@ bindIcallTargets(DataSlicer &slicer, const Module &module,
 {
     for (const auto &[site, funcs] : targets.targets) {
         const Instruction &inst = module.inst(site);
+        const std::span<const ValueId> args = module.operands(inst);
         for (const FuncId target : funcs) {
             const Function &fn = module.func(target);
             const std::size_t n =
-                std::min(fn.params.size(), inst.operands.size() - 1);
+                std::min(fn.params.size(), args.size() - 1);
             for (std::size_t i = 0; i < n; ++i) {
-                slicer.addExtraEdge(inst.operands[i + 1], fn.params[i],
+                slicer.addExtraEdge(args[i + 1], fn.params[i],
                                     DepKind::CallArg, site);
             }
             if (inst.result.valid()) {
@@ -26,9 +27,10 @@ bindIcallTargets(DataSlicer &slicer, const Module &module,
                     if (bb.insts.empty())
                         continue;
                     const Instruction &term = module.inst(bb.insts.back());
-                    if (term.op == Opcode::Ret && !term.operands.empty()) {
-                        slicer.addExtraEdge(term.operands[0], inst.result,
-                                            DepKind::CallRet, site);
+                    if (term.op == Opcode::Ret && term.numOperands() > 0) {
+                        slicer.addExtraEdge(module.operand(term, 0),
+                                            inst.result, DepKind::CallRet,
+                                            site);
                     }
                 }
             }
@@ -81,7 +83,8 @@ IcallAnalysis::feasible(InstId site, FuncId target,
 {
     const Instruction &icall = module_.inst(site);
     const Function &fn = module_.func(target);
-    const std::size_t num_args = icall.operands.size() - 1; // operand0=target
+    const std::span<const ValueId> icall_ops = module_.operands(icall);
+    const std::size_t num_args = icall_ops.size() - 1; // operand0=target
 
     // Rule 1 (all disciplines): enough arguments are prepared.
     if (num_args < fn.params.size())
@@ -92,7 +95,7 @@ IcallAnalysis::feasible(InstId site, FuncId target,
 
     if (discipline == IcallDiscipline::ArgCountWidth) {
         for (std::size_t i = 0; i < fn.params.size(); ++i) {
-            const int arg_width = module_.value(icall.operands[i + 1]).width;
+            const int arg_width = module_.value(icall_ops[i + 1]).width;
             const int par_width = module_.value(fn.params[i]).width;
             if (arg_width < par_width)
                 return false;
@@ -110,7 +113,7 @@ IcallAnalysis::feasible(InstId site, FuncId target,
             : InstId::invalid();
 
     for (std::size_t i = 0; i < fn.params.size(); ++i) {
-        const ValueId arg = icall.operands[i + 1];
+        const ValueId arg = icall_ops[i + 1];
         const BoundPair arg_bp = inference_->siteBounds(arg, site);
         const BoundPair par_bp =
             inference_->siteBounds(fn.params[i], entry_inst);
@@ -126,10 +129,10 @@ IcallAnalysis::feasible(InstId site, FuncId target,
             if (bb.insts.empty())
                 continue;
             const Instruction &term = module_.inst(bb.insts.back());
-            if (term.op != Opcode::Ret || term.operands.empty())
+            if (term.op != Opcode::Ret || term.numOperands() == 0)
                 continue;
-            const BoundPair ret_f =
-                inference_->siteBounds(term.operands[0], bb.insts.back());
+            const BoundPair ret_f = inference_->siteBounds(
+                module_.operand(term, 0), bb.insts.back());
             const BoundPair ret_s = inference_->siteBounds(icall.result, site);
             if (!tt.isSubtype(ret_s.lower, ret_f.upper))
                 return false;

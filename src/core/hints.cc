@@ -47,8 +47,8 @@ HintIndex::scanInst(Module &module, InstId iid, const PointsTo *pts)
             inst.result.valid()) {
         // Pointer arithmetic: a base pointer displaced by a constant
         // reveals both base and result as pointers.
-        const ValueId a = inst.operands[0];
-        const ValueId b = inst.operands[1];
+        const ValueId a = module.operand(inst, 0);
+        const ValueId b = module.operand(inst, 1);
         const bool b_const = module.value(b).kind == ValueKind::Constant;
         if (b_const && !pts->locs(a).empty() &&
                 !pts->locs(inst.result).empty()) {
@@ -66,12 +66,12 @@ HintIndex::scanInst(Module &module, InstId iid, const PointsTo *pts)
         // Dereference reveals the address as a pointer to a register
         // cell of the loaded width (ptr vs num of the cell stays open).
         const int width = module.value(inst.result).width;
-        addHint(inst.operands[0], tt.ptr(tt.reg(width)), iid);
+        addHint(module.operand(inst, 0), tt.ptr(tt.reg(width)), iid);
         break;
       }
       case Opcode::Store: {
-        const int width = module.value(inst.operands[1]).width;
-        addHint(inst.operands[0], tt.ptr(tt.reg(width)), iid);
+        const int width = module.value(module.operand(inst, 1)).width;
+        addHint(module.operand(inst, 0), tt.ptr(tt.reg(width)), iid);
         break;
       }
       case Opcode::Alloca:
@@ -83,12 +83,12 @@ HintIndex::scanInst(Module &module, InstId iid, const PointsTo *pts)
       case Opcode::FDiv: {
         const int width = module.value(inst.result).width;
         addHint(inst.result, float_of_width(width), iid);
-        for (const ValueId op : inst.operands)
+        for (const ValueId op : module.operands(inst))
             addHint(op, float_of_width(module.value(op).width), iid);
         break;
       }
       case Opcode::FCmp:
-        for (const ValueId op : inst.operands)
+        for (const ValueId op : module.operands(inst))
             addHint(op, float_of_width(module.value(op).width), iid);
         break;
       case Opcode::Mul:
@@ -101,7 +101,7 @@ HintIndex::scanInst(Module &module, InstId iid, const PointsTo *pts)
         // code (pointer scaling happens before the add).
         const int width = module.value(inst.result).width;
         addHint(inst.result, tt.intTy(width), iid);
-        for (const ValueId op : inst.operands)
+        for (const ValueId op : module.operands(inst))
             addHint(op, tt.intTy(module.value(op).width), iid);
         break;
       }
@@ -110,8 +110,8 @@ HintIndex::scanInst(Module &module, InstId iid, const PointsTo *pts)
       case Opcode::SExt: {
         // Width conversions act on integers.
         addHint(inst.result, tt.intTy(module.value(inst.result).width), iid);
-        addHint(inst.operands[0],
-                tt.intTy(module.value(inst.operands[0]).width), iid);
+        addHint(module.operand(inst, 0),
+                tt.intTy(module.value(module.operand(inst, 0)).width), iid);
         break;
       }
       case Opcode::ICmp: {
@@ -119,7 +119,7 @@ HintIndex::scanInst(Module &module, InstId iid, const PointsTo *pts)
         // an integer (zero stays ambiguous: it may be NULL). Combined
         // with the cmp unification rule this reproduces the paper's
         // pointer-vs-(-1) soundness gap.
-        for (const ValueId op : inst.operands) {
+        for (const ValueId op : module.operands(inst)) {
             const Value &v = module.value(op);
             if (v.kind == ValueKind::Constant && v.constValue != 0)
                 addHint(op, tt.intTy(v.width), iid);
@@ -131,9 +131,9 @@ HintIndex::scanInst(Module &module, InstId iid, const PointsTo *pts)
             break;
         const External &ext = module.external(inst.external);
         const std::size_t n =
-            std::min(ext.paramTypes.size(), inst.operands.size());
+            std::min(ext.paramTypes.size(), inst.numOperands());
         for (std::size_t k = 0; k < n; ++k)
-            addHint(inst.operands[k], ext.paramTypes[k], iid);
+            addHint(module.operand(inst, k), ext.paramTypes[k], iid);
         if (inst.result.valid() && ext.retType.valid())
             addHint(inst.result, ext.retType, iid);
         break;

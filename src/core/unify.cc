@@ -198,14 +198,14 @@ FlowInsensitiveInference::processUnifications(TypeEnv &env)
         const Instruction &inst =
             module_.inst(InstId(static_cast<InstId::RawType>(i)));
         if (inst.op == Opcode::Load) {
-            for (const Loc &loc : pts_.locs(inst.operands[0])) {
+            for (const Loc &loc : pts_.locs(module_.operand(inst, 0))) {
                 env.unite(env.indexOf(TypeVar::of(inst.result)),
                           env.indexOf(fieldVarOf(loc)));
             }
         } else if (inst.op == Opcode::Store) {
-            for (const Loc &loc : pts_.locs(inst.operands[0])) {
+            for (const Loc &loc : pts_.locs(module_.operand(inst, 0))) {
                 env.unite(env.indexOf(fieldVarOf(loc)),
-                          env.indexOf(TypeVar::of(inst.operands[1])));
+                          env.indexOf(TypeVar::of(module_.operand(inst, 1))));
             }
         }
     }
@@ -217,11 +217,11 @@ FlowInsensitiveInference::processUnifications(TypeEnv &env)
             module_.inst(InstId(static_cast<InstId::RawType>(i)));
         switch (inst.op) {
           case Opcode::Copy:
-            unifyValueValue(env, inst.result, inst.operands[0]);
-            unifyObjTypes(env, inst.result, inst.operands[0]);
+            unifyValueValue(env, inst.result, module_.operand(inst, 0));
+            unifyObjTypes(env, inst.result, module_.operand(inst, 0));
             break;
           case Opcode::Phi:
-            for (const ValueId op : inst.operands) {
+            for (const ValueId op : module_.operands(inst)) {
                 unifyValueValue(env, inst.result, op);
                 unifyObjTypes(env, inst.result, op);
             }
@@ -229,17 +229,17 @@ FlowInsensitiveInference::processUnifications(TypeEnv &env)
           case Opcode::ICmp:
             // Two compared values share a type (Section 6.4 notes this
             // rule's pointer-vs-error-constant noise).
-            unifyValueValue(env, inst.operands[0], inst.operands[1]);
+            unifyValueValue(env, module_.operand(inst, 0), module_.operand(inst, 1));
             break;
           case Opcode::Call: {
             if (!inst.callee.valid())
                 break;
             const Function &callee = module_.func(inst.callee);
             const std::size_t n =
-                std::min(callee.params.size(), inst.operands.size());
+                std::min(callee.params.size(), inst.numOperands());
             for (std::size_t k = 0; k < n; ++k) {
-                unifyValueValue(env, inst.operands[k], callee.params[k]);
-                unifyObjTypes(env, inst.operands[k], callee.params[k]);
+                unifyValueValue(env, module_.operand(inst, k), callee.params[k]);
+                unifyObjTypes(env, module_.operand(inst, k), callee.params[k]);
             }
             if (inst.result.valid()) {
                 for (const BlockId bid : callee.blocks) {
@@ -247,9 +247,9 @@ FlowInsensitiveInference::processUnifications(TypeEnv &env)
                     if (bb.insts.empty())
                         continue;
                     const Instruction &term = module_.inst(bb.insts.back());
-                    if (term.op == Opcode::Ret && !term.operands.empty()) {
-                        unifyValueValue(env, inst.result, term.operands[0]);
-                        unifyObjTypes(env, inst.result, term.operands[0]);
+                    if (term.op == Opcode::Ret && term.numOperands() != 0) {
+                        unifyValueValue(env, inst.result, module_.operand(term, 0));
+                        unifyObjTypes(env, inst.result, module_.operand(term, 0));
                     }
                 }
             }

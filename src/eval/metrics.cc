@@ -10,7 +10,7 @@ evaluatedParams(const Module &module, const GroundTruth &truth)
     std::vector<ValueId> params;
     for (std::size_t f = 0; f < module.numFuncs(); ++f) {
         const Function &fn = module.func(FuncId(FuncId::RawType(f)));
-        if (fn.name == "main")
+        if (module.str(fn.name) == "main")
             continue;
         for (const ValueId p : fn.params) {
             if (truth.typeOf(p).valid())

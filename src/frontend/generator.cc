@@ -16,6 +16,24 @@ struct TypedValue
     TypeRef type;
 };
 
+/**
+ * Grow a phi's incoming list by one edge. CSR slices can't grow in
+ * place, so this rewrites both lists through the set* API (which
+ * appends a fresh run when the slice is full).
+ */
+void
+appendPhiIncoming(Module &m, InstId phi, ValueId incoming, BlockId from)
+{
+    const std::span<const ValueId> cur_ops = m.operands(phi);
+    std::vector<ValueId> ops(cur_ops.begin(), cur_ops.end());
+    const std::span<const BlockId> cur_blocks = m.phiBlocks(phi);
+    std::vector<BlockId> blocks(cur_blocks.begin(), cur_blocks.end());
+    ops.push_back(incoming);
+    blocks.push_back(from);
+    m.setOperands(phi, ops);
+    m.setPhiBlocks(phi, blocks);
+}
+
 /** Declared signature of a generated function. */
 struct FuncPlan
 {
@@ -370,9 +388,7 @@ class ProgramGenerator
         s.slots = saved_slots;
 
         // Patch the phi with the loop-carried entry.
-        Instruction &phi = module().inst(module().value(iv).inst);
-        phi.operands.push_back(next);
-        phi.phiBlocks.push_back(latch);
+        appendPhiIncoming(module(), module().value(iv).inst, next, latch);
 
         fb.setInsertPoint(exit);
     }
@@ -525,15 +541,10 @@ class ProgramGenerator
         fb.jmp(head);
 
         // Patch the loop-carried phis.
-        {
-            Instruction &phi_cursor =
-                module().inst(module().value(cursor).inst);
-            phi_cursor.operands.push_back(next_cursor);
-            phi_cursor.phiBlocks.push_back(latch);
-            Instruction &phi_iv = module().inst(module().value(iv).inst);
-            phi_iv.operands.push_back(next_iv);
-            phi_iv.phiBlocks.push_back(latch);
-        }
+        appendPhiIncoming(module(), module().value(cursor).inst,
+                          next_cursor, latch);
+        appendPhiIncoming(module(), module().value(iv).inst, next_iv,
+                          latch);
         program_.truth.valueTypes[cursor] = tStr_;
         program_.truth.valueTypes[iv] = tInt64_;
 

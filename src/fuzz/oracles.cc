@@ -11,6 +11,7 @@
 #include "mir/interp.h"
 #include "lint/run.h"
 #include "mir/parser.h"
+#include "mir/serialize.h"
 #include "mir/printer.h"
 #include "mir/verifier.h"
 #include "serve/session.h"
@@ -351,7 +352,7 @@ checkInterpStatic(Module &m, const InferenceResult &full,
             if (!kept) {
                 b.fail(OracleId::Interp,
                        "FullTypes verdict excludes observed icall target @" +
-                           m.func(callee).name);
+                           std::string(m.str(m.func(callee).name)));
             }
         }
     }
@@ -365,7 +366,8 @@ checkInterpStatic(Module &m, const InferenceResult &full,
                     it->second.end();
             if (!recorded) {
                 b.fail(OracleId::Interp,
-                       "observed icall target @" + m.func(callee).name +
+                       "observed icall target @" +
+                           std::string(m.str(m.func(callee).name)) +
                            " missing from ground truth (tag " +
                            std::to_string(tag) + ")");
             }
@@ -475,6 +477,36 @@ checkSnapshotRoundTrip(const Module &m, Battery &b)
     } else if (corrupt.hasResult()) {
         b.fail(OracleId::SnapshotRoundTrip,
                "rejected snapshot left session state behind");
+    }
+
+    // Zero-copy half: the raw pool dump and the element-wise codec
+    // must decode to modules that reprint byte-identically (the
+    // snapshot loader prefers the pool section, so a divergence here
+    // would silently change every warm answer).
+    ByteWriter pool_w;
+    serializeModulePools(m, pool_w);
+    const std::string pool_bytes = pool_w.take();
+    ByteReader pool_r(pool_bytes);
+    Module via_pools;
+    if (!deserializeModulePools(pool_r, via_pools)) {
+        b.fail(OracleId::SnapshotRoundTrip,
+               "pool codec rejected its own dump");
+        return;
+    }
+    ByteWriter elem_w;
+    serializeModule(m, elem_w);
+    const std::string elem_bytes = elem_w.take();
+    ByteReader elem_r(elem_bytes);
+    Module via_elems;
+    if (!deserializeModule(elem_r, via_elems)) {
+        b.fail(OracleId::SnapshotRoundTrip,
+               "element-wise codec rejected its own dump");
+        return;
+    }
+    if (printModule(via_pools) != printModule(via_elems)) {
+        b.fail(OracleId::SnapshotRoundTrip,
+               "pool-load reprint diverged from element-wise-load "
+               "reprint");
     }
 }
 

@@ -123,7 +123,7 @@ LintContext::funcOf(InstId inst) const
 std::string
 LintContext::funcNameOf(InstId inst) const
 {
-    return module_.func(funcOf(inst)).name;
+    return std::string(module_.str(module_.func(funcOf(inst)).name));
 }
 
 DiagLocation
@@ -180,7 +180,8 @@ LintContext::fingerprint(const std::string &checker, InstId primary) const
             break;
         }
     }
-    return checker + "@" + fn.name + "#" + std::to_string(block_index) +
+    return checker + "@" + std::string(module_.str(fn.name)) + "#" +
+           std::to_string(block_index) +
            ":" + std::to_string(instIndex_.positionInBlock(primary));
 }
 

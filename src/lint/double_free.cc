@@ -66,10 +66,10 @@ class DoubleFreeChecker final : public Checker
         Module &module = ctx.module();
         const Instruction &fi = module.inst(first);
         const Instruction &si = module.inst(second);
-        if (fi.operands.empty() || si.operands.empty())
+        if (fi.numOperands() == 0 || si.numOperands() == 0)
             return;
-        const ValueId freed_a = fi.operands[0];
-        const ValueId freed_b = si.operands[0];
+        const ValueId freed_a = module.operand(fi, 0);
+        const ValueId freed_b = module.operand(si, 0);
         const LocSet &locs_a = ctx.pts().locs(freed_a);
         const LocSet &locs_b = ctx.pts().locs(freed_b);
         if (locs_a.size() == 0 || locs_b.size() == 0)
@@ -142,7 +142,7 @@ class DoubleFreeChecker final : public Checker
         const Instruction &def = module.inst(v.inst);
         if (def.op != Opcode::Load)
             return false;
-        const LocSet &slot = ctx.pts().locs(def.operands[0]);
+        const LocSet &slot = ctx.pts().locs(module.operand(def, 0));
 
         for (std::size_t i = 0; i < module.numInsts(); ++i) {
             const InstId iid(static_cast<InstId::RawType>(i));
@@ -154,7 +154,8 @@ class DoubleFreeChecker final : public Checker
                 continue;
             }
             bool writes_slot = false;
-            for (const Loc &addr : ctx.pts().locs(inst.operands[0])) {
+            for (const Loc &addr :
+                 ctx.pts().locs(module.operand(inst, 0))) {
                 for (const Loc &s : slot) {
                     if (Loc::mayOverlap(addr, s)) {
                         writes_slot = true;
@@ -167,7 +168,8 @@ class DoubleFreeChecker final : public Checker
             if (!writes_slot)
                 continue;
             bool payload_still_shared = false;
-            for (const Loc &p : ctx.pts().locs(inst.operands[1])) {
+            for (const Loc &p :
+                 ctx.pts().locs(module.operand(inst, 1))) {
                 if (Loc::mayOverlap(p, shared)) {
                     payload_still_shared = true;
                     break;

@@ -44,7 +44,7 @@ class IcallMismatchChecker final : public Checker
             const Instruction &inst = module.inst(iid);
             if (inst.op != Opcode::ICall)
                 continue;
-            const std::size_t num_args = inst.operands.size() - 1;
+            const std::size_t num_args = inst.numOperands() - 1;
 
             std::size_t feasible = 0;
             std::string evidence;

@@ -44,13 +44,12 @@ class SignConfusionChecker final : public Checker
             const InstId iid(static_cast<InstId::RawType>(i));
             const Instruction &inst = module.inst(iid);
             if (inst.op != Opcode::ICmp || !isOrdered(inst.pred) ||
-                    inst.operands.size() != 2) {
+                    inst.numOperands() != 2) {
                 continue;
             }
-            checkOperandPair(ctx, iid, inst.operands[0],
-                             inst.operands[1], out);
-            checkOperandPair(ctx, iid, inst.operands[1],
-                             inst.operands[0], out);
+            const std::span<const ValueId> ops = module.operands(inst);
+            checkOperandPair(ctx, iid, ops[0], ops[1], out);
+            checkOperandPair(ctx, iid, ops[1], ops[0], out);
         }
         return out;
     }
@@ -88,7 +87,7 @@ class SignConfusionChecker final : public Checker
         if (lv.kind == ValueKind::InstResult) {
             const Instruction &def = module.inst(lv.inst);
             if (def.op == Opcode::SExt) {
-                const int w = module.value(def.operands[0]).width;
+                const int w = module.value(module.operand(def, 0)).width;
                 if (w < 64 && outsideSignedRange(rv.constValue, w)) {
                     Diagnostic d;
                     d.checker = id();

@@ -47,7 +47,7 @@ class UninitStackChecker final : public Checker
             const Instruction &inst = module.inst(iid);
             if (inst.op != Opcode::Load)
                 continue;
-            const LocSet &addr = ctx.pts().locs(inst.operands[0]);
+            const LocSet &addr = ctx.pts().locs(module.operand(inst, 0));
             if (addr.size() != 1)
                 continue;  // Aliased or unresolved address: stay quiet.
             const Loc target = *addr.begin();
@@ -115,7 +115,8 @@ class UninitStackChecker final : public Checker
             const Instruction &inst = module.inst(iid);
             if (inst.op != Opcode::Store)
                 continue;
-            for (const Loc &loc : ctx.pts().locs(inst.operands[0])) {
+            for (const Loc &loc :
+                 ctx.pts().locs(module.operand(inst, 0))) {
                 if (Loc::mayOverlap(loc, target)) {
                     stores.push_back(iid);
                     break;
@@ -145,12 +146,12 @@ class UninitStackChecker final : public Checker
             const InstId iid(static_cast<InstId::RawType>(i));
             const Instruction &inst = module.inst(iid);
             if (inst.isCall() || inst.op == Opcode::Ret) {
-                for (const ValueId arg : inst.operands) {
+                for (const ValueId arg : module.operands(inst)) {
                     if (points_at(arg))
                         return true;
                 }
             } else if (inst.op == Opcode::Store &&
-                       points_at(inst.operands[1])) {
+                       points_at(module.operand(inst, 1))) {
                 return true;
             }
         }

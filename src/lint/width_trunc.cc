@@ -43,7 +43,7 @@ class WidthTruncChecker final : public Checker
             const Instruction &inst = module.inst(iid);
             if (inst.op != Opcode::Trunc || !inst.result.valid())
                 continue;
-            const ValueId src = inst.operands[0];
+            const ValueId src = module.operand(inst, 0);
             const int src_width = module.value(src).width;
             const int dst_width = module.value(inst.result).width;
             if (src_width <= dst_width)
@@ -66,17 +66,19 @@ class WidthTruncChecker final : public Checker
                  ctx.slicer().forwardSlice(inst.result, opts)) {
                 for (const InstId user : ctx.instIndex().users(reached)) {
                     const Instruction &use = module.inst(user);
+                    const std::span<const ValueId> use_ops =
+                        module.operands(use);
                     const char *what = nullptr;
                     if ((use.op == Opcode::Load ||
                          use.op == Opcode::Store) &&
-                            use.operands[0] == reached) {
+                            use_ops[0] == reached) {
                         what = "memory address";
                     } else if (use.op == Opcode::Call &&
                                use.external.valid() &&
                                module.external(use.external).role ==
                                    ExternRole::BoundedCopy &&
-                               use.operands.size() >= 3 &&
-                               use.operands[2] == reached) {
+                               use_ops.size() >= 3 &&
+                               use_ops[2] == reached) {
                         what = "copy size";
                     }
                     if (what == nullptr ||

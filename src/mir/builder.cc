@@ -11,30 +11,32 @@ ModuleBuilder::constInt(std::int64_t value, int width)
     v.kind = ValueKind::Constant;
     v.width = static_cast<std::uint8_t>(width);
     v.constValue = value;
-    return module_.addValue(std::move(v));
+    return module_.addValue(v);
 }
 
 ValueId
 ModuleBuilder::addGlobal(const std::string &name, std::uint32_t size)
 {
+    const NameId name_id = module_.internName(name);
     Global g;
-    g.name = name;
+    g.name = name_id;
     g.sizeBytes = size;
     const GlobalId gid = module_.addGlobal(std::move(g));
     Value v;
     v.kind = ValueKind::GlobalAddr;
     v.width = 64;
     v.global = gid;
-    v.name = name;
-    return module_.addValue(std::move(v));
+    v.name = name_id;
+    return module_.addValue(v);
 }
 
 ValueId
 ModuleBuilder::addStringLiteral(const std::string &name,
                                 const std::string &text)
 {
+    const NameId name_id = module_.internName(name);
     Global g;
-    g.name = name;
+    g.name = name_id;
     g.sizeBytes = static_cast<std::uint32_t>(text.size() + 1);
     g.isStringLiteral = true;
     g.stringValue = text;
@@ -43,8 +45,8 @@ ModuleBuilder::addStringLiteral(const std::string &name,
     v.kind = ValueKind::GlobalAddr;
     v.width = 64;
     v.global = gid;
-    v.name = name;
-    return module_.addValue(std::move(v));
+    v.name = name_id;
+    return module_.addValue(v);
 }
 
 ValueId
@@ -56,7 +58,7 @@ ModuleBuilder::funcAddr(FuncId func)
     v.width = 64;
     v.funcAddr = func;
     v.name = module_.func(func).name;
-    return module_.addValue(std::move(v));
+    return module_.addValue(v);
 }
 
 FunctionBuilder
@@ -64,7 +66,7 @@ ModuleBuilder::function(const std::string &name,
                         const std::vector<int> &param_widths)
 {
     Function fn;
-    fn.name = name;
+    fn.name = module_.internName(name);
     const FuncId fid = module_.addFunc(std::move(fn));
     for (std::size_t i = 0; i < param_widths.size(); ++i) {
         Value v;
@@ -72,8 +74,8 @@ ModuleBuilder::function(const std::string &name,
         v.width = static_cast<std::uint8_t>(param_widths[i]);
         v.argIndex = static_cast<std::uint32_t>(i);
         v.argFunc = fid;
-        v.name = "arg" + std::to_string(i);
-        module_.func(fid).params.push_back(module_.addValue(std::move(v)));
+        v.name = module_.internName("arg" + std::to_string(i));
+        module_.func(fid).params.push_back(module_.addValue(v));
     }
     return FunctionBuilder(*this, fid);
 }
@@ -105,30 +107,32 @@ FunctionBuilder::newBlock(const std::string &name)
 {
     BasicBlock bb;
     bb.func = func_;
-    bb.name = name.empty()
-                  ? "bb" + std::to_string(mb_.module_.func(func_).blocks.size())
-                  : name;
+    bb.name = mb_.module_.internName(
+        name.empty()
+            ? "bb" + std::to_string(mb_.module_.func(func_).blocks.size())
+            : name);
     const BlockId bid = mb_.module_.addBlock(std::move(bb));
     mb_.module_.func(func_).blocks.push_back(bid);
     return bid;
 }
 
 ValueId
-FunctionBuilder::emit(Instruction inst, int result_width,
-                      const std::string &name)
+FunctionBuilder::emit(Instruction inst, std::span<const ValueId> operands,
+                      int result_width, std::span<const BlockId> phi_blocks,
+                      std::string_view name)
 {
     Module &m = mb_.module_;
     MANTA_ASSERT(current_.valid(), "no insertion block");
     inst.parent = current_;
-    const InstId iid = m.addInst(std::move(inst));
+    const InstId iid = m.addInst(inst, operands, phi_blocks);
     ValueId result;
     if (result_width > 0) {
         Value v;
         v.kind = ValueKind::InstResult;
         v.width = static_cast<std::uint8_t>(result_width);
         v.inst = iid;
-        v.name = name;
-        result = m.addValue(std::move(v));
+        v.name = m.internName(name);
+        result = m.addValue(v);
         m.inst(iid).result = result;
     }
     m.block(current_).insts.push_back(iid);
@@ -140,8 +144,8 @@ FunctionBuilder::copy(ValueId src)
 {
     Instruction inst;
     inst.op = Opcode::Copy;
-    inst.operands = {src};
-    return emit(std::move(inst), mb_.module_.value(src).width);
+    const ValueId ops[] = {src};
+    return emit(inst, ops, mb_.module_.value(src).width);
 }
 
 ValueId
@@ -157,9 +161,7 @@ FunctionBuilder::phi(const std::vector<ValueId> &incoming,
     }
     Instruction inst;
     inst.op = Opcode::Phi;
-    inst.operands = incoming;
-    inst.phiBlocks = blocks;
-    return emit(std::move(inst), width);
+    return emit(inst, incoming, width, blocks);
 }
 
 ValueId
@@ -168,7 +170,7 @@ FunctionBuilder::alloca_(std::uint32_t size_bytes)
     Instruction inst;
     inst.op = Opcode::Alloca;
     inst.allocaSize = size_bytes;
-    return emit(std::move(inst), 64);
+    return emit(inst, {}, 64);
 }
 
 ValueId
@@ -178,8 +180,8 @@ FunctionBuilder::load(ValueId addr, int width)
                  "load address must be 64-bit");
     Instruction inst;
     inst.op = Opcode::Load;
-    inst.operands = {addr};
-    return emit(std::move(inst), width);
+    const ValueId ops[] = {addr};
+    return emit(inst, ops, width);
 }
 
 void
@@ -189,8 +191,8 @@ FunctionBuilder::store(ValueId addr, ValueId value)
                  "store address must be 64-bit");
     Instruction inst;
     inst.op = Opcode::Store;
-    inst.operands = {addr, value};
-    emit(std::move(inst), 0);
+    const ValueId ops[] = {addr, value};
+    emit(inst, ops, 0);
 }
 
 ValueId
@@ -207,8 +209,8 @@ FunctionBuilder::binop(Opcode op, ValueId lhs, ValueId rhs)
                  "binop width mismatch");
     Instruction inst;
     inst.op = op;
-    inst.operands = {lhs, rhs};
-    return emit(std::move(inst), width);
+    const ValueId ops[] = {lhs, rhs};
+    return emit(inst, ops, width);
 }
 
 ValueId
@@ -220,8 +222,8 @@ FunctionBuilder::fbinop(Opcode op, ValueId lhs, ValueId rhs)
     const int width = mb_.module_.value(lhs).width;
     Instruction inst;
     inst.op = op;
-    inst.operands = {lhs, rhs};
-    return emit(std::move(inst), width);
+    const ValueId ops[] = {lhs, rhs};
+    return emit(inst, ops, width);
 }
 
 ValueId
@@ -230,8 +232,8 @@ FunctionBuilder::icmp(CmpPred pred, ValueId lhs, ValueId rhs)
     Instruction inst;
     inst.op = Opcode::ICmp;
     inst.pred = pred;
-    inst.operands = {lhs, rhs};
-    return emit(std::move(inst), 1);
+    const ValueId ops[] = {lhs, rhs};
+    return emit(inst, ops, 1);
 }
 
 ValueId
@@ -240,8 +242,8 @@ FunctionBuilder::fcmp(CmpPred pred, ValueId lhs, ValueId rhs)
     Instruction inst;
     inst.op = Opcode::FCmp;
     inst.pred = pred;
-    inst.operands = {lhs, rhs};
-    return emit(std::move(inst), 1);
+    const ValueId ops[] = {lhs, rhs};
+    return emit(inst, ops, 1);
 }
 
 ValueId
@@ -252,8 +254,8 @@ FunctionBuilder::cast(Opcode op, ValueId src, int width)
                  "not a cast op");
     Instruction inst;
     inst.op = op;
-    inst.operands = {src};
-    return emit(std::move(inst), width);
+    const ValueId ops[] = {src};
+    return emit(inst, ops, width);
 }
 
 ValueId
@@ -263,8 +265,7 @@ FunctionBuilder::call(FuncId callee, const std::vector<ValueId> &args,
     Instruction inst;
     inst.op = Opcode::Call;
     inst.callee = callee;
-    inst.operands = args;
-    return emit(std::move(inst), ret_width);
+    return emit(inst, args, ret_width);
 }
 
 ValueId
@@ -274,8 +275,7 @@ FunctionBuilder::callExternal(ExternId callee,
     Instruction inst;
     inst.op = Opcode::Call;
     inst.external = callee;
-    inst.operands = args;
-    return emit(std::move(inst), ret_width);
+    return emit(inst, args, ret_width);
 }
 
 ValueId
@@ -286,9 +286,11 @@ FunctionBuilder::icall(ValueId target, const std::vector<ValueId> &args,
                  "icall target must be 64-bit");
     Instruction inst;
     inst.op = Opcode::ICall;
-    inst.operands.push_back(target);
-    inst.operands.insert(inst.operands.end(), args.begin(), args.end());
-    return emit(std::move(inst), ret_width);
+    std::vector<ValueId> ops;
+    ops.reserve(args.size() + 1);
+    ops.push_back(target);
+    ops.insert(ops.end(), args.begin(), args.end());
+    return emit(inst, ops, ret_width);
 }
 
 void
@@ -296,9 +298,12 @@ FunctionBuilder::ret(ValueId value)
 {
     Instruction inst;
     inst.op = Opcode::Ret;
-    if (value.valid())
-        inst.operands.push_back(value);
-    emit(std::move(inst), 0);
+    if (value.valid()) {
+        const ValueId ops[] = {value};
+        emit(inst, ops, 0);
+    } else {
+        emit(inst, {}, 0);
+    }
 }
 
 void
@@ -306,10 +311,10 @@ FunctionBuilder::br(ValueId cond, BlockId then_block, BlockId else_block)
 {
     Instruction inst;
     inst.op = Opcode::Br;
-    inst.operands = {cond};
     inst.thenBlock = then_block;
     inst.elseBlock = else_block;
-    emit(std::move(inst), 0);
+    const ValueId ops[] = {cond};
+    emit(inst, ops, 0);
 }
 
 void
@@ -318,7 +323,7 @@ FunctionBuilder::jmp(BlockId target)
     Instruction inst;
     inst.op = Opcode::Jmp;
     inst.thenBlock = target;
-    emit(std::move(inst), 0);
+    emit(inst, {}, 0);
 }
 
 void
@@ -326,7 +331,7 @@ FunctionBuilder::unreachable()
 {
     Instruction inst;
     inst.op = Opcode::Unreachable;
-    emit(std::move(inst), 0);
+    emit(inst, {}, 0);
 }
 
 } // namespace manta

@@ -106,8 +106,9 @@ class FunctionBuilder
     ModuleBuilder &moduleBuilder() { return mb_; }
 
   private:
-    ValueId emit(Instruction inst, int result_width,
-                 const std::string &name = "");
+    ValueId emit(Instruction inst, std::span<const ValueId> operands,
+                 int result_width, std::span<const BlockId> phi_blocks = {},
+                 std::string_view name = {});
 
     ModuleBuilder &mb_;
     FuncId func_;

@@ -17,7 +17,7 @@ StandardExternals::install(Module &module)
     auto add = [&](const char *name, std::vector<TypeRef> params,
                    TypeRef ret, ExternRole role) {
         External ext;
-        ext.name = name;
+        ext.name = module.internName(name);
         ext.paramTypes = std::move(params);
         ext.retType = ret;
         ext.role = role;

@@ -339,16 +339,17 @@ class Interpreter::Impl
                     return 0;
                 const InstId iid = bb.insts[i];
                 const Instruction &inst = m_.inst(iid);
+                const std::span<const ValueId> inst_ops = m_.operands(inst);
                 switch (inst.op) {
                   case Opcode::Ret:
-                    return inst.operands.empty()
+                    return inst_ops.empty()
                                ? 0
-                               : evalOperand(frame, inst.operands[0]);
+                               : evalOperand(frame, inst_ops[0]);
                   case Opcode::Jmp:
                     next_block = inst.thenBlock;
                     break;
                   case Opcode::Br: {
-                    const Word cond = evalOperand(frame, inst.operands[0]);
+                    const Word cond = evalOperand(frame, inst_ops[0]);
                     next_block = cond ? inst.thenBlock : inst.elseBlock;
                     break;
                   }
@@ -377,17 +378,17 @@ class Interpreter::Impl
                     maskToWidth(value, m_.value(inst.result).width);
             }
         };
-        auto op = [&](std::size_t k) {
-            return evalOperand(frame, inst.operands[k]);
-        };
+        const std::span<const ValueId> ops = m_.operands(inst);
+        auto op = [&](std::size_t k) { return evalOperand(frame, ops[k]); };
 
         switch (inst.op) {
           case Opcode::Copy:
             set(op(0));
             break;
           case Opcode::Phi: {
-            for (std::size_t k = 0; k < inst.phiBlocks.size(); ++k) {
-                if (inst.phiBlocks[k] == frame.prevBlock) {
+            const std::span<const BlockId> phis = m_.phiBlocks(inst);
+            for (std::size_t k = 0; k < phis.size(); ++k) {
+                if (phis[k] == frame.prevBlock) {
                     set(op(k));
                     return;
                 }
@@ -400,16 +401,14 @@ class Interpreter::Impl
             break;
           case Opcode::Load: {
             const Word addr = op(0);
-            traceDeref(iid, inst.operands[0], addr,
-                       m_.value(inst.result).width);
+            traceDeref(iid, ops[0], addr, m_.value(inst.result).width);
             set(loadWord(addr, m_.value(inst.result).width, iid));
             break;
           }
           case Opcode::Store: {
             const Word addr = op(0);
-            traceDeref(iid, inst.operands[0], addr,
-                       m_.value(inst.operands[1]).width);
-            storeWord(addr, op(1), m_.value(inst.operands[1]).width, iid);
+            traceDeref(iid, ops[0], addr, m_.value(ops[1]).width);
+            storeWord(addr, op(1), m_.value(ops[1]).width, iid);
             break;
           }
           case Opcode::Add: set(op(0) + op(1)); break;
@@ -450,7 +449,7 @@ class Interpreter::Impl
           }
           case Opcode::ICmp:
           case Opcode::FCmp: {
-            const int width = m_.value(inst.operands[0]).width;
+            const int width = m_.value(ops[0]).width;
             const std::int64_t a = signExtend(op(0), width);
             const std::int64_t b = signExtend(op(1), width);
             bool r = false;
@@ -470,15 +469,15 @@ class Interpreter::Impl
             set(op(0));
             break;
           case Opcode::SExt: {
-            const int from = m_.value(inst.operands[0]).width;
+            const int from = m_.value(ops[0]).width;
             set(static_cast<Word>(signExtend(op(0), from)));
             break;
           }
           case Opcode::Call: {
             if (inst.callee.valid()) {
                 std::vector<Word> args;
-                args.reserve(inst.operands.size());
-                for (const ValueId a : inst.operands)
+                args.reserve(ops.size());
+                for (const ValueId a : ops)
                     args.push_back(evalOperand(frame, a));
                 set(callFunction(inst.callee, args, depth + 1));
             } else {
@@ -504,7 +503,7 @@ class Interpreter::Impl
                     result_.icallsTaken.emplace_back(iid, callee);
             }
             std::vector<Word> args;
-            for (std::size_t k = 1; k < inst.operands.size(); ++k)
+            for (std::size_t k = 1; k < ops.size(); ++k)
                 args.push_back(op(k));
             set(callFunction(callee, args, depth + 1));
             break;
@@ -519,15 +518,14 @@ class Interpreter::Impl
     callExternal(Frame &frame, InstId iid, const Instruction &inst)
     {
         const External &ext = m_.external(inst.external);
-        auto op = [&](std::size_t k) {
-            return evalOperand(frame, inst.operands[k]);
-        };
-        auto has = [&](std::size_t k) { return inst.operands.size() > k; };
+        const std::span<const ValueId> ops = m_.operands(inst);
+        auto op = [&](std::size_t k) { return evalOperand(frame, ops[k]); };
+        auto has = [&](std::size_t k) { return ops.size() > k; };
 
         switch (ext.role) {
           case ExternRole::Alloc: {
             Word n = has(0) ? op(0) : 8;
-            if (ext.name == "calloc" && has(1))
+            if (m_.str(ext.name) == "calloc" && has(1))
                 n *= op(1);
             return makeAddr(
                 allocate(static_cast<std::uint32_t>(std::max<Word>(n, 1))),
@@ -573,7 +571,7 @@ class Interpreter::Impl
             if (!has(1))
                 return has(0) ? op(0) : 0;
             std::string text = readString(op(1), iid);
-            if (ext.name == "strcat")
+            if (m_.str(ext.name) == "strcat")
                 text = readString(op(0), iid) + text;
             writeString(op(0), text, iid, /*report_overflow=*/true);
             return op(0);
@@ -596,9 +594,9 @@ class Interpreter::Impl
             halted_ = true;
             return 0;
           default:
-            if (ext.name == "strlen" && has(0))
+            if (m_.str(ext.name) == "strlen" && has(0))
                 return readString(op(0), iid).size();
-            if (ext.name == "strcmp" && has(1)) {
+            if (m_.str(ext.name) == "strcmp" && has(1)) {
                 return static_cast<Word>(static_cast<std::int64_t>(
                     readString(op(0), iid).compare(
                         readString(op(1), iid))));

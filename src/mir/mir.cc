@@ -1,5 +1,7 @@
 #include "mir/mir.h"
 
+#include <algorithm>
+
 #include "support/error.h"
 
 namespace manta {
@@ -8,16 +10,140 @@ ValueId
 Module::addValue(Value v)
 {
     const ValueId id(static_cast<ValueId::RawType>(values_.size()));
-    values_.push_back(std::move(v));
+    values_.push_back(v);
+    return id;
+}
+
+std::uint32_t
+Module::appendOperandRun(std::span<const ValueId> ops)
+{
+    const std::uint32_t off =
+        static_cast<std::uint32_t>(operandPool_.size());
+    operandPool_.insert(operandPool_.end(), ops.begin(), ops.end());
+    return off;
+}
+
+std::uint32_t
+Module::appendPhiRun(std::span<const BlockId> blocks)
+{
+    const std::uint32_t off = static_cast<std::uint32_t>(phiPool_.size());
+    phiPool_.insert(phiPool_.end(), blocks.begin(), blocks.end());
+    return off;
+}
+
+InstId
+Module::addInst(Instruction inst, std::span<const ValueId> operands,
+                std::span<const BlockId> phi_blocks)
+{
+    MANTA_ASSERT(inst.operandCnt == 0 && inst.phiCnt == 0,
+                 "addInst takes a fresh record; use addInstClone to copy");
+    inst.operandOff = appendOperandRun(operands);
+    inst.operandCnt = static_cast<std::uint32_t>(operands.size());
+    inst.phiOff = appendPhiRun(phi_blocks);
+    inst.phiCnt = static_cast<std::uint32_t>(phi_blocks.size());
+    const InstId id(static_cast<InstId::RawType>(insts_.size()));
+    insts_.push_back(inst);
     return id;
 }
 
 InstId
-Module::addInst(Instruction inst)
+Module::addInstClone(const Instruction &proto)
 {
+    Instruction clone = proto;
+    // Read the slices before appending: the runs are copied from this
+    // module's own pools, which the appends may reallocate.
+    const std::vector<ValueId> ops(operands(proto).begin(),
+                                   operands(proto).end());
+    const std::vector<BlockId> phis(phiBlocks(proto).begin(),
+                                    phiBlocks(proto).end());
+    clone.operandOff = appendOperandRun(ops);
+    clone.phiOff = appendPhiRun(phis);
     const InstId id(static_cast<InstId::RawType>(insts_.size()));
-    insts_.push_back(std::move(inst));
+    insts_.push_back(clone);
     return id;
+}
+
+void
+Module::setOperands(InstId id, std::span<const ValueId> ops)
+{
+    Instruction &i = inst(id);
+    if (ops.size() <= i.operandCnt) {
+        std::copy(ops.begin(), ops.end(),
+                  operandPool_.begin() + i.operandOff);
+    } else {
+        i.operandOff = appendOperandRun(ops);
+    }
+    i.operandCnt = static_cast<std::uint32_t>(ops.size());
+}
+
+void
+Module::setPhiBlocks(InstId id, std::span<const BlockId> blocks)
+{
+    Instruction &i = inst(id);
+    if (blocks.size() <= i.phiCnt) {
+        std::copy(blocks.begin(), blocks.end(),
+                  phiPool_.begin() + i.phiOff);
+    } else {
+        i.phiOff = appendPhiRun(blocks);
+    }
+    i.phiCnt = static_cast<std::uint32_t>(blocks.size());
+}
+
+void
+Module::reservePools(std::size_t values, std::size_t insts,
+                     std::size_t operands, std::size_t blocks)
+{
+    values_.reserve(values);
+    insts_.reserve(insts);
+    operandPool_.reserve(operands);
+    if (blocks > 0)
+        blocks_.reserve(blocks);
+}
+
+void
+Module::compactOperandPools()
+{
+    std::vector<ValueId> ops;
+    ops.reserve(operandPool_.size());
+    std::vector<BlockId> phis;
+    phis.reserve(phiPool_.size());
+    for (Instruction &inst : insts_) {
+        const std::uint32_t new_op_off =
+            static_cast<std::uint32_t>(ops.size());
+        ops.insert(ops.end(), operandPool_.begin() + inst.operandOff,
+                   operandPool_.begin() + inst.operandOff + inst.operandCnt);
+        inst.operandOff = new_op_off;
+        const std::uint32_t new_phi_off =
+            static_cast<std::uint32_t>(phis.size());
+        phis.insert(phis.end(), phiPool_.begin() + inst.phiOff,
+                    phiPool_.begin() + inst.phiOff + inst.phiCnt);
+        inst.phiOff = new_phi_off;
+    }
+    operandPool_ = std::move(ops);
+    phiPool_ = std::move(phis);
+}
+
+bool
+Module::adoptFlatPools(std::vector<Value> values,
+                       std::vector<Instruction> insts,
+                       std::vector<ValueId> operand_pool,
+                       std::vector<BlockId> phi_pool)
+{
+    for (const Instruction &inst : insts) {
+        if (inst.operandOff > operand_pool.size() ||
+            inst.operandCnt > operand_pool.size() - inst.operandOff) {
+            return false;
+        }
+        if (inst.phiOff > phi_pool.size() ||
+            inst.phiCnt > phi_pool.size() - inst.phiOff) {
+            return false;
+        }
+    }
+    values_ = std::move(values);
+    insts_ = std::move(insts);
+    operandPool_ = std::move(operand_pool);
+    phiPool_ = std::move(phi_pool);
+    return true;
 }
 
 BlockId
@@ -53,30 +179,41 @@ Module::addExternal(External ext)
 }
 
 FuncId
-Module::findFunc(const std::string &name) const
+Module::findFunc(std::string_view name) const
 {
+    // Interned names make lookup an integer scan: an absent spelling
+    // can't name anything, and a present one has exactly one handle.
+    const NameId id = names_.find(name);
+    if (!id.valid())
+        return FuncId::invalid();
     for (std::size_t i = 0; i < funcs_.size(); ++i) {
-        if (funcs_[i].name == name)
+        if (funcs_[i].name == id)
             return FuncId(static_cast<FuncId::RawType>(i));
     }
     return FuncId::invalid();
 }
 
 ExternId
-Module::findExternal(const std::string &name) const
+Module::findExternal(std::string_view name) const
 {
+    const NameId id = names_.find(name);
+    if (!id.valid())
+        return ExternId::invalid();
     for (std::size_t i = 0; i < externs_.size(); ++i) {
-        if (externs_[i].name == name)
+        if (externs_[i].name == id)
             return ExternId(static_cast<ExternId::RawType>(i));
     }
     return ExternId::invalid();
 }
 
 GlobalId
-Module::findGlobal(const std::string &name) const
+Module::findGlobal(std::string_view name) const
 {
+    const NameId id = names_.find(name);
+    if (!id.valid())
+        return GlobalId::invalid();
     for (std::size_t i = 0; i < globals_.size(); ++i) {
-        if (globals_[i].name == name)
+        if (globals_[i].name == id)
             return GlobalId(static_cast<GlobalId::RawType>(i));
     }
     return GlobalId::invalid();

@@ -7,6 +7,7 @@
 
 #include "mir/externals.h"
 #include "support/error.h"
+#include "support/flat_map.h"
 
 namespace manta {
 
@@ -31,25 +32,37 @@ str(std::string_view view)
 }
 
 /**
- * Transparent hashing so the name maps can be probed with the token
- * views directly — the old per-lookup std::string materialization was
- * one heap allocation per operand/label/callee reference, the hottest
- * remaining cost of the body pass on million-instruction modules.
- * Keys are still owned std::strings; only lookups are heterogeneous.
+ * Typed view over FlatU64Map keyed by interned NameId raws: symbol
+ * lookup in the body pass is one integer probe, no string hashing and
+ * no per-lookup temporary std::string.
  */
-struct NameHash
+template <typename IdT>
+class NameKeyMap
 {
-    using is_transparent = void;
+  public:
+    void clear() { map_.clear(); }
+    void reserve(std::size_t n) { map_.reserve(n); }
 
-    std::size_t
-    operator()(std::string_view s) const noexcept
+    bool
+    count(NameId name) const
     {
-        return std::hash<std::string_view>{}(s);
+        return map_.find(name.raw()) != FlatU64Map::npos;
     }
-};
 
-template <typename T>
-using NameMap = std::unordered_map<std::string, T, NameHash, std::equal_to<>>;
+    IdT
+    find(NameId name) const
+    {
+        const std::uint32_t v = map_.find(name.raw());
+        if (v == FlatU64Map::npos)
+            return IdT::invalid();
+        return IdT(static_cast<typename IdT::RawType>(v));
+    }
+
+    void emplace(NameId name, IdT id) { map_.insert(name.raw(), id.raw()); }
+
+  private:
+    FlatU64Map map_;
+};
 
 /**
  * A whitespace/punctuation tokenizer for one line. Tokens are views
@@ -176,16 +189,33 @@ class Parser
         // Split into lines and tokenize each exactly once. Both the
         // line views and the token views alias `text`, which outlives
         // the parser (parseModule holds it by reference).
+        std::size_t inst_lines = 0;
+        std::size_t ident_bytes = 0;
         std::string_view rest(text);
         while (!rest.empty()) {
             const auto eol = rest.find('\n');
             const std::string_view line = rest.substr(0, eol);
             line_tokens_.emplace_back();
             tokenize(line, line_tokens_.back());
+            const auto &tokens = line_tokens_.back();
+            if (!tokens.empty()) {
+                ++inst_lines;
+                if (tokens[0][0] == '%')
+                    ident_bytes += tokens[0].size();
+            }
             if (eol == std::string_view::npos)
                 break;
             rest.remove_prefix(eol + 1);
         }
+        // Pre-size the hot pools from the pre-scan: every non-empty
+        // line is at most one instruction with (empirically) ~2
+        // operands, and each result identifier becomes one value plus
+        // one interned name. Reservations are hints - exact counts
+        // would need a second full pass for no measured win.
+        module_.reservePools(/*values=*/inst_lines + inst_lines / 2,
+                             /*insts=*/inst_lines,
+                             /*operands=*/2 * inst_lines);
+        module_.names().reserve(inst_lines, ident_bytes);
         externals_ = StandardExternals::install(module_);
         (void)externals_;
     }
@@ -198,6 +228,13 @@ class Parser
     }
 
   private:
+    /**
+     * Intern an identifier token straight from its view - the lexing
+     * path never materializes a temporary std::string for lookups; the
+     * interner owns the one canonical copy of each spelling.
+     */
+    NameId intern(std::string_view name) { return module_.internName(name); }
+
     // ---- Pass 1: globals, strings, function shells. ----
     void
     scanTopLevel()
@@ -210,32 +247,34 @@ class Parser
             if (tokens[0] == "global") {
                 if (tokens.size() < 3 || tokens[1][0] != '@')
                     bail(line_no, "malformed global");
-                const std::string_view name = tokens[1].substr(1);
+                const NameId name = intern(tokens[1].substr(1));
                 if (globalIds_.count(name))
-                    bail(line_no, "duplicate global @" + str(name));
+                    bail(line_no,
+                         "duplicate global @" + str(tokens[1].substr(1)));
                 Global g;
-                g.name = str(name);
+                g.name = name;
                 g.sizeBytes = static_cast<std::uint32_t>(
                     parseUnsigned(tokens[2], line_no, "global size"));
                 const GlobalId gid = module_.addGlobal(std::move(g));
-                globalIds_.emplace(str(name), gid);
+                globalIds_.emplace(name, gid);
             } else if (tokens[0] == "string") {
                 if (tokens.size() < 3 || tokens[1][0] != '@' ||
                         tokens[2].front() != '"') {
                     bail(line_no, "malformed string literal");
                 }
-                const std::string_view name = tokens[1].substr(1);
+                const NameId name = intern(tokens[1].substr(1));
                 if (globalIds_.count(name))
-                    bail(line_no, "duplicate string @" + str(name));
+                    bail(line_no,
+                         "duplicate string @" + str(tokens[1].substr(1)));
                 Global g;
-                g.name = str(name);
+                g.name = name;
                 g.isStringLiteral = true;
                 g.stringValue =
                     str(tokens[2].substr(1, tokens[2].size() - 2));
                 g.sizeBytes =
                     static_cast<std::uint32_t>(g.stringValue.size() + 1);
                 const GlobalId gid = module_.addGlobal(std::move(g));
-                globalIds_.emplace(str(name), gid);
+                globalIds_.emplace(name, gid);
             } else if (tokens[0] == "func") {
                 declareFunc(tokens, line_no, i);
             }
@@ -248,13 +287,14 @@ class Parser
     {
         if (tokens.size() < 2 || tokens[1][0] != '@')
             bail(line_no, "malformed func header");
-        const std::string_view fname = tokens[1].substr(1);
+        const NameId fname = intern(tokens[1].substr(1));
         if (funcIds_.count(fname))
-            bail(line_no, "duplicate function @" + str(fname));
+            bail(line_no,
+                 "duplicate function @" + str(tokens[1].substr(1)));
         Function fn;
-        fn.name = str(fname);
+        fn.name = fname;
         const FuncId fid = module_.addFunc(std::move(fn));
-        funcIds_.emplace(str(fname), fid);
+        funcIds_.emplace(fname, fid);
         funcHeaderLines_.emplace_back(fid, line_index);
 
         // Parameters: sequence of %name : width between parens.
@@ -272,13 +312,13 @@ class Parser
                 bail(line_no, "malformed parameter " + str(param));
             Value v;
             v.kind = ValueKind::Argument;
-            v.name = str(param.substr(1, colon - 1));
+            v.name = intern(param.substr(1, colon - 1));
             v.width = static_cast<std::uint8_t>(
                 parseWidth(param.substr(colon + 1), line_no));
             v.argIndex = static_cast<std::uint32_t>(
                 module_.func(fid).params.size());
             v.argFunc = fid;
-            module_.func(fid).params.push_back(module_.addValue(std::move(v)));
+            module_.func(fid).params.push_back(module_.addValue(v));
             ++t;
         }
     }
@@ -299,7 +339,7 @@ class Parser
         pendingPhis_.clear();
         currentFunc_ = fid;
         for (const ValueId param : module_.func(fid).params)
-            values_[module_.value(param).name] = param;
+            values_.emplace(module_.value(param).name, param);
 
         // Find the body extent and pre-create labeled blocks.
         std::size_t end = header_line + 1;
@@ -308,18 +348,19 @@ class Parser
             if (tokens.size() == 1 && tokens[0] == "}")
                 break;
             if (tokens.size() == 1 && tokens[0].back() == ':') {
-                const std::string_view label =
-                    tokens[0].substr(0, tokens[0].size() - 1);
+                const NameId label =
+                    intern(tokens[0].substr(0, tokens[0].size() - 1));
                 if (blockIds_.count(label)) {
                     bail(static_cast<int>(end + 1),
-                         "duplicate block label " + str(label));
+                         "duplicate block label " +
+                             str(tokens[0].substr(0, tokens[0].size() - 1)));
                 }
                 BasicBlock bb;
                 bb.func = fid;
-                bb.name = str(label);
+                bb.name = label;
                 const BlockId bid = module_.addBlock(std::move(bb));
                 module_.func(fid).blocks.push_back(bid);
-                blockIds_.emplace(str(label), bid);
+                blockIds_.emplace(label, bid);
             }
         }
         if (end == line_tokens_.size())
@@ -332,10 +373,8 @@ class Parser
                 continue;
             const int line_no = static_cast<int>(i + 1);
             if (tokens.size() == 1 && tokens[0].back() == ':') {
-                currentBlock_ =
-                    blockIds_
-                        .find(tokens[0].substr(0, tokens[0].size() - 1))
-                        ->second;
+                currentBlock_ = blockIds_.find(
+                    intern(tokens[0].substr(0, tokens[0].size() - 1)));
                 continue;
             }
             if (!currentBlock_.valid())
@@ -345,14 +384,16 @@ class Parser
 
         // Resolve forward-referenced phi operands.
         for (const auto &[iid, phi_line, names] : pendingPhis_) {
-            Instruction &inst = module_.inst(iid);
+            const std::span<ValueId> ops = module_.operandsMut(iid);
             for (std::size_t k = 0; k < names.size(); ++k) {
-                if (names[k].empty())
+                if (!names[k].valid())
                     continue;
-                const auto it = values_.find(names[k]);
-                if (it == values_.end())
-                    bail(phi_line, "unresolved phi operand %" + names[k]);
-                inst.operands[k] = it->second;
+                const ValueId vid = values_.find(names[k]);
+                if (!vid.valid()) {
+                    bail(phi_line, "unresolved phi operand %" +
+                                       str(module_.str(names[k])));
+                }
+                ops[k] = vid;
             }
         }
     }
@@ -362,31 +403,32 @@ class Parser
     operand(std::string_view token, int line_no)
     {
         if (token[0] == '%') {
-            const auto it = values_.find(token.substr(1));
-            if (it == values_.end())
+            const NameId name = intern(token.substr(1));
+            const ValueId vid = values_.find(name);
+            if (!vid.valid())
                 bail(line_no, "use of undefined value " + str(token));
-            return it->second;
+            return vid;
         }
         if (token[0] == '@') {
-            const std::string_view name = token.substr(1);
-            const auto git = globalIds_.find(name);
-            if (git != globalIds_.end()) {
+            const NameId name = intern(token.substr(1));
+            const GlobalId gid = globalIds_.find(name);
+            if (gid.valid()) {
                 Value v;
                 v.kind = ValueKind::GlobalAddr;
                 v.width = 64;
-                v.global = git->second;
-                v.name = str(name);
-                return module_.addValue(std::move(v));
+                v.global = gid;
+                v.name = name;
+                return module_.addValue(v);
             }
-            const auto fit = funcIds_.find(name);
-            if (fit != funcIds_.end()) {
-                module_.func(fit->second).addressTaken = true;
+            const FuncId target = funcIds_.find(name);
+            if (target.valid()) {
+                module_.func(target).addressTaken = true;
                 Value v;
                 v.kind = ValueKind::FuncAddr;
                 v.width = 64;
-                v.funcAddr = fit->second;
-                v.name = str(name);
-                return module_.addValue(std::move(v));
+                v.funcAddr = target;
+                v.name = name;
+                return module_.addValue(v);
             }
             bail(line_no, "unknown symbol " + str(token));
         }
@@ -402,23 +444,25 @@ class Parser
         v.kind = ValueKind::Constant;
         v.width = static_cast<std::uint8_t>(width);
         v.constValue = parseSigned(digits, line_no, token);
-        return module_.addValue(std::move(v));
+        return module_.addValue(v);
     }
 
     BlockId
     blockRef(std::string_view token, int line_no)
     {
-        const auto it = blockIds_.find(token);
-        if (it == blockIds_.end())
+        const BlockId bid = blockIds_.find(intern(token));
+        if (!bid.valid())
             bail(line_no, "unknown block label " + str(token));
-        return it->second;
+        return bid;
     }
 
     InstId
-    appendInst(Instruction inst)
+    appendInst(const Instruction &inst, std::span<const ValueId> ops = {},
+               std::span<const BlockId> phi_blocks = {})
     {
-        inst.parent = currentBlock_;
-        const InstId iid = module_.addInst(std::move(inst));
+        Instruction record = inst;
+        record.parent = currentBlock_;
+        const InstId iid = module_.addInst(record, ops, phi_blocks);
         module_.block(currentBlock_).insts.push_back(iid);
         return iid;
     }
@@ -429,16 +473,17 @@ class Parser
     {
         if (name.empty())
             bail(line_no, "instruction produces a result; expected '%name ='");
-        if (values_.count(name))
+        const NameId name_id = intern(name);
+        if (values_.count(name_id))
             bail(line_no, "redefinition of %" + str(name));
         Value v;
         v.kind = ValueKind::InstResult;
         v.width = static_cast<std::uint8_t>(width);
         v.inst = iid;
-        v.name = str(name);
-        const ValueId vid = module_.addValue(std::move(v));
+        v.name = name_id;
+        const ValueId vid = module_.addValue(v);
         module_.inst(iid).result = vid;
-        values_.emplace(str(name), vid);
+        values_.emplace(name_id, vid);
     }
 
     void
@@ -479,14 +524,16 @@ class Parser
             if (!result_name.empty())
                 bail(line_no, str(op) + " does not produce a result");
         };
+        std::vector<ValueId> &ops = ops_;
+        ops.clear();
 
         if (op == "copy") {
             needOperands(1);
             Instruction inst;
             inst.op = Opcode::Copy;
-            inst.operands = {operand(raw[0], line_no)};
-            const int width = module_.value(inst.operands[0]).width;
-            const InstId iid = appendInst(std::move(inst));
+            ops.push_back(operand(raw[0], line_no));
+            const int width = module_.value(ops[0]).width;
+            const InstId iid = appendInst(inst, ops);
             defineResult(iid, result_name, width, line_no);
         } else if (op == "phi") {
             // raw = v0 b0 v1 b1 ...
@@ -494,28 +541,31 @@ class Parser
                 bail(line_no, "phi expects [value, block] pairs");
             Instruction inst;
             inst.op = Opcode::Phi;
-            std::vector<std::string> pending(raw.size() / 2);
+            phiBlocks_.clear();
+            std::vector<NameId> pending(raw.size() / 2);
             int width = -1;
             for (std::size_t k = 0; k < raw.size(); k += 2) {
                 const std::string_view vt = raw[k];
-                if (vt[0] == '%' && !values_.count(vt.substr(1))) {
+                const NameId vt_name =
+                    vt[0] == '%' ? intern(vt.substr(1)) : NameId::invalid();
+                if (vt_name.valid() && !values_.count(vt_name)) {
                     // Forward reference: record for fixup.
-                    pending[k / 2] = str(vt.substr(1));
-                    inst.operands.push_back(ValueId::invalid());
+                    pending[k / 2] = vt_name;
+                    ops.push_back(ValueId::invalid());
                 } else {
                     const ValueId vid = operand(vt, line_no);
-                    inst.operands.push_back(vid);
+                    ops.push_back(vid);
                     width = module_.value(vid).width;
                 }
-                inst.phiBlocks.push_back(blockRef(raw[k + 1], line_no));
+                phiBlocks_.push_back(blockRef(raw[k + 1], line_no));
             }
             if (width < 0)
                 bail(line_no, "phi with only forward references");
-            const InstId iid = appendInst(std::move(inst));
+            const InstId iid = appendInst(inst, ops, phiBlocks_);
             defineResult(iid, result_name, width, line_no);
             bool any_pending = false;
-            for (const auto &p : pending)
-                any_pending |= !p.empty();
+            for (const NameId p : pending)
+                any_pending |= p.valid();
             if (any_pending)
                 pendingPhis_.emplace_back(iid, line_no, std::move(pending));
         } else if (op == "alloca") {
@@ -524,7 +574,7 @@ class Parser
             inst.op = Opcode::Alloca;
             inst.allocaSize = static_cast<std::uint32_t>(
                 parseUnsigned(raw[0], line_no, "alloca size"));
-            const InstId iid = appendInst(std::move(inst));
+            const InstId iid = appendInst(inst);
             defineResult(iid, result_name, 64, line_no);
         } else if (op == "load") {
             needOperands(1);
@@ -533,25 +583,25 @@ class Parser
                                   : parseWidth(spec.suffix, line_no);
             Instruction inst;
             inst.op = Opcode::Load;
-            inst.operands = {operand(raw[0], line_no)};
-            const InstId iid = appendInst(std::move(inst));
+            ops.push_back(operand(raw[0], line_no));
+            const InstId iid = appendInst(inst, ops);
             defineResult(iid, result_name, width, line_no);
         } else if (op == "store") {
             noResult();
             needOperands(2);
             Instruction inst;
             inst.op = Opcode::Store;
-            inst.operands = {operand(raw[0], line_no),
-                             operand(raw[1], line_no)};
-            appendInst(std::move(inst));
+            ops.push_back(operand(raw[0], line_no));
+            ops.push_back(operand(raw[1], line_no));
+            appendInst(inst, ops);
         } else if (op == "icmp" || op == "fcmp") {
             needOperands(2);
             Instruction inst;
             inst.op = op == "icmp" ? Opcode::ICmp : Opcode::FCmp;
             inst.pred = parsePred(spec.suffix, line_no);
-            inst.operands = {operand(raw[0], line_no),
-                             operand(raw[1], line_no)};
-            const InstId iid = appendInst(std::move(inst));
+            ops.push_back(operand(raw[0], line_no));
+            ops.push_back(operand(raw[1], line_no));
+            const InstId iid = appendInst(inst, ops);
             defineResult(iid, result_name, 1, line_no);
         } else if (op == "trunc" || op == "zext" || op == "sext") {
             needOperands(1);
@@ -559,11 +609,11 @@ class Parser
             inst.op = op == "trunc" ? Opcode::Trunc
                       : op == "zext" ? Opcode::ZExt
                                      : Opcode::SExt;
-            inst.operands = {operand(raw[0], line_no)};
+            ops.push_back(operand(raw[0], line_no));
             if (spec.suffix.empty())
                 bail(line_no, str(op) + " requires a width suffix");
             const int width = parseWidth(spec.suffix, line_no);
-            const InstId iid = appendInst(std::move(inst));
+            const InstId iid = appendInst(inst, ops);
             defineResult(iid, result_name, width, line_no);
         } else if (op == "call") {
             if (raw.empty() || raw[0][0] != '@')
@@ -571,17 +621,17 @@ class Parser
             const std::string_view callee = raw[0].substr(1);
             Instruction inst;
             inst.op = Opcode::Call;
-            const auto fit = funcIds_.find(callee);
-            if (fit != funcIds_.end()) {
-                inst.callee = fit->second;
+            const FuncId target = funcIds_.find(intern(callee));
+            if (target.valid()) {
+                inst.callee = target;
             } else {
-                inst.external = module_.findExternal(str(callee));
+                inst.external = module_.findExternal(callee);
                 if (!inst.external.valid())
                     bail(line_no, "unknown callee @" + str(callee));
             }
             for (std::size_t k = 1; k < raw.size(); ++k)
-                inst.operands.push_back(operand(raw[k], line_no));
-            const InstId iid = appendInst(std::move(inst));
+                ops.push_back(operand(raw[k], line_no));
+            const InstId iid = appendInst(inst, ops);
             if (!result_name.empty()) {
                 const int width = spec.suffix.empty()
                                       ? 64
@@ -594,8 +644,8 @@ class Parser
             Instruction inst;
             inst.op = Opcode::ICall;
             for (const std::string_view tok : raw)
-                inst.operands.push_back(operand(tok, line_no));
-            const InstId iid = appendInst(std::move(inst));
+                ops.push_back(operand(tok, line_no));
+            const InstId iid = appendInst(inst, ops);
             if (!result_name.empty()) {
                 const int width = spec.suffix.empty()
                                       ? 64
@@ -607,29 +657,29 @@ class Parser
             Instruction inst;
             inst.op = Opcode::Ret;
             if (!raw.empty())
-                inst.operands.push_back(operand(raw[0], line_no));
-            appendInst(std::move(inst));
+                ops.push_back(operand(raw[0], line_no));
+            appendInst(inst, ops);
         } else if (op == "br") {
             noResult();
             needOperands(3);
             Instruction inst;
             inst.op = Opcode::Br;
-            inst.operands = {operand(raw[0], line_no)};
+            ops.push_back(operand(raw[0], line_no));
             inst.thenBlock = blockRef(raw[1], line_no);
             inst.elseBlock = blockRef(raw[2], line_no);
-            appendInst(std::move(inst));
+            appendInst(inst, ops);
         } else if (op == "jmp") {
             noResult();
             needOperands(1);
             Instruction inst;
             inst.op = Opcode::Jmp;
             inst.thenBlock = blockRef(raw[0], line_no);
-            appendInst(std::move(inst));
+            appendInst(inst);
         } else if (op == "unreachable") {
             noResult();
             Instruction inst;
             inst.op = Opcode::Unreachable;
-            appendInst(std::move(inst));
+            appendInst(inst);
         } else {
             // Integer / float binops share one shape.
             static const std::unordered_map<std::string_view, Opcode>
@@ -648,10 +698,10 @@ class Parser
             needOperands(2);
             Instruction inst;
             inst.op = it->second;
-            inst.operands = {operand(raw[0], line_no),
-                             operand(raw[1], line_no)};
-            const int width = module_.value(inst.operands[0]).width;
-            const InstId iid = appendInst(std::move(inst));
+            ops.push_back(operand(raw[0], line_no));
+            ops.push_back(operand(raw[1], line_no));
+            const int width = module_.value(ops[0]).width;
+            const InstId iid = appendInst(inst, ops);
             defineResult(iid, result_name, width, line_no);
         }
     }
@@ -671,18 +721,22 @@ class Parser
     Module &module_;
     StandardExternals externals_;
     std::vector<std::vector<std::string_view>> line_tokens_;
-    NameMap<GlobalId> globalIds_;
-    NameMap<FuncId> funcIds_;
+    // Identifiers are interned during lexing, so every symbol map is
+    // keyed by the 32-bit NameId handle - no string hashing or
+    // temporary std::string per lookup in the body pass.
+    NameKeyMap<GlobalId> globalIds_;
+    NameKeyMap<FuncId> funcIds_;
     std::vector<std::pair<FuncId, std::size_t>> funcHeaderLines_;
 
     // Per-function parse state.
     FuncId currentFunc_;
     BlockId currentBlock_;
-    NameMap<ValueId> values_;
-    NameMap<BlockId> blockIds_;
+    NameKeyMap<ValueId> values_;
+    NameKeyMap<BlockId> blockIds_;
     std::vector<std::string_view> raw_;
-    std::vector<std::tuple<InstId, int, std::vector<std::string>>>
-        pendingPhis_;
+    std::vector<ValueId> ops_;
+    std::vector<BlockId> phiBlocks_;
+    std::vector<std::tuple<InstId, int, std::vector<NameId>>> pendingPhis_;
 };
 
 } // namespace

@@ -1,6 +1,6 @@
 #include "mir/printer.h"
 
-#include <sstream>
+#include <cstdio>
 
 #include "support/error.h"
 
@@ -8,25 +8,65 @@ namespace manta {
 
 namespace {
 
-std::string
-valueName(const Module &m, ValueId id)
+/**
+ * Append "%name" - or the positional "%v12" fallback for unnamed
+ * values - without allocating: named values print straight from the
+ * interner arena, and the fallback formats into a stack buffer.
+ */
+void
+appendValueName(const Module &m, ValueId id, std::string &out)
 {
-    const Value &v = m.value(id);
-    if (!v.name.empty())
-        return "%" + v.name;
-    return "%v" + std::to_string(id.raw());
+    out += '%';
+    const std::string_view name = m.nameOf(id);
+    if (!name.empty()) {
+        out += name;
+        return;
+    }
+    char buf[16];
+    const int n = std::snprintf(buf, sizeof buf, "v%u", id.raw());
+    out.append(buf, static_cast<std::size_t>(n));
 }
 
-std::string
-blockName(const Module &m, BlockId id)
+/**
+ * Append a block label. Labels are unique within their function
+ * (builder and parser both guarantee it), so the label prints
+ * verbatim; this keeps print -> parse -> print a fixpoint.
+ */
+void
+appendBlockName(const Module &m, BlockId id, std::string &out)
 {
-    // Block names are unique within their function (builder and parser
-    // both guarantee it), so the label can be printed verbatim; this
-    // keeps print -> parse -> print a fixpoint.
-    const BasicBlock &bb = m.block(id);
-    if (!bb.name.empty())
-        return bb.name;
-    return "bb" + std::to_string(id.raw());
+    const std::string_view name = m.nameOf(id);
+    if (!name.empty()) {
+        out += name;
+        return;
+    }
+    char buf[16];
+    const int n = std::snprintf(buf, sizeof buf, "bb%u", id.raw());
+    out.append(buf, static_cast<std::size_t>(n));
+}
+
+void
+appendValueRef(const Module &m, ValueId id, std::string &out)
+{
+    const Value &v = m.value(id);
+    switch (v.kind) {
+      case ValueKind::Constant:
+        out += std::to_string(v.constValue);
+        out += ':';
+        out += std::to_string(int(v.width));
+        return;
+      case ValueKind::GlobalAddr:
+        out += '@';
+        out += m.str(m.global(v.global).name);
+        return;
+      case ValueKind::FuncAddr:
+        out += '@';
+        out += m.str(m.func(v.funcAddr).name);
+        return;
+      default:
+        appendValueName(m, id, out);
+        return;
+    }
 }
 
 } // namespace
@@ -34,155 +74,208 @@ blockName(const Module &m, BlockId id)
 std::string
 printValueRef(const Module &m, ValueId id)
 {
-    const Value &v = m.value(id);
-    switch (v.kind) {
-      case ValueKind::Constant:
-        return std::to_string(v.constValue) + ":" + std::to_string(v.width);
-      case ValueKind::GlobalAddr:
-        return "@" + m.global(v.global).name;
-      case ValueKind::FuncAddr:
-        return "@" + m.func(v.funcAddr).name;
-      default:
-        return valueName(m, id);
-    }
+    std::string out;
+    appendValueRef(m, id, out);
+    return out;
 }
 
 std::string
 printInst(const Module &m, InstId iid)
 {
     const Instruction &inst = m.inst(iid);
-    std::ostringstream os;
-    auto result = [&]() -> std::string {
-        return inst.result.valid()
-                   ? valueName(m, inst.result) + " = "
-                   : std::string();
+    const std::span<const ValueId> ops = m.operands(inst);
+    std::string out;
+    auto result = [&] {
+        if (inst.result.valid()) {
+            appendValueName(m, inst.result, out);
+            out += " = ";
+        }
     };
     auto operands = [&](std::size_t from = 0) {
-        std::string out;
-        for (std::size_t i = from; i < inst.operands.size(); ++i) {
+        for (std::size_t i = from; i < ops.size(); ++i) {
             if (i > from)
                 out += ", ";
-            out += printValueRef(m, inst.operands[i]);
+            appendValueRef(m, ops[i], out);
         }
-        return out;
     };
 
     switch (inst.op) {
       case Opcode::Copy:
-        os << result() << "copy " << operands();
+        result();
+        out += "copy ";
+        operands();
         break;
       case Opcode::Phi: {
-        os << result() << "phi ";
-        for (std::size_t i = 0; i < inst.operands.size(); ++i) {
+        result();
+        out += "phi ";
+        const std::span<const BlockId> blocks = m.phiBlocks(inst);
+        for (std::size_t i = 0; i < ops.size(); ++i) {
             if (i > 0)
-                os << ", ";
-            os << "[" << printValueRef(m, inst.operands[i]) << ", "
-               << blockName(m, inst.phiBlocks[i]) << "]";
+                out += ", ";
+            out += '[';
+            appendValueRef(m, ops[i], out);
+            out += ", ";
+            appendBlockName(m, blocks[i], out);
+            out += ']';
         }
         break;
       }
       case Opcode::Alloca:
-        os << result() << "alloca " << inst.allocaSize;
+        result();
+        out += "alloca ";
+        out += std::to_string(inst.allocaSize);
         break;
       case Opcode::Load:
-        os << result() << "load."
-           << int(m.value(inst.result).width) << " " << operands();
+        result();
+        out += "load.";
+        out += std::to_string(int(m.value(inst.result).width));
+        out += ' ';
+        operands();
         break;
       case Opcode::Store:
-        os << "store " << operands();
+        out += "store ";
+        operands();
         break;
       case Opcode::ICmp:
-        os << result() << "icmp." << predName(inst.pred) << " " << operands();
+        result();
+        out += "icmp.";
+        out += predName(inst.pred);
+        out += ' ';
+        operands();
         break;
       case Opcode::FCmp:
-        os << result() << "fcmp." << predName(inst.pred) << " " << operands();
+        result();
+        out += "fcmp.";
+        out += predName(inst.pred);
+        out += ' ';
+        operands();
         break;
       case Opcode::Trunc:
       case Opcode::ZExt:
       case Opcode::SExt:
-        os << result() << opcodeName(inst.op) << "."
-           << int(m.value(inst.result).width) << " " << operands();
+        result();
+        out += opcodeName(inst.op);
+        out += '.';
+        out += std::to_string(int(m.value(inst.result).width));
+        out += ' ';
+        operands();
         break;
       case Opcode::Call: {
-        const std::string callee =
-            inst.callee.valid() ? m.func(inst.callee).name
-                                : m.external(inst.external).name;
-        os << result() << "call";
-        if (inst.result.valid())
-            os << "." << int(m.value(inst.result).width);
-        os << " @" << callee << "(" << operands() << ")";
+        result();
+        out += "call";
+        if (inst.result.valid()) {
+            out += '.';
+            out += std::to_string(int(m.value(inst.result).width));
+        }
+        out += " @";
+        out += m.str(inst.callee.valid() ? m.func(inst.callee).name
+                                         : m.external(inst.external).name);
+        out += '(';
+        operands();
+        out += ')';
         break;
       }
       case Opcode::ICall:
-        os << result() << "icall";
-        if (inst.result.valid())
-            os << "." << int(m.value(inst.result).width);
-        os << " " << printValueRef(m, inst.operands[0]) << "("
-           << operands(1) << ")";
+        result();
+        out += "icall";
+        if (inst.result.valid()) {
+            out += '.';
+            out += std::to_string(int(m.value(inst.result).width));
+        }
+        out += ' ';
+        appendValueRef(m, ops[0], out);
+        out += '(';
+        operands(1);
+        out += ')';
         break;
       case Opcode::Ret:
-        os << "ret";
-        if (!inst.operands.empty())
-            os << " " << operands();
+        out += "ret";
+        if (!ops.empty()) {
+            out += ' ';
+            operands();
+        }
         break;
       case Opcode::Br:
-        os << "br " << operands() << ", " << blockName(m, inst.thenBlock)
-           << ", " << blockName(m, inst.elseBlock);
+        out += "br ";
+        operands();
+        out += ", ";
+        appendBlockName(m, inst.thenBlock, out);
+        out += ", ";
+        appendBlockName(m, inst.elseBlock, out);
         break;
       case Opcode::Jmp:
-        os << "jmp " << blockName(m, inst.thenBlock);
+        out += "jmp ";
+        appendBlockName(m, inst.thenBlock, out);
         break;
       case Opcode::Unreachable:
-        os << "unreachable";
+        out += "unreachable";
         break;
       default:
-        os << result() << opcodeName(inst.op) << " " << operands();
+        result();
+        out += opcodeName(inst.op);
+        out += ' ';
+        operands();
         break;
     }
-    return os.str();
+    return out;
 }
 
 std::string
 printFunction(const Module &m, FuncId fid)
 {
     const Function &fn = m.func(fid);
-    std::ostringstream os;
-    os << "func @" << fn.name << "(";
+    std::string out;
+    out += "func @";
+    out += m.str(fn.name);
+    out += '(';
     for (std::size_t i = 0; i < fn.params.size(); ++i) {
         if (i > 0)
-            os << ", ";
-        os << valueName(m, fn.params[i]) << ":"
-           << int(m.value(fn.params[i]).width);
+            out += ", ";
+        appendValueName(m, fn.params[i], out);
+        out += ':';
+        out += std::to_string(int(m.value(fn.params[i]).width));
     }
-    os << ") {\n";
+    out += ") {\n";
     for (const BlockId bid : fn.blocks) {
-        os << blockName(m, bid) << ":\n";
-        for (const InstId iid : m.block(bid).insts)
-            os << "  " << printInst(m, iid) << "\n";
+        appendBlockName(m, bid, out);
+        out += ":\n";
+        for (const InstId iid : m.block(bid).insts) {
+            out += "  ";
+            out += printInst(m, iid);
+            out += '\n';
+        }
     }
-    os << "}\n";
-    return os.str();
+    out += "}\n";
+    return out;
 }
 
 std::string
 printModule(const Module &m)
 {
-    std::ostringstream os;
+    std::string out;
     for (std::size_t i = 0; i < m.numGlobals(); ++i) {
         const Global &g = m.global(GlobalId(static_cast<GlobalId::RawType>(i)));
         if (g.isStringLiteral) {
-            os << "string @" << g.name << " \"" << g.stringValue << "\"\n";
+            out += "string @";
+            out += m.str(g.name);
+            out += " \"";
+            out += g.stringValue;
+            out += "\"\n";
         } else {
-            os << "global @" << g.name << " " << g.sizeBytes << "\n";
+            out += "global @";
+            out += m.str(g.name);
+            out += ' ';
+            out += std::to_string(g.sizeBytes);
+            out += '\n';
         }
     }
     if (m.numGlobals() > 0)
-        os << "\n";
+        out += '\n';
     for (std::size_t i = 0; i < m.numFuncs(); ++i) {
-        os << printFunction(m, FuncId(static_cast<FuncId::RawType>(i)));
-        os << "\n";
+        out += printFunction(m, FuncId(static_cast<FuncId::RawType>(i)));
+        out += '\n';
     }
-    return os.str();
+    return out;
 }
 
 } // namespace manta

@@ -28,20 +28,21 @@ idOk(Id<Tag> id, std::size_t pool_size)
     return !id.valid() || id.index() < pool_size;
 }
 
-} // namespace
-
+/**
+ * Externals reference interned types; pool them first so the decoder
+ * can rebuild the TypeTable before the externs pool. Shared by both
+ * codecs - extern signatures are small and structural either way.
+ */
 void
-serializeModule(const Module &module, ByteWriter &out)
+writeTypesAndExterns(const Module &module, ByteWriter &out)
 {
-    // Externals reference interned types; pool them first so the
-    // decoder can rebuild the TypeTable before the externs pool.
     TypePoolWriter types(module.types());
     ByteWriter externs;
     externs.u32(static_cast<std::uint32_t>(module.numExterns()));
     for (std::size_t i = 0; i < module.numExterns(); ++i) {
         const External &e =
             module.external(ExternId(static_cast<std::uint32_t>(i)));
-        externs.str(e.name);
+        externs.str(module.str(e.name));
         externs.u32(static_cast<std::uint32_t>(e.paramTypes.size()));
         for (const TypeRef t : e.paramTypes)
             externs.u32(types.index(t));
@@ -50,81 +51,10 @@ serializeModule(const Module &module, ByteWriter &out)
     }
     types.write(out);
     out.raw(externs.bytes());
-
-    out.u32(static_cast<std::uint32_t>(module.numGlobals()));
-    for (std::size_t i = 0; i < module.numGlobals(); ++i) {
-        const Global &g =
-            module.global(GlobalId(static_cast<std::uint32_t>(i)));
-        out.str(g.name);
-        out.u32(g.sizeBytes);
-        out.u8(g.isStringLiteral ? 1 : 0);
-        out.str(g.stringValue);
-    }
-
-    out.u32(static_cast<std::uint32_t>(module.numFuncs()));
-    for (std::size_t i = 0; i < module.numFuncs(); ++i) {
-        const Function &f = module.func(FuncId(static_cast<std::uint32_t>(i)));
-        out.str(f.name);
-        out.u32(static_cast<std::uint32_t>(f.params.size()));
-        for (const ValueId p : f.params)
-            putId(out, p);
-        out.u32(static_cast<std::uint32_t>(f.blocks.size()));
-        for (const BlockId b : f.blocks)
-            putId(out, b);
-        out.u8(f.addressTaken ? 1 : 0);
-        out.u8(f.isVariadicStub ? 1 : 0);
-    }
-
-    out.u32(static_cast<std::uint32_t>(module.numBlocks()));
-    for (std::size_t i = 0; i < module.numBlocks(); ++i) {
-        const BasicBlock &b =
-            module.block(BlockId(static_cast<std::uint32_t>(i)));
-        putId(out, b.func);
-        out.str(b.name);
-        out.u32(static_cast<std::uint32_t>(b.insts.size()));
-        for (const InstId inst : b.insts)
-            putId(out, inst);
-    }
-
-    out.u32(static_cast<std::uint32_t>(module.numValues()));
-    for (std::size_t i = 0; i < module.numValues(); ++i) {
-        const Value &v = module.value(ValueId(static_cast<std::uint32_t>(i)));
-        out.u8(static_cast<std::uint8_t>(v.kind));
-        out.u8(v.width);
-        out.i64(v.constValue);
-        out.u32(v.argIndex);
-        putId(out, v.argFunc);
-        putId(out, v.inst);
-        putId(out, v.global);
-        putId(out, v.funcAddr);
-        out.str(v.name);
-    }
-
-    out.u32(static_cast<std::uint32_t>(module.numInsts()));
-    for (std::size_t i = 0; i < module.numInsts(); ++i) {
-        const Instruction &inst =
-            module.inst(InstId(static_cast<std::uint32_t>(i)));
-        out.u8(static_cast<std::uint8_t>(inst.op));
-        putId(out, inst.result);
-        out.u32(static_cast<std::uint32_t>(inst.operands.size()));
-        for (const ValueId op : inst.operands)
-            putId(out, op);
-        putId(out, inst.callee);
-        putId(out, inst.external);
-        putId(out, inst.thenBlock);
-        putId(out, inst.elseBlock);
-        out.u32(static_cast<std::uint32_t>(inst.phiBlocks.size()));
-        for (const BlockId b : inst.phiBlocks)
-            putId(out, b);
-        out.u32(inst.allocaSize);
-        out.u8(static_cast<std::uint8_t>(inst.pred));
-        putId(out, inst.parent);
-        out.u32(inst.srcTag);
-    }
 }
 
 bool
-deserializeModule(ByteReader &in, Module &out)
+readTypesAndExterns(ByteReader &in, Module &out)
 {
     TypePoolReader types;
     if (!types.read(in, out.types()))
@@ -133,7 +63,7 @@ deserializeModule(ByteReader &in, Module &out)
     const std::uint32_t num_externs = in.u32();
     for (std::uint32_t i = 0; i < num_externs && in.ok(); ++i) {
         External e;
-        e.name = in.str();
+        e.name = out.internName(in.str());
         const std::uint32_t num_params = in.u32();
         for (std::uint32_t p = 0; p < num_params && in.ok(); ++p) {
             const std::uint32_t idx = in.u32();
@@ -153,11 +83,201 @@ deserializeModule(ByteReader &in, Module &out)
             break;
         out.addExternal(std::move(e));
     }
+    return in.ok();
+}
+
+/**
+ * Cross-pool id validation: every stored id must be the invalid
+ * sentinel or index into its (now fully sized) pool. This keeps a
+ * corrupted-but-well-framed snapshot from crashing later passes.
+ * Shared by both codecs.
+ */
+bool
+validateModuleIds(const Module &out)
+{
+    const std::size_t num_names = out.names().size();
+    for (std::size_t i = 0; i < out.numExterns(); ++i) {
+        if (!idOk(out.external(ExternId(static_cast<std::uint32_t>(i))).name,
+                  num_names)) {
+            return false;
+        }
+    }
+    for (std::size_t i = 0; i < out.numGlobals(); ++i) {
+        if (!idOk(out.global(GlobalId(static_cast<std::uint32_t>(i))).name,
+                  num_names)) {
+            return false;
+        }
+    }
+    for (std::size_t i = 0; i < out.numFuncs(); ++i) {
+        const Function &f = out.func(FuncId(static_cast<std::uint32_t>(i)));
+        if (!idOk(f.name, num_names))
+            return false;
+        for (const ValueId p : f.params)
+            if (!idOk(p, out.numValues()))
+                return false;
+        for (const BlockId b : f.blocks)
+            if (!idOk(b, out.numBlocks()))
+                return false;
+    }
+    for (std::size_t i = 0; i < out.numBlocks(); ++i) {
+        const BasicBlock &b =
+            out.block(BlockId(static_cast<std::uint32_t>(i)));
+        if (!idOk(b.func, out.numFuncs()) || !idOk(b.name, num_names))
+            return false;
+        for (const InstId inst : b.insts)
+            if (!idOk(inst, out.numInsts()))
+                return false;
+    }
+    for (std::size_t i = 0; i < out.numValues(); ++i) {
+        const Value &v = out.value(ValueId(static_cast<std::uint32_t>(i)));
+        if (!idOk(v.argFunc, out.numFuncs()) ||
+                !idOk(v.inst, out.numInsts()) ||
+                !idOk(v.global, out.numGlobals()) ||
+                !idOk(v.funcAddr, out.numFuncs()) ||
+                !idOk(v.name, num_names)) {
+            return false;
+        }
+    }
+    for (std::size_t i = 0; i < out.numInsts(); ++i) {
+        const Instruction &inst =
+            out.inst(InstId(static_cast<std::uint32_t>(i)));
+        if (!idOk(inst.result, out.numValues()) ||
+                !idOk(inst.callee, out.numFuncs()) ||
+                !idOk(inst.external, out.numExterns()) ||
+                !idOk(inst.thenBlock, out.numBlocks()) ||
+                !idOk(inst.elseBlock, out.numBlocks()) ||
+                !idOk(inst.parent, out.numBlocks())) {
+            return false;
+        }
+        for (const ValueId op : out.operands(inst))
+            if (!idOk(op, out.numValues()))
+                return false;
+        for (const BlockId b : out.phiBlocks(inst))
+            if (!idOk(b, out.numBlocks()))
+                return false;
+    }
+    return true;
+}
+
+/** Bulk-dump a vector of trivially-copyable records. */
+template <typename T>
+void
+putPool(ByteWriter &out, const std::vector<T> &pool)
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "pool dumps require relocatable records");
+    out.u32(static_cast<std::uint32_t>(pool.size()));
+    out.blob(pool.data(), pool.size() * sizeof(T));
+}
+
+/** Bulk-load a vector of trivially-copyable records. */
+template <typename T>
+bool
+getPool(ByteReader &in, std::vector<T> &pool)
+{
+    const std::uint32_t count = in.u32();
+    if (in.remaining() / sizeof(T) < count) {
+        in.fail();
+        return false;
+    }
+    pool.resize(count);
+    return in.blob(pool.data(), count * sizeof(T));
+}
+
+/** Host byte-order marker: pool dumps are host-endian by design. */
+constexpr std::uint32_t kEndianMark = 0x01020304u;
+
+} // namespace
+
+void
+serializeModule(const Module &module, ByteWriter &out)
+{
+    writeTypesAndExterns(module, out);
+
+    out.u32(static_cast<std::uint32_t>(module.numGlobals()));
+    for (std::size_t i = 0; i < module.numGlobals(); ++i) {
+        const Global &g =
+            module.global(GlobalId(static_cast<std::uint32_t>(i)));
+        out.str(module.str(g.name));
+        out.u32(g.sizeBytes);
+        out.u8(g.isStringLiteral ? 1 : 0);
+        out.str(g.stringValue);
+    }
+
+    out.u32(static_cast<std::uint32_t>(module.numFuncs()));
+    for (std::size_t i = 0; i < module.numFuncs(); ++i) {
+        const Function &f = module.func(FuncId(static_cast<std::uint32_t>(i)));
+        out.str(module.str(f.name));
+        out.u32(static_cast<std::uint32_t>(f.params.size()));
+        for (const ValueId p : f.params)
+            putId(out, p);
+        out.u32(static_cast<std::uint32_t>(f.blocks.size()));
+        for (const BlockId b : f.blocks)
+            putId(out, b);
+        out.u8(f.addressTaken ? 1 : 0);
+        out.u8(f.isVariadicStub ? 1 : 0);
+    }
+
+    out.u32(static_cast<std::uint32_t>(module.numBlocks()));
+    for (std::size_t i = 0; i < module.numBlocks(); ++i) {
+        const BasicBlock &b =
+            module.block(BlockId(static_cast<std::uint32_t>(i)));
+        putId(out, b.func);
+        out.str(module.str(b.name));
+        out.u32(static_cast<std::uint32_t>(b.insts.size()));
+        for (const InstId inst : b.insts)
+            putId(out, inst);
+    }
+
+    out.u32(static_cast<std::uint32_t>(module.numValues()));
+    for (std::size_t i = 0; i < module.numValues(); ++i) {
+        const Value &v = module.value(ValueId(static_cast<std::uint32_t>(i)));
+        out.u8(static_cast<std::uint8_t>(v.kind));
+        out.u8(v.width);
+        out.i64(v.constValue);
+        out.u32(v.argIndex);
+        putId(out, v.argFunc);
+        putId(out, v.inst);
+        putId(out, v.global);
+        putId(out, v.funcAddr);
+        out.str(module.str(v.name));
+    }
+
+    out.u32(static_cast<std::uint32_t>(module.numInsts()));
+    for (std::size_t i = 0; i < module.numInsts(); ++i) {
+        const Instruction &inst =
+            module.inst(InstId(static_cast<std::uint32_t>(i)));
+        out.u8(static_cast<std::uint8_t>(inst.op));
+        putId(out, inst.result);
+        const std::span<const ValueId> ops = module.operands(inst);
+        out.u32(static_cast<std::uint32_t>(ops.size()));
+        for (const ValueId op : ops)
+            putId(out, op);
+        putId(out, inst.callee);
+        putId(out, inst.external);
+        putId(out, inst.thenBlock);
+        putId(out, inst.elseBlock);
+        const std::span<const BlockId> phis = module.phiBlocks(inst);
+        out.u32(static_cast<std::uint32_t>(phis.size()));
+        for (const BlockId b : phis)
+            putId(out, b);
+        out.u32(inst.allocaSize);
+        out.u8(static_cast<std::uint8_t>(inst.pred));
+        putId(out, inst.parent);
+        out.u32(inst.srcTag);
+    }
+}
+
+bool
+deserializeModule(ByteReader &in, Module &out)
+{
+    if (!readTypesAndExterns(in, out))
+        return false;
 
     const std::uint32_t num_globals = in.u32();
     for (std::uint32_t i = 0; i < num_globals && in.ok(); ++i) {
         Global g;
-        g.name = in.str();
+        g.name = out.internName(in.str());
         g.sizeBytes = in.u32();
         g.isStringLiteral = in.u8() != 0;
         g.stringValue = in.str();
@@ -167,7 +287,7 @@ deserializeModule(ByteReader &in, Module &out)
     const std::uint32_t num_funcs = in.u32();
     for (std::uint32_t i = 0; i < num_funcs && in.ok(); ++i) {
         Function f;
-        f.name = in.str();
+        f.name = out.internName(in.str());
         const std::uint32_t num_params = in.u32();
         for (std::uint32_t p = 0; p < num_params && in.ok(); ++p)
             f.params.push_back(getId<ValueTag>(in));
@@ -185,7 +305,7 @@ deserializeModule(ByteReader &in, Module &out)
     for (std::uint32_t i = 0; i < num_blocks && in.ok(); ++i) {
         BasicBlock b;
         b.func = getId<FuncTag>(in);
-        b.name = in.str();
+        b.name = out.internName(in.str());
         const std::uint32_t num_insts = in.u32();
         for (std::uint32_t k = 0; k < num_insts && in.ok(); ++k)
             b.insts.push_back(getId<InstTag>(in));
@@ -205,87 +325,173 @@ deserializeModule(ByteReader &in, Module &out)
         v.inst = getId<InstTag>(in);
         v.global = getId<GlobalTag>(in);
         v.funcAddr = getId<FuncTag>(in);
-        v.name = in.str();
+        v.name = out.internName(in.str());
         if (!in.ok())
             break;
-        out.addValue(std::move(v));
+        out.addValue(v);
     }
 
     const std::uint32_t num_insts = in.u32();
+    std::vector<ValueId> ops;
+    std::vector<BlockId> phis;
     for (std::uint32_t i = 0; i < num_insts && in.ok(); ++i) {
         Instruction inst;
         inst.op = static_cast<Opcode>(in.u8());
         inst.result = getId<ValueTag>(in);
         const std::uint32_t num_operands = in.u32();
+        ops.clear();
         for (std::uint32_t k = 0; k < num_operands && in.ok(); ++k)
-            inst.operands.push_back(getId<ValueTag>(in));
+            ops.push_back(getId<ValueTag>(in));
         inst.callee = getId<FuncTag>(in);
         inst.external = getId<ExternTag>(in);
         inst.thenBlock = getId<BlockTag>(in);
         inst.elseBlock = getId<BlockTag>(in);
         const std::uint32_t num_phi = in.u32();
+        phis.clear();
         for (std::uint32_t k = 0; k < num_phi && in.ok(); ++k)
-            inst.phiBlocks.push_back(getId<BlockTag>(in));
+            phis.push_back(getId<BlockTag>(in));
         inst.allocaSize = in.u32();
         inst.pred = static_cast<CmpPred>(in.u8());
         inst.parent = getId<BlockTag>(in);
         inst.srcTag = in.u32();
         if (!in.ok())
             break;
-        out.addInst(std::move(inst));
+        out.addInst(inst, ops, phis);
     }
     if (!in.ok())
         return false;
 
-    // Cross-pool id validation: every stored id must be the invalid
-    // sentinel or index into its (now fully sized) pool. This keeps a
-    // corrupted-but-well-framed snapshot from crashing later passes.
-    for (std::size_t i = 0; i < out.numFuncs(); ++i) {
-        const Function &f = out.func(FuncId(static_cast<std::uint32_t>(i)));
-        for (const ValueId p : f.params)
-            if (!idOk(p, out.numValues()))
-                return false;
-        for (const BlockId b : f.blocks)
-            if (!idOk(b, out.numBlocks()))
-                return false;
+    return validateModuleIds(out);
+}
+
+void
+serializeModulePools(const Module &module, ByteWriter &out)
+{
+    // Layout header: the pool dump is host-endian and layout-exact, so
+    // the loader rejects (and the caller falls back to the element-wise
+    // codec / cold analysis) on any record-shape mismatch.
+    out.u32(kEndianMark);
+    out.u32(static_cast<std::uint32_t>(sizeof(Value)));
+    out.u32(static_cast<std::uint32_t>(sizeof(Instruction)));
+    out.u32(static_cast<std::uint32_t>(sizeof(NameSpan)));
+
+    // Name arena first: everything after refers to names by handle.
+    const StringInterner &names = module.names();
+    out.u32(static_cast<std::uint32_t>(names.arenaBytes()));
+    out.blob(names.arena().data(), names.arenaBytes());
+    putPool(out, names.spans());
+
+    writeTypesAndExterns(module, out);
+
+    out.u32(static_cast<std::uint32_t>(module.numGlobals()));
+    for (std::size_t i = 0; i < module.numGlobals(); ++i) {
+        const Global &g =
+            module.global(GlobalId(static_cast<std::uint32_t>(i)));
+        putId(out, g.name);
+        out.u32(g.sizeBytes);
+        out.u8(g.isStringLiteral ? 1 : 0);
+        out.str(g.stringValue);
     }
-    for (std::size_t i = 0; i < out.numBlocks(); ++i) {
+
+    out.u32(static_cast<std::uint32_t>(module.numFuncs()));
+    for (std::size_t i = 0; i < module.numFuncs(); ++i) {
+        const Function &f = module.func(FuncId(static_cast<std::uint32_t>(i)));
+        putId(out, f.name);
+        putPool(out, f.params);
+        putPool(out, f.blocks);
+        out.u8(f.addressTaken ? 1 : 0);
+        out.u8(f.isVariadicStub ? 1 : 0);
+    }
+
+    out.u32(static_cast<std::uint32_t>(module.numBlocks()));
+    for (std::size_t i = 0; i < module.numBlocks(); ++i) {
         const BasicBlock &b =
-            out.block(BlockId(static_cast<std::uint32_t>(i)));
-        if (!idOk(b.func, out.numFuncs()))
-            return false;
-        for (const InstId inst : b.insts)
-            if (!idOk(inst, out.numInsts()))
-                return false;
+            module.block(BlockId(static_cast<std::uint32_t>(i)));
+        putId(out, b.func);
+        putId(out, b.name);
+        putPool(out, b.insts);
     }
-    for (std::size_t i = 0; i < out.numValues(); ++i) {
-        const Value &v = out.value(ValueId(static_cast<std::uint32_t>(i)));
-        if (!idOk(v.argFunc, out.numFuncs()) ||
-                !idOk(v.inst, out.numInsts()) ||
-                !idOk(v.global, out.numGlobals()) ||
-                !idOk(v.funcAddr, out.numFuncs())) {
-            return false;
-        }
+
+    // The four hot pools: straight memory dumps, no per-element work.
+    putPool(out, module.valuePool());
+    putPool(out, module.instPool());
+    putPool(out, module.operandPool());
+    putPool(out, module.phiPool());
+}
+
+bool
+deserializeModulePools(ByteReader &in, Module &out)
+{
+    if (in.u32() != kEndianMark || in.u32() != sizeof(Value) ||
+            in.u32() != sizeof(Instruction) ||
+            in.u32() != sizeof(NameSpan)) {
+        return false;
     }
-    for (std::size_t i = 0; i < out.numInsts(); ++i) {
-        const Instruction &inst =
-            out.inst(InstId(static_cast<std::uint32_t>(i)));
-        if (!idOk(inst.result, out.numValues()) ||
-                !idOk(inst.callee, out.numFuncs()) ||
-                !idOk(inst.external, out.numExterns()) ||
-                !idOk(inst.thenBlock, out.numBlocks()) ||
-                !idOk(inst.elseBlock, out.numBlocks()) ||
-                !idOk(inst.parent, out.numBlocks())) {
-            return false;
-        }
-        for (const ValueId op : inst.operands)
-            if (!idOk(op, out.numValues()))
-                return false;
-        for (const BlockId b : inst.phiBlocks)
-            if (!idOk(b, out.numBlocks()))
-                return false;
+
+    const std::uint32_t arena_bytes = in.u32();
+    std::vector<char> arena(arena_bytes);
+    if (!in.blob(arena.data(), arena_bytes))
+        return false;
+    std::vector<NameSpan> spans;
+    if (!getPool(in, spans))
+        return false;
+    if (!out.names().adopt(std::move(arena), std::move(spans)))
+        return false;
+
+    if (!readTypesAndExterns(in, out))
+        return false;
+    // The externs codec re-interns spellings; with the adopted arena in
+    // place those interns are pure lookups, so handles stay stable.
+
+    const std::uint32_t num_globals = in.u32();
+    for (std::uint32_t i = 0; i < num_globals && in.ok(); ++i) {
+        Global g;
+        g.name = getId<NameTag>(in);
+        g.sizeBytes = in.u32();
+        g.isStringLiteral = in.u8() != 0;
+        g.stringValue = in.str();
+        out.addGlobal(std::move(g));
     }
-    return true;
+
+    const std::uint32_t num_funcs = in.u32();
+    for (std::uint32_t i = 0; i < num_funcs && in.ok(); ++i) {
+        Function f;
+        f.name = getId<NameTag>(in);
+        if (!getPool(in, f.params) || !getPool(in, f.blocks))
+            break;
+        f.addressTaken = in.u8() != 0;
+        f.isVariadicStub = in.u8() != 0;
+        if (!in.ok())
+            break;
+        out.addFunc(std::move(f));
+    }
+
+    const std::uint32_t num_blocks = in.u32();
+    for (std::uint32_t i = 0; i < num_blocks && in.ok(); ++i) {
+        BasicBlock b;
+        b.func = getId<FuncTag>(in);
+        b.name = getId<NameTag>(in);
+        if (!getPool(in, b.insts))
+            break;
+        out.addBlock(std::move(b));
+    }
+    if (!in.ok())
+        return false;
+
+    std::vector<Value> values;
+    std::vector<Instruction> insts;
+    std::vector<ValueId> operand_pool;
+    std::vector<BlockId> phi_pool;
+    if (!getPool(in, values) || !getPool(in, insts) ||
+            !getPool(in, operand_pool) || !getPool(in, phi_pool)) {
+        return false;
+    }
+    if (!out.adoptFlatPools(std::move(values), std::move(insts),
+                            std::move(operand_pool), std::move(phi_pool))) {
+        return false;
+    }
+
+    return validateModuleIds(out);
 }
 
 } // namespace manta

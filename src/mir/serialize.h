@@ -33,6 +33,22 @@ void serializeModule(const Module &module, ByteWriter &out);
  */
 bool deserializeModule(ByteReader &in, Module &out);
 
+/**
+ * Zero-copy pool codec: dumps the module's value/instruction/operand/
+ * phi pools and the name-interner arena as raw memory (one blob per
+ * pool) instead of element-wise records. Host-endian and layout-exact;
+ * the header carries an endian mark plus record sizes and the loader
+ * rejects any mismatch, so a snapshot written by a different build
+ * falls back cleanly (caller re-analyzes cold).
+ *
+ * Same round-trip guarantee as the element-wise codec, and fuzzed
+ * against it: pool-load -> print must equal element-wise-load -> print.
+ */
+void serializeModulePools(const Module &module, ByteWriter &out);
+
+/** Decode a pool-dump module; false on malformed/mismatched input. */
+bool deserializeModulePools(ByteReader &in, Module &out);
+
 } // namespace manta
 
 #endif // MANTA_MIR_SERIALIZE_H

@@ -28,8 +28,9 @@ class Verifier
     void
     fail(FuncId fid, Args &&...args)
     {
-        errors_.push_back("in @" + m_.func(fid).name + ": " +
-                          detail::concat(std::forward<Args>(args)...));
+        errors_.push_back(
+            detail::concat("in @", m_.str(m_.func(fid).name), ": ",
+                           std::forward<Args>(args)...));
     }
 
     void
@@ -42,35 +43,35 @@ class Verifier
         }
         // Collect block membership and predecessor sets.
         std::unordered_set<std::uint32_t> own_blocks;
-        std::unordered_set<std::string> block_names;
+        std::unordered_set<std::uint32_t> block_names;
         for (const BlockId bid : fn.blocks) {
             own_blocks.insert(bid.raw());
-            const std::string &bname = m_.block(bid).name;
-            if (!bname.empty() && !block_names.insert(bname).second)
-                fail(fid, "duplicate block name ", bname);
+            const NameId bname = m_.block(bid).name;
+            if (bname.valid() && !block_names.insert(bname.raw()).second)
+                fail(fid, "duplicate block name ", m_.str(bname));
         }
 
         std::unordered_map<std::uint32_t, std::vector<BlockId>> preds;
         for (const BlockId bid : fn.blocks) {
             const BasicBlock &bb = m_.block(bid);
             if (bb.insts.empty()) {
-                fail(fid, "block ", bb.name, " is empty");
+                fail(fid, "block ", m_.str(bb.name), " is empty");
                 continue;
             }
             for (std::size_t i = 0; i < bb.insts.size(); ++i) {
                 const Instruction &inst = m_.inst(bb.insts[i]);
                 const bool last = i + 1 == bb.insts.size();
                 if (last && !inst.isTerminator())
-                    fail(fid, "block ", bb.name, " lacks a terminator");
+                    fail(fid, "block ", m_.str(bb.name), " lacks a terminator");
                 if (!last && inst.isTerminator())
-                    fail(fid, "terminator mid-block in ", bb.name);
+                    fail(fid, "terminator mid-block in ", m_.str(bb.name));
                 if (inst.parent != bid)
-                    fail(fid, "instruction parent mismatch in ", bb.name);
+                    fail(fid, "instruction parent mismatch in ", m_.str(bb.name));
             }
             const Instruction &term = m_.inst(bb.insts.back());
             auto check_target = [&](BlockId target) {
                 if (!target.valid() || !own_blocks.count(target.raw())) {
-                    fail(fid, "branch from ", bb.name,
+                    fail(fid, "branch from ", m_.str(bb.name),
                          " to a foreign or invalid block");
                 } else {
                     preds[target.raw()].push_back(bid);
@@ -79,10 +80,13 @@ class Verifier
             if (term.op == Opcode::Br) {
                 check_target(term.thenBlock);
                 check_target(term.elseBlock);
-                if (term.operands.size() != 1) {
-                    fail(fid, "br needs one condition operand in ", bb.name);
-                } else if (m_.value(term.operands[0]).width != 1) {
-                    fail(fid, "br condition must be 1 bit wide in ", bb.name);
+                const auto term_ops = m_.operands(term);
+                if (term_ops.size() != 1) {
+                    fail(fid, "br needs one condition operand in ",
+                         m_.str(bb.name));
+                } else if (m_.value(term_ops[0]).width != 1) {
+                    fail(fid, "br condition must be 1 bit wide in ",
+                         m_.str(bb.name));
                 }
             } else if (term.op == Opcode::Jmp) {
                 check_target(term.thenBlock);
@@ -116,40 +120,42 @@ class Verifier
     {
         const Instruction &inst = m_.inst(iid);
         const BasicBlock &bb = m_.block(bid);
+        const std::span<const ValueId> ops = m_.operands(inst);
 
-        for (const ValueId op : inst.operands) {
+        for (const ValueId op : ops) {
             if (!op.valid() || op.index() >= m_.numValues()) {
-                fail(fid, "invalid operand in ", bb.name);
+                fail(fid, "invalid operand in ", m_.str(bb.name));
                 continue;
             }
             const FuncId owner = m_.owningFunc(op);
             if (owner.valid() && owner != fid) {
-                fail(fid, "operand crosses function boundary in ", bb.name,
-                     ": ", printInst(m_, iid));
+                fail(fid, "operand crosses function boundary in ",
+                     m_.str(bb.name), ": ", printInst(m_, iid));
             }
         }
 
         switch (inst.op) {
           case Opcode::Phi: {
-            if (inst.operands.size() != inst.phiBlocks.size()) {
-                fail(fid, "phi arity mismatch in ", bb.name);
+            const std::span<const BlockId> phis = m_.phiBlocks(inst);
+            if (ops.size() != phis.size()) {
+                fail(fid, "phi arity mismatch in ", m_.str(bb.name));
                 break;
             }
             // Every phi incoming block must be a predecessor.
-            for (const BlockId in : inst.phiBlocks) {
+            for (const BlockId in : phis) {
                 if (std::find(preds.begin(), preds.end(), in) == preds.end())
                     fail(fid, "phi incoming block not a predecessor of ",
-                         bb.name);
+                         m_.str(bb.name));
             }
             break;
           }
           case Opcode::Load:
-            if (inst.operands.size() != 1)
-                fail(fid, "load needs one operand in ", bb.name);
+            if (ops.size() != 1)
+                fail(fid, "load needs one operand in ", m_.str(bb.name));
             break;
           case Opcode::Store:
-            if (inst.operands.size() != 2)
-                fail(fid, "store needs two operands in ", bb.name);
+            if (ops.size() != 2)
+                fail(fid, "store needs two operands in ", m_.str(bb.name));
             break;
           case Opcode::Add:
           case Opcode::Sub:
@@ -161,26 +167,26 @@ class Verifier
           case Opcode::Xor:
           case Opcode::Shl:
           case Opcode::Shr:
-            if (inst.operands.size() != 2) {
-                fail(fid, "binop needs two operands in ", bb.name);
-            } else if (m_.value(inst.operands[0]).width !=
-                       m_.value(inst.operands[1]).width) {
-                fail(fid, "binop width mismatch in ", bb.name, ": ",
+            if (ops.size() != 2) {
+                fail(fid, "binop needs two operands in ", m_.str(bb.name));
+            } else if (m_.value(ops[0]).width != m_.value(ops[1]).width) {
+                fail(fid, "binop width mismatch in ", m_.str(bb.name), ": ",
                      printInst(m_, iid));
             }
             break;
           case Opcode::Call:
             if (inst.callee.valid() == inst.external.valid()) {
                 fail(fid, "call must have exactly one of callee/external in ",
-                     bb.name);
+                     m_.str(bb.name));
             } else if (inst.callee.valid() &&
                        inst.callee.index() >= m_.numFuncs()) {
-                fail(fid, "call to nonexistent function in ", bb.name);
+                fail(fid, "call to nonexistent function in ",
+                     m_.str(bb.name));
             }
             break;
           case Opcode::ICall:
-            if (inst.operands.empty())
-                fail(fid, "icall needs a target operand in ", bb.name);
+            if (ops.empty())
+                fail(fid, "icall needs a target operand in ", m_.str(bb.name));
             break;
           default:
             break;

@@ -40,7 +40,8 @@ ModuleKeys::ModuleKeys(const Module &module)
         for (const BlockId bid : fn.blocks) {
             for (const InstId iid : module.block(bid).insts) {
                 inst_pos_[iid.raw()] = pos++;
-                for (const ValueId op : module.inst(iid).operands) {
+                for (const ValueId op :
+                     module.operands(module.inst(iid))) {
                     std::uint32_t &owner = owners_[op.raw()];
                     const Value &v = module.value(op);
                     if (v.kind == ValueKind::Argument ||
@@ -76,7 +77,7 @@ ModuleKeys::ModuleKeys(const Module &module)
     content_.resize(num_funcs);
     for (std::size_t f = 0; f < num_funcs; ++f) {
         const FuncId fid(static_cast<FuncId::RawType>(f));
-        func_key_[f] = Fnv64::of(module.func(fid).name);
+        func_key_[f] = Fnv64::of(module.str(module.func(fid).name));
         content_[f] = hashFunction(module, fid);
     }
 }
@@ -113,7 +114,7 @@ ModuleKeys::hashFunction(const Module &module, FuncId f) const
     const Function &fn = module.func(f);
     const BlockPositions blocks(module, fn);
     Fnv64 h;
-    h.str(fn.name);
+    h.str(module.str(fn.name));
     h.byte(fn.addressTaken ? 1 : 0);
     h.byte(fn.isVariadicStub ? 1 : 0);
 
@@ -130,9 +131,9 @@ ModuleKeys::hashFunction(const Module &module, FuncId f) const
             if (v.kind == ValueKind::Constant)
                 h.u64(static_cast<std::uint64_t>(v.constValue));
             else if (v.kind == ValueKind::GlobalAddr && v.global.valid())
-                h.str(module.global(v.global).name);
+                h.str(module.str(module.global(v.global).name));
             else if (v.kind == ValueKind::FuncAddr && v.funcAddr.valid())
-                h.str(module.func(v.funcAddr).name);
+                h.str(module.str(module.func(v.funcAddr).name));
             return;
         }
         h.byte(0x02);
@@ -144,18 +145,18 @@ ModuleKeys::hashFunction(const Module &module, FuncId f) const
             break;
           case ValueKind::GlobalAddr:
             if (v.global.valid())
-                h.str(module.global(v.global).name);
+                h.str(module.str(module.global(v.global).name));
             break;
           case ValueKind::FuncAddr:
             if (v.funcAddr.valid())
-                h.str(module.func(v.funcAddr).name);
+                h.str(module.str(module.func(v.funcAddr).name));
             break;
           default:
             // Cross-function SSA use: encode by the other function's
             // stable coordinate.
             if (owner != kNoOwner) {
                 h.u64(func_key_.empty() ? 0 : Fnv64::of(
-                          module.func(FuncId(owner)).name));
+                          module.str(module.func(FuncId(owner)).name)));
                 h.u32(ordinals_[op.raw()]);
             } else {
                 h.byte(0xff);
@@ -185,17 +186,17 @@ ModuleKeys::hashFunction(const Module &module, FuncId f) const
                 h.byte(0x00);
             }
             if (inst.callee.valid())
-                h.str(module.func(inst.callee).name);
+                h.str(module.str(module.func(inst.callee).name));
             if (inst.external.valid())
-                h.str(module.external(inst.external).name);
+                h.str(module.str(module.external(inst.external).name));
             if (inst.thenBlock.valid())
                 h.u32(blocks.of(inst.thenBlock));
             if (inst.elseBlock.valid())
                 h.u32(blocks.of(inst.elseBlock));
-            h.u32(static_cast<std::uint32_t>(inst.operands.size()));
-            for (const ValueId op : inst.operands)
+            h.u32(static_cast<std::uint32_t>(inst.numOperands()));
+            for (const ValueId op : module.operands(inst))
                 hashOperand(op);
-            for (const BlockId pb : inst.phiBlocks)
+            for (const BlockId pb : module.phiBlocks(inst))
                 h.u32(blocks.of(pb));
         }
     }

@@ -319,13 +319,14 @@ Service::doSnapshotLoad(const Json &params)
     const std::string *path = stringParam(params, "path");
     if (path == nullptr)
         return errorValue(errc::kBadRequest, "missing string field 'path'");
-    std::string bytes, snap_error;
-    if (!loadSnapshotFile(*path, bytes, snap_error))
+    std::string snap_error;
+    MappedBytes bytes;
+    if (!loadSnapshotFileMapped(*path, bytes, snap_error))
         return errorValue(errc::kBadRequest, snap_error);
 
     BinarySession &session = sessionFor(*name);
     std::lock_guard<std::mutex> guard(session.lock());
-    if (!session.loadSnapshot(bytes, snap_error))
+    if (!session.loadSnapshot(bytes.view(), snap_error))
         return errorValue(errc::kAnalysisError, snap_error);
     Json result = Json::object();
     result.set("binary", Json::string(*name));

@@ -62,7 +62,8 @@ BinarySession::runAnalysis(std::unique_ptr<Module> module,
     hashes.reserve(module->numFuncs());
     for (std::size_t f = 0; f < module->numFuncs(); ++f) {
         const FuncId fid(static_cast<FuncId::RawType>(f));
-        hashes[module->func(fid).name] = keys->contentHash(fid);
+        hashes[std::string(module->str(module->func(fid).name))] =
+            keys->contentHash(fid);
     }
     if (!prev_hashes_.empty()) {
         out.dirty = diffContentHashes(prev_hashes_, hashes);
@@ -89,7 +90,8 @@ BinarySession::runAnalysis(std::unique_ptr<Module> module,
                 }
             }
             for (const FuncId f : sccs.closure(dirty_ids))
-                out.closure.push_back(module->func(f).name);
+                out.closure.push_back(
+                    std::string(module->str(module->func(f).name)));
             std::sort(out.closure.begin(), out.closure.end());
         }
     }
@@ -185,9 +187,13 @@ BinarySession::renderIcall() const
     for (const auto &[site, targets] : icall.targets) {
         const FuncId in_func =
             module_->block(module_->inst(site).parent).func;
-        out += "  in @" + module_->func(in_func).name + " ->";
-        for (const FuncId t : targets)
-            out += " @" + module_->func(t).name;
+        out += "  in @";
+        out += module_->str(module_->func(in_func).name);
+        out += " ->";
+        for (const FuncId t : targets) {
+            out += " @";
+            out += module_->str(module_->func(t).name);
+        }
         out += "\n";
     }
     return out;
@@ -216,7 +222,7 @@ BinarySession::slice(const std::string &func_name,
     for (std::size_t i = 0; i < module_->numValues(); ++i) {
         const ValueId vid(static_cast<ValueId::RawType>(i));
         const Value &v = module_->value(vid);
-        if (v.name != wanted)
+        if (module_->str(v.name) != wanted)
             continue;
         if (module_->owningFunc(vid) == func) {
             source = vid;
@@ -231,8 +237,9 @@ BinarySession::slice(const std::string &func_name,
     DataSlicer::Options options;
     for (const ValueId v : slicer.forwardSlice(source, options)) {
         const FuncId owner = module_->owningFunc(v);
-        const std::string where =
-            owner.valid() ? module_->func(owner).name : std::string("?");
+        const std::string where = owner.valid()
+            ? std::string(module_->str(module_->func(owner).name))
+            : std::string("?");
         out.push_back("@" + where + ":" + printValueRef(*module_, v));
     }
     return true;
@@ -250,7 +257,8 @@ BinarySession::saveSnapshot(std::string &bytes, std::string &error) const
     funcs.reserve(module_->numFuncs());
     for (std::size_t f = 0; f < module_->numFuncs(); ++f) {
         const FuncId fid(static_cast<FuncId::RawType>(f));
-        funcs.emplace_back(module_->func(fid).name, keys.contentHash(fid));
+        funcs.emplace_back(std::string(module_->str(module_->func(fid).name)),
+                           keys.contentHash(fid));
     }
     SnapshotMeta meta;
     meta.textHash = text_hash_;
@@ -268,7 +276,7 @@ BinarySession::saveSnapshot(std::string &bytes, std::string &error) const
 }
 
 bool
-BinarySession::loadSnapshot(const std::string &bytes, std::string &error)
+BinarySession::loadSnapshot(std::string_view bytes, std::string &error)
 {
     auto module = std::make_unique<Module>();
     SnapshotContents contents;
@@ -295,7 +303,8 @@ BinarySession::loadSnapshot(const std::string &bytes, std::string &error)
     }
     for (std::size_t f = 0; f < module->numFuncs(); ++f) {
         const FuncId fid(static_cast<FuncId::RawType>(f));
-        if (contents.funcs[f].first != module->func(fid).name ||
+        if (contents.funcs[f].first !=
+                module->str(module->func(fid).name) ||
             contents.funcs[f].second != keys->contentHash(fid)) {
             memo_.clear();
             error = "snapshot FUNCS/MIR disagreement";

@@ -21,6 +21,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -111,7 +112,7 @@ class BinarySession
      * rejects the snapshot and leaves the session empty, so the next
      * analyze is simply cold.
      */
-    bool loadSnapshot(const std::string &bytes, std::string &error);
+    bool loadSnapshot(std::string_view bytes, std::string &error);
 
     /** The per-session lock Service holds around request handling. */
     std::mutex &lock() { return mutex_; }

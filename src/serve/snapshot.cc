@@ -2,6 +2,14 @@
 
 #include <cstdio>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define MANTA_SNAPSHOT_HAVE_MMAP 1
+#endif
+
 #include "mir/serialize.h"
 
 namespace manta {
@@ -138,6 +146,16 @@ writeSnapshot(const Module &module, const SnapshotMeta &meta,
             {static_cast<std::uint32_t>(SnapshotSection::Results),
              w.take()});
     }
+    {
+        // Zero-copy fast path: same module as MIR (3), dumped pool-at-
+        // a-time. A reader whose record layout differs rejects it and
+        // decodes MIR instead.
+        ByteWriter w;
+        serializeModulePools(module, w);
+        sections.push_back(
+            {static_cast<std::uint32_t>(SnapshotSection::MirPools),
+             w.take()});
+    }
 
     ByteWriter out;
     out.raw(std::string(kMagic, sizeof kMagic));
@@ -162,11 +180,11 @@ writeSnapshot(const Module &module, const SnapshotMeta &meta,
 }
 
 bool
-readSnapshot(const std::string &bytes, Module &module,
+readSnapshot(std::string_view bytes, Module &module,
              IncrementalMemo &memo, SnapshotContents &out,
              std::string &error)
 {
-    ByteReader in(bytes);
+    ByteReader in(bytes.data(), bytes.size());
     char magic[4] = {};
     if (bytes.size() < 4) {
         error = "snapshot truncated";
@@ -212,8 +230,11 @@ readSnapshot(const std::string &bytes, Module &module,
         return false;
     }
 
-    auto sectionPayload = [&](SnapshotSection id,
-                              std::string &payload) -> bool {
+    // Borrowing lookup: payloads are views into `bytes`, so the pool
+    // fast path decodes straight from the (possibly mmapped) buffer.
+    auto findSection = [&](SnapshotSection id, std::string_view &payload,
+                           bool &found) -> bool {
+        found = false;
         for (const Entry &e : table) {
             if (e.id != static_cast<std::uint32_t>(id))
                 continue;
@@ -228,17 +249,28 @@ readSnapshot(const std::string &bytes, Module &module,
                 error = "section checksum mismatch";
                 return false;
             }
+            found = true;
             return true;
         }
-        error = "missing section";
-        return false;
+        return true;
+    };
+    auto sectionPayload = [&](SnapshotSection id,
+                              std::string_view &payload) -> bool {
+        bool found = false;
+        if (!findSection(id, payload, found))
+            return false;
+        if (!found) {
+            error = "missing section";
+            return false;
+        }
+        return true;
     };
 
-    std::string payload;
+    std::string_view payload;
     if (!sectionPayload(SnapshotSection::Meta, payload))
         return false;
     {
-        ByteReader r(payload);
+        ByteReader r(payload.data(), payload.size());
         if (!readMeta(r, out.meta)) {
             error = "malformed META section";
             return false;
@@ -247,7 +279,7 @@ readSnapshot(const std::string &bytes, Module &module,
     if (!sectionPayload(SnapshotSection::Funcs, payload))
         return false;
     {
-        ByteReader r(payload);
+        ByteReader r(payload.data(), payload.size());
         const std::uint32_t count = r.u32();
         if (!r.ok() || count > 1u << 24) {
             error = "malformed FUNCS section";
@@ -267,16 +299,34 @@ readSnapshot(const std::string &bytes, Module &module,
     if (!sectionPayload(SnapshotSection::Mir, payload))
         return false;
     {
-        ByteReader r(payload);
-        if (!deserializeModule(r, module)) {
-            error = "malformed MIR section";
+        // Fast path: load the raw pool dump when one is present and
+        // its layout tag matches this build; otherwise decode the
+        // element-wise MIR section. deserializeModulePools rejecting
+        // (foreign endianness/record sizes, or a malformed dump) is
+        // not an error - MIR (3) is authoritative.
+        std::string_view pools;
+        bool have_pools = false;
+        if (!findSection(SnapshotSection::MirPools, pools, have_pools))
             return false;
+        bool loaded = false;
+        if (have_pools) {
+            ByteReader r(pools.data(), pools.size());
+            loaded = deserializeModulePools(r, module);
+            if (!loaded)
+                module = Module();
+        }
+        if (!loaded) {
+            ByteReader r(payload.data(), payload.size());
+            if (!deserializeModule(r, module)) {
+                error = "malformed MIR section";
+                return false;
+            }
         }
     }
     if (!sectionPayload(SnapshotSection::Pts, payload))
         return false;
     {
-        ByteReader r(payload);
+        ByteReader r(payload.data(), payload.size());
         out.digests.pts = r.u64();
         out.digests.ptsLocs = r.u64();
         if (!r.ok() || !r.atEnd()) {
@@ -287,7 +337,7 @@ readSnapshot(const std::string &bytes, Module &module,
     if (!sectionPayload(SnapshotSection::Ddg, payload))
         return false;
     {
-        ByteReader r(payload);
+        ByteReader r(payload.data(), payload.size());
         out.digests.ddg = r.u64();
         out.digests.ddgEdges = r.u64();
         if (!r.ok() || !r.atEnd()) {
@@ -298,7 +348,7 @@ readSnapshot(const std::string &bytes, Module &module,
     if (!sectionPayload(SnapshotSection::Summaries, payload))
         return false;
     {
-        ByteReader r(payload);
+        ByteReader r(payload.data(), payload.size());
         if (!memo.deserialize(r) || !r.atEnd()) {
             error = "malformed SUMMARIES section";
             return false;
@@ -307,7 +357,7 @@ readSnapshot(const std::string &bytes, Module &module,
     if (!sectionPayload(SnapshotSection::Results, payload))
         return false;
     {
-        ByteReader r(payload);
+        ByteReader r(payload.data(), payload.size());
         const std::uint32_t count = r.u32();
         if (!r.ok() || count > 1u << 16) {
             error = "malformed RESULTS section";
@@ -343,6 +393,54 @@ saveSnapshotFile(const std::string &path, const std::string &bytes,
     if (!ok)
         error = "short write to " + path;
     return ok;
+}
+
+void
+MappedBytes::reset()
+{
+#ifdef MANTA_SNAPSHOT_HAVE_MMAP
+    if (data_ != nullptr)
+        ::munmap(const_cast<char *>(data_), size_);
+#endif
+    data_ = nullptr;
+    size_ = 0;
+    fallback_.clear();
+}
+
+bool
+loadSnapshotFileMapped(const std::string &path, MappedBytes &out,
+                       std::string &error)
+{
+    out.reset();
+#ifdef MANTA_SNAPSHOT_HAVE_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        error = "cannot open " + path;
+        return false;
+    }
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        error = "cannot stat " + path;
+        return false;
+    }
+    const std::size_t size = static_cast<std::size_t>(st.st_size);
+    if (size == 0) {
+        // mmap rejects zero-length maps; an empty view is fine.
+        ::close(fd);
+        return true;
+    }
+    void *mapped = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (mapped == MAP_FAILED) {
+        // Fall through to the buffered loader below.
+    } else {
+        out.data_ = static_cast<const char *>(mapped);
+        out.size_ = size;
+        return true;
+    }
+#endif
+    return loadSnapshotFile(path, out.fallback_, error);
 }
 
 bool

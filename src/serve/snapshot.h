@@ -25,12 +25,20 @@
  *   RESULTS   (7)  named digests of rendered artifacts at save time,
  *                  letting a reloaded session prove warm answers
  *                  byte-identical to the saved ones.
+ *   MIRPOOLS  (8)  zero-copy pool dump of the same module
+ *                  (mir/serialize.h, serializeModulePools): raw
+ *                  value/instruction/operand/phi pools plus the name
+ *                  arena, host-layout-tagged. Readers that match the
+ *                  layout load it with one memcpy per pool and skip
+ *                  the element-wise MIR decode; everyone else falls
+ *                  back to MIR (3), which stays authoritative.
  */
 #ifndef MANTA_SERVE_SNAPSHOT_H
 #define MANTA_SERVE_SNAPSHOT_H
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/ddg.h"
@@ -53,6 +61,7 @@ enum class SnapshotSection : std::uint32_t {
     Ddg = 5,
     Summaries = 6,
     Results = 7,
+    MirPools = 8,
 };
 
 /** META payload. */
@@ -107,8 +116,13 @@ struct SnapshotContents
  * Decode a snapshot. Returns false (with `error` set) on bad magic,
  * version mismatch, malformed sections or checksum failure; `module`
  * and `memo` are only meaningful on success.
+ *
+ * When a MIRPOOLS section is present and its layout tag matches this
+ * build, the module loads from the raw pool dump (one memcpy per
+ * pool); otherwise decoding falls back to the element-wise MIR
+ * section. Both paths produce identical modules (fuzzed oracle).
  */
-bool readSnapshot(const std::string &bytes, Module &module,
+bool readSnapshot(std::string_view bytes, Module &module,
                   IncrementalMemo &memo, SnapshotContents &out,
                   std::string &error);
 
@@ -117,6 +131,61 @@ bool saveSnapshotFile(const std::string &path, const std::string &bytes,
                       std::string &error);
 bool loadSnapshotFile(const std::string &path, std::string &bytes,
                       std::string &error);
+
+/**
+ * A snapshot file mapped (or, where mmap is unavailable, read) into
+ * memory. Pairs with readSnapshot's string_view interface so the
+ * MIRPOOLS fast path decodes straight out of the page cache without
+ * first copying the file into a heap string.
+ */
+class MappedBytes
+{
+  public:
+    MappedBytes() = default;
+    MappedBytes(const MappedBytes &) = delete;
+    MappedBytes &operator=(const MappedBytes &) = delete;
+    MappedBytes(MappedBytes &&other) noexcept { steal(other); }
+    MappedBytes &
+    operator=(MappedBytes &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            steal(other);
+        }
+        return *this;
+    }
+    ~MappedBytes() { reset(); }
+
+    std::string_view
+    view() const
+    {
+        return data_ ? std::string_view(data_, size_)
+                     : std::string_view(fallback_);
+    }
+
+  private:
+    friend bool loadSnapshotFileMapped(const std::string &path,
+                                       MappedBytes &out,
+                                       std::string &error);
+    void reset();
+    void
+    steal(MappedBytes &other)
+    {
+        data_ = other.data_;
+        size_ = other.size_;
+        fallback_ = std::move(other.fallback_);
+        other.data_ = nullptr;
+        other.size_ = 0;
+    }
+
+    const char *data_ = nullptr; ///< mmap region (null -> fallback_).
+    std::size_t size_ = 0;
+    std::string fallback_;
+};
+
+/** Map `path` read-only (fread fallback); false with `error` set. */
+bool loadSnapshotFileMapped(const std::string &path, MappedBytes &out,
+                            std::string &error);
 
 } // namespace serve
 } // namespace manta

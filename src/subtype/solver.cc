@@ -80,7 +80,7 @@ SubtypeInference::genMemoryRules(const SccGraph &sccs)
         const Instruction &inst = module_.inst(iid);
         if (inst.op != Opcode::Load && inst.op != Opcode::Store)
             continue;
-        const ValueId addr = inst.operands[0];
+        const ValueId addr = module_.operand(inst, 0);
         const FuncId owner_fn = module_.block(inst.parent).func;
         const std::uint32_t tag = sccs.sccOf(owner_fn);
         const CapLabel label =
@@ -96,7 +96,7 @@ SubtypeInference::genMemoryRules(const SccGraph &sccs)
             }
             cs_->addSub(deref, valueVar(inst.result));
         } else {
-            cs_->addSub(valueVar(inst.operands[1]), deref);
+            cs_->addSub(valueVar(module_.operand(inst, 1)), deref);
             for (const Loc &loc : pts_.locs(addr)) {
                 const SubVarId fv = fieldVarOfLoc(loc);
                 cs_->addSub(deref, fv);
@@ -151,12 +151,12 @@ SubtypeInference::genFunction(FuncId f, std::uint32_t scc,
             const Instruction &inst = module_.inst(iid);
             switch (inst.op) {
               case Opcode::Copy:
-                cs_->addSub(valueVar(inst.operands[0]),
+                cs_->addSub(valueVar(module_.operand(inst, 0)),
                             valueVar(inst.result));
-                objLink(inst.result, inst.operands[0]);
+                objLink(inst.result, module_.operand(inst, 0));
                 break;
               case Opcode::Phi:
-                for (const ValueId op : inst.operands) {
+                for (const ValueId op : module_.operands(inst)) {
                     cs_->addSub(valueVar(op), valueVar(inst.result));
                     objLink(inst.result, op);
                 }
@@ -164,12 +164,12 @@ SubtypeInference::genFunction(FuncId f, std::uint32_t scc,
               case Opcode::ICmp:
                 // Compared values share a type, in both directions
                 // (the unifier's symmetric same-type rule).
-                cs_->addBoth(valueVar(inst.operands[0]),
-                             valueVar(inst.operands[1]));
+                cs_->addBoth(valueVar(module_.operand(inst, 0)),
+                             valueVar(module_.operand(inst, 1)));
                 break;
               case Opcode::Ret:
-                if (!inst.operands.empty()) {
-                    cs_->addSub(valueVar(inst.operands[0]),
+                if (inst.numOperands() != 0) {
+                    cs_->addSub(valueVar(module_.operand(inst, 0)),
                                 ret_vars_[f.index()]);
                 }
                 break;
@@ -179,7 +179,7 @@ SubtypeInference::genFunction(FuncId f, std::uint32_t scc,
                 const FuncId g = inst.callee;
                 const Function &callee = module_.func(g);
                 const std::size_t n =
-                    std::min(callee.params.size(), inst.operands.size());
+                    std::min(callee.params.size(), inst.numOperands());
                 const FnSummary &sum = summaries_[g.index()];
                 if (sccs.sccOf(g) != scc && sum.usable) {
                     // Polymorphic instantiation: fresh call-site
@@ -210,7 +210,7 @@ SubtypeInference::genFunction(FuncId f, std::uint32_t scc,
                                   sum.seedFwd[k], sum.seedBwd[k]);
                     }
                     for (std::size_t k = 0; k < n; ++k)
-                        cs_->addSub(valueVar(inst.operands[k]), ins[k]);
+                        cs_->addSub(valueVar(module_.operand(inst, k)), ins[k]);
                     if (inst.result.valid())
                         cs_->addSub(out, valueVar(inst.result));
                     // The callee's interface fields become this SCC's
@@ -226,9 +226,9 @@ SubtypeInference::genFunction(FuncId f, std::uint32_t scc,
                     if (sccs.sccOf(g) != scc)
                         ++stats_.monoFallbacks;
                     for (std::size_t k = 0; k < n; ++k) {
-                        cs_->addSub(valueVar(inst.operands[k]),
+                        cs_->addSub(valueVar(module_.operand(inst, k)),
                                     valueVar(callee.params[k]));
-                        objLink(inst.operands[k], callee.params[k]);
+                        objLink(module_.operand(inst, k), callee.params[k]);
                     }
                     if (inst.result.valid()) {
                         cs_->addSub(ret_vars_[g.index()],
@@ -242,7 +242,7 @@ SubtypeInference::genFunction(FuncId f, std::uint32_t scc,
                 // formals in one post-solve step (Table-3 parity
                 // with the unifier's arg~param class merge).
                 for (std::size_t k = 0; k < n; ++k)
-                    enrich_.emplace_back(inst.operands[k],
+                    enrich_.emplace_back(module_.operand(inst, k),
                                          callee.params[k]);
                 if (inst.result.valid()) {
                     for (const ValueId rop : ret_ops_[g.index()])
@@ -458,8 +458,8 @@ SubtypeInference::run(TypeEnv &env)
             if (bb.insts.empty())
                 continue;
             const Instruction &term = module_.inst(bb.insts.back());
-            if (term.op == Opcode::Ret && !term.operands.empty())
-                ret_ops_[f].push_back(term.operands[0]);
+            if (term.op == Opcode::Ret && term.numOperands() != 0)
+                ret_ops_[f].push_back(module_.operand(term, 0));
         }
     }
 

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace manta {
@@ -53,7 +54,7 @@ class ByteWriter
 
     /** u32 length prefix + raw bytes. */
     void
-    str(const std::string &s)
+    str(std::string_view s)
     {
         u32(static_cast<std::uint32_t>(s.size()));
         bytes_.append(s);
@@ -64,6 +65,17 @@ class ByteWriter
     raw(const std::string &s)
     {
         bytes_.append(s);
+    }
+
+    /**
+     * Raw memory, no prefix - the bulk-dump primitive of the zero-copy
+     * pool codec. The caller is responsible for only dumping
+     * trivially-copyable records with deterministic (zeroed) padding.
+     */
+    void
+    blob(const void *data, std::size_t n)
+    {
+        bytes_.append(static_cast<const char *>(data), n);
     }
 
     /** Overwrite 4 bytes at `at` (for back-patching offsets). */
@@ -166,6 +178,32 @@ class ByteReader
         return s;
     }
 
+    /**
+     * Bulk-copy `n` bytes into `dst` (zero-copy pool load: one memcpy
+     * per pool instead of one decode call per element). Returns false
+     * and sets fail() on truncation.
+     */
+    bool
+    blob(void *dst, std::size_t n)
+    {
+        if (!need(n))
+            return false;
+        std::memcpy(dst, data_ + pos_, n);
+        pos_ += n;
+        return true;
+    }
+
+    /** Borrow `n` bytes in place and advance; nullptr on truncation. */
+    const char *
+    view(std::size_t n)
+    {
+        if (!need(n))
+            return nullptr;
+        const char *p = data_ + pos_;
+        pos_ += n;
+        return p;
+    }
+
     /** Mark the stream failed (e.g. on a semantic validation error). */
     void
     fail()
@@ -230,7 +268,7 @@ class Fnv64
     }
 
     void
-    str(const std::string &s)
+    str(std::string_view s)
     {
         u32(static_cast<std::uint32_t>(s.size()));
         bytes(s.data(), s.size());
@@ -239,7 +277,7 @@ class Fnv64
     std::uint64_t value() const { return state_; }
 
     static std::uint64_t
-    of(const std::string &s)
+    of(std::string_view s)
     {
         Fnv64 h;
         h.bytes(s.data(), s.size());

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * String interner backing all MIR debug names.
+ *
+ * Every name (value, block, function, global, external) is stored once
+ * in a single contiguous byte arena and referenced by a 32-bit NameId
+ * handle. Interning the same spelling twice returns the same handle, so
+ * name equality is an integer compare and the whole name table is two
+ * relocatable POD arrays (bytes + spans) - which is exactly what the
+ * zero-copy snapshot path dumps and reloads (docs/SERVING.md).
+ *
+ * The empty string is not interned: it maps to the invalid NameId and
+ * str(invalid) returns an empty view, mirroring the old "empty
+ * std::string means unnamed" convention.
+ */
+#ifndef MANTA_SUPPORT_INTERNER_H
+#define MANTA_SUPPORT_INTERNER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "support/ids.h"
+
+namespace manta {
+
+struct NameTag {};
+using NameId = Id<NameTag>;
+
+/** One interned string: a [offset, offset+length) slice of the arena. */
+struct NameSpan
+{
+    std::uint32_t offset = 0;
+    std::uint32_t length = 0;
+};
+
+static_assert(std::is_trivially_copyable_v<NameSpan>,
+              "NameSpan is part of the relocatable snapshot payload");
+
+class StringInterner
+{
+  public:
+    StringInterner() = default;
+
+    // The dedup map's keys own their bytes, so the default copy/move
+    // operations are correct (the arena and map never alias).
+
+    /** Handle for `s`, interning it on first sight. "" -> invalid. */
+    NameId
+    intern(std::string_view s)
+    {
+        if (s.empty())
+            return NameId::invalid();
+        const auto it = lookup_.find(s);
+        if (it != lookup_.end())
+            return it->second;
+        const NameId id(static_cast<NameId::RawType>(spans_.size()));
+        NameSpan span;
+        span.offset = static_cast<std::uint32_t>(bytes_.size());
+        span.length = static_cast<std::uint32_t>(s.size());
+        bytes_.insert(bytes_.end(), s.begin(), s.end());
+        spans_.push_back(span);
+        lookup_.emplace(std::string(s), id);
+        return id;
+    }
+
+    /** Handle for `s` if already interned; invalid otherwise. */
+    NameId
+    find(std::string_view s) const
+    {
+        if (s.empty())
+            return NameId::invalid();
+        const auto it = lookup_.find(s);
+        return it == lookup_.end() ? NameId::invalid() : it->second;
+    }
+
+    /** The interned spelling ("" for the invalid handle). */
+    std::string_view
+    str(NameId id) const
+    {
+        if (!id.valid() || id.index() >= spans_.size())
+            return {};
+        const NameSpan &span = spans_[id.index()];
+        return {bytes_.data() + span.offset, span.length};
+    }
+
+    std::size_t size() const { return spans_.size(); }
+    std::size_t arenaBytes() const { return bytes_.size(); }
+
+    /** Pre-size the arena (parser pre-scan). */
+    void
+    reserve(std::size_t names, std::size_t bytes)
+    {
+        spans_.reserve(names);
+        bytes_.reserve(bytes);
+        lookup_.reserve(names);
+    }
+
+    /// @name Raw pool access for the zero-copy snapshot codec.
+    /// @{
+    const std::vector<char> &arena() const { return bytes_; }
+    const std::vector<NameSpan> &spans() const { return spans_; }
+
+    /**
+     * Replace the contents with raw pools (snapshot load). Rejects
+     * malformed spans (out of arena bounds, empty, or duplicates - the
+     * writer never produces them) so corrupted snapshots fail cleanly.
+     */
+    bool
+    adopt(std::vector<char> arena, std::vector<NameSpan> spans)
+    {
+        std::unordered_map<std::string, NameId, TransparentHash,
+                           std::equal_to<>>
+            lookup;
+        lookup.reserve(spans.size());
+        for (std::size_t i = 0; i < spans.size(); ++i) {
+            const NameSpan &span = spans[i];
+            if (span.length == 0 || span.offset > arena.size() ||
+                span.length > arena.size() - span.offset) {
+                return false;
+            }
+            const std::string_view text(arena.data() + span.offset,
+                                        span.length);
+            const auto [it, inserted] = lookup.emplace(
+                std::string(text), NameId(static_cast<NameId::RawType>(i)));
+            (void)it;
+            if (!inserted)
+                return false;
+        }
+        bytes_ = std::move(arena);
+        spans_ = std::move(spans);
+        lookup_ = std::move(lookup);
+        return true;
+    }
+    /// @}
+
+  private:
+    /** Heterogeneous lookup: probe with views, own keys as strings. */
+    struct TransparentHash
+    {
+        using is_transparent = void;
+
+        std::size_t
+        operator()(std::string_view s) const noexcept
+        {
+            return std::hash<std::string_view>{}(s);
+        }
+    };
+
+    std::vector<char> bytes_;
+    std::vector<NameSpan> spans_;
+    std::unordered_map<std::string, NameId, TransparentHash, std::equal_to<>>
+        lookup_;
+};
+
+} // namespace manta
+
+#endif // MANTA_SUPPORT_INTERNER_H

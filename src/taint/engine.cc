@@ -354,12 +354,12 @@ class Engine
                         continue;
                     std::uint64_t bits = 0;
                     for (std::size_t a = 0;
-                         a < inst.operands.size() && a < 64; ++a) {
+                         a < inst.numOperands() && a < 64; ++a) {
                         if (!(cm & (1ull << a)))
                             continue;
-                        const auto it = mask.find(inst.operands[a].raw());
+                        const auto it = mask.find(module_.operand(inst, a).raw());
                         if (it != mask.end() &&
-                            !barrier_[inst.operands[a].raw()])
+                            !barrier_[module_.operand(inst, a).raw()])
                             bits |= it->second;
                     }
                     if (bits == 0)
@@ -377,12 +377,12 @@ class Engine
                     for (InstId iid : module_.block(bid).insts) {
                         const Instruction &inst = module_.inst(iid);
                         if (inst.op != Opcode::Ret ||
-                            inst.operands.empty())
+                            inst.numOperands() == 0)
                             continue;
                         const auto it =
-                            mask.find(inst.operands[0].raw());
+                            mask.find(module_.operand(inst, 0).raw());
                         if (it != mask.end() &&
-                            !barrier_[inst.operands[0].raw()])
+                            !barrier_[module_.operand(inst, 0).raw()])
                             ret_bits |= it->second;
                     }
                 }
@@ -432,9 +432,9 @@ class Engine
                     cm = summary ? summary->paramToRet : 0;
                 }
                 for (std::size_t a = 0;
-                     a < inst.operands.size() && a < 64; ++a) {
+                     a < inst.numOperands() && a < 64; ++a) {
                     if (cm & (1ull << a)) {
-                        shortcut[inst.operands[a].raw()].push_back(
+                        shortcut[module_.operand(inst, a).raw()].push_back(
                             inst.result.raw());
                     }
                 }
@@ -623,9 +623,9 @@ class Engine
             for (BlockId bid : function.blocks) {
                 for (InstId iid : module_.block(bid).insts) {
                     const Instruction &inst = module_.inst(iid);
-                    if (inst.op == Opcode::Ret && !inst.operands.empty()) {
+                    if (inst.op == Opcode::Ret && inst.numOperands() != 0) {
                         joinFacts(result.summaries[f].retFacts,
-                                  facts_[inst.operands[0].index()],
+                                  facts_[module_.operand(inst, 0).index()],
                                   options_.maxFactsPerValue);
                     }
                 }
@@ -691,7 +691,8 @@ TaintResult::summaryText(const Module &module) const
         if (summary.paramToRet == 0 && summary.retFacts.empty())
             continue;
         out << "summary "
-            << module.func(FuncId(static_cast<std::uint32_t>(f))).name
+            << module.str(
+                   module.func(FuncId(static_cast<std::uint32_t>(f))).name)
             << " params=0x" << std::hex << summary.paramToRet << std::dec
             << " ret=[";
         for (std::size_t i = 0; i < summary.retFacts.size(); ++i) {

@@ -45,24 +45,25 @@ sinkKindName(SinkKind kind)
 }
 
 int
-formatArgIndex(const External &ext)
+formatArgIndex(const Module &module, const External &ext)
 {
-    if (ext.name == "print_str")
+    const std::string_view name = module.str(ext.name);
+    if (name == "print_str")
         return 0;
-    if (ext.name == "sprintf")
+    if (name == "sprintf")
         return 1;
-    if (ext.name == "snprintf")
+    if (name == "snprintf")
         return 2;
     return -1;
 }
 
 int
-copySourceIndex(const External &ext)
+copySourceIndex(const Module &module, const External &ext)
 {
     if (ext.role != ExternRole::StrCopy && ext.role != ExternRole::BoundedCopy)
         return -1;
     // snprintf(dst, size, fmt): the copied payload is the format.
-    if (ext.name == "snprintf")
+    if (module.str(ext.name) == "snprintf")
         return 2;
     return 1;
 }
@@ -97,7 +98,7 @@ uninitLoad(const Module &module, const Ddg &ddg, const MemObjects &objects,
            InstId iid, const Instruction &inst)
 {
     const PointsTo &pts = ddg.pts();
-    const LocSet &locs = pts.locs(inst.operands[0]);
+    const LocSet &locs = pts.locs(module.operand(inst, 0));
     if (locs.size() != 1)
         return false;
     const MemObject &obj = objects.object(locs.begin()->obj);
@@ -159,15 +160,15 @@ collectSinks(const Module &module)
         const Instruction &inst = module.inst(iid);
         switch (inst.op) {
         case Opcode::Load:
-            add(SinkKind::DerefAddr, iid, inst.operands[0], 0);
+            add(SinkKind::DerefAddr, iid, module.operand(inst, 0), 0);
             break;
         case Opcode::Store:
-            add(SinkKind::DerefAddr, iid, inst.operands[0], 0);
+            add(SinkKind::DerefAddr, iid, module.operand(inst, 0), 0);
             break;
         case Opcode::ICall:
-            for (std::size_t a = 0; a < inst.operands.size(); ++a) {
+            for (std::size_t a = 0; a < inst.numOperands(); ++a) {
                 add(a == 0 ? SinkKind::IcallTarget : SinkKind::IcallArg, iid,
-                    inst.operands[a], static_cast<std::uint32_t>(a));
+                    module.operand(inst, a), static_cast<std::uint32_t>(a));
             }
             break;
         case Opcode::Call: {
@@ -175,21 +176,21 @@ collectSinks(const Module &module)
                 break;
             const External &ext = module.external(inst.external);
             if (ext.role == ExternRole::Print) {
-                for (std::size_t a = 0; a < inst.operands.size(); ++a) {
-                    add(SinkKind::PrintArg, iid, inst.operands[a],
+                for (std::size_t a = 0; a < inst.numOperands(); ++a) {
+                    add(SinkKind::PrintArg, iid, module.operand(inst, a),
                         static_cast<std::uint32_t>(a));
                 }
             }
-            const int copy_src = copySourceIndex(ext);
+            const int copy_src = copySourceIndex(module, ext);
             if (copy_src >= 0 &&
-                static_cast<std::size_t>(copy_src) < inst.operands.size()) {
-                add(SinkKind::CopySource, iid, inst.operands[copy_src],
+                static_cast<std::size_t>(copy_src) < inst.numOperands()) {
+                add(SinkKind::CopySource, iid, module.operand(inst, copy_src),
                     static_cast<std::uint32_t>(copy_src));
             }
-            const int fmt = formatArgIndex(ext);
+            const int fmt = formatArgIndex(module, ext);
             if (fmt >= 0 &&
-                static_cast<std::size_t>(fmt) < inst.operands.size()) {
-                add(SinkKind::FormatArg, iid, inst.operands[fmt],
+                static_cast<std::size_t>(fmt) < inst.numOperands()) {
+                add(SinkKind::FormatArg, iid, module.operand(inst, fmt),
                     static_cast<std::uint32_t>(fmt));
             }
             break;

@@ -43,11 +43,11 @@ struct SinkSite
  * external takes no format): print_str -> 0, sprintf -> 1,
  * snprintf -> 2.
  */
-int formatArgIndex(const External &ext);
+int formatArgIndex(const Module &module, const External &ext);
 
 /** Copy-source operand position of a StrCopy/BoundedCopy external
  *  (memcpy/strcpy/strncpy/sprintf -> 1, snprintf -> 2). */
-int copySourceIndex(const External &ext);
+int copySourceIndex(const Module &module, const External &ext);
 
 /** Does `flow.kind` at `flow.sink` constitute a reportable finding,
  *  and for which checker? Null when the combination is benign. */

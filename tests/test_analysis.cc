@@ -229,15 +229,15 @@ exit:
     bool found_clone_phi = false;
     for (const BlockId bid : fn.blocks) {
         const BasicBlock &bb = m.block(bid);
-        if (bb.name.rfind("head$u", 0) != 0)
+        if (m.str(bb.name).rfind("head$u", 0) != 0)
             continue;
         for (const InstId iid : bb.insts) {
             const Instruction &inst = m.inst(iid);
             if (inst.op != Opcode::Phi)
                 continue;
             found_clone_phi = true;
-            ASSERT_EQ(inst.operands.size(), 1u);
-            EXPECT_EQ(m.value(inst.operands[0]).name, "acc2");
+            ASSERT_EQ(inst.numOperands(), 1u);
+            EXPECT_EQ(m.nameOf(m.operand(inst, 0)), "acc2");
         }
     }
     EXPECT_TRUE(found_clone_phi);
@@ -363,7 +363,7 @@ class PointsToTest : public ::testing::Test
     {
         for (std::size_t v = 0; v < module_.numValues(); ++v) {
             const ValueId vid(static_cast<ValueId::RawType>(v));
-            if (module_.value(vid).name == name)
+            if (module_.str(module_.value(vid).name) == name)
                 return vid;
         }
         return ValueId::invalid();

@@ -121,7 +121,7 @@ done:
     auto named = [&](const char *name) {
         for (std::size_t v = 0; v < m.numValues(); ++v) {
             const ValueId vid(static_cast<ValueId::RawType>(v));
-            if (m.value(vid).name == name)
+            if (m.str(m.value(vid).name) == name)
                 return vid;
         }
         return ValueId::invalid();
@@ -155,9 +155,9 @@ entry:
     ValueId l, b;
     for (std::size_t v = 0; v < m.numValues(); ++v) {
         const ValueId vid(static_cast<ValueId::RawType>(v));
-        if (m.value(vid).name == "l")
+        if (m.str(m.value(vid).name) == "l")
             l = vid;
-        if (m.value(vid).name == "b")
+        if (m.str(m.value(vid).name) == "b")
             b = vid;
     }
     // Only the second store survives the strong update.
@@ -182,7 +182,7 @@ entry:
     pts.run();
     for (std::size_t v = 0; v < m.numValues(); ++v) {
         const ValueId vid(static_cast<ValueId::RawType>(v));
-        if (m.value(vid).name == "l") {
+        if (m.str(m.value(vid).name) == "l") {
             EXPECT_TRUE(pts.locs(vid).empty());
         }
     }

@@ -87,7 +87,7 @@ entry:
     ValueId l;
     for (std::size_t v = 0; v < m.numValues(); ++v) {
         const ValueId vid(static_cast<ValueId::RawType>(v));
-        if (m.value(vid).name == "l")
+        if (m.str(m.value(vid).name) == "l")
             l = vid;
     }
     ASSERT_TRUE(out.types.count(l));

@@ -174,7 +174,7 @@ entry:
         const auto &e = ddg.edge(i);
         if (e.kind != DepKind::PtrArith)
             continue;
-        const std::string from = module_.value(e.from).name;
+        const std::string from(module_.str(module_.value(e.from).name));
         if (from == "base") {
             EXPECT_FALSE(e.pruned);
         }

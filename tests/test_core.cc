@@ -32,7 +32,7 @@ class CoreTest : public ::testing::Test
     {
         for (std::size_t v = 0; v < module_.numValues(); ++v) {
             const ValueId vid(static_cast<ValueId::RawType>(v));
-            if (module_.value(vid).name == name)
+            if (module_.nameOf(vid) == name)
                 return vid;
         }
         return ValueId::invalid();
@@ -55,7 +55,7 @@ class CoreTest : public ::testing::Test
             const Instruction &inst = module_.inst(iid);
             if (inst.op != Opcode::Call)
                 continue;
-            for (const ValueId op : inst.operands) {
+            for (const ValueId op : module_.operands(inst)) {
                 if (op == v)
                     return iid;
             }
@@ -373,7 +373,7 @@ TEST_F(CoreTest, RefinementNeverWidensBeyondFI)
             continue; // flow-sensitive loss is allowed
         EXPECT_TRUE(tt.isSubtype(full_bp.upper, fi_bp.upper) ||
                     fi_bp.upper == tt.top())
-            << module_.value(vid).name;
+            << module_.nameOf(vid);
     }
 }
 

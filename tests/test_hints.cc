@@ -33,7 +33,7 @@ class HintTest : public ::testing::Test
     {
         for (std::size_t v = 0; v < module_.numValues(); ++v) {
             const ValueId vid(static_cast<ValueId::RawType>(v));
-            if (module_.value(vid).name == name)
+            if (module_.str(module_.value(vid).name) == name)
                 return vid;
         }
         return ValueId::invalid();

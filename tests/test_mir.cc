@@ -207,7 +207,7 @@ entry:
     EXPECT_EQ(m.numFuncs(), 1u);
     EXPECT_TRUE(verifyModule(m).empty());
     const Function &fn = m.func(FuncId(0));
-    EXPECT_EQ(fn.name, "id");
+    EXPECT_EQ(m.str(fn.name), "id");
     EXPECT_EQ(fn.params.size(), 1u);
 }
 
@@ -320,7 +320,7 @@ TEST(RoundTrip, PrintThenParsePreservesStructure)
     // Same instruction opcode sequence per function.
     for (std::size_t f = 0; f < original.numFuncs(); ++f) {
         const Function &fa = original.func(FuncId(FuncId::RawType(f)));
-        const FuncId fb_id = reparsed.findFunc(fa.name);
+        const FuncId fb_id = reparsed.findFunc(original.str(fa.name));
         ASSERT_TRUE(fb_id.valid());
         const Function &fb = reparsed.func(fb_id);
         ASSERT_EQ(fa.blocks.size(), fb.blocks.size());

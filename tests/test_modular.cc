@@ -38,7 +38,7 @@ class SccTest : public ::testing::Test
     {
         for (std::size_t f = 0; f < module_.numFuncs(); ++f) {
             const FuncId fid(static_cast<FuncId::RawType>(f));
-            if (module_.func(fid).name == name)
+            if (module_.str(module_.func(fid).name) == name)
                 return fid;
         }
         return FuncId::invalid();

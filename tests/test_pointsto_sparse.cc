@@ -187,7 +187,7 @@ done:
     const auto find = [&](const char *name) {
         for (std::size_t v = 0; v < module_.numValues(); ++v) {
             const ValueId vid(static_cast<ValueId::RawType>(v));
-            if (module_.value(vid).name == name)
+            if (module_.nameOf(vid) == name)
                 return vid;
         }
         return ValueId::invalid();
@@ -313,7 +313,8 @@ TEST(SparseCorpusTest, BitIdenticalToDenseOnGeneratedPrograms)
             const InstId iid(static_cast<InstId::RawType>(i));
             if (m.inst(iid).op != Opcode::Load)
                 continue;
-            for (const Loc &addr : sparse.locs(m.inst(iid).operands[0])) {
+            for (const Loc &addr :
+                 sparse.locs(m.operand(m.inst(iid), 0))) {
                 ASSERT_EQ(dense.loadedLocs(addr, iid),
                           sparse.loadedLocs(addr, iid))
                     << "seed " << seed << " load #" << i;

@@ -476,7 +476,7 @@ class ScenarioTest : public ::testing::Test
     {
         for (std::size_t f = 0; f < prog_.module->numFuncs(); ++f) {
             const FuncId fid(static_cast<FuncId::RawType>(f));
-            if (prog_.module->func(fid).name == name)
+            if (prog_.module->str(prog_.module->func(fid).name) == name)
                 return fid;
         }
         return FuncId::invalid();

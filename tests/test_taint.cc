@@ -86,7 +86,7 @@ funcNamed(const Module &m, const std::string &name)
 {
     for (std::size_t f = 0; f < m.numFuncs(); ++f) {
         const FuncId fid(static_cast<FuncId::RawType>(f));
-        if (m.func(fid).name == name)
+        if (m.str(m.func(fid).name) == name)
             return fid;
     }
     return FuncId::invalid();
